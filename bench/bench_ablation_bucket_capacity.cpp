@@ -1,0 +1,98 @@
+// Ablation: token-bucket capacity vs burst absorption.
+//
+// §4.2 caps the bucket at the Model Engine's queue length: big enough to
+// absorb bursts, small enough that granted vectors never overflow the input
+// FIFO. Sweeps the capacity against a bursty trace and reports grants, FIFO
+// drops, and end-to-end latency.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/fenix_system.hpp"
+#include "telemetry/table.hpp"
+
+int main() {
+  using namespace fenix;
+  bench::print_banner("FENIX ablation: token-bucket capacity",
+                      "design choice of §4.2 (cap <= queue length)");
+
+  bench::BenchScale scale = bench::BenchScale::from_env();
+  scale.epochs = 1;  // accuracy is not the subject here
+  auto dataset =
+      bench::make_dataset(trafficgen::DatasetProfile::iscx_vpn(), scale, 0xb0c4);
+  const auto models = bench::train_fenix_models(dataset, scale, 0xb0c4);
+
+  // Bursty replay: compressed intra-flow gaps.
+  trafficgen::TraceConfig trace_config;
+  trace_config.flow_arrival_rate_hz = 250;
+  trace_config.gap_time_scale = 1.0 / 400.0;
+  const auto trace = trafficgen::assemble_trace(dataset.test, trace_config);
+  std::cout << "Bursty replay: " << trace.packets.size() << " packets\n\n";
+
+  telemetry::TextTable table({"Bucket cap (tokens)", "Grants", "FIFO drops",
+                              "Drop rate", "Flow macro-F1", "e2e p99 (us)"});
+  for (double cap : {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0}) {
+    core::FenixSystemConfig config;
+    config.data_engine.bucket_capacity_tokens = cap;
+    config.model_engine.input_queue_depth = 64;       // fixed FPGA queue
+    config.model_engine.layer_pipelined = false;  // serialized engine
+    // Misprovisioned token rate: V set ~4x above the engine's real service
+    // rate (as would happen if Eq. 1 were fed the optimistic pipelined
+    // figure). Now the bucket cap is the only thing standing between a
+    // burst and the input FIFO — the failure mode the cap rule prevents.
+    config.data_engine.fpga_inference_rate_hz = 300e3;
+    core::FenixSystem system(config, models.qcnn.get(), nullptr);
+    const auto report = system.run(trace, dataset.num_classes());
+    const double drop_rate =
+        report.mirrors > 0
+            ? static_cast<double>(report.fifo_drops) / static_cast<double>(report.mirrors)
+            : 0.0;
+    table.add_row({telemetry::TextTable::num(cap, 0),
+                   std::to_string(report.mirrors),
+                   std::to_string(report.fifo_drops),
+                   telemetry::TextTable::pct(drop_rate),
+                   telemetry::TextTable::num(report.flow_confusion.macro_f1()),
+                   telemetry::TextTable::num(report.end_to_end.p99_us(), 1)});
+  }
+  std::cout << table.render();
+  std::cout << "\nFull-system finding: a 1-token bucket under-absorbs (fewer\n"
+               "grants); a handful of tokens suffices, and larger caps change\n"
+               "nothing because Eq. 2's per-flow probability already paces\n"
+               "token requests — the limiter is self-protective long before the\n"
+               "cap matters.\n";
+
+  // Unit-level adversarial sweep: the cap-vs-queue mechanism in isolation.
+  // Demand arrives as synchronized all-or-nothing bursts (prob = 1, many
+  // flows at once) against a queue of depth 64 drained at the engine rate —
+  // the worst case Eq. 2 normally prevents. Here caps beyond the queue
+  // depth visibly overflow it.
+  std::cout << "\nAdversarial burst demand (bypassing Eq. 2): queue depth 64\n";
+  telemetry::TextTable adversarial({"Bucket cap", "Granted/burst", "Overflow/burst"});
+  const double engine_rate = 75'000;  // tokens and service per second
+  for (double cap : {16.0, 64.0, 256.0, 1024.0}) {
+    core::TokenBucketConfig bucket_config;
+    bucket_config.token_rate_v = engine_rate;
+    bucket_config.capacity_tokens = cap;
+    core::TokenBucket bucket(bucket_config);
+    // Long idle fills the bucket to its cap, then a burst of 2000
+    // back-to-back requests arrives within one service interval.
+    bucket.on_packet(0, 0);
+    double granted = 0;
+    sim::SimTime now = sim::seconds(1);  // idle long enough to fill any cap
+    for (int i = 0; i < 2000; ++i) {
+      now += sim::nanoseconds(10);
+      if (bucket.on_packet(now, 0xffff)) granted += 1;
+    }
+    const double overflow = std::max(0.0, granted - 64.0);
+    adversarial.add_row({telemetry::TextTable::num(cap, 0),
+                         telemetry::TextTable::num(granted, 0),
+                         telemetry::TextTable::num(overflow, 0)});
+  }
+  std::cout << adversarial.render();
+  std::cout << "\nReading the table: with synchronized bursts, every token in\n"
+               "the bucket becomes an immediate FIFO occupant; caps beyond the\n"
+               "queue depth (64) translate one-for-one into overflow — the\n"
+               "failure the paper's cap rule (capacity <= queue length)\n"
+               "prevents by construction.\n";
+  return 0;
+}

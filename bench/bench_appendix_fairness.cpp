@@ -1,0 +1,111 @@
+// Appendix A: fairness of the token-allocation probability model.
+//
+// The proof treats P(T_i, C_i) as the CDF of the transmission time: T_i is
+// uniform on [min(N/V, Q/(Q_i V)), max(N/V, Q/(Q_i V))], giving
+// E_i = (Q_i N + Q) / (2 Q_i V) and a rate-weighted average of exactly N/V
+// (Eq. 7-11). The data plane approximates that CDF with a per-packet
+// Bernoulli trial (Algorithm 1). This bench Monte-Carlos both:
+//   E[model]  — sampling the proof's distribution directly; must equal N/V.
+//   E[Alg. 1] — replaying the per-packet token bucket trials; fast flows see
+//               many trials per ramp, so heavy-tailed mixes transmit somewhat
+//               more often than the idealized model (a property of the
+//               deployed approximation, quantified here).
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/probability_model.hpp"
+#include "sim/random.hpp"
+#include "telemetry/table.hpp"
+
+int main() {
+  using namespace fenix;
+  bench::print_banner("FENIX bench: token-allocation fairness",
+                      "Appendix A (expected period = N/V)");
+
+  core::TrafficStats stats;
+  stats.flow_count_n = 500;
+  stats.token_rate_v = 100'000;
+  stats.packet_rate_q = 2'000'000;
+  const double fair = stats.flow_count_n / stats.token_rate_v;
+  std::cout << "N = " << stats.flow_count_n << ", V = " << stats.token_rate_v
+            << "/s, Q = " << stats.packet_rate_q << " pps; N/V = " << fair * 1e3
+            << " ms\n\n";
+
+  telemetry::TextTable table({"Rate distribution", "E[model] (ms)",
+                              "E[Alg.1] (ms)", "N/V (ms)", "model err",
+                              "Alg.1 dev"});
+
+  sim::RandomStream seed_rng(0xfa17);
+  struct Population {
+    const char* name;
+    double (*draw)(sim::RandomStream&);
+  };
+  const Population populations[] = {
+      {"uniform", [](sim::RandomStream& r) { return r.uniform(100.0, 400.0); }},
+      {"pareto a=1.5 (heavy tail)",
+       [](sim::RandomStream& r) { return r.pareto(50.0, 1.5); }},
+      {"bimodal mice+elephants",
+       [](sim::RandomStream& r) { return r.bernoulli(0.9) ? 50.0 : 5000.0; }},
+      {"lognormal", [](sim::RandomStream& r) { return r.lognormal(5.0, 1.0); }},
+  };
+
+  for (const Population& pop : populations) {
+    sim::RandomStream rng = seed_rng.fork();
+    const int n_flows = static_cast<int>(stats.flow_count_n);
+    std::vector<double> rates(n_flows);
+    double sum = 0;
+    for (double& r : rates) {
+      r = pop.draw(rng);
+      sum += r;
+    }
+    for (double& r : rates) r *= stats.packet_rate_q / sum;  // normalize to Q
+
+    // (a) The proof's model: T_i ~ Uniform[ts, te].
+    double model_weighted = 0.0;
+    for (int f = 0; f < n_flows; ++f) {
+      const double rate_period = stats.packet_rate_q / (rates[f] * stats.token_rate_v);
+      const double ts = std::min(fair, rate_period);
+      const double te = std::max(fair, rate_period);
+      double period_sum = 0.0;
+      const int draws = 400;
+      for (int d = 0; d < draws; ++d) period_sum += rng.uniform(ts, te);
+      model_weighted += rates[f] * (period_sum / draws) / stats.packet_rate_q;
+    }
+
+    // (b) Algorithm 1's per-packet Bernoulli approximation.
+    double alg1_weighted = 0.0;
+    for (int f = 0; f < n_flows; ++f) {
+      const double dt = 1.0 / rates[f];
+      double t_since = 0, c_since = 0, period_sum = 0;
+      int periods = 0;
+      for (int pkt = 0; pkt < 3000; ++pkt) {
+        t_since += dt;
+        c_since += 1;
+        if (rng.bernoulli(core::token_probability(stats, t_since, c_since))) {
+          period_sum += t_since;
+          ++periods;
+          t_since = 0;
+          c_since = 0;
+        }
+      }
+      if (periods > 0) {
+        alg1_weighted += rates[f] * (period_sum / periods) / stats.packet_rate_q;
+      }
+    }
+
+    table.add_row({pop.name, telemetry::TextTable::num(model_weighted * 1e3, 3),
+                   telemetry::TextTable::num(alg1_weighted * 1e3, 3),
+                   telemetry::TextTable::num(fair * 1e3, 3),
+                   telemetry::TextTable::pct(std::fabs(model_weighted - fair) / fair),
+                   telemetry::TextTable::pct(std::fabs(alg1_weighted - fair) / fair)});
+  }
+  std::cout << table.render();
+  std::cout << "\nShape check: under the proof's model the rate-weighted expected\n"
+               "period equals N/V for every distribution (Eq. 11). The deployed\n"
+               "per-packet approximation tracks it for moderate rate spreads and\n"
+               "samples fast flows somewhat more often under heavy-tailed mixes\n"
+               "(more inference opportunities, never starvation).\n";
+  return 0;
+}

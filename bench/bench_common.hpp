@@ -1,0 +1,131 @@
+// Shared infrastructure for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation (§7). Dataset sizes and training epochs are scaled down from
+// Table 1 so a bench run completes in minutes on one CPU core; the knobs
+// below (overridable via environment variables) control that scale. The
+// *shape* of each result — orderings, ratios, crossovers — is what the
+// benches reproduce, as recorded in EXPERIMENTS.md.
+//
+// Environment knobs:
+//   FENIX_BENCH_TRAIN_FLOWS  (default 3000)  flows synthesized for training
+//   FENIX_BENCH_TEST_FLOWS   (default 900)   flows synthesized for testing
+//   FENIX_BENCH_EPOCHS       (default 4)     NN training epochs
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/models.hpp"
+#include "nn/quantize.hpp"
+#include "telemetry/metrics.hpp"
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+namespace fenix::bench {
+
+/// Scale knobs read from the environment.
+struct BenchScale {
+  std::size_t train_flows = 3000;
+  std::size_t test_flows = 900;
+  std::size_t epochs = 4;
+  std::size_t cap_per_class = 1500;  ///< Oversampling cap for NN training.
+
+  static BenchScale from_env();
+};
+
+/// One dataset instance: profile + synthesized train/test flows.
+struct DatasetInstance {
+  trafficgen::DatasetProfile profile;
+  std::vector<trafficgen::FlowSample> train;
+  std::vector<trafficgen::FlowSample> test;
+
+  std::size_t num_classes() const { return profile.num_classes(); }
+};
+
+DatasetInstance make_dataset(const trafficgen::DatasetProfile& profile,
+                             const BenchScale& scale, std::uint64_t seed);
+
+/// Bench-scale model configurations: down-scaled from the paper's
+/// 64/128/256-filter CNN and 128-unit RNN, preserving layer structure.
+nn::CnnConfig bench_cnn_config(std::size_t num_classes);
+nn::RnnConfig bench_rnn_config(std::size_t num_classes);
+
+/// Trains the FENIX CNN/RNN on sliding-window packet samples and quantizes.
+struct TrainedFenixModels {
+  std::unique_ptr<nn::CnnClassifier> cnn;
+  std::unique_ptr<nn::RnnClassifier> rnn;
+  std::unique_ptr<nn::QuantizedCnn> qcnn;
+  std::unique_ptr<nn::QuantizedRnn> qrnn;
+};
+
+TrainedFenixModels train_fenix_models(const DatasetInstance& dataset,
+                                      const BenchScale& scale, std::uint64_t seed);
+
+/// Evaluates a per-packet classifier over test flows. `classify` returns one
+/// verdict per packet of the flow.
+template <typename Classify>
+telemetry::ConfusionMatrix evaluate_packet_level(
+    const std::vector<trafficgen::FlowSample>& flows, std::size_t num_classes,
+    Classify&& classify) {
+  telemetry::ConfusionMatrix cm(num_classes);
+  for (const auto& flow : flows) {
+    const auto verdicts = classify(flow);
+    for (const auto v : verdicts) cm.add(flow.label, v);
+  }
+  return cm;
+}
+
+/// Flow-level evaluation by majority vote of the per-packet verdicts
+/// (the paper's FENIX-F accuracy: "majority voting of packet classifications
+/// within each flow").
+template <typename Classify>
+telemetry::ConfusionMatrix evaluate_flow_level(
+    const std::vector<trafficgen::FlowSample>& flows, std::size_t num_classes,
+    Classify&& classify) {
+  telemetry::ConfusionMatrix cm(num_classes);
+  for (const auto& flow : flows) {
+    const auto verdicts = classify(flow);
+    std::vector<std::size_t> votes(num_classes, 0);
+    for (const auto v : verdicts) {
+      if (v >= 0 && static_cast<std::size_t>(v) < num_classes) {
+        ++votes[static_cast<std::size_t>(v)];
+      }
+    }
+    std::int16_t best = -1;
+    std::size_t best_votes = 0;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      if (votes[c] > best_votes) {
+        best_votes = votes[c];
+        best = static_cast<std::int16_t>(c);
+      }
+    }
+    cm.add(flow.label, best);
+  }
+  return cm;
+}
+
+/// Per-packet verdicts of a quantized sequence model over one flow
+/// (window ending at every packet — the Model Engine's view).
+template <typename QModel>
+std::vector<std::int16_t> classify_packets_with(const QModel& model,
+                                                const trafficgen::FlowSample& flow,
+                                                std::size_t seq_len) {
+  std::vector<std::int16_t> verdicts(flow.features.size(), -1);
+  for (std::size_t i = 0; i < flow.features.size(); ++i) {
+    const std::size_t start = i + 1 >= seq_len ? i + 1 - seq_len : 0;
+    const auto tokens = nn::tokenize(
+        std::span<const net::PacketFeature>(flow.features.data() + start,
+                                            i + 1 - start),
+        seq_len);
+    verdicts[i] = model.predict(tokens);
+  }
+  return verdicts;
+}
+
+/// Prints a standard bench banner.
+void print_banner(const std::string& title, const std::string& paper_ref);
+
+}  // namespace fenix::bench

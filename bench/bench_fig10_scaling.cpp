@@ -1,0 +1,150 @@
+// Figure 10: flow-count and throughput scalability.
+//
+// Methodology mirrors §7.4: many concurrent flows with reassigned (time-
+// compressed) timestamps, original capture times carried in the packet
+// header. Flow arrivals stay spread over a fixed experiment span while
+// intra-flow gaps are compressed progressively, so each flow becomes a
+// line-rate burst and the aggregate (peak) offered load climbs toward the
+// Tbps regime as concurrency grows. Reported metric: flow-level macro-F1
+// (a flow the Model Engine never classifies counts as a miss).
+//
+// Degradation mechanisms at scale, as in the real system: the per-flow
+// token share V/N shrinks, Flow Info Table collisions corrupt state, and
+// burst overlap pressures the channel and the input FIFO.
+#include <algorithm>
+#include <future>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/fenix_system.hpp"
+#include "telemetry/table.hpp"
+
+namespace {
+
+/// Peak offered load over 1 ms windows, in Gbps.
+double peak_gbps(const fenix::net::Trace& trace) {
+  if (trace.packets.empty()) return 0.0;
+  const auto window = fenix::sim::milliseconds(1);
+  std::vector<std::uint64_t> buckets;
+  for (const auto& p : trace.packets) {
+    const auto b = static_cast<std::size_t>(p.timestamp / window);
+    if (b >= buckets.size()) buckets.resize(b + 1, 0);
+    buckets[b] += p.wire_length;
+  }
+  const std::uint64_t peak = *std::max_element(buckets.begin(), buckets.end());
+  return static_cast<double>(peak) * 8.0 / fenix::sim::to_seconds(window) / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fenix;
+  bench::print_banner("FENIX bench: flow count and throughput scalability",
+                      "Figure 10 (§7.4)");
+
+  const auto scale = bench::BenchScale::from_env();
+  auto dataset =
+      bench::make_dataset(trafficgen::DatasetProfile::iscx_vpn(), scale, 0xf10);
+  std::cout << "Training FENIX CNN...\n";
+  const auto models = bench::train_fenix_models(dataset, scale, 0xf10);
+
+  struct Point {
+    std::size_t flows;
+    double gap_compression;  ///< Intra-flow gap divisor (burstiness).
+  };
+  // Fixed 2-second experiment span; concurrency and per-flow burstiness grow
+  // together, as in the paper's accelerated replays.
+  const double kSpanSeconds = 2.0;
+  // Flows stay long-lived relative to the fair period N/V (as in the
+  // paper's replays, where concurrency comes from many simultaneously
+  // active flows, not from collapsing each flow into a spike); the gap
+  // compression raises burstiness and peak load moderately.
+  const Point points[] = {
+      {1'000, 1.0},   // testbed region (original pacing)
+      {2'000, 2.0},
+      {4'000, 4.0},
+      {8'000, 8.0},   // NIC saturation region
+      {16'000, 12.0},
+      {32'000, 20.0}, // simulator region
+      {48'000, 30.0}, // Tbps-equivalent scale
+  };
+
+  struct Row {
+    std::size_t flows = 0;
+    double mean_gbps = 0, peak = 0, equiv_tbps = 0, load_ratio = 0, f1 = 0;
+    std::uint64_t mirrors = 0, drops = 0, collisions = 0, stale = 0;
+  };
+  // Points are independent systems over independent traces: run them
+  // concurrently.
+  std::vector<std::future<Row>> futures;
+  for (const Point& point : points) {
+    futures.push_back(std::async(std::launch::async, [&, point] {
+      trafficgen::SynthesisConfig synth;
+      synth.total_flows = point.flows;
+      synth.seed = 0x5ca1e ^ point.flows;
+      synth.min_flows_per_class = 40;
+      synth.max_pkts_per_flow = 48;
+      const auto flows = trafficgen::synthesize_flows(dataset.profile, synth);
+      trafficgen::TraceConfig trace_config;
+      trace_config.flow_arrival_rate_hz =
+          static_cast<double>(flows.size()) / kSpanSeconds;
+      trace_config.gap_time_scale = 1.0 / point.gap_compression;
+      const auto trace = trafficgen::assemble_trace(flows, trace_config);
+
+      core::FenixSystemConfig config;
+      // Large-scale deployment configuration: a 128k-slot Flow Info Table;
+      // the token rate V derives from the Model Engine's sustained rate
+      // (Eq. 1). The dimensionless stressor of this figure is the ratio of
+      // offered packet rate to V — the sweep drives it from ~0.05x to ~4x,
+      // and the "paper-equiv" column rescales the offered load to the
+      // paper's V = 75 Mpps operating point at the same ratio (see
+      // EXPERIMENTS.md).
+      config.data_engine.tracker.index_bits = 17;
+      config.data_engine.window_tw = sim::milliseconds(50);
+      core::FenixSystem system(config, models.qcnn.get(), nullptr);
+      const auto report = system.run(trace, dataset.num_classes());
+
+      Row row;
+      row.flows = flows.size();
+      row.mean_gbps = trace.offered_bps() / 1e9;
+      row.peak = peak_gbps(trace);
+      row.equiv_tbps = row.peak * (75e6 / system.data_engine().token_rate_v()) / 1e3;
+      row.load_ratio = trace.offered_pps() / system.data_engine().token_rate_v();
+      row.mirrors = report.mirrors;
+      row.drops = report.fifo_drops;
+      row.collisions = system.data_engine().tracker().collisions();
+      row.stale = report.results_stale;
+      row.f1 = report.flow_confusion.macro_f1();
+      return row;
+    }));
+  }
+
+  telemetry::TextTable table({"Flows", "Peak Gbps", "Equiv Tbps", "Load/V",
+                              "Mirrors", "FIFO drops", "Collisions",
+                              "Flow macro-F1"});
+  double baseline_f1 = 0.0;
+  double last_f1 = 0.0;
+  for (auto& future : futures) {
+    const Row row = future.get();
+    if (baseline_f1 == 0.0) baseline_f1 = row.f1;
+    last_f1 = row.f1;
+    table.add_row({std::to_string(row.flows),
+                   telemetry::TextTable::num(row.peak, 1),
+                   telemetry::TextTable::num(row.equiv_tbps, 2),
+                   telemetry::TextTable::num(row.load_ratio, 2),
+                   std::to_string(row.mirrors),
+                   std::to_string(row.drops),
+                   std::to_string(row.collisions),
+                   telemetry::TextTable::num(row.f1)});
+  }
+  std::cout << table.render();
+
+  const double drop = baseline_f1 > 0 ? (baseline_f1 - last_f1) / baseline_f1 : 0.0;
+  std::cout << "\nMacro-F1 reduction from smallest to largest scale: "
+            << telemetry::TextTable::pct(drop) << "\n";
+  std::cout << "Paper reference (Figure 10): accuracy at testbed scale matches\n"
+               "Table 2; at tens of thousands of concurrent flows and Tbps-level\n"
+               "peak throughput the macro-F1 decreases only ~13.2%.\n";
+  return 0;
+}

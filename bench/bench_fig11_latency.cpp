@@ -1,0 +1,95 @@
+// Figure 11: average latency comparison, FENIX vs FlowLens.
+//
+// FENIX latencies are measured inside the event simulation: the mirrored
+// feature's PCB transfer (internal transmission), the Model Engine compute
+// (inference), the result's return path, and end-to-end mirror-to-verdict.
+// FlowLens' decision path is the control-plane model (PCIe + kernel + IPC
+// transmission, CPU XGBoost inference) with the paper's measured means.
+#include <iostream>
+
+#include "baselines/flowlens.hpp"
+#include "bench_common.hpp"
+#include "core/fenix_system.hpp"
+#include "telemetry/table.hpp"
+
+int main() {
+  using namespace fenix;
+  bench::print_banner("FENIX bench: latency microbenchmark",
+                      "Figure 11 (§7.5)");
+
+  const bench::BenchScale scale = bench::BenchScale::from_env();
+  auto dataset =
+      bench::make_dataset(trafficgen::DatasetProfile::iscx_vpn(), scale, 0xf11);
+  std::cout << "Training FENIX CNN (" << dataset.train.size() << " train flows)...\n";
+  // Latency does not depend on accuracy; a short training run suffices.
+  bench::BenchScale quick = scale;
+  quick.epochs = 1;
+  const auto models = bench::train_fenix_models(dataset, quick, 0xf11);
+
+  trafficgen::TraceConfig trace_config;
+  trace_config.flow_arrival_rate_hz = 4000;
+  const auto trace = trafficgen::assemble_trace(dataset.test, trace_config);
+
+  core::FenixSystemConfig config;
+  config.data_engine.tracker.index_bits = 14;
+  core::FenixSystem system(config, models.qcnn.get(), nullptr);
+  std::cout << "Replaying " << trace.packets.size() << " packets...\n";
+  const auto report = system.run(trace, dataset.num_classes());
+
+  // FlowLens control-plane path: sample the decision latency model.
+  baselines::FlowLens flowlens;
+  sim::RandomStream rng(0x11f);
+  double fl_tx = 0, fl_inf = 0, fl_total = 0;
+  const int fl_samples = 10'000;
+  for (int i = 0; i < fl_samples; ++i) {
+    const auto lat = flowlens.sample_latency(rng);
+    fl_tx += lat.transmission_us;
+    fl_inf += lat.inference_us;
+    fl_total += lat.total_us;
+  }
+  fl_tx /= fl_samples;
+  fl_inf /= fl_samples;
+  fl_total /= fl_samples;
+
+  const double fx_internal = report.internal_tx.mean_us();
+  const double fx_return = report.return_tx.mean_us();
+  const double fx_queueing = report.queueing.mean_us();
+  const double fx_inference = report.inference.mean_us();
+  const double fx_e2e = report.end_to_end.mean_us();
+
+  telemetry::TextTable table(
+      {"Component", "FENIX (us)", "FlowLens (us)", "Speedup"});
+  auto speedup = [](double fenix_us, double flowlens_us) {
+    return fenix_us > 0 ? telemetry::TextTable::num(flowlens_us / fenix_us, 0) + "x"
+                        : std::string("-");
+  };
+  table.add_row({"Internal transmission", telemetry::TextTable::num(fx_internal),
+                 "-", "-"});
+  table.add_row({"External transmission (to engine)",
+                 telemetry::TextTable::num(fx_internal + fx_return),
+                 telemetry::TextTable::num(fl_tx, 0),
+                 speedup(fx_internal + fx_return, fl_tx)});
+  table.add_row({"Queueing at engine", telemetry::TextTable::num(fx_queueing),
+                 "-", "-"});
+  table.add_row({"Inference", telemetry::TextTable::num(fx_inference),
+                 telemetry::TextTable::num(fl_inf, 0),
+                 speedup(fx_inference, fl_inf)});
+  table.add_row({"End-to-end decision", telemetry::TextTable::num(fx_e2e),
+                 telemetry::TextTable::num(fl_total, 0),
+                 speedup(fx_e2e, fl_total)});
+  std::cout << table.render();
+
+  std::cout << "\np99: internal " << telemetry::TextTable::num(report.internal_tx.p99_us())
+            << " us, inference " << telemetry::TextTable::num(report.inference.p99_us())
+            << " us, end-to-end " << telemetry::TextTable::num(report.end_to_end.p99_us())
+            << " us over " << report.end_to_end.count() << " decisions\n";
+  std::cout << "Token rate V derived from the Model Engine (Eq. 1): "
+            << system.data_engine().token_rate_v() / 1e3 << " k vectors/s\n";
+  std::cout << "\nPaper reference (Figure 11): FlowLens ~2.1 ms transmission +\n"
+               "~1.5 ms inference; FENIX sub-us internal transmission, 1-3 us\n"
+               "external, ~1.2 us inference -- up to 537x lower inference latency.\n"
+               "Shape check: FENIX stays microseconds across all components;\n"
+               "FlowLens is milliseconds; the inference gap is ~3 orders of\n"
+               "magnitude.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 1: the intelligent-network design space.
+//
+// The paper's Figure 1 positions deployment approaches along (interaction
+// latency, throughput, accuracy): control-plane ML (FlowLens), SmartNIC
+// inference (N3IC), switch-ASIC-only ML (NetBeacon/Leo/BoS), and FENIX's
+// FPGA-enhanced switch. This bench quantifies each quadrant with the models
+// of this repository: decision latency from each platform's path, the
+// platform's throughput ceiling, and the model accuracy its compute budget
+// admits (macro-F1 from the Table 2 run at bench scale).
+#include <iostream>
+
+#include "baselines/flowlens.hpp"
+#include "baselines/n3ic.hpp"
+#include "bench_common.hpp"
+#include "core/fenix_system.hpp"
+#include "switchsim/chip.hpp"
+#include "telemetry/table.hpp"
+
+int main() {
+  using namespace fenix;
+  bench::print_banner("FENIX bench: intelligent-network design space",
+                      "Figure 1 (§1)");
+
+  bench::BenchScale scale = bench::BenchScale::from_env();
+  scale.epochs = 2;
+  auto dataset =
+      bench::make_dataset(trafficgen::DatasetProfile::iscx_vpn(), scale, 0xf1);
+  std::cout << "Training FENIX CNN for the latency measurement...\n";
+  const auto models = bench::train_fenix_models(dataset, scale, 0xf1);
+
+  // FENIX decision latency: measured end-to-end on a replay.
+  trafficgen::TraceConfig trace_config;
+  trace_config.flow_arrival_rate_hz = 2000;
+  const auto trace = trafficgen::assemble_trace(dataset.test, trace_config);
+  core::FenixSystemConfig config;
+  core::FenixSystem system(config, models.qcnn.get(), nullptr);
+  const auto report = system.run(trace, dataset.num_classes());
+
+  // FlowLens decision latency: control-plane path model.
+  baselines::FlowLens flowlens;
+  sim::RandomStream rng(1);
+  double flowlens_us = 0;
+  for (int i = 0; i < 1000; ++i) flowlens_us += flowlens.sample_latency(rng).total_us;
+  flowlens_us /= 1000;
+
+  // SmartNIC (N3IC): on-path binary MLP — low latency, NIC-bounded rate.
+  const baselines::N3icConfig n3ic_config;
+  baselines::N3ic n3ic(n3ic_config);
+  double n3ic_us = 0;
+  for (int i = 0; i < 1000; ++i) n3ic_us += n3ic.sample_latency(rng).total_us;
+  n3ic_us /= 1000;
+
+  const auto tofino = switchsim::ChipProfile::tofino2();
+
+  telemetry::TextTable table({"Approach", "Placement", "Decision latency",
+                              "Throughput ceiling", "Model class"});
+  table.add_row({"Control plane (FlowLens)", "switch + CPU",
+                 telemetry::TextTable::num(flowlens_us, 0) + " us",
+                 telemetry::TextTable::num(tofino.forwarding_tbps, 1) +
+                     " Tbps (collect) / CPU-bound (decide)",
+                 "full-precision GBT"});
+  table.add_row({"SmartNIC (N3IC)", "NIC",
+                 telemetry::TextTable::num(n3ic_us, 1) + " us",
+                 telemetry::TextTable::num(n3ic_config.nic_throughput_bps / 1e9, 0) +
+                     " Gbps",
+                 "binary MLP"});
+  table.add_row({"Switch ASIC only (NetBeacon/Leo/BoS)", "switch pipeline",
+                 "~0.4 us (in-band)",
+                 telemetry::TextTable::num(tofino.forwarding_tbps, 1) + " Tbps",
+                 "trees / binarized RNN"});
+  table.add_row({"FENIX (switch + FPGA)", "switch + on-board FPGA",
+                 telemetry::TextTable::num(report.end_to_end.mean_us(), 1) + " us",
+                 telemetry::TextTable::num(tofino.forwarding_tbps, 1) +
+                     " Tbps (forwarding), sampled inference",
+                 "INT8 CNN/RNN"});
+  std::cout << table.render();
+
+  std::cout << "\nShape check (Figure 1): FENIX combines the switch quadrant's\n"
+               "multi-terabit forwarding with microsecond decisions and a model\n"
+               "class no switch pipeline can host; the control plane pays\n"
+               "milliseconds, the SmartNIC caps at hundreds of Gbps, and the\n"
+               "ASIC-only schemes trade the model down to trees/binarized nets.\n"
+               "(Accuracy per approach: see bench_table2_accuracy.)\n";
+  return 0;
+}

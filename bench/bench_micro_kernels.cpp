@@ -1,0 +1,179 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels: hashing, stateful
+// ALU updates, probability lookups, token-bucket decisions, tree and INT8
+// model inference. These quantify the host-side simulation cost, not the
+// hardware latency (which the cycle models report); they gate how large a
+// Figure 10 sweep the harness can replay per second.
+#include <benchmark/benchmark.h>
+
+#include "core/data_engine.hpp"
+#include "net/headers.hpp"
+#include "core/probability_model.hpp"
+#include "core/token_bucket.hpp"
+#include "net/hash.hpp"
+#include "nn/quantize.hpp"
+#include "switchsim/register_array.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+namespace {
+
+using namespace fenix;
+
+void BM_FlowHash(benchmark::State& state) {
+  net::FiveTuple t;
+  t.src_ip = 0x0a000001;
+  t.dst_ip = 0xac100001;
+  t.src_port = 1234;
+  t.dst_port = 443;
+  for (auto _ : state) {
+    t.src_port++;
+    benchmark::DoNotOptimize(net::flow_hash32(t));
+  }
+}
+BENCHMARK(BM_FlowHash);
+
+void BM_RegisterAluUpdate(benchmark::State& state) {
+  switchsim::ResourceLedger ledger(switchsim::ChipProfile::tofino2());
+  switchsim::RegisterArray reg(ledger, "r", 0, 1 << 15, 32);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.execute(
+        i++ & 0x7fff, {switchsim::AluPredicate::kAlways, 0,
+                       switchsim::AluUpdate::kIncrement, 0}));
+  }
+}
+BENCHMARK(BM_RegisterAluUpdate);
+
+void BM_ProbabilityExact(benchmark::State& state) {
+  core::TrafficStats stats;
+  stats.flow_count_n = 1000;
+  stats.token_rate_v = 75e6;
+  stats.packet_rate_q = 1000e6;
+  double t = 1e-6;
+  for (auto _ : state) {
+    t += 1e-9;
+    benchmark::DoNotOptimize(core::token_probability(stats, t, 17.0));
+  }
+}
+BENCHMARK(BM_ProbabilityExact);
+
+void BM_ProbabilityLookup(benchmark::State& state) {
+  core::TrafficStats stats;
+  stats.flow_count_n = 1000;
+  stats.token_rate_v = 75e6;
+  stats.packet_rate_q = 1000e6;
+  core::ProbabilityLookupTable table(64, 64, 0.001, 2048);
+  table.rebuild(stats);
+  double t = 1e-6;
+  for (auto _ : state) {
+    t += 1e-9;
+    benchmark::DoNotOptimize(table.lookup_fixed(t, 17.0));
+  }
+}
+BENCHMARK(BM_ProbabilityLookup);
+
+void BM_TokenBucket(benchmark::State& state) {
+  core::TokenBucketConfig config;
+  config.token_rate_v = 1e6;
+  core::TokenBucket bucket(config);
+  sim::SimTime now = 0;
+  for (auto _ : state) {
+    now += sim::nanoseconds(100);
+    benchmark::DoNotOptimize(bucket.on_packet(now, 0x8000));
+  }
+}
+BENCHMARK(BM_TokenBucket);
+
+void BM_DataEnginePacket(benchmark::State& state) {
+  core::DataEngineConfig config;
+  config.tracker.index_bits = 14;
+  core::DataEngine engine(config);
+  net::PacketRecord p;
+  p.tuple.src_ip = 0x0a000001;
+  p.tuple.dst_ip = 0xac100001;
+  p.tuple.dst_port = 443;
+  p.wire_length = 500;
+  sim::SimTime now = 0;
+  std::uint16_t port = 0;
+  for (auto _ : state) {
+    now += sim::nanoseconds(200);
+    p.tuple.src_port = ++port & 0x3ff;
+    p.timestamp = p.orig_timestamp = now;
+    benchmark::DoNotOptimize(engine.on_packet(p));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DataEnginePacket);
+
+nn::QuantizedCnn make_quantized_cnn() {
+  nn::CnnConfig config;
+  config.conv_channels = {16, 32, 64};
+  config.fc_dims = {128, 64};
+  config.num_classes = 7;
+  nn::CnnClassifier model(config, 1);
+  std::vector<nn::SeqSample> calibration;
+  sim::RandomStream rng(2);
+  for (int i = 0; i < 16; ++i) {
+    nn::SeqSample s;
+    s.label = 0;
+    for (int t = 0; t < 9; ++t) {
+      s.tokens.push_back({static_cast<std::uint16_t>(rng.uniform_int(nn::kLenVocab)),
+                          static_cast<std::uint16_t>(rng.uniform_int(nn::kIpdVocab))});
+    }
+    calibration.push_back(std::move(s));
+  }
+  return nn::QuantizedCnn(model, calibration);
+}
+
+void BM_QuantizedCnnInference(benchmark::State& state) {
+  const auto model = make_quantized_cnn();
+  std::vector<nn::Token> tokens(9, nn::Token{10, 3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(tokens));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QuantizedCnnInference);
+
+void BM_FrameBuild(benchmark::State& state) {
+  net::FiveTuple t;
+  t.src_ip = 0x0a000001;
+  t.dst_ip = 0xac100001;
+  t.src_port = 1234;
+  t.dst_port = 443;
+  t.proto = 6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::build_frame(t, 512));
+  }
+}
+BENCHMARK(BM_FrameBuild);
+
+void BM_FrameParse(benchmark::State& state) {
+  net::FiveTuple t;
+  t.src_ip = 0x0a000001;
+  t.dst_ip = 0xac100001;
+  t.src_port = 1234;
+  t.dst_port = 443;
+  t.proto = 6;
+  const auto frame = net::build_frame(t, 512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_frame(frame));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_FrameParse);
+
+void BM_SynthesizeFlow(benchmark::State& state) {
+  const auto profile = trafficgen::DatasetProfile::iscx_vpn();
+  trafficgen::SynthesisConfig config;
+  config.total_flows = 100;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    config.seed = ++seed;
+    benchmark::DoNotOptimize(trafficgen::synthesize_flows(profile, config));
+  }
+}
+BENCHMARK(BM_SynthesizeFlow);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Table 3: P4 systems resource overhead comparison.
+//
+// Builds each system's data-plane program against the switch resource model
+// and prints SRAM / TCAM / action-bus utilization and pipeline stages.
+// FENIX's numbers come from its actual Data Engine allocation (Flow Tracker
+// registers, feature rings, probability table, preliminary tree); the
+// baselines' programs mirror their published configurations.
+#include <iostream>
+
+#include "baselines/bos.hpp"
+#include "baselines/flowlens.hpp"
+#include "baselines/leo.hpp"
+#include "baselines/netbeacon.hpp"
+#include "bench_common.hpp"
+#include "core/data_engine.hpp"
+#include "telemetry/table.hpp"
+
+namespace {
+
+void add_ledger_row(fenix::telemetry::TextTable& table, const std::string& name,
+                    const fenix::switchsim::ResourceLedger& ledger) {
+  table.add_row({name, fenix::telemetry::TextTable::pct(ledger.sram_fraction()),
+                 fenix::telemetry::TextTable::pct(ledger.tcam_fraction()),
+                 fenix::telemetry::TextTable::pct(ledger.bus_fraction()),
+                 std::to_string(ledger.stages_used())});
+}
+
+}  // namespace
+
+int main() {
+  using namespace fenix;
+  bench::print_banner("FENIX bench: P4 resource overhead comparison",
+                      "Table 3 (§7.3)");
+
+  const auto chip = switchsim::ChipProfile::tofino2();
+
+  // FENIX: the real Data Engine at deployment scale (32k-flow table, 8-deep
+  // rings, 64x64 probability table, preliminary tree).
+  core::DataEngineConfig config;
+  config.tracker.index_bits = 15;
+  config.tracker.ring_capacity = 8;
+  core::DataEngine engine(config);
+  {
+    // Preliminary per-packet tree trained on realistic (length, IPD) data:
+    // range predicates over both fields expand into TCAM prefixes. The
+    // deployed configuration caps the table at 8k entries.
+    const auto profile = trafficgen::DatasetProfile::iscx_vpn();
+    trafficgen::SynthesisConfig synth;
+    synth.total_flows = 800;
+    synth.seed = 0x7ab1e;
+    const auto flows = trafficgen::synthesize_flows(profile, synth);
+    trees::Dataset data;
+    data.dim = 2;
+    for (const auto& flow : flows) {
+      for (const auto& f : flow.features) {
+        const float row[2] = {static_cast<float>(f.length),
+                              static_cast<float>(f.ipd_code)};
+        data.add_row(row, flow.label);
+        if (data.rows() >= 60'000) break;
+      }
+      if (data.rows() >= 60'000) break;
+    }
+    trees::DecisionTree tree;
+    trees::TreeConfig tree_config;
+    tree_config.max_depth = 8;
+    tree_config.min_samples_leaf = 64;
+    tree.fit(data, profile.num_classes(), tree_config);
+    engine.install_preliminary_tree(tree, /*max_entries=*/8192);
+  }
+
+  telemetry::TextTable table({"System", "SRAM", "TCAM", "Bus", "Stage"});
+  add_ledger_row(table, "FENIX", engine.ledger());
+  add_ledger_row(table, "FlowLens", baselines::FlowLens::switch_program(chip));
+  add_ledger_row(table, "BoS", baselines::Bos::switch_program(chip));
+  add_ledger_row(table, "Leo", baselines::Leo::switch_program(chip));
+  add_ledger_row(table, "NetBeacon", baselines::NetBeacon::switch_program(chip));
+  std::cout << table.render();
+
+  std::cout << "\nPaper reference (Table 3):\n"
+               "| FENIX     | 12.9% |  4.4% | 3.5% |  9 |\n"
+               "| FlowLens  | 34.2% |  0.0% | 2.4% |  9 |\n"
+               "| BoS       | 26.3% |  6.3% | 8.6% | 12 |\n"
+               "| Leo       | 26.9% |  9.0% | 5.2% | 12 |\n"
+               "| NetBeacon | 11.6% | 18.8% | 6.4% | 12 |\n"
+               "Shape check: FENIX is balanced (moderate SRAM, low TCAM, fewest\n"
+               "stages); FlowLens is SRAM-heavy with zero TCAM; NetBeacon trades\n"
+               "low SRAM for the largest TCAM share.\n";
+  return 0;
+}

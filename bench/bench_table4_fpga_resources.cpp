@@ -1,0 +1,93 @@
+// Table 4: neural network resource utilization on the ZU19EG FPGA.
+//
+// Maps the paper-scale CNN and RNN Model Engine configurations (3 conv layers
+// 64/128/256 + FC 512/256; single 128-unit RNN cell) onto the analytical FPGA
+// resource estimator and prints per-module LUT/FF/BRAM/DSP utilization.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/model_engine.hpp"
+#include "fpgasim/resource_model.hpp"
+#include "telemetry/table.hpp"
+
+namespace {
+
+using fenix::fpgasim::ResourceEstimate;
+using fenix::fpgasim::Utilization;
+
+void add_row(fenix::telemetry::TextTable& table, const std::string& name,
+             const ResourceEstimate& est, const fenix::fpgasim::DeviceProfile& dev) {
+  const Utilization util = fenix::fpgasim::utilization(est, dev);
+  table.add_row({name, fenix::telemetry::TextTable::pct(util.lut),
+                 fenix::telemetry::TextTable::pct(util.ff),
+                 fenix::telemetry::TextTable::pct(util.bram),
+                 fenix::telemetry::TextTable::pct(util.dsp)});
+}
+
+}  // namespace
+
+int main() {
+  using namespace fenix;
+  bench::print_banner("FENIX bench: FPGA resource utilization",
+                      "Table 4 (§7.3)");
+
+  const auto device = fpgasim::DeviceProfile::zu19eg();
+  const fpgasim::CostModel cm;
+
+  telemetry::TextTable table({"Module", "LUT", "FF", "BRAM", "DSP"});
+
+  // ---- CNN Model Engine (paper architecture) ----
+  const auto embedding = fpgasim::estimate_embedding(cm, 256, 16, 18);
+  const auto conv =
+      fpgasim::estimate_conv_stack(cm, {16, 64, 128, 256}, 3, /*lanes=*/3072);
+  ResourceEstimate cnn_fc;
+  cnn_fc.module = "FC";
+  cnn_fc += fpgasim::estimate_fc(cm, 256, 512, 1024);
+  cnn_fc += fpgasim::estimate_fc(cm, 512, 256, 256);
+  cnn_fc += fpgasim::estimate_fc(cm, 256, 12, 128);
+  ResourceEstimate cnn_total;
+  cnn_total.module = "CNN (overall)";
+  cnn_total += embedding;
+  cnn_total += conv;
+  cnn_total += cnn_fc;
+  add_row(table, "CNN (overall)", cnn_total, device);
+  add_row(table, "  Embedding", embedding, device);
+  add_row(table, "  Convolutional", conv, device);
+  add_row(table, "  FC", cnn_fc, device);
+
+  // ---- RNN Model Engine ----
+  const auto recurrent = fpgasim::estimate_recurrent(cm, 16, 128, 1, /*lanes=*/1792);
+  ResourceEstimate rnn_fc;
+  rnn_fc.module = "FC";
+  rnn_fc += fpgasim::estimate_fc(cm, 128, 512, 1024);
+  rnn_fc += fpgasim::estimate_fc(cm, 512, 256, 256);
+  rnn_fc += fpgasim::estimate_fc(cm, 256, 12, 128);
+  ResourceEstimate rnn_total;
+  rnn_total.module = "RNN (overall)";
+  rnn_total += embedding;
+  rnn_total += recurrent;
+  rnn_total += rnn_fc;
+  add_row(table, "RNN (overall)", rnn_total, device);
+  add_row(table, "  Embedding", embedding, device);
+  add_row(table, "  Recurrent", recurrent, device);
+  add_row(table, "  FC", rnn_fc, device);
+
+  // ---- Vector I/O Processor ----
+  const auto vio = fpgasim::estimate_vector_io(cm, 512, 64, 512);
+  add_row(table, "Vector I/O", vio, device);
+
+  std::cout << table.render();
+
+  std::cout << "\nPaper reference (Table 4):\n"
+               "| CNN (overall) | 38.4% | 33.8% | 7.1% | 8.1% |\n"
+               "|   Embedding   |  4.2% |  5.1% | 0.5% | 0.0% |\n"
+               "|   Convolutional| 25.6%| 19.7% | 4.0% | 5.7% |\n"
+               "|   FC          |  8.6% |  9.0% | 2.6% | 2.4% |\n"
+               "| RNN (overall) | 25.6% | 31.2% | 6.3% | 4.6% |\n"
+               "|   Recurrent   | 15.8% | 18.7% | 3.6% | 2.4% |\n"
+               "| Vector I/O    |  6.0% |  4.8% | 0.3% | 0.0% |\n"
+               "Shape check: LUT/FF dominate (fabric MACs), the conv stack is the\n"
+               "largest module, embedding uses no DSPs, Vector I/O is small, and\n"
+               "everything leaves ample headroom on the ZU19EG.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Example: building custom cycle-level models from the simulation substrate.
+//
+// FenixSystem::run sequences the switch-FPGA exchange analytically, which is
+// fast but hides the cycle-by-cycle handshake. This example rebuilds the
+// §5.1 dataflow explicitly from the substrate pieces — sim::EventQueue,
+// sim::AsyncFifo, sim::ClockDomain, sim::Channel — so each step is visible:
+//
+//   switch deparser --(100G channel)--> input async FIFO --(engine clock)-->
+//   systolic array --(output async FIFO)--> pairing --> return channel
+//
+// A burst of mirrored vectors is pushed through; the run prints each
+// vector's timeline and the FIFO high-water marks. Use this pattern to
+// prototype alternative Model Engine microarchitectures.
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "fpgasim/systolic.hpp"
+#include "sim/channel.hpp"
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fifo.hpp"
+#include "telemetry/table.hpp"
+
+int main() {
+  using namespace fenix;
+
+  sim::EventQueue queue;
+  sim::Channel to_fpga(100e9, sim::nanoseconds(40));
+  sim::ClockDomain engine_clock(300e6);
+
+  // Async FIFOs crossing between the channel domain and the engine domain:
+  // 4 engine cycles of synchronizer latency each way.
+  const sim::SimDuration sync = engine_clock.cycles(4);
+  sim::AsyncFifo<int> input_fifo(16, sync);    // vector ids
+  sim::AsyncFifo<int> output_fifo(16, sync);   // result ids
+  sim::Fifo<int> flow_id_queue(16);            // §5.1 Flow Identifier Queue
+
+  // A fixed per-inference cost from the systolic model: one small GEMV chain.
+  fpgasim::SystolicTimer timer({32, 32, 300e6, 24});
+  const sim::SimDuration inference =
+      timer.to_time(timer.matvec_cycles(64, 64) + timer.matvec_cycles(64, 7));
+
+  struct Timeline {
+    sim::SimTime emitted = 0, arrived = 0, started = 0, finished = 0, paired = 0;
+  };
+  constexpr int kVectors = 12;
+  std::vector<Timeline> timelines(kVectors);
+
+  bool engine_busy = false;
+
+  // The engine process: pull from the input FIFO when idle.
+  std::function<void()> try_start = [&] {
+    if (engine_busy) return;
+    const sim::SimTime now = queue.now();
+    if (!input_fifo.readable(now)) {
+      if (const auto at = input_fifo.head_visible_at()) {
+        queue.schedule_at(engine_clock.next_edge(*at), try_start);
+      }
+      return;
+    }
+    const int id = *input_fifo.pop(now);
+    engine_busy = true;
+    timelines[static_cast<std::size_t>(id)].started = now;
+    queue.schedule_after(inference, [&, id] {
+      const sim::SimTime done = queue.now();
+      timelines[static_cast<std::size_t>(id)].finished = done;
+      output_fifo.push(done, id);
+      engine_busy = false;
+      // Pair with the Flow Identifier Queue head once the output crosses.
+      queue.schedule_after(sync, [&] {
+        const auto rid = output_fifo.pop(queue.now());
+        const auto fid = flow_id_queue.pop();
+        if (rid && fid) {
+          timelines[static_cast<std::size_t>(*rid)].paired = queue.now();
+        }
+      });
+      try_start();
+    });
+  };
+
+  // The switch side: a burst of mirrors, 500 ns apart.
+  for (int i = 0; i < kVectors; ++i) {
+    const auto emit = static_cast<sim::SimTime>(i) * sim::nanoseconds(500);
+    queue.schedule_at(emit, [&, i, emit] {
+      timelines[static_cast<std::size_t>(i)].emitted = emit;
+      const sim::SimTime arrival = to_fpga.transfer(emit, 65);
+      queue.schedule_at(arrival, [&, i, arrival] {
+        timelines[static_cast<std::size_t>(i)].arrived = arrival;
+        flow_id_queue.push(i);
+        input_fifo.push(arrival, i);
+        try_start();
+      });
+    });
+  }
+  queue.run();
+
+  telemetry::TextTable table({"Vector", "Emit (us)", "FPGA in", "Start",
+                              "Finish", "Paired", "Total (us)"});
+  for (int i = 0; i < kVectors; ++i) {
+    const Timeline& t = timelines[static_cast<std::size_t>(i)];
+    auto us = [](sim::SimTime v) { return telemetry::TextTable::num(sim::to_microseconds(v), 3); };
+    table.add_row({std::to_string(i), us(t.emitted), us(t.arrived), us(t.started),
+                   us(t.finished), us(t.paired),
+                   telemetry::TextTable::num(sim::to_microseconds(t.paired - t.emitted), 3)});
+  }
+  std::cout << table.render();
+  std::cout << "\nevents executed: " << queue.executed()
+            << ", input FIFO peak occupancy: " << input_fifo.stats().peak_occupancy
+            << " / " << input_fifo.capacity() << "\n"
+            << "Later vectors queue behind the busy array: total latency grows\n"
+            << "linearly across the burst — the head-of-line effect the paper's\n"
+            << "Rate Limiter exists to bound.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Example: a compact scaling study, exercising the knobs a deployment would
+// tune — Flow Info Table size, token-bucket capacity, and probability-table
+// resolution — and showing their effect on classification coverage and
+// latency under a bursty trace. Complements bench_fig10_scaling (which fixes
+// the configuration and scales the traffic).
+#include <iostream>
+
+#include "core/fenix_system.hpp"
+#include "nn/models.hpp"
+#include "nn/quantize.hpp"
+#include "telemetry/table.hpp"
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+int main() {
+  using namespace fenix;
+  const auto profile = trafficgen::DatasetProfile::iscx_vpn();
+  const std::size_t k = profile.num_classes();
+
+  trafficgen::SynthesisConfig synth;
+  synth.total_flows = 1200;
+  synth.seed = 30;
+  synth.min_flows_per_class = 30;
+  const auto train = trafficgen::synthesize_flows(profile, synth);
+  synth.total_flows = 4000;
+  synth.seed = 31;
+  const auto replay_flows = trafficgen::synthesize_flows(profile, synth);
+
+  nn::CnnConfig config;
+  config.conv_channels = {16, 24};
+  config.fc_dims = {48};
+  config.num_classes = k;
+  nn::CnnClassifier cnn(config, 13);
+  const auto samples = trafficgen::make_packet_samples(train, 9);
+  nn::TrainOptions opts;
+  opts.epochs = 3;
+  opts.lr = 0.01f;
+  std::cout << "Training CNN...\n";
+  cnn.fit(samples, opts);
+  nn::QuantizedCnn qcnn(cnn, samples);
+
+  // A bursty high-concurrency replay: 4000 flows over 2 seconds with 25x
+  // compressed intra-flow gaps.
+  trafficgen::TraceConfig trace_config;
+  trace_config.flow_arrival_rate_hz = 2000;
+  trace_config.gap_time_scale = 1.0 / 25.0;
+  const auto trace = trafficgen::assemble_trace(replay_flows, trace_config);
+  std::cout << "Replay: " << trace.packets.size() << " packets, "
+            << trace.offered_bps() / 1e9 << " Gbps mean offered\n\n";
+
+  struct Variant {
+    const char* name;
+    unsigned index_bits;
+    double bucket_tokens;
+    std::size_t prob_cells;
+  };
+  const Variant variants[] = {
+      {"small table (4k flows)", 12, 64, 64},
+      {"default (32k flows)", 15, 64, 64},
+      {"tiny bucket (8 tokens)", 15, 8, 64},
+      {"coarse prob table (8x8)", 15, 64, 8},
+  };
+
+  telemetry::TextTable table({"Configuration", "Mirrors", "Collisions",
+                              "Stale verdicts", "Flow macro-F1", "e2e p99 (us)"});
+  for (const Variant& v : variants) {
+    core::FenixSystemConfig sys_config;
+    sys_config.data_engine.tracker.index_bits = v.index_bits;
+    sys_config.data_engine.bucket_capacity_tokens = v.bucket_tokens;
+    sys_config.data_engine.prob_t_cells = v.prob_cells;
+    sys_config.data_engine.prob_c_cells = v.prob_cells;
+    core::FenixSystem system(sys_config, &qcnn, nullptr);
+    const auto report = system.run(trace, k);
+    table.add_row({v.name, std::to_string(report.mirrors),
+                   std::to_string(system.data_engine().tracker().collisions()),
+                   std::to_string(report.results_stale),
+                   telemetry::TextTable::num(report.flow_confusion.macro_f1()),
+                   telemetry::TextTable::num(report.end_to_end.p99_us(), 1)});
+  }
+  std::cout << table.render();
+  std::cout << "\nReading the table: a small flow table loses verdicts to\n"
+               "collisions; a tiny bucket absorbs bursts poorly (fewer mirrors\n"
+               "granted); a coarse probability table skews which flows get\n"
+               "sampled. The defaults balance all three.\n";
+  return 0;
+}

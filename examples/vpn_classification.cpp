@@ -1,0 +1,121 @@
+// Example: VPN-encrypted application classification (the paper's first task).
+//
+// Trains both FENIX model variants (CNN and RNN) on the synthetic
+// ISCXVPN2016 stand-in, quantizes them, and compares float vs INT8 accuracy
+// per class — the quantization-loss analysis behind the "minimal quantization
+// loss" claim of §2. Also demonstrates driving the Data Engine directly
+// (packet by packet) instead of through FenixSystem.
+#include <iostream>
+
+#include "core/data_engine.hpp"
+#include "nn/models.hpp"
+#include "nn/quantize.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/table.hpp"
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+namespace {
+
+using namespace fenix;
+
+/// Packet-level confusion of a predictor over test flows.
+template <typename Predict>
+telemetry::ConfusionMatrix evaluate(const std::vector<trafficgen::FlowSample>& flows,
+                                    std::size_t num_classes, Predict&& predict) {
+  telemetry::ConfusionMatrix cm(num_classes);
+  for (const auto& flow : flows) {
+    for (std::size_t i = 2; i < flow.features.size(); i += 2) {
+      const std::size_t start = i + 1 >= 9 ? i + 1 - 9 : 0;
+      const auto tokens = nn::tokenize(
+          std::span<const net::PacketFeature>(flow.features.data() + start,
+                                              i + 1 - start),
+          9);
+      cm.add(flow.label, predict(tokens));
+    }
+  }
+  return cm;
+}
+
+}  // namespace
+
+int main() {
+  const auto profile = trafficgen::DatasetProfile::iscx_vpn();
+  trafficgen::SynthesisConfig synth;
+  synth.total_flows = 1500;
+  synth.seed = 10;
+  const auto train = trafficgen::synthesize_flows(profile, synth);
+  synth.total_flows = 500;
+  synth.seed = 11;
+  const auto test = trafficgen::synthesize_flows(profile, synth);
+  const std::size_t k = profile.num_classes();
+
+  const auto samples = trafficgen::make_packet_samples(train, 9);
+  nn::TrainOptions opts;
+  opts.epochs = 3;
+  opts.lr = 0.01f;  // Table 1: AdamW, lr 0.01 for ISCXVPN2016
+  opts.cap_per_class = 1200;
+
+  std::cout << "Training FENIX-CNN and FENIX-RNN on " << samples.size()
+            << " windows...\n";
+  nn::CnnConfig cnn_config;
+  cnn_config.conv_channels = {16, 32, 64};
+  cnn_config.fc_dims = {128, 64};
+  cnn_config.num_classes = k;
+  nn::CnnClassifier cnn(cnn_config, 3);
+  cnn.fit(samples, opts);
+  nn::QuantizedCnn qcnn(cnn, samples);
+
+  nn::RnnConfig rnn_config;
+  rnn_config.units = 64;
+  rnn_config.num_classes = k;
+  nn::RnnClassifier rnn(rnn_config, 4);
+  rnn.fit(samples, opts);
+  nn::QuantizedRnn qrnn(rnn, samples);
+
+  const auto cnn_float = evaluate(test, k, [&](const auto& t) { return cnn.predict(t); });
+  const auto cnn_int8 = evaluate(test, k, [&](const auto& t) { return qcnn.predict(t); });
+  const auto rnn_float = evaluate(test, k, [&](const auto& t) { return rnn.predict(t); });
+  const auto rnn_int8 = evaluate(test, k, [&](const auto& t) { return qrnn.predict(t); });
+
+  telemetry::TextTable table({"Class", "CNN fp32 P/R", "CNN int8 P/R",
+                              "RNN fp32 P/R", "RNN int8 P/R"});
+  const auto m_cf = cnn_float.per_class();
+  const auto m_ci = cnn_int8.per_class();
+  const auto m_rf = rnn_float.per_class();
+  const auto m_ri = rnn_int8.per_class();
+  for (std::size_t c = 0; c < k; ++c) {
+    table.add_row({profile.classes[c].name,
+                   telemetry::TextTable::pr(m_cf[c].precision, m_cf[c].recall),
+                   telemetry::TextTable::pr(m_ci[c].precision, m_ci[c].recall),
+                   telemetry::TextTable::pr(m_rf[c].precision, m_rf[c].recall),
+                   telemetry::TextTable::pr(m_ri[c].precision, m_ri[c].recall)});
+  }
+  table.add_row({"Macro-F1", telemetry::TextTable::num(cnn_float.macro_f1()),
+                 telemetry::TextTable::num(cnn_int8.macro_f1()),
+                 telemetry::TextTable::num(rnn_float.macro_f1()),
+                 telemetry::TextTable::num(rnn_int8.macro_f1())});
+  std::cout << table.render();
+  std::cout << "\nINT8 quantization loss (macro-F1): CNN "
+            << telemetry::TextTable::num(cnn_float.macro_f1() - cnn_int8.macro_f1())
+            << ", RNN "
+            << telemetry::TextTable::num(rnn_float.macro_f1() - rnn_int8.macro_f1())
+            << " (the paper reports negligible degradation)\n";
+
+  // Bonus: drive the Data Engine directly and show its per-flow mechanics.
+  core::DataEngineConfig de_config;
+  de_config.tracker.index_bits = 12;
+  core::DataEngine engine(de_config);
+  trafficgen::TraceConfig trace_config;
+  const auto trace = trafficgen::assemble_trace(test, trace_config);
+  std::size_t mirrored = 0;
+  for (const auto& packet : trace.packets) {
+    engine.control_plane_tick(packet.timestamp);
+    if (engine.on_packet(packet).mirrored) ++mirrored;
+  }
+  std::cout << "\nData Engine alone: " << trace.packets.size() << " packets, "
+            << mirrored << " feature vectors mirrored, "
+            << engine.tracker().collisions() << " table collisions, footprint "
+            << engine.ledger().summary() << "\n";
+  return 0;
+}

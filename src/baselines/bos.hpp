@@ -1,0 +1,55 @@
+// BoS baseline (Yan et al., NSDI'24, "Brain-on-Switch").
+//
+// BoS runs a binarized GRU on the switch: binary weight matrices executed as
+// match-action lookups, 6-bit embeddings, 9-bit hidden states (the largest
+// published variant with 8 GRU units, §7.1). We train the float parent GRU
+// offline and deploy its binarized form — accuracy sits below FENIX's INT8
+// models because of the aggressive quantization, matching Table 2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/binarize.hpp"
+#include "nn/models.hpp"
+#include "switchsim/chip.hpp"
+#include "switchsim/resources.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+namespace fenix::baselines {
+
+struct BosConfig {
+  std::size_t seq_len = 9;
+  std::size_t units = 8;          ///< 8 GRU units.
+  std::size_t len_embed_dim = 6;  ///< 6-bit embeddings.
+  std::size_t ipd_embed_dim = 2;
+  unsigned embed_bits = 6;
+  unsigned hidden_bits = 9;       ///< 9-bit hidden states.
+  nn::TrainOptions train;
+  std::uint64_t seed = 0xb05;
+};
+
+class Bos {
+ public:
+  explicit Bos(BosConfig config = {});
+
+  void train(const std::vector<trafficgen::FlowSample>& flows,
+             std::size_t num_classes);
+
+  /// Per-packet verdicts over one flow (token window ending at each packet).
+  std::vector<std::int16_t> classify_packets(
+      const trafficgen::FlowSample& flow) const;
+
+  /// The binarized-GRU data-plane program's footprint (Table 3 row).
+  static switchsim::ResourceLedger switch_program(const switchsim::ChipProfile& chip);
+
+  const nn::BinarizedGru* deployed() const { return deployed_.get(); }
+
+ private:
+  BosConfig config_;
+  std::unique_ptr<nn::GruClassifier> float_model_;
+  std::unique_ptr<nn::BinarizedGru> deployed_;
+};
+
+}  // namespace fenix::baselines

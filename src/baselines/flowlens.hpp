@@ -1,0 +1,63 @@
+// FlowLens baseline (Barradas et al., NDSS'21).
+//
+// FlowLens collects quantized packet-length/IPD distributions ("flow
+// markers") with its Flow Marker Accumulator on the switch, ships them to the
+// control plane each collection window, and classifies flows there with
+// XGBoost. Accuracy is flow-level; the price is a control-plane round trip:
+// the paper's Figure 11 measures ~2.1 ms transmission and ~1.5 ms inference
+// per decision, three orders of magnitude above FENIX.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+#include "switchsim/chip.hpp"
+#include "switchsim/resources.hpp"
+#include "trafficgen/synthesizer.hpp"
+#include "trees/gradient_boost.hpp"
+
+namespace fenix::baselines {
+
+struct FlowLensConfig {
+  std::size_t len_bins = 32;   ///< Flow marker length histogram bins.
+  unsigned shift = 6;          ///< Quantization shift (bin width 64B).
+  std::size_t ipd_bins = 0;    ///< FlowLens' FMA collects packet-size
+                               ///< distributions; IPD histograms disabled.
+  std::size_t window_packets = 32;  ///< Collection window per flow.
+  trees::BoostConfig boost;    ///< XGBoost defaults (§7.1: default parameters).
+};
+
+class FlowLens {
+ public:
+  explicit FlowLens(FlowLensConfig config = {});
+
+  void train(const std::vector<trafficgen::FlowSample>& flows,
+             std::size_t num_classes);
+
+  /// Flow-level classification from the flow's marker.
+  std::int16_t classify_flow(const trafficgen::FlowSample& flow) const;
+
+  const trees::GradientBoosted& model() const { return model_; }
+  const FlowLensConfig& config() const { return config_; }
+
+  /// Control-plane decision path latency model (means from the paper's
+  /// measured breakdown, lognormal jitter). Samples one decision's latency
+  /// components in microseconds.
+  struct DecisionLatency {
+    double transmission_us = 0.0;  ///< Switch -> CPU (PCIe + kernel + IPC).
+    double inference_us = 0.0;     ///< XGBoost scoring on the CPU.
+    double total_us = 0.0;
+  };
+  DecisionLatency sample_latency(sim::RandomStream& rng) const;
+
+  /// The FMA data-plane program's resource footprint (Table 3 row).
+  static switchsim::ResourceLedger switch_program(const switchsim::ChipProfile& chip);
+
+ private:
+  FlowLensConfig config_;
+  trees::GradientBoosted model_;
+};
+
+}  // namespace fenix::baselines

@@ -1,0 +1,96 @@
+#include "baselines/leo.hpp"
+
+#include <algorithm>
+
+#include "sim/random.hpp"
+
+namespace fenix::baselines {
+
+Leo::Leo(LeoConfig config) : config_(std::move(config)) {}
+
+void Leo::running_features(const trafficgen::FlowSample& flow, std::size_t i,
+                           float* out, float& len_min, float& len_max, float& cum,
+                           float& cnt) {
+  const auto len = static_cast<float>(flow.features[i].length);
+  len_min = std::min(len_min, len);
+  len_max = std::max(len_max, len);
+  cum = std::min(cum + len, 1048575.0f);  // 20-bit saturating byte counter
+  cnt += 1.0f;
+  out[0] = len;
+  out[1] = len_min;
+  out[2] = len_max;
+  out[3] = cum;
+  out[4] = cnt;
+}
+
+void Leo::train(const std::vector<trafficgen::FlowSample>& flows,
+                std::size_t num_classes) {
+  trees::Dataset data;
+  data.dim = 5;
+  for (const trafficgen::FlowSample& flow : flows) {
+    if (data.rows() >= config_.max_train_rows) break;
+    float len_min = 65535.0f, len_max = 0.0f, cum = 0.0f, cnt = 0.0f;
+    float row[5];
+    for (std::size_t i = 0; i < flow.features.size(); ++i) {
+      running_features(flow, i, row, len_min, len_max, cum, cnt);
+      if (data.rows() >= config_.max_train_rows) break;
+      data.add_row(std::span<const float>(row, 5), flow.label);
+    }
+  }
+  trees::TreeConfig tree_config;
+  tree_config.max_depth = config_.max_depth;
+  tree_config.max_leaves = config_.max_leaves;
+  tree_config.min_samples_leaf = 8;
+  tree_config.seed = config_.seed;
+  tree_.fit(data, num_classes, tree_config);
+}
+
+std::vector<std::int16_t> Leo::classify_packets(
+    const trafficgen::FlowSample& flow) const {
+  std::vector<std::int16_t> verdicts(flow.features.size(), -1);
+  float len_min = 65535.0f, len_max = 0.0f, cum = 0.0f, cnt = 0.0f;
+  float row[5];
+  for (std::size_t i = 0; i < flow.features.size(); ++i) {
+    running_features(flow, i, row, len_min, len_max, cum, cnt);
+    verdicts[i] = tree_.predict(std::span<const float>(row, 5));
+  }
+  return verdicts;
+}
+
+switchsim::ResourceLedger Leo::switch_program(const switchsim::ChipProfile& chip) {
+  switchsim::ResourceLedger ledger(chip);
+  // Per-flow running feature registers over a 64k flow table.
+  const std::size_t flows = 1 << 16;
+  const char* regs[] = {"len_min", "len_max", "cum_len", "pkt_cnt"};
+  unsigned stage = 0;
+  for (const char* name : regs) {
+    switchsim::Allocation reg;
+    reg.owner = std::string("leo_") + name;
+    reg.stage = stage++;
+    const std::uint64_t raw = static_cast<std::uint64_t>(flows) * 32;
+    reg.sram_bits = raw + raw / 8;
+    reg.bus_bits = 32;
+    ledger.allocate(reg);
+  }
+  // Depth-22 tree executed as 8 layered lookups (Leo's level-grouped
+  // encoding): each layer is an exact-match table over the node id plus a
+  // TCAM stage for the range comparisons of that layer.
+  for (unsigned layer = 0; layer < 8; ++layer) {
+    switchsim::Allocation sram;
+    sram.owner = "leo_layer_nodes_" + std::to_string(layer);
+    sram.stage = 4 + layer;
+    sram.sram_bits = 5ULL * 1024 * 1024;  // node records + next-layer pointers
+    sram.bus_bits = 64;
+    ledger.allocate(sram);
+
+    switchsim::Allocation tcam;
+    tcam.owner = "leo_layer_ranges_" + std::to_string(layer);
+    tcam.stage = 4 + layer;
+    tcam.tcam_bits = 1024ULL * 2 * 56;  // range thresholds of the layer
+    tcam.bus_bits = 32;
+    ledger.allocate(tcam);
+  }
+  return ledger;
+}
+
+}  // namespace fenix::baselines

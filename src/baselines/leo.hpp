@@ -1,0 +1,53 @@
+// Leo baseline (Jafri et al., NSDI'24).
+//
+// Leo runs a single online decision tree at line rate (max depth 22, up to
+// 1024 leaf nodes, §7.1) over features a switch can maintain per packet:
+// packet length extremes and cumulative flow length. It predicts on every
+// packet but is limited by its feature set and single-tree capacity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "switchsim/chip.hpp"
+#include "switchsim/resources.hpp"
+#include "trafficgen/synthesizer.hpp"
+#include "trees/decision_tree.hpp"
+
+namespace fenix::baselines {
+
+struct LeoConfig {
+  unsigned max_depth = 22;
+  unsigned max_leaves = 1024;
+  std::uint64_t seed = 0x1e0;
+  std::size_t max_train_rows = 200'000;  ///< Subsample cap for tractability.
+};
+
+class Leo {
+ public:
+  explicit Leo(LeoConfig config = {});
+
+  void train(const std::vector<trafficgen::FlowSample>& flows,
+             std::size_t num_classes);
+
+  /// Per-packet verdicts over one flow.
+  std::vector<std::int16_t> classify_packets(
+      const trafficgen::FlowSample& flow) const;
+
+  const trees::DecisionTree& tree() const { return tree_; }
+
+  /// Leo's layered tree tables on the switch (Table 3 row).
+  static switchsim::ResourceLedger switch_program(const switchsim::ChipProfile& chip);
+
+ private:
+  /// Running per-packet features: current length, min length, max length,
+  /// cumulative bytes (saturating), packet count.
+  static void running_features(const trafficgen::FlowSample& flow, std::size_t i,
+                               float* out, float& len_min, float& len_max,
+                               float& cum, float& cnt);
+
+  LeoConfig config_;
+  trees::DecisionTree tree_;
+};
+
+}  // namespace fenix::baselines

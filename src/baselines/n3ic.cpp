@@ -1,0 +1,79 @@
+#include "baselines/n3ic.hpp"
+
+#include <algorithm>
+
+#include "nn/featurizer.hpp"
+
+namespace fenix::baselines {
+
+N3ic::N3ic(N3icConfig config) : config_(std::move(config)) {}
+
+void N3ic::train(const std::vector<trafficgen::FlowSample>& flows,
+                 std::size_t num_classes) {
+  nn::MlpConfig mlp_config;
+  mlp_config.input_dim = nn::kFlowStatDim;
+  mlp_config.hidden = config_.hidden;
+  mlp_config.num_classes = num_classes;
+  model_ = std::make_unique<nn::BinaryMlp>(mlp_config, config_.seed);
+
+  std::vector<nn::VecSample> samples;
+  for (const trafficgen::FlowSample& flow : flows) {
+    // One sample per window position (stride = window/2) so the model sees
+    // both flow starts and steady state.
+    const std::size_t stride = std::max<std::size_t>(1, config_.window / 2);
+    for (std::size_t end = std::min(config_.window, flow.features.size());
+         end <= flow.features.size(); end += stride) {
+      const std::size_t start = end >= config_.window ? end - config_.window : 0;
+      const auto stats = nn::flow_statistics(std::span<const net::PacketFeature>(
+          flow.features.data() + start, end - start));
+      nn::VecSample s;
+      s.features.assign(stats.begin(), stats.end());
+      s.label = flow.label;
+      samples.push_back(std::move(s));
+      if (end == flow.features.size()) break;
+    }
+  }
+  model_->fit(samples, config_.train);
+}
+
+std::vector<std::int16_t> N3ic::classify_packets(
+    const trafficgen::FlowSample& flow) const {
+  std::vector<std::int16_t> verdicts(flow.features.size(), -1);
+  if (!model_) return verdicts;
+  for (std::size_t i = 0; i < flow.features.size(); ++i) {
+    const std::size_t end = i + 1;
+    const std::size_t start = end >= config_.window ? end - config_.window : 0;
+    const auto stats = nn::flow_statistics(std::span<const net::PacketFeature>(
+        flow.features.data() + start, end - start));
+    verdicts[i] = model_->predict(stats);
+  }
+  return verdicts;
+}
+
+N3ic::DecisionLatency N3ic::sample_latency(sim::RandomStream& rng) const {
+  DecisionLatency lat;
+  // Header parse + feature assembly on the NIC micro-engines, then one
+  // XNOR+popcount pass per binary layer. Scaled to the published NFP-4000
+  // figures: a [128, 64, 10] binary MLP completes in roughly 10-40 us.
+  lat.parse_us = 1.5 * rng.lognormal(0.0, 0.2);
+  double macs = 0;
+  std::size_t in = nn::kFlowStatDim;
+  for (std::size_t h : config_.hidden) {
+    macs += static_cast<double>(in) * static_cast<double>(h);
+    in = h;
+  }
+  // ~1.2e9 binary MAC/s effective on the micro-engine cluster.
+  lat.inference_us = macs / 1.2e9 * 1e6 * rng.lognormal(0.0, 0.15) + 8.0;
+  lat.total_us = lat.parse_us + lat.inference_us;
+  return lat;
+}
+
+std::int16_t N3ic::classify_flow(const trafficgen::FlowSample& flow) const {
+  if (!model_) return -1;
+  const std::size_t n = std::min(config_.window, flow.features.size());
+  const auto stats = nn::flow_statistics(
+      std::span<const net::PacketFeature>(flow.features.data(), n));
+  return model_->predict(stats);
+}
+
+}  // namespace fenix::baselines

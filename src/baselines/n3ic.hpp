@@ -1,0 +1,64 @@
+// N3IC baseline (Siracusano et al., NSDI'22).
+//
+// N3IC runs a binary MLP on a SmartNIC (hidden layers [128, 64, 10], §7.1)
+// over flow-level and packet-level features. The model executes as
+// XNOR+popcount on the NIC datapath; throughput tops out around 40 Gbps —
+// the SmartNIC ceiling FENIX's switch placement avoids (§1). The paper
+// simulates the switch-side logic in software for this baseline; we do the
+// same.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/binarize.hpp"
+#include "sim/random.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+namespace fenix::baselines {
+
+struct N3icConfig {
+  std::vector<std::size_t> hidden = {128, 64, 10};
+  std::size_t window = 8;  ///< Packets per feature computation.
+  nn::TrainOptions train;
+  std::uint64_t seed = 0x3c1;
+
+  /// SmartNIC line rate — the throughput ceiling reported by the paper.
+  double nic_throughput_bps = 40e9;
+};
+
+class N3ic {
+ public:
+  explicit N3ic(N3icConfig config = {});
+
+  void train(const std::vector<trafficgen::FlowSample>& flows,
+             std::size_t num_classes);
+
+  /// Per-packet verdicts: each packet classified from the statistics of the
+  /// window ending at it.
+  std::vector<std::int16_t> classify_packets(
+      const trafficgen::FlowSample& flow) const;
+
+  /// Flow-level verdict from the first `window` packets.
+  std::int16_t classify_flow(const trafficgen::FlowSample& flow) const;
+
+  /// On-NIC decision path latency model: parse + XNOR/popcount MLP layers on
+  /// the NIC datapath. N3IC reports inference in the tens of microseconds on
+  /// NFP-4000-class SmartNICs — on-path, so no PCIe round trip.
+  struct DecisionLatency {
+    double parse_us = 0.0;
+    double inference_us = 0.0;
+    double total_us = 0.0;
+  };
+  DecisionLatency sample_latency(sim::RandomStream& rng) const;
+
+  const N3icConfig& config() const { return config_; }
+  const nn::BinaryMlp* model() const { return model_.get(); }
+
+ private:
+  N3icConfig config_;
+  std::unique_ptr<nn::BinaryMlp> model_;
+};
+
+}  // namespace fenix::baselines

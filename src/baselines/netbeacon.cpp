@@ -1,0 +1,118 @@
+#include "baselines/netbeacon.hpp"
+
+#include <algorithm>
+
+#include "net/feature.hpp"
+
+namespace fenix::baselines {
+
+NetBeacon::NetBeacon(NetBeaconConfig config) : config_(std::move(config)) {}
+
+std::vector<float> NetBeacon::phase_features(const trafficgen::FlowSample& flow,
+                                             std::size_t upto) {
+  const std::size_t n = std::min(upto, flow.features.size());
+  float len_min = 65535.0f, len_max = 0.0f;
+  float ipd_min = 65535.0f, ipd_max = 0.0f;
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto len = static_cast<float>(flow.features[i].length);
+    len_min = std::min(len_min, len);
+    len_max = std::max(len_max, len);
+    bytes += flow.features[i].length;
+    if (i > 0) {
+      const auto code = static_cast<float>(flow.features[i].ipd_code);
+      ipd_min = std::min(ipd_min, code);
+      ipd_max = std::max(ipd_max, code);
+    }
+  }
+  // Mean via shift-friendly division (phase sizes are powers of two in the
+  // data plane); float here is just the host representation.
+  const float mean = n > 0 ? static_cast<float>(bytes) / static_cast<float>(n) : 0.0f;
+  if (n <= 1) ipd_min = ipd_max = 0.0f;
+  return {len_min, len_max, mean, static_cast<float>(n), static_cast<float>(bytes),
+          ipd_min, ipd_max};
+}
+
+void NetBeacon::train(const std::vector<trafficgen::FlowSample>& flows,
+                      std::size_t num_classes) {
+  forests_.clear();
+  for (std::size_t p = 0; p < config_.phases.size(); ++p) {
+    const std::size_t boundary = config_.phases[p];
+    trees::Dataset data;
+    data.dim = 7;
+    for (const trafficgen::FlowSample& flow : flows) {
+      if (flow.features.size() < boundary) continue;
+      data.add_row(phase_features(flow, boundary), flow.label);
+    }
+    trees::TreeConfig tree_config;
+    tree_config.max_depth = config_.max_depth;
+    tree_config.seed = config_.seed + p;
+    trees::RandomForest forest;
+    forest.fit(data, num_classes, config_.n_trees, tree_config);
+    forests_.push_back(std::move(forest));
+  }
+}
+
+std::vector<std::int16_t> NetBeacon::classify_packets(
+    const trafficgen::FlowSample& flow) const {
+  std::vector<std::int16_t> verdicts(flow.features.size(), -1);
+  std::int16_t last = -1;
+  for (std::size_t i = 0; i < flow.features.size(); ++i) {
+    // Phase boundary reached with packet i+1?
+    for (std::size_t p = 0; p < config_.phases.size(); ++p) {
+      if (i + 1 == config_.phases[p]) {
+        last = forests_[p].predict(phase_features(flow, config_.phases[p]));
+        break;
+      }
+    }
+    verdicts[i] = last;
+  }
+  return verdicts;
+}
+
+switchsim::ResourceLedger NetBeacon::switch_program(
+    const switchsim::ChipProfile& chip) {
+  switchsim::ResourceLedger ledger(chip);
+  // Per-flow feature registers (min/max/mean accumulators, counters) over a
+  // 64k-entry flow table, spread across the first stages.
+  const std::size_t flows = 1 << 16;
+  const char* regs[] = {"len_min", "len_max", "byte_sum", "pkt_cnt",
+                        "ipd_min", "ipd_max", "ipd_sum", "phase_state", "verdict"};
+  unsigned stage = 0;
+  for (const char* name : regs) {
+    switchsim::Allocation reg;
+    reg.owner = std::string("netbeacon_") + name;
+    reg.stage = stage;
+    const std::uint64_t raw = static_cast<std::uint64_t>(flows) * 32;
+    reg.sram_bits = raw + raw / 8;
+    reg.bus_bits = 64;
+    ledger.allocate(reg);
+    stage = (stage + 1) % 4;
+  }
+  // Tree tables: 4 phases x 3 trees, each depth-7 tree's leaves expand into
+  // range-match TCAM entries over 7 feature fields (~1.4k entries per tree
+  // after prefix expansion in the published configuration).
+  for (unsigned phase = 0; phase < 4; ++phase) {
+    for (unsigned tree = 0; tree < 3; ++tree) {
+      switchsim::Allocation tcam;
+      tcam.owner = "netbeacon_tree_p" + std::to_string(phase) + "_t" +
+                   std::to_string(tree);
+      tcam.stage = 4 + phase * 2;
+      const std::uint64_t entries = 1'400;
+      tcam.tcam_bits = entries * 2 * 56;  // 7 fields x 8-bit quantized key
+      tcam.sram_bits = entries * 16;      // action side
+      tcam.bus_bits = 64;
+      ledger.allocate(tcam);
+    }
+  }
+  // Vote aggregation + phase sequencing tables.
+  switchsim::Allocation vote;
+  vote.owner = "netbeacon_vote";
+  vote.stage = 11;
+  vote.sram_bits = 512 * 1024;
+  vote.bus_bits = 16;
+  ledger.allocate(vote);
+  return ledger;
+}
+
+}  // namespace fenix::baselines

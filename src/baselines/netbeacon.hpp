@@ -1,0 +1,55 @@
+// NetBeacon baseline (Zhou et al., USENIX Security'23).
+//
+// NetBeacon deploys multi-phase tree models in the switch pipeline: at fixed
+// packet-count boundaries it recomputes in-dataplane flow features and runs a
+// random forest (3 trees, depth 7 per phase, §7.1) compiled into match-action
+// tables. Between phase boundaries the last verdict sticks — predictions only
+// update at discrete points, which caps packet-level accuracy (§7.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "switchsim/chip.hpp"
+#include "switchsim/resources.hpp"
+#include "trafficgen/synthesizer.hpp"
+#include "trees/decision_tree.hpp"
+
+namespace fenix::baselines {
+
+struct NetBeaconConfig {
+  std::vector<std::size_t> phases = {4, 8, 16, 32};  ///< Packet-count boundaries.
+  std::size_t n_trees = 3;
+  unsigned max_depth = 7;
+  std::uint64_t seed = 0x5eac0;
+};
+
+class NetBeacon {
+ public:
+  explicit NetBeacon(NetBeaconConfig config = {});
+
+  void train(const std::vector<trafficgen::FlowSample>& flows,
+             std::size_t num_classes);
+
+  /// Per-packet verdicts over one flow (index i = prediction attached to
+  /// packet i). -1 before the first phase boundary.
+  std::vector<std::int16_t> classify_packets(
+      const trafficgen::FlowSample& flow) const;
+
+  /// The multi-phase data-plane program's footprint (Table 3 row). Tree
+  /// paths become range matches, hence the heavy TCAM column.
+  static switchsim::ResourceLedger switch_program(const switchsim::ChipProfile& chip);
+
+  const NetBeaconConfig& config() const { return config_; }
+
+ private:
+  /// In-dataplane features computable by a switch at a phase boundary:
+  /// min/max/mean length, packet count, total bytes, min/max IPD code.
+  static std::vector<float> phase_features(const trafficgen::FlowSample& flow,
+                                           std::size_t upto);
+
+  NetBeaconConfig config_;
+  std::vector<trees::RandomForest> forests_;  ///< One per phase.
+};
+
+}  // namespace fenix::baselines

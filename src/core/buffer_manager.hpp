@@ -1,0 +1,53 @@
+// The Buffer Manager (§4.3): per-flow feature ring buffers in switch SRAM and
+// mirrored-packet assembly.
+//
+// Each Flow Info Table slot owns a ring of `ring_capacity` packet features
+// (F1..F8). The ring index comes from the Flow Tracker (wrap-without-modulo,
+// Figure 4b). On a Rate Limiter grant the Buffer Manager reads the ring in
+// oldest-first order, appends the current packet's feature from metadata
+// (F9), and emits the result as a mirrored packet toward the Model Engine in
+// the deparser stage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/feature.hpp"
+#include "switchsim/pipeline.hpp"
+#include "switchsim/resources.hpp"
+
+namespace fenix::core {
+
+class BufferManager {
+ public:
+  BufferManager(switchsim::ResourceLedger& ledger, std::size_t table_size,
+                unsigned ring_capacity, unsigned stage);
+
+  unsigned ring_capacity() const { return ring_capacity_; }
+
+  /// Writes `feature` into `slot` of flow `index`'s ring (the data-plane
+  /// register write that follows assembly).
+  void store(std::uint32_t index, std::uint32_t slot,
+             const net::PacketFeature& feature);
+
+  /// Assembles the mirrored feature header for flow `index`:
+  /// the valid ring contents oldest-first, then `current` (from metadata).
+  /// `ring_slot` is the slot about to be overwritten (== oldest entry when
+  /// the ring is full); `prior_packets` is the number of packets the flow had
+  /// before the current one.
+  net::FeatureVector assemble(std::uint32_t index, const net::FiveTuple& tuple,
+                              std::uint32_t flow_id,
+                              const net::PacketFeature& current,
+                              std::uint32_t ring_slot, std::uint32_t prior_packets,
+                              sim::SimTime now);
+
+  const switchsim::MirrorSession& mirror() const { return mirror_; }
+
+ private:
+  std::size_t table_size_;
+  unsigned ring_capacity_;
+  std::vector<net::PacketFeature> rings_;  ///< table_size * ring_capacity.
+  switchsim::MirrorSession mirror_;
+};
+
+}  // namespace fenix::core

@@ -1,0 +1,138 @@
+// The Data Engine (§4): Flow Tracker + Rate Limiter + Buffer Manager on the
+// programmable switch, orchestrated per packet.
+//
+// Per packet the engine (1) updates the Flow Info Table, (2) computes the
+// packet's feature (length + IPD) and appends it to the flow's ring buffer,
+// (3) consults the probabilistic token bucket to decide whether to mirror the
+// flow's feature sequence to the Model Engine, and (4) produces a forwarding
+// classification — the cached Model Engine verdict when present, otherwise
+// the lightweight preliminary decision tree compiled into TCAM (§4.1).
+//
+// The control plane (control_plane_tick) runs once per window T_w: it reads
+// and resets the flow/packet counters, recomputes the traffic statistics
+// (N, Q), and rebuilds the probability lookup table (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/buffer_manager.hpp"
+#include "core/flow_tracker.hpp"
+#include "core/probability_model.hpp"
+#include "core/token_bucket.hpp"
+#include "core/tree_compiler.hpp"
+#include "net/packet.hpp"
+#include "switchsim/chip.hpp"
+#include "switchsim/match_table.hpp"
+#include "switchsim/pipeline.hpp"
+#include "telemetry/rate_meter.hpp"
+
+namespace fenix::core {
+
+struct DataEngineConfig {
+  switchsim::ChipProfile chip = switchsim::ChipProfile::tofino2();
+  FlowTrackerConfig tracker;
+
+  // Rate Limiter: hardware constants of Eq. 1. F <= 0 means "derive":
+  // FenixSystem substitutes the bound Model Engine's sustained rate; a
+  // standalone DataEngine falls back to the paper's 75 Mpps figure.
+  double fpga_inference_rate_hz = 0.0;
+  double channel_bandwidth_bps = 100e9;   ///< B: one 100G port channel.
+  double feature_vector_bits = 8.0 * (13 + 4 * 9 + 16);  ///< W (wire bytes * 8).
+  double bucket_capacity_tokens = 64;     ///< Capped to the FPGA queue depth.
+  std::uint64_t bucket_seed = 0xfe41;
+
+  // Probability lookup table resolution (control-plane discretization).
+  // Both axes are log-bucketed by default: the data plane derives the cell
+  // from the counter's leading-one position, keeping resolution where the
+  // probability ramp lives.
+  std::size_t prob_t_cells = 64;
+  std::size_t prob_c_cells = 64;
+  double prob_t_max_s = 0.2;
+  double prob_c_max = 4096;
+  bool prob_log_scale_c = true;
+  bool prob_log_scale_t = true;
+
+  sim::SimDuration window_tw = sim::milliseconds(50);
+
+  /// EWMA smoothing factor for the per-window N and Q estimates (1.0 = use
+  /// raw window counts). Smoothing keeps one quiet or bursty window from
+  /// whipsawing the probability table.
+  double stats_ewma_alpha = 0.4;
+
+  /// Initial traffic statistics before the first control-plane refresh.
+  double initial_flow_count = 1000;
+  double initial_packet_rate = 1e6;
+};
+
+/// Result of one data-plane packet pass.
+struct DataEngineOutput {
+  FlowState flow;
+  std::int16_t forward_class = -1;  ///< Class driving the forwarding action.
+  bool from_model_engine = false;   ///< True when forward_class is a cached DNN verdict.
+  std::optional<net::FeatureVector> mirrored;  ///< Set on a Rate Limiter grant.
+};
+
+class DataEngine {
+ public:
+  explicit DataEngine(const DataEngineConfig& config);
+
+  /// Data-plane processing of one packet.
+  DataEngineOutput on_packet(const net::PacketRecord& packet);
+
+  /// Applies an inference result arriving back from the Model Engine.
+  bool deliver_result(const net::InferenceResult& result);
+
+  /// Control-plane window maintenance at time `now`; call at least once per
+  /// T_w (idempotent within a window).
+  void control_plane_tick(sim::SimTime now);
+
+  /// Installs the preliminary per-packet decision tree (compiled to TCAM).
+  /// The tree's features are (packet length, IPD code). `max_entries` caps
+  /// the TCAM budget (0 = size to the compiled rule count); compilation
+  /// installs rules in priority order and stops at the cap.
+  void install_preliminary_tree(const trees::DecisionTree& tree,
+                                std::size_t max_entries = 0);
+
+  // ---- accessors ----
+  const switchsim::ResourceLedger& ledger() const { return ledger_; }
+  const FlowTracker& tracker() const { return *tracker_; }
+  const TokenBucket& bucket() const { return *bucket_; }
+  const ProbabilityLookupTable& prob_table() const { return prob_table_; }
+  const BufferManager& buffers() const { return *buffers_; }
+  const switchsim::PipelineTiming& timing() const { return timing_; }
+  double token_rate_v() const { return token_rate_v_; }
+  std::uint64_t packets_seen() const { return packets_seen_; }
+  std::uint64_t mirrors_sent() const { return mirrors_sent_; }
+  std::uint64_t results_applied() const { return results_applied_; }
+  std::uint64_t results_stale() const { return results_stale_; }
+
+ private:
+  DataEngineConfig config_;
+  switchsim::ResourceLedger ledger_;
+  switchsim::PipelineTiming timing_;
+  std::unique_ptr<FlowTracker> tracker_;
+  std::unique_ptr<BufferManager> buffers_;
+  std::unique_ptr<TokenBucket> bucket_;
+  ProbabilityLookupTable prob_table_;
+  double token_rate_v_;
+
+  // Per-flow last original-timestamp register for IPD computation.
+  std::unique_ptr<switchsim::RegisterArray> last_orig_t_;
+
+  // Preliminary classifier TCAM (installed lazily).
+  std::unique_ptr<switchsim::TernaryMatchTable> prelim_table_;
+  FeatureLayout prelim_layout_;
+
+  telemetry::RateMeter flow_rate_meter_{0.4};
+  telemetry::RateMeter packet_rate_meter_{0.4};
+
+  sim::SimTime last_window_tick_ = 0;
+  std::uint64_t packets_seen_ = 0;
+  std::uint64_t mirrors_sent_ = 0;
+  std::uint64_t results_applied_ = 0;
+  std::uint64_t results_stale_ = 0;
+};
+
+}  // namespace fenix::core

@@ -1,0 +1,88 @@
+// End-to-end FENIX system: Data Engine <-> PCB channels <-> Model Engine.
+//
+// Replays a trace through the switch data plane, ships mirrored feature
+// vectors to the FPGA over the board-level 100G channel, runs inference, and
+// returns verdicts to the Flow Info Table. Produces the measurements behind
+// Figure 10 (accuracy under scale) and Figure 11 (latency breakdown):
+// per-packet forwarding classifications, and internal-transmission /
+// inference / return-path latency distributions.
+#pragma once
+
+#include <memory>
+#include <queue>
+
+#include "core/data_engine.hpp"
+#include "core/model_engine.hpp"
+#include "sim/channel.hpp"
+#include "telemetry/latency.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace fenix::core {
+
+struct FenixSystemConfig {
+  /// data_engine.fpga_inference_rate_hz <= 0 derives F (Eq. 1) from the
+  /// bound Model Engine's sustained inference rate — the deployment-correct
+  /// setting, since the token rate V exists to protect exactly that engine.
+  DataEngineConfig data_engine;
+  ModelEngineConfig model_engine;
+
+  /// Board-level port channels between the Tofino and the FPGA (§6: multiple
+  /// 100 Gbps channels; we model one per direction).
+  double pcb_channel_bps = 100e9;
+  sim::SimDuration pcb_propagation = sim::nanoseconds(40);  ///< PCB trace flight.
+  /// Frame loss rate on the PCB channels (failure injection: signal-integrity
+  /// faults drop CRC-failing frames). 0 = healthy board.
+  double pcb_loss_rate = 0.0;
+};
+
+/// Aggregate measurements of one trace replay.
+struct RunReport {
+  telemetry::ConfusionMatrix packet_confusion;    ///< Forwarding class vs truth.
+  telemetry::ConfusionMatrix inference_confusion; ///< DNN verdicts vs truth.
+  telemetry::ConfusionMatrix flow_confusion;      ///< Final per-flow verdict vs truth
+                                                  ///< (flows never inferred = miss).
+  telemetry::LatencyRecorder internal_tx;  ///< Mirror deparser -> FPGA ingress.
+  telemetry::LatencyRecorder queueing;     ///< FPGA ingress -> array start.
+  telemetry::LatencyRecorder inference;    ///< Array compute (+ CDC crossings).
+  telemetry::LatencyRecorder return_tx;    ///< FPGA egress -> switch.
+  telemetry::LatencyRecorder end_to_end;   ///< Mirror emit -> verdict installed.
+
+  std::uint64_t packets = 0;
+  std::uint64_t mirrors = 0;
+  std::uint64_t fifo_drops = 0;
+  std::uint64_t channel_losses = 0;  ///< Mirrors or results lost in flight.
+  std::uint64_t results_applied = 0;
+  std::uint64_t results_stale = 0;
+  sim::SimDuration trace_duration = 0;
+
+  explicit RunReport(std::size_t num_classes)
+      : packet_confusion(num_classes), inference_confusion(num_classes),
+        flow_confusion(num_classes) {}
+};
+
+class FenixSystem {
+ public:
+  /// Binds the system to one quantized model (exactly one non-null).
+  FenixSystem(const FenixSystemConfig& config, const nn::QuantizedCnn* cnn,
+              const nn::QuantizedRnn* rnn);
+
+  /// Replays `trace` through the full system.
+  RunReport run(const net::Trace& trace, std::size_t num_classes);
+
+  DataEngine& data_engine() { return data_engine_; }
+  ModelEngine& model_engine() { return model_engine_; }
+  const sim::Channel& to_fpga() const { return to_fpga_; }
+  const sim::Channel& from_fpga() const { return from_fpga_; }
+
+ private:
+  static DataEngineConfig resolve_data_engine_config(FenixSystemConfig config,
+                                                     const ModelEngine& engine);
+
+  FenixSystemConfig config_;
+  ModelEngine model_engine_;  ///< Built first: the Data Engine derives V from it.
+  DataEngine data_engine_;
+  sim::Channel to_fpga_;
+  sim::Channel from_fpga_;
+};
+
+}  // namespace fenix::core

@@ -1,0 +1,131 @@
+#include "core/flow_tracker.hpp"
+
+namespace fenix::core {
+
+using switchsim::AluLane;
+using switchsim::AluPredicate;
+using switchsim::AluUpdate;
+
+FlowTracker::FlowTracker(switchsim::ResourceLedger& ledger,
+                         const FlowTrackerConfig& config)
+    : config_(config),
+      table_size_(std::size_t{1} << config.index_bits),
+      hash_(ledger, "flow_hash", config.first_stage, table_size_, 32),
+      bklog_n_(ledger, "bklog_n", config.first_stage + 1, table_size_, 32),
+      bklog_t_(ledger, "bklog_t", config.first_stage + 1, table_size_, 32),
+      class_(ledger, "flow_class", config.first_stage + 2, table_size_, 8),
+      buff_idx_(ledger, "buff_idx", config.first_stage + 2, table_size_, 8),
+      pkt_cnt_(ledger, "pkt_cnt", config.first_stage + 3, table_size_, 32),
+      counter_hash_(ledger, "flow_counter_hash", config.first_stage, table_size_, 32),
+      counter_hash_shadow_(ledger, "flow_counter_hash_shadow", config.first_stage,
+                           table_size_, 32) {}
+
+FlowState FlowTracker::on_packet(const net::FiveTuple& tuple, sim::SimTime now) {
+  FlowState state;
+  state.flow_hash = net::flow_hash32(tuple);
+  state.index = net::flow_index(tuple, config_.index_bits);
+  const std::uint32_t now_us = to_us(now);
+  ++window_packets_;
+
+  // Stage 0: fingerprint check-and-claim. The stateful ALU writes the new
+  // hash when the slot is empty or owned by a different flow (eviction), and
+  // reports the old value so we can classify the case.
+  const auto hash_result = hash_.execute(
+      state.index,
+      AluLane{AluPredicate::kStoredNe, state.flow_hash, AluUpdate::kAssign,
+              state.flow_hash});
+  const auto old_hash = static_cast<std::uint32_t>(hash_result.old_value);
+  if (old_hash == state.flow_hash) {
+    state.new_flow = false;
+  } else {
+    state.new_flow = true;
+    state.collision_evicted = old_hash != 0;
+    if (state.collision_evicted) ++collisions_;
+    ++tracked_flows_;
+    // Reset the recycled slot's per-flow state (same-stage ALU writes in the
+    // real pipeline; plain control-flow here).
+    bklog_n_.write(state.index, 0);
+    bklog_t_.write(state.index, now_us);
+    class_.write(state.index, 0);
+    buff_idx_.write(state.index, 0);
+    pkt_cnt_.write(state.index, 0);
+  }
+
+  // Flow counter (Figure 4a): independent hash registers detect flows that
+  // are new within the current window.
+  const auto counter_result = counter_hash_.execute(
+      state.index,
+      AluLane{AluPredicate::kStoredNe, state.flow_hash, AluUpdate::kAssign,
+              state.flow_hash});
+  if (static_cast<std::uint32_t>(counter_result.old_value) != state.flow_hash) {
+    ++window_new_flows_;
+  }
+
+  // Stage 1: backlog accumulators. C_i counts packets since the last feature
+  // transmission (including this one); T_i is the elapsed time since then.
+  const auto n_result =
+      bklog_n_.execute(state.index, AluLane{AluPredicate::kAlways, 0,
+                                            AluUpdate::kIncrement, 0});
+  state.backlog_count = static_cast<std::uint32_t>(n_result.new_value);
+  const auto last_sent_us = static_cast<std::uint32_t>(bklog_t_.read(state.index));
+  // Wrap-aware 32-bit subtraction, exactly as the switch ALU computes it.
+  const std::uint32_t age_us = now_us - last_sent_us;
+  state.backlog_age = static_cast<sim::SimDuration>(age_us) * sim::kMicrosecond;
+
+  // Stage 2: cached classification (stored as cls + 1; 0 means none).
+  const auto cls_raw = static_cast<std::uint8_t>(class_.read(state.index));
+  state.classification = cls_raw == 0 ? std::int16_t{-1}
+                                      : static_cast<std::int16_t>(cls_raw - 1);
+
+  // Stage 2: ring-buffer index, wrapping without modulo (Figure 4b): the ALU
+  // resets to 0 when the stored index reaches capacity-1, else increments.
+  // The packet uses the *old* value as its write slot.
+  const auto idx_result = buff_idx_.execute(
+      state.index,
+      AluLane{AluPredicate::kStoredGe, config_.ring_capacity - 1, AluUpdate::kAssign, 0},
+      AluLane{AluPredicate::kAlways, 0, AluUpdate::kIncrement, 0});
+  state.ring_slot = static_cast<std::uint32_t>(idx_result.old_value);
+
+  // Stage 3: total packet count.
+  const auto cnt_result =
+      pkt_cnt_.execute(state.index, AluLane{AluPredicate::kAlways, 0,
+                                            AluUpdate::kIncrement, 0});
+  state.packet_count = static_cast<std::uint32_t>(cnt_result.new_value);
+  return state;
+}
+
+void FlowTracker::record_feature_sent(std::uint32_t index, sim::SimTime now) {
+  bklog_n_.write(index, 0);
+  bklog_t_.write(index, to_us(now));
+}
+
+bool FlowTracker::apply_classification(const net::FiveTuple& tuple, std::int16_t cls) {
+  const std::uint32_t index = net::flow_index(tuple, config_.index_bits);
+  const std::uint32_t hash = net::flow_hash32(tuple);
+  if (static_cast<std::uint32_t>(hash_.read(index)) != hash) {
+    return false;  // slot recycled while the inference was in flight
+  }
+  if (cls < 0 || cls > 254) return false;
+  class_.write(index, static_cast<std::uint64_t>(cls) + 1);
+  return true;
+}
+
+std::int16_t FlowTracker::classification_of(const net::FiveTuple& tuple) const {
+  const std::uint32_t index = net::flow_index(tuple, config_.index_bits);
+  if (static_cast<std::uint32_t>(hash_.read(index)) != net::flow_hash32(tuple)) {
+    return -1;
+  }
+  const auto raw = static_cast<std::uint8_t>(class_.read(index));
+  return raw == 0 ? std::int16_t{-1} : static_cast<std::int16_t>(raw - 1);
+}
+
+void FlowTracker::reset_window() {
+  // Rotation: the active copy becomes the control plane's read copy (cleared
+  // here after readout) while counting continues in the other.
+  counter_hash_shadow_.clear();
+  counter_hash_.clear();
+  window_new_flows_ = 0;
+  window_packets_ = 0;
+}
+
+}  // namespace fenix::core

@@ -1,0 +1,107 @@
+// The Flow Tracker (§4.1): per-flow state in switch SRAM register arrays.
+//
+// The Flow Info Table is keyed by a truncated CRC of the five-tuple and
+// stores, per slot: the full 32-bit flow hash (collision detection), backlog
+// packet count and timestamp (the C_i / T_i inputs of the Rate Limiter),
+// the cached classification from the Model Engine, the ring-buffer index,
+// and the total packet count. A separate hash-register flow counter counts
+// new flows per timeout window T_w (Figure 4a); both it and the global packet
+// counter are read and reset by the control plane each window.
+//
+// All data-plane state lives in switchsim::RegisterArray objects so the
+// resource ledger sees exactly what a P4 compiler would allocate, and every
+// update is expressed as a stateful-ALU program.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/five_tuple.hpp"
+#include "net/hash.hpp"
+#include "sim/time.hpp"
+#include "switchsim/register_array.hpp"
+#include "switchsim/resources.hpp"
+
+namespace fenix::core {
+
+struct FlowTrackerConfig {
+  unsigned index_bits = 15;        ///< Flow Info Table slots = 2^index_bits.
+  unsigned ring_capacity = 8;      ///< Buffer Manager ring depth (F1..F8).
+  unsigned first_stage = 0;        ///< Pipeline stage of the first register.
+};
+
+/// Per-packet view of a flow's state after the Flow Tracker update.
+struct FlowState {
+  std::uint32_t index = 0;        ///< Flow Info Table slot.
+  std::uint32_t flow_hash = 0;    ///< 32-bit fingerprint.
+  bool new_flow = false;          ///< First packet of a (tracked) flow.
+  bool collision_evicted = false; ///< Slot was recycled from another flow.
+  std::uint32_t backlog_count = 0;///< C_i: packets since last feature send.
+  sim::SimDuration backlog_age = 0;///< T_i: time since last feature send.
+  std::int16_t classification = -1;///< Cached Model Engine verdict (-1 none).
+  std::uint32_t ring_slot = 0;    ///< buff_idx for this packet's feature.
+  std::uint32_t packet_count = 0; ///< Total packets of the flow.
+};
+
+class FlowTracker {
+ public:
+  FlowTracker(switchsim::ResourceLedger& ledger, const FlowTrackerConfig& config);
+
+  std::size_t table_size() const { return table_size_; }
+  const FlowTrackerConfig& config() const { return config_; }
+
+  /// Data-plane update for one packet. `now` drives T_i computation (the
+  /// tracker stores microsecond-truncated 32-bit timestamps, as the switch
+  /// does).
+  FlowState on_packet(const net::FiveTuple& tuple, sim::SimTime now);
+
+  /// Marks that the flow in `index` transmitted its features at `now`:
+  /// resets bklog_n and bklog_t (the C_i/T_i accumulators).
+  void record_feature_sent(std::uint32_t index, sim::SimTime now);
+
+  /// Applies an inference result returned by the Model Engine. Ignored when
+  /// the slot has been recycled to a different flow since the mirror left.
+  /// Returns true when the classification was stored.
+  bool apply_classification(const net::FiveTuple& tuple, std::int16_t cls);
+
+  /// Direct classification lookup (no state change).
+  std::int16_t classification_of(const net::FiveTuple& tuple) const;
+
+  // ---- window statistics (read + reset by the control plane each T_w) ----
+  std::uint64_t window_new_flows() const { return window_new_flows_; }
+  std::uint64_t window_packets() const { return window_packets_; }
+  void reset_window();
+
+  // ---- diagnostics ----
+  std::uint64_t collisions() const { return collisions_; }
+  std::uint64_t tracked_flows() const { return tracked_flows_; }
+
+ private:
+  static std::uint32_t to_us(sim::SimTime t) {
+    return static_cast<std::uint32_t>(t / sim::kMicrosecond);
+  }
+
+  FlowTrackerConfig config_;
+  std::size_t table_size_;
+
+  // Flow Info Table registers.
+  switchsim::RegisterArray hash_;
+  switchsim::RegisterArray bklog_n_;
+  switchsim::RegisterArray bklog_t_;
+  switchsim::RegisterArray class_;
+  switchsim::RegisterArray buff_idx_;
+  switchsim::RegisterArray pkt_cnt_;
+
+  // Flow counter (Figure 4a): hash registers + window counters. The counter
+  // is double-buffered so the control plane can read/reset one copy while
+  // the data plane keeps counting in the other at window rotation.
+  switchsim::RegisterArray counter_hash_;
+  switchsim::RegisterArray counter_hash_shadow_;
+  std::uint64_t window_new_flows_ = 0;
+  std::uint64_t window_packets_ = 0;
+
+  std::uint64_t collisions_ = 0;
+  std::uint64_t tracked_flows_ = 0;
+};
+
+}  // namespace fenix::core

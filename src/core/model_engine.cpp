@@ -1,0 +1,189 @@
+#include "core/model_engine.hpp"
+
+#include <stdexcept>
+
+namespace fenix::core {
+
+ModelEngine::ModelEngine(const ModelEngineConfig& config, const nn::QuantizedCnn* cnn,
+                         const nn::QuantizedRnn* rnn)
+    : config_(config), cnn_(cnn), rnn_(rnn), timer_(config.systolic),
+      vector_io_(config.flow_queue_depth) {
+  if ((cnn_ == nullptr) == (rnn_ == nullptr)) {
+    throw std::invalid_argument("ModelEngine: exactly one model must be bound");
+  }
+  const auto [latency, slowest_stage] = compute_cycles();
+  cycles_per_inference_ = latency;
+  ii_cycles_ = config_.layer_pipelined ? slowest_stage : latency;
+  if (config_.ii_override_cycles != 0) ii_cycles_ = config_.ii_override_cycles;
+  sync_latency_ = timer_.clock().cycles(config_.sync_cycles);
+}
+
+std::pair<std::uint64_t, std::uint64_t> ModelEngine::compute_cycles() const {
+  std::uint64_t total = 0;
+  std::uint64_t slowest = 0;
+  const auto add_stage = [&](std::uint64_t cycles) {
+    total += cycles;
+    slowest = std::max(slowest, cycles);
+  };
+  if (cnn_) {
+    const nn::CnnConfig& c = cnn_->config();
+    const auto T = static_cast<unsigned>(c.seq_len);
+    add_stage(timer_.embedding_cycles(2 * T));
+    unsigned in_ch = static_cast<unsigned>(c.embed_dim());
+    for (std::size_t i = 0; i < c.conv_channels.size(); ++i) {
+      const auto out_ch = static_cast<unsigned>(c.conv_channels[i]);
+      add_stage(timer_.conv1d_cycles(in_ch, out_ch,
+                                     static_cast<unsigned>(c.kernel), T));
+      in_ch = out_ch;
+    }
+    // Global average pool: one pass over T x C (C/cols lanes per cycle).
+    add_stage(T * ((in_ch + config_.systolic.cols - 1) / config_.systolic.cols));
+    unsigned in = in_ch;
+    for (std::size_t dim : c.fc_dims) {
+      add_stage(timer_.matvec_cycles(in, static_cast<unsigned>(dim)));
+      in = static_cast<unsigned>(dim);
+    }
+    add_stage(timer_.matvec_cycles(in, static_cast<unsigned>(c.num_classes)));
+  } else {
+    const nn::RnnConfig& c = rnn_->config();
+    const auto T = static_cast<unsigned>(c.seq_len);
+    add_stage(timer_.embedding_cycles(2 * T));
+    add_stage(timer_.recurrent_cycles(static_cast<unsigned>(c.embed_dim()),
+                                      static_cast<unsigned>(c.units), 1, T));
+    unsigned in = static_cast<unsigned>(c.units);
+    for (std::size_t dim : c.fc_dims) {
+      add_stage(timer_.matvec_cycles(in, static_cast<unsigned>(dim)));
+      in = static_cast<unsigned>(dim);
+    }
+    add_stage(timer_.matvec_cycles(in, static_cast<unsigned>(c.num_classes)));
+  }
+  return {total, slowest};
+}
+
+double ModelEngine::inference_rate_hz() const {
+  const double cycle_time_s = 1.0 / config_.systolic.clock_hz;
+  return 1.0 / (static_cast<double>(ii_cycles_) * cycle_time_s);
+}
+
+void ModelEngine::begin_reconfiguration(sim::SimTime now, const nn::QuantizedCnn* cnn,
+                                        const nn::QuantizedRnn* rnn,
+                                        sim::SimDuration duration) {
+  if ((cnn == nullptr) == (rnn == nullptr)) {
+    throw std::invalid_argument(
+        "ModelEngine::begin_reconfiguration: exactly one model must be bound");
+  }
+  cnn_ = cnn;
+  rnn_ = rnn;
+  const auto [latency, slowest_stage] = compute_cycles();
+  cycles_per_inference_ = latency;
+  ii_cycles_ = config_.layer_pipelined ? slowest_stage : latency;
+  if (config_.ii_override_cycles != 0) ii_cycles_ = config_.ii_override_cycles;
+  reconfig_until_ = now + duration;
+  // In-flight work is abandoned with the old bitstream region, including the
+  // identifiers waiting in the Vector I/O Processor's queue.
+  pending_finishes_.clear();
+  vector_io_.reset();
+  array_free_at_ = reconfig_until_;
+  ++stats_.reconfigurations;
+}
+
+std::optional<net::InferenceResult> ModelEngine::submit(const net::FeatureVector& vec,
+                                                        sim::SimTime arrival) {
+  if (arrival < reconfig_until_) {
+    ++stats_.reconfig_drops;
+    return std::nullopt;
+  }
+  // Drain completed inferences from the input-FIFO occupancy model.
+  while (!pending_finishes_.empty() && pending_finishes_.front() <= arrival) {
+    pending_finishes_.pop_front();
+  }
+  if (pending_finishes_.size() >= config_.input_queue_depth) {
+    ++stats_.input_drops;
+    return std::nullopt;
+  }
+
+  // Vector I/O Processor: split identifier from features; the identifier
+  // parks in the Flow Identifier Queue until the inference output emerges.
+  const auto parsed = vector_io_.ingest(vec);
+  if (!parsed) {
+    ++stats_.input_drops;
+    return std::nullopt;
+  }
+
+  // The vector becomes visible to the inference clock domain after the CDC
+  // synchronizer, then waits for the pipeline's next initiation slot.
+  const sim::SimTime visible = arrival + sync_latency_;
+  const sim::SimTime start = visible > array_free_at_ ? visible : array_free_at_;
+  const sim::SimTime finish = start + timer_.to_time(cycles_per_inference_);
+  array_free_at_ = start + timer_.to_time(ii_cycles_);
+  pending_finishes_.push_back(finish);
+
+  // Functional inference: pad/trim the on-wire sequence to the model's
+  // synthesis-time length.
+  const std::size_t seq_len = cnn_ ? cnn_->config().seq_len : rnn_->config().seq_len;
+  const auto tokens = nn::tokenize(parsed->features, seq_len);
+  const std::int16_t predicted =
+      cnn_ ? cnn_->predict(tokens) : rnn_->predict(tokens);
+  ++stats_.inferences;
+
+  // Output pairing: the result re-acquires its identity from the queue head
+  // and crosses back through the output async FIFO.
+  return vector_io_.pair(predicted, start, finish + sync_latency_);
+}
+
+std::vector<fpgasim::ResourceEstimate> ModelEngine::resource_report() const {
+  std::vector<fpgasim::ResourceEstimate> report;
+  const fpgasim::CostModel& cm = config_.cost_model;
+  if (cnn_) {
+    const nn::CnnConfig& c = cnn_->config();
+    report.push_back(fpgasim::estimate_embedding(
+        cm, static_cast<unsigned>(nn::kLenVocab + nn::kIpdVocab),
+        static_cast<unsigned>(c.embed_dim()), static_cast<unsigned>(2 * c.seq_len)));
+    std::vector<unsigned> channels{static_cast<unsigned>(c.embed_dim())};
+    for (std::size_t ch : c.conv_channels) channels.push_back(static_cast<unsigned>(ch));
+    report.push_back(fpgasim::estimate_conv_stack(
+        cm, channels, static_cast<unsigned>(c.kernel), config_.conv_lanes));
+    // FC stack reported as one module (Table 4 row "FC").
+    fpgasim::ResourceEstimate fc;
+    fc.module = "FC";
+    unsigned in = channels.back();
+    bool first = true;
+    for (std::size_t dim : c.fc_dims) {
+      auto est = fpgasim::estimate_fc(cm, in, static_cast<unsigned>(dim),
+                                      first ? config_.fc_lanes : config_.fc_lanes / 4);
+      fc += est;
+      in = static_cast<unsigned>(dim);
+      first = false;
+    }
+    fc += fpgasim::estimate_fc(cm, in, static_cast<unsigned>(c.num_classes),
+                               config_.fc_lanes / 8);
+    report.push_back(fc);
+  } else {
+    const nn::RnnConfig& c = rnn_->config();
+    report.push_back(fpgasim::estimate_embedding(
+        cm, static_cast<unsigned>(nn::kLenVocab + nn::kIpdVocab),
+        static_cast<unsigned>(c.embed_dim()), static_cast<unsigned>(2 * c.seq_len)));
+    report.push_back(fpgasim::estimate_recurrent(
+        cm, static_cast<unsigned>(c.embed_dim()), static_cast<unsigned>(c.units), 1,
+        config_.recurrent_lanes));
+    fpgasim::ResourceEstimate fc;
+    fc.module = "FC";
+    unsigned in = static_cast<unsigned>(c.units);
+    bool first = true;
+    for (std::size_t dim : c.fc_dims) {
+      fc += fpgasim::estimate_fc(cm, in, static_cast<unsigned>(dim),
+                                 first ? config_.fc_lanes : config_.fc_lanes / 4);
+      in = static_cast<unsigned>(dim);
+      first = false;
+    }
+    fc += fpgasim::estimate_fc(cm, in, static_cast<unsigned>(c.num_classes),
+                               config_.fc_lanes / 8);
+    report.push_back(fc);
+  }
+  // Vector I/O Processor: 512-bit datapath at 100G, three FIFOs.
+  report.push_back(fpgasim::estimate_vector_io(
+      cm, 512, static_cast<unsigned>(config_.input_queue_depth), 512));
+  return report;
+}
+
+}  // namespace fenix::core

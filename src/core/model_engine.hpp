@@ -1,0 +1,127 @@
+// The Model Engine (§5): Vector I/O Processor + DNN Inference Module on the
+// FPGA.
+//
+// Functional behaviour comes from the INT8-quantized models (nn::QuantizedCnn
+// / nn::QuantizedRnn) — the exact arithmetic the systolic array executes.
+// Timing comes from the fpgasim cycle model: per inference, embedding lookup
+// cycles plus the layer-by-layer systolic schedule, serialized on the shared
+// array. Flow identifiers ride a FIFO alongside the compute path and are
+// re-paired with results in arrival order (§5.1); input/output crossings use
+// async FIFOs with a synchronizer latency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/vector_io.hpp"
+#include "fpgasim/device.hpp"
+#include "fpgasim/resource_model.hpp"
+#include "fpgasim/systolic.hpp"
+#include "net/feature.hpp"
+#include "nn/quantize.hpp"
+
+namespace fenix::core {
+
+struct ModelEngineConfig {
+  fpgasim::SystolicConfig systolic;
+  fpgasim::DeviceProfile device = fpgasim::DeviceProfile::zu19eg();
+
+  std::size_t input_queue_depth = 64;   ///< Feature async-FIFO (bounds bucket cap).
+  std::size_t flow_queue_depth = 64;    ///< Flow Identifier Queue.
+  unsigned sync_cycles = 4;             ///< CDC synchronizer latency per crossing.
+
+  /// Layer-pipelined dataflow (§5.2: "Asynchronous FIFO queues decouple
+  /// dataflow between layers and enable efficient pipelining"): each layer
+  /// block starts the next inference as soon as it hands off the current
+  /// one, so the initiation interval is the slowest layer's cycles, not the
+  /// whole network's. false = one shared array, fully serialized.
+  bool layer_pipelined = true;
+
+  /// Nonzero forces the initiation interval to this many cycles regardless
+  /// of the layer schedule. Used by the Figure 10 scaling study to model the
+  /// paper's claimed 75 Mpps Model Engine processing rate (Figure 6's
+  /// parameters), which implies a far deeper pipeline than the cycle model
+  /// derives; see EXPERIMENTS.md for the discussion.
+  std::uint64_t ii_override_cycles = 0;
+
+  // Per-module MAC lane budgets for the resource estimate (Table 4). These
+  // describe the synthesized module sizes, not the shared-array timing.
+  unsigned conv_lanes = 3072;
+  unsigned fc_lanes = 1024;
+  unsigned recurrent_lanes = 1792;
+  fpgasim::CostModel cost_model;
+};
+
+struct ModelEngineStats {
+  std::uint64_t inferences = 0;
+  std::uint64_t input_drops = 0;  ///< Feature vectors lost to FIFO overflow.
+  std::uint64_t reconfig_drops = 0;  ///< Vectors arriving mid-reconfiguration.
+  std::uint64_t reconfigurations = 0;
+};
+
+class ModelEngine {
+ public:
+  /// Exactly one of `cnn` / `rnn` must be non-null; the engine does not own
+  /// the model (synthesis-time binding, §5.2).
+  ModelEngine(const ModelEngineConfig& config, const nn::QuantizedCnn* cnn,
+              const nn::QuantizedRnn* rnn);
+
+  /// Processes a feature vector arriving at the FPGA at `arrival`. Returns
+  /// the inference result with start/finish timestamps, or nullopt when the
+  /// input FIFO would overflow (the vector is dropped).
+  std::optional<net::InferenceResult> submit(const net::FeatureVector& vec,
+                                             sim::SimTime arrival);
+
+  /// Pure compute latency of one inference (pipeline empty).
+  sim::SimDuration inference_latency() const { return timer_.to_time(cycles_per_inference_); }
+  std::uint64_t cycles_per_inference() const { return cycles_per_inference_; }
+
+  /// Initiation interval: cycles between back-to-back inference starts.
+  std::uint64_t initiation_interval_cycles() const { return ii_cycles_; }
+
+  /// Sustained inference rate (1/s) when the pipeline is saturated.
+  double inference_rate_hz() const;
+
+  /// Per-module FPGA resource estimates (Table 4 rows).
+  std::vector<fpgasim::ResourceEstimate> resource_report() const;
+
+  /// Partial dynamic reconfiguration (§2 / §8): swaps the bound model
+  /// without disturbing switch forwarding. The engine drops feature vectors
+  /// for `duration` (typical partial-bitstream loads are tens of
+  /// milliseconds), then resumes with the new model's timing and weights.
+  /// Exactly one of `cnn` / `rnn` must be non-null.
+  void begin_reconfiguration(sim::SimTime now, const nn::QuantizedCnn* cnn,
+                             const nn::QuantizedRnn* rnn,
+                             sim::SimDuration duration = sim::milliseconds(20));
+
+  /// True while a reconfiguration is in progress at `now`.
+  bool reconfiguring(sim::SimTime now) const { return now < reconfig_until_; }
+
+  const ModelEngineStats& stats() const { return stats_; }
+  const ModelEngineConfig& config() const { return config_; }
+  const VectorIoProcessor& vector_io() const { return vector_io_; }
+  bool is_cnn() const { return cnn_ != nullptr; }
+
+ private:
+  /// Computes (total latency cycles, slowest layer-stage cycles).
+  std::pair<std::uint64_t, std::uint64_t> compute_cycles() const;
+
+  ModelEngineConfig config_;
+  const nn::QuantizedCnn* cnn_;
+  const nn::QuantizedRnn* rnn_;
+  fpgasim::SystolicTimer timer_;
+  std::uint64_t cycles_per_inference_ = 0;
+  std::uint64_t ii_cycles_ = 0;
+  sim::SimDuration sync_latency_;
+
+  VectorIoProcessor vector_io_{64};
+  sim::SimTime array_free_at_ = 0;  ///< Next admissible inference start.
+  sim::SimTime reconfig_until_ = 0;
+  std::deque<sim::SimTime> pending_finishes_;  ///< Occupancy of the input FIFO.
+  ModelEngineStats stats_;
+};
+
+}  // namespace fenix::core

@@ -1,0 +1,32 @@
+#include "core/model_pool.hpp"
+
+namespace fenix::core {
+
+fpgasim::ResourceEstimate ModelPool::total_of(const ModelEngine& engine) {
+  fpgasim::ResourceEstimate total;
+  total.module = "engine";
+  for (const auto& est : engine.resource_report()) total += est;
+  return total;
+}
+
+std::size_t ModelPool::add_engine(ModelEngineConfig config,
+                                  const nn::QuantizedCnn* cnn,
+                                  const nn::QuantizedRnn* rnn) {
+  auto engine = std::make_unique<ModelEngine>(config, cnn, rnn);
+  fpgasim::ResourceEstimate candidate = pooled_;
+  candidate += total_of(*engine);
+  // Routing crossbar + arbiter margin: 3% LUT/FF per resident engine.
+  const double margin = 0.03 * static_cast<double>(engines_.size() + 1);
+  const auto util = fpgasim::utilization(candidate, device_);
+  if (util.lut + margin > 1.0 || util.ff + margin > 1.0 || util.bram > 1.0 ||
+      util.uram > 1.0 || util.dsp > 1.0) {
+    throw DeviceOvercommit("model pool would exceed the " + device_.name +
+                           " envelope with engine #" +
+                           std::to_string(engines_.size() + 1));
+  }
+  pooled_ = candidate;
+  engines_.push_back(std::move(engine));
+  return engines_.size() - 1;
+}
+
+}  // namespace fenix::core

@@ -1,0 +1,65 @@
+// Multi-model deployment (§8 "Automation and Future Directions").
+//
+// The ZU19EG has headroom beyond one Model Engine (Table 4 leaves >50% of
+// every resource free), so several task-specific engines can be resident at
+// once — e.g. a VPN classifier and a malware classifier sharing the FPGA,
+// with the switch steering each mirrored vector to the engine its mirror
+// session selects. The pool validates that the combined synthesis fits the
+// device before admitting an engine, routes submissions by task id, and
+// supports per-engine hot-swap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/model_engine.hpp"
+
+namespace fenix::core {
+
+/// Thrown when an engine would not fit the remaining FPGA resources.
+class DeviceOvercommit : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ModelPool {
+ public:
+  /// All engines share one device envelope.
+  explicit ModelPool(fpgasim::DeviceProfile device) : device_(std::move(device)) {}
+
+  /// Adds an engine for `task`. Throws DeviceOvercommit when the pooled
+  /// resource estimate would exceed the device (with a routing/arbiter
+  /// overhead margin). Returns the task id.
+  std::size_t add_engine(ModelEngineConfig config, const nn::QuantizedCnn* cnn,
+                         const nn::QuantizedRnn* rnn);
+
+  std::size_t size() const { return engines_.size(); }
+  ModelEngine& engine(std::size_t task) { return *engines_.at(task); }
+  const ModelEngine& engine(std::size_t task) const { return *engines_.at(task); }
+
+  /// Routes a feature vector to the engine serving `task`.
+  std::optional<net::InferenceResult> submit(std::size_t task,
+                                             const net::FeatureVector& vec,
+                                             sim::SimTime arrival) {
+    return engines_.at(task)->submit(vec, arrival);
+  }
+
+  /// Pooled resource utilization across all resident engines.
+  fpgasim::Utilization utilization() const {
+    return fpgasim::utilization(pooled_, device_);
+  }
+
+  const fpgasim::DeviceProfile& device() const { return device_; }
+
+ private:
+  static fpgasim::ResourceEstimate total_of(const ModelEngine& engine);
+
+  fpgasim::DeviceProfile device_;
+  fpgasim::ResourceEstimate pooled_;
+  std::vector<std::unique_ptr<ModelEngine>> engines_;
+};
+
+}  // namespace fenix::core

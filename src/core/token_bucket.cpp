@@ -1,0 +1,65 @@
+#include "core/token_bucket.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fenix::core {
+namespace {
+
+sim::SimDuration rate_to_cost_ps(double token_rate_v) {
+  if (token_rate_v <= 0.0) return sim::kSecond;
+  const double cost = static_cast<double>(sim::kSecond) / token_rate_v;
+  return std::max<sim::SimDuration>(1, static_cast<sim::SimDuration>(cost));
+}
+
+}  // namespace
+
+TokenBucket::TokenBucket(const TokenBucketConfig& config)
+    : cost_ps_(rate_to_cost_ps(config.token_rate_v)),
+      cap_ps_(static_cast<sim::SimDuration>(
+          static_cast<double>(rate_to_cost_ps(config.token_rate_v)) *
+          config.capacity_tokens)),
+      capacity_tokens_(config.capacity_tokens),
+      rng_(config.seed) {}
+
+void TokenBucket::set_token_rate(double token_rate_v) {
+  const double tokens_now = tokens();
+  cost_ps_ = rate_to_cost_ps(token_rate_v);
+  cap_ps_ = static_cast<sim::SimDuration>(static_cast<double>(cost_ps_) *
+                                          capacity_tokens_);
+  bucket_ps_ = std::min<sim::SimDuration>(
+      cap_ps_,
+      static_cast<sim::SimDuration>(tokens_now * static_cast<double>(cost_ps_)));
+}
+
+bool TokenBucket::on_packet(sim::SimTime now, std::uint16_t prob_fixed) {
+  ++stats_.attempts;
+  // Lines 1-5: compute the refill gap.
+  sim::SimDuration gap = 0;
+  if (first_) {
+    first_ = false;
+  } else {
+    gap = now >= t_last_ ? now - t_last_ : 0;
+  }
+  t_last_ = now;
+
+  // Line 7: refill, capped to the queue-bounded capacity.
+  bucket_ps_ = std::min(cap_ps_, bucket_ps_ + gap);
+
+  // Line 6 + 8: 16-bit hardware random vs table probability.
+  const auto rand16 = static_cast<std::uint16_t>(rng_() & 0xffff);
+  if (rand16 >= prob_fixed) {
+    ++stats_.prob_rejections;
+    return false;
+  }
+  // Lines 9-12: consume a token if available.
+  if (bucket_ps_ < cost_ps_) {
+    ++stats_.token_rejections;
+    return false;
+  }
+  bucket_ps_ -= cost_ps_;
+  ++stats_.grants;
+  return true;
+}
+
+}  // namespace fenix::core

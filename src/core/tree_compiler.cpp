@@ -1,0 +1,130 @@
+#include "core/tree_compiler.hpp"
+
+#include <cmath>
+#include <functional>
+
+namespace fenix::core {
+namespace {
+
+struct Range {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;  ///< Inclusive.
+};
+
+/// Walks the tree, yielding (per-feature ranges, leaf class) per leaf.
+void walk(const trees::DecisionTree& tree, const FeatureLayout& layout,
+          const std::function<void(const std::vector<Range>&, std::int16_t)>& yield) {
+  std::vector<Range> ranges(layout.widths.size());
+  for (std::size_t f = 0; f < ranges.size(); ++f) {
+    ranges[f].hi = layout.widths[f] >= 64 ? ~0ULL : ((1ULL << layout.widths[f]) - 1);
+  }
+  std::function<void(std::size_t)> recurse = [&](std::size_t node_idx) {
+    const trees::TreeNode& node = tree.nodes()[node_idx];
+    if (node.feature < 0) {
+      yield(ranges, node.leaf_class);
+      return;
+    }
+    const auto f = static_cast<std::size_t>(node.feature);
+    // Integer semantics: x <= floor(threshold) goes left.
+    const auto cut = static_cast<std::int64_t>(std::floor(node.threshold));
+    const Range saved = ranges[f];
+    // Left: [lo, min(hi, cut)].
+    if (cut >= 0 && static_cast<std::uint64_t>(cut) >= saved.lo) {
+      ranges[f].hi = std::min(saved.hi, static_cast<std::uint64_t>(cut));
+      if (ranges[f].lo <= ranges[f].hi) recurse(static_cast<std::size_t>(node.left));
+      ranges[f] = saved;
+    }
+    // Right: [max(lo, cut+1), hi].
+    const std::uint64_t right_lo =
+        cut < 0 ? 0 : static_cast<std::uint64_t>(cut) + 1;
+    if (right_lo <= saved.hi) {
+      ranges[f].lo = std::max(saved.lo, right_lo);
+      if (ranges[f].lo <= ranges[f].hi) recurse(static_cast<std::size_t>(node.right));
+      ranges[f] = saved;
+    }
+  };
+  recurse(0);
+}
+
+}  // namespace
+
+std::uint64_t pack_key(const FeatureLayout& layout,
+                       const std::vector<std::uint64_t>& values) {
+  std::uint64_t key = 0;
+  for (std::size_t f = 0; f < layout.widths.size(); ++f) {
+    const unsigned w = layout.widths[f];
+    const std::uint64_t mask = w >= 64 ? ~0ULL : ((1ULL << w) - 1);
+    key = (key << w) | (values[f] & mask);
+  }
+  return key;
+}
+
+std::vector<CompiledRule> compile_tree(const trees::DecisionTree& tree,
+                                       const FeatureLayout& layout) {
+  std::vector<CompiledRule> rules;
+  walk(tree, layout, [&](const std::vector<Range>& ranges, std::int16_t cls) {
+    // Prefix expansion per feature, then cross product.
+    std::vector<std::vector<switchsim::PrefixMask>> expansions(ranges.size());
+    for (std::size_t f = 0; f < ranges.size(); ++f) {
+      expansions[f] = switchsim::expand_range_to_prefixes(ranges[f].lo, ranges[f].hi,
+                                                          layout.widths[f]);
+      if (expansions[f].empty()) return;  // empty range: unreachable leaf
+    }
+    std::vector<std::size_t> pick(ranges.size(), 0);
+    for (;;) {
+      CompiledRule rule;
+      rule.leaf_class = cls;
+      for (std::size_t f = 0; f < ranges.size(); ++f) {
+        const unsigned w = layout.widths[f];
+        const auto& pm = expansions[f][pick[f]];
+        rule.value = (rule.value << w) | pm.value;
+        rule.mask = (rule.mask << w) | pm.mask;
+      }
+      rules.push_back(rule);
+      // Advance the mixed-radix counter.
+      std::size_t f = 0;
+      while (f < pick.size()) {
+        if (++pick[f] < expansions[f].size()) break;
+        pick[f] = 0;
+        ++f;
+      }
+      if (f == pick.size()) break;
+    }
+  });
+  return rules;
+}
+
+std::uint64_t count_tree_entries(const trees::DecisionTree& tree,
+                                 const FeatureLayout& layout) {
+  std::uint64_t total = 0;
+  walk(tree, layout, [&](const std::vector<Range>& ranges, std::int16_t) {
+    std::uint64_t product = 1;
+    for (std::size_t f = 0; f < ranges.size(); ++f) {
+      const auto expansion = switchsim::expand_range_to_prefixes(
+          ranges[f].lo, ranges[f].hi, layout.widths[f]);
+      if (expansion.empty()) return;
+      product *= expansion.size();
+    }
+    total += product;
+  });
+  return total;
+}
+
+std::size_t install_rules(const std::vector<CompiledRule>& rules,
+                          switchsim::TernaryMatchTable& table) {
+  std::size_t installed = 0;
+  for (const CompiledRule& rule : rules) {
+    switchsim::TernaryEntry entry;
+    entry.value = rule.value;
+    entry.mask = rule.mask;
+    entry.priority = static_cast<std::uint32_t>(installed);
+    entry.action.action_id = 1;
+    entry.action.action_data = static_cast<std::uint64_t>(
+        static_cast<std::uint16_t>(rule.leaf_class));
+    if (!table.insert(entry)) break;
+    ++installed;
+  }
+  return installed;
+}
+
+}  // namespace fenix::core

@@ -1,0 +1,59 @@
+// Decision-tree-to-TCAM compilation.
+//
+// Tree baselines (Leo, NetBeacon) and the Flow Tracker's preliminary
+// classifier execute as match-action lookups: every root-to-leaf path is a
+// conjunction of per-feature integer ranges, each range expands to TCAM
+// prefixes, and the cross product of the per-feature prefix sets becomes the
+// leaf's ternary entries. This module performs that compilation for trees
+// over integer features and reports the entry cost (the quantity that drives
+// NetBeacon's TCAM column in Table 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "switchsim/match_table.hpp"
+#include "trees/decision_tree.hpp"
+
+namespace fenix::core {
+
+/// Integer feature layout: each feature occupies `width` bits of the
+/// concatenated TCAM key (feature 0 in the most significant bits). Total
+/// width must be <= 64.
+struct FeatureLayout {
+  std::vector<unsigned> widths;
+
+  unsigned total_bits() const {
+    unsigned sum = 0;
+    for (unsigned w : widths) sum += w;
+    return sum;
+  }
+};
+
+/// Packs integer feature values into a TCAM key per the layout.
+std::uint64_t pack_key(const FeatureLayout& layout,
+                       const std::vector<std::uint64_t>& values);
+
+/// One compiled ternary rule.
+struct CompiledRule {
+  std::uint64_t value = 0;
+  std::uint64_t mask = 0;
+  std::int16_t leaf_class = 0;
+};
+
+/// Compiles `tree` (whose split features index into `layout`) into ternary
+/// rules. Thresholds are floored to integers: x <= t goes left.
+std::vector<CompiledRule> compile_tree(const trees::DecisionTree& tree,
+                                       const FeatureLayout& layout);
+
+/// Counts the entries compile_tree would produce without materializing them
+/// (for resource accounting of large trees).
+std::uint64_t count_tree_entries(const trees::DecisionTree& tree,
+                                 const FeatureLayout& layout);
+
+/// Installs compiled rules into a ternary table. Returns the number of rules
+/// actually installed (stops at capacity).
+std::size_t install_rules(const std::vector<CompiledRule>& rules,
+                          switchsim::TernaryMatchTable& table);
+
+}  // namespace fenix::core

@@ -1,0 +1,91 @@
+// The Vector I/O Processor (§5.1).
+//
+// Splits each mirrored packet into a flow identifier and its feature vector,
+// parks the identifier in the Flow Identifier Queue while the DNN Inference
+// Module works, and re-pairs every inference output with the queue head —
+// preserving flow-to-result correspondence purely by FIFO order, exactly as
+// the hardware does (the compute path never carries the identifier).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/feature.hpp"
+#include "sim/fifo.hpp"
+
+namespace fenix::core {
+
+/// One parsed mirrored packet.
+struct ParsedVector {
+  std::vector<net::PacketFeature> features;
+};
+
+struct VectorIoStats {
+  std::uint64_t ingested = 0;
+  std::uint64_t queue_drops = 0;   ///< Identifier queue full.
+  std::uint64_t paired = 0;
+  std::uint64_t orphan_results = 0;///< Results with no outstanding identifier.
+};
+
+class VectorIoProcessor {
+ public:
+  explicit VectorIoProcessor(std::size_t queue_depth) : identifiers_(queue_depth) {}
+
+  /// Parses a mirrored packet: the five-tuple (+ flow id) enters the Flow
+  /// Identifier Queue, the feature sequence goes to the inference path.
+  /// Returns nullopt (drop) when the identifier queue is full — the paired
+  /// inference slot would be unattributable.
+  std::optional<ParsedVector> ingest(const net::FeatureVector& packet) {
+    Identifier id;
+    id.tuple = packet.tuple;
+    id.flow_id = packet.flow_id;
+    if (!identifiers_.push(id)) {
+      ++stats_.queue_drops;
+      return std::nullopt;
+    }
+    ++stats_.ingested;
+    ParsedVector parsed;
+    parsed.features = packet.sequence;
+    return parsed;
+  }
+
+  /// Pairs an inference output with the oldest outstanding identifier and
+  /// assembles the result packet for the switch. Returns nullopt if no
+  /// identifier is outstanding (a protocol violation, counted).
+  std::optional<net::InferenceResult> pair(std::int16_t predicted_class,
+                                           sim::SimTime started,
+                                           sim::SimTime finished) {
+    const auto id = identifiers_.pop();
+    if (!id) {
+      ++stats_.orphan_results;
+      return std::nullopt;
+    }
+    ++stats_.paired;
+    net::InferenceResult result;
+    result.tuple = id->tuple;
+    result.flow_id = id->flow_id;
+    result.predicted_class = predicted_class;
+    result.inference_started = started;
+    result.inference_finished = finished;
+    return result;
+  }
+
+  std::size_t outstanding() const { return identifiers_.size(); }
+  const VectorIoStats& stats() const { return stats_; }
+
+  /// Clears outstanding identifiers (partial reconfiguration abandons the
+  /// in-flight work they were waiting for).
+  void reset() { identifiers_.clear(); }
+
+ private:
+  struct Identifier {
+    net::FiveTuple tuple;
+    std::uint32_t flow_id = 0;
+  };
+
+  sim::Fifo<Identifier> identifiers_;
+  VectorIoStats stats_;
+};
+
+}  // namespace fenix::core

@@ -1,0 +1,17 @@
+#include "fpgasim/device.hpp"
+
+namespace fenix::fpgasim {
+
+DeviceProfile DeviceProfile::zu19eg() {
+  DeviceProfile d;
+  d.name = "Xilinx ZU19EG";
+  d.luts = 522'720;
+  d.flip_flops = 1'045'440;
+  d.bram36_blocks = 984;
+  d.uram_blocks = 128;
+  d.dsp_slices = 1'968;
+  d.fabric_clock_hz = 300e6;  // timing closure target of the Model Engine
+  return d;
+}
+
+}  // namespace fenix::fpgasim

@@ -1,0 +1,33 @@
+// FPGA device profiles.
+//
+// The FENIX prototype uses a Xilinx Zynq UltraScale+ ZU19EG: ~1.14M logic
+// cells (§6), which corresponds to 522,720 6-input LUTs and 1,045,440
+// flip-flops, 984 BRAM36 blocks plus 128 URAM288 blocks (~80 Mbit on-chip
+// memory combined), and 1,968 DSP48E2 slices. Table 4's utilization
+// percentages are computed against this envelope.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fenix::fpgasim {
+
+/// Static resource envelope of an FPGA device.
+struct DeviceProfile {
+  std::string name;
+  std::uint64_t luts = 0;
+  std::uint64_t flip_flops = 0;
+  std::uint64_t bram36_blocks = 0;  ///< 36 Kbit block RAMs.
+  std::uint64_t uram_blocks = 0;    ///< 288 Kbit UltraRAMs.
+  std::uint64_t dsp_slices = 0;
+  double fabric_clock_hz = 0.0;     ///< Achievable fabric clock for this design.
+
+  /// Total on-chip memory bits (BRAM + URAM).
+  std::uint64_t memory_bits() const {
+    return bram36_blocks * 36'864ULL + uram_blocks * 294'912ULL;
+  }
+
+  static DeviceProfile zu19eg();
+};
+
+}  // namespace fenix::fpgasim

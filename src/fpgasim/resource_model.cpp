@@ -1,0 +1,146 @@
+#include "fpgasim/resource_model.hpp"
+
+#include <cmath>
+
+namespace fenix::fpgasim {
+namespace {
+
+constexpr double kBram36Bits = 36'864.0;
+constexpr double kUram288Bits = 294'912.0;
+
+/// Splits `lanes` MAC lanes between DSP slices and LUT fabric per the policy.
+void add_mac_lanes(const CostModel& cm, std::uint64_t lanes, ResourceEstimate& est) {
+  const auto dsp_lanes = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(lanes) * cm.dsp_share));
+  const std::uint64_t lut_lanes = lanes - dsp_lanes;
+  est.dsps += (dsp_lanes + 1) / 2;  // one DSP48E2 packs two INT8 multiplies
+  est.luts += lut_lanes * cm.luts_per_mac + lanes * cm.luts_per_lane_ctrl;
+  est.flip_flops += lut_lanes * cm.ffs_per_mac + lanes * cm.ffs_per_lane_ctrl;
+}
+
+/// Charges weight storage of `bits` to BRAM with ping-pong copies; tensors
+/// above the spill threshold live in URAM with only a tile cache in BRAM.
+void add_weight_memory(const CostModel& cm, std::uint64_t bits, ResourceEstimate& est) {
+  const double buffered = static_cast<double>(bits) * cm.weight_buffer_copies;
+  if (bits > cm.uram_spill_bits) {
+    est.uram += buffered / kUram288Bits;
+    est.bram36 += buffered / 8.0 / kBram36Bits;  // active tile cache
+  } else {
+    est.bram36 += buffered / kBram36Bits;
+  }
+}
+
+}  // namespace
+
+ResourceEstimate estimate_embedding(const CostModel& cm, unsigned vocab, unsigned dim,
+                                    unsigned parallel) {
+  ResourceEstimate est;
+  est.module = "Embedding";
+  // LUT-ROM: each 6-input LUT provides 64 ROM bits; the x2 covers address
+  // decode and output muxing. Replicated per parallel lookup port
+  // (distributed ROM has a single read port per copy).
+  const std::uint64_t rom_bits = static_cast<std::uint64_t>(vocab) * dim * 8;
+  est.luts += (rom_bits / 64 + 1) * parallel * 2;
+  est.luts += cm.module_fixed_luts;
+  // Pipeline registers track the ROM fabric, plus output/address registers.
+  est.flip_flops += est.luts * 2;
+  est.flip_flops += static_cast<std::uint64_t>(dim) * 8 * parallel * 4;
+  est.flip_flops += cm.module_fixed_ffs;
+  // Reloadable master copies of the table in BRAM.
+  est.bram36 += static_cast<double>(rom_bits) * 4.0 / kBram36Bits;
+  return est;
+}
+
+ResourceEstimate estimate_fc(const CostModel& cm, unsigned in_dim, unsigned out_dim,
+                             unsigned lanes) {
+  ResourceEstimate est;
+  est.module = "FC";
+  add_mac_lanes(cm, lanes, est);
+  const std::uint64_t weight_bits =
+      static_cast<std::uint64_t>(in_dim) * out_dim * 8 + out_dim * 32;  // + biases
+  add_weight_memory(cm, weight_bits, est);
+  est.luts += cm.module_fixed_luts;
+  est.flip_flops += cm.module_fixed_ffs;
+  return est;
+}
+
+ResourceEstimate estimate_conv_stack(const CostModel& cm,
+                                     const std::vector<unsigned>& channels,
+                                     unsigned kernel, unsigned lanes) {
+  ResourceEstimate est;
+  est.module = "Convolutional";
+  if (channels.size() < 2) return est;
+  add_mac_lanes(cm, lanes, est);
+  // Weights charged per layer so each tensor makes its own BRAM/URAM call.
+  for (std::size_t i = 1; i < channels.size(); ++i) {
+    const std::uint64_t weight_bits =
+        static_cast<std::uint64_t>(channels[i - 1]) * channels[i] * kernel * 8 +
+        static_cast<std::uint64_t>(channels[i]) * 32;  // biases
+    add_weight_memory(cm, weight_bits, est);
+  }
+  // Line buffers for the sliding window: kernel-1 rows of the widest layer.
+  unsigned widest = 0;
+  for (unsigned c : channels) widest = std::max(widest, c);
+  const std::uint64_t linebuf_bits =
+      static_cast<std::uint64_t>(kernel > 0 ? kernel - 1 : 0) * widest * 8 * 64;
+  est.bram36 += static_cast<double>(linebuf_bits) / kBram36Bits;
+  est.luts += cm.module_fixed_luts * channels.size();
+  est.flip_flops += cm.module_fixed_ffs * channels.size();
+  return est;
+}
+
+ResourceEstimate estimate_recurrent(const CostModel& cm, unsigned in_dim,
+                                    unsigned units, unsigned gates, unsigned lanes) {
+  ResourceEstimate est;
+  est.module = "Recurrent";
+  add_mac_lanes(cm, lanes, est);
+  // Input and recurrent weight matrices charged per gate, plus biases and
+  // the hidden state double buffer.
+  for (unsigned g = 0; g < gates; ++g) {
+    const std::uint64_t weight_bits =
+        (static_cast<std::uint64_t>(in_dim) * units +
+         static_cast<std::uint64_t>(units) * units) * 8 +
+        static_cast<std::uint64_t>(units) * 32;
+    add_weight_memory(cm, weight_bits, est);
+  }
+  est.flip_flops += static_cast<std::uint64_t>(units) * 8 * 2;  // hidden state regs
+  // Nonlinearity lookup tables (tanh/sigmoid) in LUTs.
+  est.luts += static_cast<std::uint64_t>(gates) * 2048;
+  est.luts += cm.module_fixed_luts;
+  est.flip_flops += cm.module_fixed_ffs;
+  return est;
+}
+
+ResourceEstimate estimate_vector_io(const CostModel& cm, unsigned datapath_bits,
+                                    unsigned fifo_depth, unsigned fifo_width_bits) {
+  ResourceEstimate est;
+  est.module = "Vector I/O";
+  // Parse/assemble datapath: barrel shifters + field extraction over the bus
+  // width, several LUT/FF per datapath bit across the pipeline stages.
+  est.luts += static_cast<std::uint64_t>(datapath_bits) * cm.vector_io_luts_per_bit;
+  est.flip_flops +=
+      static_cast<std::uint64_t>(datapath_bits) * cm.vector_io_ffs_per_bit;
+  // Flow-identifier FIFO + input/output async FIFOs (3 FIFOs).
+  const std::uint64_t fifo_bits =
+      3ULL * static_cast<std::uint64_t>(fifo_depth) * fifo_width_bits;
+  est.bram36 += static_cast<double>(fifo_bits) / kBram36Bits;
+  // Gray-code pointers and synchronizers.
+  est.flip_flops += 3ULL * 64;
+  est.luts += cm.module_fixed_luts;
+  est.flip_flops += cm.module_fixed_ffs;
+  return est;
+}
+
+Utilization utilization(const ResourceEstimate& est, const DeviceProfile& device) {
+  Utilization u;
+  u.lut = static_cast<double>(est.luts) / static_cast<double>(device.luts);
+  u.ff = static_cast<double>(est.flip_flops) / static_cast<double>(device.flip_flops);
+  u.bram = est.bram36 / static_cast<double>(device.bram36_blocks);
+  u.uram = device.uram_blocks > 0
+               ? est.uram / static_cast<double>(device.uram_blocks)
+               : 0.0;
+  u.dsp = static_cast<double>(est.dsps) / static_cast<double>(device.dsp_slices);
+  return u;
+}
+
+}  // namespace fenix::fpgasim

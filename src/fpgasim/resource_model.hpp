@@ -1,0 +1,99 @@
+// Analytical FPGA resource estimator for Model Engine configurations.
+//
+// Reproduces Table 4: given the layer dimensions of a synthesized design, the
+// estimator predicts LUT/FF/BRAM/DSP consumption of each module. The cost
+// model follows standard HLS mapping rules for INT8 dataflow designs:
+//  - MAC lanes: a DSP48E2 packs two INT8 multiplies; a policy fraction of
+//    lanes is mapped to DSPs (HLS resource pragma) and the rest to LUT
+//    multipliers (~35 LUTs, ~40 FFs per INT8 MAC including accumulate).
+//  - Weights: BRAM36 blocks, ping-pong buffered (x2) for pipelining.
+//  - Embedding tables: distributed LUT-ROM (the paper maps embeddings to
+//    LUTs), 1 LUT per 64 ROM bits plus addressing overhead.
+//  - Control/dataflow: per-module constant + per-lane FF pipeline overhead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpgasim/device.hpp"
+
+namespace fenix::fpgasim {
+
+/// Absolute resource consumption of one module.
+struct ResourceEstimate {
+  std::string module;
+  std::uint64_t luts = 0;
+  std::uint64_t flip_flops = 0;
+  double bram36 = 0.0;
+  double uram = 0.0;  ///< UltraRAM blocks (large weight tensors spill here).
+  std::uint64_t dsps = 0;
+
+  ResourceEstimate& operator+=(const ResourceEstimate& other) {
+    luts += other.luts;
+    flip_flops += other.flip_flops;
+    bram36 += other.bram36;
+    uram += other.uram;
+    dsps += other.dsps;
+    return *this;
+  }
+};
+
+/// Utilization fractions against a device envelope.
+struct Utilization {
+  double lut = 0.0;
+  double ff = 0.0;
+  double bram = 0.0;
+  double uram = 0.0;
+  double dsp = 0.0;
+};
+
+/// Cost-model constants (tunable; defaults calibrated against Table 4).
+struct CostModel {
+  double dsp_share = 0.10;        ///< Fraction of MAC lanes bound to DSPs.
+  unsigned luts_per_mac = 35;     ///< LUT-fabric INT8 MAC.
+  unsigned ffs_per_mac = 55;
+  unsigned luts_per_lane_ctrl = 6;///< Per-lane dataflow control.
+  unsigned ffs_per_lane_ctrl = 20;
+  unsigned module_fixed_luts = 1500;
+  unsigned module_fixed_ffs = 2500;
+  double weight_buffer_copies = 2.0;  ///< Ping-pong buffering.
+  /// Weight tensors above this many bits live in URAM, keeping only a tile
+  /// cache (1/8 of the tensor) in BRAM.
+  std::uint64_t uram_spill_bits = 1'000'000;
+  unsigned vector_io_luts_per_bit = 55;
+  unsigned vector_io_ffs_per_bit = 95;
+};
+
+/// Estimates resources for an embedding layer: `vocab` entries of `dim`
+/// INT8 outputs, `parallel` simultaneous lookups, mapped to LUT-ROM.
+ResourceEstimate estimate_embedding(const CostModel& cm, unsigned vocab, unsigned dim,
+                                    unsigned parallel);
+
+/// Estimates a fully connected INT8 layer of shape out x in with `lanes`
+/// parallel MAC lanes.
+ResourceEstimate estimate_fc(const CostModel& cm, unsigned in_dim, unsigned out_dim,
+                             unsigned lanes);
+
+/// Estimates a 1-D convolution stack: for each layer i, `channels[i]` filters
+/// of width `kernel` over `channels[i-1]` input channels (channels[0] is the
+/// input channel count), with `lanes` MAC lanes shared per layer.
+ResourceEstimate estimate_conv_stack(const CostModel& cm,
+                                     const std::vector<unsigned>& channels,
+                                     unsigned kernel, unsigned lanes);
+
+/// Estimates a recurrent layer (`units` hidden units, `in_dim` inputs) with
+/// `lanes` MAC lanes; covers both plain RNN cells and gated variants via
+/// `gates` (1 for vanilla RNN, 3 for GRU).
+ResourceEstimate estimate_recurrent(const CostModel& cm, unsigned in_dim,
+                                    unsigned units, unsigned gates, unsigned lanes);
+
+/// Estimates the Vector I/O Processor: packet parse/assemble datapath plus
+/// flow-identifier and result FIFOs of the given depths and widths.
+ResourceEstimate estimate_vector_io(const CostModel& cm, unsigned datapath_bits,
+                                    unsigned fifo_depth, unsigned fifo_width_bits);
+
+/// Converts an absolute estimate to utilization fractions of `device`.
+Utilization utilization(const ResourceEstimate& est, const DeviceProfile& device);
+
+}  // namespace fenix::fpgasim

@@ -1,0 +1,49 @@
+#include "fpgasim/systolic.hpp"
+
+namespace fenix::fpgasim {
+
+SystolicTimer::SystolicTimer(const SystolicConfig& config)
+    : config_(config), clock_(config.clock_hz) {}
+
+std::uint64_t SystolicTimer::matvec_cycles(unsigned in_dim, unsigned out_dim) const {
+  if (in_dim == 0 || out_dim == 0) return 0;
+  const std::uint64_t in_tiles = tiles(in_dim, config_.rows);
+  const std::uint64_t out_tiles = tiles(out_dim, config_.cols);
+  // Each tile streams `rows` input elements; the array is refilled with the
+  // next tile's weights while the previous drains (double-buffered), so the
+  // R+C fill is paid once per GEMV.
+  return in_tiles * out_tiles * config_.rows + config_.rows + config_.cols +
+         config_.layer_overhead_cycles;
+}
+
+std::uint64_t SystolicTimer::conv1d_cycles(unsigned in_ch, unsigned out_ch,
+                                           unsigned kernel, unsigned steps) const {
+  if (steps == 0) return 0;
+  const unsigned eff_in = in_ch * kernel;
+  const std::uint64_t in_tiles = tiles(eff_in, config_.rows);
+  const std::uint64_t out_tiles = tiles(out_ch, config_.cols);
+  // Weights stay resident across output positions; per position the tile
+  // sweep costs in_tiles*out_tiles*rows, fill paid once for the layer.
+  return static_cast<std::uint64_t>(steps) * in_tiles * out_tiles * config_.rows +
+         config_.rows + config_.cols + config_.layer_overhead_cycles;
+}
+
+std::uint64_t SystolicTimer::recurrent_cycles(unsigned in_dim, unsigned units,
+                                              unsigned gates,
+                                              unsigned timesteps) const {
+  if (timesteps == 0) return 0;
+  const unsigned eff_in = in_dim + units;  // concatenated [x_t, h_{t-1}]
+  const std::uint64_t in_tiles = tiles(eff_in, config_.rows);
+  const std::uint64_t out_tiles = tiles(units, config_.cols);
+  const std::uint64_t per_gate = in_tiles * out_tiles * config_.rows;
+  // Elementwise nonlinearity + state update: units/cols cycles per step.
+  const std::uint64_t elementwise = tiles(units, config_.cols);
+  return static_cast<std::uint64_t>(timesteps) * (gates * per_gate + elementwise) +
+         config_.rows + config_.cols + config_.layer_overhead_cycles;
+}
+
+std::uint64_t SystolicTimer::embedding_cycles(unsigned parallel) const {
+  return parallel > 0 ? 2 : 0;  // pipelined LUT-ROM read, all ports concurrent
+}
+
+}  // namespace fenix::fpgasim

@@ -1,0 +1,63 @@
+// Systolic-array timing model for the DNN Inference Module.
+//
+// The Model Engine executes every layer on one weights-stationary INT8
+// systolic array (§5.2). Latency is cycle-counted: a matrix-vector product of
+// an out x in weight matrix on an R x C array needs ceil(in/R) * ceil(out/C)
+// tiles; each tile streams its inputs in R cycles after an R+C pipeline fill,
+// and tiles over the same output columns accumulate in place.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/clock.hpp"
+#include "sim/time.hpp"
+
+namespace fenix::fpgasim {
+
+/// Geometry and clocking of the systolic array.
+struct SystolicConfig {
+  unsigned rows = 32;        ///< Input-dimension parallelism.
+  unsigned cols = 32;        ///< Output-dimension parallelism.
+  double clock_hz = 300e6;   ///< Fabric clock.
+  unsigned layer_overhead_cycles = 24;  ///< Drain/control between layers.
+};
+
+/// Cycle-accurate cost model for the array.
+class SystolicTimer {
+ public:
+  explicit SystolicTimer(const SystolicConfig& config);
+
+  const SystolicConfig& config() const { return config_; }
+  const sim::ClockDomain& clock() const { return clock_; }
+
+  /// Cycles for one INT8 GEMV: weights (out_dim x in_dim) times input vector.
+  std::uint64_t matvec_cycles(unsigned in_dim, unsigned out_dim) const;
+
+  /// Cycles for a 1-D convolution layer over `steps` output positions:
+  /// effectively `steps` GEMVs of (out_ch x in_ch*kernel), with the array
+  /// kept full across positions (fill amortized once).
+  std::uint64_t conv1d_cycles(unsigned in_ch, unsigned out_ch, unsigned kernel,
+                              unsigned steps) const;
+
+  /// Cycles for a recurrent layer over `timesteps`: per step, `gates` GEMVs
+  /// of (units x (in_dim + units)) plus the elementwise nonlinearity.
+  std::uint64_t recurrent_cycles(unsigned in_dim, unsigned units, unsigned gates,
+                                 unsigned timesteps) const;
+
+  /// Cycles for an embedding lookup of `parallel` indices (LUT-ROM: 2-cycle
+  /// pipelined read, all lookups concurrent).
+  std::uint64_t embedding_cycles(unsigned parallel) const;
+
+  /// Converts cycles to simulated time.
+  sim::SimDuration to_time(std::uint64_t cycles) const { return clock_.cycles(cycles); }
+
+ private:
+  std::uint64_t tiles(unsigned dim, unsigned tile) const {
+    return (static_cast<std::uint64_t>(dim) + tile - 1) / tile;
+  }
+
+  SystolicConfig config_;
+  sim::ClockDomain clock_;
+};
+
+}  // namespace fenix::fpgasim

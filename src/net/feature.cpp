@@ -1,0 +1,31 @@
+#include "net/feature.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace fenix::net {
+
+std::uint16_t encode_ipd(sim::SimDuration ipd) {
+  // Work in microseconds; sub-microsecond gaps collapse to code 0.
+  const std::uint64_t us = ipd / sim::kMicrosecond;
+  if (us == 0) return 0;
+  const unsigned exp = 63u - static_cast<unsigned>(std::countl_zero(us));
+  // 8 mantissa bits below the leading one (zero-filled for small values).
+  std::uint64_t mantissa;
+  if (exp >= 8) {
+    mantissa = (us >> (exp - 8)) & 0xff;
+  } else {
+    mantissa = (us << (8 - exp)) & 0xff;
+  }
+  const std::uint32_t code = (exp + 1u) * 256u + static_cast<std::uint32_t>(mantissa);
+  return code > 0xffff ? 0xffff : static_cast<std::uint16_t>(code);
+}
+
+double decode_ipd_us(std::uint16_t code) {
+  if (code == 0) return 0.0;
+  const unsigned exp = (code >> 8) - 1u;
+  const double mantissa = static_cast<double>(code & 0xff) / 256.0;
+  return std::ldexp(1.0 + mantissa, static_cast<int>(exp));
+}
+
+}  // namespace fenix::net

@@ -1,0 +1,58 @@
+// Feature vectors exchanged between the Data Engine and the Model Engine.
+//
+// The paper's features are "sequences of raw packet lengths and inter-packet
+// arrival times" (§6). On the wire between the switch and FPGA each
+// per-packet feature is a (length, ipd) pair; a mirrored packet carries the
+// ring buffer contents (F1..F8) plus the current packet's feature (F9), giving
+// the Model Engine a fixed-length sequence per inference (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/five_tuple.hpp"
+#include "sim/time.hpp"
+
+namespace fenix::net {
+
+/// One per-packet feature as stored in the switch ring buffer. Quantized the
+/// way the data plane holds it: 16-bit length, 16-bit log-bucketed IPD.
+struct PacketFeature {
+  std::uint16_t length = 0;   ///< Wire length in bytes.
+  std::uint16_t ipd_code = 0; ///< Log2-bucketed inter-packet delay (microsecond base).
+
+  friend bool operator==(const PacketFeature&, const PacketFeature&) = default;
+};
+
+/// Encodes an inter-packet delay into the 16-bit log bucket code stored in
+/// SRAM. Resolution follows the data plane's shift-based encoding: the code is
+/// floor(log2(ipd_us)) * 256 + next 8 mantissa bits, saturating.
+std::uint16_t encode_ipd(sim::SimDuration ipd);
+
+/// Decodes an IPD code back to an approximate delay in microseconds.
+double decode_ipd_us(std::uint16_t code);
+
+/// A mirrored-packet payload: the flow identifier plus the feature sequence
+/// assembled by the Buffer Manager (oldest first, newest last).
+struct FeatureVector {
+  FiveTuple tuple;
+  std::uint32_t flow_id = 0;           ///< Generator flow id (evaluation only).
+  std::vector<PacketFeature> sequence; ///< F1..F9, oldest first.
+  sim::SimTime emitted_at = 0;         ///< When the mirror left the deparser.
+
+  /// Bytes this vector occupies on the switch-to-FPGA channel: 13-byte
+  /// five-tuple key + 4 bytes per feature + 16 bytes mirror encapsulation.
+  std::size_t wire_bytes() const { return 13 + 4 * sequence.size() + 16; }
+};
+
+/// An inference verdict returned from the Model Engine to the switch.
+struct InferenceResult {
+  FiveTuple tuple;
+  std::uint32_t flow_id = 0;
+  std::int16_t predicted_class = -1;
+  sim::SimTime inference_started = 0;
+  sim::SimTime inference_finished = 0;
+  sim::SimTime delivered_at = 0;  ///< Arrival back at the switch.
+};
+
+}  // namespace fenix::net

@@ -1,0 +1,21 @@
+#include "net/five_tuple.hpp"
+
+#include <sstream>
+
+namespace fenix::net {
+
+std::string format_ipv4(std::uint32_t ip) {
+  std::ostringstream os;
+  os << ((ip >> 24) & 0xff) << '.' << ((ip >> 16) & 0xff) << '.' << ((ip >> 8) & 0xff)
+     << '.' << (ip & 0xff);
+  return os.str();
+}
+
+std::string FiveTuple::to_string() const {
+  std::ostringstream os;
+  os << format_ipv4(src_ip) << ':' << src_port << " -> " << format_ipv4(dst_ip) << ':'
+     << dst_port << '/' << (proto == static_cast<std::uint8_t>(IpProto::kTcp) ? "tcp" : "udp");
+  return os.str();
+}
+
+}  // namespace fenix::net

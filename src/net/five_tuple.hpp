@@ -1,0 +1,58 @@
+// Flow identification: the classic 5-tuple and its hashing.
+//
+// The Flow Tracker (§4.1) identifies flows by truncated hash values of the
+// 5-tuple (src IP, dst IP, src port, dst port, protocol). We model IPv4
+// addresses as host-order uint32 values.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fenix::net {
+
+/// IP protocol numbers used by the traffic generator.
+enum class IpProto : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// A transport-layer five-tuple identifying a flow.
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = static_cast<std::uint8_t>(IpProto::kTcp);
+
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+
+  /// Dotted-quad rendering for logs and examples.
+  std::string to_string() const;
+};
+
+/// Formats a host-order IPv4 address as dotted quad.
+std::string format_ipv4(std::uint32_t ip);
+
+}  // namespace fenix::net
+
+template <>
+struct std::hash<fenix::net::FiveTuple> {
+  std::size_t operator()(const fenix::net::FiveTuple& t) const noexcept {
+    // FNV-1a over the packed tuple; used only for host-side hash maps.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v, int bytes) {
+      for (int i = 0; i < bytes; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ULL;
+      }
+    };
+    mix(t.src_ip, 4);
+    mix(t.dst_ip, 4);
+    mix(t.src_port, 2);
+    mix(t.dst_port, 2);
+    mix(t.proto, 1);
+    return static_cast<std::size_t>(h);
+  }
+};

@@ -1,0 +1,209 @@
+#include "net/headers.hpp"
+
+#include <algorithm>
+
+namespace fenix::net {
+namespace {
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint16_t read16(std::span<const std::uint8_t> d, std::size_t at) {
+  return static_cast<std::uint16_t>((d[at] << 8) | d[at + 1]);
+}
+
+std::uint32_t read32(std::span<const std::uint8_t> d, std::size_t at) {
+  return (static_cast<std::uint32_t>(d[at]) << 24) |
+         (static_cast<std::uint32_t>(d[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(d[at + 2]) << 8) |
+         static_cast<std::uint32_t>(d[at + 3]);
+}
+
+/// One's-complement sum of a pseudo-header for TCP/UDP checksums.
+std::uint32_t pseudo_header_sum(const Ipv4Header& ip, std::uint8_t protocol,
+                                std::uint16_t l4_length) {
+  std::uint32_t sum = 0;
+  sum += ip.src_ip >> 16;
+  sum += ip.src_ip & 0xffff;
+  sum += ip.dst_ip >> 16;
+  sum += ip.dst_ip & 0xffff;
+  sum += protocol;
+  sum += l4_length;
+  return sum;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data,
+                                std::uint32_t initial) {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i] << 8);  // odd trailing byte
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void serialize(const EthernetHeader& eth, std::vector<std::uint8_t>& out) {
+  out.insert(out.end(), eth.dst_mac.begin(), eth.dst_mac.end());
+  out.insert(out.end(), eth.src_mac.begin(), eth.src_mac.end());
+  put16(out, eth.ether_type);
+}
+
+void serialize(const Ipv4Header& ip, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(static_cast<std::uint8_t>(ip.dscp << 2));
+  put16(out, ip.total_length);
+  put16(out, ip.identification);
+  put16(out, 0x4000);  // flags: DF
+  out.push_back(ip.ttl);
+  out.push_back(ip.protocol);
+  put16(out, 0);  // checksum placeholder
+  put32(out, ip.src_ip);
+  put32(out, ip.dst_ip);
+  const std::uint16_t checksum = internet_checksum(
+      std::span<const std::uint8_t>(out.data() + start, kIpv4MinHeaderBytes));
+  out[start + 10] = static_cast<std::uint8_t>(checksum >> 8);
+  out[start + 11] = static_cast<std::uint8_t>(checksum);
+}
+
+void serialize_tcp(const TcpHeader& tcp, const Ipv4Header& ip,
+                   std::span<const std::uint8_t> payload,
+                   std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  put16(out, tcp.src_port);
+  put16(out, tcp.dst_port);
+  put32(out, tcp.seq);
+  put32(out, tcp.ack);
+  out.push_back(0x50);  // data offset 5
+  out.push_back(tcp.flags);
+  put16(out, tcp.window);
+  put16(out, 0);  // checksum placeholder
+  put16(out, 0);  // urgent pointer
+  out.insert(out.end(), payload.begin(), payload.end());
+  const auto l4_len =
+      static_cast<std::uint16_t>(kTcpMinHeaderBytes + payload.size());
+  const std::uint32_t pseudo = pseudo_header_sum(ip, 6, l4_len);
+  // internet_checksum folds the initial sum in; recompute over the segment.
+  const std::uint16_t checksum = internet_checksum(
+      std::span<const std::uint8_t>(out.data() + start, l4_len), pseudo);
+  out[start + 16] = static_cast<std::uint8_t>(checksum >> 8);
+  out[start + 17] = static_cast<std::uint8_t>(checksum);
+}
+
+void serialize_udp(const UdpHeader& udp, const Ipv4Header& ip,
+                   std::span<const std::uint8_t> payload,
+                   std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  put16(out, udp.src_port);
+  put16(out, udp.dst_port);
+  const auto l4_len = static_cast<std::uint16_t>(kUdpHeaderBytes + payload.size());
+  put16(out, l4_len);
+  put16(out, 0);  // checksum placeholder
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint32_t pseudo = pseudo_header_sum(ip, 17, l4_len);
+  std::uint16_t checksum = internet_checksum(
+      std::span<const std::uint8_t>(out.data() + start, l4_len), pseudo);
+  if (checksum == 0) checksum = 0xffff;  // RFC 768: 0 means "no checksum"
+  out[start + 6] = static_cast<std::uint8_t>(checksum >> 8);
+  out[start + 7] = static_cast<std::uint8_t>(checksum);
+}
+
+std::vector<std::uint8_t> build_frame(const FiveTuple& tuple,
+                                      std::size_t wire_length) {
+  const bool tcp = tuple.proto == static_cast<std::uint8_t>(IpProto::kTcp);
+  const std::size_t l4_header = tcp ? kTcpMinHeaderBytes : kUdpHeaderBytes;
+  const std::size_t min_frame =
+      kEthernetHeaderBytes + kIpv4MinHeaderBytes + l4_header;
+  const std::size_t frame_len = std::max(wire_length, min_frame);
+  const std::size_t payload_len = frame_len - min_frame;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(frame_len);
+  EthernetHeader eth;
+  serialize(eth, out);
+
+  Ipv4Header ip;
+  ip.src_ip = tuple.src_ip;
+  ip.dst_ip = tuple.dst_ip;
+  ip.protocol = tuple.proto;
+  ip.total_length =
+      static_cast<std::uint16_t>(kIpv4MinHeaderBytes + l4_header + payload_len);
+  serialize(ip, out);
+
+  const std::vector<std::uint8_t> payload(payload_len, 0);
+  if (tcp) {
+    TcpHeader tcp_header;
+    tcp_header.src_port = tuple.src_port;
+    tcp_header.dst_port = tuple.dst_port;
+    tcp_header.flags = 16;  // ACK
+    serialize_tcp(tcp_header, ip, payload, out);
+  } else {
+    UdpHeader udp;
+    udp.src_port = tuple.src_port;
+    udp.dst_port = tuple.dst_port;
+    serialize_udp(udp, ip, payload, out);
+  }
+  return out;
+}
+
+std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame,
+                                       ParseError* error) {
+  const auto fail = [error](ParseError e) {
+    if (error != nullptr) *error = e;
+    return std::nullopt;
+  };
+  if (frame.size() < kEthernetHeaderBytes + kIpv4MinHeaderBytes) {
+    return fail(ParseError::kTruncated);
+  }
+  if (read16(frame, 12) != kEtherTypeIpv4) return fail(ParseError::kNotIpv4);
+
+  const std::size_t ip_start = kEthernetHeaderBytes;
+  const std::uint8_t version_ihl = frame[ip_start];
+  if ((version_ihl >> 4) != 4) return fail(ParseError::kNotIpv4);
+  const std::size_t ihl_bytes = static_cast<std::size_t>(version_ihl & 0x0f) * 4;
+  if (ihl_bytes < kIpv4MinHeaderBytes) return fail(ParseError::kBadIhl);
+  if (frame.size() < ip_start + ihl_bytes) return fail(ParseError::kTruncated);
+
+  ParsedFrame parsed;
+  parsed.tuple.src_ip = read32(frame, ip_start + 12);
+  parsed.tuple.dst_ip = read32(frame, ip_start + 16);
+  parsed.tuple.proto = frame[ip_start + 9];
+  parsed.ttl = frame[ip_start + 8];
+  parsed.wire_length = static_cast<std::uint16_t>(
+      std::min<std::size_t>(frame.size(), 0xffff));
+  parsed.ipv4_checksum_ok =
+      internet_checksum(frame.subspan(ip_start, ihl_bytes)) == 0;
+
+  const std::size_t l4_start = ip_start + ihl_bytes;
+  if (parsed.tuple.proto == static_cast<std::uint8_t>(IpProto::kTcp)) {
+    if (frame.size() < l4_start + kTcpMinHeaderBytes) {
+      return fail(ParseError::kTruncated);
+    }
+  } else if (parsed.tuple.proto == static_cast<std::uint8_t>(IpProto::kUdp)) {
+    if (frame.size() < l4_start + kUdpHeaderBytes) {
+      return fail(ParseError::kTruncated);
+    }
+  } else {
+    return fail(ParseError::kUnsupportedProtocol);
+  }
+  parsed.tuple.src_port = read16(frame, l4_start);
+  parsed.tuple.dst_port = read16(frame, l4_start + 2);
+  return parsed;
+}
+
+}  // namespace fenix::net

@@ -1,0 +1,102 @@
+// Raw packet header codecs: Ethernet II, IPv4, TCP, UDP.
+//
+// The switch model's parser (switchsim::Parser) consumes real frame bytes,
+// so the traffic substrate can materialize wire-format packets and the
+// five-tuple extraction is exercised the way hardware does it — fixed
+// offsets, network byte order, internet checksums. Serialization is
+// allocation-light and parsing is bounds-checked (a malformed frame yields
+// an error, never UB).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/five_tuple.hpp"
+
+namespace fenix::net {
+
+inline constexpr std::size_t kEthernetHeaderBytes = 14;
+inline constexpr std::size_t kIpv4MinHeaderBytes = 20;
+inline constexpr std::size_t kTcpMinHeaderBytes = 20;
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+/// Ethernet II header (no VLAN).
+struct EthernetHeader {
+  std::array<std::uint8_t, 6> dst_mac{};
+  std::array<std::uint8_t, 6> src_mac{};
+  std::uint16_t ether_type = kEtherTypeIpv4;
+};
+
+/// IPv4 header (no options in serialization; parser accepts IHL > 5).
+struct Ipv4Header {
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  ///< Header + payload.
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 6;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t checksum = 0;  ///< Filled by serialize; verified by parse.
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;  ///< FIN=1, SYN=2, RST=4, PSH=8, ACK=16.
+  std::uint16_t window = 65535;
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = kUdpHeaderBytes;  ///< Header + payload.
+};
+
+/// RFC 1071 internet checksum over a byte span (16-bit one's complement sum).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data,
+                                std::uint32_t initial = 0);
+
+/// Appends serialized headers to `out`. IPv4 computes its checksum; TCP/UDP
+/// checksums use the pseudo-header over the given payload.
+void serialize(const EthernetHeader& eth, std::vector<std::uint8_t>& out);
+void serialize(const Ipv4Header& ip, std::vector<std::uint8_t>& out);
+void serialize_tcp(const TcpHeader& tcp, const Ipv4Header& ip,
+                   std::span<const std::uint8_t> payload,
+                   std::vector<std::uint8_t>& out);
+void serialize_udp(const UdpHeader& udp, const Ipv4Header& ip,
+                   std::span<const std::uint8_t> payload,
+                   std::vector<std::uint8_t>& out);
+
+/// Builds a complete Ethernet/IPv4/{TCP,UDP} frame carrying `payload_len`
+/// zero bytes for the given five-tuple. `wire_length` pads/clamps the frame
+/// to the target size (>= headers).
+std::vector<std::uint8_t> build_frame(const FiveTuple& tuple,
+                                      std::size_t wire_length);
+
+/// Result of parsing a frame.
+struct ParsedFrame {
+  FiveTuple tuple;
+  std::uint16_t wire_length = 0;  ///< Frame bytes seen.
+  std::uint8_t ttl = 0;
+  bool ipv4_checksum_ok = false;
+};
+
+enum class ParseError : std::uint8_t {
+  kTruncated,
+  kNotIpv4,
+  kBadIhl,
+  kUnsupportedProtocol,
+};
+
+/// Parses a frame's five-tuple with full bounds checking. Returns the error
+/// on malformed input.
+std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame,
+                                       ParseError* error = nullptr);
+
+}  // namespace fenix::net

@@ -1,0 +1,19 @@
+#include "net/packet.hpp"
+
+namespace fenix::net {
+
+double Trace::offered_bps() const {
+  const sim::SimDuration d = duration();
+  if (d == 0) return 0.0;
+  std::uint64_t bytes = 0;
+  for (const PacketRecord& p : packets) bytes += p.wire_length;
+  return static_cast<double>(bytes) * 8.0 / sim::to_seconds(d);
+}
+
+double Trace::offered_pps() const {
+  const sim::SimDuration d = duration();
+  if (d == 0) return 0.0;
+  return static_cast<double>(packets.size()) / sim::to_seconds(d);
+}
+
+}  // namespace fenix::net

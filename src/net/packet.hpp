@@ -1,0 +1,65 @@
+// Packet and flow record types shared across the repository.
+//
+// The models consume only protocol-agnostic features (packet lengths and
+// inter-packet delays, §6 "Model Training"), so a packet record carries the
+// five-tuple, the wire length, and a timestamp; the ground-truth class label
+// rides along for evaluation only and is never visible to the data plane.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/five_tuple.hpp"
+#include "sim/time.hpp"
+
+namespace fenix::net {
+
+/// Ground-truth class label (dataset dependent). kUnlabeled for synthetic
+/// background traffic.
+using ClassLabel = std::int16_t;
+inline constexpr ClassLabel kUnlabeled = -1;
+
+/// One packet observation as seen by the switch.
+struct PacketRecord {
+  FiveTuple tuple;
+  sim::SimTime timestamp = 0;     ///< Arrival time at the switch ingress.
+  sim::SimTime orig_timestamp = 0;///< Pre-acceleration capture time. The scaling
+                                  ///< study replays traces at compressed
+                                  ///< timestamps but carries the original time
+                                  ///< in the header (paper §7.4 footnote), so
+                                  ///< IPD features stay faithful.
+  std::uint16_t wire_length = 0;  ///< Total length on the wire in bytes.
+  ClassLabel label = kUnlabeled;  ///< Ground truth; evaluation only.
+  std::uint32_t flow_id = 0;      ///< Dense generator-assigned flow number.
+};
+
+/// Per-flow metadata emitted by the traffic generator.
+struct FlowRecord {
+  std::uint32_t flow_id = 0;
+  FiveTuple tuple;
+  ClassLabel label = kUnlabeled;
+  std::uint32_t packet_count = 0;
+  sim::SimTime first_packet = 0;
+  sim::SimTime last_packet = 0;
+  std::uint64_t byte_count = 0;
+};
+
+/// A replayable trace: packets in timestamp order plus flow metadata.
+struct Trace {
+  std::vector<PacketRecord> packets;
+  std::vector<FlowRecord> flows;
+
+  /// Duration from the first to the last packet (0 for empty traces).
+  sim::SimDuration duration() const {
+    if (packets.empty()) return 0;
+    return packets.back().timestamp - packets.front().timestamp;
+  }
+
+  /// Aggregate offered load in bits per second over the trace duration.
+  double offered_bps() const;
+
+  /// Aggregate packet rate in packets per second over the trace duration.
+  double offered_pps() const;
+};
+
+}  // namespace fenix::net

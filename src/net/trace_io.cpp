@@ -1,0 +1,167 @@
+#include "net/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "net/hash.hpp"
+
+namespace fenix::net {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xFE417acE;
+constexpr std::uint32_t kVersion = 1;
+
+/// Append little-endian integers to a byte buffer.
+template <typename T>
+void put(std::vector<std::uint8_t>& buf, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf.push_back(static_cast<std::uint8_t>(
+        static_cast<std::uint64_t>(value) >> (8 * i)));
+  }
+}
+
+/// Cursor-based little-endian reads with bounds checking.
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  template <typename T>
+  T get() {
+    if (pos + sizeof(T) > size) throw TraceIoError("trace file truncated");
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+    }
+    pos += sizeof(T);
+    return static_cast<T>(v);
+  }
+};
+
+void put_tuple(std::vector<std::uint8_t>& buf, const FiveTuple& t) {
+  put<std::uint32_t>(buf, t.src_ip);
+  put<std::uint32_t>(buf, t.dst_ip);
+  put<std::uint16_t>(buf, t.src_port);
+  put<std::uint16_t>(buf, t.dst_port);
+  put<std::uint8_t>(buf, t.proto);
+}
+
+FiveTuple get_tuple(Reader& r) {
+  FiveTuple t;
+  t.src_ip = r.get<std::uint32_t>();
+  t.dst_ip = r.get<std::uint32_t>();
+  t.src_port = r.get<std::uint16_t>();
+  t.dst_port = r.get<std::uint16_t>();
+  t.proto = r.get<std::uint8_t>();
+  return t;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(trace.packets.size() * 32 + trace.flows.size() * 40 + 32);
+  put<std::uint64_t>(payload, trace.packets.size());
+  put<std::uint64_t>(payload, trace.flows.size());
+  for (const PacketRecord& p : trace.packets) {
+    put_tuple(payload, p.tuple);
+    put<std::uint64_t>(payload, p.timestamp);
+    put<std::uint64_t>(payload, p.orig_timestamp);
+    put<std::uint16_t>(payload, p.wire_length);
+    put<std::int16_t>(payload, p.label);
+    put<std::uint32_t>(payload, p.flow_id);
+  }
+  for (const FlowRecord& f : trace.flows) {
+    put<std::uint32_t>(payload, f.flow_id);
+    put_tuple(payload, f.tuple);
+    put<std::int16_t>(payload, f.label);
+    put<std::uint32_t>(payload, f.packet_count);
+    put<std::uint64_t>(payload, f.first_packet);
+    put<std::uint64_t>(payload, f.last_packet);
+    put<std::uint64_t>(payload, f.byte_count);
+  }
+
+  std::vector<std::uint8_t> header;
+  put<std::uint32_t>(header, kMagic);
+  put<std::uint32_t>(header, kVersion);
+  put<std::uint64_t>(header, payload.size());
+  os.write(reinterpret_cast<const char*>(header.data()),
+           static_cast<std::streamsize>(header.size()));
+  os.write(reinterpret_cast<const char*>(payload.data()),
+           static_cast<std::streamsize>(payload.size()));
+  std::vector<std::uint8_t> trailer;
+  put<std::uint32_t>(trailer, crc32(payload));
+  os.write(reinterpret_cast<const char*>(trailer.data()),
+           static_cast<std::streamsize>(trailer.size()));
+  os.flush();
+}
+
+Trace read_trace(std::istream& is) {
+  std::uint8_t header_bytes[16];
+  is.read(reinterpret_cast<char*>(header_bytes), sizeof(header_bytes));
+  if (is.gcount() != sizeof(header_bytes)) throw TraceIoError("header truncated");
+  Reader header{header_bytes, sizeof(header_bytes)};
+  if (header.get<std::uint32_t>() != kMagic) throw TraceIoError("bad magic");
+  if (header.get<std::uint32_t>() != kVersion) throw TraceIoError("bad version");
+  const auto payload_size = header.get<std::uint64_t>();
+  if (payload_size > (1ULL << 34)) throw TraceIoError("implausible payload size");
+
+  std::vector<std::uint8_t> payload(payload_size);
+  is.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload_size));
+  if (static_cast<std::uint64_t>(is.gcount()) != payload_size) {
+    throw TraceIoError("payload truncated");
+  }
+  std::uint8_t trailer_bytes[4];
+  is.read(reinterpret_cast<char*>(trailer_bytes), sizeof(trailer_bytes));
+  if (is.gcount() != sizeof(trailer_bytes)) throw TraceIoError("trailer truncated");
+  Reader trailer{trailer_bytes, sizeof(trailer_bytes)};
+  if (trailer.get<std::uint32_t>() != crc32(payload)) {
+    throw TraceIoError("CRC mismatch");
+  }
+
+  Reader r{payload.data(), payload.size()};
+  Trace trace;
+  const auto n_packets = r.get<std::uint64_t>();
+  const auto n_flows = r.get<std::uint64_t>();
+  trace.packets.reserve(n_packets);
+  trace.flows.reserve(n_flows);
+  for (std::uint64_t i = 0; i < n_packets; ++i) {
+    PacketRecord p;
+    p.tuple = get_tuple(r);
+    p.timestamp = r.get<std::uint64_t>();
+    p.orig_timestamp = r.get<std::uint64_t>();
+    p.wire_length = r.get<std::uint16_t>();
+    p.label = r.get<std::int16_t>();
+    p.flow_id = r.get<std::uint32_t>();
+    trace.packets.push_back(p);
+  }
+  for (std::uint64_t i = 0; i < n_flows; ++i) {
+    FlowRecord f;
+    f.flow_id = r.get<std::uint32_t>();
+    f.tuple = get_tuple(r);
+    f.label = r.get<std::int16_t>();
+    f.packet_count = r.get<std::uint32_t>();
+    f.first_packet = r.get<std::uint64_t>();
+    f.last_packet = r.get<std::uint64_t>();
+    f.byte_count = r.get<std::uint64_t>();
+    trace.flows.push_back(f);
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path, const Trace& trace) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw TraceIoError("cannot open for write: " + path);
+  write_trace(os, trace);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw TraceIoError("cannot open for read: " + path);
+  return read_trace(is);
+}
+
+}  // namespace fenix::net

@@ -1,0 +1,34 @@
+// Binary trace serialization.
+//
+// A compact on-disk format for replayable traces, so expensive synthesis or
+// capture-conversion runs once: little-endian fixed-width records with a
+// magic/version header and a CRC32 trailer over the payload. Not pcap — the
+// records carry exactly what the simulation consumes (timestamps, five-tuple,
+// wire length, flow id, evaluation label).
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace fenix::net {
+
+/// Thrown on malformed input (bad magic, truncation, CRC mismatch).
+class TraceIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes `trace` to a stream. Throws std::ios_base::failure on I/O error.
+void write_trace(std::ostream& os, const Trace& trace);
+
+/// Deserializes a trace. Throws TraceIoError on malformed input.
+Trace read_trace(std::istream& is);
+
+/// File convenience wrappers.
+void save_trace(const std::string& path, const Trace& trace);
+Trace load_trace(const std::string& path);
+
+}  // namespace fenix::net

@@ -1,0 +1,358 @@
+#include "nn/binarize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace fenix::nn {
+namespace {
+
+inline float sign_pm1(float v) { return v >= 0.0f ? 1.0f : -1.0f; }
+
+}  // namespace
+
+// ---------------------------------------------------------------- BinaryMlp
+
+BinaryMlp::BinaryMlp(MlpConfig config, std::uint64_t seed)
+    : config_(std::move(config)) {
+  sim::RandomStream rng(seed);
+  std::size_t in = config_.input_dim;
+  auto make_layer = [&rng](std::size_t fan_in, std::size_t fan_out) {
+    Layer layer;
+    layer.latent = Matrix(fan_out, fan_in);
+    layer.grad = Matrix(fan_out, fan_in);
+    glorot_init(layer.latent, rng);
+    layer.bias.assign(fan_out, 0.0f);
+    layer.dbias.assign(fan_out, 0.0f);
+    layer.alpha.assign(fan_out, 0.0f);
+    return layer;
+  };
+  for (std::size_t dim : config_.hidden) {
+    layers_.push_back(make_layer(in, dim));
+    in = dim;
+  }
+  layers_.push_back(make_layer(in, config_.num_classes));
+  for (Layer& l : layers_) refresh_alpha(l);
+  mean_.assign(config_.input_dim, 0.0f);
+  std_.assign(config_.input_dim, 1.0f);
+}
+
+void BinaryMlp::refresh_alpha(Layer& layer) const {
+  for (std::size_t r = 0; r < layer.latent.rows(); ++r) {
+    const float* row = layer.latent.row(r);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < layer.latent.cols(); ++c) sum += std::fabs(row[c]);
+    layer.alpha[r] = sum / static_cast<float>(layer.latent.cols());
+  }
+}
+
+void BinaryMlp::standardize(std::span<const float> in, std::vector<float>& out) const {
+  out.resize(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = (in[i] - mean_[i]) / std_[i];
+}
+
+void BinaryMlp::forward_internal(std::span<const float> features,
+                                 std::vector<std::vector<float>>& pre) const {
+  std::vector<float> x;
+  standardize(features, x);
+  pre.resize(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& l = layers_[i];
+    pre[i].assign(l.latent.rows(), 0.0f);
+    for (std::size_t r = 0; r < l.latent.rows(); ++r) {
+      const float* row = l.latent.row(r);
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < l.latent.cols(); ++c) {
+        acc += sign_pm1(row[c]) * x[c];
+      }
+      pre[i][r] = l.alpha[r] * acc + l.bias[r];
+    }
+    if (i + 1 < layers_.size()) {
+      // Binarize activations to {-1, +1} (XNOR-net style).
+      x.resize(pre[i].size());
+      for (std::size_t r = 0; r < pre[i].size(); ++r) x[r] = sign_pm1(pre[i][r]);
+    }
+  }
+}
+
+std::vector<float> BinaryMlp::logits(std::span<const float> features) const {
+  std::vector<std::vector<float>> pre;
+  forward_internal(features, pre);
+  return pre.back();
+}
+
+std::int16_t BinaryMlp::predict(std::span<const float> features) const {
+  const auto v = logits(features);
+  return static_cast<std::int16_t>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+float BinaryMlp::train_one(const VecSample& sample) {
+  std::vector<float> x0;
+  standardize(sample.features, x0);
+  // Forward, keeping binarized inputs of every layer.
+  std::vector<std::vector<float>> inputs(layers_.size());  // binarized inputs
+  std::vector<std::vector<float>> pre(layers_.size());
+  std::vector<float> x = x0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    inputs[i] = x;
+    const Layer& l = layers_[i];
+    pre[i].assign(l.latent.rows(), 0.0f);
+    for (std::size_t r = 0; r < l.latent.rows(); ++r) {
+      const float* row = l.latent.row(r);
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < l.latent.cols(); ++c) acc += sign_pm1(row[c]) * x[c];
+      pre[i][r] = l.alpha[r] * acc + l.bias[r];
+    }
+    if (i + 1 < layers_.size()) {
+      x.resize(pre[i].size());
+      for (std::size_t r = 0; r < pre[i].size(); ++r) x[r] = sign_pm1(pre[i][r]);
+    }
+  }
+
+  std::vector<float> probs = pre.back();
+  softmax(probs.data(), probs.size());
+  std::vector<float> dy(probs.size());
+  const float loss = cross_entropy_grad(probs.data(), probs.size(),
+                                        static_cast<std::size_t>(sample.label),
+                                        dy.data());
+
+  // Backward with straight-through estimators for both sign() uses.
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    Layer& l = layers_[i];
+    const std::vector<float>& input = inputs[i];
+    std::vector<float> dx(input.size(), 0.0f);
+    for (std::size_t r = 0; r < l.latent.rows(); ++r) {
+      const float g = dy[r];
+      if (g == 0.0f) continue;
+      l.dbias[r] += g;
+      const float* row = l.latent.row(r);
+      float* grow = l.grad.row(r);
+      const float a = l.alpha[r];
+      for (std::size_t c = 0; c < l.latent.cols(); ++c) {
+        // STE for weight sign: d/dw [alpha*sign(w)*x] ~= alpha*x for |w|<=1.
+        if (std::fabs(row[c]) <= 1.0f) grow[c] += a * input[c] * g;
+        dx[c] += a * sign_pm1(row[c]) * g;
+      }
+    }
+    if (i > 0) {
+      // STE for activation sign: pass gradient where |pre| <= 1.
+      for (std::size_t c = 0; c < dx.size(); ++c) {
+        if (std::fabs(pre[i - 1][c]) > 1.0f) dx[c] = 0.0f;
+      }
+    }
+    dy = std::move(dx);
+  }
+  return loss;
+}
+
+TrainReport BinaryMlp::fit(const std::vector<VecSample>& samples,
+                           const TrainOptions& opts) {
+  if (!samples.empty()) {
+    std::vector<double> sum(config_.input_dim, 0.0), sq(config_.input_dim, 0.0);
+    for (const VecSample& s : samples) {
+      for (std::size_t i = 0; i < config_.input_dim; ++i) {
+        sum[i] += s.features[i];
+        sq[i] += static_cast<double>(s.features[i]) * s.features[i];
+      }
+    }
+    const auto n = static_cast<double>(samples.size());
+    for (std::size_t i = 0; i < config_.input_dim; ++i) {
+      mean_[i] = static_cast<float>(sum[i] / n);
+      const double var = sq[i] / n - static_cast<double>(mean_[i]) * mean_[i];
+      std_[i] = static_cast<float>(std::sqrt(std::max(var, 1e-6)));
+    }
+  }
+
+  AdamW opt(opts.lr, 0.9f, 0.999f, 1e-8f, 0.0f);
+  for (Layer& l : layers_) {
+    opt.attach({l.latent.data(), l.grad.data(), l.latent.size()});
+    opt.attach({l.bias.data(), l.dbias.data(), l.bias.size()});
+  }
+
+  std::vector<std::vector<std::size_t>> by_class(config_.num_classes);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto label = samples[i].label;
+    if (label >= 0 && static_cast<std::size_t>(label) < config_.num_classes) {
+      by_class[static_cast<std::size_t>(label)].push_back(i);
+    }
+  }
+  sim::RandomStream rng(opts.seed ^ 0xb1a);
+  std::vector<std::size_t> order;
+  std::size_t largest = 0;
+  for (const auto& v : by_class) largest = std::max(largest, v.size());
+  if (opts.cap_per_class > 0) largest = std::min(largest, opts.cap_per_class);
+  for (const auto& v : by_class) {
+    if (v.empty()) continue;
+    for (std::size_t k = 0; k < largest; ++k) {
+      order.push_back(k < v.size() ? v[k] : v[rng.uniform_int(v.size())]);
+    }
+  }
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform_int(i)]);
+  }
+
+  TrainReport report;
+  float lr = opts.lr;
+  for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    opt.set_lr(lr);
+    double loss_sum = 0.0;
+    std::size_t in_batch = 0;
+    for (std::size_t idx : order) {
+      loss_sum += train_one(samples[idx]);
+      ++report.samples_seen;
+      if (++in_batch == opts.batch_size) {
+        opt.step();
+        // Clip latent weights to [-1, 1] (keeps STE gradients alive).
+        for (Layer& l : layers_) {
+          for (std::size_t j = 0; j < l.latent.size(); ++j) {
+            l.latent.data()[j] = std::clamp(l.latent.data()[j], -1.0f, 1.0f);
+          }
+          refresh_alpha(l);
+        }
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      opt.step();
+      for (Layer& l : layers_) refresh_alpha(l);
+    }
+    report.epoch_loss.push_back(
+        order.empty() ? 0.0f : static_cast<float>(loss_sum / static_cast<double>(order.size())));
+    lr *= opts.lr_decay;
+  }
+  return report;
+}
+
+// ------------------------------------------------------------- BinarizedGru
+
+BinarizedGru::BinMatrix BinarizedGru::BinMatrix::from(const Matrix& m) {
+  // Ternary weight quantization (TWN): w -> {-alpha, 0, +alpha} with the
+  // threshold 0.7 * mean|w| per row. BoS deploys its binary RNN as lookup
+  // tables, where a zero weight simply drops the term; ternarization is the
+  // standard post-training form that keeps recurrent dynamics stable where
+  // pure sign binarization would not.
+  BinMatrix b;
+  b.rows = m.rows();
+  b.cols = m.cols();
+  b.sign.resize(m.size());
+  b.alpha.resize(m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.row(r);
+    float mean_abs = 0.0f;
+    for (std::size_t c = 0; c < m.cols(); ++c) mean_abs += std::fabs(row[c]);
+    mean_abs /= static_cast<float>(m.cols());
+    const float threshold = 0.7f * mean_abs;
+    float alpha_sum = 0.0f;
+    std::size_t alpha_n = 0;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      std::int8_t q = 0;
+      if (row[c] > threshold) q = 1;
+      else if (row[c] < -threshold) q = -1;
+      b.sign[r * m.cols() + c] = q;
+      if (q != 0) {
+        alpha_sum += std::fabs(row[c]);
+        ++alpha_n;
+      }
+    }
+    b.alpha[r] = alpha_n > 0 ? alpha_sum / static_cast<float>(alpha_n) : 0.0f;
+  }
+  return b;
+}
+
+void BinarizedGru::BinMatrix::matvec(const float* x, float* y_acc) const {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::int8_t* srow = sign.data() + r * cols;
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      acc += static_cast<float>(srow[c]) * x[c];
+    }
+    y_acc[r] += alpha[r] * acc;
+  }
+}
+
+namespace {
+
+/// Quantizes a matrix onto a uniform grid with 2^bits levels over its range.
+Matrix quantize_grid(const Matrix& m, unsigned bits) {
+  Matrix out(m.rows(), m.cols());
+  float max_abs = 0.0f;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(m.data()[i]));
+  }
+  if (max_abs == 0.0f) return out;
+  // bits < 2 degenerates to the sign grid {-max, 0, +max}.
+  const float levels =
+      bits >= 2 ? static_cast<float>((1u << (bits - 1)) - 1) : 1.0f;
+  const float step = max_abs / levels;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    out.data()[i] = std::round(m.data()[i] / step) * step;
+  }
+  return out;
+}
+
+inline float sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+BinarizedGru::BinarizedGru(const GruClassifier& model, unsigned embed_bits,
+                           unsigned hidden_bits)
+    : config_(model.config()) {
+  len_embed_q_ = quantize_grid(model.len_embedding().table(), embed_bits);
+  ipd_embed_q_ = quantize_grid(model.ipd_embedding().table(), embed_bits);
+  wxz_ = BinMatrix::from(model.cell().wxz());
+  whz_ = BinMatrix::from(model.cell().whz());
+  wxr_ = BinMatrix::from(model.cell().wxr());
+  whr_ = BinMatrix::from(model.cell().whr());
+  wxn_ = BinMatrix::from(model.cell().wxn());
+  whn_ = BinMatrix::from(model.cell().whn());
+  // Biases stay full precision (BoS keeps per-unit offsets in SRAM).
+  bz_ = model.cell().bz();
+  br_ = model.cell().br();
+  bn_ = model.cell().bn();
+  out_w_ = BinMatrix::from(model.output().weights());
+  out_b_ = model.output().bias();
+  // 9-bit hidden grid over (-1, 1); bits < 2 degenerates to {-1, 0, 1}.
+  hidden_step_ =
+      hidden_bits >= 2
+          ? 1.0f / static_cast<float>((1u << (hidden_bits - 1)) - 1)
+          : 1.0f;
+}
+
+std::int16_t BinarizedGru::predict(const std::vector<Token>& tokens) const {
+  const std::size_t T = config_.seq_len;
+  const std::size_t E = config_.embed_dim();
+  const std::size_t U = config_.units;
+  std::vector<float> h(U, 0.0f), x(E);
+  std::vector<float> z(U), r(U), n(U), rh(U);
+  for (std::size_t t = 0; t < T; ++t) {
+    std::memcpy(x.data(), len_embed_q_.row(tokens[t][0]),
+                config_.len_embed_dim * sizeof(float));
+    std::memcpy(x.data() + config_.len_embed_dim, ipd_embed_q_.row(tokens[t][1]),
+                config_.ipd_embed_dim * sizeof(float));
+    z = bz_;
+    wxz_.matvec(x.data(), z.data());
+    whz_.matvec(h.data(), z.data());
+    r = br_;
+    wxr_.matvec(x.data(), r.data());
+    whr_.matvec(h.data(), r.data());
+    for (std::size_t u = 0; u < U; ++u) {
+      z[u] = sigmoidf(z[u]);
+      r[u] = sigmoidf(r[u]);
+      rh[u] = r[u] * h[u];
+    }
+    n = bn_;
+    wxn_.matvec(x.data(), n.data());
+    whn_.matvec(rh.data(), n.data());
+    for (std::size_t u = 0; u < U; ++u) {
+      n[u] = std::tanh(n[u]);
+      float hv = (1.0f - z[u]) * n[u] + z[u] * h[u];
+      // Quantize the hidden state to the 9-bit grid (BoS hidden precision).
+      h[u] = std::round(hv / hidden_step_) * hidden_step_;
+    }
+  }
+  std::vector<float> y = out_b_;
+  out_w_.matvec(h.data(), y.data());
+  return static_cast<std::int16_t>(std::max_element(y.begin(), y.end()) - y.begin());
+}
+
+}  // namespace fenix::nn

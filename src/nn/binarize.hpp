@@ -1,0 +1,85 @@
+// Binarized neural networks for the baseline systems.
+//
+//  - BinaryMlp reproduces N3IC's binary MLP: {-1,+1} weights and sign
+//    activations, trained with the straight-through estimator (latent float
+//    weights, binarized forward). On a SmartNIC this executes as XNOR+popcount.
+//  - BinarizedGru reproduces BoS's switch-deployable GRU: binary weights with
+//    per-row scales, 6-bit embeddings, and 9-bit hidden states, derived from
+//    a float-trained GRU (BoS trains offline and deploys quantized tables).
+//
+// Both models intentionally trade accuracy for deployability — the paper's
+// Table 2 shows them below FENIX's INT8 models, which this reproduction
+// preserves by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/models.hpp"
+
+namespace fenix::nn {
+
+/// N3IC-style binary MLP with STE training.
+class BinaryMlp {
+ public:
+  BinaryMlp(MlpConfig config, std::uint64_t seed);
+
+  const MlpConfig& config() const { return config_; }
+
+  std::vector<float> logits(std::span<const float> features) const;
+  std::int16_t predict(std::span<const float> features) const;
+
+  TrainReport fit(const std::vector<VecSample>& samples, const TrainOptions& opts);
+
+ private:
+  struct Layer {
+    Matrix latent;              ///< Float master weights (clipped to [-1, 1]).
+    Matrix grad;
+    std::vector<float> bias, dbias;
+    std::vector<float> alpha;   ///< Per-row scale = mean |latent row|.
+  };
+
+  void refresh_alpha(Layer& layer) const;
+  /// Forward with binarized weights; fills per-layer pre-activations.
+  void forward_internal(std::span<const float> features,
+                        std::vector<std::vector<float>>& pre) const;
+  float train_one(const VecSample& sample);
+  void standardize(std::span<const float> in, std::vector<float>& out) const;
+
+  MlpConfig config_;
+  std::vector<Layer> layers_;
+  std::vector<float> mean_, std_;
+};
+
+/// BoS-style binarized GRU built from a float-trained GruClassifier.
+class BinarizedGru {
+ public:
+  /// Binarizes the weights of `model` (per-row scales) and quantizes
+  /// embeddings to `embed_bits` and hidden state to `hidden_bits` levels.
+  BinarizedGru(const GruClassifier& model, unsigned embed_bits = 6,
+               unsigned hidden_bits = 9);
+
+  std::int16_t predict(const std::vector<Token>& tokens) const;
+  const GruConfig& config() const { return config_; }
+
+ private:
+  struct BinMatrix {
+    std::size_t rows = 0, cols = 0;
+    std::vector<std::int8_t> sign;  ///< {-1, +1}
+    std::vector<float> alpha;       ///< Per-row scale.
+
+    void matvec(const float* x, float* y_acc) const;
+    static BinMatrix from(const Matrix& m);
+  };
+
+  GruConfig config_;
+  Matrix len_embed_q_, ipd_embed_q_;  ///< Quantized embedding tables (float grid).
+  BinMatrix wxz_, whz_, wxr_, whr_, wxn_, whn_;
+  std::vector<float> bz_, br_, bn_;
+  BinMatrix out_w_;
+  std::vector<float> out_b_;
+  float hidden_step_ = 0.0f;  ///< 9-bit hidden-state grid step.
+};
+
+}  // namespace fenix::nn

@@ -1,0 +1,281 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace fenix::nn {
+
+void glorot_init(Matrix& m, sim::RandomStream& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(m.rows() + m.cols()));
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.uniform(-limit, limit));
+  }
+}
+
+// ---------------------------------------------------------------- Embedding
+
+Embedding::Embedding(std::size_t vocab, std::size_t dim, sim::RandomStream& rng)
+    : table_(vocab, dim), grad_(vocab, dim) {
+  glorot_init(table_, rng);
+}
+
+void Embedding::backward(std::size_t index, const float* dy) {
+  float* g = grad_.row(index);
+  for (std::size_t i = 0; i < dim(); ++i) g[i] += dy[i];
+}
+
+void Embedding::register_params(Optimizer& opt) {
+  opt.attach({table_.data(), grad_.data(), table_.size()});
+}
+
+// -------------------------------------------------------------------- Dense
+
+Dense::Dense(std::size_t in, std::size_t out, sim::RandomStream& rng)
+    : w_(out, in), dw_(out, in), b_(out, 0.0f), db_(out, 0.0f) {
+  glorot_init(w_, rng);
+}
+
+void Dense::forward(const float* x, float* y) const {
+  std::memcpy(y, b_.data(), b_.size() * sizeof(float));
+  matvec_acc(w_, x, y);
+}
+
+void Dense::backward(const float* x, const float* dy, float* dx) {
+  matvec_backward(w_, x, dy, dx, dw_);
+  for (std::size_t r = 0; r < out_dim(); ++r) db_[r] += dy[r];
+}
+
+void Dense::register_params(Optimizer& opt) {
+  opt.attach({w_.data(), dw_.data(), w_.size()});
+  opt.attach({b_.data(), db_.data(), b_.size()});
+}
+
+// ------------------------------------------------------------------- Conv1D
+
+Conv1D::Conv1D(std::size_t in_ch, std::size_t out_ch, std::size_t kernel,
+               sim::RandomStream& rng)
+    : in_ch_(in_ch), out_ch_(out_ch), kernel_(kernel),
+      w_(out_ch, in_ch * kernel), dw_(out_ch, in_ch * kernel),
+      b_(out_ch, 0.0f), db_(out_ch, 0.0f) {
+  glorot_init(w_, rng);
+}
+
+void Conv1D::forward(const Matrix& x, Matrix& y) const {
+  const std::size_t T = x.rows();
+  const auto pad = static_cast<std::ptrdiff_t>(kernel_ / 2);
+  for (std::size_t t = 0; t < T; ++t) {
+    float* yt = y.row(t);
+    std::memcpy(yt, b_.data(), out_ch_ * sizeof(float));
+    for (std::size_t o = 0; o < out_ch_; ++o) {
+      const float* wo = w_.row(o);
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        const std::ptrdiff_t src =
+            static_cast<std::ptrdiff_t>(t) + static_cast<std::ptrdiff_t>(k) - pad;
+        if (src < 0 || src >= static_cast<std::ptrdiff_t>(T)) continue;
+        const float* xs = x.row(static_cast<std::size_t>(src));
+        const float* wk = wo + k * in_ch_;
+        for (std::size_t c = 0; c < in_ch_; ++c) acc += wk[c] * xs[c];
+      }
+      yt[o] += acc;
+    }
+  }
+}
+
+void Conv1D::backward(const Matrix& x, const Matrix& dy, Matrix* dx) {
+  const std::size_t T = x.rows();
+  const auto pad = static_cast<std::ptrdiff_t>(kernel_ / 2);
+  for (std::size_t t = 0; t < T; ++t) {
+    const float* dyt = dy.row(t);
+    for (std::size_t o = 0; o < out_ch_; ++o) {
+      const float g = dyt[o];
+      if (g == 0.0f) continue;
+      db_[o] += g;
+      float* dwo = dw_.row(o);
+      const float* wo = w_.row(o);
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        const std::ptrdiff_t src =
+            static_cast<std::ptrdiff_t>(t) + static_cast<std::ptrdiff_t>(k) - pad;
+        if (src < 0 || src >= static_cast<std::ptrdiff_t>(T)) continue;
+        const float* xs = x.row(static_cast<std::size_t>(src));
+        float* dwk = dwo + k * in_ch_;
+        for (std::size_t c = 0; c < in_ch_; ++c) dwk[c] += xs[c] * g;
+        if (dx) {
+          float* dxs = dx->row(static_cast<std::size_t>(src));
+          const float* wk = wo + k * in_ch_;
+          for (std::size_t c = 0; c < in_ch_; ++c) dxs[c] += wk[c] * g;
+        }
+      }
+    }
+  }
+}
+
+void Conv1D::register_params(Optimizer& opt) {
+  opt.attach({w_.data(), dw_.data(), w_.size()});
+  opt.attach({b_.data(), db_.data(), b_.size()});
+}
+
+// ------------------------------------------------------------------ RnnCell
+
+RnnCell::RnnCell(std::size_t in_dim, std::size_t units, sim::RandomStream& rng)
+    : wx_(units, in_dim), dwx_(units, in_dim), wh_(units, units), dwh_(units, units),
+      b_(units, 0.0f), db_(units, 0.0f) {
+  glorot_init(wx_, rng);
+  // Orthogonal-ish small init for the recurrent matrix keeps BPTT stable.
+  glorot_init(wh_, rng);
+  for (std::size_t i = 0; i < wh_.size(); ++i) wh_.data()[i] *= 0.5f;
+}
+
+void RnnCell::forward(const Matrix& xs, Matrix& hs) const {
+  const std::size_t T = xs.rows();
+  const std::size_t U = units();
+  std::memset(hs.row(0), 0, U * sizeof(float));
+  std::vector<float> pre(U);
+  for (std::size_t t = 0; t < T; ++t) {
+    std::memcpy(pre.data(), b_.data(), U * sizeof(float));
+    matvec_acc(wx_, xs.row(t), pre.data());
+    matvec_acc(wh_, hs.row(t), pre.data());
+    float* ht = hs.row(t + 1);
+    for (std::size_t u = 0; u < U; ++u) ht[u] = std::tanh(pre[u]);
+  }
+}
+
+void RnnCell::backward(const Matrix& xs, const Matrix& hs, const float* dh_last,
+                       Matrix* dxs) {
+  const std::size_t T = xs.rows();
+  const std::size_t U = units();
+  std::vector<float> dh(dh_last, dh_last + U);
+  std::vector<float> dpre(U);
+  std::vector<float> dh_prev(U);
+  for (std::size_t t = T; t-- > 0;) {
+    const float* ht = hs.row(t + 1);
+    for (std::size_t u = 0; u < U; ++u) {
+      dpre[u] = dh[u] * (1.0f - ht[u] * ht[u]);  // tanh'
+      db_[u] += dpre[u];
+    }
+    std::fill(dh_prev.begin(), dh_prev.end(), 0.0f);
+    matvec_backward(wx_, xs.row(t), dpre.data(), dxs ? dxs->row(t) : nullptr, dwx_);
+    matvec_backward(wh_, hs.row(t), dpre.data(), dh_prev.data(), dwh_);
+    dh = dh_prev;
+  }
+}
+
+void RnnCell::register_params(Optimizer& opt) {
+  opt.attach({wx_.data(), dwx_.data(), wx_.size()});
+  opt.attach({wh_.data(), dwh_.data(), wh_.size()});
+  opt.attach({b_.data(), db_.data(), b_.size()});
+}
+
+// ------------------------------------------------------------------ GruCell
+
+GruCell::GruCell(std::size_t in_dim, std::size_t units, sim::RandomStream& rng)
+    : wxz_(units, in_dim), whz_(units, units), dwxz_(units, in_dim), dwhz_(units, units),
+      wxr_(units, in_dim), whr_(units, units), dwxr_(units, in_dim), dwhr_(units, units),
+      wxn_(units, in_dim), whn_(units, units), dwxn_(units, in_dim), dwhn_(units, units),
+      bz_(units, 0.0f), br_(units, 0.0f), bn_(units, 0.0f),
+      dbz_(units, 0.0f), dbr_(units, 0.0f), dbn_(units, 0.0f) {
+  glorot_init(wxz_, rng); glorot_init(whz_, rng);
+  glorot_init(wxr_, rng); glorot_init(whr_, rng);
+  glorot_init(wxn_, rng); glorot_init(whn_, rng);
+}
+
+namespace {
+inline float sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+}  // namespace
+
+void GruCell::forward(const Matrix& xs, Matrix& hs) const {
+  const std::size_t T = xs.rows();
+  const std::size_t U = units();
+  std::memset(hs.row(0), 0, U * sizeof(float));
+  std::vector<float> z(U), r(U), n(U), rh(U);
+  for (std::size_t t = 0; t < T; ++t) {
+    const float* x = xs.row(t);
+    const float* h = hs.row(t);
+    std::memcpy(z.data(), bz_.data(), U * sizeof(float));
+    matvec_acc(wxz_, x, z.data());
+    matvec_acc(whz_, h, z.data());
+    std::memcpy(r.data(), br_.data(), U * sizeof(float));
+    matvec_acc(wxr_, x, r.data());
+    matvec_acc(whr_, h, r.data());
+    for (std::size_t u = 0; u < U; ++u) {
+      z[u] = sigmoidf(z[u]);
+      r[u] = sigmoidf(r[u]);
+      rh[u] = r[u] * h[u];
+    }
+    std::memcpy(n.data(), bn_.data(), U * sizeof(float));
+    matvec_acc(wxn_, x, n.data());
+    matvec_acc(whn_, rh.data(), n.data());
+    float* hn = hs.row(t + 1);
+    for (std::size_t u = 0; u < U; ++u) {
+      n[u] = std::tanh(n[u]);
+      hn[u] = (1.0f - z[u]) * n[u] + z[u] * h[u];
+    }
+  }
+}
+
+void GruCell::backward(const Matrix& xs, const Matrix& hs, const float* dh_last,
+                       Matrix* dxs) {
+  const std::size_t T = xs.rows();
+  const std::size_t U = units();
+  // Recompute gate activations per step (memory-light BPTT for short
+  // sequences; T <= 16 everywhere in this repository).
+  std::vector<float> dh(dh_last, dh_last + U);
+  std::vector<float> z(U), r(U), n(U), rh(U), dz(U), dr(U), dn(U), drh(U), dh_prev(U);
+  for (std::size_t t = T; t-- > 0;) {
+    const float* x = xs.row(t);
+    const float* h = hs.row(t);
+    // Forward recompute of gates at step t.
+    std::memcpy(z.data(), bz_.data(), U * sizeof(float));
+    matvec_acc(wxz_, x, z.data());
+    matvec_acc(whz_, h, z.data());
+    std::memcpy(r.data(), br_.data(), U * sizeof(float));
+    matvec_acc(wxr_, x, r.data());
+    matvec_acc(whr_, h, r.data());
+    for (std::size_t u = 0; u < U; ++u) {
+      z[u] = sigmoidf(z[u]);
+      r[u] = sigmoidf(r[u]);
+      rh[u] = r[u] * h[u];
+    }
+    std::memcpy(n.data(), bn_.data(), U * sizeof(float));
+    matvec_acc(wxn_, x, n.data());
+    matvec_acc(whn_, rh.data(), n.data());
+    for (std::size_t u = 0; u < U; ++u) n[u] = std::tanh(n[u]);
+
+    // h_t = (1-z) n + z h_{t-1}
+    std::fill(dh_prev.begin(), dh_prev.end(), 0.0f);
+    for (std::size_t u = 0; u < U; ++u) {
+      dn[u] = dh[u] * (1.0f - z[u]) * (1.0f - n[u] * n[u]);
+      dz[u] = dh[u] * (h[u] - n[u]) * z[u] * (1.0f - z[u]);
+      dh_prev[u] = dh[u] * z[u];
+      dbn_[u] += dn[u];
+      dbz_[u] += dz[u];
+    }
+    std::fill(drh.begin(), drh.end(), 0.0f);
+    matvec_backward(wxn_, x, dn.data(), dxs ? dxs->row(t) : nullptr, dwxn_);
+    matvec_backward(whn_, rh.data(), dn.data(), drh.data(), dwhn_);
+    for (std::size_t u = 0; u < U; ++u) {
+      dr[u] = drh[u] * h[u] * r[u] * (1.0f - r[u]);
+      dh_prev[u] += drh[u] * r[u];
+      dbr_[u] += dr[u];
+    }
+    matvec_backward(wxz_, x, dz.data(), dxs ? dxs->row(t) : nullptr, dwxz_);
+    matvec_backward(whz_, h, dz.data(), dh_prev.data(), dwhz_);
+    matvec_backward(wxr_, x, dr.data(), dxs ? dxs->row(t) : nullptr, dwxr_);
+    matvec_backward(whr_, h, dr.data(), dh_prev.data(), dwhr_);
+    dh = dh_prev;
+  }
+}
+
+void GruCell::register_params(Optimizer& opt) {
+  opt.attach({wxz_.data(), dwxz_.data(), wxz_.size()});
+  opt.attach({whz_.data(), dwhz_.data(), whz_.size()});
+  opt.attach({wxr_.data(), dwxr_.data(), wxr_.size()});
+  opt.attach({whr_.data(), dwhr_.data(), whr_.size()});
+  opt.attach({wxn_.data(), dwxn_.data(), wxn_.size()});
+  opt.attach({whn_.data(), dwhn_.data(), whn_.size()});
+  opt.attach({bz_.data(), dbz_.data(), bz_.size()});
+  opt.attach({br_.data(), dbr_.data(), br_.size()});
+  opt.attach({bn_.data(), dbn_.data(), bn_.size()});
+}
+
+}  // namespace fenix::nn

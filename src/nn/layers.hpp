@@ -1,0 +1,158 @@
+// Neural network layers with explicit forward/backward passes.
+//
+// The Model Engine supports embedding, fully connected, convolutional, and
+// recurrent layers (§5.2); this module implements their float training
+// versions. Each layer owns its parameters and gradient buffers and exposes
+// them as ParamSlabs for the optimizer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/optimizer.hpp"
+#include "nn/tensor.hpp"
+#include "sim/random.hpp"
+
+namespace fenix::nn {
+
+/// Token embedding table.
+class Embedding {
+ public:
+  Embedding(std::size_t vocab, std::size_t dim, sim::RandomStream& rng);
+
+  std::size_t vocab() const { return table_.rows(); }
+  std::size_t dim() const { return table_.cols(); }
+
+  const float* forward(std::size_t index) const { return table_.row(index); }
+  void backward(std::size_t index, const float* dy);
+
+  void register_params(Optimizer& opt);
+  const Matrix& table() const { return table_; }
+  Matrix& table() { return table_; }
+
+ private:
+  Matrix table_;
+  Matrix grad_;
+};
+
+/// Fully connected layer y = W x + b.
+class Dense {
+ public:
+  Dense(std::size_t in, std::size_t out, sim::RandomStream& rng);
+
+  std::size_t in_dim() const { return w_.cols(); }
+  std::size_t out_dim() const { return w_.rows(); }
+
+  void forward(const float* x, float* y) const;
+  /// dx may be null for the first layer.
+  void backward(const float* x, const float* dy, float* dx);
+
+  void register_params(Optimizer& opt);
+  const Matrix& weights() const { return w_; }
+  Matrix& weights() { return w_; }
+  const std::vector<float>& bias() const { return b_; }
+  std::vector<float>& bias() { return b_; }
+
+ private:
+  Matrix w_, dw_;
+  std::vector<float> b_, db_;
+};
+
+/// 1-D convolution over a (time x channels) sequence, 'same' zero padding,
+/// stride 1. Weight layout: out_ch x (in_ch * kernel).
+class Conv1D {
+ public:
+  Conv1D(std::size_t in_ch, std::size_t out_ch, std::size_t kernel,
+         sim::RandomStream& rng);
+
+  std::size_t in_channels() const { return in_ch_; }
+  std::size_t out_channels() const { return out_ch_; }
+  std::size_t kernel() const { return kernel_; }
+
+  /// x: T x in_ch, y: T x out_ch (resized by the caller).
+  void forward(const Matrix& x, Matrix& y) const;
+  /// dx may be null for the first layer; dims mirror forward.
+  void backward(const Matrix& x, const Matrix& dy, Matrix* dx);
+
+  void register_params(Optimizer& opt);
+  const Matrix& weights() const { return w_; }
+  Matrix& weights() { return w_; }
+  const std::vector<float>& bias() const { return b_; }
+  std::vector<float>& bias() { return b_; }
+
+ private:
+  std::size_t in_ch_, out_ch_, kernel_;
+  Matrix w_, dw_;  // out_ch x (in_ch*kernel)
+  std::vector<float> b_, db_;
+};
+
+/// Vanilla tanh RNN cell: h_t = tanh(Wx x_t + Wh h_{t-1} + b).
+class RnnCell {
+ public:
+  RnnCell(std::size_t in_dim, std::size_t units, sim::RandomStream& rng);
+
+  std::size_t in_dim() const { return wx_.cols(); }
+  std::size_t units() const { return wx_.rows(); }
+
+  /// Runs the cell over a T x in_dim sequence; fills hs (T+1 x units, hs[0]
+  /// is the zero initial state) with hidden states.
+  void forward(const Matrix& xs, Matrix& hs) const;
+
+  /// BPTT. `dh_last` is the gradient w.r.t. the final hidden state; dxs (may
+  /// be null) receives gradients w.r.t. the inputs.
+  void backward(const Matrix& xs, const Matrix& hs, const float* dh_last,
+                Matrix* dxs);
+
+  void register_params(Optimizer& opt);
+  const Matrix& wx() const { return wx_; }
+  const Matrix& wh() const { return wh_; }
+  const std::vector<float>& bias() const { return b_; }
+  Matrix& wx() { return wx_; }
+  Matrix& wh() { return wh_; }
+  std::vector<float>& bias() { return b_; }
+
+ private:
+  Matrix wx_, dwx_;  // units x in
+  Matrix wh_, dwh_;  // units x units
+  std::vector<float> b_, db_;
+};
+
+/// GRU cell (update z, reset r, candidate n) for the BoS baseline.
+class GruCell {
+ public:
+  GruCell(std::size_t in_dim, std::size_t units, sim::RandomStream& rng);
+
+  std::size_t in_dim() const { return wxz_.cols(); }
+  std::size_t units() const { return wxz_.rows(); }
+
+  void forward(const Matrix& xs, Matrix& hs) const;
+  void backward(const Matrix& xs, const Matrix& hs, const float* dh_last,
+                Matrix* dxs);
+
+  void register_params(Optimizer& opt);
+
+  // Weight access for binarization (BoS).
+  Matrix& wxz() { return wxz_; } Matrix& whz() { return whz_; }
+  Matrix& wxr() { return wxr_; } Matrix& whr() { return whr_; }
+  Matrix& wxn() { return wxn_; } Matrix& whn() { return whn_; }
+  const Matrix& wxz() const { return wxz_; } const Matrix& whz() const { return whz_; }
+  const Matrix& wxr() const { return wxr_; } const Matrix& whr() const { return whr_; }
+  const Matrix& wxn() const { return wxn_; } const Matrix& whn() const { return whn_; }
+  std::vector<float>& bz() { return bz_; }
+  std::vector<float>& br() { return br_; }
+  std::vector<float>& bn() { return bn_; }
+  const std::vector<float>& bz() const { return bz_; }
+  const std::vector<float>& br() const { return br_; }
+  const std::vector<float>& bn() const { return bn_; }
+
+ private:
+  Matrix wxz_, whz_, dwxz_, dwhz_;
+  Matrix wxr_, whr_, dwxr_, dwhr_;
+  Matrix wxn_, whn_, dwxn_, dwhn_;
+  std::vector<float> bz_, br_, bn_, dbz_, dbr_, dbn_;
+};
+
+/// Glorot-uniform initialization helper.
+void glorot_init(Matrix& m, sim::RandomStream& rng);
+
+}  // namespace fenix::nn

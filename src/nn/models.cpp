@@ -1,0 +1,537 @@
+#include "nn/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace fenix::nn {
+namespace {
+
+/// Runs one training schedule over `train_one`.
+template <typename Model, typename Sample>
+TrainReport run_fit(Model& model, AdamW& opt, const std::vector<Sample>& samples,
+                    const std::vector<std::size_t>& order, const TrainOptions& opts,
+                    float (Model::*train_one)(const Sample&)) {
+  TrainReport report;
+  float lr = opts.lr;
+  for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    opt.set_lr(lr);
+    double loss_sum = 0.0;
+    std::size_t in_batch = 0;
+    for (std::size_t idx : order) {
+      loss_sum += (model.*train_one)(samples[idx]);
+      ++report.samples_seen;
+      if (++in_batch == opts.batch_size) {
+        opt.step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) opt.step();
+    report.epoch_loss.push_back(
+        order.empty() ? 0.0f : static_cast<float>(loss_sum / static_cast<double>(order.size())));
+    lr *= opts.lr_decay;
+  }
+  return report;
+}
+
+std::vector<std::size_t> make_order(const std::vector<SeqSample>& samples,
+                                    std::size_t num_classes, const TrainOptions& opts) {
+  if (opts.balance_classes) {
+    return balanced_indices(samples, num_classes, opts.seed ^ 0xbee5, opts.cap_per_class);
+  }
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  sim::RandomStream rng(opts.seed ^ 0xbee5);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform_int(i)]);
+  }
+  return order;
+}
+
+std::int16_t argmax16(const std::vector<float>& v) {
+  return static_cast<std::int16_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------- CNN
+
+struct CnnClassifier::Workspace {
+  Matrix emb;
+  std::vector<Matrix> conv_out;               // post-ReLU activations
+  std::vector<std::vector<bool>> conv_mask;   // flattened T*C masks
+  std::vector<float> pooled;
+  std::vector<std::vector<float>> fc_out;     // post-ReLU (last: raw probs)
+  std::vector<std::vector<bool>> fc_mask;
+};
+
+CnnClassifier::CnnClassifier(CnnConfig config, std::uint64_t seed)
+    : config_(std::move(config)) {
+  sim::RandomStream rng(seed);
+  len_embed_ = std::make_unique<Embedding>(kLenVocab, config_.len_embed_dim, rng);
+  ipd_embed_ = std::make_unique<Embedding>(kIpdVocab, config_.ipd_embed_dim, rng);
+  std::size_t in_ch = config_.embed_dim();
+  for (std::size_t out_ch : config_.conv_channels) {
+    convs_.push_back(std::make_unique<Conv1D>(in_ch, out_ch, config_.kernel, rng));
+    in_ch = out_ch;
+  }
+  std::size_t in = in_ch;  // global average pooled dimension
+  for (std::size_t dim : config_.fc_dims) {
+    fcs_.push_back(std::make_unique<Dense>(in, dim, rng));
+    in = dim;
+  }
+  fcs_.push_back(std::make_unique<Dense>(in, config_.num_classes, rng));
+}
+
+void CnnClassifier::embed(const std::vector<Token>& tokens, Matrix& out) const {
+  const std::size_t T = config_.seq_len;
+  const std::size_t ld = config_.len_embed_dim;
+  const std::size_t id = config_.ipd_embed_dim;
+  for (std::size_t t = 0; t < T; ++t) {
+    const Token& tok = tokens[t];
+    std::memcpy(out.row(t), len_embed_->forward(tok[0]), ld * sizeof(float));
+    std::memcpy(out.row(t) + ld, ipd_embed_->forward(tok[1]), id * sizeof(float));
+  }
+}
+
+std::vector<float> CnnClassifier::logits(const std::vector<Token>& tokens) const {
+  const std::size_t T = config_.seq_len;
+  Matrix cur(T, config_.embed_dim());
+  embed(tokens, cur);
+  for (const auto& conv : convs_) {
+    Matrix next(T, conv->out_channels());
+    conv->forward(cur, next);
+    relu_forward(next.data(), next.size());
+    cur = std::move(next);
+  }
+  std::vector<float> pooled(cur.cols(), 0.0f);
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t c = 0; c < cur.cols(); ++c) pooled[c] += cur(t, c);
+  }
+  const float inv = 1.0f / static_cast<float>(T);
+  for (float& v : pooled) v *= inv;
+  std::vector<float> x = std::move(pooled);
+  for (std::size_t i = 0; i < fcs_.size(); ++i) {
+    std::vector<float> y(fcs_[i]->out_dim());
+    fcs_[i]->forward(x.data(), y.data());
+    if (i + 1 < fcs_.size()) relu_forward(y.data(), y.size());
+    x = std::move(y);
+  }
+  return x;
+}
+
+std::int16_t CnnClassifier::predict(const std::vector<Token>& tokens) const {
+  return argmax16(logits(tokens));
+}
+
+float CnnClassifier::train_one(const SeqSample& sample, Workspace& ws) {
+  const std::size_t T = config_.seq_len;
+  ws.emb = Matrix(T, config_.embed_dim());
+  embed(sample.tokens, ws.emb);
+
+  // Forward through convolutions, keeping post-ReLU activations and masks.
+  ws.conv_out.resize(convs_.size());
+  ws.conv_mask.resize(convs_.size());
+  const Matrix* cur = &ws.emb;
+  for (std::size_t i = 0; i < convs_.size(); ++i) {
+    ws.conv_out[i] = Matrix(T, convs_[i]->out_channels());
+    convs_[i]->forward(*cur, ws.conv_out[i]);
+    relu_forward(ws.conv_out[i].data(), ws.conv_out[i].size(), &ws.conv_mask[i]);
+    cur = &ws.conv_out[i];
+  }
+
+  // Global average pool.
+  ws.pooled.assign(cur->cols(), 0.0f);
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t c = 0; c < cur->cols(); ++c) ws.pooled[c] += (*cur)(t, c);
+  }
+  const float inv = 1.0f / static_cast<float>(T);
+  for (float& v : ws.pooled) v *= inv;
+
+  // FC stack.
+  ws.fc_out.resize(fcs_.size());
+  ws.fc_mask.resize(fcs_.size());
+  const std::vector<float>* x = &ws.pooled;
+  for (std::size_t i = 0; i < fcs_.size(); ++i) {
+    ws.fc_out[i].assign(fcs_[i]->out_dim(), 0.0f);
+    fcs_[i]->forward(x->data(), ws.fc_out[i].data());
+    if (i + 1 < fcs_.size()) {
+      relu_forward(ws.fc_out[i].data(), ws.fc_out[i].size(), &ws.fc_mask[i]);
+    }
+    x = &ws.fc_out[i];
+  }
+
+  // Loss + gradient.
+  std::vector<float> probs = ws.fc_out.back();
+  softmax(probs.data(), probs.size());
+  std::vector<float> grad(probs.size());
+  const float loss = cross_entropy_grad(probs.data(), probs.size(),
+                                        static_cast<std::size_t>(sample.label),
+                                        grad.data());
+
+  // Backward through FC stack.
+  std::vector<float> dy = std::move(grad);
+  for (std::size_t i = fcs_.size(); i-- > 0;) {
+    const std::vector<float>& input = i == 0 ? ws.pooled : ws.fc_out[i - 1];
+    std::vector<float> dx(input.size(), 0.0f);
+    fcs_[i]->backward(input.data(), dy.data(), dx.data());
+    if (i > 0) relu_backward(dx.data(), ws.fc_mask[i - 1]);
+    dy = std::move(dx);
+  }
+
+  // Unpool: each timestep receives dpooled / T.
+  Matrix dconv(T, ws.pooled.size());
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t c = 0; c < ws.pooled.size(); ++c) dconv(t, c) = dy[c] * inv;
+  }
+
+  // Backward through conv stack.
+  for (std::size_t i = convs_.size(); i-- > 0;) {
+    // ReLU backward over the flattened activation.
+    {
+      float* d = dconv.data();
+      const auto& mask = ws.conv_mask[i];
+      for (std::size_t j = 0; j < mask.size(); ++j) {
+        if (!mask[j]) d[j] = 0.0f;
+      }
+    }
+    const Matrix& input = i == 0 ? ws.emb : ws.conv_out[i - 1];
+    Matrix dx(input.rows(), input.cols());
+    convs_[i]->backward(input, dconv, &dx);
+    dconv = std::move(dx);
+  }
+
+  // Embedding gradients.
+  const std::size_t ld = config_.len_embed_dim;
+  for (std::size_t t = 0; t < T; ++t) {
+    len_embed_->backward(sample.tokens[t][0], dconv.row(t));
+    ipd_embed_->backward(sample.tokens[t][1], dconv.row(t) + ld);
+  }
+  return loss;
+}
+
+TrainReport CnnClassifier::fit(const std::vector<SeqSample>& samples,
+                               const TrainOptions& opts) {
+  AdamW opt(opts.lr, 0.9f, 0.999f, 1e-8f, opts.weight_decay);
+  len_embed_->register_params(opt);
+  ipd_embed_->register_params(opt);
+  for (auto& c : convs_) c->register_params(opt);
+  for (auto& f : fcs_) f->register_params(opt);
+  const auto order = make_order(samples, config_.num_classes, opts);
+
+  Workspace ws;
+  TrainReport report;
+  float lr = opts.lr;
+  for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    opt.set_lr(lr);
+    double loss_sum = 0.0;
+    std::size_t in_batch = 0;
+    for (std::size_t idx : order) {
+      loss_sum += train_one(samples[idx], ws);
+      ++report.samples_seen;
+      if (++in_batch == opts.batch_size) {
+        opt.step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) opt.step();
+    report.epoch_loss.push_back(
+        order.empty() ? 0.0f : static_cast<float>(loss_sum / static_cast<double>(order.size())));
+    lr *= opts.lr_decay;
+  }
+  return report;
+}
+
+// --------------------------------------------------------------------- RNN
+
+RnnClassifier::RnnClassifier(RnnConfig config, std::uint64_t seed)
+    : config_(std::move(config)) {
+  sim::RandomStream rng(seed);
+  len_embed_ = std::make_unique<Embedding>(kLenVocab, config_.len_embed_dim, rng);
+  ipd_embed_ = std::make_unique<Embedding>(kIpdVocab, config_.ipd_embed_dim, rng);
+  cell_ = std::make_unique<RnnCell>(config_.embed_dim(), config_.units, rng);
+  std::size_t in = config_.units;
+  for (std::size_t dim : config_.fc_dims) {
+    fcs_.push_back(std::make_unique<Dense>(in, dim, rng));
+    in = dim;
+  }
+  fcs_.push_back(std::make_unique<Dense>(in, config_.num_classes, rng));
+}
+
+void RnnClassifier::embed(const std::vector<Token>& tokens, Matrix& out) const {
+  const std::size_t ld = config_.len_embed_dim;
+  const std::size_t id = config_.ipd_embed_dim;
+  for (std::size_t t = 0; t < config_.seq_len; ++t) {
+    std::memcpy(out.row(t), len_embed_->forward(tokens[t][0]), ld * sizeof(float));
+    std::memcpy(out.row(t) + ld, ipd_embed_->forward(tokens[t][1]), id * sizeof(float));
+  }
+}
+
+std::vector<float> RnnClassifier::logits(const std::vector<Token>& tokens) const {
+  Matrix xs(config_.seq_len, config_.embed_dim());
+  embed(tokens, xs);
+  Matrix hs(config_.seq_len + 1, config_.units);
+  cell_->forward(xs, hs);
+  std::vector<float> x(hs.row(config_.seq_len), hs.row(config_.seq_len) + config_.units);
+  for (std::size_t i = 0; i < fcs_.size(); ++i) {
+    std::vector<float> y(fcs_[i]->out_dim());
+    fcs_[i]->forward(x.data(), y.data());
+    if (i + 1 < fcs_.size()) relu_forward(y.data(), y.size());
+    x = std::move(y);
+  }
+  return x;
+}
+
+std::int16_t RnnClassifier::predict(const std::vector<Token>& tokens) const {
+  return argmax16(logits(tokens));
+}
+
+float RnnClassifier::train_one(const SeqSample& sample) {
+  Matrix xs(config_.seq_len, config_.embed_dim());
+  embed(sample.tokens, xs);
+  Matrix hs(config_.seq_len + 1, config_.units);
+  cell_->forward(xs, hs);
+
+  std::vector<std::vector<float>> fc_out(fcs_.size());
+  std::vector<std::vector<bool>> fc_mask(fcs_.size());
+  std::vector<float> h_last(hs.row(config_.seq_len),
+                            hs.row(config_.seq_len) + config_.units);
+  const std::vector<float>* x = &h_last;
+  for (std::size_t i = 0; i < fcs_.size(); ++i) {
+    fc_out[i].assign(fcs_[i]->out_dim(), 0.0f);
+    fcs_[i]->forward(x->data(), fc_out[i].data());
+    if (i + 1 < fcs_.size()) relu_forward(fc_out[i].data(), fc_out[i].size(), &fc_mask[i]);
+    x = &fc_out[i];
+  }
+
+  std::vector<float> probs = fc_out.back();
+  softmax(probs.data(), probs.size());
+  std::vector<float> dy(probs.size());
+  const float loss = cross_entropy_grad(probs.data(), probs.size(),
+                                        static_cast<std::size_t>(sample.label),
+                                        dy.data());
+
+  for (std::size_t i = fcs_.size(); i-- > 0;) {
+    const std::vector<float>& input = i == 0 ? h_last : fc_out[i - 1];
+    std::vector<float> dx(input.size(), 0.0f);
+    fcs_[i]->backward(input.data(), dy.data(), dx.data());
+    if (i > 0) relu_backward(dx.data(), fc_mask[i - 1]);
+    dy = std::move(dx);
+  }
+
+  Matrix dxs(config_.seq_len, config_.embed_dim());
+  cell_->backward(xs, hs, dy.data(), &dxs);
+
+  const std::size_t ld = config_.len_embed_dim;
+  for (std::size_t t = 0; t < config_.seq_len; ++t) {
+    len_embed_->backward(sample.tokens[t][0], dxs.row(t));
+    ipd_embed_->backward(sample.tokens[t][1], dxs.row(t) + ld);
+  }
+  return loss;
+}
+
+TrainReport RnnClassifier::fit(const std::vector<SeqSample>& samples,
+                               const TrainOptions& opts) {
+  AdamW opt(opts.lr, 0.9f, 0.999f, 1e-8f, opts.weight_decay);
+  len_embed_->register_params(opt);
+  ipd_embed_->register_params(opt);
+  cell_->register_params(opt);
+  for (auto& f : fcs_) f->register_params(opt);
+  const auto order = make_order(samples, config_.num_classes, opts);
+  return run_fit(*this, opt, samples, order, opts, &RnnClassifier::train_one);
+}
+
+// --------------------------------------------------------------------- GRU
+
+GruClassifier::GruClassifier(GruConfig config, std::uint64_t seed)
+    : config_(std::move(config)) {
+  sim::RandomStream rng(seed);
+  len_embed_ = std::make_unique<Embedding>(kLenVocab, config_.len_embed_dim, rng);
+  ipd_embed_ = std::make_unique<Embedding>(kIpdVocab, config_.ipd_embed_dim, rng);
+  cell_ = std::make_unique<GruCell>(config_.embed_dim(), config_.units, rng);
+  out_ = std::make_unique<Dense>(config_.units, config_.num_classes, rng);
+}
+
+void GruClassifier::embed(const std::vector<Token>& tokens, Matrix& out) const {
+  const std::size_t ld = config_.len_embed_dim;
+  const std::size_t id = config_.ipd_embed_dim;
+  for (std::size_t t = 0; t < config_.seq_len; ++t) {
+    std::memcpy(out.row(t), len_embed_->forward(tokens[t][0]), ld * sizeof(float));
+    std::memcpy(out.row(t) + ld, ipd_embed_->forward(tokens[t][1]), id * sizeof(float));
+  }
+}
+
+std::vector<float> GruClassifier::logits(const std::vector<Token>& tokens) const {
+  Matrix xs(config_.seq_len, config_.embed_dim());
+  embed(tokens, xs);
+  Matrix hs(config_.seq_len + 1, config_.units);
+  cell_->forward(xs, hs);
+  std::vector<float> y(config_.num_classes);
+  out_->forward(hs.row(config_.seq_len), y.data());
+  return y;
+}
+
+std::int16_t GruClassifier::predict(const std::vector<Token>& tokens) const {
+  return argmax16(logits(tokens));
+}
+
+float GruClassifier::train_one(const SeqSample& sample) {
+  Matrix xs(config_.seq_len, config_.embed_dim());
+  embed(sample.tokens, xs);
+  Matrix hs(config_.seq_len + 1, config_.units);
+  cell_->forward(xs, hs);
+
+  std::vector<float> probs(config_.num_classes);
+  out_->forward(hs.row(config_.seq_len), probs.data());
+  softmax(probs.data(), probs.size());
+  std::vector<float> dy(probs.size());
+  const float loss = cross_entropy_grad(probs.data(), probs.size(),
+                                        static_cast<std::size_t>(sample.label),
+                                        dy.data());
+
+  std::vector<float> dh(config_.units, 0.0f);
+  out_->backward(hs.row(config_.seq_len), dy.data(), dh.data());
+
+  Matrix dxs(config_.seq_len, config_.embed_dim());
+  cell_->backward(xs, hs, dh.data(), &dxs);
+
+  const std::size_t ld = config_.len_embed_dim;
+  for (std::size_t t = 0; t < config_.seq_len; ++t) {
+    len_embed_->backward(sample.tokens[t][0], dxs.row(t));
+    ipd_embed_->backward(sample.tokens[t][1], dxs.row(t) + ld);
+  }
+  return loss;
+}
+
+TrainReport GruClassifier::fit(const std::vector<SeqSample>& samples,
+                               const TrainOptions& opts) {
+  AdamW opt(opts.lr, 0.9f, 0.999f, 1e-8f, opts.weight_decay);
+  len_embed_->register_params(opt);
+  ipd_embed_->register_params(opt);
+  cell_->register_params(opt);
+  out_->register_params(opt);
+  const auto order = make_order(samples, config_.num_classes, opts);
+  return run_fit(*this, opt, samples, order, opts, &GruClassifier::train_one);
+}
+
+// --------------------------------------------------------------------- MLP
+
+MlpClassifier::MlpClassifier(MlpConfig config, std::uint64_t seed)
+    : config_(std::move(config)) {
+  sim::RandomStream rng(seed);
+  std::size_t in = config_.input_dim;
+  for (std::size_t dim : config_.hidden) {
+    layers_.push_back(std::make_unique<Dense>(in, dim, rng));
+    in = dim;
+  }
+  layers_.push_back(std::make_unique<Dense>(in, config_.num_classes, rng));
+  mean_.assign(config_.input_dim, 0.0f);
+  std_.assign(config_.input_dim, 1.0f);
+}
+
+void MlpClassifier::standardize(std::span<const float> in,
+                                std::vector<float>& out) const {
+  out.resize(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = (in[i] - mean_[i]) / std_[i];
+  }
+}
+
+std::vector<float> MlpClassifier::logits(std::span<const float> features) const {
+  std::vector<float> x;
+  standardize(features, x);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    std::vector<float> y(layers_[i]->out_dim());
+    layers_[i]->forward(x.data(), y.data());
+    if (i + 1 < layers_.size()) relu_forward(y.data(), y.size());
+    x = std::move(y);
+  }
+  return x;
+}
+
+std::int16_t MlpClassifier::predict(std::span<const float> features) const {
+  return argmax16(logits(features));
+}
+
+float MlpClassifier::train_one(const VecSample& sample) {
+  std::vector<float> x0;
+  standardize(sample.features, x0);
+  std::vector<std::vector<float>> outs(layers_.size());
+  std::vector<std::vector<bool>> masks(layers_.size());
+  const std::vector<float>* x = &x0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    outs[i].assign(layers_[i]->out_dim(), 0.0f);
+    layers_[i]->forward(x->data(), outs[i].data());
+    if (i + 1 < layers_.size()) relu_forward(outs[i].data(), outs[i].size(), &masks[i]);
+    x = &outs[i];
+  }
+  std::vector<float> probs = outs.back();
+  softmax(probs.data(), probs.size());
+  std::vector<float> dy(probs.size());
+  const float loss = cross_entropy_grad(probs.data(), probs.size(),
+                                        static_cast<std::size_t>(sample.label),
+                                        dy.data());
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const std::vector<float>& input = i == 0 ? x0 : outs[i - 1];
+    std::vector<float> dx(input.size(), 0.0f);
+    layers_[i]->backward(input.data(), dy.data(), dx.data());
+    if (i > 0) relu_backward(dx.data(), masks[i - 1]);
+    dy = std::move(dx);
+  }
+  return loss;
+}
+
+TrainReport MlpClassifier::fit(const std::vector<VecSample>& samples,
+                               const TrainOptions& opts) {
+  // Learn input standardization from the training distribution.
+  if (!samples.empty()) {
+    std::vector<double> sum(config_.input_dim, 0.0), sq(config_.input_dim, 0.0);
+    for (const VecSample& s : samples) {
+      for (std::size_t i = 0; i < config_.input_dim; ++i) {
+        sum[i] += s.features[i];
+        sq[i] += static_cast<double>(s.features[i]) * s.features[i];
+      }
+    }
+    const auto n = static_cast<double>(samples.size());
+    for (std::size_t i = 0; i < config_.input_dim; ++i) {
+      mean_[i] = static_cast<float>(sum[i] / n);
+      const double var = sq[i] / n - static_cast<double>(mean_[i]) * mean_[i];
+      std_[i] = static_cast<float>(std::sqrt(std::max(var, 1e-6)));
+    }
+  }
+
+  AdamW opt(opts.lr, 0.9f, 0.999f, 1e-8f, opts.weight_decay);
+  for (auto& l : layers_) l->register_params(opt);
+
+  // Balanced order over VecSamples.
+  std::vector<std::vector<std::size_t>> by_class(config_.num_classes);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto label = samples[i].label;
+    if (label >= 0 && static_cast<std::size_t>(label) < config_.num_classes) {
+      by_class[static_cast<std::size_t>(label)].push_back(i);
+    }
+  }
+  std::vector<std::size_t> order;
+  sim::RandomStream rng(opts.seed ^ 0xbee5);
+  if (opts.balance_classes) {
+    std::size_t largest = 0;
+    for (const auto& v : by_class) largest = std::max(largest, v.size());
+    if (opts.cap_per_class > 0) largest = std::min(largest, opts.cap_per_class);
+    for (const auto& v : by_class) {
+      if (v.empty()) continue;
+      for (std::size_t k = 0; k < largest; ++k) {
+        order.push_back(k < v.size() ? v[k] : v[rng.uniform_int(v.size())]);
+      }
+    }
+  } else {
+    order.resize(samples.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  }
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform_int(i)]);
+  }
+  return run_fit(*this, opt, samples, order, opts, &MlpClassifier::train_one);
+}
+
+}  // namespace fenix::nn

@@ -1,0 +1,214 @@
+// Trainable classifier models mirroring the architectures of §7.1:
+//  - CnnClassifier: embeddings -> Conv1D stack -> global average pool -> FC
+//    stack -> softmax (FENIX-CNN, 3 conv layers + 2 FC layers in the paper).
+//  - RnnClassifier: embeddings -> RNN cell -> dense output (FENIX-RNN).
+//  - GruClassifier: embeddings -> GRU -> dense output (float parent of the
+//    binarized BoS baseline).
+//  - MlpClassifier: continuous flow statistics -> dense stack (float parent
+//    of the binarized N3IC baseline, also usable standalone).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/featurizer.hpp"
+#include "nn/layers.hpp"
+#include "nn/optimizer.hpp"
+
+namespace fenix::nn {
+
+/// Common training options.
+struct TrainOptions {
+  std::size_t epochs = 6;
+  float lr = 0.01f;           ///< AdamW learning rate (Table 1 uses 0.01/0.005).
+  float lr_decay = 0.7f;      ///< Multiplicative decay per epoch.
+  std::size_t batch_size = 16;
+  bool balance_classes = true;
+  std::size_t cap_per_class = 0;  ///< 0 = no cap (full oversampling).
+  std::uint64_t seed = 1;
+  float weight_decay = 1e-4f;
+};
+
+/// Summary of one fit() run.
+struct TrainReport {
+  std::vector<float> epoch_loss;
+  std::size_t samples_seen = 0;
+};
+
+// --------------------------------------------------------------------- CNN
+
+struct CnnConfig {
+  std::size_t seq_len = 9;          ///< F1..F8 ring + current packet (§4.3).
+  std::size_t len_embed_dim = 12;
+  std::size_t ipd_embed_dim = 4;
+  std::vector<std::size_t> conv_channels = {64, 128, 256};
+  std::size_t kernel = 3;
+  std::vector<std::size_t> fc_dims = {512, 256};
+  std::size_t num_classes = 2;
+
+  std::size_t embed_dim() const { return len_embed_dim + ipd_embed_dim; }
+};
+
+class CnnClassifier {
+ public:
+  CnnClassifier(CnnConfig config, std::uint64_t seed);
+
+  const CnnConfig& config() const { return config_; }
+
+  /// Class logits for one token sequence (inference path, no state).
+  std::vector<float> logits(const std::vector<Token>& tokens) const;
+  std::int16_t predict(const std::vector<Token>& tokens) const;
+
+  /// Trains with AdamW on the given samples.
+  TrainReport fit(const std::vector<SeqSample>& samples, const TrainOptions& opts);
+
+  // Parameter access for quantization and serialization.
+  const Embedding& len_embedding() const { return *len_embed_; }
+  const Embedding& ipd_embedding() const { return *ipd_embed_; }
+  const std::vector<std::unique_ptr<Conv1D>>& conv_layers() const { return convs_; }
+  const std::vector<std::unique_ptr<Dense>>& fc_layers() const { return fcs_; }
+  Embedding& len_embedding() { return *len_embed_; }
+  Embedding& ipd_embedding() { return *ipd_embed_; }
+  std::vector<std::unique_ptr<Conv1D>>& conv_layers() { return convs_; }
+  std::vector<std::unique_ptr<Dense>>& fc_layers() { return fcs_; }
+
+ private:
+  struct Workspace;
+  void embed(const std::vector<Token>& tokens, Matrix& out) const;
+  float train_one(const SeqSample& sample, Workspace& ws);
+
+  CnnConfig config_;
+  std::unique_ptr<Embedding> len_embed_;
+  std::unique_ptr<Embedding> ipd_embed_;
+  std::vector<std::unique_ptr<Conv1D>> convs_;
+  std::vector<std::unique_ptr<Dense>> fcs_;
+};
+
+// --------------------------------------------------------------------- RNN
+
+struct RnnConfig {
+  std::size_t seq_len = 9;
+  std::size_t len_embed_dim = 12;
+  std::size_t ipd_embed_dim = 4;
+  std::size_t units = 128;          ///< Paper: single custom RNN cell, 128 units.
+  std::vector<std::size_t> fc_dims = {};  ///< Paper: dense output layer only.
+  std::size_t num_classes = 2;
+
+  std::size_t embed_dim() const { return len_embed_dim + ipd_embed_dim; }
+};
+
+class RnnClassifier {
+ public:
+  RnnClassifier(RnnConfig config, std::uint64_t seed);
+
+  const RnnConfig& config() const { return config_; }
+
+  std::vector<float> logits(const std::vector<Token>& tokens) const;
+  std::int16_t predict(const std::vector<Token>& tokens) const;
+
+  TrainReport fit(const std::vector<SeqSample>& samples, const TrainOptions& opts);
+
+  const Embedding& len_embedding() const { return *len_embed_; }
+  const Embedding& ipd_embedding() const { return *ipd_embed_; }
+  const RnnCell& cell() const { return *cell_; }
+  const std::vector<std::unique_ptr<Dense>>& fc_layers() const { return fcs_; }
+  Embedding& len_embedding() { return *len_embed_; }
+  Embedding& ipd_embedding() { return *ipd_embed_; }
+  RnnCell& cell() { return *cell_; }
+  std::vector<std::unique_ptr<Dense>>& fc_layers() { return fcs_; }
+
+ private:
+  void embed(const std::vector<Token>& tokens, Matrix& out) const;
+  float train_one(const SeqSample& sample);
+
+  RnnConfig config_;
+  std::unique_ptr<Embedding> len_embed_;
+  std::unique_ptr<Embedding> ipd_embed_;
+  std::unique_ptr<RnnCell> cell_;
+  std::vector<std::unique_ptr<Dense>> fcs_;
+};
+
+// --------------------------------------------------------------------- GRU
+
+struct GruConfig {
+  std::size_t seq_len = 9;
+  std::size_t len_embed_dim = 6;   ///< BoS: 6-bit embeddings.
+  std::size_t ipd_embed_dim = 2;
+  std::size_t units = 8;           ///< BoS: 8 GRU units.
+  std::size_t num_classes = 2;
+
+  std::size_t embed_dim() const { return len_embed_dim + ipd_embed_dim; }
+};
+
+class GruClassifier {
+ public:
+  GruClassifier(GruConfig config, std::uint64_t seed);
+
+  const GruConfig& config() const { return config_; }
+
+  std::vector<float> logits(const std::vector<Token>& tokens) const;
+  std::int16_t predict(const std::vector<Token>& tokens) const;
+
+  TrainReport fit(const std::vector<SeqSample>& samples, const TrainOptions& opts);
+
+  const Embedding& len_embedding() const { return *len_embed_; }
+  const Embedding& ipd_embedding() const { return *ipd_embed_; }
+  GruCell& cell() { return *cell_; }
+  const GruCell& cell() const { return *cell_; }
+  Dense& output() { return *out_; }
+  const Dense& output() const { return *out_; }
+
+ private:
+  void embed(const std::vector<Token>& tokens, Matrix& out) const;
+  float train_one(const SeqSample& sample);
+
+  GruConfig config_;
+  std::unique_ptr<Embedding> len_embed_;
+  std::unique_ptr<Embedding> ipd_embed_;
+  std::unique_ptr<GruCell> cell_;
+  std::unique_ptr<Dense> out_;
+};
+
+// --------------------------------------------------------------------- MLP
+
+struct MlpConfig {
+  std::size_t input_dim = kFlowStatDim;
+  std::vector<std::size_t> hidden = {128, 64, 10};  ///< N3IC layer sizes.
+  std::size_t num_classes = 2;
+};
+
+/// A sample for continuous-feature models.
+struct VecSample {
+  std::vector<float> features;
+  std::int16_t label = -1;
+};
+
+class MlpClassifier {
+ public:
+  MlpClassifier(MlpConfig config, std::uint64_t seed);
+
+  const MlpConfig& config() const { return config_; }
+
+  std::vector<float> logits(std::span<const float> features) const;
+  std::int16_t predict(std::span<const float> features) const;
+
+  TrainReport fit(const std::vector<VecSample>& samples, const TrainOptions& opts);
+
+  /// Input standardization learned during fit (applied inside logits()).
+  const std::vector<float>& feature_mean() const { return mean_; }
+  const std::vector<float>& feature_std() const { return std_; }
+
+  std::vector<std::unique_ptr<Dense>>& layers() { return layers_; }
+  const std::vector<std::unique_ptr<Dense>>& layers() const { return layers_; }
+
+ private:
+  float train_one(const VecSample& sample);
+  void standardize(std::span<const float> in, std::vector<float>& out) const;
+
+  MlpConfig config_;
+  std::vector<std::unique_ptr<Dense>> layers_;
+  std::vector<float> mean_, std_;
+};
+
+}  // namespace fenix::nn

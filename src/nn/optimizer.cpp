@@ -1,0 +1,62 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace fenix::nn {
+
+void Optimizer::attach(ParamSlab slab) { slabs_.push_back(slab); }
+
+void Optimizer::zero_grad() {
+  for (ParamSlab& s : slabs_) {
+    std::memset(s.grads, 0, s.count * sizeof(float));
+  }
+}
+
+void Sgd::step() {
+  if (velocity_.size() != slabs_.size()) {
+    velocity_.clear();
+    for (const ParamSlab& s : slabs_) velocity_.emplace_back(s.count, 0.0f);
+  }
+  for (std::size_t i = 0; i < slabs_.size(); ++i) {
+    ParamSlab& s = slabs_[i];
+    auto& vel = velocity_[i];
+    for (std::size_t j = 0; j < s.count; ++j) {
+      float g = s.grads[j] + weight_decay_ * s.weights[j];
+      vel[j] = momentum_ * vel[j] + g;
+      s.weights[j] -= lr_ * vel[j];
+      s.grads[j] = 0.0f;
+    }
+  }
+}
+
+void AdamW::step() {
+  if (m_.size() != slabs_.size()) {
+    m_.clear();
+    v_.clear();
+    for (const ParamSlab& s : slabs_) {
+      m_.emplace_back(s.count, 0.0f);
+      v_.emplace_back(s.count, 0.0f);
+    }
+  }
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < slabs_.size(); ++i) {
+    ParamSlab& s = slabs_[i];
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < s.count; ++j) {
+      const float g = s.grads[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      s.weights[j] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) +
+                             weight_decay_ * s.weights[j]);
+      s.grads[j] = 0.0f;
+    }
+  }
+}
+
+}  // namespace fenix::nn

@@ -1,0 +1,70 @@
+// Optimizers: SGD with momentum and AdamW (the paper trains with AdamW,
+// Table 1). Layers register parameter slabs; the optimizer owns the moment
+// buffers and applies updates in place.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fenix::nn {
+
+/// A contiguous parameter slab with its gradient buffer.
+struct ParamSlab {
+  float* weights = nullptr;
+  float* grads = nullptr;
+  std::size_t count = 0;
+};
+
+/// Optimizer interface. `step` consumes and zeroes the gradients.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Registers a slab; must be called before the first step.
+  void attach(ParamSlab slab);
+
+  /// Applies one update over all attached slabs, then zeroes gradients.
+  virtual void step() = 0;
+
+  /// Zeroes all gradients without updating.
+  void zero_grad();
+
+ protected:
+  std::vector<ParamSlab> slabs_;
+};
+
+/// Plain SGD with optional momentum and weight decay.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f, float weight_decay = 0.0f)
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void step() override;
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// AdamW: Adam with decoupled weight decay.
+class AdamW final : public Optimizer {
+ public:
+  explicit AdamW(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                 float eps = 1e-8f, float weight_decay = 0.01f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
+
+  void step() override;
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::size_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace fenix::nn

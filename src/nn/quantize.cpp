@@ -1,0 +1,423 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace fenix::nn {
+
+int choose_exponent(const float* values, std::size_t n) {
+  float max_abs = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) max_abs = std::max(max_abs, std::fabs(values[i]));
+  if (max_abs == 0.0f) return -7;
+  int e = -24;
+  while (127.0 * std::ldexp(1.0, e) < max_abs) ++e;
+  return e;
+}
+
+void quantize_to_i8(const float* src, std::size_t n, int e, std::int8_t* dst) {
+  const double inv_scale = std::ldexp(1.0, -e);
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = saturate_i8(static_cast<std::int64_t>(
+        std::llround(static_cast<double>(src[i]) * inv_scale)));
+  }
+}
+
+QMatrix QMatrix::from(const Matrix& m) {
+  QMatrix q;
+  q.rows = m.rows();
+  q.cols = m.cols();
+  q.exponent = choose_exponent(m.data(), m.size());
+  q.data.resize(m.size());
+  quantize_to_i8(m.data(), m.size(), q.exponent, q.data.data());
+  return q;
+}
+
+// ------------------------------------------------------------------- QDense
+
+QDense QDense::from(const Dense& d, int in_exponent, int out_exponent) {
+  QDense q;
+  q.w = QMatrix::from(d.weights());
+  q.in_exponent = in_exponent;
+  q.out_exponent = out_exponent;
+  const int acc_e = q.w.exponent + in_exponent;
+  const double inv_scale = std::ldexp(1.0, -acc_e);
+  q.bias.resize(d.bias().size());
+  for (std::size_t i = 0; i < q.bias.size(); ++i) {
+    q.bias[i] = static_cast<std::int32_t>(
+        std::llround(static_cast<double>(d.bias()[i]) * inv_scale));
+  }
+  return q;
+}
+
+void QDense::forward(const std::int8_t* x, std::int8_t* y, bool relu) const {
+  const int shift = out_exponent - (w.exponent + in_exponent);
+  for (std::size_t r = 0; r < w.rows; ++r) {
+    std::int64_t acc = bias[r];
+    const std::int8_t* wr = w.data.data() + r * w.cols;
+    for (std::size_t c = 0; c < w.cols; ++c) {
+      acc += static_cast<std::int32_t>(wr[c]) * static_cast<std::int32_t>(x[c]);
+    }
+    std::int64_t v = rounding_shift_right(acc, shift);
+    if (relu && v < 0) v = 0;
+    y[r] = saturate_i8(v);
+  }
+}
+
+// ------------------------------------------------------------------ QConv1D
+
+QConv1D QConv1D::from(const Conv1D& c, int in_exponent, int out_exponent) {
+  QConv1D q;
+  q.in_ch = c.in_channels();
+  q.out_ch = c.out_channels();
+  q.kernel = c.kernel();
+  q.w = QMatrix::from(c.weights());
+  q.in_exponent = in_exponent;
+  q.out_exponent = out_exponent;
+  const int acc_e = q.w.exponent + in_exponent;
+  const double inv_scale = std::ldexp(1.0, -acc_e);
+  q.bias.resize(c.bias().size());
+  for (std::size_t i = 0; i < q.bias.size(); ++i) {
+    q.bias[i] = static_cast<std::int32_t>(
+        std::llround(static_cast<double>(c.bias()[i]) * inv_scale));
+  }
+  return q;
+}
+
+void QConv1D::forward(const std::int8_t* x, std::size_t T, std::int8_t* y,
+                      bool relu) const {
+  const int shift = out_exponent - (w.exponent + in_exponent);
+  const auto pad = static_cast<std::ptrdiff_t>(kernel / 2);
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t o = 0; o < out_ch; ++o) {
+      std::int64_t acc = bias[o];
+      const std::int8_t* wo = w.data.data() + o * w.cols;
+      for (std::size_t k = 0; k < kernel; ++k) {
+        const std::ptrdiff_t src =
+            static_cast<std::ptrdiff_t>(t) + static_cast<std::ptrdiff_t>(k) - pad;
+        if (src < 0 || src >= static_cast<std::ptrdiff_t>(T)) continue;
+        const std::int8_t* xs = x + static_cast<std::size_t>(src) * in_ch;
+        const std::int8_t* wk = wo + k * in_ch;
+        for (std::size_t c = 0; c < in_ch; ++c) {
+          acc += static_cast<std::int32_t>(wk[c]) * static_cast<std::int32_t>(xs[c]);
+        }
+      }
+      std::int64_t v = rounding_shift_right(acc, shift);
+      if (relu && v < 0) v = 0;
+      y[t * out_ch + o] = saturate_i8(v);
+    }
+  }
+}
+
+// ----------------------------------------------------------- QLutActivation
+
+QLutActivation::QLutActivation(std::function<double(double)> fn, int acc_exponent,
+                               int out_exponent, double input_range)
+    : acc_exponent_(acc_exponent), out_exponent_(out_exponent) {
+  constexpr std::size_t kTableSize = 2048;
+  // Choose the index shift so [-input_range, input_range] maps onto the table.
+  const double acc_range = input_range * std::ldexp(1.0, -acc_exponent);
+  index_shift_ = 0;
+  while (std::ldexp(static_cast<double>(kTableSize) / 2.0,
+                    index_shift_) < acc_range) {
+    ++index_shift_;
+  }
+  table_.resize(kTableSize);
+  const double out_inv_scale = std::ldexp(1.0, -out_exponent);
+  for (std::size_t i = 0; i < kTableSize; ++i) {
+    const auto k = static_cast<std::int64_t>(i) -
+                   static_cast<std::int64_t>(kTableSize / 2);
+    const double input = std::ldexp(static_cast<double>(k),
+                                    index_shift_ + acc_exponent_);
+    table_[i] = saturate_i8(static_cast<std::int64_t>(
+        std::llround(fn(input) * out_inv_scale)));
+  }
+}
+
+std::int8_t QLutActivation::apply(std::int64_t acc) const {
+  const std::int64_t idx = rounding_shift_right(acc, index_shift_) +
+                           static_cast<std::int64_t>(table_.size() / 2);
+  const std::int64_t clamped =
+      std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(table_.size()) - 1);
+  return table_[static_cast<std::size_t>(clamped)];
+}
+
+// --------------------------------------------------------------- QEmbedding
+
+QEmbedding QEmbedding::from(const Embedding& e) {
+  QEmbedding q;
+  q.table = QMatrix::from(e.table());
+  return q;
+}
+
+// --------------------------------------------------------------- Calibrator
+
+void Calibrator::observe(const float* x, std::size_t n, std::size_t point) {
+  if (point >= max_abs_.size()) max_abs_.resize(point + 1, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    max_abs_[point] = std::max(max_abs_[point], std::fabs(x[i]));
+  }
+}
+
+int Calibrator::exponent(std::size_t point) const {
+  const float m = point < max_abs_.size() ? max_abs_[point] : 0.0f;
+  if (m == 0.0f) return -7;
+  int e = -24;
+  while (127.0 * std::ldexp(1.0, e) < m) ++e;
+  return e;
+}
+
+// ------------------------------------------------------------- QuantizedCnn
+
+QuantizedCnn::QuantizedCnn(const CnnClassifier& model,
+                           const std::vector<SeqSample>& calibration)
+    : config_(model.config()) {
+  const std::size_t T = config_.seq_len;
+  const auto& convs = model.conv_layers();
+  const auto& fcs = model.fc_layers();
+
+  // Calibration: replay the float forward pass, recording max|activation| at
+  // each quantization point: 0 = embeddings, 1..C = conv outputs,
+  // C+1 = pooled, C+2.. = fc outputs.
+  Calibrator cal;
+  const std::size_t max_cal = std::min<std::size_t>(calibration.size(), 512);
+  for (std::size_t s = 0; s < max_cal; ++s) {
+    const SeqSample& sample = calibration[s];
+    Matrix cur(T, config_.embed_dim());
+    for (std::size_t t = 0; t < T; ++t) {
+      std::memcpy(cur.row(t), model.len_embedding().forward(sample.tokens[t][0]),
+                  config_.len_embed_dim * sizeof(float));
+      std::memcpy(cur.row(t) + config_.len_embed_dim,
+                  model.ipd_embedding().forward(sample.tokens[t][1]),
+                  config_.ipd_embed_dim * sizeof(float));
+    }
+    cal.observe(cur.data(), cur.size(), 0);
+    for (std::size_t i = 0; i < convs.size(); ++i) {
+      Matrix next(T, convs[i]->out_channels());
+      convs[i]->forward(cur, next);
+      relu_forward(next.data(), next.size());
+      cal.observe(next.data(), next.size(), 1 + i);
+      cur = std::move(next);
+    }
+    std::vector<float> pooled(cur.cols(), 0.0f);
+    for (std::size_t t = 0; t < T; ++t) {
+      for (std::size_t c = 0; c < cur.cols(); ++c) pooled[c] += cur(t, c);
+    }
+    for (float& v : pooled) v /= static_cast<float>(T);
+    cal.observe(pooled.data(), pooled.size(), 1 + convs.size());
+    std::vector<float> x = std::move(pooled);
+    for (std::size_t i = 0; i < fcs.size(); ++i) {
+      std::vector<float> y(fcs[i]->out_dim());
+      fcs[i]->forward(x.data(), y.data());
+      if (i + 1 < fcs.size()) relu_forward(y.data(), y.size());
+      cal.observe(y.data(), y.size(), 2 + convs.size() + i);
+      x = std::move(y);
+    }
+  }
+
+  // Embeddings: the table values are the activations; a shared exponent keeps
+  // the concatenated vector on one scale.
+  len_embed_ = QEmbedding::from(model.len_embedding());
+  ipd_embed_ = QEmbedding::from(model.ipd_embedding());
+  embed_exponent_ = std::max(len_embed_.table.exponent, ipd_embed_.table.exponent);
+  // Requantize both tables at the shared exponent.
+  auto requant = [this](QEmbedding& qe, const Embedding& fe) {
+    qe.table.exponent = embed_exponent_;
+    quantize_to_i8(fe.table().data(), fe.table().size(), embed_exponent_,
+                   qe.table.data.data());
+  };
+  requant(len_embed_, model.len_embedding());
+  requant(ipd_embed_, model.ipd_embedding());
+
+  int in_e = embed_exponent_;
+  for (std::size_t i = 0; i < convs.size(); ++i) {
+    const int out_e = cal.exponent(1 + i);
+    convs_.push_back(QConv1D::from(*convs[i], in_e, out_e));
+    in_e = out_e;
+  }
+  pool_in_exponent_ = in_e;
+  pool_out_exponent_ = cal.exponent(1 + convs.size());
+  pool_multiplier_ = static_cast<std::int32_t>(
+      std::llround(32768.0 / static_cast<double>(T)));
+  in_e = pool_out_exponent_;
+  for (std::size_t i = 0; i < fcs.size(); ++i) {
+    const int out_e = cal.exponent(2 + convs.size() + i);
+    fcs_.push_back(QDense::from(*fcs[i], in_e, out_e));
+    in_e = out_e;
+  }
+}
+
+std::vector<std::int32_t> QuantizedCnn::logits_q(
+    const std::vector<Token>& tokens) const {
+  const std::size_t T = config_.seq_len;
+  const std::size_t E = config_.embed_dim();
+  std::vector<std::int8_t> cur(T * E);
+  for (std::size_t t = 0; t < T; ++t) {
+    std::memcpy(cur.data() + t * E, len_embed_.row(tokens[t][0]),
+                config_.len_embed_dim);
+    std::memcpy(cur.data() + t * E + config_.len_embed_dim,
+                ipd_embed_.row(tokens[t][1]), config_.ipd_embed_dim);
+  }
+  for (const QConv1D& conv : convs_) {
+    std::vector<std::int8_t> next(T * conv.out_ch);
+    conv.forward(cur.data(), T, next.data(), /*relu=*/true);
+    cur = std::move(next);
+  }
+  // Average pool: integer sum, fixed-point multiply by 1/T, requantize.
+  const std::size_t C = convs_.empty() ? E : convs_.back().out_ch;
+  std::vector<std::int8_t> pooled(C);
+  const int shift = 15 + (pool_out_exponent_ - pool_in_exponent_);
+  for (std::size_t c = 0; c < C; ++c) {
+    std::int64_t sum = 0;
+    for (std::size_t t = 0; t < T; ++t) sum += cur[t * C + c];
+    const std::int64_t scaled = sum * pool_multiplier_;
+    pooled[c] = saturate_i8(rounding_shift_right(scaled, shift));
+  }
+  std::vector<std::int8_t> x = std::move(pooled);
+  std::vector<std::int32_t> out;
+  for (std::size_t i = 0; i < fcs_.size(); ++i) {
+    std::vector<std::int8_t> y(fcs_[i].w.rows);
+    fcs_[i].forward(x.data(), y.data(), /*relu=*/i + 1 < fcs_.size());
+    if (i + 1 == fcs_.size()) {
+      out.assign(y.begin(), y.end());
+    }
+    x = std::move(y);
+  }
+  return out;
+}
+
+std::int16_t QuantizedCnn::predict(const std::vector<Token>& tokens) const {
+  const auto q = logits_q(tokens);
+  return static_cast<std::int16_t>(std::max_element(q.begin(), q.end()) - q.begin());
+}
+
+std::uint64_t QuantizedCnn::macs_per_inference() const {
+  const std::size_t T = config_.seq_len;
+  std::uint64_t macs = 0;
+  for (const QConv1D& c : convs_) {
+    macs += static_cast<std::uint64_t>(T) * c.out_ch * c.in_ch * c.kernel;
+  }
+  for (const QDense& f : fcs_) {
+    macs += static_cast<std::uint64_t>(f.w.rows) * f.w.cols;
+  }
+  return macs;
+}
+
+// ------------------------------------------------------------- QuantizedRnn
+
+QuantizedRnn::QuantizedRnn(const RnnClassifier& model,
+                           const std::vector<SeqSample>& calibration)
+    : config_(model.config()) {
+  const std::size_t T = config_.seq_len;
+  const auto& fcs = model.fc_layers();
+
+  Calibrator cal;
+  const std::size_t max_cal = std::min<std::size_t>(calibration.size(), 512);
+  for (std::size_t s = 0; s < max_cal; ++s) {
+    const SeqSample& sample = calibration[s];
+    Matrix xs(T, config_.embed_dim());
+    for (std::size_t t = 0; t < T; ++t) {
+      std::memcpy(xs.row(t), model.len_embedding().forward(sample.tokens[t][0]),
+                  config_.len_embed_dim * sizeof(float));
+      std::memcpy(xs.row(t) + config_.len_embed_dim,
+                  model.ipd_embedding().forward(sample.tokens[t][1]),
+                  config_.ipd_embed_dim * sizeof(float));
+    }
+    cal.observe(xs.data(), xs.size(), 0);
+    Matrix hs(T + 1, config_.units);
+    model.cell().forward(xs, hs);
+    std::vector<float> x(hs.row(T), hs.row(T) + config_.units);
+    for (std::size_t i = 0; i < fcs.size(); ++i) {
+      std::vector<float> y(fcs[i]->out_dim());
+      fcs[i]->forward(x.data(), y.data());
+      if (i + 1 < fcs.size()) relu_forward(y.data(), y.size());
+      cal.observe(y.data(), y.size(), 1 + i);
+      x = std::move(y);
+    }
+  }
+
+  len_embed_ = QEmbedding::from(model.len_embedding());
+  ipd_embed_ = QEmbedding::from(model.ipd_embedding());
+  embed_exponent_ = std::max(len_embed_.table.exponent, ipd_embed_.table.exponent);
+  auto requant = [this](QEmbedding& qe, const Embedding& fe) {
+    qe.table.exponent = embed_exponent_;
+    quantize_to_i8(fe.table().data(), fe.table().size(), embed_exponent_,
+                   qe.table.data.data());
+  };
+  requant(len_embed_, model.len_embedding());
+  requant(ipd_embed_, model.ipd_embedding());
+
+  wx_ = QMatrix::from(model.cell().wx());
+  wh_ = QMatrix::from(model.cell().wh());
+  hidden_exponent_ = -7;  // tanh output in (-1, 1)
+  const int acc_e = wx_.exponent + embed_exponent_;
+  const double inv_scale = std::ldexp(1.0, -acc_e);
+  cell_bias_.resize(model.cell().bias().size());
+  for (std::size_t i = 0; i < cell_bias_.size(); ++i) {
+    cell_bias_[i] = static_cast<std::int32_t>(
+        std::llround(static_cast<double>(model.cell().bias()[i]) * inv_scale));
+  }
+  // Align Wh*h accumulator (exponent wh.e + hidden_e) to acc_e.
+  wh_acc_shift_ = acc_e - (wh_.exponent + hidden_exponent_);
+  tanh_lut_ = QLutActivation([](double x) { return std::tanh(x); }, acc_e,
+                             hidden_exponent_, 8.0);
+
+  int in_e = hidden_exponent_;
+  for (std::size_t i = 0; i < fcs.size(); ++i) {
+    const int out_e = cal.exponent(1 + i);
+    fcs_.push_back(QDense::from(*fcs[i], in_e, out_e));
+    in_e = out_e;
+  }
+}
+
+std::int16_t QuantizedRnn::predict(const std::vector<Token>& tokens) const {
+  const std::size_t T = config_.seq_len;
+  const std::size_t E = config_.embed_dim();
+  const std::size_t U = config_.units;
+  std::vector<std::int8_t> h(U, 0);
+  std::vector<std::int8_t> x(E);
+  for (std::size_t t = 0; t < T; ++t) {
+    std::memcpy(x.data(), len_embed_.row(tokens[t][0]), config_.len_embed_dim);
+    std::memcpy(x.data() + config_.len_embed_dim, ipd_embed_.row(tokens[t][1]),
+                config_.ipd_embed_dim);
+    std::vector<std::int8_t> h_next(U);
+    for (std::size_t u = 0; u < U; ++u) {
+      std::int64_t acc = cell_bias_[u];
+      const std::int8_t* wxr = wx_.data.data() + u * wx_.cols;
+      for (std::size_t c = 0; c < E; ++c) {
+        acc += static_cast<std::int32_t>(wxr[c]) * static_cast<std::int32_t>(x[c]);
+      }
+      std::int64_t acc_h = 0;
+      const std::int8_t* whr = wh_.data.data() + u * wh_.cols;
+      for (std::size_t c = 0; c < U; ++c) {
+        acc_h += static_cast<std::int32_t>(whr[c]) * static_cast<std::int32_t>(h[c]);
+      }
+      acc += rounding_shift_right(acc_h, wh_acc_shift_);
+      h_next[u] = tanh_lut_.apply(acc);
+    }
+    h = std::move(h_next);
+  }
+  std::vector<std::int8_t> v = std::move(h);
+  for (std::size_t i = 0; i < fcs_.size(); ++i) {
+    std::vector<std::int8_t> y(fcs_[i].w.rows);
+    fcs_[i].forward(v.data(), y.data(), /*relu=*/i + 1 < fcs_.size());
+    v = std::move(y);
+  }
+  std::int16_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[static_cast<std::size_t>(best)]) best = static_cast<std::int16_t>(i);
+  }
+  return best;
+}
+
+std::uint64_t QuantizedRnn::macs_per_inference() const {
+  const std::size_t T = config_.seq_len;
+  std::uint64_t macs = static_cast<std::uint64_t>(T) * config_.units *
+                       (config_.embed_dim() + config_.units);
+  for (const QDense& f : fcs_) {
+    macs += static_cast<std::uint64_t>(f.w.rows) * f.w.cols;
+  }
+  return macs;
+}
+
+}  // namespace fenix::nn

@@ -1,0 +1,171 @@
+// Post-training INT8 quantization (Vitis-AI style, §6).
+//
+// All quantities use symmetric power-of-two scales: a tensor with exponent e
+// represents real values q * 2^e with q in [-128, 127]. The quantizer picks a
+// per-layer exponent ("decimal point position") for weights from their range
+// and for activations from a calibration pass, then inference runs entirely
+// in integer arithmetic: INT8 multiplies, INT32 accumulation, and
+// rounding-right-shift requantization — exactly what the FPGA systolic array
+// executes. Nonlinearities (tanh) become lookup tables, as in the HLS design.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/models.hpp"
+
+namespace fenix::nn {
+
+/// Clamps to INT8 range.
+constexpr std::int8_t saturate_i8(std::int64_t v) {
+  if (v > 127) return 127;
+  if (v < -128) return -128;
+  return static_cast<std::int8_t>(v);
+}
+
+/// Rounding arithmetic right shift (round-half-away-from-zero), the
+/// requantization step of fixed-point hardware.
+constexpr std::int64_t rounding_shift_right(std::int64_t v, int shift) {
+  if (shift <= 0) return v << (-shift);
+  const std::int64_t offset = 1LL << (shift - 1);
+  return v >= 0 ? (v + offset) >> shift : -((-v + offset) >> shift);
+}
+
+/// Chooses the smallest power-of-two exponent e such that
+/// max|values| <= 127 * 2^e (i.e. the finest precision without saturation).
+int choose_exponent(const float* values, std::size_t n);
+
+/// Quantizes floats to INT8 at exponent e.
+void quantize_to_i8(const float* src, std::size_t n, int e, std::int8_t* dst);
+
+/// An INT8 matrix with its exponent.
+struct QMatrix {
+  std::size_t rows = 0, cols = 0;
+  int exponent = 0;
+  std::vector<std::int8_t> data;
+
+  std::int8_t at(std::size_t r, std::size_t c) const { return data[r * cols + c]; }
+  static QMatrix from(const Matrix& m);
+};
+
+/// A quantized dense layer: INT8 weights, INT32 bias at the accumulator
+/// exponent, and a fixed output exponent.
+struct QDense {
+  QMatrix w;
+  std::vector<std::int32_t> bias;  ///< At exponent w.exponent + in_exponent.
+  int in_exponent = 0;
+  int out_exponent = 0;
+
+  /// y = requantize(W x + b); optionally applies ReLU before saturation.
+  void forward(const std::int8_t* x, std::int8_t* y, bool relu) const;
+
+  static QDense from(const Dense& d, int in_exponent, int out_exponent);
+};
+
+/// A quantized 1-D convolution ('same' padding, stride 1).
+struct QConv1D {
+  std::size_t in_ch = 0, out_ch = 0, kernel = 0;
+  QMatrix w;  ///< out_ch x (in_ch*kernel)
+  std::vector<std::int32_t> bias;
+  int in_exponent = 0;
+  int out_exponent = 0;
+
+  /// x: T*in_ch row-major, y: T*out_ch. ReLU folded in.
+  void forward(const std::int8_t* x, std::size_t T, std::int8_t* y, bool relu) const;
+
+  static QConv1D from(const Conv1D& c, int in_exponent, int out_exponent);
+};
+
+/// Integer lookup-table activation: maps an INT32 accumulator (at exponent
+/// `acc_exponent`) through a float function to INT8 at `out_exponent`.
+/// Hardware analogue: BRAM/LUT nonlinearity tables.
+class QLutActivation {
+ public:
+  QLutActivation() = default;
+  QLutActivation(std::function<double(double)> fn, int acc_exponent, int out_exponent,
+                 double input_range);
+
+  std::int8_t apply(std::int64_t acc) const;
+  int out_exponent() const { return out_exponent_; }
+
+ private:
+  int acc_exponent_ = 0;
+  int out_exponent_ = 0;
+  int index_shift_ = 0;  ///< acc >> shift indexes the table.
+  std::vector<std::int8_t> table_;  ///< Centered at table_.size()/2.
+};
+
+/// A quantized embedding: INT8 table rows at a fixed exponent.
+struct QEmbedding {
+  QMatrix table;
+  const std::int8_t* row(std::size_t index) const {
+    return table.data.data() + index * table.cols;
+  }
+  static QEmbedding from(const Embedding& e);
+};
+
+/// Calibration statistics: running max|activation| per observation point.
+class Calibrator {
+ public:
+  void observe(const float* x, std::size_t n, std::size_t point);
+  int exponent(std::size_t point) const;
+
+ private:
+  std::vector<float> max_abs_;
+};
+
+// ------------------------------------------------------------ Quantized CNN
+
+/// INT8 inference twin of CnnClassifier. Produces the exact outputs the FPGA
+/// Model Engine computes; the Model Engine wraps this for functional results
+/// and adds systolic-array timing.
+class QuantizedCnn {
+ public:
+  /// Quantizes `model` using activation ranges observed on `calibration`.
+  QuantizedCnn(const CnnClassifier& model, const std::vector<SeqSample>& calibration);
+
+  std::int16_t predict(const std::vector<Token>& tokens) const;
+  std::vector<std::int32_t> logits_q(const std::vector<Token>& tokens) const;
+
+  const CnnConfig& config() const { return config_; }
+  /// Total INT8 MACs of one inference (drives the systolic timer).
+  std::uint64_t macs_per_inference() const;
+
+ private:
+  CnnConfig config_;
+  QEmbedding len_embed_, ipd_embed_;
+  int embed_exponent_ = 0;
+  std::vector<QConv1D> convs_;
+  std::vector<QDense> fcs_;
+  std::int32_t pool_multiplier_ = 0;  ///< round(2^15 / seq_len)
+  int pool_in_exponent_ = 0;
+  int pool_out_exponent_ = 0;
+};
+
+// ------------------------------------------------------------ Quantized RNN
+
+class QuantizedRnn {
+ public:
+  QuantizedRnn(const RnnClassifier& model, const std::vector<SeqSample>& calibration);
+
+  std::int16_t predict(const std::vector<Token>& tokens) const;
+
+  const RnnConfig& config() const { return config_; }
+  std::uint64_t macs_per_inference() const;
+
+ private:
+  RnnConfig config_;
+  QEmbedding len_embed_, ipd_embed_;
+  int embed_exponent_ = 0;
+  QMatrix wx_, wh_;
+  std::vector<std::int32_t> cell_bias_;  ///< At wx.exp + embed_exp.
+  int hidden_exponent_ = 0;
+  QLutActivation tanh_lut_;
+  int wh_acc_shift_ = 0;  ///< Aligns Wh*h accumulator to Wx*x exponent.
+  std::vector<QDense> fcs_;
+};
+
+}  // namespace fenix::nn

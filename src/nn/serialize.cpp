@@ -1,0 +1,252 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "net/hash.hpp"
+
+namespace fenix::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xFE417A11;
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kKindCnn = 1;
+constexpr std::uint32_t kKindRnn = 2;
+
+struct Writer {
+  std::vector<std::uint8_t> buf;
+
+  template <typename T>
+  void put(T value) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf.push_back(static_cast<std::uint8_t>(
+          static_cast<std::uint64_t>(value) >> (8 * i)));
+    }
+  }
+  void put_f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    put<std::uint32_t>(bits);
+  }
+  void put_matrix(const Matrix& m) {
+    put<std::uint64_t>(m.rows());
+    put<std::uint64_t>(m.cols());
+    for (std::size_t i = 0; i < m.size(); ++i) put_f32(m.data()[i]);
+  }
+  void put_vector(const std::vector<float>& v) {
+    put<std::uint64_t>(v.size());
+    for (float x : v) put_f32(x);
+  }
+};
+
+struct Cursor {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  template <typename T>
+  T get() {
+    if (pos + sizeof(T) > size) throw SerializeError("model file truncated");
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+    }
+    pos += sizeof(T);
+    return static_cast<T>(v);
+  }
+  float get_f32() {
+    const auto bits = get<std::uint32_t>();
+    float v;
+    std::memcpy(&v, &bits, 4);
+    return v;
+  }
+  void get_matrix(Matrix& m) {
+    const auto rows = get<std::uint64_t>();
+    const auto cols = get<std::uint64_t>();
+    if (rows != m.rows() || cols != m.cols()) {
+      throw SerializeError("matrix shape mismatch");
+    }
+    for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = get_f32();
+  }
+  void get_vector(std::vector<float>& v) {
+    const auto n = get<std::uint64_t>();
+    if (n != v.size()) throw SerializeError("vector length mismatch");
+    for (float& x : v) x = get_f32();
+  }
+};
+
+void write_framed(std::ostream& os, std::uint32_t kind, const Writer& w) {
+  Writer header;
+  header.put<std::uint32_t>(kMagic);
+  header.put<std::uint32_t>(kVersion);
+  header.put<std::uint32_t>(kind);
+  header.put<std::uint64_t>(w.buf.size());
+  os.write(reinterpret_cast<const char*>(header.buf.data()),
+           static_cast<std::streamsize>(header.buf.size()));
+  os.write(reinterpret_cast<const char*>(w.buf.data()),
+           static_cast<std::streamsize>(w.buf.size()));
+  Writer trailer;
+  trailer.put<std::uint32_t>(net::crc32(w.buf));
+  os.write(reinterpret_cast<const char*>(trailer.buf.data()),
+           static_cast<std::streamsize>(trailer.buf.size()));
+  os.flush();
+}
+
+std::vector<std::uint8_t> read_framed(std::istream& is, std::uint32_t expected_kind) {
+  std::uint8_t header_bytes[20];
+  is.read(reinterpret_cast<char*>(header_bytes), sizeof(header_bytes));
+  if (is.gcount() != sizeof(header_bytes)) throw SerializeError("header truncated");
+  Cursor header{header_bytes, sizeof(header_bytes)};
+  if (header.get<std::uint32_t>() != kMagic) throw SerializeError("bad magic");
+  if (header.get<std::uint32_t>() != kVersion) throw SerializeError("bad version");
+  if (header.get<std::uint32_t>() != expected_kind) {
+    throw SerializeError("wrong model kind");
+  }
+  const auto payload_size = header.get<std::uint64_t>();
+  if (payload_size > (1ULL << 32)) throw SerializeError("implausible payload");
+  std::vector<std::uint8_t> payload(payload_size);
+  is.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload_size));
+  if (static_cast<std::uint64_t>(is.gcount()) != payload_size) {
+    throw SerializeError("payload truncated");
+  }
+  std::uint8_t trailer_bytes[4];
+  is.read(reinterpret_cast<char*>(trailer_bytes), sizeof(trailer_bytes));
+  if (is.gcount() != sizeof(trailer_bytes)) throw SerializeError("trailer truncated");
+  Cursor trailer{trailer_bytes, sizeof(trailer_bytes)};
+  if (trailer.get<std::uint32_t>() != net::crc32(payload)) {
+    throw SerializeError("CRC mismatch");
+  }
+  return payload;
+}
+
+}  // namespace
+
+void save_cnn(std::ostream& os, const CnnClassifier& model) {
+  const CnnConfig& c = model.config();
+  Writer w;
+  w.put<std::uint64_t>(c.seq_len);
+  w.put<std::uint64_t>(c.len_embed_dim);
+  w.put<std::uint64_t>(c.ipd_embed_dim);
+  w.put<std::uint64_t>(c.conv_channels.size());
+  for (std::size_t ch : c.conv_channels) w.put<std::uint64_t>(ch);
+  w.put<std::uint64_t>(c.kernel);
+  w.put<std::uint64_t>(c.fc_dims.size());
+  for (std::size_t dim : c.fc_dims) w.put<std::uint64_t>(dim);
+  w.put<std::uint64_t>(c.num_classes);
+
+  w.put_matrix(model.len_embedding().table());
+  w.put_matrix(model.ipd_embedding().table());
+  for (const auto& conv : model.conv_layers()) {
+    w.put_matrix(conv->weights());
+    w.put_vector(conv->bias());
+  }
+  for (const auto& fc : model.fc_layers()) {
+    w.put_matrix(fc->weights());
+    w.put_vector(fc->bias());
+  }
+  write_framed(os, kKindCnn, w);
+}
+
+std::unique_ptr<CnnClassifier> load_cnn(std::istream& is) {
+  const auto payload = read_framed(is, kKindCnn);
+  Cursor r{payload.data(), payload.size()};
+  CnnConfig c;
+  c.seq_len = r.get<std::uint64_t>();
+  c.len_embed_dim = r.get<std::uint64_t>();
+  c.ipd_embed_dim = r.get<std::uint64_t>();
+  c.conv_channels.resize(r.get<std::uint64_t>());
+  for (auto& ch : c.conv_channels) ch = r.get<std::uint64_t>();
+  c.kernel = r.get<std::uint64_t>();
+  c.fc_dims.resize(r.get<std::uint64_t>());
+  for (auto& dim : c.fc_dims) dim = r.get<std::uint64_t>();
+  c.num_classes = r.get<std::uint64_t>();
+
+  auto model = std::make_unique<CnnClassifier>(c, /*seed=*/0);
+  r.get_matrix(model->len_embedding().table());
+  r.get_matrix(model->ipd_embedding().table());
+  for (auto& conv : model->conv_layers()) {
+    r.get_matrix(conv->weights());
+    r.get_vector(conv->bias());
+  }
+  for (auto& fc : model->fc_layers()) {
+    r.get_matrix(fc->weights());
+    r.get_vector(fc->bias());
+  }
+  return model;
+}
+
+void save_rnn(std::ostream& os, const RnnClassifier& model) {
+  const RnnConfig& c = model.config();
+  Writer w;
+  w.put<std::uint64_t>(c.seq_len);
+  w.put<std::uint64_t>(c.len_embed_dim);
+  w.put<std::uint64_t>(c.ipd_embed_dim);
+  w.put<std::uint64_t>(c.units);
+  w.put<std::uint64_t>(c.fc_dims.size());
+  for (std::size_t dim : c.fc_dims) w.put<std::uint64_t>(dim);
+  w.put<std::uint64_t>(c.num_classes);
+
+  w.put_matrix(model.len_embedding().table());
+  w.put_matrix(model.ipd_embedding().table());
+  w.put_matrix(model.cell().wx());
+  w.put_matrix(model.cell().wh());
+  w.put_vector(model.cell().bias());
+  for (const auto& fc : model.fc_layers()) {
+    w.put_matrix(fc->weights());
+    w.put_vector(fc->bias());
+  }
+  write_framed(os, kKindRnn, w);
+}
+
+std::unique_ptr<RnnClassifier> load_rnn(std::istream& is) {
+  const auto payload = read_framed(is, kKindRnn);
+  Cursor r{payload.data(), payload.size()};
+  RnnConfig c;
+  c.seq_len = r.get<std::uint64_t>();
+  c.len_embed_dim = r.get<std::uint64_t>();
+  c.ipd_embed_dim = r.get<std::uint64_t>();
+  c.units = r.get<std::uint64_t>();
+  c.fc_dims.resize(r.get<std::uint64_t>());
+  for (auto& dim : c.fc_dims) dim = r.get<std::uint64_t>();
+  c.num_classes = r.get<std::uint64_t>();
+
+  auto model = std::make_unique<RnnClassifier>(c, /*seed=*/0);
+  r.get_matrix(model->len_embedding().table());
+  r.get_matrix(model->ipd_embedding().table());
+  r.get_matrix(model->cell().wx());
+  r.get_matrix(model->cell().wh());
+  r.get_vector(model->cell().bias());
+  for (auto& fc : model->fc_layers()) {
+    r.get_matrix(fc->weights());
+    r.get_vector(fc->bias());
+  }
+  return model;
+}
+
+void save_cnn(const std::string& path, const CnnClassifier& model) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw SerializeError("cannot open for write: " + path);
+  save_cnn(os, model);
+}
+
+std::unique_ptr<CnnClassifier> load_cnn(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw SerializeError("cannot open for read: " + path);
+  return load_cnn(is);
+}
+
+void save_rnn(const std::string& path, const RnnClassifier& model) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw SerializeError("cannot open for write: " + path);
+  save_rnn(os, model);
+}
+
+std::unique_ptr<RnnClassifier> load_rnn(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw SerializeError("cannot open for read: " + path);
+  return load_rnn(is);
+}
+
+}  // namespace fenix::nn

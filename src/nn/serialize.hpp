@@ -1,0 +1,39 @@
+// Model serialization.
+//
+// The deployment workflow of §6 trains offline, quantizes, and loads
+// parameters onto the FPGA "from the host via the network interface". These
+// routines persist the float parents (architecture + weights) so training
+// runs once; the INT8 deployment is re-derived from the float model plus a
+// calibration set (quantization is cheap and deterministic).
+//
+// Format: little-endian, magic/version header, architecture block, parameter
+// slabs in canonical order, CRC32 trailer.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "nn/models.hpp"
+
+namespace fenix::nn {
+
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void save_cnn(std::ostream& os, const CnnClassifier& model);
+std::unique_ptr<CnnClassifier> load_cnn(std::istream& is);
+
+void save_rnn(std::ostream& os, const RnnClassifier& model);
+std::unique_ptr<RnnClassifier> load_rnn(std::istream& is);
+
+// File convenience wrappers.
+void save_cnn(const std::string& path, const CnnClassifier& model);
+std::unique_ptr<CnnClassifier> load_cnn(const std::string& path);
+void save_rnn(const std::string& path, const RnnClassifier& model);
+std::unique_ptr<RnnClassifier> load_rnn(const std::string& path);
+
+}  // namespace fenix::nn

@@ -1,0 +1,76 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fenix::nn {
+
+void matvec_acc(const Matrix& w, const float* x, float* y) {
+  const std::size_t out = w.rows();
+  const std::size_t in = w.cols();
+  for (std::size_t r = 0; r < out; ++r) {
+    const float* wr = w.row(r);
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < in; ++c) acc += wr[c] * x[c];
+    y[r] += acc;
+  }
+}
+
+void matvec_backward(const Matrix& w, const float* x, const float* dy, float* dx,
+                     Matrix& dw) {
+  const std::size_t out = w.rows();
+  const std::size_t in = w.cols();
+  for (std::size_t r = 0; r < out; ++r) {
+    const float g = dy[r];
+    if (g == 0.0f) continue;
+    const float* wr = w.row(r);
+    float* dwr = dw.row(r);
+    for (std::size_t c = 0; c < in; ++c) {
+      if (dx) dx[c] += wr[c] * g;
+      dwr[c] += x[c] * g;
+    }
+  }
+}
+
+void relu_forward(float* x, std::size_t n, std::vector<bool>* mask) {
+  if (mask) mask->assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] > 0.0f) {
+      if (mask) (*mask)[i] = true;
+    } else {
+      x[i] = 0.0f;
+    }
+  }
+}
+
+void relu_backward(float* dy, const std::vector<bool>& mask) {
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (!mask[i]) dy[i] = 0.0f;
+  }
+}
+
+void softmax(float* x, std::size_t n) {
+  if (n == 0) return;
+  const float m = *std::max_element(x, x + n);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - m);
+    sum += x[i];
+  }
+  const float inv = 1.0f / sum;
+  for (std::size_t i = 0; i < n; ++i) x[i] *= inv;
+}
+
+float cross_entropy_grad(const float* p, std::size_t n, std::size_t label,
+                         float* dlogits) {
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    dlogits[i] = p[i];
+  }
+  dlogits[label] -= 1.0f;
+  const float pl = std::max(p[label], 1e-9f);
+  loss = -std::log(pl);
+  return loss;
+}
+
+}  // namespace fenix::nn

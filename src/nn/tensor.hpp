@@ -1,0 +1,69 @@
+// Minimal dense linear algebra for the model library.
+//
+// The models in this repository are small (tens to hundreds of thousands of
+// parameters); a straightforward row-major matrix with cache-friendly inner
+// loops is sufficient and keeps the training code auditable.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace fenix::nn {
+
+/// Row-major float matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float v) { data_.assign(data_.size(), v); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// y += W x  (W: out x in, x: in, y: out)
+void matvec_acc(const Matrix& w, const float* x, float* y);
+
+/// dx += W^T dy ; dW += dy x^T
+void matvec_backward(const Matrix& w, const float* x, const float* dy, float* dx,
+                     Matrix& dw);
+
+/// In-place ReLU; returns through `mask` which entries were positive.
+void relu_forward(float* x, std::size_t n, std::vector<bool>* mask = nullptr);
+
+/// dy *= mask (backward of ReLU given the forward mask).
+void relu_backward(float* dy, const std::vector<bool>& mask);
+
+/// Softmax over `n` logits (in place, numerically stable).
+void softmax(float* x, std::size_t n);
+
+/// Cross-entropy loss of softmax probabilities `p` against `label`; writes
+/// dlogits = p - onehot(label) into `dlogits`. Returns the loss.
+float cross_entropy_grad(const float* p, std::size_t n, std::size_t label,
+                         float* dlogits);
+
+}  // namespace fenix::nn

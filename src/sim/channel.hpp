@@ -1,0 +1,95 @@
+// Point-to-point link model.
+//
+// Models the serialization + propagation behaviour of the board-level links in
+// the FENIX prototype: the 100G PCB channels between the Tofino and the FPGA,
+// the front-panel optical ports, and (for the FlowLens baseline) a PCIe +
+// kernel-software path. A transfer occupies the link for bits/rate seconds and
+// arrives after an additional fixed propagation delay; back-to-back transfers
+// queue behind one another (store-and-forward).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace fenix::sim {
+
+/// Statistics for a Channel.
+struct ChannelStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t losses = 0;        ///< Transfers corrupted in flight.
+  SimDuration busy_time = 0;       ///< Total serialization time.
+  SimDuration max_queueing = 0;    ///< Worst-case wait behind earlier transfers.
+};
+
+/// A unidirectional link with finite bandwidth and fixed propagation delay.
+/// An optional loss rate models signal-integrity faults (CRC-dropped frames):
+/// lost transfers still occupy the link but never arrive.
+class Channel {
+ public:
+  /// `bits_per_second` is the line rate; `propagation` is the fixed one-way
+  /// delay (PCB trace / optical fibre / bus crossing).
+  Channel(double bits_per_second, SimDuration propagation, double loss_rate = 0.0,
+          std::uint64_t loss_seed = 0xc4a2)
+      : bits_per_second_(bits_per_second), propagation_(propagation),
+        loss_rate_(loss_rate), loss_rng_(loss_seed) {}
+
+  double bits_per_second() const { return bits_per_second_; }
+  SimDuration propagation() const { return propagation_; }
+  const ChannelStats& stats() const { return stats_; }
+
+  /// Serialization time of `bytes` at the line rate.
+  SimDuration serialization_time(std::size_t bytes) const {
+    const double seconds = static_cast<double>(bytes) * 8.0 / bits_per_second_;
+    return from_seconds(seconds);
+  }
+
+  /// Submits a transfer of `bytes` at time `now`; returns the arrival time at
+  /// the far end. The link is occupied until arrival - propagation.
+  SimTime transfer(SimTime now, std::size_t bytes) {
+    const SimTime start = now > free_at_ ? now : free_at_;
+    const SimDuration queueing = start - now;
+    const SimDuration ser = serialization_time(bytes);
+    free_at_ = start + ser;
+    ++stats_.transfers;
+    stats_.bytes += bytes;
+    stats_.busy_time += ser;
+    if (queueing > stats_.max_queueing) stats_.max_queueing = queueing;
+    return free_at_ + propagation_;
+  }
+
+  /// Like transfer(), but the frame may be lost in flight (returns nullopt).
+  /// A lost frame still consumed link time.
+  std::optional<SimTime> transfer_lossy(SimTime now, std::size_t bytes) {
+    const SimTime arrival = transfer(now, bytes);
+    if (loss_rate_ > 0.0 && loss_rng_.bernoulli(loss_rate_)) {
+      ++stats_.losses;
+      return std::nullopt;
+    }
+    return arrival;
+  }
+
+  double loss_rate() const { return loss_rate_; }
+
+  /// Time at which the link becomes idle.
+  SimTime free_at() const { return free_at_; }
+
+  /// Utilization over the window [0, now] (0 when now == 0).
+  double utilization(SimTime now) const {
+    if (now == 0) return 0.0;
+    return static_cast<double>(stats_.busy_time) / static_cast<double>(now);
+  }
+
+ private:
+  double bits_per_second_;
+  SimDuration propagation_;
+  double loss_rate_;
+  RandomStream loss_rng_;
+  SimTime free_at_ = 0;
+  ChannelStats stats_;
+};
+
+}  // namespace fenix::sim

@@ -1,0 +1,52 @@
+// Clock domains for hardware timing models.
+//
+// Both the switch pipeline and the FPGA fabric are clocked designs; latency is
+// naturally expressed in cycles. A ClockDomain converts between cycle counts
+// and simulated picoseconds for a given frequency.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace fenix::sim {
+
+/// A fixed-frequency clock domain.
+class ClockDomain {
+ public:
+  /// Constructs a domain running at `frequency_hz`. Frequencies below 1 Hz are
+  /// clamped to 1 Hz.
+  explicit ClockDomain(double frequency_hz)
+      : frequency_hz_(frequency_hz < 1.0 ? 1.0 : frequency_hz),
+        period_ps_(static_cast<double>(kSecond) / frequency_hz_) {}
+
+  double frequency_hz() const { return frequency_hz_; }
+
+  /// Clock period in picoseconds (fractional; accumulate in double).
+  double period_ps() const { return period_ps_; }
+
+  /// Duration of `cycles` clock cycles, rounded to the nearest picosecond.
+  SimDuration cycles(std::uint64_t n) const {
+    return static_cast<SimDuration>(period_ps_ * static_cast<double>(n) + 0.5);
+  }
+
+  /// Number of whole cycles that fit in `d` (floor).
+  std::uint64_t cycles_in(SimDuration d) const {
+    return static_cast<std::uint64_t>(static_cast<double>(d) / period_ps_);
+  }
+
+  /// First clock edge at or after time `t`.
+  SimTime next_edge(SimTime t) const {
+    const double ticks = static_cast<double>(t) / period_ps_;
+    const auto whole = static_cast<std::uint64_t>(ticks);
+    const auto edge = static_cast<SimTime>(period_ps_ * static_cast<double>(whole) + 0.5);
+    if (edge >= t) return edge;
+    return static_cast<SimTime>(period_ps_ * static_cast<double>(whole + 1) + 0.5);
+  }
+
+ private:
+  double frequency_hz_;
+  double period_ps_;
+};
+
+}  // namespace fenix::sim

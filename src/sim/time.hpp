@@ -1,0 +1,49 @@
+// Simulated time for the FENIX event simulation.
+//
+// All simulation timestamps are carried in picoseconds so that sub-nanosecond
+// FPGA clock periods (e.g. 322 MHz -> 3105 ps) accumulate without rounding
+// drift. 2^64 ps is roughly 213 days of simulated time, far beyond any
+// experiment in this repository.
+#pragma once
+
+#include <cstdint>
+
+namespace fenix::sim {
+
+/// Absolute simulation time in picoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A span of simulation time in picoseconds.
+using SimDuration = std::uint64_t;
+
+inline constexpr SimDuration kPicosecond = 1;
+inline constexpr SimDuration kNanosecond = 1'000;
+inline constexpr SimDuration kMicrosecond = 1'000'000;
+inline constexpr SimDuration kMillisecond = 1'000'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000'000;
+
+constexpr SimDuration picoseconds(std::uint64_t n) { return n; }
+constexpr SimDuration nanoseconds(std::uint64_t n) { return n * kNanosecond; }
+constexpr SimDuration microseconds(std::uint64_t n) { return n * kMicrosecond; }
+constexpr SimDuration milliseconds(std::uint64_t n) { return n * kMillisecond; }
+constexpr SimDuration seconds(std::uint64_t n) { return n * kSecond; }
+
+constexpr double to_nanoseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kNanosecond);
+}
+constexpr double to_microseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+constexpr double to_milliseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a duration expressed in (possibly fractional) seconds.
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace fenix::sim

@@ -1,0 +1,35 @@
+#include "switchsim/chip.hpp"
+
+namespace fenix::switchsim {
+
+ChipProfile ChipProfile::tofino1() {
+  ChipProfile p;
+  p.name = "Tofino 1";
+  p.mau_stages = 12;
+  p.sram_bits = 120ULL * 1000 * 1000;   // 120 Mbit (paper §2)
+  p.tcam_bits = 6'200'000ULL;           // 6.2 Mbit
+  p.action_bus_bits = 12 * 1024;        // per-stage action bus aggregated
+  p.clock_hz = 1.22e9;
+  p.cycles_per_stage = 20;              // MAU latency, not II (II = 1)
+  p.parser_cycles = 60;
+  p.deparser_cycles = 60;
+  p.forwarding_tbps = 6.4;
+  return p;
+}
+
+ChipProfile ChipProfile::tofino2() {
+  ChipProfile p;
+  p.name = "Tofino 2";
+  p.mau_stages = 20;
+  p.sram_bits = 200ULL * 1000 * 1000;   // 200 Mbit (paper §6)
+  p.tcam_bits = 10'300'000ULL;          // 10.3 Mbit
+  p.action_bus_bits = 20 * 1024;
+  p.clock_hz = 1.5e9;
+  p.cycles_per_stage = 18;
+  p.parser_cycles = 55;
+  p.deparser_cycles = 55;
+  p.forwarding_tbps = 12.8;
+  return p;
+}
+
+}  // namespace fenix::switchsim

@@ -1,0 +1,31 @@
+// Switch ASIC chip profiles.
+//
+// Resource envelopes for the Tofino generations referenced by the paper:
+// Tofino 1 (12 stages, 120 Mbit SRAM, 6.2 Mbit TCAM — §2) and Tofino 2
+// (20 MAU stages, 200 Mbit SRAM, 10.3 Mbit TCAM per pipeline — §6). Table 3's
+// utilization percentages are computed against these envelopes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fenix::switchsim {
+
+/// Static resource envelope of one switch pipeline.
+struct ChipProfile {
+  std::string name;
+  unsigned mau_stages = 0;
+  std::uint64_t sram_bits = 0;      ///< Total MAU SRAM per pipeline.
+  std::uint64_t tcam_bits = 0;      ///< Total MAU TCAM per pipeline.
+  std::uint64_t action_bus_bits = 0;///< Aggregate action/PHV bus budget.
+  double clock_hz = 0.0;            ///< MAU clock.
+  unsigned cycles_per_stage = 1;    ///< Deterministic per-stage latency.
+  unsigned parser_cycles = 40;      ///< Parser + arbiter fixed cost.
+  unsigned deparser_cycles = 40;    ///< Deparser + mirror fixed cost.
+  double forwarding_tbps = 0.0;     ///< Aggregate line rate.
+
+  static ChipProfile tofino1();
+  static ChipProfile tofino2();
+};
+
+}  // namespace fenix::switchsim

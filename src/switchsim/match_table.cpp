@@ -1,0 +1,105 @@
+#include "switchsim/match_table.hpp"
+
+#include <algorithm>
+
+namespace fenix::switchsim {
+
+ExactMatchTable::ExactMatchTable(ResourceLedger& ledger, std::string name,
+                                 unsigned stage, std::size_t capacity,
+                                 unsigned key_bits, unsigned action_data_bits)
+    : name_(std::move(name)), capacity_(capacity) {
+  Allocation alloc;
+  alloc.owner = "exact:" + name_;
+  alloc.stage = stage;
+  // Hash-way overprovisioning: compilers reserve ~1.25x entries of
+  // (key + action + overhead) bits in SRAM.
+  const std::uint64_t entry_bits = key_bits + action_data_bits + 8;
+  alloc.sram_bits = static_cast<std::uint64_t>(
+      static_cast<double>(capacity) * entry_bits * 1.25);
+  alloc.bus_bits = action_data_bits;
+  ledger.allocate(alloc);
+}
+
+bool ExactMatchTable::insert(std::uint64_t key, ActionEntry action) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second = action;
+    return true;
+  }
+  if (entries_.size() >= capacity_) return false;
+  entries_.emplace(key, action);
+  return true;
+}
+
+void ExactMatchTable::erase(std::uint64_t key) { entries_.erase(key); }
+
+std::optional<ActionEntry> ExactMatchTable::lookup(std::uint64_t key) const {
+  ++lookups_;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+TernaryMatchTable::TernaryMatchTable(ResourceLedger& ledger, std::string name,
+                                     unsigned stage, std::size_t capacity,
+                                     unsigned key_bits, unsigned action_data_bits)
+    : name_(std::move(name)), capacity_(capacity), key_bits_(key_bits) {
+  Allocation alloc;
+  alloc.owner = "ternary:" + name_;
+  alloc.stage = stage;
+  // TCAM stores value+mask (2x key bits); action data lives in adjacent SRAM,
+  // charged to the TCAM owner's SRAM budget.
+  alloc.tcam_bits = static_cast<std::uint64_t>(capacity) * key_bits * 2;
+  alloc.sram_bits = static_cast<std::uint64_t>(capacity) * (action_data_bits + 8);
+  alloc.bus_bits = action_data_bits;
+  ledger.allocate(alloc);
+}
+
+bool TernaryMatchTable::insert(TernaryEntry entry) {
+  if (entries_.size() >= capacity_) return false;
+  entries_.push_back(entry);
+  sorted_ = false;
+  return true;
+}
+
+std::optional<ActionEntry> TernaryMatchTable::lookup(std::uint64_t key) const {
+  ++lookups_;
+  if (!sorted_) {
+    std::stable_sort(entries_.begin(), entries_.end(),
+                     [](const TernaryEntry& a, const TernaryEntry& b) {
+                       return a.priority < b.priority;
+                     });
+    sorted_ = true;
+  }
+  for (const TernaryEntry& e : entries_) {
+    if ((key & e.mask) == e.value) return e.action;
+  }
+  return std::nullopt;
+}
+
+std::vector<PrefixMask> expand_range_to_prefixes(std::uint64_t lo, std::uint64_t hi,
+                                                 unsigned width) {
+  std::vector<PrefixMask> out;
+  if (width == 0 || width > 64 || lo > hi) return out;
+  const std::uint64_t field_mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+  hi = std::min(hi, field_mask);
+  // Greedy prefix cover: repeatedly take the largest aligned block starting
+  // at `lo` that does not overshoot `hi`.
+  while (lo <= hi) {
+    unsigned block = 0;  // log2 of block size
+    // Largest alignment of lo.
+    while (block < width && (lo & ((1ULL << (block + 1)) - 1)) == 0) ++block;
+    // Shrink until the block fits within [lo, hi].
+    while (block > 0 && lo + ((1ULL << block) - 1) > hi) --block;
+    PrefixMask pm;
+    pm.mask = field_mask & ~((1ULL << block) - 1);
+    pm.value = lo & pm.mask;
+    out.push_back(pm);
+    const std::uint64_t block_end = lo + ((1ULL << block) - 1);
+    if (block_end == field_mask || block_end >= hi) break;
+    lo = block_end + 1;
+  }
+  return out;
+}
+
+}  // namespace fenix::switchsim

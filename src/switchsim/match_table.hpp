@@ -1,0 +1,104 @@
+// Match-action tables: exact (SRAM) and ternary (TCAM), plus the range-to-
+// prefix expansion used when compiling decision trees to TCAM entries.
+//
+// Tree-based baselines (Leo, NetBeacon) execute their models as match-action
+// lookups over packet features; range predicates ("length <= 612") become
+// ternary prefix entries. The expansion cost is exactly what drives
+// NetBeacon's 18.8% TCAM figure in Table 3.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "switchsim/resources.hpp"
+
+namespace fenix::switchsim {
+
+/// Action identifier + immediate data returned by a table hit.
+struct ActionEntry {
+  std::uint32_t action_id = 0;
+  std::uint64_t action_data = 0;
+};
+
+/// An exact-match table backed by SRAM.
+class ExactMatchTable {
+ public:
+  /// `key_bits` is the match key width; `capacity` the entry budget. SRAM is
+  /// charged up-front for the full capacity (hash-table way overhead ~1.25x),
+  /// matching how a P4 compiler reserves memory.
+  ExactMatchTable(ResourceLedger& ledger, std::string name, unsigned stage,
+                  std::size_t capacity, unsigned key_bits, unsigned action_data_bits);
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Inserts or overwrites an entry. Returns false when at capacity.
+  bool insert(std::uint64_t key, ActionEntry action);
+  void erase(std::uint64_t key);
+  void clear() { entries_.clear(); }
+
+  std::optional<ActionEntry> lookup(std::uint64_t key) const;
+  std::uint64_t lookups() const { return lookups_; }
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, ActionEntry> entries_;
+  mutable std::uint64_t lookups_ = 0;
+};
+
+/// One ternary entry: matches when (key & mask) == value. Lower `priority`
+/// values win.
+struct TernaryEntry {
+  std::uint64_t value = 0;
+  std::uint64_t mask = 0;
+  std::uint32_t priority = 0;
+  ActionEntry action;
+};
+
+/// A ternary (TCAM) table.
+class TernaryMatchTable {
+ public:
+  TernaryMatchTable(ResourceLedger& ledger, std::string name, unsigned stage,
+                    std::size_t capacity, unsigned key_bits,
+                    unsigned action_data_bits);
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  unsigned key_bits() const { return key_bits_; }
+
+  /// Adds an entry. Returns false when at capacity.
+  bool insert(TernaryEntry entry);
+  void clear() { entries_.clear(); sorted_ = true; }
+
+  /// Highest-priority (lowest value) matching entry.
+  std::optional<ActionEntry> lookup(std::uint64_t key) const;
+  std::uint64_t lookups() const { return lookups_; }
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  unsigned key_bits_;
+  mutable std::vector<TernaryEntry> entries_;
+  mutable bool sorted_ = true;
+  mutable std::uint64_t lookups_ = 0;
+};
+
+/// A (value, mask) prefix pair produced by range expansion.
+struct PrefixMask {
+  std::uint64_t value = 0;
+  std::uint64_t mask = 0;
+};
+
+/// Expands the inclusive integer range [lo, hi] over a `width`-bit field into
+/// the minimal set of prefix entries (at most 2*width - 2). Standard
+/// gray-zone-free prefix cover; used for compiling tree thresholds to TCAM.
+std::vector<PrefixMask> expand_range_to_prefixes(std::uint64_t lo, std::uint64_t hi,
+                                                 unsigned width);
+
+}  // namespace fenix::switchsim

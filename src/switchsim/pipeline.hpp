@@ -1,0 +1,57 @@
+// Pipeline timing and mirroring model.
+//
+// A PISA pipeline forwards every packet with deterministic latency: parser +
+// per-stage MAU latency + deparser, independent of the program (stages always
+// execute). Mirror sessions clone a packet at the deparser toward a target
+// port — the Buffer Manager uses one to ship feature headers to the FPGA
+// (§4.3).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/clock.hpp"
+#include "sim/time.hpp"
+#include "switchsim/chip.hpp"
+
+namespace fenix::switchsim {
+
+/// Deterministic forwarding-latency model of one pipeline pass.
+class PipelineTiming {
+ public:
+  explicit PipelineTiming(const ChipProfile& profile)
+      : clock_(profile.clock_hz),
+        pass_cycles_(profile.parser_cycles +
+                     static_cast<std::uint64_t>(profile.mau_stages) *
+                         profile.cycles_per_stage +
+                     profile.deparser_cycles) {}
+
+  /// Latency of one ingress-or-egress pipeline pass.
+  sim::SimDuration pass_latency() const { return clock_.cycles(pass_cycles_); }
+
+  /// Full switch transit: ingress pipeline + traffic manager + egress
+  /// pipeline. The TM crossing is a small fixed cost.
+  sim::SimDuration transit_latency() const {
+    return 2 * pass_latency() + clock_.cycles(100);
+  }
+
+  const sim::ClockDomain& clock() const { return clock_; }
+  std::uint64_t pass_cycles() const { return pass_cycles_; }
+
+ private:
+  sim::ClockDomain clock_;
+  std::uint64_t pass_cycles_;
+};
+
+/// Counters for a mirror session (deparser packet cloning).
+struct MirrorSession {
+  std::uint32_t session_id = 0;
+  std::uint64_t mirrored_packets = 0;
+  std::uint64_t mirrored_bytes = 0;
+
+  void record(std::size_t bytes) {
+    ++mirrored_packets;
+    mirrored_bytes += bytes;
+  }
+};
+
+}  // namespace fenix::switchsim

@@ -1,0 +1,104 @@
+// Stateful register arrays with PISA stateful-ALU semantics.
+//
+// A Tofino register array supports exactly one read-modify-write per packet,
+// executed by a stateful ALU whose instruction set is restricted to
+// predicated add/sub/min/max/assign over (at most) a pair of words. The
+// RegisterArray below enforces those restrictions at the API level: callers
+// express updates as StatefulAluOp programs rather than arbitrary lambdas, so
+// Data Engine logic that compiles here would also compile to real hardware.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "switchsim/resources.hpp"
+
+namespace fenix::switchsim {
+
+/// ALU comparison predicates (evaluated against the stored value and operand).
+enum class AluPredicate : std::uint8_t {
+  kAlways,
+  kStoredEq,    ///< stored == operand
+  kStoredNe,    ///< stored != operand
+  kStoredLt,    ///< stored <  operand
+  kStoredGe,    ///< stored >= operand
+};
+
+/// ALU update operations.
+enum class AluUpdate : std::uint8_t {
+  kNop,
+  kAssign,      ///< stored = operand
+  kAddOperand,  ///< stored += operand (wrapping)
+  kSubOperand,  ///< stored -= operand (wrapping)
+  kIncrement,   ///< stored += 1
+  kMax,         ///< stored = max(stored, operand)
+  kMin,         ///< stored = min(stored, operand)
+};
+
+/// One predicated update lane. A stateful ALU executes up to two lanes; the
+/// first lane whose predicate holds fires (hardware evaluates both against
+/// the *old* value, which this model reproduces).
+struct AluLane {
+  AluPredicate predicate = AluPredicate::kAlways;
+  std::uint64_t predicate_operand = 0;
+  AluUpdate update = AluUpdate::kNop;
+  std::uint64_t update_operand = 0;
+};
+
+/// Result of one register access: the value before and after the update.
+struct AluResult {
+  std::uint64_t old_value = 0;
+  std::uint64_t new_value = 0;
+  bool lane_fired[2] = {false, false};
+};
+
+/// A register array occupying SRAM in one pipeline stage.
+class RegisterArray {
+ public:
+  /// `width_bits` must be 8, 16, 32, or 64 (paired 32-bit entries model the
+  /// dual-word registers Tofino offers as 2x32).
+  RegisterArray(ResourceLedger& ledger, std::string name, unsigned stage,
+                std::size_t entries, unsigned width_bits);
+
+  std::size_t entries() const { return values_.size(); }
+  unsigned width_bits() const { return width_bits_; }
+  unsigned stage() const { return stage_; }
+  const std::string& name() const { return name_; }
+
+  /// Plain read (control-plane or same-stage match input).
+  std::uint64_t read(std::size_t index) const;
+
+  /// Control-plane write (resets, configuration). Not counted as a data-plane
+  /// access.
+  void write(std::size_t index, std::uint64_t value);
+
+  /// Control-plane bulk clear (e.g. the per-window flow-count reset in §4.1).
+  void clear();
+
+  /// Executes a single data-plane read-modify-write with up to two lanes.
+  /// Mirrors hardware: both predicates see the old value; lane 0 wins ties.
+  AluResult execute(std::size_t index, const AluLane& lane0,
+                    const AluLane& lane1 = AluLane{});
+
+  /// Data-plane access count (each packet may access an array at most once;
+  /// the Data Engine asserts this invariant in its own tests).
+  std::uint64_t accesses() const { return accesses_; }
+
+ private:
+  std::uint64_t mask() const {
+    return width_bits_ >= 64 ? ~0ULL : ((1ULL << width_bits_) - 1ULL);
+  }
+  static bool predicate_holds(AluPredicate p, std::uint64_t stored,
+                              std::uint64_t operand);
+  std::uint64_t apply(AluUpdate u, std::uint64_t stored, std::uint64_t operand) const;
+
+  std::string name_;
+  unsigned stage_;
+  unsigned width_bits_;
+  std::vector<std::uint64_t> values_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace fenix::switchsim

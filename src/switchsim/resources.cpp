@@ -1,0 +1,41 @@
+#include "switchsim/resources.hpp"
+
+#include <sstream>
+
+namespace fenix::switchsim {
+
+ResourceLedger::ResourceLedger(ChipProfile profile) : profile_(std::move(profile)) {}
+
+void ResourceLedger::allocate(const Allocation& alloc) {
+  if (alloc.stage >= profile_.mau_stages) {
+    throw ResourceExhausted("allocation '" + alloc.owner + "' targets stage " +
+                            std::to_string(alloc.stage) + " but " + profile_.name +
+                            " has only " + std::to_string(profile_.mau_stages) +
+                            " stages");
+  }
+  if (sram_used_ + alloc.sram_bits > profile_.sram_bits) {
+    throw ResourceExhausted("SRAM exhausted by '" + alloc.owner + "'");
+  }
+  if (tcam_used_ + alloc.tcam_bits > profile_.tcam_bits) {
+    throw ResourceExhausted("TCAM exhausted by '" + alloc.owner + "'");
+  }
+  if (bus_used_ + alloc.bus_bits > profile_.action_bus_bits) {
+    throw ResourceExhausted("action bus exhausted by '" + alloc.owner + "'");
+  }
+  sram_used_ += alloc.sram_bits;
+  tcam_used_ += alloc.tcam_bits;
+  bus_used_ += alloc.bus_bits;
+  if (alloc.stage + 1 > stages_used_) stages_used_ = alloc.stage + 1;
+  allocations_.push_back(alloc);
+}
+
+std::string ResourceLedger::summary() const {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << "SRAM " << sram_fraction() * 100.0 << "% TCAM "
+     << tcam_fraction() * 100.0 << "% Bus " << bus_fraction() * 100.0 << "% Stages "
+     << stages_used_;
+  return os.str();
+}
+
+}  // namespace fenix::switchsim

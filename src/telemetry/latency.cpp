@@ -1,0 +1,37 @@
+#include "telemetry/latency.hpp"
+
+#include <algorithm>
+
+namespace fenix::telemetry {
+
+void LatencyRecorder::record(sim::SimDuration d) {
+  ++count_;
+  sum_ += d;
+  if (d < min_) min_ = d;
+  if (d > max_) max_ = d;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(d);
+    sorted_ = false;
+  } else {
+    // Vitter's algorithm R: keep each of the first `count_` samples with
+    // probability capacity/count.
+    const std::uint64_t slot = rng_.uniform_int(count_);
+    if (slot < capacity_) {
+      samples_[static_cast<std::size_t>(slot)] = d;
+      sorted_ = false;
+    }
+  }
+}
+
+sim::SimDuration LatencyRecorder::percentile(double p) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto idx = static_cast<std::size_t>(rank + 0.5);
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+}  // namespace fenix::telemetry

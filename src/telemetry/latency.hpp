@@ -1,0 +1,58 @@
+// Latency accounting: streaming summaries and percentile estimation.
+//
+// Figure 11 reports a latency breakdown with microsecond resolution; the
+// recorder keeps raw samples (bounded by reservoir sampling for very long
+// runs) so exact percentiles are available for the bench harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace fenix::telemetry {
+
+/// Streaming latency recorder with exact percentiles up to a reservoir bound.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t reservoir_capacity = 1 << 20)
+      : capacity_(reservoir_capacity), rng_(0x1a7e9c) {}
+
+  void record(sim::SimDuration d);
+
+  std::uint64_t count() const { return count_; }
+  sim::SimDuration min() const { return count_ ? min_ : 0; }
+  sim::SimDuration max() const { return max_; }
+  double mean_ps() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+  double mean_us() const { return mean_ps() / static_cast<double>(sim::kMicrosecond); }
+
+  /// Percentile in [0, 100]; exact over the retained reservoir.
+  sim::SimDuration percentile(double p) const;
+
+  /// Convenience: p50/p99 in microseconds.
+  double p50_us() const { return sim::to_microseconds(percentile(50.0)); }
+  double p99_us() const { return sim::to_microseconds(percentile(99.0)); }
+
+ private:
+  std::size_t capacity_;
+  mutable std::vector<sim::SimDuration> samples_;
+  mutable bool sorted_ = false;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  sim::SimDuration min_ = ~0ULL;
+  sim::SimDuration max_ = 0;
+  sim::RandomStream rng_;
+};
+
+/// A named latency component for breakdown tables (Figure 11).
+struct LatencyComponent {
+  std::string name;
+  double mean_us = 0.0;
+  double p99_us = 0.0;
+};
+
+}  // namespace fenix::telemetry

@@ -1,0 +1,49 @@
+// Exponentially-weighted rate estimation for control-plane statistics.
+//
+// The control plane recomputes the traffic statistics (N, Q) every window
+// T_w (§4.2). Raw per-window counts are noisy under bursty traffic; an EWMA
+// over windows smooths the probability-table inputs so one quiet window does
+// not collapse the token allocation. Deterministic, integer-count in /
+// double-rate out.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace fenix::telemetry {
+
+/// EWMA over per-window rates. alpha = 1 disables smoothing.
+class RateMeter {
+ public:
+  explicit RateMeter(double alpha = 0.3) : alpha_(alpha) {}
+
+  /// Feeds one window's count over `window` duration; returns the smoothed
+  /// rate estimate (events per second).
+  double update(std::uint64_t count, sim::SimDuration window) {
+    const double seconds = sim::to_seconds(window);
+    const double instantaneous =
+        seconds > 0.0 ? static_cast<double>(count) / seconds : 0.0;
+    if (!initialized_) {
+      estimate_ = instantaneous;
+      initialized_ = true;
+    } else {
+      estimate_ = alpha_ * instantaneous + (1.0 - alpha_) * estimate_;
+    }
+    return estimate_;
+  }
+
+  double rate() const { return estimate_; }
+  bool initialized() const { return initialized_; }
+  void reset() {
+    estimate_ = 0.0;
+    initialized_ = false;
+  }
+
+ private:
+  double alpha_;
+  double estimate_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace fenix::telemetry

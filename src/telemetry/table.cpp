@@ -1,0 +1,59 @@
+#include "telemetry/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace fenix::telemetry {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      os << ' ' << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::pr(double precision, double recall) {
+  return num(precision) + "/" + num(recall);
+}
+
+std::string TextTable::pct(double fraction) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+}  // namespace fenix::telemetry

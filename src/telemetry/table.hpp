@@ -1,0 +1,40 @@
+// Plain-text table rendering for the bench harnesses.
+//
+// Every bench binary prints rows in the same layout as the paper's tables and
+// figures; this tiny formatter keeps the output aligned and diff-friendly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fenix::telemetry {
+
+/// A column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row. Rows shorter than the header are right-padded with "".
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with single-space-padded pipes, plus a rule under the header.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with fixed precision (helper for cells).
+  static std::string num(double v, int precision = 3);
+
+  /// Formats "precision/recall" pairs the way Table 2 prints them.
+  static std::string pr(double precision, double recall);
+
+  /// Formats a percentage with one decimal.
+  static std::string pct(double fraction);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fenix::telemetry

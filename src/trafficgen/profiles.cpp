@@ -1,0 +1,337 @@
+#include "trafficgen/profiles.hpp"
+
+namespace fenix::trafficgen {
+namespace {
+
+ClassProfile base_profile(std::string name, double ratio) {
+  ClassProfile p;
+  p.name = std::move(name);
+  p.ratio = ratio;
+  return p;
+}
+
+}  // namespace
+
+DatasetProfile DatasetProfile::iscx_vpn() {
+  DatasetProfile d;
+  d.name = "ISCXVPN2016 (synthetic)";
+  d.train_flows = 29'295;
+  d.test_flows = 7'328;
+
+  // Chat: small messages, short exchanges, human-scale pauses.
+  {
+    ClassProfile p = base_profile("Chat", 11);
+    p.burst_lengths = {{0.7, 180, 60}, {0.3, 420, 120}};
+    p.sparse_lengths = {{1.0, 120, 40}};
+    p.burst_ipd_log_mean = 4.5;  // ~90 us
+    p.burst_ipd_log_sigma = 0.8;
+    p.sparse_ipd_log_mean = 12.5;  // ~270 ms thinking pauses
+    p.sparse_ipd_log_sigma = 1.2;
+    p.stay_burst = 0.55;
+    p.enter_burst = 0.45;
+    p.flow_pkts_log_mean = 3.0;
+    p.flow_pkts_log_sigma = 0.7;
+    d.classes.push_back(p);
+  }
+  // Email: header exchange then a body burst, long idle tails.
+  {
+    ClassProfile p = base_profile("Email", 4);
+    p.burst_lengths = {{0.5, 520, 150}, {0.5, 1380, 90}};
+    p.sparse_lengths = {{1.0, 220, 80}};
+    p.burst_ipd_log_mean = 3.2;
+    p.burst_ipd_log_sigma = 0.7;
+    p.sparse_ipd_log_mean = 11.0;
+    p.sparse_ipd_log_sigma = 1.0;
+    p.stay_burst = 0.75;
+    p.enter_burst = 0.2;
+    p.flow_pkts_log_mean = 2.8;
+    p.flow_pkts_log_sigma = 0.6;
+    d.classes.push_back(p);
+  }
+  // File transfer: sustained MTU-size bursts with interleaved ACKs.
+  {
+    ClassProfile p = base_profile("File", 13);
+    p.burst_lengths = {{0.8, 1420, 40}, {0.2, 80, 20}};
+    p.sparse_lengths = {{1.0, 600, 300}};
+    p.burst_ipd_log_mean = 2.2;  // ~9 us line-rate pacing
+    p.burst_ipd_log_sigma = 0.5;
+    p.sparse_ipd_log_mean = 8.0;
+    p.sparse_ipd_log_sigma = 0.8;
+    p.stay_burst = 0.93;
+    p.enter_burst = 0.7;
+    p.flow_pkts_log_mean = 4.5;
+    p.flow_pkts_log_sigma = 0.9;
+    d.classes.push_back(p);
+  }
+  // P2P: chunk exchanges, bimodal data/control, moderate churn.
+  {
+    ClassProfile p = base_profile("P2P", 10);
+    p.burst_lengths = {{0.55, 1350, 120}, {0.45, 260, 90}};
+    p.sparse_lengths = {{0.5, 160, 60}, {0.5, 1100, 250}};
+    p.burst_ipd_log_mean = 3.8;
+    p.burst_ipd_log_sigma = 1.1;
+    p.sparse_ipd_log_mean = 9.5;
+    p.sparse_ipd_log_sigma = 1.4;
+    p.stay_burst = 0.7;
+    p.enter_burst = 0.5;
+    p.flow_pkts_log_mean = 3.8;
+    p.flow_pkts_log_sigma = 1.0;
+    d.classes.push_back(p);
+  }
+  // Streaming: large segments with regular pacing (player buffer refills).
+  {
+    ClassProfile p = base_profile("Stream", 18);
+    p.burst_lengths = {{0.85, 1380, 60}, {0.15, 640, 180}};
+    p.sparse_lengths = {{1.0, 1200, 200}};
+    p.burst_ipd_log_mean = 2.8;
+    p.burst_ipd_log_sigma = 0.4;
+    p.sparse_ipd_log_mean = 8.5;
+    p.sparse_ipd_log_sigma = 0.5;
+    p.stay_burst = 0.9;
+    p.enter_burst = 0.8;
+    p.periodic_fraction = 0.6;
+    p.period_us = 4'000;
+    p.flow_pkts_log_mean = 4.8;
+    p.flow_pkts_log_sigma = 0.7;
+    d.classes.push_back(p);
+  }
+  // VoIP: small constant frames at codec cadence; dominant class (128).
+  {
+    ClassProfile p = base_profile("Voip", 128);
+    p.burst_lengths = {{0.95, 160, 14}, {0.05, 120, 20}};
+    p.sparse_lengths = {{1.0, 160, 14}};
+    p.burst_ipd_log_mean = 9.9;  // ~20 ms
+    p.burst_ipd_log_sigma = 0.08;
+    p.sparse_ipd_log_mean = 9.9;
+    p.sparse_ipd_log_sigma = 0.15;
+    p.stay_burst = 0.98;
+    p.enter_burst = 0.95;
+    p.periodic_fraction = 0.9;
+    p.period_us = 20'000;
+    p.flow_pkts_log_mean = 5.2;
+    p.flow_pkts_log_sigma = 0.5;
+    d.classes.push_back(p);
+  }
+  // Web: request/response bursts sharing File's MTU mode and Chat's small
+  // mode — the hardest class (lowest F1 in Table 2), rare (ratio 1).
+  {
+    ClassProfile p = base_profile("Web", 1);
+    p.burst_lengths = {{0.5, 1400, 60}, {0.3, 300, 120}, {0.2, 150, 50}};
+    p.sparse_lengths = {{0.6, 140, 50}, {0.4, 500, 200}};
+    p.burst_ipd_log_mean = 3.4;
+    p.burst_ipd_log_sigma = 1.0;
+    p.sparse_ipd_log_mean = 11.5;
+    p.sparse_ipd_log_sigma = 1.5;
+    p.stay_burst = 0.8;
+    p.enter_burst = 0.35;
+    p.flow_pkts_log_mean = 3.0;
+    p.flow_pkts_log_sigma = 0.9;
+    d.classes.push_back(p);
+  }
+  return d;
+}
+
+DatasetProfile DatasetProfile::ustc_tfc() {
+  DatasetProfile d;
+  d.name = "USTC-TFC2016 (synthetic)";
+  d.train_flows = 101'789;
+  d.test_flows = 25'455;
+
+  // Cridex: beaconing C2 — tiny, highly regular check-ins. Easy (F1 ~ 1.0).
+  {
+    ClassProfile p = base_profile("Cridex", 92);
+    p.burst_lengths = {{0.9, 230, 20}, {0.1, 610, 40}};
+    p.sparse_lengths = {{1.0, 230, 20}};
+    p.burst_ipd_log_mean = 10.8;
+    p.burst_ipd_log_sigma = 0.1;
+    p.sparse_ipd_log_mean = 10.8;
+    p.sparse_ipd_log_sigma = 0.2;
+    p.stay_burst = 0.97;
+    p.enter_burst = 0.9;
+    p.periodic_fraction = 0.85;
+    p.period_us = 50'000;
+    p.flow_pkts_log_mean = 3.4;
+    p.flow_pkts_log_sigma = 0.5;
+    d.classes.push_back(p);
+  }
+  // FTP: classic bulk transfer. Easy.
+  {
+    ClassProfile p = base_profile("FTP", 10);
+    p.burst_lengths = {{0.85, 1440, 25}, {0.15, 70, 15}};
+    p.sparse_lengths = {{1.0, 90, 30}};
+    p.burst_ipd_log_mean = 2.0;
+    p.burst_ipd_log_sigma = 0.35;
+    p.sparse_ipd_log_mean = 7.5;
+    p.sparse_ipd_log_sigma = 0.6;
+    p.stay_burst = 0.95;
+    p.enter_burst = 0.85;
+    p.flow_pkts_log_mean = 4.6;
+    p.flow_pkts_log_sigma = 0.8;
+    d.classes.push_back(p);
+  }
+  // Geodo (Emotet): spam module with tight beacon cadence and a fixed
+  // payload size signature.
+  {
+    ClassProfile p = base_profile("Geodo", 4);
+    p.burst_lengths = {{0.7, 480, 40}, {0.3, 1310, 60}};
+    p.sparse_lengths = {{1.0, 480, 40}};
+    p.burst_ipd_log_mean = 5.5;
+    p.burst_ipd_log_sigma = 0.3;
+    p.sparse_ipd_log_mean = 10.2;
+    p.sparse_ipd_log_sigma = 0.5;
+    p.stay_burst = 0.85;
+    p.enter_burst = 0.5;
+    p.periodic_fraction = 0.5;
+    p.period_us = 8'000;
+    p.flow_pkts_log_mean = 3.0;
+    p.flow_pkts_log_sigma = 0.7;
+    d.classes.push_back(p);
+  }
+  // Htbot: proxy bot, relayed traffic with mid-size segments.
+  {
+    ClassProfile p = base_profile("Htbot", 14);
+    p.burst_lengths = {{0.7, 980, 180}, {0.3, 340, 110}};
+    p.sparse_lengths = {{1.0, 420, 160}};
+    p.burst_ipd_log_mean = 4.4;
+    p.burst_ipd_log_sigma = 0.7;
+    p.sparse_ipd_log_mean = 9.0;
+    p.sparse_ipd_log_sigma = 0.9;
+    p.stay_burst = 0.82;
+    p.enter_burst = 0.55;
+    p.flow_pkts_log_mean = 3.9;
+    p.flow_pkts_log_sigma = 0.8;
+    d.classes.push_back(p);
+  }
+  // Neris: spam/click-fraud botnet — web-like, overlaps Virut. Hard.
+  {
+    ClassProfile p = base_profile("Neris", 17);
+    p.burst_lengths = {{0.5, 1380, 90}, {0.3, 320, 130}, {0.2, 170, 60}};
+    p.sparse_lengths = {{0.6, 180, 70}, {0.4, 520, 210}};
+    p.burst_ipd_log_mean = 3.9;
+    p.burst_ipd_log_sigma = 1.0;
+    p.sparse_ipd_log_mean = 10.5;
+    p.sparse_ipd_log_sigma = 1.3;
+    p.stay_burst = 0.78;
+    p.enter_burst = 0.4;
+    p.flow_pkts_log_mean = 3.2;
+    p.flow_pkts_log_sigma = 0.9;
+    d.classes.push_back(p);
+  }
+  // Nsis-ay: downloader — handshake then bulk pull. Distinctive.
+  {
+    ClassProfile p = base_profile("Nsis-ay", 23);
+    p.burst_lengths = {{0.75, 1420, 50}, {0.25, 210, 70}};
+    p.sparse_lengths = {{1.0, 150, 50}};
+    p.burst_ipd_log_mean = 2.6;
+    p.burst_ipd_log_sigma = 0.45;
+    p.sparse_ipd_log_mean = 8.8;
+    p.sparse_ipd_log_sigma = 0.7;
+    p.stay_burst = 0.9;
+    p.enter_burst = 0.6;
+    p.flow_pkts_log_mean = 4.0;
+    p.flow_pkts_log_sigma = 0.7;
+    d.classes.push_back(p);
+  }
+  // World of Warcraft: game traffic — small regular updates. Easy.
+  {
+    ClassProfile p = base_profile("Warcraft", 105);
+    p.burst_lengths = {{0.9, 120, 30}, {0.1, 420, 90}};
+    p.sparse_lengths = {{1.0, 110, 25}};
+    p.burst_ipd_log_mean = 8.0;  // ~3 ms tick
+    p.burst_ipd_log_sigma = 0.2;
+    p.sparse_ipd_log_mean = 8.4;
+    p.sparse_ipd_log_sigma = 0.4;
+    p.stay_burst = 0.95;
+    p.enter_burst = 0.9;
+    p.periodic_fraction = 0.7;
+    p.period_us = 3'000;
+    p.flow_pkts_log_mean = 5.0;
+    p.flow_pkts_log_sigma = 0.6;
+    d.classes.push_back(p);
+  }
+  // Zeus: banking trojan — encrypted POST bursts with jittered beacons.
+  {
+    ClassProfile p = base_profile("Zeus", 1);
+    p.burst_lengths = {{0.65, 750, 60}, {0.35, 140, 25}};
+    p.sparse_lengths = {{1.0, 140, 25}};
+    p.burst_ipd_log_mean = 4.0;
+    p.burst_ipd_log_sigma = 0.4;
+    p.sparse_ipd_log_mean = 11.2;
+    p.sparse_ipd_log_sigma = 0.6;
+    p.stay_burst = 0.65;
+    p.enter_burst = 0.35;
+    p.periodic_fraction = 0.3;
+    p.period_us = 30'000;
+    p.flow_pkts_log_mean = 3.1;
+    p.flow_pkts_log_sigma = 0.6;
+    d.classes.push_back(p);
+  }
+  // Virut: polymorphic IRC bot — broad mixture overlapping Neris. Hard.
+  {
+    ClassProfile p = base_profile("Virut", 16);
+    p.burst_lengths = {{0.45, 1360, 110}, {0.35, 420, 140}, {0.2, 160, 60}};
+    p.sparse_lengths = {{0.55, 190, 80}, {0.45, 560, 230}};
+    p.burst_ipd_log_mean = 4.8;
+    p.burst_ipd_log_sigma = 1.0;
+    p.sparse_ipd_log_mean = 9.8;
+    p.sparse_ipd_log_sigma = 1.3;
+    p.stay_burst = 0.68;
+    p.enter_burst = 0.42;
+    p.flow_pkts_log_mean = 3.3;
+    p.flow_pkts_log_sigma = 0.9;
+    d.classes.push_back(p);
+  }
+  // Weibo: social app — request bursts, overlaps SMB's medium mode. Hard.
+  {
+    ClassProfile p = base_profile("Weibo", 132);
+    p.burst_lengths = {{0.5, 820, 220}, {0.3, 1350, 130}, {0.2, 200, 70}};
+    p.sparse_lengths = {{0.7, 230, 90}, {0.3, 700, 250}};
+    p.burst_ipd_log_mean = 3.7;
+    p.burst_ipd_log_sigma = 0.9;
+    p.sparse_ipd_log_mean = 10.8;
+    p.sparse_ipd_log_sigma = 1.2;
+    p.stay_burst = 0.8;
+    p.enter_burst = 0.45;
+    p.periodic_fraction = 0.25;
+    p.period_us = 6'000;
+    p.flow_pkts_log_mean = 3.4;
+    p.flow_pkts_log_sigma = 0.8;
+    d.classes.push_back(p);
+  }
+  // Shifu: banking trojan — distinctive staged exfil bursts.
+  {
+    ClassProfile p = base_profile("Shifu", 27);
+    p.burst_lengths = {{0.8, 1180, 70}, {0.2, 460, 90}};
+    p.sparse_lengths = {{1.0, 330, 90}};
+    p.burst_ipd_log_mean = 3.0;
+    p.burst_ipd_log_sigma = 0.5;
+    p.sparse_ipd_log_mean = 9.6;
+    p.sparse_ipd_log_sigma = 0.7;
+    p.stay_burst = 0.88;
+    p.enter_burst = 0.5;
+    p.periodic_fraction = 0.4;
+    p.period_us = 12'000;
+    p.flow_pkts_log_mean = 3.6;
+    p.flow_pkts_log_sigma = 0.7;
+    d.classes.push_back(p);
+  }
+  // SMB: file shares — overlaps Weibo's medium mode and FTP's bulk mode.
+  // Hardest class in Table 2.
+  {
+    ClassProfile p = base_profile("SMB", 1);
+    p.burst_lengths = {{0.45, 900, 220}, {0.35, 1340, 150}, {0.2, 210, 80}};
+    p.sparse_lengths = {{0.65, 240, 100}, {0.35, 680, 260}};
+    p.burst_ipd_log_mean = 2.9;  // server-class request pipelining
+    p.burst_ipd_log_sigma = 0.8;
+    p.sparse_ipd_log_mean = 9.8;
+    p.sparse_ipd_log_sigma = 1.1;
+    p.stay_burst = 0.85;
+    p.enter_burst = 0.48;
+    p.flow_pkts_log_mean = 3.5;
+    p.flow_pkts_log_sigma = 0.8;
+    d.classes.push_back(p);
+  }
+  return d;
+}
+
+}  // namespace fenix::trafficgen

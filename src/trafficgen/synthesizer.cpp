@@ -1,0 +1,243 @@
+#include "trafficgen/synthesizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace fenix::trafficgen {
+namespace {
+
+std::uint16_t draw_length(const std::vector<LengthMode>& modes,
+                          sim::RandomStream& rng) {
+  double total = 0.0;
+  for (const LengthMode& m : modes) total += m.weight;
+  double pick = rng.uniform() * total;
+  const LengthMode* mode = &modes.back();
+  for (const LengthMode& m : modes) {
+    pick -= m.weight;
+    if (pick <= 0.0) {
+      mode = &m;
+      break;
+    }
+  }
+  const double len = rng.normal(mode->mean, mode->stddev);
+  return static_cast<std::uint16_t>(std::clamp(len, 40.0, 1500.0));
+}
+
+FlowSample synthesize_one(const ClassProfile& profile, net::ClassLabel label,
+                          sim::RandomStream& rng, std::size_t max_pkts) {
+  FlowSample flow;
+  flow.label = label;
+  const double raw = rng.lognormal(profile.flow_pkts_log_mean,
+                                   profile.flow_pkts_log_sigma);
+  std::size_t n_pkts = static_cast<std::size_t>(std::llround(raw));
+  n_pkts = std::clamp<std::size_t>(n_pkts, profile.min_pkts, max_pkts);
+
+  const bool periodic = rng.bernoulli(profile.periodic_fraction);
+  bool in_burst = rng.bernoulli(profile.enter_burst);
+  flow.features.reserve(n_pkts);
+  flow.gaps.reserve(n_pkts);
+  for (std::size_t i = 0; i < n_pkts; ++i) {
+    const auto& lengths = in_burst ? profile.burst_lengths : profile.sparse_lengths;
+    const std::uint16_t length = draw_length(lengths, rng);
+
+    sim::SimDuration gap = 0;
+    if (i > 0) {
+      double ipd_us;
+      if (periodic && in_burst) {
+        // Near-constant pacing with small jitter.
+        ipd_us = std::max(1.0, rng.normal(profile.period_us, profile.period_us * 0.03));
+      } else if (in_burst) {
+        ipd_us = rng.lognormal(profile.burst_ipd_log_mean, profile.burst_ipd_log_sigma);
+      } else {
+        ipd_us = rng.lognormal(profile.sparse_ipd_log_mean, profile.sparse_ipd_log_sigma);
+      }
+      gap = static_cast<sim::SimDuration>(ipd_us * static_cast<double>(sim::kMicrosecond));
+      if (gap == 0) gap = 1;
+    }
+    flow.gaps.push_back(gap);
+    net::PacketFeature f;
+    f.length = length;
+    f.ipd_code = net::encode_ipd(gap);
+    flow.features.push_back(f);
+
+    in_burst = rng.bernoulli(in_burst ? profile.stay_burst : profile.enter_burst);
+  }
+  return flow;
+}
+
+}  // namespace
+
+std::vector<FlowSample> synthesize_flows(const DatasetProfile& profile,
+                                         const SynthesisConfig& config) {
+  sim::RandomStream rng(config.seed);
+  double ratio_total = 0.0;
+  for (const ClassProfile& c : profile.classes) ratio_total += c.ratio;
+
+  std::vector<FlowSample> flows;
+  flows.reserve(config.total_flows);
+  for (std::size_t c = 0; c < profile.classes.size(); ++c) {
+    const ClassProfile& cls = profile.classes[c];
+    auto count = static_cast<std::size_t>(std::llround(
+        static_cast<double>(config.total_flows) * cls.ratio / ratio_total));
+    count = std::max<std::size_t>(count, std::max<std::size_t>(
+                                             config.min_flows_per_class, 1));
+    sim::RandomStream class_rng = rng.fork();
+    for (std::size_t i = 0; i < count; ++i) {
+      flows.push_back(synthesize_one(cls, static_cast<net::ClassLabel>(c), class_rng,
+                                     config.max_pkts_per_flow));
+    }
+  }
+  // Shuffle so class blocks do not correlate with flow ids.
+  for (std::size_t i = flows.size(); i > 1; --i) {
+    std::swap(flows[i - 1], flows[rng.uniform_int(i)]);
+  }
+  return flows;
+}
+
+std::vector<nn::SeqSample> make_packet_samples(const std::vector<FlowSample>& flows,
+                                               std::size_t seq_len, std::size_t stride,
+                                               std::size_t max_windows_per_flow) {
+  std::vector<nn::SeqSample> samples;
+  for (const FlowSample& flow : flows) {
+    std::size_t emitted = 0;
+    // Window ending at packet i (inclusive); start at packet index 2 so each
+    // sample has at least 3 real packets, step by `stride`.
+    for (std::size_t i = 2; i < flow.features.size() && emitted < max_windows_per_flow;
+         i += stride) {
+      const std::size_t start = i + 1 >= seq_len ? i + 1 - seq_len : 0;
+      nn::SeqSample s;
+      s.tokens = nn::tokenize(
+          std::span<const net::PacketFeature>(flow.features.data() + start,
+                                              i + 1 - start),
+          seq_len);
+      s.label = flow.label;
+      samples.push_back(std::move(s));
+      ++emitted;
+    }
+  }
+  return samples;
+}
+
+trees::Dataset make_flow_dataset(const std::vector<FlowSample>& flows,
+                                 std::size_t window) {
+  trees::Dataset data;
+  data.dim = nn::kFlowStatDim;
+  for (const FlowSample& flow : flows) {
+    const std::size_t n = std::min(window, flow.features.size());
+    const auto stats = nn::flow_statistics(
+        std::span<const net::PacketFeature>(flow.features.data(), n));
+    data.add_row(stats, flow.label);
+  }
+  return data;
+}
+
+std::vector<float> flow_marker(const FlowSample& flow, std::size_t len_bins,
+                               unsigned shift, std::size_t ipd_bins,
+                               std::size_t max_packets) {
+  std::vector<float> marker(len_bins + ipd_bins, 0.0f);
+  const std::size_t n = max_packets == 0
+                            ? flow.features.size()
+                            : std::min(max_packets, flow.features.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::PacketFeature& f = flow.features[i];
+    const std::size_t lb = std::min<std::size_t>(f.length >> shift, len_bins - 1);
+    marker[lb] += 1.0f;
+    if (ipd_bins > 0) {
+      const std::size_t ib = std::min<std::size_t>(f.ipd_code >> 9, ipd_bins - 1);
+      marker[len_bins + ib] += 1.0f;
+    }
+  }
+  if (n > 0) {
+    for (float& v : marker) v /= static_cast<float>(n);
+  }
+  return marker;
+}
+
+trees::Dataset make_marker_dataset(const std::vector<FlowSample>& flows,
+                                   std::size_t len_bins, unsigned shift,
+                                   std::size_t ipd_bins, std::size_t max_packets) {
+  trees::Dataset data;
+  data.dim = len_bins + ipd_bins;
+  for (const FlowSample& flow : flows) {
+    data.add_row(flow_marker(flow, len_bins, shift, ipd_bins, max_packets),
+                 flow.label);
+  }
+  return data;
+}
+
+net::Trace assemble_trace(const std::vector<FlowSample>& flows,
+                          const TraceConfig& config) {
+  sim::RandomStream rng(config.seed);
+  net::Trace trace;
+  const double gap_scale =
+      config.gap_time_scale < 0.0 ? config.time_scale : config.gap_time_scale;
+
+  sim::SimTime arrival_clock = 0;
+  for (std::size_t fid = 0; fid < flows.size(); ++fid) {
+    const FlowSample& flow = flows[fid];
+    // Poisson flow arrivals.
+    const double gap_s = rng.exponential(config.flow_arrival_rate_hz);
+    arrival_clock += sim::from_seconds(gap_s * config.time_scale);
+
+    net::FiveTuple tuple;
+    tuple.src_ip = 0x0a000000u | static_cast<std::uint32_t>(rng.uniform_int(1u << 24));
+    tuple.dst_ip = 0xac100000u | static_cast<std::uint32_t>(rng.uniform_int(1u << 16));
+    tuple.src_port = static_cast<std::uint16_t>(1024 + rng.uniform_int(64000));
+    tuple.dst_port = static_cast<std::uint16_t>(rng.bernoulli(0.5) ? 443 : 80);
+    tuple.proto = static_cast<std::uint8_t>(rng.bernoulli(0.8) ? net::IpProto::kTcp
+                                                               : net::IpProto::kUdp);
+
+    net::FlowRecord rec;
+    rec.flow_id = static_cast<std::uint32_t>(fid);
+    rec.tuple = tuple;
+    rec.label = flow.label;
+    rec.packet_count = static_cast<std::uint32_t>(flow.features.size());
+
+    sim::SimTime t = arrival_clock;
+    sim::SimTime orig_t = arrival_clock;
+    for (std::size_t i = 0; i < flow.features.size(); ++i) {
+      orig_t += flow.gaps[i];
+      t += static_cast<sim::SimDuration>(static_cast<double>(flow.gaps[i]) *
+                                         gap_scale);
+      net::PacketRecord pkt;
+      pkt.tuple = tuple;
+      pkt.timestamp = t;
+      pkt.orig_timestamp = orig_t;
+      pkt.wire_length = flow.features[i].length;
+      pkt.label = flow.label;
+      pkt.flow_id = static_cast<std::uint32_t>(fid);
+      trace.packets.push_back(pkt);
+      rec.byte_count += pkt.wire_length;
+    }
+    rec.first_packet = arrival_clock;
+    rec.last_packet = t;
+    trace.flows.push_back(rec);
+  }
+  std::stable_sort(trace.packets.begin(), trace.packets.end(),
+                   [](const net::PacketRecord& a, const net::PacketRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return trace;
+}
+
+net::Trace rescale_trace(const net::Trace& trace, double factor) {
+  net::Trace out = trace;
+  if (factor <= 0.0) return out;
+  const double inv = 1.0 / factor;
+  for (net::PacketRecord& p : out.packets) {
+    p.timestamp = static_cast<sim::SimTime>(static_cast<double>(p.timestamp) * inv);
+  }
+  for (net::FlowRecord& f : out.flows) {
+    f.first_packet = static_cast<sim::SimTime>(static_cast<double>(f.first_packet) * inv);
+    f.last_packet = static_cast<sim::SimTime>(static_cast<double>(f.last_packet) * inv);
+  }
+  std::stable_sort(out.packets.begin(), out.packets.end(),
+                   [](const net::PacketRecord& a, const net::PacketRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
+}  // namespace fenix::trafficgen

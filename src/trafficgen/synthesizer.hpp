@@ -1,0 +1,94 @@
+// Flow synthesis, trace assembly, and training-set extraction.
+//
+// synthesize_flows draws per-flow packet sequences from a DatasetProfile;
+// assemble_trace interleaves them into a replayable timestamped trace;
+// make_packet_samples applies the paper's software sliding-window feature
+// extraction (§6) to produce training sequences; flow_marker builds
+// FlowLens-style packet-length distribution markers; rescale_trace compresses
+// timestamps for the Figure 10 scaling study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/feature.hpp"
+#include "net/packet.hpp"
+#include "nn/featurizer.hpp"
+#include "trafficgen/profiles.hpp"
+#include "trees/dataset.hpp"
+
+namespace fenix::trafficgen {
+
+/// One synthesized flow: its label and per-packet features. ipd of packet 0
+/// is 0; feature i's ipd_code encodes the gap before packet i.
+struct FlowSample {
+  net::ClassLabel label = net::kUnlabeled;
+  std::vector<net::PacketFeature> features;
+  std::vector<sim::SimDuration> gaps;  ///< Raw gaps in ps (gaps[0] == 0).
+};
+
+struct SynthesisConfig {
+  std::size_t total_flows = 1000;
+  std::uint64_t seed = 42;
+  std::size_t max_pkts_per_flow = 256;  ///< Truncation for tractability.
+  /// Floor on flows per class. At small synthesis scales the Table 1
+  /// imbalance ratios would leave rare classes (e.g. Web at 1:185) with a
+  /// handful of flows; the floor keeps them trainable/evaluable, mirroring
+  /// the absolute rare-class counts of the full-size datasets.
+  std::size_t min_flows_per_class = 1;
+};
+
+/// Draws flows with class counts proportional to the profile ratios.
+std::vector<FlowSample> synthesize_flows(const DatasetProfile& profile,
+                                         const SynthesisConfig& config);
+
+/// Sliding-window packet-level samples: one sequence per sampled packet
+/// position (the last `seq_len` packets, zero-padded at flow start).
+/// `stride` subsamples positions; `max_windows_per_flow` caps long flows.
+std::vector<nn::SeqSample> make_packet_samples(const std::vector<FlowSample>& flows,
+                                               std::size_t seq_len,
+                                               std::size_t stride = 2,
+                                               std::size_t max_windows_per_flow = 12);
+
+/// Per-flow statistics dataset over the first `window` packets (tree models,
+/// N3IC flow-level features).
+trees::Dataset make_flow_dataset(const std::vector<FlowSample>& flows,
+                                 std::size_t window = 8);
+
+/// FlowLens flow marker: a quantized packet-length histogram (bin width
+/// 2^`shift` bytes, `len_bins` bins), optionally concatenated with a
+/// log-scale IPD histogram (`ipd_bins` bins, 0 to disable), both
+/// L1-normalized. `max_packets` truncates to the collection window
+/// (0 = whole flow).
+std::vector<float> flow_marker(const FlowSample& flow, std::size_t len_bins = 32,
+                               unsigned shift = 6, std::size_t ipd_bins = 16,
+                               std::size_t max_packets = 0);
+
+/// Dataset of flow markers for all flows.
+trees::Dataset make_marker_dataset(const std::vector<FlowSample>& flows,
+                                   std::size_t len_bins = 32, unsigned shift = 6,
+                                   std::size_t ipd_bins = 16,
+                                   std::size_t max_packets = 0);
+
+struct TraceConfig {
+  double flow_arrival_rate_hz = 1000.0;  ///< Poisson flow arrivals.
+  std::uint64_t seed = 7;
+  double time_scale = 1.0;  ///< <1 compresses flow arrivals (higher concurrency).
+  /// Compression of the intra-flow packet gaps; < 0 means "follow
+  /// time_scale". Setting this below time_scale turns flows into line-rate
+  /// bursts while arrivals stay spread out — how a replay rig drives a
+  /// switch toward Tbps aggregate load without shrinking the experiment's
+  /// wall-clock span (§7.4).
+  double gap_time_scale = -1.0;
+};
+
+/// Interleaves flows into a single timestamped trace with synthetic
+/// five-tuples (unique per flow).
+net::Trace assemble_trace(const std::vector<FlowSample>& flows,
+                          const TraceConfig& config);
+
+/// Compresses trace timestamps by `factor` (>1 = faster replay), keeping
+/// orig_timestamp intact for feature fidelity.
+net::Trace rescale_trace(const net::Trace& trace, double factor);
+
+}  // namespace fenix::trafficgen

@@ -1,0 +1,26 @@
+// Flat feature-matrix dataset for the tree models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fenix::trees {
+
+/// A dense dataset: `dim` features per row, int16 class labels.
+struct Dataset {
+  std::size_t dim = 0;
+  std::vector<float> x;        ///< size() == rows * dim, row-major.
+  std::vector<std::int16_t> y;
+
+  std::size_t rows() const { return dim == 0 ? 0 : x.size() / dim; }
+  std::span<const float> row(std::size_t r) const {
+    return std::span<const float>(x.data() + r * dim, dim);
+  }
+  void add_row(std::span<const float> features, std::int16_t label) {
+    x.insert(x.end(), features.begin(), features.end());
+    y.push_back(label);
+  }
+};
+
+}  // namespace fenix::trees

@@ -1,0 +1,287 @@
+#include "trees/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+namespace fenix::trees {
+namespace {
+
+/// Gini impurity of a class histogram.
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+struct SplitCandidate {
+  bool found = false;
+  std::int32_t feature = -1;
+  float threshold = 0.0f;
+  double impurity_decrease = 0.0;
+};
+
+struct BuildItem {
+  std::int32_t node = -1;
+  std::vector<std::size_t> indices;
+  unsigned depth = 0;
+  double impurity = 0.0;
+  SplitCandidate best;  ///< Precomputed best split (for best-first growth).
+};
+
+/// Finds the best Gini split over the given rows and candidate features.
+SplitCandidate find_best_split(const Dataset& data, std::size_t num_classes,
+                               const std::vector<std::size_t>& indices,
+                               const std::vector<std::size_t>& features,
+                               std::size_t min_samples_leaf) {
+  SplitCandidate best;
+  const std::size_t n = indices.size();
+  if (n < 2 * min_samples_leaf) return best;
+
+  std::vector<std::size_t> parent_counts(num_classes, 0);
+  for (std::size_t idx : indices) {
+    ++parent_counts[static_cast<std::size_t>(data.y[idx])];
+  }
+  const double parent_gini = gini(parent_counts, n);
+  if (parent_gini == 0.0) return best;
+
+  std::vector<std::pair<float, std::int16_t>> sorted(n);
+  std::vector<std::size_t> left_counts(num_classes);
+  for (std::size_t f : features) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = indices[i];
+      sorted[i] = {data.x[idx * data.dim + f], data.y[idx]};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      ++left_counts[static_cast<std::size_t>(sorted[i].second)];
+      const std::size_t nl = i + 1;
+      const std::size_t nr = n - nl;
+      if (nl < min_samples_leaf || nr < min_samples_leaf) continue;
+      if (sorted[i].first == sorted[i + 1].first) continue;  // no valid cut here
+      double gl = 0.0, gr = 0.0;
+      {
+        double sl = 0.0, sr = 0.0;
+        for (std::size_t c = 0; c < num_classes; ++c) {
+          const double pl = static_cast<double>(left_counts[c]) / static_cast<double>(nl);
+          const double pr = static_cast<double>(parent_counts[c] - left_counts[c]) /
+                            static_cast<double>(nr);
+          sl += pl * pl;
+          sr += pr * pr;
+        }
+        gl = 1.0 - sl;
+        gr = 1.0 - sr;
+      }
+      const double weighted = (static_cast<double>(nl) * gl + static_cast<double>(nr) * gr) /
+                              static_cast<double>(n);
+      const double decrease = parent_gini - weighted;
+      if (decrease > best.impurity_decrease + 1e-12) {
+        best.found = true;
+        best.feature = static_cast<std::int32_t>(f);
+        // Midpoint threshold, matching sklearn's convention.
+        best.threshold = 0.5f * (sorted[i].first + sorted[i + 1].first);
+        best.impurity_decrease = decrease;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> pick_features(std::size_t dim, std::size_t max_features,
+                                       sim::RandomStream& rng) {
+  std::vector<std::size_t> all(dim);
+  std::iota(all.begin(), all.end(), 0);
+  if (max_features == 0 || max_features >= dim) return all;
+  for (std::size_t i = 0; i < max_features; ++i) {
+    std::swap(all[i], all[i + rng.uniform_int(dim - i)]);
+  }
+  all.resize(max_features);
+  return all;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data, std::size_t num_classes,
+                       const TreeConfig& config) {
+  nodes_.clear();
+  num_classes_ = num_classes;
+  if (data.rows() == 0) {
+    TreeNode root;
+    root.leaf_class = 0;
+    root.class_proba.assign(num_classes, 1.0f / static_cast<float>(num_classes));
+    nodes_.push_back(std::move(root));
+    return;
+  }
+  sim::RandomStream rng(config.seed);
+
+  auto make_node = [this, num_classes](const std::vector<std::size_t>& indices,
+                                       const Dataset& d) {
+    TreeNode node;
+    std::vector<std::size_t> counts(num_classes, 0);
+    for (std::size_t idx : indices) ++counts[static_cast<std::size_t>(d.y[idx])];
+    node.class_proba.resize(num_classes);
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      node.class_proba[c] =
+          static_cast<float>(counts[c]) / static_cast<float>(indices.size());
+      if (counts[c] > counts[best_c]) best_c = c;
+    }
+    node.leaf_class = static_cast<std::int16_t>(best_c);
+    nodes_.push_back(std::move(node));
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  // Best-first growth: expand the frontier node with the largest impurity
+  // decrease until depth/leaf budgets are exhausted. With max_leaves == 0
+  // this degenerates to full depth-bounded growth.
+  auto cmp = [](const BuildItem& a, const BuildItem& b) {
+    return a.best.impurity_decrease < b.best.impurity_decrease;
+  };
+  std::priority_queue<BuildItem, std::vector<BuildItem>, decltype(cmp)> frontier(cmp);
+
+  std::vector<std::size_t> root_idx(data.rows());
+  std::iota(root_idx.begin(), root_idx.end(), 0);
+  BuildItem root;
+  root.node = make_node(root_idx, data);
+  root.depth = 0;
+  root.best = find_best_split(data, num_classes, root_idx,
+                              pick_features(data.dim, config.max_features, rng),
+                              config.min_samples_leaf);
+  root.indices = std::move(root_idx);
+  frontier.push(std::move(root));
+
+  std::size_t leaves = 1;
+  while (!frontier.empty()) {
+    if (config.max_leaves != 0 && leaves >= config.max_leaves) break;
+    BuildItem item = std::move(const_cast<BuildItem&>(frontier.top()));
+    frontier.pop();
+    if (!item.best.found || item.depth >= config.max_depth) continue;
+
+    // Perform the split.
+    std::vector<std::size_t> left_idx, right_idx;
+    const auto f = static_cast<std::size_t>(item.best.feature);
+    for (std::size_t idx : item.indices) {
+      if (data.x[idx * data.dim + f] <= item.best.threshold) {
+        left_idx.push_back(idx);
+      } else {
+        right_idx.push_back(idx);
+      }
+    }
+    if (left_idx.empty() || right_idx.empty()) continue;
+
+    nodes_[static_cast<std::size_t>(item.node)].feature = item.best.feature;
+    nodes_[static_cast<std::size_t>(item.node)].threshold = item.best.threshold;
+
+    BuildItem left, right;
+    left.node = make_node(left_idx, data);
+    right.node = make_node(right_idx, data);
+    nodes_[static_cast<std::size_t>(item.node)].left = left.node;
+    nodes_[static_cast<std::size_t>(item.node)].right = right.node;
+    ++leaves;  // one leaf became two
+
+    left.depth = right.depth = item.depth + 1;
+    left.best = find_best_split(data, num_classes, left_idx,
+                                pick_features(data.dim, config.max_features, rng),
+                                config.min_samples_leaf);
+    right.best = find_best_split(data, num_classes, right_idx,
+                                 pick_features(data.dim, config.max_features, rng),
+                                 config.min_samples_leaf);
+    left.indices = std::move(left_idx);
+    right.indices = std::move(right_idx);
+    frontier.push(std::move(left));
+    frontier.push(std::move(right));
+  }
+}
+
+std::size_t DecisionTree::leaf_index(std::span<const float> x) const {
+  std::size_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const TreeNode& n = nodes_[cur];
+    cur = static_cast<std::size_t>(
+        x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right);
+  }
+  return cur;
+}
+
+std::int16_t DecisionTree::predict(std::span<const float> x) const {
+  return nodes_[leaf_index(x)].leaf_class;
+}
+
+const std::vector<float>& DecisionTree::predict_proba(std::span<const float> x) const {
+  return nodes_[leaf_index(x)].class_proba;
+}
+
+std::size_t DecisionTree::leaf_count() const {
+  std::size_t count = 0;
+  for (const TreeNode& n : nodes_) {
+    if (n.feature < 0) ++count;
+  }
+  return count;
+}
+
+unsigned DecisionTree::depth() const {
+  // Iterative depth computation over the index-linked nodes.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<std::size_t, unsigned>> stack{{0, 0}};
+  unsigned max_depth = 0;
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const TreeNode& n = nodes_[idx];
+    if (n.feature >= 0) {
+      stack.push_back({static_cast<std::size_t>(n.left), d + 1});
+      stack.push_back({static_cast<std::size_t>(n.right), d + 1});
+    }
+  }
+  return max_depth;
+}
+
+void RandomForest::fit(const Dataset& data, std::size_t num_classes,
+                       std::size_t n_trees, const TreeConfig& config) {
+  trees_.clear();
+  num_classes_ = num_classes;
+  sim::RandomStream rng(config.seed ^ 0xf0435);
+  const std::size_t n = data.rows();
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    // Bootstrap resample.
+    Dataset boot;
+    boot.dim = data.dim;
+    boot.x.reserve(data.x.size());
+    boot.y.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = rng.uniform_int(n);
+      boot.add_row(data.row(idx), data.y[idx]);
+    }
+    TreeConfig tree_config = config;
+    tree_config.seed = rng();
+    if (tree_config.max_features == 0 && data.dim > 2) {
+      tree_config.max_features = static_cast<std::size_t>(
+          std::max(1.0, std::sqrt(static_cast<double>(data.dim))));
+    }
+    DecisionTree tree;
+    tree.fit(boot, num_classes, tree_config);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::int16_t RandomForest::predict(std::span<const float> x) const {
+  std::vector<float> votes(num_classes_, 0.0f);
+  for (const DecisionTree& tree : trees_) {
+    const auto& proba = tree.predict_proba(x);
+    for (std::size_t c = 0; c < num_classes_; ++c) votes[c] += proba[c];
+  }
+  return static_cast<std::int16_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+}  // namespace fenix::trees

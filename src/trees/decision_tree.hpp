@@ -1,0 +1,75 @@
+// CART decision trees.
+//
+// Used three ways in this repository: as the Leo baseline (one deep tree
+// compiled to switch tables), inside the NetBeacon random forest, and as the
+// Flow Tracker's lightweight per-packet preliminary classifier (§4.1). The
+// implementation is classic CART with Gini impurity and exact threshold
+// search; `max_leaves` reproduces Leo's 1024-leaf budget via best-first
+// growth.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "trees/dataset.hpp"
+
+namespace fenix::trees {
+
+struct TreeConfig {
+  unsigned max_depth = 8;
+  unsigned max_leaves = 0;          ///< 0 = unlimited.
+  std::size_t min_samples_leaf = 2;
+  std::size_t max_features = 0;     ///< 0 = all features (set for forests).
+  std::uint64_t seed = 7;
+};
+
+/// One node of a binary decision tree in index-linked form.
+struct TreeNode {
+  std::int32_t feature = -1;   ///< -1 for leaves.
+  float threshold = 0.0f;      ///< go left when x[feature] <= threshold.
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  std::int16_t leaf_class = -1;
+  std::vector<float> class_proba;  ///< Class distribution at the node.
+};
+
+class DecisionTree {
+ public:
+  /// Fits on the dataset with `num_classes` classes.
+  void fit(const Dataset& data, std::size_t num_classes, const TreeConfig& config);
+
+  std::int16_t predict(std::span<const float> x) const;
+  const std::vector<float>& predict_proba(std::span<const float> x) const;
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t leaf_count() const;
+  unsigned depth() const;
+
+ private:
+  std::size_t leaf_index(std::span<const float> x) const;
+
+  std::vector<TreeNode> nodes_;
+  std::size_t num_classes_ = 0;
+};
+
+/// Random forest with bootstrap sampling and per-split feature subsampling;
+/// majority vote over trees (NetBeacon uses 3 trees of depth 7 per phase).
+class RandomForest {
+ public:
+  void fit(const Dataset& data, std::size_t num_classes, std::size_t n_trees,
+           const TreeConfig& config);
+
+  std::int16_t predict(std::span<const float> x) const;
+
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+  std::size_t num_classes() const { return num_classes_; }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace fenix::trees

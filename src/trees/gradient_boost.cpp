@@ -1,0 +1,170 @@
+#include "trees/gradient_boost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fenix::trees {
+namespace {
+
+/// XGBoost structure-score term: G^2 / (H + lambda).
+inline double score(double g, double h, double lambda) {
+  return g * g / (h + lambda);
+}
+
+}  // namespace
+
+std::int32_t RegressionTree::build(const Dataset& data, std::span<const float> g,
+                                   std::span<const float> h,
+                                   std::vector<std::size_t>& indices, unsigned depth,
+                                   const BoostConfig& config) {
+  double sum_g = 0.0, sum_h = 0.0;
+  for (std::size_t idx : indices) {
+    sum_g += g[idx];
+    sum_h += h[idx];
+  }
+
+  const auto make_leaf = [&]() {
+    RegNode leaf;
+    leaf.value = static_cast<float>(-sum_g / (sum_h + config.lambda));
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= config.max_depth || indices.size() < 2 * config.min_samples_leaf) {
+    return make_leaf();
+  }
+
+  // Exact greedy split search.
+  double best_gain = config.min_gain;
+  std::int32_t best_feature = -1;
+  float best_threshold = 0.0f;
+  const double parent_score = score(sum_g, sum_h, config.lambda);
+
+  std::vector<std::pair<float, std::size_t>> sorted(indices.size());
+  for (std::size_t f = 0; f < data.dim; ++f) {
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      sorted[i] = {data.x[indices[i] * data.dim + f], indices[i]};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+    double gl = 0.0, hl = 0.0;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      gl += g[sorted[i].second];
+      hl += h[sorted[i].second];
+      if (i + 1 < config.min_samples_leaf ||
+          sorted.size() - i - 1 < config.min_samples_leaf) {
+        continue;
+      }
+      if (sorted[i].first == sorted[i + 1].first) continue;
+      const double gain = score(gl, hl, config.lambda) +
+                          score(sum_g - gl, sum_h - hl, config.lambda) - parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<std::int32_t>(f);
+        best_threshold = 0.5f * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t idx : indices) {
+    if (data.x[idx * data.dim + static_cast<std::size_t>(best_feature)] <=
+        best_threshold) {
+      left_idx.push_back(idx);
+    } else {
+      right_idx.push_back(idx);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return make_leaf();
+
+  RegNode node;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  nodes_.push_back(node);
+  const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
+  indices.clear();
+  indices.shrink_to_fit();
+  const std::int32_t left = build(data, g, h, left_idx, depth + 1, config);
+  const std::int32_t right = build(data, g, h, right_idx, depth + 1, config);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+void RegressionTree::fit(const Dataset& data, std::span<const float> gradients,
+                         std::span<const float> hessians, const BoostConfig& config) {
+  nodes_.clear();
+  std::vector<std::size_t> indices(data.rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  build(data, gradients, hessians, indices, 0, config);
+}
+
+float RegressionTree::predict(std::span<const float> x) const {
+  std::size_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const RegNode& n = nodes_[cur];
+    cur = static_cast<std::size_t>(
+        x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right);
+  }
+  return nodes_[cur].value;
+}
+
+void GradientBoosted::fit(const Dataset& data, std::size_t num_classes,
+                          const BoostConfig& config) {
+  num_classes_ = num_classes;
+  learning_rate_ = config.learning_rate;
+  trees_.clear();
+  const std::size_t n = data.rows();
+  if (n == 0) return;
+
+  std::vector<float> scores(n * num_classes, 0.0f);
+  std::vector<float> g(n), h(n);
+  std::vector<double> probs(num_classes);
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    std::vector<RegressionTree> round_trees(num_classes);
+    // Softmax gradients per sample.
+    for (std::size_t k = 0; k < num_classes; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* s = scores.data() + i * num_classes;
+        double max_s = s[0];
+        for (std::size_t c = 1; c < num_classes; ++c) max_s = std::max<double>(max_s, s[c]);
+        double denom = 0.0;
+        for (std::size_t c = 0; c < num_classes; ++c) {
+          probs[c] = std::exp(static_cast<double>(s[c]) - max_s);
+          denom += probs[c];
+        }
+        const double p = probs[k] / denom;
+        const double target = data.y[i] == static_cast<std::int16_t>(k) ? 1.0 : 0.0;
+        g[i] = static_cast<float>(p - target);
+        h[i] = static_cast<float>(std::max(p * (1.0 - p), 1e-6));
+      }
+      round_trees[k].fit(data, g, h, config);
+      for (std::size_t i = 0; i < n; ++i) {
+        scores[i * num_classes + k] +=
+            learning_rate_ * round_trees[k].predict(data.row(i));
+      }
+    }
+    trees_.push_back(std::move(round_trees));
+  }
+}
+
+std::vector<float> GradientBoosted::scores(std::span<const float> x) const {
+  std::vector<float> s(num_classes_, 0.0f);
+  for (const auto& round : trees_) {
+    for (std::size_t k = 0; k < num_classes_; ++k) {
+      s[k] += learning_rate_ * round[k].predict(x);
+    }
+  }
+  return s;
+}
+
+std::int16_t GradientBoosted::predict(std::span<const float> x) const {
+  const auto s = scores(x);
+  return static_cast<std::int16_t>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+}  // namespace fenix::trees

@@ -1,0 +1,69 @@
+// Gradient-boosted decision trees (XGBoost-style) for the FlowLens baseline.
+//
+// FlowLens runs XGBoost with default parameters on flow-marker features in
+// the control plane (§7.1). This implements multiclass softmax boosting with
+// second-order (gradient/hessian) regression trees, L2 leaf regularization,
+// and shrinkage — the core of the XGBoost objective.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trees/dataset.hpp"
+
+namespace fenix::trees {
+
+struct BoostConfig {
+  std::size_t rounds = 50;         ///< Boosting rounds (trees per class).
+  unsigned max_depth = 6;          ///< XGBoost default.
+  float learning_rate = 0.3f;      ///< XGBoost default eta.
+  float lambda = 1.0f;             ///< L2 leaf regularization.
+  std::size_t min_samples_leaf = 4;
+  float min_gain = 1e-4f;
+};
+
+/// A regression tree over (gradient, hessian) targets.
+struct RegNode {
+  std::int32_t feature = -1;
+  float threshold = 0.0f;
+  std::int32_t left = -1, right = -1;
+  float value = 0.0f;  ///< Leaf output.
+};
+
+class RegressionTree {
+ public:
+  void fit(const Dataset& data, std::span<const float> gradients,
+           std::span<const float> hessians, const BoostConfig& config);
+  float predict(std::span<const float> x) const;
+  const std::vector<RegNode>& nodes() const { return nodes_; }
+
+ private:
+  std::int32_t build(const Dataset& data, std::span<const float> g,
+                     std::span<const float> h, std::vector<std::size_t>& indices,
+                     unsigned depth, const BoostConfig& config);
+  std::vector<RegNode> nodes_;
+};
+
+/// Multiclass softmax gradient boosting.
+class GradientBoosted {
+ public:
+  void fit(const Dataset& data, std::size_t num_classes, const BoostConfig& config);
+
+  std::int16_t predict(std::span<const float> x) const;
+  std::vector<float> scores(std::span<const float> x) const;
+
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t tree_count() const {
+    std::size_t n = 0;
+    for (const auto& round : trees_) n += round.size();
+    return n;
+  }
+
+ private:
+  std::size_t num_classes_ = 0;
+  std::vector<std::vector<RegressionTree>> trees_;  ///< [round][class]
+  float learning_rate_ = 0.3f;
+};
+
+}  // namespace fenix::trees

@@ -1,0 +1,186 @@
+// Tests for the baseline systems: each must train, classify better than
+// chance on separable synthetic data, and present a plausible data-plane
+// resource footprint.
+#include <gtest/gtest.h>
+
+#include "baselines/bos.hpp"
+#include "baselines/flowlens.hpp"
+#include "baselines/leo.hpp"
+#include "baselines/n3ic.hpp"
+#include "baselines/netbeacon.hpp"
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+namespace fenix::baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    profile_ = new trafficgen::DatasetProfile(trafficgen::DatasetProfile::iscx_vpn());
+    trafficgen::SynthesisConfig synth;
+    synth.total_flows = 800;
+    synth.seed = 21;
+    train_ = new std::vector<trafficgen::FlowSample>(
+        trafficgen::synthesize_flows(*profile_, synth));
+    synth.seed = 22;
+    synth.total_flows = 300;
+    test_ = new std::vector<trafficgen::FlowSample>(
+        trafficgen::synthesize_flows(*profile_, synth));
+  }
+  static void TearDownTestSuite() {
+    delete train_;
+    delete test_;
+    delete profile_;
+  }
+
+  template <typename Classify>
+  static double packet_accuracy(Classify&& classify) {
+    std::size_t correct = 0, total = 0;
+    for (const auto& flow : *test_) {
+      const auto verdicts = classify(flow);
+      for (std::int16_t v : verdicts) {
+        ++total;
+        if (v == flow.label) ++correct;
+      }
+    }
+    return total ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+  }
+
+  static trafficgen::DatasetProfile* profile_;
+  static std::vector<trafficgen::FlowSample>* train_;
+  static std::vector<trafficgen::FlowSample>* test_;
+};
+
+trafficgen::DatasetProfile* BaselinesTest::profile_ = nullptr;
+std::vector<trafficgen::FlowSample>* BaselinesTest::train_ = nullptr;
+std::vector<trafficgen::FlowSample>* BaselinesTest::test_ = nullptr;
+
+TEST_F(BaselinesTest, FlowLensFlowLevelAccuracy) {
+  FlowLensConfig config;
+  config.boost.rounds = 10;
+  FlowLens model(config);
+  model.train(*train_, profile_->num_classes());
+  std::size_t correct = 0;
+  for (const auto& flow : *test_) {
+    if (model.classify_flow(flow) == flow.label) ++correct;
+  }
+  // FlowLens sees whole-flow markers: flow-level accuracy should be strong.
+  EXPECT_GT(static_cast<double>(correct) / test_->size(), 0.6);
+}
+
+TEST_F(BaselinesTest, FlowLensLatencyIsMilliseconds) {
+  FlowLens model;
+  sim::RandomStream rng(1);
+  double total = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto lat = model.sample_latency(rng);
+    EXPECT_GT(lat.transmission_us, 500.0);
+    EXPECT_GT(lat.inference_us, 300.0);
+    total += lat.total_us;
+  }
+  // Mean around 3.6 ms, as in Figure 11.
+  EXPECT_NEAR(total / 100.0, 3600.0, 1500.0);
+}
+
+TEST_F(BaselinesTest, NetBeaconUpdatesAtPhaseBoundaries) {
+  NetBeacon model;
+  model.train(*train_, profile_->num_classes());
+  const auto& flow = (*test_)[0];
+  const auto verdicts = model.classify_packets(flow);
+  ASSERT_EQ(verdicts.size(), flow.features.size());
+  // Before the first phase (4 packets), no prediction.
+  EXPECT_EQ(verdicts[0], -1);
+  EXPECT_EQ(verdicts[2], -1);
+  if (verdicts.size() > 4) {
+    EXPECT_NE(verdicts[3], -1);                // phase at packet 4
+    EXPECT_EQ(verdicts[4], verdicts[3]);       // sticky between boundaries
+  }
+}
+
+TEST_F(BaselinesTest, NetBeaconBeatsChance) {
+  NetBeacon model;
+  model.train(*train_, profile_->num_classes());
+  const double acc =
+      packet_accuracy([&](const auto& flow) { return model.classify_packets(flow); });
+  EXPECT_GT(acc, 1.5 / 7.0);
+}
+
+TEST_F(BaselinesTest, LeoPredictsEveryPacket) {
+  Leo model;
+  model.train(*train_, profile_->num_classes());
+  const auto& flow = (*test_)[0];
+  const auto verdicts = model.classify_packets(flow);
+  ASSERT_EQ(verdicts.size(), flow.features.size());
+  for (std::int16_t v : verdicts) EXPECT_GE(v, 0);
+  EXPECT_LE(model.tree().leaf_count(), 1024u);
+  EXPECT_LE(model.tree().depth(), 22u);
+}
+
+TEST_F(BaselinesTest, LeoBeatsChance) {
+  Leo model;
+  model.train(*train_, profile_->num_classes());
+  const double acc =
+      packet_accuracy([&](const auto& flow) { return model.classify_packets(flow); });
+  EXPECT_GT(acc, 1.5 / 7.0);
+}
+
+TEST_F(BaselinesTest, BosBeatsChance) {
+  BosConfig config;
+  config.train.epochs = 3;
+  config.train.cap_per_class = 400;
+  Bos model(config);
+  model.train(*train_, profile_->num_classes());
+  const double acc =
+      packet_accuracy([&](const auto& flow) { return model.classify_packets(flow); });
+  EXPECT_GT(acc, 1.5 / 7.0);
+}
+
+TEST_F(BaselinesTest, N3icBeatsChance) {
+  N3icConfig config;
+  config.train.epochs = 4;
+  config.train.cap_per_class = 600;
+  N3ic model(config);
+  model.train(*train_, profile_->num_classes());
+  const double acc =
+      packet_accuracy([&](const auto& flow) { return model.classify_packets(flow); });
+  EXPECT_GT(acc, 1.5 / 7.0);
+  // Flow-level interface works too.
+  const auto v = model.classify_flow((*test_)[0]);
+  EXPECT_GE(v, 0);
+  EXPECT_LT(v, 7);
+}
+
+// ---- Table 3 resource programs: each must fit its chip and show the
+// published shape (FlowLens SRAM-heavy/no TCAM; NetBeacon TCAM-heavy). ----
+
+TEST(BaselinePrograms, FlowLensShape) {
+  const auto ledger = FlowLens::switch_program(switchsim::ChipProfile::tofino2());
+  EXPECT_GT(ledger.sram_fraction(), 0.20);
+  EXPECT_DOUBLE_EQ(ledger.tcam_fraction(), 0.0);
+  EXPECT_LE(ledger.stages_used(), 9u);
+}
+
+TEST(BaselinePrograms, NetBeaconShape) {
+  const auto ledger = NetBeacon::switch_program(switchsim::ChipProfile::tofino2());
+  EXPECT_GT(ledger.tcam_fraction(), 0.10);
+  EXPECT_LT(ledger.sram_fraction(), 0.20);
+  EXPECT_LE(ledger.stages_used(), 12u);
+}
+
+TEST(BaselinePrograms, LeoShape) {
+  const auto ledger = Leo::switch_program(switchsim::ChipProfile::tofino2());
+  EXPECT_GT(ledger.sram_fraction(), 0.15);
+  EXPECT_GT(ledger.tcam_fraction(), 0.0);
+  EXPECT_LE(ledger.stages_used(), 12u);
+}
+
+TEST(BaselinePrograms, BosShape) {
+  const auto ledger = Bos::switch_program(switchsim::ChipProfile::tofino2());
+  EXPECT_GT(ledger.sram_fraction(), 0.15);
+  EXPECT_GT(ledger.bus_fraction(), 0.03);
+  EXPECT_LE(ledger.stages_used(), 12u);
+}
+
+}  // namespace
+}  // namespace fenix::baselines

@@ -1,0 +1,88 @@
+// Integration: the byte-level ingress path.
+//
+// Materializes a synthetic trace as raw Ethernet/IPv4 frames, runs them
+// through the switch parser, and verifies the Data Engine behaves identically
+// to the record-level path — same flow tracking, same mirrors, same rate
+// limiting. This pins the frame codecs, the parser, and the record-level
+// shortcut to each other.
+#include <gtest/gtest.h>
+
+#include "core/data_engine.hpp"
+#include "net/headers.hpp"
+#include "switchsim/parser.hpp"
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+namespace fenix {
+namespace {
+
+net::Trace small_trace() {
+  const auto profile = trafficgen::DatasetProfile::iscx_vpn();
+  trafficgen::SynthesisConfig synth;
+  synth.total_flows = 120;
+  synth.seed = 55;
+  const auto flows = trafficgen::synthesize_flows(profile, synth);
+  trafficgen::TraceConfig trace_config;
+  trace_config.flow_arrival_rate_hz = 800;
+  return trafficgen::assemble_trace(flows, trace_config);
+}
+
+TEST(FramePath, EveryTracePacketSurvivesFrameRoundTrip) {
+  const auto trace = small_trace();
+  switchsim::Parser parser;
+  for (const auto& p : trace.packets) {
+    const auto frame = net::build_frame(p.tuple, p.wire_length);
+    const auto record = parser.parse(frame, p.timestamp);
+    ASSERT_TRUE(record.has_value());
+    ASSERT_EQ(record->tuple, p.tuple);
+    // build_frame clamps below the header minimum (54B TCP / 42B UDP).
+    ASSERT_GE(record->wire_length, std::min<std::uint16_t>(p.wire_length, 54));
+    ASSERT_EQ(record->timestamp, p.timestamp);
+  }
+  EXPECT_EQ(parser.stats().accepted, trace.packets.size());
+  EXPECT_EQ(parser.stats().dropped(), 0u);
+  EXPECT_EQ(parser.stats().bad_ip_checksum, 0u);
+}
+
+TEST(FramePath, DataEngineBehavesIdenticallyToRecordPath) {
+  const auto trace = small_trace();
+
+  core::DataEngineConfig config;
+  config.tracker.index_bits = 12;
+  core::DataEngine record_engine(config);
+  core::DataEngine frame_engine(config);
+  switchsim::Parser parser;
+
+  std::uint64_t record_mirrors = 0, frame_mirrors = 0;
+  for (const auto& p : trace.packets) {
+    record_engine.control_plane_tick(p.timestamp);
+    if (record_engine.on_packet(p).mirrored) ++record_mirrors;
+
+    // Byte path: frame -> parser -> record. The parser cannot recover the
+    // replay-acceleration orig_timestamp (it rides a header option in the
+    // real system), so carry it over as the mirror header would.
+    const auto frame = net::build_frame(p.tuple, p.wire_length);
+    auto parsed = parser.parse(frame, p.timestamp);
+    ASSERT_TRUE(parsed.has_value());
+    parsed->orig_timestamp = p.orig_timestamp;
+    parsed->flow_id = p.flow_id;
+    parsed->label = p.label;
+    frame_engine.control_plane_tick(parsed->timestamp);
+    if (frame_engine.on_packet(*parsed).mirrored) ++frame_mirrors;
+  }
+
+  EXPECT_EQ(record_engine.packets_seen(), frame_engine.packets_seen());
+  EXPECT_EQ(record_engine.tracker().tracked_flows(),
+            frame_engine.tracker().tracked_flows());
+  EXPECT_EQ(record_engine.tracker().collisions(),
+            frame_engine.tracker().collisions());
+  // Wire lengths can differ only for sub-minimum packets (clamped to the
+  // header floor), which barely perturbs features; mirrors must agree
+  // closely and the rate limiter identically when lengths match.
+  EXPECT_NEAR(static_cast<double>(frame_mirrors),
+              static_cast<double>(record_mirrors),
+              static_cast<double>(record_mirrors) * 0.02 + 2.0);
+}
+
+}  // namespace
+}  // namespace fenix

@@ -1,0 +1,186 @@
+// Tests for the Model Engine: timing model, queue back-pressure, functional
+// equivalence with the quantized models, and resource reporting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/model_engine.hpp"
+
+namespace fenix::core {
+namespace {
+
+struct ModelFixture {
+  ModelFixture() {
+    nn::CnnConfig config;
+    config.conv_channels = {16, 24};
+    config.fc_dims = {32};
+    config.num_classes = 3;
+    float_model = std::make_unique<nn::CnnClassifier>(config, 5);
+    std::vector<nn::SeqSample> calibration;
+    sim::RandomStream rng(1);
+    for (int i = 0; i < 32; ++i) {
+      nn::SeqSample s;
+      s.label = static_cast<std::int16_t>(i % 3);
+      for (int t = 0; t < 9; ++t) {
+        s.tokens.push_back({static_cast<std::uint16_t>(rng.uniform_int(nn::kLenVocab)),
+                            static_cast<std::uint16_t>(rng.uniform_int(nn::kIpdVocab))});
+      }
+      calibration.push_back(std::move(s));
+    }
+    quantized = std::make_unique<nn::QuantizedCnn>(*float_model, calibration);
+  }
+  std::unique_ptr<nn::CnnClassifier> float_model;
+  std::unique_ptr<nn::QuantizedCnn> quantized;
+};
+
+net::FeatureVector make_vector(std::uint16_t base_len, std::size_t n = 9) {
+  net::FeatureVector vec;
+  vec.flow_id = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    net::PacketFeature f;
+    f.length = static_cast<std::uint16_t>(base_len + i * 8);
+    f.ipd_code = 300;
+    vec.sequence.push_back(f);
+  }
+  return vec;
+}
+
+TEST(ModelEngine, RequiresExactlyOneModel) {
+  ModelEngineConfig config;
+  EXPECT_THROW(ModelEngine(config, nullptr, nullptr), std::invalid_argument);
+}
+
+TEST(ModelEngine, InferenceLatencyIsMicrosecondScale) {
+  ModelFixture fixture;
+  ModelEngineConfig config;
+  ModelEngine engine(config, fixture.quantized.get(), nullptr);
+  const double us = sim::to_microseconds(engine.inference_latency());
+  EXPECT_GT(us, 0.05);
+  EXPECT_LT(us, 50.0);  // §7.5: microsecond-scale inference
+}
+
+TEST(ModelEngine, FunctionalMatchesQuantizedModel) {
+  ModelFixture fixture;
+  ModelEngineConfig config;
+  ModelEngine engine(config, fixture.quantized.get(), nullptr);
+  const auto vec = make_vector(100);
+  const auto result = engine.submit(vec, sim::microseconds(1));
+  ASSERT_TRUE(result.has_value());
+  const auto tokens = nn::tokenize(vec.sequence, 9);
+  EXPECT_EQ(result->predicted_class, fixture.quantized->predict(tokens));
+}
+
+TEST(ModelEngine, PipelinedBackToBackSpacedByInitiationInterval) {
+  ModelFixture fixture;
+  ModelEngineConfig config;  // layer_pipelined = true by default
+  ModelEngine engine(config, fixture.quantized.get(), nullptr);
+  const auto r1 = engine.submit(make_vector(100), 0);
+  const auto r2 = engine.submit(make_vector(200), 0);  // same arrival
+  ASSERT_TRUE(r1 && r2);
+  const auto ii = engine.initiation_interval_cycles();
+  EXPECT_LT(ii, engine.cycles_per_inference());  // pipelining helps
+  // Second inference starts one initiation interval later, not one full
+  // latency later.
+  const auto gap = r2->inference_started - r1->inference_started;
+  EXPECT_NEAR(static_cast<double>(gap),
+              static_cast<double>(sim::SimDuration(
+                  engine.inference_latency() * ii / engine.cycles_per_inference())),
+              static_cast<double>(sim::kNanosecond) * 20);
+}
+
+TEST(ModelEngine, SerializedModeWaitsFullLatency) {
+  ModelFixture fixture;
+  ModelEngineConfig config;
+  config.layer_pipelined = false;
+  ModelEngine engine(config, fixture.quantized.get(), nullptr);
+  const auto r1 = engine.submit(make_vector(100), 0);
+  const auto r2 = engine.submit(make_vector(200), 0);
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(engine.initiation_interval_cycles(), engine.cycles_per_inference());
+  EXPECT_GE(r2->inference_finished,
+            r1->inference_finished + engine.inference_latency() -
+                engine.inference_latency() / 10);
+}
+
+TEST(ModelEngine, IdleEngineHasDeterministicLatency) {
+  ModelFixture fixture;
+  ModelEngineConfig config;
+  ModelEngine engine(config, fixture.quantized.get(), nullptr);
+  const auto r1 = engine.submit(make_vector(100), sim::milliseconds(1));
+  const auto r2 = engine.submit(make_vector(100), sim::milliseconds(500));
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(r1->inference_finished - r1->inference_started,
+            r2->inference_finished - r2->inference_started);
+}
+
+TEST(ModelEngine, DropsWhenInputFifoOverflows) {
+  ModelFixture fixture;
+  ModelEngineConfig config;
+  config.input_queue_depth = 4;
+  ModelEngine engine(config, fixture.quantized.get(), nullptr);
+  int drops = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (!engine.submit(make_vector(100), 0)) ++drops;  // all at t=0
+  }
+  EXPECT_EQ(drops, 32 - 4);
+  EXPECT_EQ(engine.stats().input_drops, static_cast<std::uint64_t>(drops));
+}
+
+TEST(ModelEngine, FifoDrainsOverTime) {
+  ModelFixture fixture;
+  ModelEngineConfig config;
+  config.input_queue_depth = 4;
+  ModelEngine engine(config, fixture.quantized.get(), nullptr);
+  // Submit at intervals above the inference latency: never drops.
+  const sim::SimDuration gap = engine.inference_latency() * 2;
+  sim::SimTime now = 0;
+  for (int i = 0; i < 32; ++i) {
+    now += gap;
+    EXPECT_TRUE(engine.submit(make_vector(100), now).has_value()) << i;
+  }
+  EXPECT_EQ(engine.stats().input_drops, 0u);
+}
+
+TEST(ModelEngine, InferenceRateMatchesCycleModel) {
+  ModelFixture fixture;
+  ModelEngineConfig config;
+  ModelEngine engine(config, fixture.quantized.get(), nullptr);
+  const double rate = engine.inference_rate_hz();
+  const double expected = config.systolic.clock_hz /
+                          static_cast<double>(engine.initiation_interval_cycles());
+  EXPECT_NEAR(rate, expected, expected * 1e-9);
+}
+
+TEST(ModelEngine, ShortSequencesArePadded) {
+  ModelFixture fixture;
+  ModelEngineConfig config;
+  ModelEngine engine(config, fixture.quantized.get(), nullptr);
+  const auto result = engine.submit(make_vector(100, 2), 0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GE(result->predicted_class, 0);
+  EXPECT_LT(result->predicted_class, 3);
+}
+
+TEST(ModelEngine, ResourceReportCoversTable4Modules) {
+  ModelFixture fixture;
+  ModelEngineConfig config;
+  ModelEngine engine(config, fixture.quantized.get(), nullptr);
+  const auto report = engine.resource_report();
+  ASSERT_EQ(report.size(), 4u);  // Embedding, Conv, FC, Vector I/O
+  EXPECT_EQ(report[0].module, "Embedding");
+  EXPECT_EQ(report[1].module, "Convolutional");
+  EXPECT_EQ(report[2].module, "FC");
+  EXPECT_EQ(report[3].module, "Vector I/O");
+  // Embedding uses no DSPs (Table 4).
+  EXPECT_EQ(report[0].dsps, 0u);
+  // Everything must fit the device.
+  fpgasim::ResourceEstimate total;
+  for (const auto& est : report) total += est;
+  const auto util = fpgasim::utilization(total, config.device);
+  EXPECT_LT(util.lut, 1.0);
+  EXPECT_LT(util.bram, 1.0);
+  EXPECT_LT(util.dsp, 1.0);
+}
+
+}  // namespace
+}  // namespace fenix::core

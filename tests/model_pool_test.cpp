@@ -1,0 +1,132 @@
+// Tests for multi-model deployment: resource-checked admission, per-task
+// routing, and isolation between resident engines.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/model_pool.hpp"
+#include "sim/random.hpp"
+
+namespace fenix::core {
+namespace {
+
+struct TwoModels {
+  TwoModels() {
+    std::vector<nn::SeqSample> calibration;
+    sim::RandomStream rng(1);
+    for (int i = 0; i < 16; ++i) {
+      nn::SeqSample s;
+      s.label = 0;
+      for (int t = 0; t < 9; ++t) {
+        s.tokens.push_back({static_cast<std::uint16_t>(rng.uniform_int(nn::kLenVocab)),
+                            static_cast<std::uint16_t>(rng.uniform_int(nn::kIpdVocab))});
+      }
+      calibration.push_back(std::move(s));
+    }
+    nn::CnnConfig cnn_config;
+    cnn_config.conv_channels = {16, 24};
+    cnn_config.fc_dims = {32};
+    cnn_config.num_classes = 7;
+    cnn_model = std::make_unique<nn::CnnClassifier>(cnn_config, 2);
+    qcnn = std::make_unique<nn::QuantizedCnn>(*cnn_model, calibration);
+
+    nn::RnnConfig rnn_config;
+    rnn_config.units = 32;
+    rnn_config.num_classes = 12;
+    rnn_model = std::make_unique<nn::RnnClassifier>(rnn_config, 3);
+    qrnn = std::make_unique<nn::QuantizedRnn>(*rnn_model, calibration);
+  }
+  std::unique_ptr<nn::CnnClassifier> cnn_model;
+  std::unique_ptr<nn::QuantizedCnn> qcnn;
+  std::unique_ptr<nn::RnnClassifier> rnn_model;
+  std::unique_ptr<nn::QuantizedRnn> qrnn;
+};
+
+net::FeatureVector vector_for(std::uint32_t flow_id) {
+  net::FeatureVector vec;
+  vec.flow_id = flow_id;
+  net::PacketFeature f;
+  f.length = 500;
+  vec.sequence.assign(9, f);
+  return vec;
+}
+
+TEST(ModelPool, HostsTwoTasksSimultaneously) {
+  TwoModels models;
+  ModelPool pool(fpgasim::DeviceProfile::zu19eg());
+  ModelEngineConfig config;
+  config.conv_lanes = 512;  // modest engines so two fit comfortably
+  config.fc_lanes = 256;
+  config.recurrent_lanes = 256;
+  const auto vpn_task = pool.add_engine(config, models.qcnn.get(), nullptr);
+  const auto malware_task = pool.add_engine(config, nullptr, models.qrnn.get());
+  EXPECT_EQ(pool.size(), 2u);
+
+  const auto r_vpn = pool.submit(vpn_task, vector_for(1), sim::microseconds(1));
+  const auto r_mal = pool.submit(malware_task, vector_for(2), sim::microseconds(1));
+  ASSERT_TRUE(r_vpn && r_mal);
+  EXPECT_LT(r_vpn->predicted_class, 7);
+  EXPECT_LT(r_mal->predicted_class, 12);
+  // Utilization is pooled across both.
+  const auto util = pool.utilization();
+  EXPECT_GT(util.lut, 0.0);
+  EXPECT_LT(util.lut, 1.0);
+}
+
+TEST(ModelPool, EnginesAreTimingIsolated) {
+  TwoModels models;
+  ModelPool pool(fpgasim::DeviceProfile::zu19eg());
+  ModelEngineConfig config;
+  config.conv_lanes = 512;
+  config.fc_lanes = 256;
+  config.recurrent_lanes = 256;
+  const auto a = pool.add_engine(config, models.qcnn.get(), nullptr);
+  const auto b = pool.add_engine(config, nullptr, models.qrnn.get());
+
+  // Saturate engine A; engine B must still start promptly (no cross-engine
+  // queueing): its start delay is just the CDC synchronizer.
+  for (int i = 0; i < 50; ++i) pool.submit(a, vector_for(10), 0);
+  const auto idle_b = pool.submit(b, vector_for(11), 0);
+  ASSERT_TRUE(idle_b.has_value());
+  EXPECT_LE(idle_b->inference_started,
+            sim::SimTime(pool.engine(b).inference_latency()));
+}
+
+TEST(ModelPool, RejectsOvercommit) {
+  TwoModels models;
+  ModelPool pool(fpgasim::DeviceProfile::zu19eg());
+  ModelEngineConfig big;
+  big.conv_lanes = 6000;  // ~half the device per engine
+  big.fc_lanes = 3000;
+  std::size_t admitted = 0;
+  try {
+    for (int i = 0; i < 10; ++i) {
+      pool.add_engine(big, models.qcnn.get(), nullptr);
+      ++admitted;
+    }
+    FAIL() << "expected DeviceOvercommit";
+  } catch (const DeviceOvercommit&) {
+    EXPECT_GE(admitted, 1u);
+    EXPECT_LT(admitted, 10u);
+  }
+  // The rejected engine must not count toward pooled utilization.
+  EXPECT_EQ(pool.size(), admitted);
+}
+
+TEST(ModelPool, PerTaskHotSwap) {
+  TwoModels models;
+  ModelPool pool(fpgasim::DeviceProfile::zu19eg());
+  ModelEngineConfig config;
+  config.conv_lanes = 512;
+  config.fc_lanes = 256;
+  const auto task = pool.add_engine(config, models.qcnn.get(), nullptr);
+  pool.engine(task).begin_reconfiguration(0, nullptr, models.qrnn.get(),
+                                          sim::milliseconds(1));
+  EXPECT_FALSE(pool.submit(task, vector_for(1), sim::microseconds(10)).has_value());
+  const auto result = pool.submit(task, vector_for(1), sim::milliseconds(2));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(pool.engine(task).is_cnn());
+}
+
+}  // namespace
+}  // namespace fenix::core

@@ -1,0 +1,259 @@
+// Property-based tests: invariants checked over randomized and parameterized
+// input sweeps, complementing the per-module example-based tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/probability_model.hpp"
+#include "core/token_bucket.hpp"
+#include "net/feature.hpp"
+#include "nn/quantize.hpp"
+#include "sim/channel.hpp"
+#include "sim/random.hpp"
+#include "switchsim/match_table.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace fenix {
+namespace {
+
+// ---------------------------------------------------------------- channels
+
+TEST(ChannelProperty, ArrivalsAreFifoOrdered) {
+  sim::RandomStream rng(101);
+  sim::Channel ch(10e9, sim::nanoseconds(25));
+  sim::SimTime now = 0;
+  sim::SimTime last_arrival = 0;
+  for (int i = 0; i < 5000; ++i) {
+    now += static_cast<sim::SimDuration>(rng.uniform_int(2000));
+    const sim::SimTime arrival = ch.transfer(now, 40 + rng.uniform_int(1460));
+    ASSERT_GE(arrival, last_arrival) << "transfer " << i;
+    ASSERT_GE(arrival, now + ch.propagation());
+    last_arrival = arrival;
+  }
+}
+
+TEST(ChannelProperty, ThroughputNeverExceedsLineRate) {
+  sim::RandomStream rng(103);
+  sim::Channel ch(1e9, 0);  // 1 Gb/s
+  sim::SimTime now = 0;
+  std::uint64_t bytes = 0;
+  sim::SimTime last_arrival = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    now += static_cast<sim::SimDuration>(rng.uniform_int(500));
+    const std::size_t size = 40 + rng.uniform_int(1460);
+    last_arrival = ch.transfer(now, size);
+    bytes += size;
+  }
+  const double achieved_bps =
+      static_cast<double>(bytes) * 8.0 / sim::to_seconds(last_arrival);
+  EXPECT_LE(achieved_bps, 1e9 * 1.0001);
+}
+
+// ------------------------------------------------------------ token bucket
+
+class TokenBucketRateProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(TokenBucketRateProperty, SaturatedGrantRateTracksV) {
+  const auto [v, cap] = GetParam();
+  core::TokenBucketConfig config;
+  config.token_rate_v = v;
+  config.capacity_tokens = cap;
+  config.seed = 7;
+  core::TokenBucket bucket(config);
+  // Offer 20x the token rate with prob = 1.
+  const auto gap = static_cast<sim::SimDuration>(
+      static_cast<double>(sim::kSecond) / (20.0 * v));
+  sim::SimTime now = 0;
+  const int packets = 200'000;
+  for (int i = 0; i < packets; ++i) {
+    now += gap;
+    bucket.on_packet(now, 0xffff);
+  }
+  const double grant_rate =
+      static_cast<double>(bucket.stats().grants) / sim::to_seconds(now);
+  EXPECT_NEAR(grant_rate, v, v * 0.05) << "V=" << v << " cap=" << cap;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TokenBucketRateProperty,
+    ::testing::Combine(::testing::Values(1e4, 1e5, 1e6),
+                       ::testing::Values(2.0, 16.0, 128.0)));
+
+TEST(TokenBucketProperty, TokensNeverExceedCapacity) {
+  sim::RandomStream rng(5);
+  core::TokenBucketConfig config;
+  config.token_rate_v = 1e5;
+  config.capacity_tokens = 10;
+  core::TokenBucket bucket(config);
+  sim::SimTime now = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    now += static_cast<sim::SimDuration>(rng.uniform_int(sim::milliseconds(1)));
+    bucket.on_packet(now, static_cast<std::uint16_t>(rng.uniform_int(0x10000)));
+    ASSERT_LE(bucket.tokens(), 10.0 + 1e-9);
+    ASSERT_GE(bucket.tokens(), 0.0);
+  }
+}
+
+// ------------------------------------------------------- probability model
+
+TEST(ProbabilityProperty, MonotoneInBacklogAge) {
+  // For fixed C, waiting longer never lowers the transmission probability.
+  core::TrafficStats stats;
+  stats.flow_count_n = 500;
+  stats.token_rate_v = 1e5;
+  stats.packet_rate_q = 2e6;
+  for (double c : {1.0, 10.0, 100.0, 1000.0}) {
+    double prev = -1.0;
+    for (double t = 1e-6; t < 0.5; t *= 1.3) {
+      const double p = core::token_probability(stats, t, c);
+      ASSERT_GE(p + 1e-12, prev) << "t=" << t << " c=" << c;
+      prev = p;
+    }
+  }
+}
+
+TEST(ProbabilityProperty, MonotoneInBacklogCount) {
+  // For fixed T past the fair period, more backlog never lowers P.
+  core::TrafficStats stats;
+  stats.flow_count_n = 500;
+  stats.token_rate_v = 1e5;
+  stats.packet_rate_q = 2e6;
+  const double fair = stats.flow_count_n / stats.token_rate_v;
+  for (double t : {fair * 1.5, fair * 4.0, fair * 16.0}) {
+    double prev = -1.0;
+    for (double c = 1.0; c < 1e5; c *= 2.0) {
+      const double p = core::token_probability(stats, t, c);
+      ASSERT_GE(p + 1e-12, prev) << "t=" << t << " c=" << c;
+      prev = p;
+    }
+  }
+}
+
+TEST(ProbabilityProperty, LookupTableMonotoneInT) {
+  core::TrafficStats stats;
+  stats.flow_count_n = 500;
+  stats.token_rate_v = 1e5;
+  stats.packet_rate_q = 2e6;
+  core::ProbabilityLookupTable table(64, 64, 0.5, 4096, true, true);
+  table.rebuild(stats);
+  for (double c : {1.0, 32.0, 512.0}) {
+    std::uint16_t prev = 0;
+    for (double t = 1e-6; t < 0.5; t *= 1.25) {
+      const std::uint16_t p = table.lookup_fixed(t, c);
+      // Cell quantization may plateau but must not materially regress.
+      ASSERT_GE(static_cast<int>(p) + 1500, static_cast<int>(prev))
+          << "t=" << t << " c=" << c;
+      prev = std::max(prev, p);
+    }
+  }
+}
+
+// ---------------------------------------------------------- range expansion
+
+TEST(RangeExpansionProperty, RandomRangesPartitionExactly) {
+  sim::RandomStream rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const unsigned width = 4 + static_cast<unsigned>(rng.uniform_int(8));  // 4..11
+    const std::uint64_t domain = 1ULL << width;
+    std::uint64_t lo = rng.uniform_int(domain);
+    std::uint64_t hi = rng.uniform_int(domain);
+    if (lo > hi) std::swap(lo, hi);
+    const auto prefixes = switchsim::expand_range_to_prefixes(lo, hi, width);
+    ASSERT_LE(prefixes.size(), 2u * width - 2 + 1);
+    for (std::uint64_t v = 0; v < domain; ++v) {
+      int hits = 0;
+      for (const auto& pm : prefixes) {
+        if ((v & pm.mask) == pm.value) ++hits;
+      }
+      ASSERT_EQ(hits, (v >= lo && v <= hi) ? 1 : 0)
+          << "trial " << trial << " v=" << v << " [" << lo << "," << hi << "]@"
+          << width;
+    }
+  }
+}
+
+// ------------------------------------------------------------- quantization
+
+class QuantizeExponentProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizeExponentProperty, RoundTripWithinHalfStep) {
+  const int e = GetParam();
+  sim::RandomStream rng(static_cast<std::uint64_t>(e + 100));
+  const double scale = std::ldexp(1.0, e);
+  for (int i = 0; i < 500; ++i) {
+    const float v = static_cast<float>(rng.uniform(-127.0 * scale, 127.0 * scale));
+    std::int8_t q;
+    nn::quantize_to_i8(&v, 1, e, &q);
+    EXPECT_NEAR(static_cast<double>(q) * scale, v, scale * 0.5 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, QuantizeExponentProperty,
+                         ::testing::Values(-12, -8, -6, -4, -2, 0, 2, 5));
+
+TEST(QuantizeProperty, RoundingShiftMatchesFloatRounding) {
+  sim::RandomStream rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.uniform_int(1 << 30)) -
+                   (1 << 29);
+    const int shift = static_cast<int>(rng.uniform_int(16));
+    const double expected = std::round(static_cast<double>(v) / std::ldexp(1.0, shift));
+    // round-half-away-from-zero matches std::round's tie behaviour.
+    ASSERT_EQ(nn::rounding_shift_right(v, shift), static_cast<std::int64_t>(expected))
+        << "v=" << v << " shift=" << shift;
+  }
+}
+
+// ------------------------------------------------------------------- ipd
+
+TEST(IpdProperty, EncodingMonotoneOverRandomPairs) {
+  sim::RandomStream rng(17);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t a = rng.uniform_int(sim::seconds(60));
+    const std::uint64_t b = rng.uniform_int(sim::seconds(60));
+    const auto ea = net::encode_ipd(a);
+    const auto eb = net::encode_ipd(b);
+    if (a <= b) {
+      ASSERT_LE(ea, eb) << "a=" << a << " b=" << b;
+    } else {
+      ASSERT_GE(ea, eb) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST(MetricsProperty, MergeEqualsPooledObservations) {
+  sim::RandomStream rng(19);
+  telemetry::ConfusionMatrix pooled(5);
+  telemetry::ConfusionMatrix a(5), b(5);
+  for (int i = 0; i < 5000; ++i) {
+    const auto truth = static_cast<std::int64_t>(rng.uniform_int(5));
+    const auto pred = static_cast<std::int64_t>(rng.uniform_int(6)) - 1;  // -1..4
+    pooled.add(truth, pred);
+    (i % 2 == 0 ? a : b).add(truth, pred);
+  }
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.macro_f1(), pooled.macro_f1());
+  EXPECT_DOUBLE_EQ(a.accuracy(), pooled.accuracy());
+  EXPECT_EQ(a.total(), pooled.total());
+  EXPECT_EQ(a.unpredicted(), pooled.unpredicted());
+}
+
+TEST(MetricsProperty, F1BoundedByPrecisionAndRecall) {
+  sim::RandomStream rng(23);
+  telemetry::ConfusionMatrix cm(4);
+  for (int i = 0; i < 2000; ++i) {
+    cm.add(static_cast<std::int64_t>(rng.uniform_int(4)),
+           static_cast<std::int64_t>(rng.uniform_int(4)));
+  }
+  for (const auto& m : cm.per_class()) {
+    EXPECT_LE(m.f1, std::max(m.precision, m.recall) + 1e-12);
+    EXPECT_GE(m.f1, std::min(m.precision, m.recall) - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace fenix

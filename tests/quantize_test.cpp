@@ -1,0 +1,213 @@
+// Tests for INT8 quantization: fixed-point primitives, quantized layers vs
+// their float parents, LUT activations, and end-to-end INT8 model agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/quantize.hpp"
+
+namespace fenix::nn {
+namespace {
+
+TEST(FixedPoint, SaturateI8) {
+  EXPECT_EQ(saturate_i8(127), 127);
+  EXPECT_EQ(saturate_i8(128), 127);
+  EXPECT_EQ(saturate_i8(-128), -128);
+  EXPECT_EQ(saturate_i8(-129), -128);
+  EXPECT_EQ(saturate_i8(0), 0);
+}
+
+TEST(FixedPoint, RoundingShiftRight) {
+  EXPECT_EQ(rounding_shift_right(10, 1), 5);
+  EXPECT_EQ(rounding_shift_right(11, 1), 6);   // round half away from zero
+  EXPECT_EQ(rounding_shift_right(-11, 1), -6);
+  EXPECT_EQ(rounding_shift_right(100, 3), 13); // 12.5 -> 13
+  EXPECT_EQ(rounding_shift_right(5, 0), 5);
+  EXPECT_EQ(rounding_shift_right(5, -2), 20);  // negative shift = left shift
+}
+
+class ChooseExponentTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(ChooseExponentTest, FitsWithoutSaturationAtFinestScale) {
+  const float max_abs = GetParam();
+  float values[3] = {max_abs, -max_abs / 2, 0.1f * max_abs};
+  const int e = choose_exponent(values, 3);
+  // max must fit: |max| <= 127 * 2^e, and 2^(e-1) must not fit (tightness).
+  EXPECT_LE(max_abs, 127.0 * std::ldexp(1.0, e));
+  EXPECT_GT(max_abs, 127.0 * std::ldexp(1.0, e - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChooseExponentTest,
+                         ::testing::Values(0.001f, 0.03f, 0.5f, 1.0f, 7.7f, 100.0f,
+                                           12345.0f));
+
+TEST(ChooseExponent, ZeroInput) {
+  float z[2] = {0.0f, 0.0f};
+  EXPECT_EQ(choose_exponent(z, 2), -7);
+}
+
+TEST(QuantizeI8, RoundTripError) {
+  sim::RandomStream rng(5);
+  float values[64];
+  for (float& v : values) v = static_cast<float>(rng.normal(0, 2));
+  const int e = choose_exponent(values, 64);
+  std::int8_t q[64];
+  quantize_to_i8(values, 64, e, q);
+  const double scale = std::ldexp(1.0, e);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(static_cast<double>(q[i]) * scale, values[i], scale * 0.5 + 1e-6);
+  }
+}
+
+TEST(QDense, MatchesFloatDenseApproximately) {
+  sim::RandomStream rng(6);
+  Dense dense(16, 8, rng);
+  // Input in a known range quantized at exponent -4 (scale 1/16).
+  const int in_e = -4;
+  float x[16];
+  std::int8_t xq[16];
+  for (int i = 0; i < 16; ++i) x[i] = static_cast<float>(rng.uniform(-4, 4));
+  quantize_to_i8(x, 16, in_e, xq);
+  // Output exponent chosen from the float outputs.
+  float y[8];
+  dense.forward(x, y);
+  const int out_e = choose_exponent(y, 8);
+  const QDense qdense = QDense::from(dense, in_e, out_e);
+  std::int8_t yq[8];
+  qdense.forward(xq, yq, /*relu=*/false);
+  const double out_scale = std::ldexp(1.0, out_e);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(static_cast<double>(yq[i]) * out_scale, y[i],
+                std::fabs(y[i]) * 0.15 + 3 * out_scale)
+        << "output " << i;
+  }
+}
+
+TEST(QDense, ReluClampsNegative) {
+  sim::RandomStream rng(7);
+  Dense dense(4, 4, rng);
+  dense.weights().fill(0.0f);
+  dense.bias() = {-1.0f, 1.0f, -0.5f, 0.5f};
+  const QDense qdense = QDense::from(dense, -4, -4);
+  std::int8_t x[4] = {0, 0, 0, 0};
+  std::int8_t y[4];
+  qdense.forward(x, y, /*relu=*/true);
+  EXPECT_EQ(y[0], 0);
+  EXPECT_GT(y[1], 0);
+  EXPECT_EQ(y[2], 0);
+  EXPECT_GT(y[3], 0);
+}
+
+TEST(QLutActivation, ApproximatesTanh) {
+  const int acc_e = -10;
+  const int out_e = -7;
+  QLutActivation lut([](double v) { return std::tanh(v); }, acc_e, out_e, 8.0);
+  for (double v : {-6.0, -2.0, -0.5, 0.0, 0.3, 1.0, 3.0, 7.0}) {
+    const auto acc = static_cast<std::int64_t>(std::llround(v * std::ldexp(1.0, -acc_e)));
+    const double got = static_cast<double>(lut.apply(acc)) * std::ldexp(1.0, out_e);
+    EXPECT_NEAR(got, std::tanh(v), 0.05) << "v=" << v;
+  }
+}
+
+TEST(QLutActivation, SaturatesOutOfRange) {
+  QLutActivation lut([](double v) { return std::tanh(v); }, -10, -7, 8.0);
+  const std::int64_t huge = 1LL << 40;
+  EXPECT_EQ(lut.apply(huge), lut.apply(huge * 2));
+  EXPECT_EQ(lut.apply(-huge), lut.apply(-huge * 2));
+}
+
+// --------------------------------------------------------- quantized models
+
+std::vector<SeqSample> pattern_samples(std::size_t per_class, std::uint64_t seed) {
+  sim::RandomStream rng(seed);
+  std::vector<SeqSample> samples;
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      SeqSample s;
+      s.label = static_cast<std::int16_t>(c);
+      for (std::size_t t = 0; t < 9; ++t) {
+        const std::uint16_t base =
+            c == 0 ? 10 : c == 1 ? 120 : (t % 2 ? 10 : 120);
+        s.tokens.push_back(
+            {static_cast<std::uint16_t>(base + rng.uniform_int(8)),
+             static_cast<std::uint16_t>(rng.uniform_int(8))});
+      }
+      samples.push_back(std::move(s));
+    }
+  }
+  return samples;
+}
+
+TEST(QuantizedCnn, AgreesWithFloatModel) {
+  CnnConfig config;
+  config.conv_channels = {16, 24};
+  config.fc_dims = {32};
+  config.num_classes = 3;
+  CnnClassifier model(config, 21);
+  const auto train = pattern_samples(60, 50);
+  TrainOptions opts;
+  opts.epochs = 4;
+  opts.lr = 0.01f;
+  model.fit(train, opts);
+
+  QuantizedCnn qmodel(model, train);
+  const auto test = pattern_samples(40, 60);
+  int agree = 0, correct_q = 0;
+  for (const SeqSample& s : test) {
+    const auto fp = model.predict(s.tokens);
+    const auto qp = qmodel.predict(s.tokens);
+    if (fp == qp) ++agree;
+    if (qp == s.label) ++correct_q;
+  }
+  // The paper reports "only negligible performance degradation" from INT8.
+  EXPECT_GT(agree, static_cast<int>(test.size() * 0.9));
+  EXPECT_GT(correct_q, static_cast<int>(test.size() * 0.85));
+}
+
+TEST(QuantizedRnn, AgreesWithFloatModel) {
+  RnnConfig config;
+  config.units = 24;
+  config.num_classes = 3;
+  RnnClassifier model(config, 22);
+  const auto train = pattern_samples(60, 51);
+  TrainOptions opts;
+  opts.epochs = 5;
+  opts.lr = 0.01f;
+  model.fit(train, opts);
+
+  QuantizedRnn qmodel(model, train);
+  const auto test = pattern_samples(40, 61);
+  int agree = 0;
+  for (const SeqSample& s : test) {
+    if (model.predict(s.tokens) == qmodel.predict(s.tokens)) ++agree;
+  }
+  EXPECT_GT(agree, static_cast<int>(test.size() * 0.85));
+}
+
+TEST(QuantizedCnn, MacCountMatchesArchitecture) {
+  CnnConfig config;
+  config.seq_len = 9;
+  config.conv_channels = {64, 128};
+  config.kernel = 3;
+  config.fc_dims = {256};
+  config.num_classes = 7;
+  CnnClassifier model(config, 1);
+  QuantizedCnn qmodel(model, pattern_samples(4, 1));
+  const std::uint64_t expected = 9ULL * 64 * 16 * 3 + 9ULL * 128 * 64 * 3 +
+                                 128ULL * 256 + 256ULL * 7;
+  EXPECT_EQ(qmodel.macs_per_inference(), expected);
+}
+
+TEST(QuantizedRnn, MacCountMatchesArchitecture) {
+  RnnConfig config;
+  config.seq_len = 9;
+  config.units = 128;
+  config.num_classes = 12;
+  RnnClassifier model(config, 2);
+  QuantizedRnn qmodel(model, pattern_samples(4, 2));
+  const std::uint64_t expected = 9ULL * 128 * (16 + 128) + 128ULL * 12;
+  EXPECT_EQ(qmodel.macs_per_inference(), expected);
+}
+
+}  // namespace
+}  // namespace fenix::nn

@@ -1,0 +1,138 @@
+// Tests for model serialization: save/load must reproduce predictions
+// bit-for-bit, including through re-quantization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/quantize.hpp"
+#include "nn/serialize.hpp"
+
+namespace fenix::nn {
+namespace {
+
+std::vector<SeqSample> random_samples(std::size_t n, std::size_t classes,
+                                      std::uint64_t seed) {
+  sim::RandomStream rng(seed);
+  std::vector<SeqSample> samples;
+  for (std::size_t i = 0; i < n; ++i) {
+    SeqSample s;
+    s.label = static_cast<std::int16_t>(i % classes);
+    for (int t = 0; t < 9; ++t) {
+      s.tokens.push_back({static_cast<std::uint16_t>(rng.uniform_int(kLenVocab)),
+                          static_cast<std::uint16_t>(rng.uniform_int(kIpdVocab))});
+    }
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+TEST(Serialize, CnnRoundTripPredictionsIdentical) {
+  CnnConfig config;
+  config.conv_channels = {8, 12};
+  config.fc_dims = {24};
+  config.num_classes = 4;
+  CnnClassifier model(config, 31);
+  const auto samples = random_samples(64, 4, 1);
+  TrainOptions opts;
+  opts.epochs = 2;
+  model.fit(samples, opts);
+
+  std::stringstream stream;
+  save_cnn(stream, model);
+  const auto restored = load_cnn(stream);
+
+  ASSERT_EQ(restored->config().conv_channels, config.conv_channels);
+  ASSERT_EQ(restored->config().fc_dims, config.fc_dims);
+  for (const SeqSample& s : samples) {
+    const auto a = model.logits(s.tokens);
+    const auto b = restored->logits(s.tokens);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_FLOAT_EQ(a[i], b[i]);
+    }
+  }
+}
+
+TEST(Serialize, RnnRoundTripPredictionsIdentical) {
+  RnnConfig config;
+  config.units = 12;
+  config.fc_dims = {16};
+  config.num_classes = 3;
+  RnnClassifier model(config, 33);
+  const auto samples = random_samples(48, 3, 2);
+  TrainOptions opts;
+  opts.epochs = 2;
+  model.fit(samples, opts);
+
+  std::stringstream stream;
+  save_rnn(stream, model);
+  const auto restored = load_rnn(stream);
+
+  for (const SeqSample& s : samples) {
+    const auto a = model.logits(s.tokens);
+    const auto b = restored->logits(s.tokens);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_FLOAT_EQ(a[i], b[i]);
+    }
+  }
+}
+
+TEST(Serialize, QuantizationAfterLoadMatches) {
+  CnnConfig config;
+  config.conv_channels = {8};
+  config.fc_dims = {16};
+  config.num_classes = 3;
+  CnnClassifier model(config, 35);
+  const auto calibration = random_samples(32, 3, 3);
+
+  std::stringstream stream;
+  save_cnn(stream, model);
+  const auto restored = load_cnn(stream);
+
+  const QuantizedCnn q_original(model, calibration);
+  const QuantizedCnn q_restored(*restored, calibration);
+  for (const SeqSample& s : calibration) {
+    ASSERT_EQ(q_original.predict(s.tokens), q_restored.predict(s.tokens));
+  }
+}
+
+TEST(Serialize, RejectsWrongKind) {
+  CnnConfig config;
+  config.num_classes = 2;
+  CnnClassifier cnn(config, 1);
+  std::stringstream stream;
+  save_cnn(stream, cnn);
+  EXPECT_THROW(load_rnn(stream), SerializeError);
+}
+
+TEST(Serialize, DetectsCorruption) {
+  RnnConfig config;
+  config.units = 8;
+  config.num_classes = 2;
+  RnnClassifier model(config, 2);
+  std::stringstream stream;
+  save_rnn(stream, model);
+  std::string bytes = stream.str();
+  bytes[bytes.size() - 40] ^= 0x10;
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(load_rnn(corrupted), SerializeError);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  CnnConfig config;
+  config.conv_channels = {8};
+  config.fc_dims = {};
+  config.num_classes = 2;
+  CnnClassifier model(config, 3);
+  const std::string path = "/tmp/fenix_model_test.bin";
+  save_cnn(path, model);
+  const auto restored = load_cnn(path);
+  const auto samples = random_samples(4, 2, 4);
+  for (const auto& s : samples) {
+    EXPECT_EQ(model.predict(s.tokens), restored->predict(s.tokens));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fenix::nn

@@ -1,0 +1,239 @@
+// Tests for the simulation substrate: event queue, clocks, FIFOs, channels,
+// and the deterministic random streams.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fifo.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace fenix::sim {
+namespace {
+
+TEST(SimTime, UnitConversions) {
+  EXPECT_EQ(nanoseconds(1), 1000u);
+  EXPECT_EQ(microseconds(1), 1'000'000u);
+  EXPECT_EQ(milliseconds(2), 2'000'000'000u);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_EQ(from_seconds(0.5), kSecond / 2);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(300, [&] { order.push_back(3); });
+  queue.schedule_at(100, [&] { order.push_back(1); });
+  queue.schedule_at(200, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 300u);
+  EXPECT_EQ(queue.executed(), 3u);
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule_at(50, [&order, i] { order.push_back(i); });
+  }
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue queue;
+  SimTime seen = ~0ULL;
+  queue.schedule_at(100, [&] {
+    queue.schedule_at(10, [&] { seen = queue.now(); });  // in the past
+  });
+  queue.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(10, [&] {
+    ++fired;
+    queue.schedule_after(5, [&] { ++fired; });
+  });
+  queue.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(queue.now(), 15u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(10, [&] { ++fired; });
+  queue.schedule_at(20, [&] { ++fired; });
+  queue.schedule_at(30, [&] { ++fired; });
+  queue.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(queue.now(), 20u);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(ClockDomain, CycleConversions) {
+  ClockDomain clock(1e9);  // 1 GHz -> 1000 ps period
+  EXPECT_DOUBLE_EQ(clock.period_ps(), 1000.0);
+  EXPECT_EQ(clock.cycles(5), 5000u);
+  EXPECT_EQ(clock.cycles_in(4999), 4u);
+  EXPECT_EQ(clock.next_edge(1), 1000u);
+  EXPECT_EQ(clock.next_edge(1000), 1000u);
+}
+
+TEST(ClockDomain, FractionalPeriodAccumulates) {
+  ClockDomain clock(300e6);  // 3333.33 ps period
+  // 3 cycles should be ~10000 ps, not 3 * round(3333.33).
+  EXPECT_NEAR(static_cast<double>(clock.cycles(3)), 10000.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(clock.cycles(300'000'000)),
+              static_cast<double>(kSecond), 1e6);
+}
+
+TEST(Fifo, PushPopAndCapacity) {
+  Fifo<int> fifo(2);
+  EXPECT_TRUE(fifo.push(1));
+  EXPECT_TRUE(fifo.push(2));
+  EXPECT_FALSE(fifo.push(3));  // full -> drop
+  EXPECT_EQ(fifo.stats().drops, 1u);
+  EXPECT_EQ(fifo.pop().value(), 1);
+  EXPECT_EQ(fifo.pop().value(), 2);
+  EXPECT_FALSE(fifo.pop().has_value());
+  EXPECT_EQ(fifo.stats().peak_occupancy, 2u);
+}
+
+TEST(AsyncFifo, SynchronizerDelaysVisibility) {
+  AsyncFifo<int> fifo(4, nanoseconds(10));
+  EXPECT_TRUE(fifo.push(1000, 42));
+  EXPECT_FALSE(fifo.readable(1000));
+  EXPECT_FALSE(fifo.pop(1000).has_value());
+  EXPECT_EQ(fifo.head_visible_at().value(), 1000u + nanoseconds(10));
+  EXPECT_TRUE(fifo.readable(1000 + nanoseconds(10)));
+  EXPECT_EQ(fifo.pop(1000 + nanoseconds(10)).value(), 42);
+}
+
+TEST(AsyncFifo, PreservesOrderAcrossDomains) {
+  AsyncFifo<int> fifo(8, nanoseconds(5));
+  for (int i = 0; i < 5; ++i) fifo.push(static_cast<SimTime>(i * 100), i);
+  const SimTime late = nanoseconds(100);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(fifo.pop(late).value(), i);
+}
+
+TEST(Channel, SerializationTime) {
+  Channel ch(100e9, nanoseconds(40));  // 100G, 40ns propagation
+  // 1250 bytes at 100 Gb/s = 100 ns.
+  EXPECT_EQ(ch.serialization_time(1250), nanoseconds(100));
+}
+
+TEST(Channel, BackToBackTransfersQueue) {
+  Channel ch(100e9, 0);
+  const SimTime a1 = ch.transfer(0, 1250);       // finishes at 100ns
+  const SimTime a2 = ch.transfer(0, 1250);       // queues behind, 200ns
+  EXPECT_EQ(a1, nanoseconds(100));
+  EXPECT_EQ(a2, nanoseconds(200));
+  EXPECT_EQ(ch.stats().transfers, 2u);
+  EXPECT_EQ(ch.stats().max_queueing, nanoseconds(100));
+}
+
+TEST(Channel, IdleChannelAddsOnlySerializationAndPropagation) {
+  Channel ch(400e9, nanoseconds(40));
+  const SimTime arrival = ch.transfer(microseconds(5), 500);
+  EXPECT_EQ(arrival, microseconds(5) + ch.serialization_time(500) + nanoseconds(40));
+}
+
+TEST(Channel, UtilizationTracksBusyFraction) {
+  Channel ch(100e9, 0);
+  ch.transfer(0, 12500);  // 1 us busy
+  EXPECT_NEAR(ch.utilization(microseconds(2)), 0.5, 1e-9);
+}
+
+TEST(RandomStream, Deterministic) {
+  RandomStream a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RandomStream, DifferentSeedsDiffer) {
+  RandomStream a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomStream, UniformIntInBounds) {
+  RandomStream rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.uniform_int(17), 17u);
+  }
+}
+
+TEST(RandomStream, UniformIntCoversRange) {
+  RandomStream rng(9);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[rng.uniform_int(8)];
+  for (int h : hits) EXPECT_GT(h, 700);  // ~1000 expected each
+}
+
+TEST(RandomStream, UniformInUnitInterval) {
+  RandomStream rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(RandomStream, NormalMoments) {
+  RandomStream rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(sq / n - mean * mean, 4.0, 0.25);
+}
+
+TEST(RandomStream, ExponentialMean) {
+  RandomStream rng(17);
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.02);
+}
+
+TEST(RandomStream, BernoulliFraction) {
+  RandomStream rng(19);
+  int hits = 0;
+  for (int i = 0; i < 20'000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20'000.0, 0.3, 0.02);
+}
+
+TEST(RandomStream, ForkIsIndependent) {
+  RandomStream parent(23);
+  RandomStream child = parent.fork();
+  // The child must not replay the parent's sequence.
+  RandomStream parent2(23);
+  (void)parent2.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == parent()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace fenix::sim

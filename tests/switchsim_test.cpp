@@ -1,0 +1,228 @@
+// Tests for the PISA switch model: resource ledger, stateful ALUs, match
+// tables, range-to-prefix expansion, and pipeline timing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "switchsim/chip.hpp"
+#include "switchsim/match_table.hpp"
+#include "switchsim/pipeline.hpp"
+#include "switchsim/register_array.hpp"
+#include "switchsim/resources.hpp"
+
+namespace fenix::switchsim {
+namespace {
+
+TEST(ChipProfile, PaperParameters) {
+  const ChipProfile t1 = ChipProfile::tofino1();
+  EXPECT_EQ(t1.mau_stages, 12u);
+  EXPECT_EQ(t1.sram_bits, 120'000'000u);
+  EXPECT_EQ(t1.tcam_bits, 6'200'000u);
+  const ChipProfile t2 = ChipProfile::tofino2();
+  EXPECT_EQ(t2.mau_stages, 20u);
+  EXPECT_EQ(t2.sram_bits, 200'000'000u);
+  EXPECT_EQ(t2.tcam_bits, 10'300'000u);
+}
+
+TEST(ResourceLedger, TracksAllocationsAndStages) {
+  ResourceLedger ledger(ChipProfile::tofino2());
+  ledger.allocate({"a", 0, 1000, 0, 8});
+  ledger.allocate({"b", 8, 2000, 500, 16});
+  EXPECT_EQ(ledger.sram_bits_used(), 3000u);
+  EXPECT_EQ(ledger.tcam_bits_used(), 500u);
+  EXPECT_EQ(ledger.bus_bits_used(), 24u);
+  EXPECT_EQ(ledger.stages_used(), 9u);
+  EXPECT_GT(ledger.sram_fraction(), 0.0);
+}
+
+TEST(ResourceLedger, RejectsOverBudget) {
+  ResourceLedger ledger(ChipProfile::tofino1());
+  EXPECT_THROW(ledger.allocate({"huge", 0, 200'000'000, 0, 0}), ResourceExhausted);
+  EXPECT_THROW(ledger.allocate({"tcam", 0, 0, 7'000'000, 0}), ResourceExhausted);
+  EXPECT_THROW(ledger.allocate({"late", 12, 8, 0, 0}), ResourceExhausted);
+  // Failed allocations must not count.
+  EXPECT_EQ(ledger.sram_bits_used(), 0u);
+}
+
+TEST(ResourceLedger, SummaryRenders) {
+  ResourceLedger ledger(ChipProfile::tofino2());
+  ledger.allocate({"x", 3, 20'000'000, 0, 0});
+  const std::string s = ledger.summary();
+  EXPECT_NE(s.find("SRAM 10.0%"), std::string::npos) << s;
+  EXPECT_NE(s.find("Stages 4"), std::string::npos) << s;
+}
+
+class RegisterArrayTest : public ::testing::Test {
+ protected:
+  RegisterArrayTest() : ledger_(ChipProfile::tofino2()) {}
+  ResourceLedger ledger_;
+};
+
+TEST_F(RegisterArrayTest, ChargesSram) {
+  RegisterArray reg(ledger_, "r", 0, 1024, 32);
+  // 1024 * 32 bits + 12.5% overhead.
+  EXPECT_EQ(ledger_.sram_bits_used(), 32768u + 4096u);
+}
+
+TEST_F(RegisterArrayTest, RejectsBadWidth) {
+  EXPECT_THROW(RegisterArray(ledger_, "bad", 0, 16, 24), std::invalid_argument);
+  EXPECT_THROW(RegisterArray(ledger_, "bad", 0, 0, 32), std::invalid_argument);
+}
+
+TEST_F(RegisterArrayTest, AssignAndIncrement) {
+  RegisterArray reg(ledger_, "r", 0, 8, 32);
+  auto r = reg.execute(3, {AluPredicate::kAlways, 0, AluUpdate::kAssign, 42});
+  EXPECT_EQ(r.old_value, 0u);
+  EXPECT_EQ(r.new_value, 42u);
+  r = reg.execute(3, {AluPredicate::kAlways, 0, AluUpdate::kIncrement, 0});
+  EXPECT_EQ(r.new_value, 43u);
+  EXPECT_EQ(reg.accesses(), 2u);
+}
+
+TEST_F(RegisterArrayTest, PredicatesSeeOldValue) {
+  RegisterArray reg(ledger_, "r", 0, 4, 32);
+  reg.write(0, 10);
+  // Both lanes' predicates evaluate against the old value 10; lane 0 wins.
+  const auto r = reg.execute(
+      0, {AluPredicate::kStoredGe, 10, AluUpdate::kAssign, 100},
+      {AluPredicate::kAlways, 0, AluUpdate::kAssign, 200});
+  EXPECT_TRUE(r.lane_fired[0]);
+  EXPECT_TRUE(r.lane_fired[1]);  // predicate held, but lane 0 took effect
+  EXPECT_EQ(r.new_value, 100u);
+}
+
+TEST_F(RegisterArrayTest, SecondLaneFiresWhenFirstFails) {
+  RegisterArray reg(ledger_, "r", 0, 4, 16);
+  reg.write(0, 5);
+  const auto r = reg.execute(
+      0, {AluPredicate::kStoredGe, 7, AluUpdate::kAssign, 0},
+      {AluPredicate::kAlways, 0, AluUpdate::kIncrement, 0});
+  EXPECT_FALSE(r.lane_fired[0]);
+  EXPECT_EQ(r.new_value, 6u);
+}
+
+TEST_F(RegisterArrayTest, WidthMasksWraparound) {
+  RegisterArray reg(ledger_, "r", 0, 2, 8);
+  reg.write(0, 255);
+  const auto r = reg.execute(0, {AluPredicate::kAlways, 0, AluUpdate::kIncrement, 0});
+  EXPECT_EQ(r.new_value, 0u);  // 8-bit wrap
+  // Wrap-aware subtraction, as used for timestamps.
+  reg.write(1, 3);
+  const auto s = reg.execute(1, {AluPredicate::kAlways, 0, AluUpdate::kSubOperand, 5});
+  EXPECT_EQ(s.new_value, 254u);
+}
+
+TEST_F(RegisterArrayTest, MinMaxOps) {
+  RegisterArray reg(ledger_, "r", 0, 2, 32);
+  reg.write(0, 50);
+  EXPECT_EQ(reg.execute(0, {AluPredicate::kAlways, 0, AluUpdate::kMax, 80}).new_value,
+            80u);
+  EXPECT_EQ(reg.execute(0, {AluPredicate::kAlways, 0, AluUpdate::kMin, 60}).new_value,
+            60u);
+}
+
+TEST_F(RegisterArrayTest, ClearResets) {
+  RegisterArray reg(ledger_, "r", 0, 4, 32);
+  reg.write(2, 7);
+  reg.clear();
+  EXPECT_EQ(reg.read(2), 0u);
+}
+
+TEST(ExactMatchTable, InsertLookupCapacity) {
+  ResourceLedger ledger(ChipProfile::tofino2());
+  ExactMatchTable table(ledger, "t", 0, 2, 32, 16);
+  EXPECT_TRUE(table.insert(1, {10, 100}));
+  EXPECT_TRUE(table.insert(2, {20, 200}));
+  EXPECT_FALSE(table.insert(3, {30, 300}));  // at capacity
+  EXPECT_TRUE(table.insert(1, {11, 111}));   // overwrite allowed
+  EXPECT_EQ(table.lookup(1)->action_id, 11u);
+  EXPECT_FALSE(table.lookup(99).has_value());
+  table.erase(2);
+  EXPECT_FALSE(table.lookup(2).has_value());
+}
+
+TEST(TernaryMatchTable, PriorityOrdering) {
+  ResourceLedger ledger(ChipProfile::tofino2());
+  TernaryMatchTable table(ledger, "t", 0, 8, 16, 16);
+  // Broad low-priority rule vs specific high-priority rule.
+  table.insert({0x0000, 0x0000, 10, {1, 1}});      // match-all
+  table.insert({0x00f0, 0x00f0, 1, {2, 2}});       // specific
+  EXPECT_EQ(table.lookup(0x00f3)->action_id, 2u);
+  EXPECT_EQ(table.lookup(0x0003)->action_id, 1u);
+}
+
+TEST(TernaryMatchTable, ChargesTcam) {
+  ResourceLedger ledger(ChipProfile::tofino2());
+  TernaryMatchTable table(ledger, "t", 0, 100, 32, 8);
+  EXPECT_EQ(ledger.tcam_bits_used(), 100u * 32 * 2);
+}
+
+class RangeExpansion : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(RangeExpansion, CoversExactlyTheRange) {
+  const auto [lo, hi] = GetParam();
+  constexpr unsigned kWidth = 8;
+  const auto prefixes = expand_range_to_prefixes(lo, hi, kWidth);
+  ASSERT_FALSE(prefixes.empty());
+  EXPECT_LE(prefixes.size(), 2u * kWidth - 2);
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    int hits = 0;
+    for (const PrefixMask& pm : prefixes) {
+      if ((v & pm.mask) == pm.value) ++hits;
+    }
+    const bool inside = v >= lo && v <= hi;
+    EXPECT_EQ(hits, inside ? 1 : 0) << "v=" << v << " lo=" << lo << " hi=" << hi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, RangeExpansion,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{0, 255},
+                      std::pair<std::uint64_t, std::uint64_t>{0, 0},
+                      std::pair<std::uint64_t, std::uint64_t>{255, 255},
+                      std::pair<std::uint64_t, std::uint64_t>{1, 254},
+                      std::pair<std::uint64_t, std::uint64_t>{13, 200},
+                      std::pair<std::uint64_t, std::uint64_t>{128, 128},
+                      std::pair<std::uint64_t, std::uint64_t>{0, 127},
+                      std::pair<std::uint64_t, std::uint64_t>{64, 191},
+                      std::pair<std::uint64_t, std::uint64_t>{100, 101}));
+
+TEST(RangeExpansionEdge, InvalidInputsEmpty) {
+  EXPECT_TRUE(expand_range_to_prefixes(5, 4, 8).empty());
+  EXPECT_TRUE(expand_range_to_prefixes(0, 1, 0).empty());
+}
+
+TEST(RangeExpansionEdge, ClampsHighBound) {
+  const auto prefixes = expand_range_to_prefixes(250, 1000, 8);
+  int covered = 0;
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    for (const PrefixMask& pm : prefixes) {
+      if ((v & pm.mask) == pm.value) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(covered, 6);  // 250..255
+}
+
+TEST(PipelineTiming, DeterministicLatency) {
+  PipelineTiming timing(ChipProfile::tofino2());
+  EXPECT_GT(timing.pass_latency(), 0u);
+  EXPECT_EQ(timing.transit_latency(),
+            2 * timing.pass_latency() + timing.clock().cycles(100));
+  // Tofino-class transit should land in the hundreds of nanoseconds.
+  EXPECT_GT(sim::to_nanoseconds(timing.transit_latency()), 100.0);
+  EXPECT_LT(sim::to_nanoseconds(timing.transit_latency()), 2000.0);
+}
+
+TEST(MirrorSession, Counts) {
+  MirrorSession m;
+  m.record(100);
+  m.record(50);
+  EXPECT_EQ(m.mirrored_packets, 2u);
+  EXPECT_EQ(m.mirrored_bytes, 150u);
+}
+
+}  // namespace
+}  // namespace fenix::switchsim

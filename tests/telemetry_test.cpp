@@ -1,0 +1,164 @@
+// Tests for metrics, latency recording, and table rendering.
+#include <gtest/gtest.h>
+
+#include "telemetry/latency.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/rate_meter.hpp"
+#include "telemetry/table.hpp"
+
+namespace fenix::telemetry {
+namespace {
+
+TEST(ConfusionMatrix, HandComputedMetrics) {
+  ConfusionMatrix cm(2);
+  // Class 0: 8 right, 2 predicted as 1. Class 1: 5 right, 5 predicted as 0.
+  for (int i = 0; i < 8; ++i) cm.add(0, 0);
+  for (int i = 0; i < 2; ++i) cm.add(0, 1);
+  for (int i = 0; i < 5; ++i) cm.add(1, 1);
+  for (int i = 0; i < 5; ++i) cm.add(1, 0);
+
+  EXPECT_EQ(cm.total(), 20u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 13.0 / 20.0);
+  const auto metrics = cm.per_class();
+  // Class 0: precision 8/13, recall 8/10.
+  EXPECT_NEAR(metrics[0].precision, 8.0 / 13.0, 1e-9);
+  EXPECT_NEAR(metrics[0].recall, 0.8, 1e-9);
+  // Class 1: precision 5/7, recall 0.5.
+  EXPECT_NEAR(metrics[1].precision, 5.0 / 7.0, 1e-9);
+  EXPECT_NEAR(metrics[1].recall, 0.5, 1e-9);
+  const double f0 = 2 * (8.0 / 13.0) * 0.8 / (8.0 / 13.0 + 0.8);
+  const double f1 = 2 * (5.0 / 7.0) * 0.5 / (5.0 / 7.0 + 0.5);
+  EXPECT_NEAR(cm.macro_f1(), (f0 + f1) / 2.0, 1e-9);
+}
+
+TEST(ConfusionMatrix, UnpredictedCountsAgainstRecall) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, -1);  // no prediction
+  EXPECT_EQ(cm.unpredicted(), 1u);
+  EXPECT_EQ(cm.total(), 2u);
+  const auto metrics = cm.per_class();
+  // The unpredicted observation is a false negative of class 0.
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(metrics[0].recall, 0.5);
+  EXPECT_EQ(metrics[0].false_negatives, 1u);
+}
+
+TEST(ConfusionMatrix, OutOfRangeTruthIgnored) {
+  ConfusionMatrix cm(2);
+  cm.add(-1, 0);
+  cm.add(5, 1);
+  EXPECT_EQ(cm.total(), 0u);
+}
+
+TEST(ConfusionMatrix, MergeAddsCells) {
+  ConfusionMatrix a(2), b(2);
+  a.add(0, 0);
+  b.add(0, 0);
+  b.add(1, 0);
+  a.merge(b);
+  EXPECT_EQ(a.count(0, 0), 2u);
+  EXPECT_EQ(a.count(1, 0), 1u);
+  EXPECT_EQ(a.total(), 3u);
+  ConfusionMatrix c(3);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, PerfectScore) {
+  ConfusionMatrix cm(3);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 10; ++i) cm.add(c, c);
+  }
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+}
+
+TEST(LatencyRecorder, BasicStatistics) {
+  LatencyRecorder rec;
+  for (std::uint64_t i = 1; i <= 100; ++i) rec.record(i * sim::kMicrosecond);
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_EQ(rec.min(), sim::microseconds(1));
+  EXPECT_EQ(rec.max(), sim::microseconds(100));
+  EXPECT_NEAR(rec.mean_us(), 50.5, 0.01);
+  EXPECT_NEAR(sim::to_microseconds(rec.percentile(50)), 50.0, 1.5);
+  EXPECT_NEAR(rec.p99_us(), 99.0, 1.5);
+}
+
+TEST(LatencyRecorder, EmptySafe) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.percentile(50), 0u);
+  EXPECT_EQ(rec.min(), 0u);
+  EXPECT_DOUBLE_EQ(rec.mean_us(), 0.0);
+}
+
+TEST(LatencyRecorder, ReservoirKeepsMeanUnderOverflow) {
+  LatencyRecorder rec(128);  // tiny reservoir
+  for (std::uint64_t i = 0; i < 50'000; ++i) {
+    rec.record(sim::microseconds(10));
+  }
+  EXPECT_EQ(rec.count(), 50'000u);
+  EXPECT_NEAR(rec.mean_us(), 10.0, 1e-9);
+  EXPECT_EQ(rec.percentile(50), sim::microseconds(10));
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable table({"Name", "Value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| Name  | Value |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos) << out;
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable table({"A", "B", "C"});
+  table.add_row({"x"});
+  EXPECT_NE(table.render().find("| x |"), std::string::npos);
+}
+
+TEST(RateMeter, FirstUpdateSeedsEstimate) {
+  RateMeter meter(0.3);
+  EXPECT_FALSE(meter.initialized());
+  EXPECT_DOUBLE_EQ(meter.update(500, sim::milliseconds(500)), 1000.0);
+  EXPECT_TRUE(meter.initialized());
+}
+
+TEST(RateMeter, SmoothsTowardNewRate) {
+  RateMeter meter(0.5);
+  meter.update(1000, sim::seconds(1));  // 1000/s
+  const double after = meter.update(3000, sim::seconds(1));  // 3000/s
+  EXPECT_DOUBLE_EQ(after, 2000.0);  // halfway with alpha 0.5
+  EXPECT_DOUBLE_EQ(meter.rate(), 2000.0);
+}
+
+TEST(RateMeter, AlphaOneTracksInstantaneous) {
+  RateMeter meter(1.0);
+  meter.update(100, sim::seconds(1));
+  EXPECT_DOUBLE_EQ(meter.update(900, sim::seconds(1)), 900.0);
+}
+
+TEST(RateMeter, ConvergesToSteadyRate) {
+  RateMeter meter(0.3);
+  for (int i = 0; i < 50; ++i) meter.update(250, sim::milliseconds(100));
+  EXPECT_NEAR(meter.rate(), 2500.0, 1.0);
+}
+
+TEST(RateMeter, ResetClears) {
+  RateMeter meter(0.3);
+  meter.update(10, sim::seconds(1));
+  meter.reset();
+  EXPECT_FALSE(meter.initialized());
+  EXPECT_DOUBLE_EQ(meter.rate(), 0.0);
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(TextTable::num(0.8766), "0.877");
+  EXPECT_EQ(TextTable::num(1.5, 1), "1.5");
+  EXPECT_EQ(TextTable::pr(0.9, 0.85), "0.900/0.850");
+  EXPECT_EQ(TextTable::pct(0.129), "12.9%");
+}
+
+}  // namespace
+}  // namespace fenix::telemetry

@@ -1,0 +1,101 @@
+// Tests for Algorithm 1: the probabilistic token bucket.
+#include <gtest/gtest.h>
+
+#include "core/token_bucket.hpp"
+
+namespace fenix::core {
+namespace {
+
+TokenBucketConfig config_with_rate(double v, double cap = 4) {
+  TokenBucketConfig config;
+  config.token_rate_v = v;
+  config.capacity_tokens = cap;
+  config.seed = 99;
+  return config;
+}
+
+TEST(TokenBucket, CostReflectsRate) {
+  TokenBucket bucket(config_with_rate(1e6));  // 1M tokens/s -> 1 us per token
+  EXPECT_EQ(bucket.token_cost_ps(), sim::microseconds(1));
+}
+
+TEST(TokenBucket, FirstPacketHasNoRefill) {
+  TokenBucket bucket(config_with_rate(1e6));
+  // prob = 1 (65535) but the bucket is empty on the very first packet.
+  EXPECT_FALSE(bucket.on_packet(sim::seconds(1), 0xffff));
+  EXPECT_EQ(bucket.stats().token_rejections, 1u);
+}
+
+TEST(TokenBucket, RefillsByGap) {
+  TokenBucket bucket(config_with_rate(1e6, 10));
+  bucket.on_packet(0, 0);  // initialize T_last
+  // 3 us gap -> 3 tokens.
+  EXPECT_TRUE(bucket.on_packet(sim::microseconds(3), 0xffff));
+  EXPECT_NEAR(bucket.tokens(), 2.0, 0.01);  // 3 refilled - 1 consumed
+}
+
+TEST(TokenBucket, CapacityCapsBurst) {
+  TokenBucket bucket(config_with_rate(1e6, 4));
+  bucket.on_packet(0, 0);
+  // A huge idle gap must not accumulate more than the cap.
+  bucket.on_packet(sim::seconds(10), 0);
+  EXPECT_NEAR(bucket.tokens(), 4.0, 0.01);
+}
+
+TEST(TokenBucket, ProbabilityZeroNeverSends) {
+  TokenBucket bucket(config_with_rate(1e6, 100));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(bucket.on_packet(static_cast<sim::SimTime>(i) * sim::microseconds(10), 0));
+  }
+  EXPECT_EQ(bucket.stats().grants, 0u);
+  EXPECT_EQ(bucket.stats().prob_rejections, 1000u);
+}
+
+TEST(TokenBucket, ProbabilityHalfSendsAboutHalf) {
+  TokenBucket bucket(config_with_rate(1e9, 1000));  // tokens never the bottleneck
+  int grants = 0;
+  for (int i = 1; i <= 20'000; ++i) {
+    if (bucket.on_packet(static_cast<sim::SimTime>(i) * sim::microseconds(10), 0x8000)) {
+      ++grants;
+    }
+  }
+  EXPECT_NEAR(grants / 20'000.0, 0.5, 0.02);
+}
+
+TEST(TokenBucket, SaturatedRateLimitedToV) {
+  // Offered load far above V with prob = 1: grants must track V.
+  const double v = 1e5;  // 100k tokens/s
+  TokenBucket bucket(config_with_rate(v, 8));
+  const sim::SimDuration gap = sim::nanoseconds(100);  // 10 Mpps offered
+  sim::SimTime now = 0;
+  const int packets = 2'000'000;
+  for (int i = 0; i < packets; ++i) {
+    now += gap;
+    bucket.on_packet(now, 0xffff);
+  }
+  const double elapsed_s = sim::to_seconds(now);
+  const double grant_rate = static_cast<double>(bucket.stats().grants) / elapsed_s;
+  EXPECT_NEAR(grant_rate, v, v * 0.02);
+}
+
+TEST(TokenBucket, RateChangePreservesTokens) {
+  TokenBucket bucket(config_with_rate(1e6, 10));
+  bucket.on_packet(0, 0);
+  bucket.on_packet(sim::microseconds(5), 0);  // 5 tokens
+  bucket.set_token_rate(2e6);
+  EXPECT_NEAR(bucket.tokens(), 5.0, 0.01);
+  EXPECT_EQ(bucket.token_cost_ps(), sim::nanoseconds(500));
+}
+
+TEST(TokenBucket, StatsConsistency) {
+  TokenBucket bucket(config_with_rate(1e6, 4));
+  for (int i = 0; i < 500; ++i) {
+    bucket.on_packet(static_cast<sim::SimTime>(i) * sim::microseconds(2), 0x4000);
+  }
+  const auto& s = bucket.stats();
+  EXPECT_EQ(s.attempts, 500u);
+  EXPECT_EQ(s.attempts, s.grants + s.prob_rejections + s.token_rejections);
+}
+
+}  // namespace
+}  // namespace fenix::core

@@ -1,0 +1,100 @@
+// Tests for the binary trace format: round trips, corruption detection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/trace_io.hpp"
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+namespace fenix::net {
+namespace {
+
+Trace sample_trace() {
+  const auto profile = trafficgen::DatasetProfile::iscx_vpn();
+  trafficgen::SynthesisConfig synth;
+  synth.total_flows = 60;
+  synth.seed = 77;
+  const auto flows = trafficgen::synthesize_flows(profile, synth);
+  return trafficgen::assemble_trace(flows, {});
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const Trace original = sample_trace();
+  std::stringstream stream;
+  write_trace(stream, original);
+  const Trace restored = read_trace(stream);
+
+  ASSERT_EQ(restored.packets.size(), original.packets.size());
+  ASSERT_EQ(restored.flows.size(), original.flows.size());
+  for (std::size_t i = 0; i < original.packets.size(); ++i) {
+    const PacketRecord& a = original.packets[i];
+    const PacketRecord& b = restored.packets[i];
+    ASSERT_EQ(a.tuple, b.tuple) << i;
+    ASSERT_EQ(a.timestamp, b.timestamp) << i;
+    ASSERT_EQ(a.orig_timestamp, b.orig_timestamp) << i;
+    ASSERT_EQ(a.wire_length, b.wire_length) << i;
+    ASSERT_EQ(a.label, b.label) << i;
+    ASSERT_EQ(a.flow_id, b.flow_id) << i;
+  }
+  for (std::size_t i = 0; i < original.flows.size(); ++i) {
+    const FlowRecord& a = original.flows[i];
+    const FlowRecord& b = restored.flows[i];
+    ASSERT_EQ(a.tuple, b.tuple) << i;
+    ASSERT_EQ(a.label, b.label) << i;
+    ASSERT_EQ(a.packet_count, b.packet_count) << i;
+    ASSERT_EQ(a.byte_count, b.byte_count) << i;
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream stream;
+  write_trace(stream, Trace{});
+  const Trace restored = read_trace(stream);
+  EXPECT_TRUE(restored.packets.empty());
+  EXPECT_TRUE(restored.flows.empty());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream stream;
+  write_trace(stream, sample_trace());
+  std::string bytes = stream.str();
+  bytes[0] ^= 0xff;
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_trace(corrupted), TraceIoError);
+}
+
+TEST(TraceIo, DetectsPayloadCorruption) {
+  std::stringstream stream;
+  write_trace(stream, sample_trace());
+  std::string bytes = stream.str();
+  bytes[bytes.size() / 2] ^= 0x01;  // flip one payload bit
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(read_trace(corrupted), TraceIoError);
+}
+
+TEST(TraceIo, DetectsTruncation) {
+  std::stringstream stream;
+  write_trace(stream, sample_trace());
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW(read_trace(truncated), TraceIoError);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace original = sample_trace();
+  const std::string path = "/tmp/fenix_trace_io_test.bin";
+  save_trace(path, original);
+  const Trace restored = load_trace(path);
+  EXPECT_EQ(restored.packets.size(), original.packets.size());
+  EXPECT_EQ(restored.duration(), original.duration());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/dir/trace.bin"), TraceIoError);
+}
+
+}  // namespace
+}  // namespace fenix::net

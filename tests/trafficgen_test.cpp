@@ -1,0 +1,184 @@
+// Tests for the synthetic traffic generator and dataset extraction.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+namespace fenix::trafficgen {
+namespace {
+
+TEST(Profiles, Table1ClassCounts) {
+  const auto vpn = DatasetProfile::iscx_vpn();
+  EXPECT_EQ(vpn.num_classes(), 7u);
+  EXPECT_EQ(vpn.classes[5].name, "Voip");
+  EXPECT_DOUBLE_EQ(vpn.classes[5].ratio, 128);  // dominant class
+  EXPECT_EQ(vpn.train_flows, 29'295u);
+  EXPECT_EQ(vpn.test_flows, 7'328u);
+
+  const auto tfc = DatasetProfile::ustc_tfc();
+  EXPECT_EQ(tfc.num_classes(), 12u);
+  EXPECT_EQ(tfc.classes[11].name, "SMB");
+  EXPECT_EQ(tfc.train_flows, 101'789u);
+}
+
+TEST(Synthesizer, FlowCountsFollowRatios) {
+  const auto profile = DatasetProfile::iscx_vpn();
+  SynthesisConfig config;
+  config.total_flows = 4000;
+  config.seed = 1;
+  const auto flows = synthesize_flows(profile, config);
+  std::map<net::ClassLabel, std::size_t> counts;
+  for (const auto& f : flows) ++counts[f.label];
+  EXPECT_EQ(counts.size(), 7u);
+  // Voip (ratio 128/185) should dominate; Web (1/185) should be smallest.
+  EXPECT_GT(counts[5], counts[0]);
+  EXPECT_GT(counts[5], 2000u);
+  EXPECT_LT(counts[6], 100u);
+  EXPECT_GE(counts[6], 1u);  // rare classes never drop to zero
+}
+
+TEST(Synthesizer, Deterministic) {
+  const auto profile = DatasetProfile::iscx_vpn();
+  SynthesisConfig config;
+  config.total_flows = 100;
+  const auto a = synthesize_flows(profile, config);
+  const auto b = synthesize_flows(profile, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].label, b[i].label);
+    ASSERT_EQ(a[i].features.size(), b[i].features.size());
+    EXPECT_EQ(a[i].features[0].length, b[i].features[0].length);
+  }
+}
+
+TEST(Synthesizer, FlowShapesSane) {
+  const auto profile = DatasetProfile::ustc_tfc();
+  SynthesisConfig config;
+  config.total_flows = 500;
+  config.max_pkts_per_flow = 64;
+  const auto flows = synthesize_flows(profile, config);
+  for (const auto& f : flows) {
+    ASSERT_GE(f.features.size(), 4u);
+    ASSERT_LE(f.features.size(), 64u);
+    ASSERT_EQ(f.features.size(), f.gaps.size());
+    EXPECT_EQ(f.gaps[0], 0u);  // first packet has no predecessor
+    for (const auto& pf : f.features) {
+      EXPECT_GE(pf.length, 40);
+      EXPECT_LE(pf.length, 1500);
+    }
+  }
+}
+
+TEST(Synthesizer, ClassesAreSequenceSeparable) {
+  // VoIP (periodic small) and File (bursty MTU) must differ strongly in mean
+  // length — the signal the models learn.
+  const auto profile = DatasetProfile::iscx_vpn();
+  SynthesisConfig config;
+  config.total_flows = 2000;
+  const auto flows = synthesize_flows(profile, config);
+  double voip_len = 0, file_len = 0;
+  std::size_t voip_n = 0, file_n = 0;
+  for (const auto& f : flows) {
+    for (const auto& pf : f.features) {
+      if (f.label == 5) {
+        voip_len += pf.length;
+        ++voip_n;
+      } else if (f.label == 2) {
+        file_len += pf.length;
+        ++file_n;
+      }
+    }
+  }
+  ASSERT_GT(voip_n, 0u);
+  ASSERT_GT(file_n, 0u);
+  EXPECT_LT(voip_len / voip_n, 300.0);
+  EXPECT_GT(file_len / file_n, 800.0);
+}
+
+TEST(PacketSamples, WindowShapes) {
+  const auto profile = DatasetProfile::iscx_vpn();
+  SynthesisConfig config;
+  config.total_flows = 50;
+  const auto flows = synthesize_flows(profile, config);
+  const auto samples = make_packet_samples(flows, 9, 2, 5);
+  ASSERT_FALSE(samples.empty());
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.tokens.size(), 9u);
+    EXPECT_GE(s.label, 0);
+    EXPECT_LT(s.label, 7);
+  }
+  // Cap: at most 5 windows per flow (the generator may emit a couple more
+  // flows than requested to keep rare classes represented).
+  EXPECT_LE(samples.size(), flows.size() * 5);
+}
+
+TEST(FlowDataset, DimensionsAndLabels) {
+  const auto profile = DatasetProfile::ustc_tfc();
+  SynthesisConfig config;
+  config.total_flows = 60;
+  const auto flows = synthesize_flows(profile, config);
+  const auto data = make_flow_dataset(flows, 8);
+  EXPECT_EQ(data.rows(), flows.size());
+  EXPECT_EQ(data.dim, nn::kFlowStatDim);
+}
+
+TEST(FlowMarker, NormalizedHistogram) {
+  FlowSample flow;
+  flow.label = 0;
+  for (int i = 0; i < 10; ++i) {
+    net::PacketFeature f;
+    f.length = 100;
+    f.ipd_code = 512;
+    flow.features.push_back(f);
+  }
+  const auto marker = flow_marker(flow, 32, 6, 16);
+  ASSERT_EQ(marker.size(), 48u);
+  float sum = 0;
+  for (float v : marker) sum += v;
+  EXPECT_NEAR(sum, 2.0f, 1e-5f);  // both histograms normalized to 1
+  EXPECT_NEAR(marker[100 >> 6], 1.0f, 1e-5f);
+}
+
+TEST(Trace, AssemblySortedAndLabeled) {
+  const auto profile = DatasetProfile::iscx_vpn();
+  SynthesisConfig config;
+  config.total_flows = 80;
+  const auto flows = synthesize_flows(profile, config);
+  TraceConfig trace_config;
+  trace_config.flow_arrival_rate_hz = 5000;
+  const auto trace = assemble_trace(flows, trace_config);
+  ASSERT_FALSE(trace.packets.empty());
+  EXPECT_EQ(trace.flows.size(), flows.size());
+  for (std::size_t i = 1; i < trace.packets.size(); ++i) {
+    ASSERT_GE(trace.packets[i].timestamp, trace.packets[i - 1].timestamp);
+  }
+  // Flow ids map back to labels consistently.
+  for (const auto& p : trace.packets) {
+    ASSERT_LT(p.flow_id, trace.flows.size());
+    EXPECT_EQ(p.label, flows[p.flow_id].label);
+  }
+  // Five-tuples are unique per flow.
+  EXPECT_NE(trace.flows[0].tuple, trace.flows[1].tuple);
+}
+
+TEST(Trace, RescaleCompressesTimeKeepsOrigTimestamps) {
+  const auto profile = DatasetProfile::iscx_vpn();
+  SynthesisConfig config;
+  config.total_flows = 40;
+  const auto flows = synthesize_flows(profile, config);
+  const auto trace = assemble_trace(flows, {});
+  const auto fast = rescale_trace(trace, 10.0);
+  ASSERT_EQ(fast.packets.size(), trace.packets.size());
+  EXPECT_NEAR(static_cast<double>(fast.duration()),
+              static_cast<double>(trace.duration()) / 10.0,
+              static_cast<double>(trace.duration()) * 0.01);
+  // Original timestamps preserved for feature fidelity (§7.4 footnote).
+  EXPECT_EQ(fast.packets[5].orig_timestamp, trace.packets[5].orig_timestamp);
+  // Throughput scales up ~10x.
+  EXPECT_NEAR(fast.offered_pps() / trace.offered_pps(), 10.0, 0.5);
+}
+
+}  // namespace
+}  // namespace fenix::trafficgen

@@ -1,0 +1,138 @@
+// Tests for decision-tree-to-TCAM compilation: compiled rules must be
+// semantically identical to the tree over the full integer domain.
+#include <gtest/gtest.h>
+
+#include "core/tree_compiler.hpp"
+#include "sim/random.hpp"
+#include "switchsim/chip.hpp"
+
+namespace fenix::core {
+namespace {
+
+trees::Dataset integer_grid_data(std::uint64_t seed) {
+  // Two 6-bit integer features; 4 classes by learned thresholds.
+  sim::RandomStream rng(seed);
+  trees::Dataset data;
+  data.dim = 2;
+  for (int i = 0; i < 1200; ++i) {
+    const auto a = static_cast<float>(rng.uniform_int(64));
+    const auto b = static_cast<float>(rng.uniform_int(64));
+    const std::int16_t label =
+        static_cast<std::int16_t>((a > 20 ? 1 : 0) + (b > 40 ? 2 : 0));
+    const float row[2] = {a, b};
+    data.add_row(row, label);
+  }
+  return data;
+}
+
+TEST(PackKey, ConcatenatesMsbFirst) {
+  FeatureLayout layout;
+  layout.widths = {8, 4};
+  EXPECT_EQ(pack_key(layout, {0xAB, 0x5}), 0xAB5u);
+  EXPECT_EQ(layout.total_bits(), 12u);
+}
+
+TEST(PackKey, MasksOversizedValues) {
+  FeatureLayout layout;
+  layout.widths = {4, 4};
+  EXPECT_EQ(pack_key(layout, {0xFF, 0x1}), 0xF1u);
+}
+
+class TreeCompilerEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TreeCompilerEquivalence, CompiledRulesMatchTreeExhaustively) {
+  const unsigned depth = GetParam();
+  const auto data = integer_grid_data(depth);
+  trees::DecisionTree tree;
+  trees::TreeConfig config;
+  config.max_depth = depth;
+  config.seed = depth;
+  tree.fit(data, 4, config);
+
+  FeatureLayout layout;
+  layout.widths = {6, 6};
+  const auto rules = compile_tree(tree, layout);
+  ASSERT_FALSE(rules.empty());
+  EXPECT_EQ(rules.size(), count_tree_entries(tree, layout));
+
+  // Exhaustive equivalence over the full 12-bit domain.
+  for (std::uint64_t a = 0; a < 64; ++a) {
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      const float row[2] = {static_cast<float>(a), static_cast<float>(b)};
+      const std::int16_t want = tree.predict(row);
+      const std::uint64_t key = pack_key(layout, {a, b});
+      std::int16_t got = -1;
+      int hits = 0;
+      for (const CompiledRule& rule : rules) {
+        if ((key & rule.mask) == rule.value) {
+          if (hits == 0) got = rule.leaf_class;
+          ++hits;
+        }
+      }
+      ASSERT_EQ(hits, 1) << "a=" << a << " b=" << b << " (rules must partition)";
+      EXPECT_EQ(got, want) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TreeCompilerEquivalence,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(TreeCompiler, InstallAndLookup) {
+  const auto data = integer_grid_data(7);
+  trees::DecisionTree tree;
+  trees::TreeConfig config;
+  config.max_depth = 4;
+  tree.fit(data, 4, config);
+  FeatureLayout layout;
+  layout.widths = {6, 6};
+  const auto rules = compile_tree(tree, layout);
+
+  switchsim::ResourceLedger ledger(switchsim::ChipProfile::tofino2());
+  switchsim::TernaryMatchTable table(ledger, "tree", 0, rules.size(), 12, 8);
+  EXPECT_EQ(install_rules(rules, table), rules.size());
+
+  sim::RandomStream rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng.uniform_int(64);
+    const std::uint64_t b = rng.uniform_int(64);
+    const float row[2] = {static_cast<float>(a), static_cast<float>(b)};
+    const auto hit = table.lookup(pack_key(layout, {a, b}));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(static_cast<std::int16_t>(hit->action_data), tree.predict(row));
+  }
+}
+
+TEST(TreeCompiler, InstallStopsAtCapacity) {
+  const auto data = integer_grid_data(8);
+  trees::DecisionTree tree;
+  trees::TreeConfig config;
+  config.max_depth = 6;
+  tree.fit(data, 4, config);
+  FeatureLayout layout;
+  layout.widths = {6, 6};
+  const auto rules = compile_tree(tree, layout);
+  ASSERT_GT(rules.size(), 2u);
+
+  switchsim::ResourceLedger ledger(switchsim::ChipProfile::tofino2());
+  switchsim::TernaryMatchTable table(ledger, "tiny", 0, 2, 12, 8);
+  EXPECT_EQ(install_rules(rules, table), 2u);
+}
+
+TEST(TreeCompiler, SingleLeafTreeIsMatchAll) {
+  trees::Dataset data;
+  data.dim = 1;
+  const float row[1] = {1.0f};
+  data.add_row(row, 2);
+  trees::DecisionTree tree;
+  tree.fit(data, 3, {});
+  FeatureLayout layout;
+  layout.widths = {8};
+  const auto rules = compile_tree(tree, layout);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].mask, 0u);
+  EXPECT_EQ(rules[0].leaf_class, 2);
+}
+
+}  // namespace
+}  // namespace fenix::core

@@ -1,0 +1,223 @@
+// Tests for the tree-model library: CART trees, random forests, and
+// gradient boosting.
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+#include "trees/decision_tree.hpp"
+#include "trees/gradient_boost.hpp"
+
+namespace fenix::trees {
+namespace {
+
+Dataset threshold_data(std::size_t n, std::uint64_t seed) {
+  // Label = 1 iff x0 > 5; x1 is noise.
+  sim::RandomStream rng(seed);
+  Dataset data;
+  data.dim = 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x0 = static_cast<float>(rng.uniform(0, 10));
+    const float x1 = static_cast<float>(rng.uniform(0, 10));
+    const float row[2] = {x0, x1};
+    data.add_row(row, x0 > 5.0f ? 1 : 0);
+  }
+  return data;
+}
+
+Dataset quadrant_data(std::size_t n, std::uint64_t seed, double label_noise = 0.0) {
+  // 4 classes by quadrant of (x0, x1) around (5, 5).
+  sim::RandomStream rng(seed);
+  Dataset data;
+  data.dim = 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x0 = static_cast<float>(rng.uniform(0, 10));
+    const float x1 = static_cast<float>(rng.uniform(0, 10));
+    std::int16_t label = static_cast<std::int16_t>((x0 > 5 ? 1 : 0) + (x1 > 5 ? 2 : 0));
+    if (label_noise > 0 && rng.bernoulli(label_noise)) {
+      label = static_cast<std::int16_t>(rng.uniform_int(4));
+    }
+    const float row[2] = {x0, x1};
+    data.add_row(row, label);
+  }
+  return data;
+}
+
+double accuracy(const DecisionTree& tree, const Dataset& data) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    if (tree.predict(data.row(i)) == data.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.rows());
+}
+
+TEST(DecisionTree, LearnsSingleThreshold) {
+  const Dataset train = threshold_data(500, 1);
+  DecisionTree tree;
+  TreeConfig config;
+  config.max_depth = 3;
+  tree.fit(train, 2, config);
+  const Dataset test = threshold_data(200, 2);
+  EXPECT_GT(accuracy(tree, test), 0.97);
+  // The root split should be near 5 on feature 0.
+  EXPECT_EQ(tree.nodes()[0].feature, 0);
+  EXPECT_NEAR(tree.nodes()[0].threshold, 5.0f, 0.3f);
+}
+
+TEST(DecisionTree, LearnsQuadrants) {
+  const Dataset train = quadrant_data(800, 3);
+  DecisionTree tree;
+  TreeConfig config;
+  config.max_depth = 4;
+  tree.fit(train, 4, config);
+  EXPECT_GT(accuracy(tree, quadrant_data(300, 4)), 0.95);
+}
+
+TEST(DecisionTree, RespectsDepthLimit) {
+  const Dataset train = quadrant_data(800, 5, 0.2);
+  DecisionTree tree;
+  TreeConfig config;
+  config.max_depth = 3;
+  tree.fit(train, 4, config);
+  EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(DecisionTree, RespectsLeafBudget) {
+  const Dataset train = quadrant_data(1000, 6, 0.3);
+  DecisionTree tree;
+  TreeConfig config;
+  config.max_depth = 20;
+  config.max_leaves = 16;
+  tree.fit(train, 4, config);
+  EXPECT_LE(tree.leaf_count(), 16u);
+}
+
+TEST(DecisionTree, PureNodeStopsSplitting) {
+  Dataset data;
+  data.dim = 1;
+  for (int i = 0; i < 50; ++i) {
+    const float row[1] = {static_cast<float>(i)};
+    data.add_row(row, 0);  // all one class
+  }
+  DecisionTree tree;
+  tree.fit(data, 2, {});
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_EQ(tree.predict(data.row(0)), 0);
+}
+
+TEST(DecisionTree, EmptyDatasetSafe) {
+  Dataset data;
+  data.dim = 2;
+  DecisionTree tree;
+  tree.fit(data, 3, {});
+  const float row[2] = {1, 2};
+  EXPECT_GE(tree.predict(row), 0);
+}
+
+TEST(DecisionTree, ProbaSumsToOne) {
+  const Dataset train = quadrant_data(500, 7, 0.1);
+  DecisionTree tree;
+  TreeConfig config;
+  config.max_depth = 4;
+  tree.fit(train, 4, config);
+  const auto& proba = tree.predict_proba(train.row(0));
+  float sum = 0;
+  for (float p : proba) sum += p;
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(RandomForest, BeatsSingleShallowTreeOnNoisyData) {
+  const Dataset train = quadrant_data(1500, 8, 0.25);
+  const Dataset test = quadrant_data(500, 9);
+
+  DecisionTree single;
+  TreeConfig config;
+  config.max_depth = 5;
+  config.max_features = 1;
+  config.seed = 3;
+  single.fit(train, 4, config);
+
+  RandomForest forest;
+  forest.fit(train, 4, 15, config);
+
+  std::size_t forest_correct = 0, single_correct = 0;
+  for (std::size_t i = 0; i < test.rows(); ++i) {
+    if (forest.predict(test.row(i)) == test.y[i]) ++forest_correct;
+    if (single.predict(test.row(i)) == test.y[i]) ++single_correct;
+  }
+  EXPECT_GE(forest_correct, single_correct);
+  EXPECT_GT(static_cast<double>(forest_correct) / test.rows(), 0.85);
+}
+
+TEST(RandomForest, TreeCountHonored) {
+  const Dataset train = threshold_data(200, 10);
+  RandomForest forest;
+  forest.fit(train, 2, 7, {});
+  EXPECT_EQ(forest.trees().size(), 7u);
+}
+
+TEST(RegressionTree, FitsPiecewiseConstant) {
+  // Gradient boosting internals: tree over (g, h) with h = 1 fits -g means.
+  Dataset data;
+  data.dim = 1;
+  std::vector<float> g, h;
+  for (int i = 0; i < 100; ++i) {
+    const float row[1] = {static_cast<float>(i)};
+    data.add_row(row, 0);
+    g.push_back(i < 50 ? -2.0f : 4.0f);
+    h.push_back(1.0f);
+  }
+  RegressionTree tree;
+  BoostConfig config;
+  config.max_depth = 2;
+  config.lambda = 0.0f;
+  tree.fit(data, g, h, config);
+  const float left[1] = {10.0f};
+  const float right[1] = {90.0f};
+  EXPECT_NEAR(tree.predict(left), 2.0f, 0.2f);   // -mean(g) on the left
+  EXPECT_NEAR(tree.predict(right), -4.0f, 0.4f);
+}
+
+TEST(GradientBoosted, LearnsQuadrants) {
+  const Dataset train = quadrant_data(800, 11);
+  GradientBoosted model;
+  BoostConfig config;
+  config.rounds = 10;
+  config.max_depth = 3;
+  model.fit(train, 4, config);
+  const Dataset test = quadrant_data(300, 12);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.rows(); ++i) {
+    if (model.predict(test.row(i)) == test.y[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.rows(), 0.95);
+  EXPECT_EQ(model.tree_count(), 40u);  // rounds * classes
+}
+
+TEST(GradientBoosted, MoreRoundsHelpOnHardData) {
+  const Dataset train = quadrant_data(1200, 13, 0.15);
+  const Dataset test = quadrant_data(400, 14);
+  auto eval = [&](std::size_t rounds) {
+    GradientBoosted model;
+    BoostConfig config;
+    config.rounds = rounds;
+    config.max_depth = 2;
+    model.fit(train, 4, config);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.rows(); ++i) {
+      if (model.predict(test.row(i)) == test.y[i]) ++correct;
+    }
+    return static_cast<double>(correct) / test.rows();
+  };
+  EXPECT_GE(eval(12) + 0.02, eval(2));  // non-degrading with more rounds
+}
+
+TEST(GradientBoosted, EmptyDatasetSafe) {
+  Dataset data;
+  data.dim = 2;
+  GradientBoosted model;
+  model.fit(data, 3, {});
+  const float row[2] = {1, 2};
+  EXPECT_GE(model.predict(row), 0);
+}
+
+}  // namespace
+}  // namespace fenix::trees

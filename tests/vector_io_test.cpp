@@ -1,0 +1,91 @@
+// Tests for the Vector I/O Processor: identifier/feature split, FIFO-order
+// pairing, queue bounds, and reconfiguration reset.
+#include <gtest/gtest.h>
+
+#include "core/vector_io.hpp"
+
+namespace fenix::core {
+namespace {
+
+net::FeatureVector packet_for_flow(std::uint32_t flow_id, std::uint16_t port) {
+  net::FeatureVector vec;
+  vec.flow_id = flow_id;
+  vec.tuple.src_ip = 0x0a000001;
+  vec.tuple.src_port = port;
+  vec.tuple.dst_port = 443;
+  net::PacketFeature f;
+  f.length = static_cast<std::uint16_t>(100 + flow_id);
+  vec.sequence.assign(3, f);
+  return vec;
+}
+
+TEST(VectorIo, SplitsIdentifierFromFeatures) {
+  VectorIoProcessor vio(8);
+  const auto parsed = vio.ingest(packet_for_flow(7, 1000));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->features.size(), 3u);
+  EXPECT_EQ(parsed->features[0].length, 107);
+  EXPECT_EQ(vio.outstanding(), 1u);
+}
+
+TEST(VectorIo, PairsInFifoOrder) {
+  VectorIoProcessor vio(8);
+  vio.ingest(packet_for_flow(1, 1001));
+  vio.ingest(packet_for_flow(2, 1002));
+  vio.ingest(packet_for_flow(3, 1003));
+
+  // Results emerge in compute order = ingest order; identity comes purely
+  // from the queue, not from the result payload.
+  const auto r1 = vio.pair(10, 100, 200);
+  const auto r2 = vio.pair(20, 300, 400);
+  const auto r3 = vio.pair(30, 500, 600);
+  ASSERT_TRUE(r1 && r2 && r3);
+  EXPECT_EQ(r1->flow_id, 1u);
+  EXPECT_EQ(r1->predicted_class, 10);
+  EXPECT_EQ(r1->tuple.src_port, 1001);
+  EXPECT_EQ(r2->flow_id, 2u);
+  EXPECT_EQ(r3->flow_id, 3u);
+  EXPECT_EQ(r3->inference_finished, 600u);
+  EXPECT_EQ(vio.outstanding(), 0u);
+}
+
+TEST(VectorIo, FullIdentifierQueueDropsPacket) {
+  VectorIoProcessor vio(2);
+  EXPECT_TRUE(vio.ingest(packet_for_flow(1, 1)).has_value());
+  EXPECT_TRUE(vio.ingest(packet_for_flow(2, 2)).has_value());
+  EXPECT_FALSE(vio.ingest(packet_for_flow(3, 3)).has_value());
+  EXPECT_EQ(vio.stats().queue_drops, 1u);
+  EXPECT_EQ(vio.stats().ingested, 2u);
+}
+
+TEST(VectorIo, OrphanResultRejected) {
+  VectorIoProcessor vio(4);
+  EXPECT_FALSE(vio.pair(1, 0, 0).has_value());
+  EXPECT_EQ(vio.stats().orphan_results, 1u);
+}
+
+TEST(VectorIo, ResetAbandonsOutstanding) {
+  VectorIoProcessor vio(4);
+  vio.ingest(packet_for_flow(1, 1));
+  vio.ingest(packet_for_flow(2, 2));
+  vio.reset();
+  EXPECT_EQ(vio.outstanding(), 0u);
+  EXPECT_FALSE(vio.pair(5, 0, 0).has_value());
+}
+
+TEST(VectorIo, InterleavedIngestAndPair) {
+  VectorIoProcessor vio(4);
+  vio.ingest(packet_for_flow(1, 1));
+  const auto r1 = vio.pair(11, 0, 1);
+  vio.ingest(packet_for_flow(2, 2));
+  vio.ingest(packet_for_flow(3, 3));
+  const auto r2 = vio.pair(22, 2, 3);
+  const auto r3 = vio.pair(33, 4, 5);
+  ASSERT_TRUE(r1 && r2 && r3);
+  EXPECT_EQ(r1->flow_id, 1u);
+  EXPECT_EQ(r2->flow_id, 2u);
+  EXPECT_EQ(r3->flow_id, 3u);
+}
+
+}  // namespace
+}  // namespace fenix::core

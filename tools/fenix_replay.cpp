@@ -1,0 +1,194 @@
+// fenix_replay — command-line driver for the FENIX simulation.
+//
+// Subcommands:
+//   synth <dataset> <flows> <out.trace> [seed]    synthesize + save a trace
+//   info  <trace>                                 print trace statistics
+//   train <dataset> <flows> <out.model> [cnn|rnn] train + save a float model
+//   run   <trace> <model> [loss_rate]             replay through FENIX
+//
+// Datasets: "vpn" (ISCXVPN2016 profile) or "tfc" (USTC-TFC profile).
+// Traces use the net::trace_io format; models the nn::serialize format.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/fenix_system.hpp"
+#include "net/trace_io.hpp"
+#include "nn/quantize.hpp"
+#include "nn/serialize.hpp"
+#include "telemetry/table.hpp"
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+namespace {
+
+using namespace fenix;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  fenix_replay synth <vpn|tfc> <flows> <out.trace> [seed]\n"
+         "  fenix_replay info  <trace>\n"
+         "  fenix_replay train <vpn|tfc> <flows> <out.model> [cnn|rnn] [seed]\n"
+         "  fenix_replay run   <trace> <model> [pcb_loss_rate]\n";
+  return 2;
+}
+
+trafficgen::DatasetProfile profile_by_name(const std::string& name) {
+  if (name == "vpn") return trafficgen::DatasetProfile::iscx_vpn();
+  if (name == "tfc") return trafficgen::DatasetProfile::ustc_tfc();
+  throw std::runtime_error("unknown dataset: " + name + " (use vpn or tfc)");
+}
+
+int cmd_synth(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto profile = profile_by_name(argv[0]);
+  trafficgen::SynthesisConfig synth;
+  synth.total_flows = static_cast<std::size_t>(std::atol(argv[1]));
+  synth.min_flows_per_class = 20;
+  if (argc > 3) synth.seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  const auto flows = trafficgen::synthesize_flows(profile, synth);
+  trafficgen::TraceConfig trace_config;
+  trace_config.flow_arrival_rate_hz =
+      std::max(1.0, static_cast<double>(flows.size()) / 2.0);
+  const auto trace = trafficgen::assemble_trace(flows, trace_config);
+  net::save_trace(argv[2], trace);
+  std::cout << "wrote " << trace.packets.size() << " packets / " << flows.size()
+            << " flows (" << profile.name << ") to " << argv[2] << "\n";
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto trace = net::load_trace(argv[0]);
+  std::cout << "packets:   " << trace.packets.size() << "\n"
+            << "flows:     " << trace.flows.size() << "\n"
+            << "duration:  " << sim::to_seconds(trace.duration()) << " s\n"
+            << "mean rate: " << trace.offered_bps() / 1e9 << " Gbps, "
+            << trace.offered_pps() / 1e6 << " Mpps\n";
+  std::size_t classes = 0;
+  for (const auto& f : trace.flows) {
+    classes = std::max<std::size_t>(classes, static_cast<std::size_t>(f.label) + 1);
+  }
+  std::cout << "classes:   " << classes << "\n";
+  return 0;
+}
+
+int cmd_train(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto profile = profile_by_name(argv[0]);
+  const bool use_rnn = argc > 3 && std::strcmp(argv[3], "rnn") == 0;
+  trafficgen::SynthesisConfig synth;
+  synth.total_flows = static_cast<std::size_t>(std::atol(argv[1]));
+  synth.min_flows_per_class = 40;
+  if (argc > 4) synth.seed = static_cast<std::uint64_t>(std::atoll(argv[4]));
+  const auto flows = trafficgen::synthesize_flows(profile, synth);
+  const auto samples = trafficgen::make_packet_samples(flows, 9);
+  nn::TrainOptions opts;
+  opts.epochs = 4;
+  opts.lr = 0.01f;
+  opts.cap_per_class = 1500;
+  std::cout << "training " << (use_rnn ? "RNN" : "CNN") << " on "
+            << samples.size() << " windows...\n";
+  if (use_rnn) {
+    nn::RnnConfig config;
+    config.units = 64;
+    config.num_classes = profile.num_classes();
+    nn::RnnClassifier model(config, synth.seed);
+    const auto report = model.fit(samples, opts);
+    std::cout << "final loss: " << report.epoch_loss.back() << "\n";
+    nn::save_rnn(std::string(argv[2]), model);
+  } else {
+    nn::CnnConfig config;
+    config.conv_channels = {16, 32, 64};
+    config.fc_dims = {128, 64};
+    config.num_classes = profile.num_classes();
+    nn::CnnClassifier model(config, synth.seed);
+    const auto report = model.fit(samples, opts);
+    std::cout << "final loss: " << report.epoch_loss.back() << "\n";
+    nn::save_cnn(std::string(argv[2]), model);
+  }
+  std::cout << "model written to " << argv[2] << "\n";
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const auto trace = net::load_trace(argv[0]);
+  std::size_t classes = 0;
+  for (const auto& f : trace.flows) {
+    classes = std::max<std::size_t>(classes, static_cast<std::size_t>(f.label) + 1);
+  }
+  // Calibration windows from the trace itself.
+  std::vector<nn::SeqSample> calibration;
+  {
+    trafficgen::FlowSample synth_flow;
+    for (const auto& p : trace.packets) {
+      net::PacketFeature f;
+      f.length = p.wire_length;
+      synth_flow.features.push_back(f);
+      if (synth_flow.features.size() >= 512) break;
+    }
+    for (std::size_t i = 9; i < synth_flow.features.size(); i += 9) {
+      nn::SeqSample s;
+      s.tokens = nn::tokenize(
+          std::span<const net::PacketFeature>(synth_flow.features.data() + i - 9, 9),
+          9);
+      s.label = 0;
+      calibration.push_back(std::move(s));
+    }
+  }
+
+  core::FenixSystemConfig config;
+  if (argc > 2) config.pcb_loss_rate = std::atof(argv[2]);
+
+  // Try CNN first, fall back to RNN.
+  std::unique_ptr<nn::CnnClassifier> cnn;
+  std::unique_ptr<nn::RnnClassifier> rnn;
+  try {
+    cnn = nn::load_cnn(std::string(argv[1]));
+  } catch (const nn::SerializeError&) {
+    rnn = nn::load_rnn(std::string(argv[1]));
+  }
+  std::unique_ptr<nn::QuantizedCnn> qcnn;
+  std::unique_ptr<nn::QuantizedRnn> qrnn;
+  if (cnn) qcnn = std::make_unique<nn::QuantizedCnn>(*cnn, calibration);
+  if (rnn) qrnn = std::make_unique<nn::QuantizedRnn>(*rnn, calibration);
+
+  core::FenixSystem system(config, qcnn.get(), qrnn.get());
+  std::cout << "replaying " << trace.packets.size() << " packets...\n";
+  const auto report = system.run(trace, classes);
+
+  telemetry::TextTable table({"Metric", "Value"});
+  table.add_row({"packets", std::to_string(report.packets)});
+  table.add_row({"mirrors", std::to_string(report.mirrors)});
+  table.add_row({"verdicts applied", std::to_string(report.results_applied)});
+  table.add_row({"channel losses", std::to_string(report.channel_losses)});
+  table.add_row({"flow macro-F1",
+                 telemetry::TextTable::num(report.flow_confusion.macro_f1())});
+  table.add_row({"packet accuracy",
+                 telemetry::TextTable::num(report.packet_confusion.accuracy())});
+  table.add_row({"e2e mean (us)",
+                 telemetry::TextTable::num(report.end_to_end.mean_us(), 1)});
+  table.add_row({"e2e p99 (us)",
+                 telemetry::TextTable::num(report.end_to_end.p99_us(), 1)});
+  std::cout << table.render();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "synth") return cmd_synth(argc - 2, argv + 2);
+    if (command == "info") return cmd_info(argc - 2, argv + 2);
+    if (command == "train") return cmd_train(argc - 2, argv + 2);
+    if (command == "run") return cmd_run(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
