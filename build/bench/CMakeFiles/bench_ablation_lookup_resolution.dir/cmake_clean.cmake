@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lookup_resolution.dir/bench_ablation_lookup_resolution.cpp.o"
+  "CMakeFiles/bench_ablation_lookup_resolution.dir/bench_ablation_lookup_resolution.cpp.o.d"
+  "bench_ablation_lookup_resolution"
+  "bench_ablation_lookup_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lookup_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_fairness.dir/bench_appendix_fairness.cpp.o"
+  "CMakeFiles/bench_appendix_fairness.dir/bench_appendix_fairness.cpp.o.d"
+  "bench_appendix_fairness"
+  "bench_appendix_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

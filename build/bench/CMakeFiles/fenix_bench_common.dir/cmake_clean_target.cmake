@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libfenix_bench_common.a"
+)

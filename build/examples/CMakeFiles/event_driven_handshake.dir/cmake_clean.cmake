@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_driven_handshake.dir/event_driven_handshake.cpp.o"
+  "CMakeFiles/event_driven_handshake.dir/event_driven_handshake.cpp.o.d"
+  "event_driven_handshake"
+  "event_driven_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_driven_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for event_driven_handshake.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_hotswap.dir/model_hotswap.cpp.o"
+  "CMakeFiles/model_hotswap.dir/model_hotswap.cpp.o.d"
+  "model_hotswap"
+  "model_hotswap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_hotswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fenix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fenix_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/fenix_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/fenix_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpgasim/CMakeFiles/fenix_fpgasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/fenix_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fenix_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fenix_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/fenix_trees.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpn_classification.dir/vpn_classification.cpp.o"
+  "CMakeFiles/vpn_classification.dir/vpn_classification.cpp.o.d"
+  "vpn_classification"
+  "vpn_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpn_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

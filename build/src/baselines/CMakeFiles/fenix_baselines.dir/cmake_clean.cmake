@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenix_baselines.dir/bos.cpp.o"
+  "CMakeFiles/fenix_baselines.dir/bos.cpp.o.d"
+  "CMakeFiles/fenix_baselines.dir/flowlens.cpp.o"
+  "CMakeFiles/fenix_baselines.dir/flowlens.cpp.o.d"
+  "CMakeFiles/fenix_baselines.dir/leo.cpp.o"
+  "CMakeFiles/fenix_baselines.dir/leo.cpp.o.d"
+  "CMakeFiles/fenix_baselines.dir/n3ic.cpp.o"
+  "CMakeFiles/fenix_baselines.dir/n3ic.cpp.o.d"
+  "CMakeFiles/fenix_baselines.dir/netbeacon.cpp.o"
+  "CMakeFiles/fenix_baselines.dir/netbeacon.cpp.o.d"
+  "libfenix_baselines.a"
+  "libfenix_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenix_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buffer_manager.cpp" "src/core/CMakeFiles/fenix_core.dir/buffer_manager.cpp.o" "gcc" "src/core/CMakeFiles/fenix_core.dir/buffer_manager.cpp.o.d"
+  "/root/repo/src/core/data_engine.cpp" "src/core/CMakeFiles/fenix_core.dir/data_engine.cpp.o" "gcc" "src/core/CMakeFiles/fenix_core.dir/data_engine.cpp.o.d"
+  "/root/repo/src/core/fenix_system.cpp" "src/core/CMakeFiles/fenix_core.dir/fenix_system.cpp.o" "gcc" "src/core/CMakeFiles/fenix_core.dir/fenix_system.cpp.o.d"
+  "/root/repo/src/core/flow_tracker.cpp" "src/core/CMakeFiles/fenix_core.dir/flow_tracker.cpp.o" "gcc" "src/core/CMakeFiles/fenix_core.dir/flow_tracker.cpp.o.d"
+  "/root/repo/src/core/model_engine.cpp" "src/core/CMakeFiles/fenix_core.dir/model_engine.cpp.o" "gcc" "src/core/CMakeFiles/fenix_core.dir/model_engine.cpp.o.d"
+  "/root/repo/src/core/model_pool.cpp" "src/core/CMakeFiles/fenix_core.dir/model_pool.cpp.o" "gcc" "src/core/CMakeFiles/fenix_core.dir/model_pool.cpp.o.d"
+  "/root/repo/src/core/probability_model.cpp" "src/core/CMakeFiles/fenix_core.dir/probability_model.cpp.o" "gcc" "src/core/CMakeFiles/fenix_core.dir/probability_model.cpp.o.d"
+  "/root/repo/src/core/token_bucket.cpp" "src/core/CMakeFiles/fenix_core.dir/token_bucket.cpp.o" "gcc" "src/core/CMakeFiles/fenix_core.dir/token_bucket.cpp.o.d"
+  "/root/repo/src/core/tree_compiler.cpp" "src/core/CMakeFiles/fenix_core.dir/tree_compiler.cpp.o" "gcc" "src/core/CMakeFiles/fenix_core.dir/tree_compiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/fenix_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/fenix_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpgasim/CMakeFiles/fenix_fpgasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fenix_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/fenix_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/fenix_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

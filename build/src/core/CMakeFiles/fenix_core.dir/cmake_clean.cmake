@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenix_core.dir/buffer_manager.cpp.o"
+  "CMakeFiles/fenix_core.dir/buffer_manager.cpp.o.d"
+  "CMakeFiles/fenix_core.dir/data_engine.cpp.o"
+  "CMakeFiles/fenix_core.dir/data_engine.cpp.o.d"
+  "CMakeFiles/fenix_core.dir/fenix_system.cpp.o"
+  "CMakeFiles/fenix_core.dir/fenix_system.cpp.o.d"
+  "CMakeFiles/fenix_core.dir/flow_tracker.cpp.o"
+  "CMakeFiles/fenix_core.dir/flow_tracker.cpp.o.d"
+  "CMakeFiles/fenix_core.dir/model_engine.cpp.o"
+  "CMakeFiles/fenix_core.dir/model_engine.cpp.o.d"
+  "CMakeFiles/fenix_core.dir/model_pool.cpp.o"
+  "CMakeFiles/fenix_core.dir/model_pool.cpp.o.d"
+  "CMakeFiles/fenix_core.dir/probability_model.cpp.o"
+  "CMakeFiles/fenix_core.dir/probability_model.cpp.o.d"
+  "CMakeFiles/fenix_core.dir/token_bucket.cpp.o"
+  "CMakeFiles/fenix_core.dir/token_bucket.cpp.o.d"
+  "CMakeFiles/fenix_core.dir/tree_compiler.cpp.o"
+  "CMakeFiles/fenix_core.dir/tree_compiler.cpp.o.d"
+  "libfenix_core.a"
+  "libfenix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpgasim/device.cpp" "src/fpgasim/CMakeFiles/fenix_fpgasim.dir/device.cpp.o" "gcc" "src/fpgasim/CMakeFiles/fenix_fpgasim.dir/device.cpp.o.d"
+  "/root/repo/src/fpgasim/resource_model.cpp" "src/fpgasim/CMakeFiles/fenix_fpgasim.dir/resource_model.cpp.o" "gcc" "src/fpgasim/CMakeFiles/fenix_fpgasim.dir/resource_model.cpp.o.d"
+  "/root/repo/src/fpgasim/systolic.cpp" "src/fpgasim/CMakeFiles/fenix_fpgasim.dir/systolic.cpp.o" "gcc" "src/fpgasim/CMakeFiles/fenix_fpgasim.dir/systolic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

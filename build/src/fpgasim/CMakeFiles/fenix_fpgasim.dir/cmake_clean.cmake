@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenix_fpgasim.dir/device.cpp.o"
+  "CMakeFiles/fenix_fpgasim.dir/device.cpp.o.d"
+  "CMakeFiles/fenix_fpgasim.dir/resource_model.cpp.o"
+  "CMakeFiles/fenix_fpgasim.dir/resource_model.cpp.o.d"
+  "CMakeFiles/fenix_fpgasim.dir/systolic.cpp.o"
+  "CMakeFiles/fenix_fpgasim.dir/systolic.cpp.o.d"
+  "libfenix_fpgasim.a"
+  "libfenix_fpgasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenix_fpgasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfenix_fpgasim.a"
+)

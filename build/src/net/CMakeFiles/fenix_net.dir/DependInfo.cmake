@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/feature.cpp" "src/net/CMakeFiles/fenix_net.dir/feature.cpp.o" "gcc" "src/net/CMakeFiles/fenix_net.dir/feature.cpp.o.d"
+  "/root/repo/src/net/five_tuple.cpp" "src/net/CMakeFiles/fenix_net.dir/five_tuple.cpp.o" "gcc" "src/net/CMakeFiles/fenix_net.dir/five_tuple.cpp.o.d"
+  "/root/repo/src/net/hash.cpp" "src/net/CMakeFiles/fenix_net.dir/hash.cpp.o" "gcc" "src/net/CMakeFiles/fenix_net.dir/hash.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/net/CMakeFiles/fenix_net.dir/headers.cpp.o" "gcc" "src/net/CMakeFiles/fenix_net.dir/headers.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/fenix_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/fenix_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/trace_io.cpp" "src/net/CMakeFiles/fenix_net.dir/trace_io.cpp.o" "gcc" "src/net/CMakeFiles/fenix_net.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

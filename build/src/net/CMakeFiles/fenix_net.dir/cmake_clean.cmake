@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenix_net.dir/feature.cpp.o"
+  "CMakeFiles/fenix_net.dir/feature.cpp.o.d"
+  "CMakeFiles/fenix_net.dir/five_tuple.cpp.o"
+  "CMakeFiles/fenix_net.dir/five_tuple.cpp.o.d"
+  "CMakeFiles/fenix_net.dir/hash.cpp.o"
+  "CMakeFiles/fenix_net.dir/hash.cpp.o.d"
+  "CMakeFiles/fenix_net.dir/headers.cpp.o"
+  "CMakeFiles/fenix_net.dir/headers.cpp.o.d"
+  "CMakeFiles/fenix_net.dir/packet.cpp.o"
+  "CMakeFiles/fenix_net.dir/packet.cpp.o.d"
+  "CMakeFiles/fenix_net.dir/trace_io.cpp.o"
+  "CMakeFiles/fenix_net.dir/trace_io.cpp.o.d"
+  "libfenix_net.a"
+  "libfenix_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenix_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenix_nn.dir/binarize.cpp.o"
+  "CMakeFiles/fenix_nn.dir/binarize.cpp.o.d"
+  "CMakeFiles/fenix_nn.dir/featurizer.cpp.o"
+  "CMakeFiles/fenix_nn.dir/featurizer.cpp.o.d"
+  "CMakeFiles/fenix_nn.dir/layers.cpp.o"
+  "CMakeFiles/fenix_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/fenix_nn.dir/models.cpp.o"
+  "CMakeFiles/fenix_nn.dir/models.cpp.o.d"
+  "CMakeFiles/fenix_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/fenix_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/fenix_nn.dir/quantize.cpp.o"
+  "CMakeFiles/fenix_nn.dir/quantize.cpp.o.d"
+  "CMakeFiles/fenix_nn.dir/serialize.cpp.o"
+  "CMakeFiles/fenix_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/fenix_nn.dir/tensor.cpp.o"
+  "CMakeFiles/fenix_nn.dir/tensor.cpp.o.d"
+  "libfenix_nn.a"
+  "libfenix_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenix_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

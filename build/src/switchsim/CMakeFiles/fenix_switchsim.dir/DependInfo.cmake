@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchsim/chip.cpp" "src/switchsim/CMakeFiles/fenix_switchsim.dir/chip.cpp.o" "gcc" "src/switchsim/CMakeFiles/fenix_switchsim.dir/chip.cpp.o.d"
+  "/root/repo/src/switchsim/match_table.cpp" "src/switchsim/CMakeFiles/fenix_switchsim.dir/match_table.cpp.o" "gcc" "src/switchsim/CMakeFiles/fenix_switchsim.dir/match_table.cpp.o.d"
+  "/root/repo/src/switchsim/register_array.cpp" "src/switchsim/CMakeFiles/fenix_switchsim.dir/register_array.cpp.o" "gcc" "src/switchsim/CMakeFiles/fenix_switchsim.dir/register_array.cpp.o.d"
+  "/root/repo/src/switchsim/resources.cpp" "src/switchsim/CMakeFiles/fenix_switchsim.dir/resources.cpp.o" "gcc" "src/switchsim/CMakeFiles/fenix_switchsim.dir/resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/fenix_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenix_switchsim.dir/chip.cpp.o"
+  "CMakeFiles/fenix_switchsim.dir/chip.cpp.o.d"
+  "CMakeFiles/fenix_switchsim.dir/match_table.cpp.o"
+  "CMakeFiles/fenix_switchsim.dir/match_table.cpp.o.d"
+  "CMakeFiles/fenix_switchsim.dir/register_array.cpp.o"
+  "CMakeFiles/fenix_switchsim.dir/register_array.cpp.o.d"
+  "CMakeFiles/fenix_switchsim.dir/resources.cpp.o"
+  "CMakeFiles/fenix_switchsim.dir/resources.cpp.o.d"
+  "libfenix_switchsim.a"
+  "libfenix_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenix_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

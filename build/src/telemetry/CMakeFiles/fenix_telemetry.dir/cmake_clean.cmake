@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenix_telemetry.dir/latency.cpp.o"
+  "CMakeFiles/fenix_telemetry.dir/latency.cpp.o.d"
+  "CMakeFiles/fenix_telemetry.dir/metrics.cpp.o"
+  "CMakeFiles/fenix_telemetry.dir/metrics.cpp.o.d"
+  "CMakeFiles/fenix_telemetry.dir/table.cpp.o"
+  "CMakeFiles/fenix_telemetry.dir/table.cpp.o.d"
+  "libfenix_telemetry.a"
+  "libfenix_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenix_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

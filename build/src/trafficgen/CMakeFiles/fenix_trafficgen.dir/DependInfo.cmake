@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trafficgen/profiles.cpp" "src/trafficgen/CMakeFiles/fenix_trafficgen.dir/profiles.cpp.o" "gcc" "src/trafficgen/CMakeFiles/fenix_trafficgen.dir/profiles.cpp.o.d"
+  "/root/repo/src/trafficgen/synthesizer.cpp" "src/trafficgen/CMakeFiles/fenix_trafficgen.dir/synthesizer.cpp.o" "gcc" "src/trafficgen/CMakeFiles/fenix_trafficgen.dir/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/fenix_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fenix_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/fenix_trees.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

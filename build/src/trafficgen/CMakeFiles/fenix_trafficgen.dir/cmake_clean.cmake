@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenix_trafficgen.dir/profiles.cpp.o"
+  "CMakeFiles/fenix_trafficgen.dir/profiles.cpp.o.d"
+  "CMakeFiles/fenix_trafficgen.dir/synthesizer.cpp.o"
+  "CMakeFiles/fenix_trafficgen.dir/synthesizer.cpp.o.d"
+  "libfenix_trafficgen.a"
+  "libfenix_trafficgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenix_trafficgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenix_trees.dir/decision_tree.cpp.o"
+  "CMakeFiles/fenix_trees.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/fenix_trees.dir/gradient_boost.cpp.o"
+  "CMakeFiles/fenix_trees.dir/gradient_boost.cpp.o.d"
+  "libfenix_trees.a"
+  "libfenix_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenix_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

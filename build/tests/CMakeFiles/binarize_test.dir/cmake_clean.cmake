@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binarize_test.dir/binarize_test.cpp.o"
+  "CMakeFiles/binarize_test.dir/binarize_test.cpp.o.d"
+  "binarize_test"
+  "binarize_test.pdb"
+  "binarize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binarize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_manager_test.dir/buffer_manager_test.cpp.o"
+  "CMakeFiles/buffer_manager_test.dir/buffer_manager_test.cpp.o.d"
+  "buffer_manager_test"
+  "buffer_manager_test.pdb"
+  "buffer_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenix_system_test.dir/fenix_system_test.cpp.o"
+  "CMakeFiles/fenix_system_test.dir/fenix_system_test.cpp.o.d"
+  "fenix_system_test"
+  "fenix_system_test.pdb"
+  "fenix_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenix_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_tracker_test.dir/flow_tracker_test.cpp.o"
+  "CMakeFiles/flow_tracker_test.dir/flow_tracker_test.cpp.o.d"
+  "flow_tracker_test"
+  "flow_tracker_test.pdb"
+  "flow_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpgasim_test.dir/fpgasim_test.cpp.o"
+  "CMakeFiles/fpgasim_test.dir/fpgasim_test.cpp.o.d"
+  "fpgasim_test"
+  "fpgasim_test.pdb"
+  "fpgasim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpgasim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

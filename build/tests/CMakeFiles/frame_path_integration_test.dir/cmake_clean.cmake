@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_path_integration_test.dir/frame_path_integration_test.cpp.o"
+  "CMakeFiles/frame_path_integration_test.dir/frame_path_integration_test.cpp.o.d"
+  "frame_path_integration_test"
+  "frame_path_integration_test.pdb"
+  "frame_path_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_path_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_engine_test.dir/model_engine_test.cpp.o"
+  "CMakeFiles/model_engine_test.dir/model_engine_test.cpp.o.d"
+  "model_engine_test"
+  "model_engine_test.pdb"
+  "model_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_pool_test.dir/model_pool_test.cpp.o"
+  "CMakeFiles/model_pool_test.dir/model_pool_test.cpp.o.d"
+  "model_pool_test"
+  "model_pool_test.pdb"
+  "model_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

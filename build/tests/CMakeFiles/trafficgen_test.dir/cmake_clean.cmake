@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trafficgen_test.dir/trafficgen_test.cpp.o"
+  "CMakeFiles/trafficgen_test.dir/trafficgen_test.cpp.o.d"
+  "trafficgen_test"
+  "trafficgen_test.pdb"
+  "trafficgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trafficgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

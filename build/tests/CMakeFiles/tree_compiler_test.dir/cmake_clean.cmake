@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_compiler_test.dir/tree_compiler_test.cpp.o"
+  "CMakeFiles/tree_compiler_test.dir/tree_compiler_test.cpp.o.d"
+  "tree_compiler_test"
+  "tree_compiler_test.pdb"
+  "tree_compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build/tests/switchsim_test[1]_include.cmake")
+include("/root/repo/build/tests/fpgasim_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/quantize_test[1]_include.cmake")
+include("/root/repo/build/tests/binarize_test[1]_include.cmake")
+include("/root/repo/build/tests/trees_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/probability_model_test[1]_include.cmake")
+include("/root/repo/build/tests/token_bucket_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_tracker_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/data_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/model_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/trafficgen_test[1]_include.cmake")
+include("/root/repo/build/tests/fenix_system_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/vector_io_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/model_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/headers_test[1]_include.cmake")
+include("/root/repo/build/tests/frame_path_integration_test[1]_include.cmake")

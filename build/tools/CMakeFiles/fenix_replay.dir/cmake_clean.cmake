@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenix_replay.dir/fenix_replay.cpp.o"
+  "CMakeFiles/fenix_replay.dir/fenix_replay.cpp.o.d"
+  "fenix_replay"
+  "fenix_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenix_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
