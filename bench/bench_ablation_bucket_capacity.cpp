@@ -6,9 +6,11 @@
 // drops, and end-to-end latency.
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/fenix_system.hpp"
+#include "runtime/sweep_runner.hpp"
 #include "telemetry/table.hpp"
 
 int main() {
@@ -31,9 +33,14 @@ int main() {
 
   telemetry::TextTable table({"Bucket cap (tokens)", "Grants", "FIFO drops",
                               "Drop rate", "Flow macro-F1", "e2e p99 (us)"});
-  for (double cap : {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0}) {
+  // Each capacity point replays the same trace through its own FenixSystem:
+  // independent jobs, fanned across the SweepRunner pool.
+  const std::vector<double> caps{1.0, 4.0, 16.0, 64.0, 256.0, 1024.0};
+  const std::size_t num_caps = scale.sweep_points(caps.size());
+  runtime::SweepRunner runner;
+  const auto reports = runner.run(num_caps, [&](std::size_t i) {
     core::FenixSystemConfig config;
-    config.data_engine.bucket_capacity_tokens = cap;
+    config.data_engine.bucket_capacity_tokens = caps[i];
     config.model_engine.input_queue_depth = 64;       // fixed FPGA queue
     config.model_engine.layer_pipelined = false;  // serialized engine
     // Misprovisioned token rate: V set ~4x above the engine's real service
@@ -42,12 +49,15 @@ int main() {
     // burst and the input FIFO — the failure mode the cap rule prevents.
     config.data_engine.fpga_inference_rate_hz = 300e3;
     core::FenixSystem system(config, models.qcnn.get(), nullptr);
-    const auto report = system.run(trace, dataset.num_classes());
+    return system.run(trace, dataset.num_classes());
+  });
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& report = reports[i];
     const double drop_rate =
         report.mirrors > 0
             ? static_cast<double>(report.fifo_drops) / static_cast<double>(report.mirrors)
             : 0.0;
-    table.add_row({telemetry::TextTable::num(cap, 0),
+    table.add_row({telemetry::TextTable::num(caps[i], 0),
                    std::to_string(report.mirrors),
                    std::to_string(report.fifo_drops),
                    telemetry::TextTable::pct(drop_rate),

@@ -7,9 +7,11 @@
 // deviation for a heterogeneous flow population.
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/probability_model.hpp"
+#include "runtime/sweep_runner.hpp"
 #include "sim/random.hpp"
 #include "telemetry/table.hpp"
 
@@ -58,24 +60,41 @@ int main() {
   bench::print_banner("FENIX ablation: lookup-table resolution",
                       "design choice behind Figure 6 / §4.2");
 
+  const auto scale = bench::BenchScale::from_env();
   core::TrafficStats stats;
   stats.flow_count_n = 1000;
   stats.token_rate_v = 75e6;
   stats.packet_rate_q = 1000e6;
 
+  // Grid of (cells, axes) evaluations; each re-seeds its own RandomStream
+  // inside evaluate(), so the SweepRunner can fan them out in any order.
+  const std::vector<std::size_t> cell_sizes{4, 8, 16, 32, 64, 128, 256};
+  const std::size_t num_sizes = scale.sweep_points(cell_sizes.size());
+  struct GridPoint {
+    std::size_t cells;
+    bool log_axes;
+  };
+  std::vector<GridPoint> grid;
+  for (std::size_t s = 0; s < num_sizes; ++s) {
+    grid.push_back({cell_sizes[s], false});
+    grid.push_back({cell_sizes[s], true});
+  }
+  runtime::SweepRunner runner;
+  const auto results = runner.run(grid.size(), [&](std::size_t i) {
+    return evaluate(stats, grid[i].cells, grid[i].log_axes);
+  });
+
   telemetry::TextTable table({"Cells", "SRAM bits", "Axes", "mean |err|",
                               "max |err|", "grant-rate dev"});
-  for (std::size_t cells : {4, 8, 16, 32, 64, 128, 256}) {
-    for (bool log_axes : {false, true}) {
-      const Result r = evaluate(stats, cells, log_axes);
-      core::ProbabilityLookupTable probe(cells, cells, 1.6e-4, 4096);
-      table.add_row({std::to_string(cells) + "x" + std::to_string(cells),
-                     std::to_string(probe.sram_bits()),
-                     log_axes ? "log" : "linear",
-                     telemetry::TextTable::num(r.mean_err),
-                     telemetry::TextTable::num(r.max_err),
-                     telemetry::TextTable::pct(r.grant_dev)});
-    }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Result& r = results[i];
+    core::ProbabilityLookupTable probe(grid[i].cells, grid[i].cells, 1.6e-4, 4096);
+    table.add_row({std::to_string(grid[i].cells) + "x" + std::to_string(grid[i].cells),
+                   std::to_string(probe.sram_bits()),
+                   grid[i].log_axes ? "log" : "linear",
+                   telemetry::TextTable::num(r.mean_err),
+                   telemetry::TextTable::num(r.max_err),
+                   telemetry::TextTable::pct(r.grant_dev)});
   }
   std::cout << table.render();
   std::cout << "\nReading the table: log-bucketed axes dominate linear ones at\n"

@@ -5,10 +5,13 @@
 // INT8 deployment, and (for contrast) the aggressive binarization the
 // in-switch baselines must accept — quantifying why FENIX's FPGA placement
 // preserves accuracy where switch-native deployment cannot.
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "nn/binarize.hpp"
+#include "runtime/sweep_runner.hpp"
 #include "telemetry/table.hpp"
 
 namespace {
@@ -55,24 +58,39 @@ void run_dataset(const trafficgen::DatasetProfile& profile, std::uint64_t seed) 
   nn::BinarizedGru bos_style(gru, 6, 9);
 
   telemetry::TextTable table({"Model / precision", "Packet macro-F1", "vs fp32"});
-  const double cnn_fp = packet_macro_f1(dataset.test, k, [&](const auto& t) {
-    return models.cnn->predict(t);
-  });
-  const double cnn_q = packet_macro_f1(dataset.test, k, [&](const auto& t) {
-    return models.qcnn->predict(t);
-  });
-  const double rnn_fp = packet_macro_f1(dataset.test, k, [&](const auto& t) {
-    return models.rnn->predict(t);
-  });
-  const double rnn_q = packet_macro_f1(dataset.test, k, [&](const auto& t) {
-    return models.qrnn->predict(t);
-  });
-  const double gru_fp = packet_macro_f1(dataset.test, k, [&](const auto& t) {
-    return gru.predict(t);
-  });
-  const double gru_bin = packet_macro_f1(dataset.test, k, [&](const auto& t) {
-    return bos_style.predict(t);
-  });
+  // The six evaluations only read the (already trained) models, so they are
+  // independent jobs; fan them across the SweepRunner pool.
+  const std::vector<std::function<double()>> evals{
+      [&] {
+        return packet_macro_f1(dataset.test, k,
+                               [&](const auto& t) { return models.cnn->predict(t); });
+      },
+      [&] {
+        return packet_macro_f1(dataset.test, k,
+                               [&](const auto& t) { return models.qcnn->predict(t); });
+      },
+      [&] {
+        return packet_macro_f1(dataset.test, k,
+                               [&](const auto& t) { return models.rnn->predict(t); });
+      },
+      [&] {
+        return packet_macro_f1(dataset.test, k,
+                               [&](const auto& t) { return models.qrnn->predict(t); });
+      },
+      [&] {
+        return packet_macro_f1(dataset.test, k,
+                               [&](const auto& t) { return gru.predict(t); });
+      },
+      [&] {
+        return packet_macro_f1(dataset.test, k,
+                               [&](const auto& t) { return bos_style.predict(t); });
+      },
+  };
+  runtime::SweepRunner runner;
+  const auto f1s = runner.run(evals.size(), [&](std::size_t i) { return evals[i](); });
+  const double cnn_fp = f1s[0], cnn_q = f1s[1];
+  const double rnn_fp = f1s[2], rnn_q = f1s[3];
+  const double gru_fp = f1s[4], gru_bin = f1s[5];
 
   auto delta = [](double q, double fp) {
     return telemetry::TextTable::num(q - fp);
@@ -94,8 +112,11 @@ void run_dataset(const trafficgen::DatasetProfile& profile, std::uint64_t seed) 
 int main() {
   bench::print_banner("FENIX ablation: quantization loss",
                       "claim of §6 (negligible INT8 degradation)");
+  const auto scale = fenix::bench::BenchScale::from_env();
   run_dataset(trafficgen::DatasetProfile::iscx_vpn(), 0x4a17);
-  run_dataset(trafficgen::DatasetProfile::ustc_tfc(), 0x4a18);
+  if (!scale.smoke) {
+    run_dataset(trafficgen::DatasetProfile::ustc_tfc(), 0x4a18);
+  }
   std::cout << "\nReading the tables: INT8 costs at most a few hundredths of\n"
                "macro-F1 (the paper's 'negligible degradation'), while the\n"
                "switch-deployable binarization loses an order of magnitude\n"

@@ -5,9 +5,11 @@
 // Sweeps the ring depth and reports flow-level accuracy and the mirror
 // payload size — the context-vs-bandwidth trade-off behind the choice of 8.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/fenix_system.hpp"
+#include "runtime/sweep_runner.hpp"
 #include "telemetry/table.hpp"
 
 int main() {
@@ -27,19 +29,26 @@ int main() {
 
   telemetry::TextTable table({"Ring depth", "Seq len", "Mirror bytes",
                               "Flow macro-F1", "Inference F1"});
-  for (unsigned depth : {1u, 2u, 4u, 8u, 16u}) {
+  // One independent replay per depth, fanned across the SweepRunner pool.
+  const std::vector<unsigned> depths{1u, 2u, 4u, 8u, 16u};
+  const std::size_t num_depths = scale.sweep_points(depths.size());
+  runtime::SweepRunner runner;
+  const auto reports = runner.run(num_depths, [&](std::size_t i) {
     core::FenixSystemConfig config;
-    config.data_engine.tracker.ring_capacity = depth;
+    config.data_engine.tracker.ring_capacity = depths[i];
     // Wire cost per mirror grows with the ring (Eq. 1's W input).
-    config.data_engine.feature_vector_bits = 8.0 * (13 + 4 * (depth + 1) + 16);
+    config.data_engine.feature_vector_bits = 8.0 * (13 + 4 * (depths[i] + 1) + 16);
     core::FenixSystem system(config, models.qcnn.get(), nullptr);
-    const auto report = system.run(trace, dataset.num_classes());
+    return system.run(trace, dataset.num_classes());
+  });
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const unsigned depth = depths[i];
     net::FeatureVector probe;
     probe.sequence.resize(depth + 1);
     table.add_row({std::to_string(depth), std::to_string(depth + 1),
                    std::to_string(probe.wire_bytes()),
-                   telemetry::TextTable::num(report.flow_confusion.macro_f1()),
-                   telemetry::TextTable::num(report.inference_confusion.macro_f1())});
+                   telemetry::TextTable::num(reports[i].flow_confusion.macro_f1()),
+                   telemetry::TextTable::num(reports[i].inference_confusion.macro_f1())});
   }
   std::cout << table.render();
   std::cout << "\nReading the table: accuracy climbs steeply with the first few\n"

@@ -20,6 +20,7 @@ BenchScale BenchScale::from_env() {
   scale.train_flows = env_or("FENIX_BENCH_TRAIN_FLOWS", scale.train_flows);
   scale.test_flows = env_or("FENIX_BENCH_TEST_FLOWS", scale.test_flows);
   scale.epochs = env_or("FENIX_BENCH_EPOCHS", scale.epochs);
+  scale.smoke = env_or("FENIX_BENCH_SMOKE", 0) != 0;
   return scale;
 }
 
@@ -29,11 +30,11 @@ DatasetInstance make_dataset(const trafficgen::DatasetProfile& profile,
   trafficgen::SynthesisConfig synth;
   synth.total_flows = scale.train_flows;
   synth.seed = seed;
-  synth.min_flows_per_class = 40;
+  synth.min_flows_per_class = scale.smoke ? 6 : 40;
   dataset.train = trafficgen::synthesize_flows(profile, synth);
   synth.total_flows = scale.test_flows;
   synth.seed = seed ^ 0x7e57;
-  synth.min_flows_per_class = 60;
+  synth.min_flows_per_class = scale.smoke ? 6 : 60;
   dataset.test = trafficgen::synthesize_flows(profile, synth);
   return dataset;
 }

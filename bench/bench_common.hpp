@@ -11,8 +11,13 @@
 //   FENIX_BENCH_TRAIN_FLOWS  (default 3000)  flows synthesized for training
 //   FENIX_BENCH_TEST_FLOWS   (default 900)   flows synthesized for testing
 //   FENIX_BENCH_EPOCHS       (default 4)     NN training epochs
+//   FENIX_BENCH_SMOKE        (default 0)     1 = truncate sweeps to a few
+//                                            iterations (the `bench_smoke`
+//                                            ctest label sets this so benches
+//                                            cannot silently bit-rot)
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -32,8 +37,14 @@ struct BenchScale {
   std::size_t test_flows = 900;
   std::size_t epochs = 4;
   std::size_t cap_per_class = 1500;  ///< Oversampling cap for NN training.
+  bool smoke = false;                ///< Truncate sweeps to a few iterations.
 
   static BenchScale from_env();
+
+  /// Sweep-point budget: `full` normally, a small prefix under smoke.
+  std::size_t sweep_points(std::size_t full) const {
+    return smoke ? std::min<std::size_t>(full, 2) : full;
+  }
 };
 
 /// One dataset instance: profile + synthesized train/test flows.
@@ -113,14 +124,16 @@ template <typename QModel>
 std::vector<std::int16_t> classify_packets_with(const QModel& model,
                                                 const trafficgen::FlowSample& flow,
                                                 std::size_t seq_len) {
+  nn::Scratch scratch;
+  std::vector<nn::Token> tokens;
   std::vector<std::int16_t> verdicts(flow.features.size(), -1);
   for (std::size_t i = 0; i < flow.features.size(); ++i) {
     const std::size_t start = i + 1 >= seq_len ? i + 1 - seq_len : 0;
-    const auto tokens = nn::tokenize(
+    nn::tokenize_into(
         std::span<const net::PacketFeature>(flow.features.data() + start,
                                             i + 1 - start),
-        seq_len);
-    verdicts[i] = model.predict(tokens);
+        seq_len, tokens);
+    verdicts[i] = model.predict(tokens, scratch);
   }
   return verdicts;
 }

@@ -12,12 +12,14 @@
 // token share V/N shrinks, Flow Info Table collisions corrupt state, and
 // burst overlap pressures the channel and the input FIFO.
 #include <algorithm>
-#include <future>
+#include <chrono>
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/fenix_system.hpp"
+#include "runtime/sweep_runner.hpp"
 #include "telemetry/table.hpp"
 
 namespace {
@@ -74,61 +76,77 @@ int main() {
     std::size_t flows = 0;
     double mean_gbps = 0, peak = 0, equiv_tbps = 0, load_ratio = 0, f1 = 0;
     std::uint64_t mirrors = 0, drops = 0, collisions = 0, stale = 0;
+    std::uint64_t packets = 0;
+    double job_seconds = 0;  ///< This shard's serial replay time.
   };
-  // Points are independent systems over independent traces: run them
-  // concurrently.
-  std::vector<std::future<Row>> futures;
-  for (const Point& point : points) {
-    futures.push_back(std::async(std::launch::async, [&, point] {
-      trafficgen::SynthesisConfig synth;
-      synth.total_flows = point.flows;
-      synth.seed = 0x5ca1e ^ point.flows;
-      synth.min_flows_per_class = 40;
-      synth.max_pkts_per_flow = 48;
-      const auto flows = trafficgen::synthesize_flows(dataset.profile, synth);
-      trafficgen::TraceConfig trace_config;
-      trace_config.flow_arrival_rate_hz =
-          static_cast<double>(flows.size()) / kSpanSeconds;
-      trace_config.gap_time_scale = 1.0 / point.gap_compression;
-      const auto trace = trafficgen::assemble_trace(flows, trace_config);
+  // Points are independent (config, trace) -> RunReport replays: each shard
+  // owns its own FenixSystem and index-derived seeds, so the SweepRunner
+  // fans them across cores with bit-identical results at any thread count.
+  const std::size_t num_points =
+      scale.sweep_points(sizeof(points) / sizeof(points[0]));
+  runtime::SweepRunner runner;
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const std::vector<Row> rows = runner.run(num_points, [&](std::size_t i) {
+    const Point& point = points[i];
+    const auto job_start = std::chrono::steady_clock::now();
+    trafficgen::SynthesisConfig synth;
+    synth.total_flows = scale.smoke ? point.flows / 10 : point.flows;
+    synth.seed = 0x5ca1e ^ point.flows;
+    synth.min_flows_per_class = 40;
+    synth.max_pkts_per_flow = 48;
+    const auto flows = trafficgen::synthesize_flows(dataset.profile, synth);
+    trafficgen::TraceConfig trace_config;
+    trace_config.flow_arrival_rate_hz =
+        static_cast<double>(flows.size()) / kSpanSeconds;
+    trace_config.gap_time_scale = 1.0 / point.gap_compression;
+    const auto trace = trafficgen::assemble_trace(flows, trace_config);
 
-      core::FenixSystemConfig config;
-      // Large-scale deployment configuration: a 128k-slot Flow Info Table;
-      // the token rate V derives from the Model Engine's sustained rate
-      // (Eq. 1). The dimensionless stressor of this figure is the ratio of
-      // offered packet rate to V — the sweep drives it from ~0.05x to ~4x,
-      // and the "paper-equiv" column rescales the offered load to the
-      // paper's V = 75 Mpps operating point at the same ratio (see
-      // EXPERIMENTS.md).
-      config.data_engine.tracker.index_bits = 17;
-      config.data_engine.window_tw = sim::milliseconds(50);
-      core::FenixSystem system(config, models.qcnn.get(), nullptr);
-      const auto report = system.run(trace, dataset.num_classes());
+    core::FenixSystemConfig config;
+    // Large-scale deployment configuration: a 128k-slot Flow Info Table;
+    // the token rate V derives from the Model Engine's sustained rate
+    // (Eq. 1). The dimensionless stressor of this figure is the ratio of
+    // offered packet rate to V — the sweep drives it from ~0.05x to ~4x,
+    // and the "paper-equiv" column rescales the offered load to the
+    // paper's V = 75 Mpps operating point at the same ratio (see
+    // EXPERIMENTS.md).
+    config.data_engine.tracker.index_bits = 17;
+    config.data_engine.window_tw = sim::milliseconds(50);
+    core::FenixSystem system(config, models.qcnn.get(), nullptr);
+    const auto report = system.run(trace, dataset.num_classes());
 
-      Row row;
-      row.flows = flows.size();
-      row.mean_gbps = trace.offered_bps() / 1e9;
-      row.peak = peak_gbps(trace);
-      row.equiv_tbps = row.peak * (75e6 / system.data_engine().token_rate_v()) / 1e3;
-      row.load_ratio = trace.offered_pps() / system.data_engine().token_rate_v();
-      row.mirrors = report.mirrors;
-      row.drops = report.fifo_drops;
-      row.collisions = system.data_engine().tracker().collisions();
-      row.stale = report.results_stale;
-      row.f1 = report.flow_confusion.macro_f1();
-      return row;
-    }));
-  }
+    Row row;
+    row.flows = flows.size();
+    row.mean_gbps = trace.offered_bps() / 1e9;
+    row.peak = peak_gbps(trace);
+    row.equiv_tbps = row.peak * (75e6 / system.data_engine().token_rate_v()) / 1e3;
+    row.load_ratio = trace.offered_pps() / system.data_engine().token_rate_v();
+    row.mirrors = report.mirrors;
+    row.drops = report.fifo_drops;
+    row.collisions = system.data_engine().tracker().collisions();
+    row.stale = report.results_stale;
+    row.f1 = report.flow_confusion.macro_f1();
+    row.packets = report.packets;
+    row.job_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - job_start)
+            .count();
+    return row;
+  });
+  const double parallel_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+          .count();
 
   telemetry::TextTable table({"Flows", "Peak Gbps", "Equiv Tbps", "Load/V",
                               "Mirrors", "FIFO drops", "Collisions",
                               "Flow macro-F1"});
   double baseline_f1 = 0.0;
   double last_f1 = 0.0;
-  for (auto& future : futures) {
-    const Row row = future.get();
+  double serial_seconds = 0.0;
+  std::uint64_t total_packets = 0;
+  for (const Row& row : rows) {
     if (baseline_f1 == 0.0) baseline_f1 = row.f1;
     last_f1 = row.f1;
+    serial_seconds += row.job_seconds;
+    total_packets += row.packets;
     table.add_row({std::to_string(row.flows),
                    telemetry::TextTable::num(row.peak, 1),
                    telemetry::TextTable::num(row.equiv_tbps, 2),
@@ -139,6 +157,25 @@ int main() {
                    telemetry::TextTable::num(row.f1)});
   }
   std::cout << table.render();
+
+  std::cout << "\nSweep wall-clock: " << telemetry::TextTable::num(parallel_seconds, 2)
+            << " s on " << runner.threads() << " thread(s); serial-equivalent "
+            << telemetry::TextTable::num(serial_seconds, 2) << " s ("
+            << telemetry::TextTable::num(
+                   parallel_seconds > 0 ? serial_seconds / parallel_seconds : 1.0, 2)
+            << "x)\n";
+  bench::JsonSection perf;
+  perf.put("threads", static_cast<std::int64_t>(runner.threads()));
+  perf.put("sweep_points", static_cast<std::int64_t>(num_points));
+  perf.put("sweep_serial_equivalent_s", serial_seconds);
+  perf.put("sweep_parallel_wall_s", parallel_seconds);
+  perf.put("sweep_speedup",
+           parallel_seconds > 0 ? serial_seconds / parallel_seconds : 1.0);
+  perf.put("replay_packets", static_cast<std::int64_t>(total_packets));
+  perf.put("replay_packets_per_sec",
+           serial_seconds > 0 ? static_cast<double>(total_packets) / serial_seconds
+                              : 0.0);
+  bench::write_bench_json("fig10_replay", perf);
 
   const double drop = baseline_f1 > 0 ? (baseline_f1 - last_f1) / baseline_f1 : 0.0;
   std::cout << "\nMacro-F1 reduction from smallest to largest scale: "

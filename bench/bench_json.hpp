@@ -1,0 +1,46 @@
+// Perf-trajectory JSON emitter.
+//
+// Each bench records its headline numbers (kernel ns/op, replay packets/sec,
+// sweep wall-clock serial vs parallel) under its own top-level section of
+// one JSON file, so successive PRs accumulate a machine-readable performance
+// history next to the human-readable tables. Benches re-run at any time and
+// only overwrite their own section; everything else in the file is
+// preserved.
+//
+// File: $FENIX_BENCH_JSON if set, else BENCH_PR1.json in the working
+// directory. The format is a flat two-level object:
+//   { "section": { "metric": 123.4, "note": "text" }, ... }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fenix::bench {
+
+/// An ordered list of metrics for one bench's section.
+class JsonSection {
+ public:
+  void put(const std::string& key, double value);
+  void put(const std::string& key, std::int64_t value);
+  void put(const std::string& key, const std::string& text);
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  /// Values stored pre-rendered as JSON literals.
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Path the emitter writes to ($FENIX_BENCH_JSON or "BENCH_PR1.json").
+std::string bench_json_path();
+
+/// Merges `section` under `name` into the perf-tracking file, preserving all
+/// other sections. Returns false (after printing a warning) if the file
+/// cannot be written; benches should not fail on a read-only directory.
+bool write_bench_json(const std::string& name, const JsonSection& section);
+
+}  // namespace fenix::bench

@@ -3,8 +3,17 @@
 // model inference. These quantify the host-side simulation cost, not the
 // hardware latency (which the cycle models report); they gate how large a
 // Figure 10 sweep the harness can replay per second.
+//
+// After the google-benchmark suite, main() hand-times the blocked INT8
+// kernels against their scalar references and records ns/op + speedup in
+// the "kernels" section of BENCH_PR1.json (see bench_json.hpp).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/data_engine.hpp"
 #include "net/headers.hpp"
 #include "core/probability_model.hpp"
@@ -17,6 +26,52 @@
 namespace {
 
 using namespace fenix;
+
+// --------------------------------------------------- synthetic INT8 layers
+
+void fill_i8(std::vector<std::int8_t>& v, sim::RandomStream& rng) {
+  for (auto& x : v) {
+    x = static_cast<std::int8_t>(static_cast<int>(rng.uniform_int(255)) - 127);
+  }
+}
+
+nn::QDense make_qdense(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  nn::QDense d;
+  d.w.rows = rows;
+  d.w.cols = cols;
+  d.w.exponent = -7;
+  d.w.data.resize(rows * cols);
+  d.bias.resize(rows);
+  sim::RandomStream rng(seed);
+  fill_i8(d.w.data, rng);
+  for (auto& b : d.bias) {
+    b = static_cast<std::int32_t>(rng.uniform_int(4096)) - 2048;
+  }
+  d.in_exponent = -6;
+  d.out_exponent = -4;
+  return d;
+}
+
+nn::QConv1D make_qconv(std::size_t in_ch, std::size_t out_ch, std::size_t kernel,
+                       std::uint64_t seed) {
+  nn::QConv1D c;
+  c.in_ch = in_ch;
+  c.out_ch = out_ch;
+  c.kernel = kernel;
+  c.w.rows = out_ch;
+  c.w.cols = in_ch * kernel;
+  c.w.exponent = -7;
+  c.w.data.resize(c.w.rows * c.w.cols);
+  c.bias.resize(out_ch);
+  sim::RandomStream rng(seed);
+  fill_i8(c.w.data, rng);
+  for (auto& b : c.bias) {
+    b = static_cast<std::int32_t>(rng.uniform_int(4096)) - 2048;
+  }
+  c.in_exponent = -6;
+  c.out_exponent = -4;
+  return c;
+}
 
 void BM_FlowHash(benchmark::State& state) {
   net::FiveTuple t;
@@ -134,6 +189,75 @@ void BM_QuantizedCnnInference(benchmark::State& state) {
 }
 BENCHMARK(BM_QuantizedCnnInference);
 
+void BM_QuantizedCnnInferenceScratch(benchmark::State& state) {
+  const auto model = make_quantized_cnn();
+  std::vector<nn::Token> tokens(9, nn::Token{10, 3});
+  nn::Scratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(tokens, scratch));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QuantizedCnnInferenceScratch);
+
+void BM_GemvInt8Blocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto layer = make_qdense(n, n, 0x6e3);
+  std::vector<std::int8_t> x(n), y(n);
+  sim::RandomStream rng(0x6e4);
+  fill_i8(x, rng);
+  for (auto _ : state) {
+    layer.forward(x.data(), y.data(), true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_GemvInt8Blocked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemvInt8Reference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto layer = make_qdense(n, n, 0x6e3);
+  std::vector<std::int8_t> x(n), y(n);
+  sim::RandomStream rng(0x6e4);
+  fill_i8(x, rng);
+  for (auto _ : state) {
+    layer.forward_reference(x.data(), y.data(), true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_GemvInt8Reference)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv1dInt8Blocked(benchmark::State& state) {
+  constexpr std::size_t kT = 9;
+  const auto layer = make_qconv(32, 64, 3, 0xc0b);
+  std::vector<std::int8_t> x(kT * 32), y(kT * 64);
+  sim::RandomStream rng(0xc0c);
+  fill_i8(x, rng);
+  for (auto _ : state) {
+    layer.forward(x.data(), kT, y.data(), true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Conv1dInt8Blocked);
+
+void BM_Conv1dInt8Reference(benchmark::State& state) {
+  constexpr std::size_t kT = 9;
+  const auto layer = make_qconv(32, 64, 3, 0xc0b);
+  std::vector<std::int8_t> x(kT * 32), y(kT * 64);
+  sim::RandomStream rng(0xc0c);
+  fill_i8(x, rng);
+  for (auto _ : state) {
+    layer.forward_reference(x.data(), kT, y.data(), true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Conv1dInt8Reference);
+
 void BM_FrameBuild(benchmark::State& state) {
   net::FiveTuple t;
   t.src_ip = 0x0a000001;
@@ -174,6 +298,111 @@ void BM_SynthesizeFlow(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthesizeFlow);
 
+// --------------------------------------------- hand-timed kernel speedups
+
+/// ns/op of `fn`, measured over enough iterations to fill `min_seconds`.
+template <typename F>
+double time_ns_per_op(F&& fn, std::size_t min_iters, double min_seconds) {
+  fn();  // warm-up (also sizes any scratch buffers)
+  std::size_t iters = 0;
+  double elapsed = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  do {
+    fn();
+    ++iters;
+    elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  } while (iters < min_iters || elapsed < min_seconds);
+  return elapsed * 1e9 / static_cast<double>(iters);
+}
+
+/// Times blocked vs reference INT8 kernels and writes the "kernels" section
+/// of BENCH_PR1.json. Speedup = reference_ns / blocked_ns.
+void report_kernel_speedups(bool smoke) {
+  const std::size_t min_iters = smoke ? 10 : 200;
+  const double min_seconds = smoke ? 0.005 : 0.15;
+  bench::JsonSection section;
+
+  {
+    constexpr std::size_t kN = 128;
+    const auto layer = make_qdense(kN, kN, 0x6e3);
+    std::vector<std::int8_t> x(kN), y(kN);
+    sim::RandomStream rng(0x6e4);
+    fill_i8(x, rng);
+    const double blocked = time_ns_per_op(
+        [&] {
+          layer.forward(x.data(), y.data(), true);
+          benchmark::DoNotOptimize(y.data());
+        },
+        min_iters, min_seconds);
+    const double reference = time_ns_per_op(
+        [&] {
+          layer.forward_reference(x.data(), y.data(), true);
+          benchmark::DoNotOptimize(y.data());
+        },
+        min_iters, min_seconds);
+    section.put("gemv128_blocked_ns", blocked);
+    section.put("gemv128_reference_ns", reference);
+    section.put("gemv128_speedup", blocked > 0 ? reference / blocked : 0.0);
+    std::printf("gemv 128x128:   blocked %8.1f ns  reference %8.1f ns  (%.2fx)\n",
+                blocked, reference, blocked > 0 ? reference / blocked : 0.0);
+  }
+
+  {
+    constexpr std::size_t kT = 9;
+    const auto layer = make_qconv(32, 64, 3, 0xc0b);
+    std::vector<std::int8_t> x(kT * 32), y(kT * 64);
+    sim::RandomStream rng(0xc0c);
+    fill_i8(x, rng);
+    const double blocked = time_ns_per_op(
+        [&] {
+          layer.forward(x.data(), kT, y.data(), true);
+          benchmark::DoNotOptimize(y.data());
+        },
+        min_iters, min_seconds);
+    const double reference = time_ns_per_op(
+        [&] {
+          layer.forward_reference(x.data(), kT, y.data(), true);
+          benchmark::DoNotOptimize(y.data());
+        },
+        min_iters, min_seconds);
+    section.put("conv1d_blocked_ns", blocked);
+    section.put("conv1d_reference_ns", reference);
+    section.put("conv1d_speedup", blocked > 0 ? reference / blocked : 0.0);
+    std::printf("conv1d 32->64:  blocked %8.1f ns  reference %8.1f ns  (%.2fx)\n",
+                blocked, reference, blocked > 0 ? reference / blocked : 0.0);
+  }
+
+  {
+    const auto model = make_quantized_cnn();
+    std::vector<nn::Token> tokens(9, nn::Token{10, 3});
+    nn::Scratch scratch;
+    const double blocked = time_ns_per_op(
+        [&] { benchmark::DoNotOptimize(model.predict(tokens, scratch)); },
+        min_iters, min_seconds);
+    const double reference = time_ns_per_op(
+        [&] { benchmark::DoNotOptimize(model.logits_q_reference(tokens)); },
+        min_iters, min_seconds);
+    section.put("cnn_infer_scratch_ns", blocked);
+    section.put("cnn_infer_reference_ns", reference);
+    section.put("cnn_infer_speedup", blocked > 0 ? reference / blocked : 0.0);
+    std::printf("cnn inference:  blocked %8.1f ns  reference %8.1f ns  (%.2fx)\n",
+                blocked, reference, blocked > 0 ? reference / blocked : 0.0);
+  }
+
+  bench::write_bench_json("kernels", section);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\nBlocked-vs-reference INT8 kernel speedups:\n");
+  report_kernel_speedups(bench::BenchScale::from_env().smoke);
+  return 0;
+}

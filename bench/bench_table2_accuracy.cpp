@@ -7,8 +7,10 @@
 //   vote and packet-level P-*), FlowLens (flow markers + gradient-boosted
 //   trees, flow-level), NetBeacon (multi-phase random forests), Leo (single
 //   deep tree), BoS (binarized GRU), N3IC (binary MLP).
-// Scheme trainings run in parallel threads. Scale via FENIX_BENCH_* env vars.
-#include <future>
+// Scheme trainings fan out across the SweepRunner pool (each training is
+// seeded independently, so results are thread-count invariant). Scale via
+// FENIX_BENCH_* env vars.
+#include <functional>
 #include <iostream>
 #include <memory>
 
@@ -18,6 +20,7 @@
 #include "baselines/n3ic.hpp"
 #include "baselines/netbeacon.hpp"
 #include "bench_common.hpp"
+#include "runtime/sweep_runner.hpp"
 #include "telemetry/table.hpp"
 
 namespace {
@@ -63,53 +66,51 @@ void run_dataset(const trafficgen::DatasetProfile& profile, std::uint64_t seed,
   std::cout << "train flows: " << dataset.train.size()
             << ", test flows: " << dataset.test.size() << "\n";
 
-  // Train all schemes concurrently (each on its own copy-free view).
-  auto fenix_future = std::async(std::launch::async, [&] {
-    return bench::train_fenix_models(dataset, scale, seed);
-  });
-  auto flowlens_future = std::async(std::launch::async, [&] {
-    baselines::FlowLensConfig config;
-    config.boost.rounds = 20;
-    auto model = std::make_unique<baselines::FlowLens>(config);
-    model->train(dataset.train, k);
-    return model;
-  });
-  auto netbeacon_future = std::async(std::launch::async, [&] {
-    auto model = std::make_unique<baselines::NetBeacon>();
-    model->train(dataset.train, k);
-    return model;
-  });
-  auto leo_future = std::async(std::launch::async, [&] {
-    baselines::LeoConfig config;
-    config.max_train_rows = 80'000;
-    auto model = std::make_unique<baselines::Leo>(config);
-    model->train(dataset.train, k);
-    return model;
-  });
-  auto bos_future = std::async(std::launch::async, [&] {
-    baselines::BosConfig config;
-    config.train.epochs = scale.epochs;
-    config.train.cap_per_class = scale.cap_per_class;
-    auto model = std::make_unique<baselines::Bos>(config);
-    model->train(dataset.train, k);
-    return model;
-  });
-  auto n3ic_future = std::async(std::launch::async, [&] {
-    baselines::N3icConfig config;
-    config.train.epochs = scale.epochs + 4;
-    config.train.lr = 0.005f;
-    config.train.cap_per_class = scale.cap_per_class;
-    auto model = std::make_unique<baselines::N3ic>(config);
-    model->train(dataset.train, k);
-    return model;
-  });
+  // Train all schemes concurrently (each on its own copy-free view). Each
+  // task writes only its own slot, so the SweepRunner pool can schedule
+  // them in any order without changing any result.
+  bench::TrainedFenixModels fenix_models;
+  std::unique_ptr<baselines::FlowLens> flowlens;
+  std::unique_ptr<baselines::NetBeacon> netbeacon;
+  std::unique_ptr<baselines::Leo> leo;
+  std::unique_ptr<baselines::Bos> bos;
+  std::unique_ptr<baselines::N3ic> n3ic;
 
-  const auto fenix_models = fenix_future.get();
-  const auto flowlens = flowlens_future.get();
-  const auto netbeacon = netbeacon_future.get();
-  const auto leo = leo_future.get();
-  const auto bos = bos_future.get();
-  const auto n3ic = n3ic_future.get();
+  runtime::SweepRunner runner;
+  runner.run_tasks({
+      [&] { fenix_models = bench::train_fenix_models(dataset, scale, seed); },
+      [&] {
+        baselines::FlowLensConfig config;
+        config.boost.rounds = 20;
+        flowlens = std::make_unique<baselines::FlowLens>(config);
+        flowlens->train(dataset.train, k);
+      },
+      [&] {
+        netbeacon = std::make_unique<baselines::NetBeacon>();
+        netbeacon->train(dataset.train, k);
+      },
+      [&] {
+        baselines::LeoConfig config;
+        config.max_train_rows = 80'000;
+        leo = std::make_unique<baselines::Leo>(config);
+        leo->train(dataset.train, k);
+      },
+      [&] {
+        baselines::BosConfig config;
+        config.train.epochs = scale.epochs;
+        config.train.cap_per_class = scale.cap_per_class;
+        bos = std::make_unique<baselines::Bos>(config);
+        bos->train(dataset.train, k);
+      },
+      [&] {
+        baselines::N3icConfig config;
+        config.train.epochs = scale.epochs + 4;
+        config.train.lr = 0.005f;
+        config.train.cap_per_class = scale.cap_per_class;
+        n3ic = std::make_unique<baselines::N3ic>(config);
+        n3ic->train(dataset.train, k);
+      },
+  });
   std::cout << "training done; evaluating...\n";
 
   auto cnn_packets = [&](const trafficgen::FlowSample& flow) {
@@ -162,7 +163,9 @@ int main() {
   const auto scale = bench::BenchScale::from_env();
 
   run_dataset(trafficgen::DatasetProfile::iscx_vpn(), 0x7ab1e2, scale);
-  run_dataset(trafficgen::DatasetProfile::ustc_tfc(), 0x7ab1e3, scale);
+  if (!scale.smoke) {
+    run_dataset(trafficgen::DatasetProfile::ustc_tfc(), 0x7ab1e3, scale);
+  }
 
   std::cout << "\nPaper reference (Table 2 macro-F1):\n"
                "  ISCXVPN2016: F-CNN 0.890, F-RNN 0.912, FlowLens 0.870,\n"

@@ -90,7 +90,8 @@ RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes) {
         report.inference.record(result->inference_finished -
                                 result->inference_started);
         // Result packet: five-tuple + verdict, minimal frame.
-        const auto back = from_fpga_.transfer_lossy(result->inference_finished, 64);
+        const auto back = from_fpga_.transfer_lossy(result->inference_finished,
+                                                    result->wire_bytes());
         if (!back) {
           ++report.channel_losses;
           continue;

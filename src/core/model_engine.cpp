@@ -121,9 +121,9 @@ std::optional<net::InferenceResult> ModelEngine::submit(const net::FeatureVector
   // Functional inference: pad/trim the on-wire sequence to the model's
   // synthesis-time length.
   const std::size_t seq_len = cnn_ ? cnn_->config().seq_len : rnn_->config().seq_len;
-  const auto tokens = nn::tokenize(parsed->features, seq_len);
+  nn::tokenize_into(parsed->features, seq_len, tokens_);
   const std::int16_t predicted =
-      cnn_ ? cnn_->predict(tokens) : rnn_->predict(tokens);
+      cnn_ ? cnn_->predict(tokens_, scratch_) : rnn_->predict(tokens_, scratch_);
   ++stats_.inferences;
 
   // Output pairing: the result re-acquires its identity from the queue head

@@ -122,6 +122,8 @@ class ModelEngine {
   sim::SimTime reconfig_until_ = 0;
   std::deque<sim::SimTime> pending_finishes_;  ///< Occupancy of the input FIFO.
   ModelEngineStats stats_;
+  nn::Scratch scratch_;            ///< Inference workspace; zero steady-state allocation.
+  std::vector<nn::Token> tokens_;  ///< Reused per-submit token buffer.
 };
 
 }  // namespace fenix::core

@@ -47,12 +47,21 @@ struct FeatureVector {
 
 /// An inference verdict returned from the Model Engine to the switch.
 struct InferenceResult {
+  /// Bytes a result occupies on the FPGA-to-switch return channel: the
+  /// 13-byte five-tuple key plus the verdict fit comfortably inside one
+  /// minimum-size Ethernet frame, so the return path is billed at exactly
+  /// that floor. Counterpart of FeatureVector::wire_bytes() for the
+  /// return-path bandwidth model.
+  static constexpr std::size_t kWireBytes = 64;
+
   FiveTuple tuple;
   std::uint32_t flow_id = 0;
   std::int16_t predicted_class = -1;
   sim::SimTime inference_started = 0;
   sim::SimTime inference_finished = 0;
   sim::SimTime delivered_at = 0;  ///< Arrival back at the switch.
+
+  std::size_t wire_bytes() const { return kWireBytes; }
 };
 
 }  // namespace fenix::net

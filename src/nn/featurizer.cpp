@@ -9,16 +9,22 @@ namespace fenix::nn {
 
 std::vector<Token> tokenize(std::span<const net::PacketFeature> features,
                             std::size_t seq_len) {
-  std::vector<Token> tokens(seq_len, Token{0, 0});
+  std::vector<Token> tokens;
+  tokenize_into(features, seq_len, tokens);
+  return tokens;
+}
+
+void tokenize_into(std::span<const net::PacketFeature> features,
+                   std::size_t seq_len, std::vector<Token>& out) {
+  out.assign(seq_len, Token{0, 0});
   const std::size_t n = features.size();
   const std::size_t take = std::min(n, seq_len);
   const std::size_t src_start = n - take;
   const std::size_t dst_start = seq_len - take;
   for (std::size_t i = 0; i < take; ++i) {
     const net::PacketFeature& f = features[src_start + i];
-    tokens[dst_start + i] = Token{length_token(f.length), ipd_token(f.ipd_code)};
+    out[dst_start + i] = Token{length_token(f.length), ipd_token(f.ipd_code)};
   }
-  return tokens;
 }
 
 std::array<float, kFlowStatDim> flow_statistics(

@@ -50,6 +50,11 @@ struct SeqSample {
 std::vector<Token> tokenize(std::span<const net::PacketFeature> features,
                             std::size_t seq_len);
 
+/// Allocation-free variant for the per-packet hot path: `out` is resized to
+/// `seq_len` (within capacity after the first call) and overwritten.
+void tokenize_into(std::span<const net::PacketFeature> features,
+                   std::size_t seq_len, std::vector<Token>& out);
+
 /// Continuous per-flow statistics for tree models / binary MLPs: summary of
 /// the same length+IPD sequence (min/mean/max/stddev of lengths, of IPDs,
 /// packet count so far, total bytes). 10 features.

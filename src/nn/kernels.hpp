@@ -1,0 +1,64 @@
+// Blocked + unrolled INT8 inference kernels for the host-side hot path.
+//
+// Every mirrored packet pays one quantized forward pass, so these kernels
+// gate how many Figure-10-scale replays the harness can run per second. The
+// kernels keep the exact fixed-point semantics of the scalar reference loops
+// retained in quantize.cpp (INT8 multiplies, integer accumulation,
+// rounding-right-shift requantization): integer addition is associative, so
+// reordering the accumulation into 4-row blocks and 4-way-unrolled partial
+// sums is bit-identical as long as the INT32 partials cannot overflow. Each
+// partial sum covers at most ceil(cols/4) products of magnitude <= 128*127,
+// so any layer with fewer than ~500k inputs — orders of magnitude beyond the
+// paper's models — is safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fenix::nn {
+
+/// Clamps to INT8 range.
+constexpr std::int8_t saturate_i8(std::int64_t v) {
+  if (v > 127) return 127;
+  if (v < -128) return -128;
+  return static_cast<std::int8_t>(v);
+}
+
+/// Rounding arithmetic right shift (round-half-away-from-zero), the
+/// requantization step of fixed-point hardware.
+constexpr std::int64_t rounding_shift_right(std::int64_t v, int shift) {
+  if (shift <= 0) return v << (-shift);
+  const std::int64_t offset = 1LL << (shift - 1);
+  return v >= 0 ? (v + offset) >> shift : -((-v + offset) >> shift);
+}
+
+namespace kernels {
+
+/// INT8 dot product with 4-way-unrolled INT32 partial accumulators.
+std::int32_t dot_i8(const std::int8_t* a, const std::int8_t* b, std::size_t n);
+
+/// Blocked GEMV: y[r] = requantize(bias[r] + w_r . x) for r in [0, rows),
+/// processing 4 weight rows per pass over x. Row r starts at w + r *
+/// row_stride and is `cols` long (row_stride == cols for a dense matrix;
+/// conv1d uses a larger stride to address a kernel-tap window). ReLU is
+/// applied before saturation when `relu` is set.
+void gemv_i8(const std::int8_t* w, std::size_t rows, std::size_t row_stride,
+             std::size_t cols, const std::int8_t* x, const std::int32_t* bias,
+             int shift, bool relu, std::int8_t* y);
+
+/// Blocked GEMV without requantization: acc[r] = w_r . x as raw INT32
+/// accumulators (the recurrent path merges two of these before its LUT
+/// activation).
+void gemv_acc_i8(const std::int8_t* w, std::size_t rows, std::size_t row_stride,
+                 std::size_t cols, const std::int8_t* x, std::int32_t* acc);
+
+/// Blocked 1-D convolution, 'same' padding, stride 1. x is T x in_ch
+/// row-major, w is out_ch x (in_ch * kernel), y is T x out_ch. Each output
+/// timestep reduces to one gemv_i8 over the valid (contiguous) tap window,
+/// so the edge handling costs no branches in the inner loops.
+void conv1d_i8(const std::int8_t* w, std::size_t out_ch, std::size_t in_ch,
+               std::size_t kernel, const std::int8_t* x, std::size_t T,
+               const std::int32_t* bias, int shift, bool relu, std::int8_t* y);
+
+}  // namespace kernels
+}  // namespace fenix::nn

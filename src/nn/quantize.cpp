@@ -52,6 +52,12 @@ QDense QDense::from(const Dense& d, int in_exponent, int out_exponent) {
 
 void QDense::forward(const std::int8_t* x, std::int8_t* y, bool relu) const {
   const int shift = out_exponent - (w.exponent + in_exponent);
+  kernels::gemv_i8(w.data.data(), w.rows, w.cols, w.cols, x, bias.data(), shift,
+                   relu, y);
+}
+
+void QDense::forward_reference(const std::int8_t* x, std::int8_t* y, bool relu) const {
+  const int shift = out_exponent - (w.exponent + in_exponent);
   for (std::size_t r = 0; r < w.rows; ++r) {
     std::int64_t acc = bias[r];
     const std::int8_t* wr = w.data.data() + r * w.cols;
@@ -86,6 +92,13 @@ QConv1D QConv1D::from(const Conv1D& c, int in_exponent, int out_exponent) {
 
 void QConv1D::forward(const std::int8_t* x, std::size_t T, std::int8_t* y,
                       bool relu) const {
+  const int shift = out_exponent - (w.exponent + in_exponent);
+  kernels::conv1d_i8(w.data.data(), out_ch, in_ch, kernel, x, T, bias.data(),
+                     shift, relu, y);
+}
+
+void QConv1D::forward_reference(const std::int8_t* x, std::size_t T, std::int8_t* y,
+                                bool relu) const {
   const int shift = out_exponent - (w.exponent + in_exponent);
   const auto pad = static_cast<std::ptrdiff_t>(kernel / 2);
   for (std::size_t t = 0; t < T; ++t) {
@@ -247,7 +260,68 @@ QuantizedCnn::QuantizedCnn(const CnnClassifier& model,
   }
 }
 
+const std::vector<std::int32_t>& QuantizedCnn::logits_q(
+    const std::vector<Token>& tokens, Scratch& s) const {
+  const std::size_t T = config_.seq_len;
+  const std::size_t E = config_.embed_dim();
+
+  // One sizing pass: the two activation planes ping-pong through every layer,
+  // so each is sized to the widest plane the pipeline ever holds.
+  std::size_t max_elems = T * E;
+  for (const QConv1D& conv : convs_) max_elems = std::max(max_elems, T * conv.out_ch);
+  for (const QDense& fc : fcs_) max_elems = std::max(max_elems, fc.w.rows);
+  s.act_a.resize(max_elems);
+  s.act_b.resize(max_elems);
+
+  std::int8_t* cur = s.act_a.data();
+  std::int8_t* next = s.act_b.data();
+  for (std::size_t t = 0; t < T; ++t) {
+    std::memcpy(cur + t * E, len_embed_.row(tokens[t][0]), config_.len_embed_dim);
+    std::memcpy(cur + t * E + config_.len_embed_dim, ipd_embed_.row(tokens[t][1]),
+                config_.ipd_embed_dim);
+  }
+  for (const QConv1D& conv : convs_) {
+    conv.forward(cur, T, next, /*relu=*/true);
+    std::swap(cur, next);
+  }
+  // Average pool: integer sum, fixed-point multiply by 1/T, requantize.
+  const std::size_t C = convs_.empty() ? E : convs_.back().out_ch;
+  const int shift = 15 + (pool_out_exponent_ - pool_in_exponent_);
+  for (std::size_t c = 0; c < C; ++c) {
+    std::int64_t sum = 0;
+    for (std::size_t t = 0; t < T; ++t) sum += cur[t * C + c];
+    const std::int64_t scaled = sum * pool_multiplier_;
+    next[c] = saturate_i8(rounding_shift_right(scaled, shift));
+  }
+  std::swap(cur, next);
+  for (std::size_t i = 0; i < fcs_.size(); ++i) {
+    fcs_[i].forward(cur, next, /*relu=*/i + 1 < fcs_.size());
+    std::swap(cur, next);
+  }
+  const std::size_t out_dim = fcs_.empty() ? C : fcs_.back().w.rows;
+  s.logits.resize(fcs_.empty() ? 0 : out_dim);
+  for (std::size_t i = 0; i < s.logits.size(); ++i) s.logits[i] = cur[i];
+  return s.logits;
+}
+
+std::int16_t QuantizedCnn::predict(const std::vector<Token>& tokens,
+                                   Scratch& scratch) const {
+  const auto& q = logits_q(tokens, scratch);
+  return static_cast<std::int16_t>(std::max_element(q.begin(), q.end()) - q.begin());
+}
+
 std::vector<std::int32_t> QuantizedCnn::logits_q(
+    const std::vector<Token>& tokens) const {
+  Scratch scratch;
+  return logits_q(tokens, scratch);
+}
+
+std::int16_t QuantizedCnn::predict(const std::vector<Token>& tokens) const {
+  Scratch scratch;
+  return predict(tokens, scratch);
+}
+
+std::vector<std::int32_t> QuantizedCnn::logits_q_reference(
     const std::vector<Token>& tokens) const {
   const std::size_t T = config_.seq_len;
   const std::size_t E = config_.embed_dim();
@@ -260,10 +334,9 @@ std::vector<std::int32_t> QuantizedCnn::logits_q(
   }
   for (const QConv1D& conv : convs_) {
     std::vector<std::int8_t> next(T * conv.out_ch);
-    conv.forward(cur.data(), T, next.data(), /*relu=*/true);
+    conv.forward_reference(cur.data(), T, next.data(), /*relu=*/true);
     cur = std::move(next);
   }
-  // Average pool: integer sum, fixed-point multiply by 1/T, requantize.
   const std::size_t C = convs_.empty() ? E : convs_.back().out_ch;
   std::vector<std::int8_t> pooled(C);
   const int shift = 15 + (pool_out_exponent_ - pool_in_exponent_);
@@ -277,18 +350,13 @@ std::vector<std::int32_t> QuantizedCnn::logits_q(
   std::vector<std::int32_t> out;
   for (std::size_t i = 0; i < fcs_.size(); ++i) {
     std::vector<std::int8_t> y(fcs_[i].w.rows);
-    fcs_[i].forward(x.data(), y.data(), /*relu=*/i + 1 < fcs_.size());
+    fcs_[i].forward_reference(x.data(), y.data(), /*relu=*/i + 1 < fcs_.size());
     if (i + 1 == fcs_.size()) {
       out.assign(y.begin(), y.end());
     }
     x = std::move(y);
   }
   return out;
-}
-
-std::int16_t QuantizedCnn::predict(const std::vector<Token>& tokens) const {
-  const auto q = logits_q(tokens);
-  return static_cast<std::int16_t>(std::max_element(q.begin(), q.end()) - q.begin());
 }
 
 std::uint64_t QuantizedCnn::macs_per_inference() const {
@@ -370,7 +438,62 @@ QuantizedRnn::QuantizedRnn(const RnnClassifier& model,
   }
 }
 
+std::int16_t QuantizedRnn::predict(const std::vector<Token>& tokens,
+                                   Scratch& s) const {
+  const std::size_t T = config_.seq_len;
+  const std::size_t E = config_.embed_dim();
+  const std::size_t U = config_.units;
+  std::size_t max_elems = std::max(E, U);
+  for (const QDense& fc : fcs_) max_elems = std::max(max_elems, fc.w.rows);
+  s.act_a.resize(max_elems);            // x, then the FC ping plane
+  s.act_b.resize(max_elems);            // h, then the FC pong plane
+  s.act_c.resize(U);                    // h_next
+  s.acc_a.resize(U);                    // Wx x accumulators
+  s.acc_b.resize(U);                    // Wh h accumulators
+
+  std::int8_t* x = s.act_a.data();
+  std::int8_t* h = s.act_b.data();
+  std::int8_t* h_next = s.act_c.data();
+  std::memset(h, 0, U);
+  for (std::size_t t = 0; t < T; ++t) {
+    std::memcpy(x, len_embed_.row(tokens[t][0]), config_.len_embed_dim);
+    std::memcpy(x + config_.len_embed_dim, ipd_embed_.row(tokens[t][1]),
+                config_.ipd_embed_dim);
+    kernels::gemv_acc_i8(wx_.data.data(), U, wx_.cols, E, x, s.acc_a.data());
+    kernels::gemv_acc_i8(wh_.data.data(), U, wh_.cols, U, h, s.acc_b.data());
+    for (std::size_t u = 0; u < U; ++u) {
+      std::int64_t acc = static_cast<std::int64_t>(cell_bias_[u]) + s.acc_a[u];
+      acc += rounding_shift_right(s.acc_b[u], wh_acc_shift_);
+      h_next[u] = tanh_lut_.apply(acc);
+    }
+    std::swap(h, h_next);
+  }
+  // FC head ping-pongs between the two full-width planes; the final h may
+  // live in the U-wide act_c, so park it in act_b first (U-byte copy).
+  if (h != s.act_b.data()) std::memcpy(s.act_b.data(), h, U);
+  std::int8_t* cur = s.act_b.data();
+  std::int8_t* next = s.act_a.data();
+  std::size_t dim = U;
+  for (std::size_t i = 0; i < fcs_.size(); ++i) {
+    fcs_[i].forward(cur, next, /*relu=*/i + 1 < fcs_.size());
+    dim = fcs_[i].w.rows;
+    std::swap(cur, next);
+  }
+  std::int16_t best = 0;
+  for (std::size_t i = 1; i < dim; ++i) {
+    if (cur[i] > cur[static_cast<std::size_t>(best)]) {
+      best = static_cast<std::int16_t>(i);
+    }
+  }
+  return best;
+}
+
 std::int16_t QuantizedRnn::predict(const std::vector<Token>& tokens) const {
+  Scratch scratch;
+  return predict(tokens, scratch);
+}
+
+std::int16_t QuantizedRnn::predict_reference(const std::vector<Token>& tokens) const {
   const std::size_t T = config_.seq_len;
   const std::size_t E = config_.embed_dim();
   const std::size_t U = config_.units;
@@ -400,7 +523,7 @@ std::int16_t QuantizedRnn::predict(const std::vector<Token>& tokens) const {
   std::vector<std::int8_t> v = std::move(h);
   for (std::size_t i = 0; i < fcs_.size(); ++i) {
     std::vector<std::int8_t> y(fcs_[i].w.rows);
-    fcs_[i].forward(v.data(), y.data(), /*relu=*/i + 1 < fcs_.size());
+    fcs_[i].forward_reference(v.data(), y.data(), /*relu=*/i + 1 < fcs_.size());
     v = std::move(y);
   }
   std::int16_t best = 0;

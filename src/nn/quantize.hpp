@@ -15,24 +15,10 @@
 #include <memory>
 #include <vector>
 
+#include "nn/kernels.hpp"  // saturate_i8, rounding_shift_right, blocked kernels
 #include "nn/models.hpp"
 
 namespace fenix::nn {
-
-/// Clamps to INT8 range.
-constexpr std::int8_t saturate_i8(std::int64_t v) {
-  if (v > 127) return 127;
-  if (v < -128) return -128;
-  return static_cast<std::int8_t>(v);
-}
-
-/// Rounding arithmetic right shift (round-half-away-from-zero), the
-/// requantization step of fixed-point hardware.
-constexpr std::int64_t rounding_shift_right(std::int64_t v, int shift) {
-  if (shift <= 0) return v << (-shift);
-  const std::int64_t offset = 1LL << (shift - 1);
-  return v >= 0 ? (v + offset) >> shift : -((-v + offset) >> shift);
-}
 
 /// Chooses the smallest power-of-two exponent e such that
 /// max|values| <= 127 * 2^e (i.e. the finest precision without saturation).
@@ -60,7 +46,12 @@ struct QDense {
   int out_exponent = 0;
 
   /// y = requantize(W x + b); optionally applies ReLU before saturation.
+  /// Blocked + 4x-unrolled GEMV (kernels::gemv_i8).
   void forward(const std::int8_t* x, std::int8_t* y, bool relu) const;
+
+  /// Scalar triple-loop reference, retained for bit-exactness testing; the
+  /// blocked path must match it bit for bit.
+  void forward_reference(const std::int8_t* x, std::int8_t* y, bool relu) const;
 
   static QDense from(const Dense& d, int in_exponent, int out_exponent);
 };
@@ -73,8 +64,13 @@ struct QConv1D {
   int in_exponent = 0;
   int out_exponent = 0;
 
-  /// x: T*in_ch row-major, y: T*out_ch. ReLU folded in.
+  /// x: T*in_ch row-major, y: T*out_ch. ReLU folded in. Blocked kernel
+  /// (kernels::conv1d_i8).
   void forward(const std::int8_t* x, std::size_t T, std::int8_t* y, bool relu) const;
+
+  /// Scalar reference with per-tap bounds checks, retained for testing.
+  void forward_reference(const std::int8_t* x, std::size_t T, std::int8_t* y,
+                         bool relu) const;
 
   static QConv1D from(const Conv1D& c, int in_exponent, int out_exponent);
 };
@@ -117,6 +113,22 @@ class Calibrator {
   std::vector<float> max_abs_;
 };
 
+// ------------------------------------------------------------------ Scratch
+
+/// Reusable inference workspace. The first inference through a model grows
+/// the buffers to that model's high-water mark; every later inference then
+/// runs with zero heap allocation (std::vector::resize within capacity).
+/// One Scratch per execution context (a ModelEngine, a sweep shard, a bench
+/// loop) — it is not thread-safe, and sharing one across models is fine.
+struct Scratch {
+  std::vector<std::int8_t> act_a;   ///< Ping activation plane.
+  std::vector<std::int8_t> act_b;   ///< Pong activation plane.
+  std::vector<std::int8_t> act_c;   ///< Third plane (recurrent h_next).
+  std::vector<std::int32_t> acc_a;  ///< Raw accumulators (recurrent Wx x).
+  std::vector<std::int32_t> acc_b;  ///< Raw accumulators (recurrent Wh h).
+  std::vector<std::int32_t> logits;
+};
+
 // ------------------------------------------------------------ Quantized CNN
 
 /// INT8 inference twin of CnnClassifier. Produces the exact outputs the FPGA
@@ -127,8 +139,19 @@ class QuantizedCnn {
   /// Quantizes `model` using activation ranges observed on `calibration`.
   QuantizedCnn(const CnnClassifier& model, const std::vector<SeqSample>& calibration);
 
+  /// Allocation-free hot path: runs the blocked kernels inside `scratch` and
+  /// returns scratch.logits.
+  const std::vector<std::int32_t>& logits_q(const std::vector<Token>& tokens,
+                                            Scratch& scratch) const;
+  std::int16_t predict(const std::vector<Token>& tokens, Scratch& scratch) const;
+
+  /// Convenience wrappers that pay for a fresh Scratch per call.
   std::int16_t predict(const std::vector<Token>& tokens) const;
   std::vector<std::int32_t> logits_q(const std::vector<Token>& tokens) const;
+
+  /// Scalar reference pipeline (forward_reference layers, allocating),
+  /// retained for bit-exactness testing against the blocked path.
+  std::vector<std::int32_t> logits_q_reference(const std::vector<Token>& tokens) const;
 
   const CnnConfig& config() const { return config_; }
   /// Total INT8 MACs of one inference (drives the systolic timer).
@@ -151,7 +174,14 @@ class QuantizedRnn {
  public:
   QuantizedRnn(const RnnClassifier& model, const std::vector<SeqSample>& calibration);
 
+  /// Allocation-free hot path (blocked recurrent + FC kernels).
+  std::int16_t predict(const std::vector<Token>& tokens, Scratch& scratch) const;
+
+  /// Convenience wrapper paying for a fresh Scratch per call.
   std::int16_t predict(const std::vector<Token>& tokens) const;
+
+  /// Scalar reference recurrence, retained for bit-exactness testing.
+  std::int16_t predict_reference(const std::vector<Token>& tokens) const;
 
   const RnnConfig& config() const { return config_; }
   std::uint64_t macs_per_inference() const;

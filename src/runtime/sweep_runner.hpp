@@ -1,0 +1,60 @@
+// Deterministic fan-out of independent (config, trace) -> RunReport replays.
+//
+// Determinism contract: a sweep job receives only its own index. Everything
+// stochastic inside the job must derive from that index (its own FenixSystem,
+// its own seeded RandomStream) — never from thread identity, scheduling
+// order, or shared mutable state. SweepRunner schedules indices dynamically
+// across the pool but writes each result into a pre-sized slot, so the
+// returned vector is the exact sequence a serial `for (i = 0; i < n; ++i)`
+// loop would produce, bit for bit, at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace fenix::runtime {
+
+class SweepRunner {
+ public:
+  /// `threads` == 0 picks ThreadPool::default_thread_count().
+  explicit SweepRunner(std::size_t threads = 0) : pool_(threads) {}
+
+  std::size_t threads() const { return pool_.size(); }
+
+  /// Runs job(0..n-1) across the pool and returns the results in index
+  /// order. `job` must be invocable from multiple threads concurrently on
+  /// distinct indices; the first exception it throws is rethrown here.
+  template <typename Job>
+  auto run(std::size_t n, Job&& job)
+      -> std::vector<std::invoke_result_t<Job&, std::size_t>> {
+    using Result = std::invoke_result_t<Job&, std::size_t>;
+    // Optional slots so Result need not be default-constructible (RunReport
+    // is not); every slot is filled unless the job throws, in which case
+    // parallel_for rethrows before the unwrap below.
+    std::vector<std::optional<Result>> slots(n);
+    parallel_for(pool_, n,
+                 [&](std::size_t i) { slots[i].emplace(job(i)); });
+    std::vector<Result> results;
+    results.reserve(n);
+    for (auto& slot : slots) results.push_back(std::move(*slot));
+    return results;
+  }
+
+  /// Runs a heterogeneous batch of void tasks to completion (Table 2 trains
+  /// six different scheme types side by side).
+  void run_tasks(std::vector<std::function<void()>> tasks) {
+    for (auto& task : tasks) pool_.submit(std::move(task));
+    pool_.wait();
+  }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace fenix::runtime

@@ -1,0 +1,65 @@
+// Host-side execution runtime for the reproduction harness.
+//
+// The evaluation is a grid of independent replays (Figure 10 sweeps traffic
+// scale, Table 2 sweeps schemes, the ablations sweep design knobs). Each grid
+// point owns its own FenixSystem and seeded RandomStream, so points can run
+// on any thread in any order without changing a single bit of the result —
+// the pool below only supplies the cores. It is deliberately work-stealing
+// free: jobs are coarse (seconds each), so a single mutex-guarded FIFO and
+// contiguous parallel_for ranges are both simpler and cache-friendlier than
+// per-thread deques.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fenix::runtime {
+
+/// A fixed-size pool of worker threads draining one FIFO of tasks.
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks default_thread_count().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks may not touch the pool itself (no nested
+  /// submit-and-wait from inside a task).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the first
+  /// exception any task raised (the remaining tasks still run to completion).
+  void wait();
+
+  /// FENIX_THREADS if set and > 0, else std::thread::hardware_concurrency().
+  static std::size_t default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;  ///< Queued + currently executing tasks.
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the pool, in contiguous per-worker
+/// blocks (worker k owns one [begin, end) range). Blocks until all complete.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace fenix::runtime

@@ -1,0 +1,256 @@
+// Bit-exactness tests for the blocked INT8 kernels against their scalar
+// references. The blocked GEMV/conv1d paths reorder int32 partial
+// accumulations; integer addition is associative, so as long as partials
+// cannot overflow (guaranteed for the layer sizes here) every reordering
+// must produce the same bits as the sequential reference — these tests pin
+// that contract across randomized shapes, including dims that are not a
+// multiple of the 4-wide block.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/kernels.hpp"
+#include "nn/quantize.hpp"
+#include "sim/random.hpp"
+
+namespace fenix::nn {
+namespace {
+
+void fill_i8(std::vector<std::int8_t>& v, sim::RandomStream& rng) {
+  for (auto& x : v) {
+    x = static_cast<std::int8_t>(static_cast<int>(rng.uniform_int(255)) - 127);
+  }
+}
+
+QDense random_qdense(std::size_t rows, std::size_t cols, sim::RandomStream& rng) {
+  QDense d;
+  d.w.rows = rows;
+  d.w.cols = cols;
+  d.w.exponent = -7;
+  d.w.data.resize(rows * cols);
+  fill_i8(d.w.data, rng);
+  d.bias.resize(rows);
+  for (auto& b : d.bias) {
+    b = static_cast<std::int32_t>(rng.uniform_int(1 << 14)) - (1 << 13);
+  }
+  d.in_exponent = -6;
+  d.out_exponent = -4;  // shift = -4 - (-7 + -6) = 9
+  return d;
+}
+
+QConv1D random_qconv(std::size_t in_ch, std::size_t out_ch, std::size_t kernel,
+                     sim::RandomStream& rng) {
+  QConv1D c;
+  c.in_ch = in_ch;
+  c.out_ch = out_ch;
+  c.kernel = kernel;
+  c.w.rows = out_ch;
+  c.w.cols = in_ch * kernel;
+  c.w.exponent = -7;
+  c.w.data.resize(c.w.rows * c.w.cols);
+  fill_i8(c.w.data, rng);
+  c.bias.resize(out_ch);
+  for (auto& b : c.bias) {
+    b = static_cast<std::int32_t>(rng.uniform_int(1 << 14)) - (1 << 13);
+  }
+  c.in_exponent = -6;
+  c.out_exponent = -4;
+  return c;
+}
+
+TEST(Kernels, DotMatchesNaive) {
+  sim::RandomStream rng(11);
+  for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 15u, 16u, 33u, 100u}) {
+    std::vector<std::int8_t> a(n), b(n);
+    fill_i8(a, rng);
+    fill_i8(b, rng);
+    std::int32_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      expected += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+    }
+    EXPECT_EQ(kernels::dot_i8(a.data(), b.data(), n), expected) << "n=" << n;
+  }
+}
+
+TEST(Kernels, GemvAccMatchesNaive) {
+  sim::RandomStream rng(12);
+  for (std::size_t rows : {1u, 2u, 3u, 4u, 5u, 9u, 16u, 31u}) {
+    for (std::size_t cols : {1u, 3u, 4u, 17u, 64u}) {
+      std::vector<std::int8_t> w(rows * cols), x(cols);
+      fill_i8(w, rng);
+      fill_i8(x, rng);
+      std::vector<std::int32_t> got(rows, 0);
+      kernels::gemv_acc_i8(w.data(), rows, cols, cols, x.data(), got.data());
+      for (std::size_t r = 0; r < rows; ++r) {
+        std::int32_t expected = 0;
+        for (std::size_t c = 0; c < cols; ++c) {
+          expected += static_cast<std::int32_t>(w[r * cols + c]) *
+                      static_cast<std::int32_t>(x[c]);
+        }
+        EXPECT_EQ(got[r], expected) << rows << "x" << cols << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(QDenseKernels, BlockedMatchesReferenceBitExact) {
+  sim::RandomStream rng(13);
+  // Shapes deliberately include non-multiples of the 4-row block and the
+  // 4-wide unroll, plus degenerate 1-dim layers.
+  const std::size_t shapes[][2] = {{1, 1},  {1, 7},  {3, 5},   {4, 4},
+                                   {5, 9},  {7, 33}, {16, 16}, {31, 65},
+                                   {64, 3}, {130, 50}};
+  for (const auto& shape : shapes) {
+    const auto layer = random_qdense(shape[0], shape[1], rng);
+    std::vector<std::int8_t> x(shape[1]);
+    fill_i8(x, rng);
+    for (bool relu : {false, true}) {
+      std::vector<std::int8_t> y_blocked(shape[0]), y_reference(shape[0]);
+      layer.forward(x.data(), y_blocked.data(), relu);
+      layer.forward_reference(x.data(), y_reference.data(), relu);
+      EXPECT_EQ(y_blocked, y_reference)
+          << shape[0] << "x" << shape[1] << " relu=" << relu;
+    }
+  }
+}
+
+TEST(QDenseKernels, RandomizedShapesBitExact) {
+  sim::RandomStream rng(14);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t rows = 1 + rng.uniform_int(70);
+    const std::size_t cols = 1 + rng.uniform_int(70);
+    const auto layer = random_qdense(rows, cols, rng);
+    std::vector<std::int8_t> x(cols);
+    fill_i8(x, rng);
+    std::vector<std::int8_t> y_blocked(rows), y_reference(rows);
+    const bool relu = (trial & 1) != 0;
+    layer.forward(x.data(), y_blocked.data(), relu);
+    layer.forward_reference(x.data(), y_reference.data(), relu);
+    ASSERT_EQ(y_blocked, y_reference) << rows << "x" << cols << " relu=" << relu;
+  }
+}
+
+TEST(QConv1DKernels, BlockedMatchesReferenceBitExact) {
+  sim::RandomStream rng(15);
+  const std::size_t shapes[][3] = {{1, 1, 1},  {1, 4, 3},  {3, 5, 3},
+                                   {16, 16, 3}, {16, 32, 5}, {7, 9, 5},
+                                   {12, 64, 3}};
+  for (const auto& shape : shapes) {
+    const auto layer = random_qconv(shape[0], shape[1], shape[2], rng);
+    // T sweeps through lengths shorter than, equal to, and longer than the
+    // kernel so every padding regime (left edge, right edge, both) is hit.
+    for (std::size_t T : {1u, 2u, 3u, 5u, 9u, 17u}) {
+      std::vector<std::int8_t> x(T * shape[0]);
+      fill_i8(x, rng);
+      for (bool relu : {false, true}) {
+        std::vector<std::int8_t> y_blocked(T * shape[1]);
+        std::vector<std::int8_t> y_reference(T * shape[1]);
+        layer.forward(x.data(), T, y_blocked.data(), relu);
+        layer.forward_reference(x.data(), T, y_reference.data(), relu);
+        EXPECT_EQ(y_blocked, y_reference)
+            << "in=" << shape[0] << " out=" << shape[1] << " k=" << shape[2]
+            << " T=" << T << " relu=" << relu;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- full model paths
+
+std::vector<SeqSample> pattern_samples(std::size_t per_class, std::uint64_t seed) {
+  sim::RandomStream rng(seed);
+  std::vector<SeqSample> samples;
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      SeqSample s;
+      s.label = static_cast<std::int16_t>(c);
+      for (std::size_t t = 0; t < 9; ++t) {
+        const std::uint16_t base = c == 0 ? 10 : c == 1 ? 120 : (t % 2 ? 10 : 120);
+        s.tokens.push_back({static_cast<std::uint16_t>(base + rng.uniform_int(8)),
+                            static_cast<std::uint16_t>(rng.uniform_int(8))});
+      }
+      samples.push_back(std::move(s));
+    }
+  }
+  return samples;
+}
+
+TEST(QuantizedCnnKernels, BlockedLogitsMatchReferenceBitExact) {
+  CnnConfig config;
+  config.conv_channels = {16, 24};
+  config.fc_dims = {32};
+  config.num_classes = 3;
+  CnnClassifier model(config, 31);
+  const auto train = pattern_samples(20, 70);
+  TrainOptions opts;
+  opts.epochs = 2;
+  model.fit(train, opts);
+  const QuantizedCnn qmodel(model, train);
+
+  Scratch scratch;
+  const auto test = pattern_samples(30, 71);
+  for (const SeqSample& s : test) {
+    const auto& blocked = qmodel.logits_q(s.tokens, scratch);
+    const auto reference = qmodel.logits_q_reference(s.tokens);
+    ASSERT_EQ(blocked, reference);
+    // The allocating convenience wrapper must agree too.
+    ASSERT_EQ(qmodel.logits_q(s.tokens), reference);
+    ASSERT_EQ(qmodel.predict(s.tokens, scratch), qmodel.predict(s.tokens));
+  }
+}
+
+TEST(QuantizedRnnKernels, BlockedPredictMatchesReference) {
+  RnnConfig config;
+  config.units = 24;
+  config.fc_dims = {16};
+  config.num_classes = 3;
+  RnnClassifier model(config, 32);
+  const auto train = pattern_samples(20, 72);
+  TrainOptions opts;
+  opts.epochs = 2;
+  model.fit(train, opts);
+  const QuantizedRnn qmodel(model, train);
+
+  Scratch scratch;
+  const auto test = pattern_samples(30, 73);
+  for (const SeqSample& s : test) {
+    const auto blocked = qmodel.predict(s.tokens, scratch);
+    ASSERT_EQ(blocked, qmodel.predict_reference(s.tokens));
+    ASSERT_EQ(blocked, qmodel.predict(s.tokens));
+  }
+}
+
+TEST(ScratchReuse, SharedAcrossModelsAndCallOrders) {
+  CnnConfig cnn_config;
+  cnn_config.conv_channels = {16};
+  cnn_config.fc_dims = {};
+  cnn_config.num_classes = 3;
+  CnnClassifier cnn(cnn_config, 33);
+  RnnConfig rnn_config;
+  rnn_config.units = 16;
+  rnn_config.num_classes = 3;
+  RnnClassifier rnn(rnn_config, 34);
+  const auto train = pattern_samples(20, 74);
+  TrainOptions opts;
+  opts.epochs = 2;
+  cnn.fit(train, opts);
+  rnn.fit(train, opts);
+  const QuantizedCnn qcnn(cnn, train);
+  const QuantizedRnn qrnn(rnn, train);
+
+  // One scratch ping-ponged between two differently-shaped models must give
+  // the same answers as fresh scratches: sizes are re-established per call.
+  Scratch shared;
+  const auto test = pattern_samples(10, 75);
+  for (const SeqSample& s : test) {
+    const auto cnn_shared = qcnn.predict(s.tokens, shared);
+    const auto rnn_shared = qrnn.predict(s.tokens, shared);
+    Scratch fresh_cnn, fresh_rnn;
+    EXPECT_EQ(cnn_shared, qcnn.predict(s.tokens, fresh_cnn));
+    EXPECT_EQ(rnn_shared, qrnn.predict(s.tokens, fresh_rnn));
+  }
+}
+
+}  // namespace
+}  // namespace fenix::nn
