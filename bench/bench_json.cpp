@@ -100,13 +100,14 @@ void JsonSection::put(const std::string& key, const std::string& text) {
   entries_.emplace_back(key, "\"" + escape(text) + "\"");
 }
 
-std::string bench_json_path() {
+std::string bench_json_path(const std::string& default_file) {
   if (const char* env = std::getenv("FENIX_BENCH_JSON")) return env;
-  return "BENCH_PR1.json";
+  return default_file;
 }
 
-bool write_bench_json(const std::string& name, const JsonSection& section) {
-  const std::string path = bench_json_path();
+bool write_bench_json(const std::string& name, const JsonSection& section,
+                      const std::string& default_file) {
+  const std::string path = bench_json_path(default_file);
 
   std::vector<std::pair<std::string, std::string>> sections;
   {

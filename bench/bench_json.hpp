@@ -35,12 +35,16 @@ class JsonSection {
   std::vector<std::pair<std::string, std::string>> entries_;
 };
 
-/// Path the emitter writes to ($FENIX_BENCH_JSON or "BENCH_PR1.json").
-std::string bench_json_path();
+/// Path the emitter writes to: $FENIX_BENCH_JSON if set, else
+/// `default_file`. Benches introduced by later PRs pass their own default
+/// (e.g. "BENCH_PR2.json") so each PR's headline numbers land in their own
+/// trajectory file.
+std::string bench_json_path(const std::string& default_file = "BENCH_PR1.json");
 
 /// Merges `section` under `name` into the perf-tracking file, preserving all
 /// other sections. Returns false (after printing a warning) if the file
 /// cannot be written; benches should not fail on a read-only directory.
-bool write_bench_json(const std::string& name, const JsonSection& section);
+bool write_bench_json(const std::string& name, const JsonSection& section,
+                      const std::string& default_file = "BENCH_PR1.json");
 
 }  // namespace fenix::bench

@@ -8,7 +8,8 @@ DataEngine::DataEngine(const DataEngineConfig& config)
     : config_(config), ledger_(config.chip), timing_(config.chip),
       prob_table_(config.prob_t_cells, config.prob_c_cells, config.prob_t_max_s,
                   config.prob_c_max, config.prob_log_scale_c,
-                  config.prob_log_scale_t) {
+                  config.prob_log_scale_t),
+      watchdog_(config.watchdog) {
   tracker_ = std::make_unique<FlowTracker>(ledger_, config.tracker);
   // Stage layout (matching the deployed 9-stage program): stages 0-3 flow
   // tracker, 4 IPD register, 5-6 feature rings, 7 probability table +
@@ -96,7 +97,11 @@ DataEngineOutput DataEngine::on_packet(const net::PacketRecord& packet) {
                                        sim::kMicrosecond);
   }
 
-  // Forwarding decision: cached verdict, else preliminary tree.
+  // Forwarding decision — the degradation ladder (DESIGN.md § Failure
+  // semantics): a cached DNN verdict wins when present; otherwise the
+  // switch-local compiled tree serves. While the watchdog is degraded the
+  // tree is the primary verdict source for every flow the DNN never reached,
+  // and those verdicts are counted as fallbacks.
   if (out.flow.classification >= 0) {
     out.forward_class = out.flow.classification;
     out.from_model_engine = true;
@@ -106,19 +111,31 @@ DataEngineOutput DataEngine::on_packet(const net::PacketRecord& packet) {
                          feature.ipd_code});
     if (const auto hit = prelim_table_->lookup(key)) {
       out.forward_class = static_cast<std::int16_t>(hit->action_data);
+      out.from_fallback_tree = true;
+      if (watchdog_.degraded()) ++fallback_verdicts_;
     }
   }
 
-  // Rate Limiter: probabilistic token bucket over (T_i, C_i).
+  // Rate Limiter: probabilistic token bucket over (T_i, C_i). While the
+  // watchdog is degraded, grants are thinned to a probe stream: the few
+  // mirrors that do go out are the heartbeats that detect recovery.
   const double t_i = sim::to_seconds(out.flow.backlog_age);
   const double c_i = static_cast<double>(out.flow.backlog_count);
   const std::uint16_t prob = prob_table_.lookup_fixed(t_i, c_i);
   if (bucket_->on_packet(packet.timestamp, prob)) {
-    out.mirrored = buffers_->assemble(out.flow.index, packet.tuple, packet.flow_id,
-                                      feature, out.flow.ring_slot,
-                                      out.flow.packet_count - 1, packet.timestamp);
-    tracker_->record_feature_sent(out.flow.index, packet.timestamp);
-    ++mirrors_sent_;
+    bool emit = true;
+    if (watchdog_.degraded()) {
+      const unsigned stride = std::max(1u, config_.degraded_probe_stride);
+      emit = degraded_grants_++ % stride == 0;
+      if (!emit) ++mirrors_suppressed_;
+    }
+    if (emit) {
+      out.mirrored = buffers_->assemble(out.flow.index, packet.tuple,
+                                        packet.flow_id, feature, out.flow.ring_slot,
+                                        out.flow.packet_count - 1, packet.timestamp);
+      tracker_->record_feature_sent(out.flow.index, packet.timestamp);
+      ++mirrors_sent_;
+    }
   }
 
   // Deparser-stage register write: current feature enters the ring.
@@ -127,6 +144,9 @@ DataEngineOutput DataEngine::on_packet(const net::PacketRecord& packet) {
 }
 
 bool DataEngine::deliver_result(const net::InferenceResult& result) {
+  // Any verdict making it back is proof of life, stale or not — the slot may
+  // have been recycled, but the FPGA computed and returned it.
+  watchdog_.on_result(result.delivered_at);
   if (tracker_->apply_classification(result.tuple, result.predicted_class)) {
     ++results_applied_;
     return true;

@@ -19,6 +19,7 @@
 
 #include "core/buffer_manager.hpp"
 #include "core/flow_tracker.hpp"
+#include "core/health_watchdog.hpp"
 #include "core/probability_model.hpp"
 #include "core/token_bucket.hpp"
 #include "core/tree_compiler.hpp"
@@ -56,6 +57,14 @@ struct DataEngineConfig {
 
   sim::SimDuration window_tw = sim::milliseconds(50);
 
+  /// FPGA health watchdog thresholds (§ Failure semantics in DESIGN.md).
+  HealthWatchdogConfig watchdog;
+
+  /// While the watchdog is degraded only every k-th Rate Limiter grant is
+  /// actually mirrored — enough of a heartbeat probe stream to detect
+  /// recovery without wasting PCB bandwidth on a card that is down.
+  unsigned degraded_probe_stride = 16;
+
   /// EWMA smoothing factor for the per-window N and Q estimates (1.0 = use
   /// raw window counts). Smoothing keeps one quiet or bursty window from
   /// whipsawing the probability table.
@@ -71,6 +80,7 @@ struct DataEngineOutput {
   FlowState flow;
   std::int16_t forward_class = -1;  ///< Class driving the forwarding action.
   bool from_model_engine = false;   ///< True when forward_class is a cached DNN verdict.
+  bool from_fallback_tree = false;  ///< True when the compiled tree supplied it.
   std::optional<net::FeatureVector> mirrored;  ///< Set on a Rate Limiter grant.
 };
 
@@ -107,6 +117,14 @@ class DataEngine {
   std::uint64_t mirrors_sent() const { return mirrors_sent_; }
   std::uint64_t results_applied() const { return results_applied_; }
   std::uint64_t results_stale() const { return results_stale_; }
+  std::uint64_t fallback_verdicts() const { return fallback_verdicts_; }
+  std::uint64_t mirrors_suppressed() const { return mirrors_suppressed_; }
+
+  /// FPGA health watchdog. deliver_result() feeds it heartbeats; the system
+  /// loop reports missed result deadlines into it; on_packet() consults it
+  /// for the degradation ladder.
+  HealthWatchdog& watchdog() { return watchdog_; }
+  const HealthWatchdog& watchdog() const { return watchdog_; }
 
  private:
   DataEngineConfig config_;
@@ -128,11 +146,16 @@ class DataEngine {
   telemetry::RateMeter flow_rate_meter_{0.4};
   telemetry::RateMeter packet_rate_meter_{0.4};
 
+  HealthWatchdog watchdog_;
+  std::uint64_t degraded_grants_ = 0;  ///< Grants seen while degraded (probe stride).
+
   sim::SimTime last_window_tick_ = 0;
   std::uint64_t packets_seen_ = 0;
   std::uint64_t mirrors_sent_ = 0;
   std::uint64_t results_applied_ = 0;
   std::uint64_t results_stale_ = 0;
+  std::uint64_t fallback_verdicts_ = 0;
+  std::uint64_t mirrors_suppressed_ = 0;
 };
 
 }  // namespace fenix::core

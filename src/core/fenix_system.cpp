@@ -1,5 +1,6 @@
 #include "core/fenix_system.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace fenix::core {
@@ -14,6 +15,56 @@ struct PendingResult {
   bool operator>(const PendingResult& other) const {
     return delivered_at > other.delivered_at;
   }
+};
+
+/// A mirror whose verdict will not be back by its deadline: fires the
+/// watchdog and (retry budget + token bucket permitting) a retransmit. `seq`
+/// makes heap ordering total, so identical runs pop identical orders.
+struct MissEvent {
+  sim::SimTime at;
+  std::uint64_t seq;
+  net::FeatureVector vec;
+  unsigned retries_left;
+
+  bool operator>(const MissEvent& other) const {
+    if (at != other.at) return at > other.at;
+    return seq > other.seq;
+  }
+};
+
+/// Deterministic (non-probabilistic) token bucket bounding the aggregate
+/// retransmit rate. Held in time units like the Rate Limiter's bucket; starts
+/// full so the first loss burst can be repaired immediately.
+class RetransmitBucket {
+ public:
+  RetransmitBucket(double rate_hz, double burst_tokens) {
+    const double cost =
+        rate_hz > 0.0 ? static_cast<double>(sim::kSecond) / rate_hz
+                      : static_cast<double>(sim::kSecond);
+    cost_ps_ = std::max<sim::SimDuration>(1, static_cast<sim::SimDuration>(cost));
+    cap_ps_ = static_cast<sim::SimDuration>(static_cast<double>(cost_ps_) *
+                                            std::max(1.0, burst_tokens));
+    level_ps_ = cap_ps_;
+  }
+
+  bool try_take(sim::SimTime now) {
+    if (first_) {
+      first_ = false;
+    } else if (now > t_last_) {
+      level_ps_ = std::min(cap_ps_, level_ps_ + (now - t_last_));
+    }
+    t_last_ = now;
+    if (level_ps_ < cost_ps_) return false;
+    level_ps_ -= cost_ps_;
+    return true;
+  }
+
+ private:
+  sim::SimDuration cost_ps_ = 1;
+  sim::SimDuration cap_ps_ = 1;
+  sim::SimDuration level_ps_ = 0;
+  sim::SimTime t_last_ = 0;
+  bool first_ = true;
 };
 
 }  // namespace
@@ -35,12 +86,22 @@ FenixSystem::FenixSystem(const FenixSystemConfig& config, const nn::QuantizedCnn
       from_fpga_(config.pcb_channel_bps, config.pcb_propagation,
                  config.pcb_loss_rate, /*loss_seed=*/0x6f07) {}
 
-RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes) {
+RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes,
+                           RunHooks* hooks, const std::vector<RunPhase>& phases) {
   RunReport report(num_classes);
   report.trace_duration = trace.duration();
+  report.phases.reserve(phases.size());
+  for (const RunPhase& p : phases) {
+    report.phases.emplace_back(p.name, p.start, p.end, num_classes);
+  }
 
   std::priority_queue<PendingResult, std::vector<PendingResult>, std::greater<>>
       pending;
+  std::priority_queue<MissEvent, std::vector<MissEvent>, std::greater<>> misses;
+  std::uint64_t miss_seq = 0;
+  RetransmitBucket rtx_bucket(config_.recovery.retransmit_rate_hz,
+                              config_.recovery.retransmit_burst_tokens);
+  const sim::SimDuration deadline = config_.recovery.result_deadline;
 
   // Flow-id -> truth label for inference accuracy accounting, plus the last
   // verdict each flow received (for flow-level macro-F1, Figure 10).
@@ -50,66 +111,54 @@ RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes) {
     if (f.flow_id < flow_labels.size()) flow_labels[f.flow_id] = f.label;
   }
 
-  for (const net::PacketRecord& packet : trace.packets) {
-    // Deliver any inference results that have arrived back at the switch.
-    while (!pending.empty() && pending.top().delivered_at <= packet.timestamp) {
-      const PendingResult& p = pending.top();
-      data_engine_.deliver_result(p.result);
-      report.end_to_end.record(p.delivered_at - p.mirror_emitted);
-      if (p.result.flow_id < flow_labels.size()) {
-        report.inference_confusion.add(flow_labels[p.result.flow_id],
-                                       p.result.predicted_class);
-        flow_verdicts[p.result.flow_id] = p.result.predicted_class;
-      }
-      pending.pop();
+  // One send attempt (original mirror or retransmit) through the full
+  // channel -> Model Engine -> channel path. Any failure to produce a
+  // verdict by `emitted + deadline` schedules a MissEvent; the simulator
+  // learns the attempt's fate synchronously, but the switch only acts on it
+  // when the deadline actually passes.
+  const auto send_vector = [&](const net::FeatureVector& vec, sim::SimTime emitted,
+                               unsigned retries_left) {
+    const auto schedule_miss = [&] {
+      misses.push(MissEvent{emitted + deadline, miss_seq++, vec, retries_left});
+    };
+    const auto fpga_arrival = to_fpga_.transfer_lossy(emitted, vec.wire_bytes());
+    if (!fpga_arrival) {
+      ++report.channel_losses;
+      schedule_miss();
+      return;
     }
+    report.internal_tx.record(*fpga_arrival - emitted);
 
-    data_engine_.control_plane_tick(packet.timestamp);
-    DataEngineOutput out = data_engine_.on_packet(packet);
-    ++report.packets;
-    report.packet_confusion.add(packet.label, out.forward_class);
-
-    if (out.mirrored) {
-      ++report.mirrors;
-      // Mirror leaves the deparser after the full switch transit.
-      const sim::SimTime emitted =
-          packet.timestamp + data_engine_.timing().transit_latency();
-      const auto fpga_arrival =
-          to_fpga_.transfer_lossy(emitted, out.mirrored->wire_bytes());
-      if (!fpga_arrival) {
-        ++report.channel_losses;
-        continue;
-      }
-      report.internal_tx.record(*fpga_arrival - emitted);
-
-      auto result = model_engine_.submit(*out.mirrored, *fpga_arrival);
-      if (!result) {
-        ++report.fifo_drops;
-      } else {
-        report.queueing.record(result->inference_started - *fpga_arrival);
-        report.inference.record(result->inference_finished -
-                                result->inference_started);
-        // Result packet: five-tuple + verdict, minimal frame.
-        const auto back = from_fpga_.transfer_lossy(result->inference_finished,
-                                                    result->wire_bytes());
-        if (!back) {
-          ++report.channel_losses;
-          continue;
-        }
-        report.return_tx.record(*back - result->inference_finished);
-        PendingResult p;
-        p.delivered_at = *back + data_engine_.timing().pass_latency();
-        p.result = *result;
-        p.result.delivered_at = p.delivered_at;
-        p.mirror_emitted = emitted;
-        p.fpga_arrival = *fpga_arrival;
-        pending.push(std::move(p));
-      }
+    auto result = model_engine_.submit(vec, *fpga_arrival);
+    if (!result) {
+      ++report.fifo_drops;
+      schedule_miss();
+      return;
     }
-  }
+    report.queueing.record(result->inference_started - *fpga_arrival);
+    report.inference.record(result->inference_finished - result->inference_started);
+    // Result packet: five-tuple + verdict, minimal frame.
+    const auto back = from_fpga_.transfer_lossy(result->inference_finished,
+                                                result->wire_bytes());
+    if (!back) {
+      ++report.channel_losses;
+      schedule_miss();
+      return;
+    }
+    report.return_tx.record(*back - result->inference_finished);
+    PendingResult p;
+    p.delivered_at = *back + data_engine_.timing().pass_latency();
+    p.result = *result;
+    p.result.delivered_at = p.delivered_at;
+    p.mirror_emitted = emitted;
+    p.fpga_arrival = *fpga_arrival;
+    // A verdict landing after its own deadline still gets applied, but the
+    // switch has already declared the miss by then.
+    if (p.delivered_at > emitted + deadline) schedule_miss();
+    pending.push(std::move(p));
+  };
 
-  // Drain the tail so late verdicts still count toward inference accuracy.
-  while (!pending.empty()) {
+  const auto deliver_one = [&] {
     const PendingResult& p = pending.top();
     data_engine_.deliver_result(p.result);
     report.end_to_end.record(p.delivered_at - p.mirror_emitted);
@@ -119,7 +168,86 @@ RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes) {
       flow_verdicts[p.result.flow_id] = p.result.predicted_class;
     }
     pending.pop();
+  };
+
+  const auto miss_one = [&] {
+    MissEvent ev = misses.top();
+    misses.pop();
+    ++report.deadline_misses;
+    data_engine_.watchdog().on_deadline_missed(ev.at);
+    if (ev.retries_left == 0) {
+      ++report.retransmits_exhausted;
+      return;
+    }
+    if (!rtx_bucket.try_take(ev.at)) {
+      ++report.retransmits_suppressed;
+      return;
+    }
+    ++report.retransmits;
+    send_vector(ev.vec, ev.at, ev.retries_left - 1);
+  };
+
+  // Drains result deliveries and deadline misses due by `now` in simulated-
+  // time order, so watchdog heartbeats and misses interleave exactly as the
+  // switch would observe them. `everything` drains both queues to empty
+  // (end-of-trace tail, where retransmits may spawn further events).
+  const auto pump = [&](sim::SimTime now, bool everything) {
+    for (;;) {
+      const bool have_result =
+          !pending.empty() && (everything || pending.top().delivered_at <= now);
+      const bool have_miss =
+          !misses.empty() && (everything || misses.top().at <= now);
+      if (!have_result && !have_miss) break;
+      if (have_result &&
+          (!have_miss || pending.top().delivered_at <= misses.top().at)) {
+        deliver_one();
+      } else {
+        miss_one();
+      }
+    }
+  };
+
+  std::size_t phase_idx = 0;
+  for (const net::PacketRecord& packet : trace.packets) {
+    if (hooks) hooks->at_time(packet.timestamp);
+    pump(packet.timestamp, /*everything=*/false);
+
+    data_engine_.control_plane_tick(packet.timestamp);
+    DataEngineOutput out = data_engine_.on_packet(packet);
+    ++report.packets;
+    report.packet_confusion.add(packet.label, out.forward_class);
+
+    while (phase_idx < report.phases.size() &&
+           packet.timestamp >= report.phases[phase_idx].end) {
+      ++phase_idx;
+    }
+    if (phase_idx < report.phases.size() &&
+        packet.timestamp >= report.phases[phase_idx].start) {
+      PhaseReport& phase = report.phases[phase_idx];
+      ++phase.packets;
+      phase.packet_confusion.add(packet.label, out.forward_class);
+      if (out.from_model_engine) {
+        ++phase.dnn_verdicts;
+      } else if (out.from_fallback_tree) {
+        ++phase.tree_verdicts;
+      } else {
+        ++phase.unclassified;
+      }
+    }
+
+    if (out.mirrored) {
+      ++report.mirrors;
+      // Mirror leaves the deparser after the full switch transit.
+      const sim::SimTime emitted =
+          packet.timestamp + data_engine_.timing().transit_latency();
+      send_vector(*out.mirrored, emitted, config_.recovery.max_retransmits);
+    }
   }
+
+  // Drain the tail so late verdicts still count toward inference accuracy
+  // and the final misses reach the watchdog.
+  pump(0, /*everything=*/true);
+  data_engine_.watchdog().close(trace.duration());
 
   for (std::size_t f = 0; f < flow_labels.size(); ++f) {
     report.flow_confusion.add(flow_labels[f], flow_verdicts[f]);
@@ -127,7 +255,40 @@ RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes) {
 
   report.results_applied = data_engine_.results_applied();
   report.results_stale = data_engine_.results_stale();
+  report.fallback_verdicts = data_engine_.fallback_verdicts();
+  report.mirrors_suppressed = data_engine_.mirrors_suppressed();
+  report.watchdog = data_engine_.watchdog().stats();
   return report;
+}
+
+telemetry::MetricRegistry FenixSystem::health_metrics(const RunReport& report) const {
+  telemetry::MetricRegistry reg;
+  reg.set_counter("packets", report.packets);
+  reg.set_counter("mirrors", report.mirrors);
+  reg.set_counter("results_applied", report.results_applied);
+  reg.set_counter("results_stale", report.results_stale);
+  reg.set_counter("fifo_drops", report.fifo_drops);
+  reg.set_counter("channel_losses", report.channel_losses);
+  reg.set_counter("to_fpga_losses", to_fpga_.stats().losses);
+  reg.set_counter("from_fpga_losses", from_fpga_.stats().losses);
+  const ModelEngineStats& engine = model_engine_.stats();
+  reg.set_counter("engine_input_drops", engine.input_drops);
+  reg.set_counter("reconfig_drops", engine.reconfig_drops);
+  reg.set_counter("stall_drops", engine.stall_drops);
+  const fpgasim::DeviceFaultStats& device = model_engine_.device().fault_stats();
+  reg.set_counter("device_stalls", device.stalls);
+  reg.set_counter("device_resets", device.resets);
+  reg.set_counter("deadline_misses", report.deadline_misses);
+  reg.set_counter("retransmits", report.retransmits);
+  reg.set_counter("retransmits_suppressed", report.retransmits_suppressed);
+  reg.set_counter("retransmits_exhausted", report.retransmits_exhausted);
+  reg.set_counter("fallback_verdicts", report.fallback_verdicts);
+  reg.set_counter("mirrors_suppressed", report.mirrors_suppressed);
+  reg.set_counter("watchdog_degradations", report.watchdog.degradations);
+  reg.set_counter("watchdog_recoveries", report.watchdog.recoveries);
+  reg.set_gauge("time_degraded_ms",
+                sim::to_milliseconds(report.watchdog.time_degraded));
+  return reg;
 }
 
 }  // namespace fenix::core

@@ -6,10 +6,19 @@
 // Figure 10 (accuracy under scale) and Figure 11 (latency breakdown):
 // per-packet forwarding classifications, and internal-transmission /
 // inference / return-path latency distributions.
+//
+// The replay is failure-aware (DESIGN.md § Failure semantics): every mirror
+// carries a result deadline; deadlines missed feed the Data Engine's FPGA
+// health watchdog and arm a token-bucket-governed retransmit of the stored
+// feature vector. While the watchdog declares the card unhealthy the switch
+// serves verdicts from its compiled decision tree and thins mirroring to a
+// heartbeat probe stream, failing back to DNN service when results resume.
 #pragma once
 
 #include <memory>
 #include <queue>
+#include <string>
+#include <vector>
 
 #include "core/data_engine.hpp"
 #include "core/model_engine.hpp"
@@ -18,6 +27,23 @@
 #include "telemetry/metrics.hpp"
 
 namespace fenix::core {
+
+/// Per-mirror deadline / retransmit / watchdog knobs.
+struct RecoveryConfig {
+  /// A mirror whose verdict has not come back `result_deadline` after it
+  /// left the deparser is declared missed (watchdog signal + retransmit
+  /// candidate). Healthy end-to-end latency is a few microseconds, so the
+  /// default only fires on real loss or a stalled card.
+  sim::SimDuration result_deadline = sim::microseconds(500);
+
+  /// Retransmit attempts per original mirror (0 disables retransmission).
+  unsigned max_retransmits = 1;
+
+  /// Token bucket governing the aggregate retransmit rate, so a dead card
+  /// cannot double the PCB channel load with futile repeats.
+  double retransmit_rate_hz = 200e3;
+  double retransmit_burst_tokens = 32;
+};
 
 struct FenixSystemConfig {
   /// data_engine.fpga_inference_rate_hz <= 0 derives F (Eq. 1) from the
@@ -33,6 +59,45 @@ struct FenixSystemConfig {
   /// Frame loss rate on the PCB channels (failure injection: signal-integrity
   /// faults drop CRC-failing frames). 0 = healthy board.
   double pcb_loss_rate = 0.0;
+
+  /// Deadline / retransmit / watchdog recovery behaviour.
+  RecoveryConfig recovery;
+};
+
+/// Host-side observation hooks driven by the replay loop as simulated time
+/// advances. Fault injectors (src/faults) implement this to arm and clear
+/// their fault windows against the running system.
+struct RunHooks {
+  virtual ~RunHooks() = default;
+  /// Called with each packet's timestamp before the packet is processed
+  /// (monotonically non-decreasing).
+  virtual void at_time(sim::SimTime now) { (void)now; }
+};
+
+/// A named time slice of a replay for phase-by-phase accounting
+/// ([start, end) in simulated time; slices must be sorted and disjoint).
+struct RunPhase {
+  std::string name;
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+};
+
+/// Per-phase accounting of forwarding verdicts (the in-outage / recovery
+/// accuracy numbers of the degradation bench).
+struct PhaseReport {
+  std::string name;
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  telemetry::ConfusionMatrix packet_confusion;  ///< Forwarding class vs truth.
+  std::uint64_t packets = 0;
+  std::uint64_t dnn_verdicts = 0;   ///< Forwarded on a cached DNN verdict.
+  std::uint64_t tree_verdicts = 0;  ///< Forwarded on the compiled tree.
+  std::uint64_t unclassified = 0;   ///< No verdict source had an answer.
+
+  PhaseReport(std::string name_, sim::SimTime start_, sim::SimTime end_,
+              std::size_t num_classes)
+      : name(std::move(name_)), start(start_), end(end_),
+        packet_confusion(num_classes) {}
 };
 
 /// Aggregate measurements of one trace replay.
@@ -55,6 +120,17 @@ struct RunReport {
   std::uint64_t results_stale = 0;
   sim::SimDuration trace_duration = 0;
 
+  // Failure / recovery accounting (DESIGN.md § Failure semantics).
+  std::uint64_t deadline_misses = 0;         ///< Mirrors with no verdict by deadline.
+  std::uint64_t retransmits = 0;             ///< Feature vectors re-sent.
+  std::uint64_t retransmits_suppressed = 0;  ///< Wanted to re-send, bucket empty.
+  std::uint64_t retransmits_exhausted = 0;   ///< Retry budget spent, verdict lost.
+  std::uint64_t fallback_verdicts = 0;       ///< Tree verdicts served while degraded.
+  std::uint64_t mirrors_suppressed = 0;      ///< Grants thinned while degraded.
+  HealthWatchdogStats watchdog;              ///< Final watchdog state counters.
+
+  std::vector<PhaseReport> phases;  ///< Populated when run() was given phases.
+
   explicit RunReport(std::size_t num_classes)
       : packet_confusion(num_classes), inference_confusion(num_classes),
         flow_confusion(num_classes) {}
@@ -66,13 +142,26 @@ class FenixSystem {
   FenixSystem(const FenixSystemConfig& config, const nn::QuantizedCnn* cnn,
               const nn::QuantizedRnn* rnn);
 
-  /// Replays `trace` through the full system.
-  RunReport run(const net::Trace& trace, std::size_t num_classes);
+  /// Replays `trace` through the full system. `hooks` (optional) observes
+  /// simulated time for fault injection; `phases` (optional, sorted,
+  /// disjoint) requests per-phase forwarding accuracy accounting.
+  RunReport run(const net::Trace& trace, std::size_t num_classes,
+                RunHooks* hooks = nullptr, const std::vector<RunPhase>& phases = {});
+
+  /// One consistent health table over the failure counters of the last
+  /// run() plus the live engine/channel/device statistics, so every
+  /// reporting surface prints the same numbers.
+  telemetry::MetricRegistry health_metrics(const RunReport& report) const;
 
   DataEngine& data_engine() { return data_engine_; }
   ModelEngine& model_engine() { return model_engine_; }
   const sim::Channel& to_fpga() const { return to_fpga_; }
   const sim::Channel& from_fpga() const { return from_fpga_; }
+
+  /// Mutable channel access for fault injection (brownouts retune the line
+  /// rate and loss of the live links).
+  sim::Channel& to_fpga_mut() { return to_fpga_; }
+  sim::Channel& from_fpga_mut() { return from_fpga_; }
 
  private:
   static DataEngineConfig resolve_data_engine_config(FenixSystemConfig config,

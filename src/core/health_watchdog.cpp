@@ -1,0 +1,45 @@
+#include "core/health_watchdog.hpp"
+
+#include <stdexcept>
+
+namespace fenix::core {
+
+HealthWatchdog::HealthWatchdog(const HealthWatchdogConfig& config)
+    : config_(config) {
+  if (config_.miss_threshold == 0 || config_.recovery_threshold == 0) {
+    throw std::invalid_argument("HealthWatchdog: thresholds must be >= 1");
+  }
+}
+
+void HealthWatchdog::on_deadline_missed(sim::SimTime now) {
+  ++stats_.deadline_misses;
+  consecutive_results_ = 0;
+  if (degraded_) return;
+  if (++consecutive_misses_ >= config_.miss_threshold) {
+    degraded_ = true;
+    degraded_since_ = now;
+    consecutive_misses_ = 0;
+    ++stats_.degradations;
+  }
+}
+
+void HealthWatchdog::on_result(sim::SimTime now) {
+  ++stats_.heartbeats;
+  consecutive_misses_ = 0;
+  if (!degraded_) return;
+  if (++consecutive_results_ >= config_.recovery_threshold) {
+    degraded_ = false;
+    consecutive_results_ = 0;
+    stats_.time_degraded += now - degraded_since_;
+    ++stats_.recoveries;
+  }
+}
+
+void HealthWatchdog::close(sim::SimTime now) {
+  if (degraded_ && now > degraded_since_) {
+    stats_.time_degraded += now - degraded_since_;
+    degraded_since_ = now;
+  }
+}
+
+}  // namespace fenix::core

@@ -1,0 +1,67 @@
+// FPGA health watchdog (Data Engine side).
+//
+// The switch cannot see inside the FPGA; all it observes is whether mirrored
+// feature vectors come back as verdicts within a deadline. The watchdog turns
+// that observation into a health state: after `miss_threshold` consecutive
+// missed result deadlines the card is declared unhealthy and the Data Engine
+// drops to its switch-local degradation ladder (compiled decision tree,
+// probe-only mirroring); after `recovery_threshold` consecutive on-time
+// results the card is declared healthy again and DNN verdicts resume.
+// Both thresholds damp flapping: a lone heartbeat inside an outage, or a
+// lone loss inside healthy operation, moves the streak but not the state.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace fenix::core {
+
+struct HealthWatchdogConfig {
+  /// Consecutive missed result deadlines before the FPGA is declared
+  /// unhealthy.
+  unsigned miss_threshold = 8;
+  /// Consecutive on-time results, while degraded, before the FPGA is
+  /// declared healthy again.
+  unsigned recovery_threshold = 4;
+};
+
+struct HealthWatchdogStats {
+  std::uint64_t deadline_misses = 0;   ///< Every miss observed.
+  std::uint64_t heartbeats = 0;        ///< Every on-time result observed.
+  std::uint64_t degradations = 0;      ///< healthy -> degraded transitions.
+  std::uint64_t recoveries = 0;        ///< degraded -> healthy transitions.
+  sim::SimDuration time_degraded = 0;  ///< Closed degraded intervals only.
+};
+
+class HealthWatchdog {
+ public:
+  explicit HealthWatchdog(const HealthWatchdogConfig& config = {});
+
+  /// A mirrored feature vector's result deadline passed with no verdict.
+  void on_deadline_missed(sim::SimTime now);
+
+  /// A verdict arrived back at the switch within its deadline.
+  void on_result(sim::SimTime now);
+
+  bool degraded() const { return degraded_; }
+
+  /// Start of the current degraded interval (meaningful while degraded()).
+  sim::SimTime degraded_since() const { return degraded_since_; }
+
+  /// Folds a still-open degraded interval into time_degraded (end of run).
+  void close(sim::SimTime now);
+
+  const HealthWatchdogConfig& config() const { return config_; }
+  const HealthWatchdogStats& stats() const { return stats_; }
+
+ private:
+  HealthWatchdogConfig config_;
+  bool degraded_ = false;
+  unsigned consecutive_misses_ = 0;
+  unsigned consecutive_results_ = 0;
+  sim::SimTime degraded_since_ = 0;
+  HealthWatchdogStats stats_;
+};
+
+}  // namespace fenix::core

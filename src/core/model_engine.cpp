@@ -6,8 +6,8 @@ namespace fenix::core {
 
 ModelEngine::ModelEngine(const ModelEngineConfig& config, const nn::QuantizedCnn* cnn,
                          const nn::QuantizedRnn* rnn)
-    : config_(config), cnn_(cnn), rnn_(rnn), timer_(config.systolic),
-      vector_io_(config.flow_queue_depth) {
+    : config_(config), cnn_(cnn), rnn_(rnn), device_(config.device),
+      timer_(config.systolic), vector_io_(config.flow_queue_depth) {
   if ((cnn_ == nullptr) == (rnn_ == nullptr)) {
     throw std::invalid_argument("ModelEngine: exactly one model must be bound");
   }
@@ -16,6 +16,17 @@ ModelEngine::ModelEngine(const ModelEngineConfig& config, const nn::QuantizedCnn
   ii_cycles_ = config_.layer_pipelined ? slowest_stage : latency;
   if (config_.ii_override_cycles != 0) ii_cycles_ = config_.ii_override_cycles;
   sync_latency_ = timer_.clock().cycles(config_.sync_cycles);
+  // A card reset loses everything staged in the fabric: occupancy of the
+  // input async FIFO and the identifiers parked in the Vector I/O Processor.
+  device_.set_reset_hook([this](sim::SimTime) {
+    pending_finishes_.clear();
+    vector_io_.reset();
+    array_free_at_ = device_.down_until();
+  });
+}
+
+void ModelEngine::set_input_queue_depth(std::size_t depth) {
+  config_.input_queue_depth = depth == 0 ? 1 : depth;
 }
 
 std::pair<std::uint64_t, std::uint64_t> ModelEngine::compute_cycles() const {
@@ -91,6 +102,10 @@ std::optional<net::InferenceResult> ModelEngine::submit(const net::FeatureVector
                                                         sim::SimTime arrival) {
   if (arrival < reconfig_until_) {
     ++stats_.reconfig_drops;
+    return std::nullopt;
+  }
+  if (!device_.available(arrival)) {
+    ++stats_.stall_drops;
     return std::nullopt;
   }
   // Drain completed inferences from the input-FIFO occupancy model.

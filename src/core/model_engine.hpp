@@ -60,6 +60,7 @@ struct ModelEngineStats {
   std::uint64_t input_drops = 0;  ///< Feature vectors lost to FIFO overflow.
   std::uint64_t reconfig_drops = 0;  ///< Vectors arriving mid-reconfiguration.
   std::uint64_t reconfigurations = 0;
+  std::uint64_t stall_drops = 0;  ///< Vectors arriving while the card is down.
 };
 
 class ModelEngine {
@@ -68,6 +69,11 @@ class ModelEngine {
   /// the model (synthesis-time binding, §5.2).
   ModelEngine(const ModelEngineConfig& config, const nn::QuantizedCnn* cnn,
               const nn::QuantizedRnn* rnn);
+
+  // The Device reset hook captures `this`; copying or moving the engine
+  // would leave the hook pointing at the old object.
+  ModelEngine(const ModelEngine&) = delete;
+  ModelEngine& operator=(const ModelEngine&) = delete;
 
   /// Processes a feature vector arriving at the FPGA at `arrival`. Returns
   /// the inference result with start/finish timestamps, or nullopt when the
@@ -100,6 +106,18 @@ class ModelEngine {
   /// True while a reconfiguration is in progress at `now`.
   bool reconfiguring(sim::SimTime now) const { return now < reconfig_until_; }
 
+  /// The live card this engine runs on. Fault injection drives outages
+  /// through its stall()/reset() hooks; reset() flushes the engine's
+  /// fabric-coupled queues via the registered reset hook.
+  fpgasim::Device& device() { return device_; }
+  const fpgasim::Device& device() const { return device_; }
+
+  /// Shrinks (or restores) the feature async-FIFO depth mid-run — the Model
+  /// Engine FIFO fault. Depth is clamped to >= 1; entries already queued
+  /// drain normally, but admission immediately honours the new bound.
+  void set_input_queue_depth(std::size_t depth);
+  std::size_t input_queue_depth() const { return config_.input_queue_depth; }
+
   const ModelEngineStats& stats() const { return stats_; }
   const ModelEngineConfig& config() const { return config_; }
   const VectorIoProcessor& vector_io() const { return vector_io_; }
@@ -112,6 +130,7 @@ class ModelEngine {
   ModelEngineConfig config_;
   const nn::QuantizedCnn* cnn_;
   const nn::QuantizedRnn* rnn_;
+  fpgasim::Device device_;  ///< Runtime card state (fault hooks live here).
   fpgasim::SystolicTimer timer_;
   std::uint64_t cycles_per_inference_ = 0;
   std::uint64_t ii_cycles_ = 0;

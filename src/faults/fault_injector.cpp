@@ -1,0 +1,113 @@
+#include "faults/fault_injector.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fenix::faults {
+namespace {
+
+constexpr sim::SimTime kNever = std::numeric_limits<sim::SimTime>::max();
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultSchedule schedule, core::FenixSystem& system)
+    : schedule_(std::move(schedule)), system_(system) {}
+
+void FaultInjector::at_time(sim::SimTime now) {
+  // Fire window starts and ends due by `now` strictly chronologically —
+  // a brownout ending at t=5ms must be rolled back before another starting
+  // at t=7ms is armed, or the second would save the browned-out line rate
+  // as "healthy" and restore to it. Ends win ties with starts so abutting
+  // same-kind windows hand over cleanly.
+  const std::vector<FaultWindow>& windows = schedule_.windows();
+  for (;;) {
+    const sim::SimTime next_start =
+        next_to_arm_ < windows.size() ? windows[next_to_arm_].start : kNever;
+    sim::SimTime next_end = kNever;
+    std::size_t end_idx = active_.size();
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i].window.end < next_end) {
+        next_end = active_[i].window.end;
+        end_idx = i;
+      }
+    }
+    if (next_end <= next_start && next_end <= now) {
+      const ActiveEffect effect = active_[end_idx];
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(end_idx));
+      restore(effect);
+    } else if (next_start <= now) {
+      arm(windows[next_to_arm_++]);
+    } else {
+      break;
+    }
+  }
+}
+
+void FaultInjector::arm(const FaultWindow& window) {
+  ++stats_.windows_armed;
+  ActiveEffect effect;
+  effect.window = window;
+  switch (window.kind) {
+    case FaultKind::kFpgaStall:
+      system_.model_engine().device().stall(window.start, window.end);
+      // Device tracks its own recovery; nothing to restore.
+      return;
+    case FaultKind::kFpgaReset:
+      system_.model_engine().device().reset(window.start,
+                                            window.end - window.start);
+      return;
+    case FaultKind::kChannelBrownout: {
+      sim::Channel& to = system_.to_fpga_mut();
+      sim::Channel& from = system_.from_fpga_mut();
+      effect.saved_to_bps = to.bits_per_second();
+      effect.saved_from_bps = from.bits_per_second();
+      effect.saved_to_loss = to.loss_rate();
+      effect.saved_from_loss = from.loss_rate();
+      const double scale = std::max(window.rate_scale, kMinBrownoutRateScale);
+      to.set_bits_per_second(effect.saved_to_bps * scale);
+      from.set_bits_per_second(effect.saved_from_bps * scale);
+      to.set_loss_rate(window.loss_rate);
+      from.set_loss_rate(window.loss_rate);
+      break;
+    }
+    case FaultKind::kFifoShrink: {
+      core::ModelEngine& engine = system_.model_engine();
+      effect.saved_fifo_depth = engine.input_queue_depth();
+      engine.set_input_queue_depth(window.fifo_depth);
+      break;
+    }
+  }
+  active_.push_back(effect);
+}
+
+void FaultInjector::restore(const ActiveEffect& effect) {
+  ++stats_.windows_restored;
+  switch (effect.window.kind) {
+    case FaultKind::kFpgaStall:
+    case FaultKind::kFpgaReset:
+      break;  // Device windows clear themselves via available(now).
+    case FaultKind::kChannelBrownout: {
+      sim::Channel& to = system_.to_fpga_mut();
+      sim::Channel& from = system_.from_fpga_mut();
+      to.set_bits_per_second(effect.saved_to_bps);
+      from.set_bits_per_second(effect.saved_from_bps);
+      to.set_loss_rate(effect.saved_to_loss);
+      from.set_loss_rate(effect.saved_from_loss);
+      break;
+    }
+    case FaultKind::kFifoShrink:
+      system_.model_engine().set_input_queue_depth(effect.saved_fifo_depth);
+      break;
+  }
+}
+
+void FaultInjector::restore_all() {
+  // Restore in reverse arming order so nested saves unwind correctly.
+  while (!active_.empty()) {
+    const ActiveEffect effect = active_.back();
+    active_.pop_back();
+    restore(effect);
+  }
+}
+
+}  // namespace fenix::faults

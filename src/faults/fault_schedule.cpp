@@ -1,0 +1,191 @@
+#include "faults/fault_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace fenix::faults {
+namespace {
+
+void validate(const FaultWindow& w) {
+  if (w.end <= w.start) {
+    throw std::invalid_argument("FaultWindow: end must be > start");
+  }
+  if (w.kind == FaultKind::kChannelBrownout) {
+    if (!(w.loss_rate >= 0.0 && w.loss_rate <= 1.0)) {
+      throw std::invalid_argument("FaultWindow: brownout loss must be in [0, 1]");
+    }
+    if (!std::isfinite(w.rate_scale) || w.rate_scale <= 0.0 || w.rate_scale > 1.0) {
+      throw std::invalid_argument(
+          "FaultWindow: brownout rate_scale must be in (0, 1]");
+    }
+  }
+  if (w.kind == FaultKind::kFifoShrink && w.fifo_depth == 0) {
+    throw std::invalid_argument("FaultWindow: fifo_depth must be >= 1");
+  }
+}
+
+bool window_less(const FaultWindow& a, const FaultWindow& b) {
+  if (a.start != b.start) return a.start < b.start;
+  if (a.end != b.end) return a.end < b.end;
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
+FaultKind kind_by_name(const std::string& name) {
+  if (name == "fpga_stall") return FaultKind::kFpgaStall;
+  if (name == "fpga_reset") return FaultKind::kFpgaReset;
+  if (name == "brownout") return FaultKind::kChannelBrownout;
+  if (name == "fifo_shrink") return FaultKind::kFifoShrink;
+  throw std::runtime_error("unknown fault kind: " + name);
+}
+
+double ms_of(sim::SimTime t) { return sim::to_milliseconds(t); }
+
+}  // namespace
+
+FaultSchedule::FaultSchedule(std::vector<FaultWindow> windows) {
+  for (FaultWindow& w : windows) add(w);
+}
+
+void FaultSchedule::add(FaultWindow window) {
+  validate(window);
+  // Brownout rate floor: the schedule is the last line of defence before the
+  // Channel's own constructor check would abort the replay.
+  if (window.kind == FaultKind::kChannelBrownout) {
+    window.rate_scale = std::max(window.rate_scale, kMinBrownoutRateScale);
+  }
+  for (const FaultWindow& existing : windows_) {
+    if (existing.kind == window.kind && existing.start < window.end &&
+        window.start < existing.end) {
+      throw std::invalid_argument(
+          std::string("FaultSchedule: overlapping windows of kind ") +
+          kind_name(window.kind));
+    }
+  }
+  windows_.insert(
+      std::upper_bound(windows_.begin(), windows_.end(), window, window_less),
+      window);
+}
+
+const char* FaultSchedule::kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFpgaStall: return "fpga_stall";
+    case FaultKind::kFpgaReset: return "fpga_reset";
+    case FaultKind::kChannelBrownout: return "brownout";
+    case FaultKind::kFifoShrink: return "fifo_shrink";
+  }
+  return "?";
+}
+
+FaultSchedule FaultSchedule::parse(std::istream& in) {
+  FaultSchedule schedule;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string kind_word;
+    if (!(fields >> kind_word)) continue;  // blank / comment-only line
+    try {
+      FaultWindow w;
+      w.kind = kind_by_name(kind_word);
+      double start_ms = 0.0, end_ms = 0.0;
+      if (!(fields >> start_ms >> end_ms)) {
+        throw std::runtime_error("expected <start_ms> <end_ms>");
+      }
+      if (start_ms < 0.0 || end_ms < 0.0) {
+        throw std::runtime_error("times must be >= 0");
+      }
+      w.start = sim::from_seconds(start_ms / 1e3);
+      w.end = sim::from_seconds(end_ms / 1e3);
+      std::string option;
+      while (fields >> option) {
+        const std::size_t eq = option.find('=');
+        if (eq == std::string::npos) {
+          throw std::runtime_error("expected key=value, got '" + option + "'");
+        }
+        const std::string key = option.substr(0, eq);
+        const std::string value = option.substr(eq + 1);
+        if (key == "loss") {
+          w.loss_rate = std::stod(value);
+        } else if (key == "rate_scale") {
+          w.rate_scale = std::stod(value);
+        } else if (key == "depth") {
+          w.fifo_depth = static_cast<std::size_t>(std::stoul(value));
+        } else {
+          throw std::runtime_error("unknown option '" + key + "'");
+        }
+      }
+      schedule.add(w);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("fault schedule line " + std::to_string(line_no) +
+                               ": " + e.what());
+    }
+  }
+  return schedule;
+}
+
+FaultSchedule FaultSchedule::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open fault schedule: " + path);
+  return parse(in);
+}
+
+std::string FaultSchedule::to_text() const {
+  std::ostringstream out;
+  out << "# FENIX fault schedule (times in milliseconds of simulated time)\n";
+  for (const FaultWindow& w : windows_) {
+    out << kind_name(w.kind) << ' ' << ms_of(w.start) << ' ' << ms_of(w.end);
+    if (w.kind == FaultKind::kChannelBrownout) {
+      out << " loss=" << w.loss_rate << " rate_scale=" << w.rate_scale;
+    } else if (w.kind == FaultKind::kFifoShrink) {
+      out << " depth=" << w.fifo_depth;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void FaultSchedule::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write fault schedule: " + path);
+  out << to_text();
+}
+
+FaultSchedule FaultSchedule::random(std::uint64_t seed, sim::SimDuration horizon,
+                                    std::size_t count) {
+  if (horizon == 0) {
+    throw std::invalid_argument("FaultSchedule::random: horizon must be > 0");
+  }
+  sim::RandomStream rng(seed);
+  FaultSchedule schedule;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 64 + 64;
+  while (schedule.size() < count && attempts++ < max_attempts) {
+    FaultWindow w;
+    w.kind = static_cast<FaultKind>(rng.uniform_int(4));
+    const double span = static_cast<double>(horizon);
+    const double duration = span * rng.uniform(0.02, 0.10);
+    const double start = rng.uniform(0.0, span - duration);
+    w.start = static_cast<sim::SimTime>(start);
+    w.end = static_cast<sim::SimTime>(start + duration);
+    w.loss_rate = rng.uniform(0.2, 0.8);
+    w.rate_scale = rng.uniform(0.1, 0.5);
+    w.fifo_depth = 2 + rng.uniform_int(15);
+    try {
+      schedule.add(w);
+    } catch (const std::invalid_argument&) {
+      // Same-kind overlap with an earlier draw: reroll. Deterministic, since
+      // the reroll consumes the stream exactly the same way every run.
+    }
+  }
+  return schedule;
+}
+
+}  // namespace fenix::faults

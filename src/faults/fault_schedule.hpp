@@ -1,0 +1,89 @@
+// Deterministic fault schedules for replay-time failure injection.
+//
+// A FaultSchedule is a validated list of timed fault windows armed against a
+// trace replay: FPGA stalls and hard resets (fpgasim::Device fault hooks),
+// PCB channel brownouts (elevated frame loss + reduced line rate), and Model
+// Engine input-FIFO shrinks. Schedules are plain data — loadable from a
+// small text format for CLI reproducibility, serializable back to it, and
+// derivable from a seed — so the same schedule + seed replays bit-exactly.
+//
+// Text format, one window per line ('#' starts a comment, times in
+// milliseconds of simulated time):
+//   fpga_stall  <start_ms> <end_ms>
+//   fpga_reset  <start_ms> <end_ms>
+//   brownout    <start_ms> <end_ms> [loss=<0..1>] [rate_scale=<0<..1>]
+//   fifo_shrink <start_ms> <end_ms> [depth=<n>]
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fenix::faults {
+
+enum class FaultKind {
+  kFpgaStall,       ///< Fabric stops accepting work; in-flight completes.
+  kFpgaReset,       ///< Hard reset at start: in-flight lost, down for the window.
+  kChannelBrownout, ///< Both PCB channels: elevated loss, reduced line rate.
+  kFifoShrink,      ///< Model Engine input FIFO clamped to a smaller depth.
+};
+
+/// Floor on the brownout line-rate multiplier. A zero or negative rate would
+/// make Channel::serialization_time produce inf/NaN; the schedule clamps
+/// here so no config file can poison the timestamp arithmetic.
+inline constexpr double kMinBrownoutRateScale = 1e-6;
+
+struct FaultWindow {
+  FaultKind kind = FaultKind::kFpgaStall;
+  sim::SimTime start = 0;  ///< Window is [start, end) in simulated time.
+  sim::SimTime end = 0;
+
+  double loss_rate = 0.5;      ///< Brownout frame loss in [0, 1].
+  double rate_scale = 0.25;    ///< Brownout line-rate multiplier, (0, 1].
+  std::size_t fifo_depth = 4;  ///< Shrunk FIFO depth, >= 1.
+};
+
+/// A sorted, validated set of fault windows. Windows of the same kind must
+/// not overlap (each kind has one piece of hardware state to save/restore);
+/// windows of different kinds may — a brownout during an FPGA stall is a
+/// legitimate compound failure.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  explicit FaultSchedule(std::vector<FaultWindow> windows);
+
+  /// Validates and inserts one window (keeps the list sorted by start).
+  /// Throws std::invalid_argument on an empty window, out-of-range
+  /// parameters, or a same-kind overlap.
+  void add(FaultWindow window);
+
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+  bool empty() const { return windows_.empty(); }
+  std::size_t size() const { return windows_.size(); }
+
+  static const char* kind_name(FaultKind kind);
+
+  /// Parses the text format; throws std::runtime_error with a line number on
+  /// malformed input.
+  static FaultSchedule parse(std::istream& in);
+  static FaultSchedule load(const std::string& path);
+
+  /// Renders back to the text format (parse(to_text()) round-trips).
+  std::string to_text() const;
+  void save(const std::string& path) const;
+
+  /// Seed-driven schedule: `count` windows drawn over [0, horizon) with
+  /// kinds, placements, and parameters from one RandomStream — the
+  /// reproducible way to fuzz a replay. Same seed + horizon + count ⇒ same
+  /// schedule.
+  static FaultSchedule random(std::uint64_t seed, sim::SimDuration horizon,
+                              std::size_t count);
+
+ private:
+  std::vector<FaultWindow> windows_;  ///< Sorted by (start, end, kind).
+};
+
+}  // namespace fenix::faults

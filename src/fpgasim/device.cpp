@@ -1,5 +1,7 @@
 #include "fpgasim/device.hpp"
 
+#include <stdexcept>
+
 namespace fenix::fpgasim {
 
 DeviceProfile DeviceProfile::zu19eg() {
@@ -12,6 +14,33 @@ DeviceProfile DeviceProfile::zu19eg() {
   d.dsp_slices = 1'968;
   d.fabric_clock_hz = 300e6;  // timing closure target of the Model Engine
   return d;
+}
+
+void Device::arm_window(sim::SimTime from, sim::SimTime until) {
+  if (until <= from) {
+    throw std::invalid_argument("Device: fault window must have until > from");
+  }
+  // Overlapping windows extend the current outage rather than shrink it, so
+  // back-to-back faults can never resurrect a down card early.
+  if (down_until_ > from && down_from_ < until) {
+    down_from_ = down_from_ < from ? down_from_ : from;
+    down_until_ = down_until_ > until ? down_until_ : until;
+  } else {
+    down_from_ = from;
+    down_until_ = until;
+  }
+  stats_.downtime += until - from;
+}
+
+void Device::stall(sim::SimTime from, sim::SimTime until) {
+  arm_window(from, until);
+  ++stats_.stalls;
+}
+
+void Device::reset(sim::SimTime at, sim::SimDuration reboot) {
+  arm_window(at, at + reboot);
+  ++stats_.resets;
+  if (reset_hook_) reset_hook_(at);
 }
 
 }  // namespace fenix::fpgasim

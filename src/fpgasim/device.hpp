@@ -8,7 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
+
+#include "sim/time.hpp"
 
 namespace fenix::fpgasim {
 
@@ -28,6 +32,63 @@ struct DeviceProfile {
   }
 
   static DeviceProfile zu19eg();
+};
+
+/// Runtime health statistics of a Device.
+struct DeviceFaultStats {
+  std::uint64_t stalls = 0;        ///< Stall windows armed.
+  std::uint64_t resets = 0;        ///< Hard resets taken.
+  sim::SimDuration downtime = 0;   ///< Total unavailable time armed so far.
+};
+
+/// A live FPGA card: the static resource envelope plus a runtime health
+/// state that fault injection can drive. Two fault modes are modelled:
+///
+///  - stall:  the fabric stops accepting new work for a window (clock glitch,
+///            thermal throttle). In-flight inferences complete and drain.
+///  - reset:  the card reboots (watchdog power cycle, bitstream scrub). All
+///            in-flight state is lost; the owner's reset hook is invoked so
+///            queues tied to the fabric (async FIFOs, identifier queues) can
+///            be flushed to match.
+///
+/// Both are armed as absolute simulated-time windows, so a replay with the
+/// same schedule is bit-identical.
+class Device {
+ public:
+  using ResetHook = std::function<void(sim::SimTime)>;
+
+  explicit Device(DeviceProfile profile) : profile_(std::move(profile)) {}
+
+  const DeviceProfile& profile() const { return profile_; }
+
+  /// Fault hook: the fabric is unavailable during [from, until).
+  void stall(sim::SimTime from, sim::SimTime until);
+
+  /// Fault hook: hard reset at `at`; the card is unavailable for `reboot`
+  /// and every in-flight inference is lost (the reset hook fires once).
+  void reset(sim::SimTime at, sim::SimDuration reboot);
+
+  /// True when the fabric can accept work at `now`.
+  bool available(sim::SimTime now) const {
+    return now < down_from_ || now >= down_until_;
+  }
+
+  /// End of the current unavailability window (0 when never faulted).
+  sim::SimTime down_until() const { return down_until_; }
+
+  /// Owner callback fired on reset() so fabric-coupled queues flush too.
+  void set_reset_hook(ResetHook hook) { reset_hook_ = std::move(hook); }
+
+  const DeviceFaultStats& fault_stats() const { return stats_; }
+
+ private:
+  void arm_window(sim::SimTime from, sim::SimTime until);
+
+  DeviceProfile profile_;
+  sim::SimTime down_from_ = 0;
+  sim::SimTime down_until_ = 0;
+  ResetHook reset_hook_;
+  DeviceFaultStats stats_;
 };
 
 }  // namespace fenix::fpgasim

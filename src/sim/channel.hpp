@@ -8,8 +8,10 @@
 // queue behind one another (store-and-forward).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -34,12 +36,33 @@ class Channel {
   /// delay (PCB trace / optical fibre / bus crossing).
   Channel(double bits_per_second, SimDuration propagation, double loss_rate = 0.0,
           std::uint64_t loss_seed = 0xc4a2)
-      : bits_per_second_(bits_per_second), propagation_(propagation),
-        loss_rate_(loss_rate), loss_rng_(loss_seed) {}
+      : propagation_(propagation), loss_rng_(loss_seed) {
+    set_bits_per_second(bits_per_second);
+    set_loss_rate(loss_rate);
+  }
 
   double bits_per_second() const { return bits_per_second_; }
   SimDuration propagation() const { return propagation_; }
   const ChannelStats& stats() const { return stats_; }
+
+  /// Changes the line rate mid-simulation (brownout injection). A zero,
+  /// negative, or non-finite rate would make serialization_time() produce
+  /// inf/NaN durations that poison every later timestamp, so it is rejected
+  /// here rather than surfacing as garbage arrival times.
+  void set_bits_per_second(double bits_per_second) {
+    if (!std::isfinite(bits_per_second) || bits_per_second <= 0.0) {
+      throw std::invalid_argument("Channel: bits_per_second must be finite and > 0");
+    }
+    bits_per_second_ = bits_per_second;
+  }
+
+  /// Changes the frame loss rate mid-simulation (brownout injection).
+  void set_loss_rate(double loss_rate) {
+    if (!(loss_rate >= 0.0 && loss_rate <= 1.0)) {
+      throw std::invalid_argument("Channel: loss_rate must be in [0, 1]");
+    }
+    loss_rate_ = loss_rate;
+  }
 
   /// Serialization time of `bytes` at the line rate.
   SimDuration serialization_time(std::size_t bytes) const {
@@ -84,9 +107,9 @@ class Channel {
   }
 
  private:
-  double bits_per_second_;
-  SimDuration propagation_;
-  double loss_rate_;
+  double bits_per_second_ = 1.0;
+  SimDuration propagation_ = 0;
+  double loss_rate_ = 0.0;
   RandomStream loss_rng_;
   SimTime free_at_ = 0;
   ChannelStats stats_;

@@ -2,7 +2,82 @@
 
 #include <stdexcept>
 
+#include "telemetry/table.hpp"
+
 namespace fenix::telemetry {
+
+Metric* MetricRegistry::find(const std::string& name) {
+  for (Metric& m : metrics_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+const Metric* MetricRegistry::find(const std::string& name) const {
+  for (const Metric& m : metrics_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+void MetricRegistry::set_counter(const std::string& name, std::uint64_t value) {
+  if (Metric* m = find(name)) {
+    m->is_counter = true;
+    m->count = value;
+    return;
+  }
+  metrics_.push_back(Metric{name, /*is_counter=*/true, value, 0.0});
+}
+
+void MetricRegistry::set_gauge(const std::string& name, double value) {
+  if (Metric* m = find(name)) {
+    m->is_counter = false;
+    m->gauge = value;
+    return;
+  }
+  metrics_.push_back(Metric{name, /*is_counter=*/false, 0, value});
+}
+
+void MetricRegistry::add_counter(const std::string& name, std::uint64_t delta) {
+  if (Metric* m = find(name)) {
+    m->count += delta;
+    return;
+  }
+  set_counter(name, delta);
+}
+
+std::uint64_t MetricRegistry::counter(const std::string& name) const {
+  const Metric* m = find(name);
+  return m ? m->count : 0;
+}
+
+double MetricRegistry::gauge(const std::string& name) const {
+  const Metric* m = find(name);
+  return m ? m->gauge : 0.0;
+}
+
+bool MetricRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+std::string MetricRegistry::render() const {
+  TextTable table({"Metric", "Value"});
+  for (const Metric& m : metrics_) {
+    table.add_row({m.name, m.is_counter ? std::to_string(m.count)
+                                        : TextTable::num(m.gauge)});
+  }
+  return table.render();
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const Metric& m : other.metrics_) {
+    if (m.is_counter) {
+      add_counter(m.name, m.count);
+    } else {
+      set_gauge(m.name, m.gauge);
+    }
+  }
+}
 
 ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
     : num_classes_(num_classes), cells_(num_classes * num_classes, 0),

@@ -22,6 +22,52 @@ struct ClassMetrics {
   double f1 = 0.0;
 };
 
+/// One named health/failure metric. Counters are exact integers (drops,
+/// retransmits); gauges carry ratios and rates.
+struct Metric {
+  std::string name;
+  bool is_counter = true;
+  std::uint64_t count = 0;
+  double gauge = 0.0;
+
+  /// Value rendered for tables / JSON.
+  double as_double() const {
+    return is_counter ? static_cast<double>(count) : gauge;
+  }
+};
+
+/// An ordered registry of named metrics: the one place the system's failure
+/// and recovery counters (FIFO drops, channel losses, stale results,
+/// retransmits, fallback verdicts, watchdog transitions, ...) are collected,
+/// so every reporting surface — fenix_replay, bench_json, tests — prints the
+/// same health table instead of reaching into per-module struct fields.
+/// Insertion order is preserved; setting an existing name overwrites.
+class MetricRegistry {
+ public:
+  void set_counter(const std::string& name, std::uint64_t value);
+  void set_gauge(const std::string& name, double value);
+  void add_counter(const std::string& name, std::uint64_t delta);
+
+  /// 0 when absent.
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+  const std::vector<Metric>& metrics() const { return metrics_; }
+
+  /// Two-column "Metric | Value" text table of every metric in order.
+  std::string render() const;
+
+  /// Merges `other` into this registry: counters add, gauges overwrite.
+  void merge(const MetricRegistry& other);
+
+ private:
+  Metric* find(const std::string& name);
+  const Metric* find(const std::string& name) const;
+
+  std::vector<Metric> metrics_;
+};
+
 /// Square confusion matrix over a fixed number of classes.
 class ConfusionMatrix {
  public:

@@ -1,0 +1,119 @@
+// HealthWatchdog state machine: healthy -> degraded -> recovered transitions,
+// flap damping below the thresholds, and degraded-time accounting.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/health_watchdog.hpp"
+
+namespace fenix::core {
+namespace {
+
+HealthWatchdogConfig small_config() {
+  HealthWatchdogConfig config;
+  config.miss_threshold = 3;
+  config.recovery_threshold = 2;
+  return config;
+}
+
+TEST(HealthWatchdog, RejectsZeroThresholds) {
+  HealthWatchdogConfig config;
+  config.miss_threshold = 0;
+  EXPECT_THROW(HealthWatchdog{config}, std::invalid_argument);
+  config.miss_threshold = 1;
+  config.recovery_threshold = 0;
+  EXPECT_THROW(HealthWatchdog{config}, std::invalid_argument);
+}
+
+TEST(HealthWatchdog, DegradesAfterConsecutiveMisses) {
+  HealthWatchdog dog(small_config());
+  dog.on_deadline_missed(sim::microseconds(1));
+  dog.on_deadline_missed(sim::microseconds(2));
+  EXPECT_FALSE(dog.degraded());
+  dog.on_deadline_missed(sim::microseconds(3));
+  EXPECT_TRUE(dog.degraded());
+  EXPECT_EQ(dog.degraded_since(), sim::microseconds(3));
+  EXPECT_EQ(dog.stats().degradations, 1u);
+  EXPECT_EQ(dog.stats().deadline_misses, 3u);
+}
+
+TEST(HealthWatchdog, LoneResultResetsTheMissStreak) {
+  HealthWatchdog dog(small_config());
+  dog.on_deadline_missed(sim::microseconds(1));
+  dog.on_deadline_missed(sim::microseconds(2));
+  dog.on_result(sim::microseconds(3));  // streak broken
+  dog.on_deadline_missed(sim::microseconds(4));
+  dog.on_deadline_missed(sim::microseconds(5));
+  EXPECT_FALSE(dog.degraded());
+  dog.on_deadline_missed(sim::microseconds(6));
+  EXPECT_TRUE(dog.degraded());
+}
+
+TEST(HealthWatchdog, RecoversAfterConsecutiveResults) {
+  HealthWatchdog dog(small_config());
+  for (int i = 1; i <= 3; ++i) dog.on_deadline_missed(sim::microseconds(i));
+  ASSERT_TRUE(dog.degraded());
+
+  dog.on_result(sim::microseconds(10));
+  EXPECT_TRUE(dog.degraded());  // one heartbeat is not recovery
+  dog.on_result(sim::microseconds(11));
+  EXPECT_FALSE(dog.degraded());
+  EXPECT_EQ(dog.stats().recoveries, 1u);
+  // Degraded from t=3us to t=11us.
+  EXPECT_EQ(dog.stats().time_degraded, sim::microseconds(8));
+}
+
+TEST(HealthWatchdog, LoneMissInsideOutageResetsRecoveryStreak) {
+  HealthWatchdog dog(small_config());
+  for (int i = 1; i <= 3; ++i) dog.on_deadline_missed(sim::microseconds(i));
+  ASSERT_TRUE(dog.degraded());
+
+  dog.on_result(sim::microseconds(10));
+  dog.on_deadline_missed(sim::microseconds(11));  // flap: streak resets
+  dog.on_result(sim::microseconds(12));
+  EXPECT_TRUE(dog.degraded());
+  dog.on_result(sim::microseconds(13));
+  EXPECT_FALSE(dog.degraded());
+  EXPECT_EQ(dog.stats().degradations, 1u);
+  EXPECT_EQ(dog.stats().recoveries, 1u);
+}
+
+TEST(HealthWatchdog, FlappingCountsEveryTransition) {
+  HealthWatchdog dog(small_config());
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    const sim::SimTime base = sim::milliseconds(cycle + 1);
+    for (int i = 0; i < 3; ++i) {
+      dog.on_deadline_missed(base + sim::microseconds(i));
+    }
+    EXPECT_TRUE(dog.degraded());
+    for (int i = 0; i < 2; ++i) {
+      dog.on_result(base + sim::microseconds(10 + i));
+    }
+    EXPECT_FALSE(dog.degraded());
+  }
+  EXPECT_EQ(dog.stats().degradations, 4u);
+  EXPECT_EQ(dog.stats().recoveries, 4u);
+}
+
+TEST(HealthWatchdog, CloseFoldsOpenInterval) {
+  HealthWatchdog dog(small_config());
+  for (int i = 1; i <= 3; ++i) dog.on_deadline_missed(sim::microseconds(i));
+  ASSERT_TRUE(dog.degraded());
+  dog.close(sim::microseconds(103));
+  EXPECT_EQ(dog.stats().time_degraded, sim::microseconds(100));
+  // close() on a healthy watchdog adds nothing.
+  HealthWatchdog healthy(small_config());
+  healthy.close(sim::milliseconds(5));
+  EXPECT_EQ(healthy.stats().time_degraded, 0);
+}
+
+TEST(HealthWatchdog, HeartbeatsWhileHealthyAreCountedOnly) {
+  HealthWatchdog dog(small_config());
+  for (int i = 0; i < 10; ++i) dog.on_result(sim::microseconds(i));
+  EXPECT_FALSE(dog.degraded());
+  EXPECT_EQ(dog.stats().heartbeats, 10u);
+  EXPECT_EQ(dog.stats().degradations, 0u);
+}
+
+}  // namespace
+}  // namespace fenix::core

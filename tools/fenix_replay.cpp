@@ -4,7 +4,13 @@
 //   synth <dataset> <flows> <out.trace> [seed]    synthesize + save a trace
 //   info  <trace>                                 print trace statistics
 //   train <dataset> <flows> <out.model> [cnn|rnn] train + save a float model
-//   run   <trace> <model> [loss_rate]             replay through FENIX
+//   run   <trace> <model> [options]               replay through FENIX
+//
+// Run options:
+//   --pcb-loss <rate>        frame loss rate on both PCB channels
+//   --fault-schedule <file>  arm a faults::FaultSchedule against the replay
+//   --fallback-tree          train + install the switch-local preliminary
+//                            tree from the trace (degradation ladder)
 //
 // Datasets: "vpn" (ISCXVPN2016 profile) or "tfc" (USTC-TFC profile).
 // Traces use the net::trace_io format; models the nn::serialize format.
@@ -13,12 +19,15 @@
 #include <string>
 
 #include "core/fenix_system.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_schedule.hpp"
 #include "net/trace_io.hpp"
 #include "nn/quantize.hpp"
 #include "nn/serialize.hpp"
 #include "telemetry/table.hpp"
 #include "trafficgen/profiles.hpp"
 #include "trafficgen/synthesizer.hpp"
+#include "trees/decision_tree.hpp"
 
 namespace {
 
@@ -30,7 +39,9 @@ int usage() {
          "  fenix_replay synth <vpn|tfc> <flows> <out.trace> [seed]\n"
          "  fenix_replay info  <trace>\n"
          "  fenix_replay train <vpn|tfc> <flows> <out.model> [cnn|rnn] [seed]\n"
-         "  fenix_replay run   <trace> <model> [pcb_loss_rate]\n";
+         "  fenix_replay run   <trace> <model> [pcb_loss_rate]\n"
+         "                     [--pcb-loss <rate>] [--fault-schedule <file>]\n"
+         "                     [--fallback-tree]\n";
   return 2;
 }
 
@@ -140,7 +151,25 @@ int cmd_run(int argc, char** argv) {
   }
 
   core::FenixSystemConfig config;
-  if (argc > 2) config.pcb_loss_rate = std::atof(argv[2]);
+  faults::FaultSchedule schedule;
+  bool fallback_tree = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--pcb-loss") {
+      if (++i >= argc) return usage();
+      config.pcb_loss_rate = std::atof(argv[i]);
+    } else if (arg == "--fault-schedule") {
+      if (++i >= argc) return usage();
+      schedule = faults::FaultSchedule::load(argv[i]);
+    } else if (arg == "--fallback-tree") {
+      fallback_tree = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      config.pcb_loss_rate = std::atof(argv[i]);  // legacy positional form
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage();
+    }
+  }
 
   // Try CNN first, fall back to RNN.
   std::unique_ptr<nn::CnnClassifier> cnn;
@@ -156,14 +185,51 @@ int cmd_run(int argc, char** argv) {
   if (rnn) qrnn = std::make_unique<nn::QuantizedRnn>(*rnn, calibration);
 
   core::FenixSystem system(config, qcnn.get(), qrnn.get());
+
+  if (fallback_tree) {
+    // Per-packet (length, IPD code) rows reconstructed from the trace — the
+    // same features the Data Engine computes in the pipeline.
+    trees::Dataset data;
+    data.dim = 2;
+    std::vector<sim::SimTime> last_seen(trace.flows.size(), 0);
+    std::vector<net::ClassLabel> labels(trace.flows.size(), net::kUnlabeled);
+    for (const auto& f : trace.flows) {
+      if (f.flow_id < labels.size()) labels[f.flow_id] = f.label;
+    }
+    for (const auto& p : trace.packets) {
+      if (p.flow_id >= labels.size() || labels[p.flow_id] == net::kUnlabeled) {
+        continue;
+      }
+      const sim::SimTime prev = last_seen[p.flow_id];
+      const std::uint16_t ipd =
+          prev == 0 ? 0 : net::encode_ipd(p.orig_timestamp - prev);
+      last_seen[p.flow_id] = p.orig_timestamp;
+      const float row[2] = {static_cast<float>(p.wire_length),
+                            static_cast<float>(ipd)};
+      data.add_row(row, labels[p.flow_id]);
+      if (data.rows() >= 60'000) break;
+    }
+    trees::DecisionTree tree;
+    trees::TreeConfig tree_config;
+    tree_config.max_depth = 8;
+    tree_config.min_samples_leaf = 64;
+    tree.fit(data, classes, tree_config);
+    system.data_engine().install_preliminary_tree(tree, /*max_entries=*/8192);
+    std::cout << "installed fallback tree (" << tree.leaf_count()
+              << " leaves) from " << data.rows() << " packets\n";
+  }
+
+  faults::FaultInjector injector(schedule, system);
+  if (!schedule.empty()) {
+    std::cout << "armed fault schedule (" << schedule.size() << " windows):\n"
+              << schedule.to_text();
+  }
+
   std::cout << "replaying " << trace.packets.size() << " packets...\n";
-  const auto report = system.run(trace, classes);
+  const auto report =
+      system.run(trace, classes, schedule.empty() ? nullptr : &injector);
 
   telemetry::TextTable table({"Metric", "Value"});
-  table.add_row({"packets", std::to_string(report.packets)});
-  table.add_row({"mirrors", std::to_string(report.mirrors)});
-  table.add_row({"verdicts applied", std::to_string(report.results_applied)});
-  table.add_row({"channel losses", std::to_string(report.channel_losses)});
   table.add_row({"flow macro-F1",
                  telemetry::TextTable::num(report.flow_confusion.macro_f1())});
   table.add_row({"packet accuracy",
@@ -173,6 +239,9 @@ int cmd_run(int argc, char** argv) {
   table.add_row({"e2e p99 (us)",
                  telemetry::TextTable::num(report.end_to_end.p99_us(), 1)});
   std::cout << table.render();
+  // Same health table the benches emit (telemetry::MetricRegistry), so every
+  // reporting surface prints one consistent set of failure counters.
+  std::cout << "\nHealth counters:\n" << system.health_metrics(report).render();
   return 0;
 }
 
