@@ -1,0 +1,130 @@
+// Perf-regression gate over the checked-in replay-throughput record.
+//
+// Compares BENCH_PR3.json (the committed output of bench_pipeline_throughput)
+// against bench/baselines.json and fails when a throughput metric regresses
+// more than the tolerance. Wired into ctest (label `bench_smoke`) and the
+// release-bench workflow, so a change that silently costs >30% of replay
+// packets/sec — or breaks the sharded replay's bit-identity contract — turns
+// the build red instead of landing unnoticed.
+//
+// Gate policy, by metric name:
+//   *_packets_per_sec, *_speedup  higher-is-better; current must be
+//                                 >= baseline * (1 - tolerance)
+//   *_bit_identical               must be exactly 1
+//   anything else                 informational (recorded, not gated)
+//
+// Usage: bench_gate [baselines.json] [current.json]
+//   Tolerance: $FENIX_BENCH_GATE_TOLERANCE (fraction, default 0.30).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "telemetry/table.hpp"
+
+namespace {
+
+bool parse_number(const std::string& raw, double& out) {
+  char* end = nullptr;
+  out = std::strtod(raw.c_str(), &end);
+  return end != raw.c_str() && end != nullptr && *end == '\0';
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+const fenix::bench::BenchMetric* find_metric(
+    const std::vector<fenix::bench::BenchMetric>& metrics,
+    const std::string& section, const std::string& key) {
+  for (const auto& m : metrics) {
+    if (m.section == section && m.key == key) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fenix;
+  const std::string baseline_path = argc > 1 ? argv[1] : "bench/baselines.json";
+  const std::string current_path = argc > 2 ? argv[2] : "BENCH_PR3.json";
+  double tolerance = 0.30;
+  if (const char* env = std::getenv("FENIX_BENCH_GATE_TOLERANCE")) {
+    double v = 0.0;
+    if (parse_number(env, v) && v >= 0.0 && v < 1.0) tolerance = v;
+  }
+
+  std::cout << "bench_gate: " << current_path << " vs " << baseline_path
+            << " (tolerance " << tolerance * 100 << "%)\n\n";
+
+  const auto baselines = bench::read_bench_json(baseline_path);
+  if (baselines.empty()) {
+    std::cerr << "FAIL: no baselines in " << baseline_path << "\n";
+    return 1;
+  }
+  const auto current = bench::read_bench_json(current_path);
+  if (current.empty()) {
+    std::cerr << "FAIL: no metrics in " << current_path
+              << " (run bench_pipeline_throughput first)\n";
+    return 1;
+  }
+
+  telemetry::TextTable table({"Section", "Metric", "Baseline", "Current", "Status"});
+  std::size_t gated = 0;
+  std::size_t failures = 0;
+  for (const auto& base : baselines) {
+    const bool rate_metric = ends_with(base.key, "_packets_per_sec") ||
+                             base.key == "serial_packets_per_sec" ||
+                             ends_with(base.key, "_speedup");
+    const bool identity_metric = ends_with(base.key, "_bit_identical");
+    if (!rate_metric && !identity_metric) continue;
+    ++gated;
+
+    double expected = 0.0;
+    if (!parse_number(base.value, expected)) {
+      std::cerr << "FAIL: baseline " << base.section << "." << base.key
+                << " is not numeric: " << base.value << "\n";
+      ++failures;
+      continue;
+    }
+    const bench::BenchMetric* cur = find_metric(current, base.section, base.key);
+    std::string status;
+    std::string shown = "-";
+    if (cur == nullptr) {
+      status = "MISSING";
+      ++failures;
+    } else {
+      double value = 0.0;
+      shown = cur->value;
+      if (!parse_number(cur->value, value)) {
+        status = "NOT NUMERIC";
+        ++failures;
+      } else if (identity_metric) {
+        status = value == 1.0 ? "ok" : "BROKEN";
+        if (value != 1.0) ++failures;
+      } else {
+        const double floor = expected * (1.0 - tolerance);
+        status = value >= floor ? "ok" : "REGRESSED";
+        if (value < floor) ++failures;
+      }
+    }
+    table.add_row({base.section, base.key, base.value, shown, status});
+  }
+  std::cout << table.render();
+
+  if (gated == 0) {
+    std::cerr << "\nFAIL: baselines define no gated metrics\n";
+    return 1;
+  }
+  if (failures > 0) {
+    std::cerr << "\nFAIL: " << failures << " of " << gated
+              << " gated metrics regressed\n";
+    return 1;
+  }
+  std::cout << "\nPASS: " << gated << " gated metrics within "
+            << tolerance * 100 << "% of baseline\n";
+  return 0;
+}

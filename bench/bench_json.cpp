@@ -86,6 +86,52 @@ std::vector<std::pair<std::string, std::string>> parse_sections(
   }
 }
 
+/// Splits one section body ("{ \"k\": v, ... }") into (key, raw value)
+/// pairs. Same restricted shape as parse_sections: emitter-written JSON only.
+std::vector<std::pair<std::string, std::string>> parse_entries(
+    const std::string& body) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < body.size() && std::isspace(static_cast<unsigned char>(body[i]))) ++i;
+  };
+  skip_ws();
+  if (i >= body.size() || body[i] != '{') return {};
+  ++i;
+  for (;;) {
+    skip_ws();
+    if (i < body.size() && body[i] == '}') return entries;
+    if (i >= body.size() || body[i] != '"') return {};
+    const std::size_t key_end = body.find('"', i + 1);
+    if (key_end == std::string::npos) return {};
+    std::string key = body.substr(i + 1, key_end - i - 1);
+    i = key_end + 1;
+    skip_ws();
+    if (i >= body.size() || body[i] != ':') return {};
+    ++i;
+    skip_ws();
+    std::size_t value_start = i;
+    if (i < body.size() && body[i] == '"') {
+      ++i;
+      while (i < body.size() && body[i] != '"') {
+        if (body[i] == '\\') ++i;
+        ++i;
+      }
+      if (i >= body.size()) return {};
+      ++i;  // closing quote
+    } else {
+      while (i < body.size() && body[i] != ',' && body[i] != '}' &&
+             !std::isspace(static_cast<unsigned char>(body[i]))) {
+        ++i;
+      }
+    }
+    entries.emplace_back(std::move(key),
+                         body.substr(value_start, i - value_start));
+    skip_ws();
+    if (i < body.size() && body[i] == ',') ++i;
+  }
+}
+
 }  // namespace
 
 void JsonSection::put(const std::string& key, double value) {
@@ -152,6 +198,20 @@ bool write_bench_json(const std::string& name, const JsonSection& section,
   out << "}\n";
   std::cout << "[bench_json] wrote section \"" << name << "\" to " << path << "\n";
   return true;
+}
+
+std::vector<BenchMetric> read_bench_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::vector<BenchMetric> metrics;
+  for (const auto& [section, body] : parse_sections(buffer.str())) {
+    for (const auto& [key, value] : parse_entries(body)) {
+      metrics.push_back({section, key, value});
+    }
+  }
+  return metrics;
 }
 
 }  // namespace fenix::bench

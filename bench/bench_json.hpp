@@ -47,4 +47,17 @@ std::string bench_json_path(const std::string& default_file = "BENCH_PR1.json");
 bool write_bench_json(const std::string& name, const JsonSection& section,
                       const std::string& default_file = "BENCH_PR1.json");
 
+/// One (section, metric) cell of a perf-tracking file, with the raw JSON
+/// literal it holds.
+struct BenchMetric {
+  std::string section;
+  std::string key;
+  std::string value;
+};
+
+/// Reads every metric of a perf-tracking file written by write_bench_json
+/// (the gate bench compares a fresh file against checked-in baselines).
+/// Returns an empty list when the file is missing or malformed.
+std::vector<BenchMetric> read_bench_json(const std::string& path);
+
 }  // namespace fenix::bench

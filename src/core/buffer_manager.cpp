@@ -35,11 +35,22 @@ net::FeatureVector BufferManager::assemble(std::uint32_t index,
                                            std::uint32_t prior_packets,
                                            sim::SimTime now) {
   net::FeatureVector vec;
+  assemble_into(vec, index, tuple, flow_id, current, ring_slot, prior_packets, now);
+  return vec;
+}
+
+void BufferManager::assemble_into(net::FeatureVector& vec, std::uint32_t index,
+                                  const net::FiveTuple& tuple,
+                                  std::uint32_t flow_id,
+                                  const net::PacketFeature& current,
+                                  std::uint32_t ring_slot,
+                                  std::uint32_t prior_packets, sim::SimTime now) {
   vec.tuple = tuple;
   vec.flow_id = flow_id;
   vec.emitted_at = now;
 
   const std::uint32_t valid = std::min(prior_packets, ring_capacity_);
+  vec.sequence.clear();
   vec.sequence.reserve(valid + 1);
   const net::PacketFeature* ring =
       rings_.data() + static_cast<std::size_t>(index) * ring_capacity_;
@@ -54,7 +65,6 @@ net::FeatureVector BufferManager::assemble(std::uint32_t index,
   }
   vec.sequence.push_back(current);  // F9 from metadata
   mirror_.record(vec.wire_bytes());
-  return vec;
 }
 
 }  // namespace fenix::core

@@ -41,6 +41,13 @@ class BufferManager {
                               std::uint32_t ring_slot, std::uint32_t prior_packets,
                               sim::SimTime now);
 
+  /// assemble() into a caller-owned buffer, reusing its sequence capacity —
+  /// the allocation-free form the replay hot loop uses.
+  void assemble_into(net::FeatureVector& out, std::uint32_t index,
+                     const net::FiveTuple& tuple, std::uint32_t flow_id,
+                     const net::PacketFeature& current, std::uint32_t ring_slot,
+                     std::uint32_t prior_packets, sim::SimTime now);
+
   const switchsim::MirrorSession& mirror() const { return mirror_; }
 
  private:

@@ -130,9 +130,10 @@ DataEngineOutput DataEngine::on_packet(const net::PacketRecord& packet) {
       if (!emit) ++mirrors_suppressed_;
     }
     if (emit) {
-      out.mirrored = buffers_->assemble(out.flow.index, packet.tuple,
-                                        packet.flow_id, feature, out.flow.ring_slot,
-                                        out.flow.packet_count - 1, packet.timestamp);
+      buffers_->assemble_into(mirror_buf_, out.flow.index, packet.tuple,
+                              packet.flow_id, feature, out.flow.ring_slot,
+                              out.flow.packet_count - 1, packet.timestamp);
+      out.mirrored = &mirror_buf_;
       tracker_->record_feature_sent(out.flow.index, packet.timestamp);
       ++mirrors_sent_;
     }

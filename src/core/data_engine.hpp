@@ -81,7 +81,11 @@ struct DataEngineOutput {
   std::int16_t forward_class = -1;  ///< Class driving the forwarding action.
   bool from_model_engine = false;   ///< True when forward_class is a cached DNN verdict.
   bool from_fallback_tree = false;  ///< True when the compiled tree supplied it.
-  std::optional<net::FeatureVector> mirrored;  ///< Set on a Rate Limiter grant.
+  /// Set on a Rate Limiter grant. Points into a DataEngine-owned assembly
+  /// buffer that stays valid until the next on_packet() call — the hot replay
+  /// loop consumes (or copies) it immediately, so no per-packet FeatureVector
+  /// allocation happens on the granted path.
+  const net::FeatureVector* mirrored = nullptr;
 };
 
 class DataEngine {
@@ -113,6 +117,14 @@ class DataEngine {
   const BufferManager& buffers() const { return *buffers_; }
   const switchsim::PipelineTiming& timing() const { return timing_; }
   double token_rate_v() const { return token_rate_v_; }
+  /// The installed preliminary-classifier TCAM (nullptr before
+  /// install_preliminary_tree). The sharded replay coordinator shares this
+  /// one table across pipes, as all pipes of a real switch share the compiled
+  /// program.
+  const switchsim::TernaryMatchTable* preliminary_table() const {
+    return prelim_table_.get();
+  }
+  const FeatureLayout& preliminary_layout() const { return prelim_layout_; }
   std::uint64_t packets_seen() const { return packets_seen_; }
   std::uint64_t mirrors_sent() const { return mirrors_sent_; }
   std::uint64_t results_applied() const { return results_applied_; }
@@ -148,6 +160,7 @@ class DataEngine {
 
   HealthWatchdog watchdog_;
   std::uint64_t degraded_grants_ = 0;  ///< Grants seen while degraded (probe stride).
+  net::FeatureVector mirror_buf_;      ///< Reused mirror assembly buffer.
 
   sim::SimTime last_window_tick_ = 0;
   std::uint64_t packets_seen_ = 0;

@@ -94,6 +94,13 @@ RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes,
   for (const RunPhase& p : phases) {
     report.phases.emplace_back(p.name, p.start, p.end, num_classes);
   }
+  // Pre-size the latency reservoirs so the hot loop never grows a vector
+  // (mirror-path recorders see at most one sample per packet).
+  report.internal_tx.reserve(trace.packets.size());
+  report.queueing.reserve(trace.packets.size());
+  report.inference.reserve(trace.packets.size());
+  report.return_tx.reserve(trace.packets.size());
+  report.end_to_end.reserve(trace.packets.size());
 
   std::priority_queue<PendingResult, std::vector<PendingResult>, std::greater<>>
       pending;

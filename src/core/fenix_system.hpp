@@ -136,6 +136,19 @@ struct RunReport {
         flow_confusion(num_classes) {}
 };
 
+/// Knobs of the multi-pipe sharded replay (run_pipelined).
+struct PipelineOptions {
+  /// Pipe shards the packet stream is partitioned into by five-tuple hash
+  /// (flow-affine, modeling Tofino 2's four pipes). Each shard owns its own
+  /// Flow Tracker / Buffer Manager partition.
+  std::size_t pipes = 4;
+  /// Inferences per batched Model Engine submission (predict_batch frame).
+  std::size_t batch = 16;
+  /// Worker threads for the shard pre-pass + inference workers; 0 picks
+  /// runtime::ThreadPool::default_thread_count().
+  std::size_t threads = 0;
+};
+
 class FenixSystem {
  public:
   /// Binds the system to one quantized model (exactly one non-null).
@@ -147,6 +160,17 @@ class FenixSystem {
   /// disjoint) requests per-phase forwarding accuracy accounting.
   RunReport run(const net::Trace& trace, std::size_t num_classes,
                 RunHooks* hooks = nullptr, const std::vector<RunPhase>& phases = {});
+
+  /// Multi-pipe sharded replay: bit-identical RunReport to run() at any
+  /// shard/thread count (DESIGN.md § Multi-pipe sharded replay), but the
+  /// flow-tracker/featurization work runs on per-pipe shards and every DNN
+  /// forward pass goes through batched (SIMD batch-lane) Model Engine
+  /// submission instead of one scalar predict per mirror. Must be called on
+  /// a freshly constructed system, exactly like the benches call run().
+  RunReport run_pipelined(const net::Trace& trace, std::size_t num_classes,
+                          RunHooks* hooks = nullptr,
+                          const std::vector<RunPhase>& phases = {},
+                          const PipelineOptions& opts = {});
 
   /// One consistent health table over the failure counters of the last
   /// run() plus the live engine/channel/device statistics, so every
@@ -173,5 +197,12 @@ class FenixSystem {
   sim::Channel to_fpga_;
   sim::Channel from_fpga_;
 };
+
+/// Structural equality of two run reports: every counter, every confusion
+/// cell, the latency recorders (count / sum via mean / min / max / percentile
+/// grid), watchdog stats, and per-phase accounting. The sharded-replay tests
+/// and benches use this to assert the parallel path is bit-identical to the
+/// serial one.
+bool run_reports_equal(const RunReport& a, const RunReport& b);
 
 }  // namespace fenix::core

@@ -98,8 +98,8 @@ void ModelEngine::begin_reconfiguration(sim::SimTime now, const nn::QuantizedCnn
   ++stats_.reconfigurations;
 }
 
-std::optional<net::InferenceResult> ModelEngine::submit(const net::FeatureVector& vec,
-                                                        sim::SimTime arrival) {
+std::optional<net::InferenceResult> ModelEngine::submit_timed(const net::FeatureVector& vec,
+                                                              sim::SimTime arrival) {
   if (arrival < reconfig_until_) {
     ++stats_.reconfig_drops;
     return std::nullopt;
@@ -117,10 +117,11 @@ std::optional<net::InferenceResult> ModelEngine::submit(const net::FeatureVector
     return std::nullopt;
   }
 
-  // Vector I/O Processor: split identifier from features; the identifier
-  // parks in the Flow Identifier Queue until the inference output emerges.
-  const auto parsed = vector_io_.ingest(vec);
-  if (!parsed) {
+  // Vector I/O Processor: the identifier parks in the Flow Identifier Queue
+  // until the inference output emerges. The feature sequence stays in `vec` —
+  // no copy is made; the functional pass (here or batched in the caller)
+  // reads it in place.
+  if (!vector_io_.admit(vec)) {
     ++stats_.input_drops;
     return std::nullopt;
   }
@@ -132,18 +133,27 @@ std::optional<net::InferenceResult> ModelEngine::submit(const net::FeatureVector
   const sim::SimTime finish = start + timer_.to_time(cycles_per_inference_);
   array_free_at_ = start + timer_.to_time(ii_cycles_);
   pending_finishes_.push_back(finish);
-
-  // Functional inference: pad/trim the on-wire sequence to the model's
-  // synthesis-time length.
-  const std::size_t seq_len = cnn_ ? cnn_->config().seq_len : rnn_->config().seq_len;
-  nn::tokenize_into(parsed->features, seq_len, tokens_);
-  const std::int16_t predicted =
-      cnn_ ? cnn_->predict(tokens_, scratch_) : rnn_->predict(tokens_, scratch_);
   ++stats_.inferences;
 
   // Output pairing: the result re-acquires its identity from the queue head
-  // and crosses back through the output async FIFO.
-  return vector_io_.pair(predicted, start, finish + sync_latency_);
+  // and crosses back through the output async FIFO. predicted_class is a
+  // placeholder the caller overwrites (submit() below, or the ModelPool's
+  // batch drain).
+  return vector_io_.pair(-1, start, finish + sync_latency_);
+}
+
+std::optional<net::InferenceResult> ModelEngine::submit(const net::FeatureVector& vec,
+                                                        sim::SimTime arrival) {
+  auto result = submit_timed(vec, arrival);
+  if (!result) return std::nullopt;
+
+  // Functional inference: pad/trim the on-wire sequence to the model's
+  // synthesis-time length, reusing the engine's token buffer and scratch.
+  const std::size_t seq_len = cnn_ ? cnn_->config().seq_len : rnn_->config().seq_len;
+  nn::tokenize_into(vec.sequence, seq_len, tokens_);
+  result->predicted_class =
+      cnn_ ? cnn_->predict(tokens_, scratch_) : rnn_->predict(tokens_, scratch_);
+  return result;
 }
 
 std::vector<fpgasim::ResourceEstimate> ModelEngine::resource_report() const {

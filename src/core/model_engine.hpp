@@ -81,6 +81,22 @@ class ModelEngine {
   std::optional<net::InferenceResult> submit(const net::FeatureVector& vec,
                                              sim::SimTime arrival);
 
+  /// Timing-only admission for the batched submission path: performs the
+  /// exact same admission checks, FIFO occupancy updates, identifier-queue
+  /// push, and stats increments as submit() — including counting the
+  /// inference — but defers the functional DNN forward pass to the caller.
+  /// The returned result carries predicted_class == -1 as a placeholder; the
+  /// caller patches in the batch-computed class before the result is
+  /// consumed. Interleaving submit() and submit_timed() calls is safe: both
+  /// leave identical engine state behind.
+  std::optional<net::InferenceResult> submit_timed(const net::FeatureVector& vec,
+                                                   sim::SimTime arrival);
+
+  /// Model accessors for external batched inference (the ModelPool runs
+  /// predict_batch against the same bound model the engine would use).
+  const nn::QuantizedCnn* cnn() const { return cnn_; }
+  const nn::QuantizedRnn* rnn() const { return rnn_; }
+
   /// Pure compute latency of one inference (pipeline empty).
   sim::SimDuration inference_latency() const { return timer_.to_time(cycles_per_inference_); }
   std::uint64_t cycles_per_inference() const { return cycles_per_inference_; }

@@ -1,5 +1,9 @@
 #include "core/model_pool.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
 namespace fenix::core {
 
 fpgasim::ResourceEstimate ModelPool::total_of(const ModelEngine& engine) {
@@ -27,6 +31,100 @@ std::size_t ModelPool::add_engine(ModelEngineConfig config,
   pooled_ = candidate;
   engines_.push_back(std::move(engine));
   return engines_.size() - 1;
+}
+
+// ---------------------------------------------------------- InferenceBatcher
+
+InferenceBatcher::InferenceBatcher(const nn::QuantizedCnn* cnn,
+                                   const nn::QuantizedRnn* rnn,
+                                   std::size_t batch_size, std::size_t workers)
+    : cnn_(cnn), rnn_(rnn),
+      seq_len_(cnn ? cnn->config().seq_len : rnn ? rnn->config().seq_len : 0),
+      batch_size_(std::max<std::size_t>(1, batch_size)) {
+  if ((cnn_ == nullptr) == (rnn_ == nullptr)) {
+    throw std::invalid_argument("InferenceBatcher: exactly one model must be bound");
+  }
+  if (workers > 0) {
+    pool_ = std::make_unique<runtime::ThreadPool>(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      workers_.push_back(std::make_unique<Worker>());
+    }
+    for (std::size_t w = 0; w < workers; ++w) {
+      Worker* worker = workers_[w].get();
+      pool_->submit([this, worker] {
+        for (;;) {
+          if (auto batch = worker->queue.try_pop()) {
+            compute(**batch, worker->scratch);
+          } else if (stop_.load(std::memory_order_acquire) &&
+                     worker->queue.empty()) {
+            break;
+          } else {
+            std::this_thread::yield();
+          }
+        }
+      });
+    }
+  }
+}
+
+InferenceBatcher::~InferenceBatcher() {
+  stop_.store(true, std::memory_order_release);
+  if (pool_) pool_->wait();
+}
+
+void InferenceBatcher::compute(Batch& batch, nn::Scratch& scratch) {
+  if (cnn_) {
+    cnn_->predict_batch(batch.tokens.data(), batch.count, scratch, batch.out.data());
+  } else {
+    rnn_->predict_batch(batch.tokens.data(), batch.count, scratch, batch.out.data());
+  }
+  batch.done.store(true, std::memory_order_release);
+}
+
+void InferenceBatcher::dispatch(Batch* batch) {
+  ++dispatched_;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Worker& w = *workers_[round_robin_];
+    round_robin_ = (round_robin_ + 1) % workers_.size();
+    if (w.queue.try_push(batch)) return;
+  }
+  // No workers (or all rings full): compute on the producer thread.
+  compute(*batch, scratch_);
+}
+
+InferenceBatcher::Batch& InferenceBatcher::open_batch() {
+  const std::size_t offset = static_cast<std::size_t>(next_ticket_ % batch_size_);
+  if (offset == 0) {
+    Batch& b = batches_.emplace_back();
+    b.tokens.resize(batch_size_ * seq_len_);
+    b.out.assign(batch_size_, -1);
+    return b;
+  }
+  return batches_.back();
+}
+
+InferenceBatcher::Ticket InferenceBatcher::enqueue(
+    const std::vector<net::PacketFeature>& sequence) {
+  Batch& batch = open_batch();
+  const std::size_t offset = static_cast<std::size_t>(next_ticket_ % batch_size_);
+  nn::tokenize_into(sequence, seq_len_, tmp_tokens_);
+  std::copy(tmp_tokens_.begin(), tmp_tokens_.end(),
+            batch.tokens.begin() + offset * seq_len_);
+  batch.count = offset + 1;
+  const Ticket ticket = next_ticket_++;
+  if (batch.count == batch_size_) dispatch(&batch);
+  return ticket;
+}
+
+void InferenceBatcher::finish() {
+  if (next_ticket_ % batch_size_ != 0) dispatch(&batches_.back());
+  stop_.store(true, std::memory_order_release);
+  if (pool_) {
+    pool_->wait();
+    pool_.reset();
+  }
+  // Every dispatched batch is now done (workers drained their rings before
+  // exiting; inline computes finished synchronously).
 }
 
 }  // namespace fenix::core

@@ -9,13 +9,18 @@
 // supports per-engine hot-swap.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "core/model_engine.hpp"
+#include "nn/featurizer.hpp"
+#include "runtime/spsc_queue.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace fenix::core {
 
@@ -60,6 +65,87 @@ class ModelPool {
   fpgasim::DeviceProfile device_;
   fpgasim::ResourceEstimate pooled_;
   std::vector<std::unique_ptr<ModelEngine>> engines_;
+};
+
+/// Batched Model Engine submission front end.
+///
+/// The sharded replay admits mirrors through ModelEngine::submit_timed (pure
+/// timing/FIFO effects) and routes the functional forward passes here: each
+/// enqueue() tokenizes one feature sequence into the open batch; full batches
+/// are dispatched to inference workers (or computed inline when none are
+/// configured) through bounded SPSC rings; the predicted class is read back
+/// by ticket once the batch completes. This is the software analogue of the
+/// FPGA's async input FIFO feeding the systolic array back-to-back frames:
+/// per-frame dispatch overhead amortizes across the batch while the
+/// arithmetic — nn::predict_batch is bit-identical to per-window predict() —
+/// is unchanged.
+///
+/// Threading contract: exactly one producer thread calls enqueue()/finish();
+/// result() is valid after finish(). Batches live until destruction, so
+/// tickets never dangle.
+class InferenceBatcher {
+ public:
+  using Ticket = std::uint64_t;
+
+  /// Exactly one of `cnn` / `rnn` non-null (the model the bound engine
+  /// executes). `batch_size` inferences per dispatched frame; `workers`
+  /// background inference workers (0 = compute on the producer thread).
+  InferenceBatcher(const nn::QuantizedCnn* cnn, const nn::QuantizedRnn* rnn,
+                   std::size_t batch_size, std::size_t workers);
+  ~InferenceBatcher();
+
+  InferenceBatcher(const InferenceBatcher&) = delete;
+  InferenceBatcher& operator=(const InferenceBatcher&) = delete;
+
+  /// Tokenizes `sequence` into the open batch and returns the ticket its
+  /// predicted class will be readable under. Dispatches the batch when full.
+  Ticket enqueue(const std::vector<net::PacketFeature>& sequence);
+
+  /// Dispatch-and-complete everything outstanding (including a partial final
+  /// batch) and stop the workers. Terminal: call once, before result().
+  void finish();
+
+  /// Predicted class of `ticket`; valid after finish().
+  std::int16_t result(Ticket ticket) const {
+    const Batch& b = batches_[ticket / batch_size_];
+    return b.out[ticket % batch_size_];
+  }
+
+  std::uint64_t enqueued() const { return next_ticket_; }
+  std::uint64_t batches_dispatched() const { return dispatched_; }
+  std::size_t batch_size() const { return batch_size_; }
+
+ private:
+  struct Batch {
+    std::vector<nn::Token> tokens;   ///< batch_size * seq_len, row-major.
+    std::vector<std::int16_t> out;   ///< One predicted class per inference.
+    std::size_t count = 0;
+    std::atomic<bool> done{false};
+  };
+  struct Worker {
+    runtime::SpscQueue<Batch*> queue{256};
+    nn::Scratch scratch;
+  };
+
+  void compute(Batch& batch, nn::Scratch& scratch);
+  void dispatch(Batch* batch);
+  Batch& open_batch();
+
+  const nn::QuantizedCnn* cnn_;
+  const nn::QuantizedRnn* rnn_;
+  std::size_t seq_len_;
+  std::size_t batch_size_;
+
+  std::deque<Batch> batches_;  ///< Stable addresses; grows only.
+  Ticket next_ticket_ = 0;
+  std::uint64_t dispatched_ = 0;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::atomic<bool> stop_{false};
+  std::size_t round_robin_ = 0;
+  nn::Scratch scratch_;                ///< Producer-side compute scratch.
+  std::vector<nn::Token> tmp_tokens_;  ///< tokenize_into staging.
 };
 
 }  // namespace fenix::core

@@ -1,0 +1,730 @@
+// Multi-pipe sharded replay with batched Model Engine submission.
+//
+// FenixSystem::run() replays a trace through one serial state machine. This
+// file is the throughput path: the same replay decomposed the way the
+// hardware is — Tofino 2 processes packets in (up to) four independent pipes,
+// and the FPGA's async input FIFO feeds the systolic array back-to-back
+// frames. Concretely:
+//
+//  * Packets are sharded by five-tuple hash (flow-affine: a Flow Info Table
+//    slot is owned by exactly one pipe shard). Each shard replicates the
+//    grant-independent per-packet work — Flow Tracker fingerprint
+//    check-and-claim, window-new-flow counting, IPD featurization, ring
+//    buffer maintenance and mirror-window assembly — on its own partition of
+//    the register arrays, and streams one PrePacket per packet through a
+//    bounded SPSC ring.
+//  * A serial coordinator drains the shards in global packet order and owns
+//    everything that couples flows to each other or to time: backlog
+//    accumulators (grants reset them), the probabilistic token bucket (one
+//    16-bit RNG draw per packet, in packet order), the probability-table
+//    rebuild at each control window, the PCB channels, the Model Engine's
+//    admission/occupancy model, the health watchdog, and the deadline /
+//    retransmit machinery.
+//  * DNN forward passes are deferred: the coordinator admits mirrors with
+//    ModelEngine::submit_timed() and enqueues the feature window into an
+//    InferenceBatcher ticket. A predicted class is pure data — a function of
+//    the token window only — and nothing in the replay's *timing* depends on
+//    it, so verdicts flow through the accounting symbolically (a cached
+//    verdict is "the class of ticket T") and every confusion-matrix cell is
+//    resolved after the batches complete. Batches therefore always fill to
+//    the SIMD batch-lane width regardless of how many inferences are in
+//    flight at once.
+//
+// Determinism (DESIGN.md § Multi-pipe sharded replay): shard outputs are pure
+// per-slot functions of each slot's packet subsequence, so they are identical
+// at any shard/thread count; the coordinator consumes them in global packet
+// order and replicates run()'s event interleaving — including the pump
+// tie-break (results win when delivered_at <= miss.at) — bit for bit.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "core/fenix_system.hpp"
+#include "core/model_pool.hpp"
+#include "net/hash.hpp"
+#include "runtime/spsc_queue.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace fenix::core {
+namespace {
+
+/// Largest ring capacity the inline PrePacket window supports; larger
+/// configurations fall back to the serial path.
+constexpr std::uint32_t kMaxRing = 16;
+
+/// Per-shard SPSC ring depth (PrePackets in flight per pipe).
+constexpr std::size_t kShardQueueDepth = 4096;
+
+struct PendingResult {
+  sim::SimTime delivered_at;
+  net::InferenceResult result;
+  sim::SimTime mirror_emitted;
+  sim::SimTime fpga_arrival;
+  InferenceBatcher::Ticket ticket = 0;  ///< Deferred predicted class.
+
+  bool operator>(const PendingResult& other) const {
+    return delivered_at > other.delivered_at;
+  }
+};
+
+/// Same total order as the serial replay's MissEvent.
+struct MissEvent {
+  sim::SimTime at;
+  std::uint64_t seq;
+  net::FeatureVector vec;
+  unsigned retries_left;
+
+  bool operator>(const MissEvent& other) const {
+    if (at != other.at) return at > other.at;
+    return seq > other.seq;
+  }
+};
+
+/// Deterministic retransmit-rate bucket; mirror of the serial replay's.
+class RetransmitBucket {
+ public:
+  RetransmitBucket(double rate_hz, double burst_tokens) {
+    const double cost =
+        rate_hz > 0.0 ? static_cast<double>(sim::kSecond) / rate_hz
+                      : static_cast<double>(sim::kSecond);
+    cost_ps_ = std::max<sim::SimDuration>(1, static_cast<sim::SimDuration>(cost));
+    cap_ps_ = static_cast<sim::SimDuration>(static_cast<double>(cost_ps_) *
+                                            std::max(1.0, burst_tokens));
+    level_ps_ = cap_ps_;
+  }
+
+  bool try_take(sim::SimTime now) {
+    if (first_) {
+      first_ = false;
+    } else if (now > t_last_) {
+      level_ps_ = std::min(cap_ps_, level_ps_ + (now - t_last_));
+    }
+    t_last_ = now;
+    if (level_ps_ < cost_ps_) return false;
+    level_ps_ -= cost_ps_;
+    return true;
+  }
+
+ private:
+  sim::SimDuration cost_ps_ = 1;
+  sim::SimDuration cap_ps_ = 1;
+  sim::SimDuration level_ps_ = 0;
+  sim::SimTime t_last_ = 0;
+  bool first_ = true;
+};
+
+/// Everything the coordinator needs to know about one packet, produced by its
+/// pipe shard. ~100 bytes, passed by value through the SPSC ring so the
+/// shard's mutable state is never shared.
+struct PrePacket {
+  std::uint32_t slot = 0;          ///< Flow Info Table index.
+  std::uint32_t flow_hash = 0;     ///< 32-bit fingerprint.
+  std::uint32_t packet_count = 0;  ///< Flow total after this packet.
+  net::PacketFeature feature;      ///< Current packet's feature (F9).
+  std::uint8_t win_len = 0;        ///< Valid prior ring entries.
+  bool new_flow = false;
+  bool counted_new = false;  ///< Incremented the window new-flow counter.
+  std::array<net::PacketFeature, kMaxRing> window;  ///< Oldest first.
+};
+
+/// One pipe shard: a partition of the Flow Tracker / Buffer Manager register
+/// state (slots with slot % pipes == shard id, stored densely at slot /
+/// pipes) plus the packet subsequence it owns.
+struct PipeShard {
+  // Register partition.
+  std::vector<std::uint32_t> hash;
+  std::vector<std::uint32_t> pkt_cnt;
+  std::vector<std::uint32_t> buff_idx;
+  std::vector<std::uint32_t> counter_hash;
+  std::vector<std::uint32_t> counter_epoch;  ///< Window tag (epoch + 1).
+  std::vector<std::uint32_t> last_orig_us;
+  std::vector<net::PacketFeature> rings;  ///< local_slots * ring_capacity.
+
+  std::vector<std::uint32_t> packet_indices;  ///< Global packet ids, in order.
+  std::size_t cursor = 0;
+  PrePacket staged;
+  bool has_staged = false;
+  std::unique_ptr<runtime::SpscQueue<PrePacket>> queue;
+
+  PipeShard(std::size_t local_slots, std::uint32_t ring_capacity)
+      : hash(local_slots, 0), pkt_cnt(local_slots, 0), buff_idx(local_slots, 0),
+        counter_hash(local_slots, 0), counter_epoch(local_slots, 0),
+        last_orig_us(local_slots, 0), rings(local_slots * ring_capacity),
+        queue(std::make_unique<runtime::SpscQueue<PrePacket>>(kShardQueueDepth)) {}
+};
+
+/// The shard-side replica of DataEngine::on_packet's grant-independent half.
+/// Bit-for-bit the same arithmetic as FlowTracker::on_packet + the IPD
+/// featurization + BufferManager::assemble/store, restricted to this shard's
+/// slots.
+void shard_stage(PipeShard& s, const net::PacketRecord& p, std::uint32_t epoch,
+                 unsigned index_bits, std::uint32_t pipes, std::uint32_t cap) {
+  PrePacket& pp = s.staged;
+  pp.slot = net::flow_index(p.tuple, index_bits);
+  pp.flow_hash = net::flow_hash32(p.tuple);
+  const std::size_t ls = pp.slot / pipes;  // dense local slot
+
+  // Fingerprint check-and-claim (hash register). Per-flow state resets on a
+  // new/evicting flow exactly as the stateful ALU does.
+  pp.new_flow = s.hash[ls] != pp.flow_hash;
+  if (pp.new_flow) {
+    s.hash[ls] = pp.flow_hash;
+    s.pkt_cnt[ls] = 0;
+    s.buff_idx[ls] = 0;
+  }
+
+  // Window new-flow counter (Figure 4a). The serial engine clears the hash
+  // registers at each control window; tagging each entry with its window
+  // epoch is equivalent and needs no cross-shard reset.
+  const std::uint32_t tag = epoch + 1;
+  const std::uint32_t stored = s.counter_epoch[ls] == tag ? s.counter_hash[ls] : 0;
+  pp.counted_new = stored != pp.flow_hash;
+  s.counter_hash[ls] = pp.flow_hash;
+  s.counter_epoch[ls] = tag;
+
+  // IPD featurization from the original capture timestamp register
+  // (wrap-aware 32-bit microsecond arithmetic, as the switch computes it).
+  const auto orig_us = static_cast<std::uint32_t>(p.orig_timestamp / sim::kMicrosecond);
+  const std::uint32_t prev_us = s.last_orig_us[ls];
+  s.last_orig_us[ls] = orig_us;
+  const std::uint32_t cnt = ++s.pkt_cnt[ls];
+  pp.packet_count = cnt;
+  pp.feature.length = p.wire_length;
+  if (pp.new_flow || cnt <= 1) {
+    pp.feature.ipd_code = 0;
+  } else {
+    const std::uint32_t ipd_us = orig_us - prev_us;
+    pp.feature.ipd_code = net::encode_ipd(static_cast<sim::SimDuration>(ipd_us) *
+                                          sim::kMicrosecond);
+  }
+
+  // Ring index (wrap-without-modulo; the packet writes the old value's slot).
+  const std::uint32_t ring_slot = s.buff_idx[ls];
+  s.buff_idx[ls] = ring_slot >= cap - 1 ? 0 : ring_slot + 1;
+
+  // Mirror-window assembly (grant-independent: the ring contents are a pure
+  // function of the flow's packet subsequence). Copied inline so the
+  // coordinator never touches shard-mutable memory.
+  net::PacketFeature* ring = s.rings.data() + static_cast<std::size_t>(ls) * cap;
+  const std::uint32_t valid = std::min(cnt - 1, cap);
+  pp.win_len = static_cast<std::uint8_t>(valid);
+  if (valid < cap) {
+    for (std::uint32_t i = 0; i < valid; ++i) pp.window[i] = ring[i];
+  } else {
+    for (std::uint32_t i = 0; i < cap; ++i) {
+      pp.window[i] = ring[(ring_slot + i) % cap];
+    }
+  }
+  ring[ring_slot] = pp.feature;  // deparser-stage register write
+}
+
+bool confusion_equal(const telemetry::ConfusionMatrix& a,
+                     const telemetry::ConfusionMatrix& b) {
+  if (a.num_classes() != b.num_classes()) return false;
+  if (a.total() != b.total() || a.unpredicted() != b.unpredicted()) return false;
+  for (std::size_t t = 0; t < a.num_classes(); ++t) {
+    for (std::size_t p = 0; p < a.num_classes(); ++p) {
+      if (a.count(t, p) != b.count(t, p)) return false;
+    }
+  }
+  return true;
+}
+
+bool recorder_equal(const telemetry::LatencyRecorder& a,
+                    const telemetry::LatencyRecorder& b) {
+  if (a.count() != b.count() || a.min() != b.min() || a.max() != b.max()) {
+    return false;
+  }
+  if (a.mean_ps() != b.mean_ps()) return false;
+  static constexpr double kPercentiles[] = {0.0,  10.0, 25.0, 50.0,  75.0,
+                                            90.0, 95.0, 99.0, 99.9, 100.0};
+  for (double p : kPercentiles) {
+    if (a.percentile(p) != b.percentile(p)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool run_reports_equal(const RunReport& a, const RunReport& b) {
+  if (a.packets != b.packets || a.mirrors != b.mirrors ||
+      a.fifo_drops != b.fifo_drops || a.channel_losses != b.channel_losses ||
+      a.results_applied != b.results_applied ||
+      a.results_stale != b.results_stale ||
+      a.trace_duration != b.trace_duration ||
+      a.deadline_misses != b.deadline_misses ||
+      a.retransmits != b.retransmits ||
+      a.retransmits_suppressed != b.retransmits_suppressed ||
+      a.retransmits_exhausted != b.retransmits_exhausted ||
+      a.fallback_verdicts != b.fallback_verdicts ||
+      a.mirrors_suppressed != b.mirrors_suppressed) {
+    return false;
+  }
+  if (a.watchdog.deadline_misses != b.watchdog.deadline_misses ||
+      a.watchdog.heartbeats != b.watchdog.heartbeats ||
+      a.watchdog.degradations != b.watchdog.degradations ||
+      a.watchdog.recoveries != b.watchdog.recoveries ||
+      a.watchdog.time_degraded != b.watchdog.time_degraded) {
+    return false;
+  }
+  if (!confusion_equal(a.packet_confusion, b.packet_confusion) ||
+      !confusion_equal(a.inference_confusion, b.inference_confusion) ||
+      !confusion_equal(a.flow_confusion, b.flow_confusion)) {
+    return false;
+  }
+  if (!recorder_equal(a.internal_tx, b.internal_tx) ||
+      !recorder_equal(a.queueing, b.queueing) ||
+      !recorder_equal(a.inference, b.inference) ||
+      !recorder_equal(a.return_tx, b.return_tx) ||
+      !recorder_equal(a.end_to_end, b.end_to_end)) {
+    return false;
+  }
+  if (a.phases.size() != b.phases.size()) return false;
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    const PhaseReport& pa = a.phases[i];
+    const PhaseReport& pb = b.phases[i];
+    if (pa.name != pb.name || pa.start != pb.start || pa.end != pb.end ||
+        pa.packets != pb.packets || pa.dnn_verdicts != pb.dnn_verdicts ||
+        pa.tree_verdicts != pb.tree_verdicts ||
+        pa.unclassified != pb.unclassified ||
+        !confusion_equal(pa.packet_confusion, pb.packet_confusion)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RunReport FenixSystem::run_pipelined(const net::Trace& trace,
+                                     std::size_t num_classes, RunHooks* hooks,
+                                     const std::vector<RunPhase>& phases,
+                                     const PipelineOptions& opts) {
+  const DataEngineConfig& de = config_.data_engine;
+  const std::uint32_t cap = de.tracker.ring_capacity;
+  const std::uint32_t pipes =
+      static_cast<std::uint32_t>(std::max<std::size_t>(1, opts.pipes));
+  if (cap == 0 || cap > kMaxRing) {
+    // Ring deeper than the inline PrePacket window: serve serially.
+    return run(trace, num_classes, hooks, phases);
+  }
+
+  RunReport report(num_classes);
+  report.trace_duration = trace.duration();
+  report.phases.reserve(phases.size());
+  for (const RunPhase& p : phases) {
+    report.phases.emplace_back(p.name, p.start, p.end, num_classes);
+  }
+  report.internal_tx.reserve(trace.packets.size());
+  report.queueing.reserve(trace.packets.size());
+  report.inference.reserve(trace.packets.size());
+  report.return_tx.reserve(trace.packets.size());
+  report.end_to_end.reserve(trace.packets.size());
+
+  const unsigned index_bits = de.tracker.index_bits;
+  const std::size_t table_size = std::size_t{1} << index_bits;
+  const std::size_t local_slots = (table_size + pipes - 1) / pipes;
+
+  // ---- Phase A (serial, cheap): shard assignment + control-window epochs.
+  //
+  // The control-plane tick schedule is a pure function of the packet
+  // timestamps, so the window epoch of every packet is known up front; the
+  // shards need it to emulate the window new-flow counter reset.
+  std::vector<std::uint32_t> owner(trace.packets.size());
+  std::vector<std::uint32_t> epochs(trace.packets.size());
+  {
+    sim::SimTime last_tick = 0;
+    std::uint32_t epoch = 0;
+    for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+      const sim::SimTime ts = trace.packets[i].timestamp;
+      if (!(ts < last_tick + de.window_tw)) {
+        last_tick = ts;
+        ++epoch;
+      }
+      epochs[i] = epoch;
+      owner[i] = net::flow_index(trace.packets[i].tuple, index_bits) % pipes;
+    }
+  }
+
+  std::vector<std::unique_ptr<PipeShard>> shards;
+  shards.reserve(pipes);
+  for (std::uint32_t s = 0; s < pipes; ++s) {
+    shards.push_back(std::make_unique<PipeShard>(local_slots, cap));
+  }
+  for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+    shards[owner[i]]->packet_indices.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // ---- Worker threads: pipe shards + inference workers.
+  runtime::ThreadPool pool(opts.threads);
+  const std::size_t threads = pool.size();
+
+  const nn::QuantizedCnn* cnn = model_engine_.cnn();
+  const nn::QuantizedRnn* rnn = model_engine_.rnn();
+  InferenceBatcher batcher(cnn, rnn, std::max<std::size_t>(1, opts.batch),
+                           threads > 1 ? threads - 1 : 0);
+
+  // Pipe shards are grouped onto the pool's workers; each task round-robins
+  // its shards so a full ring never stalls the others (the coordinator
+  // consumes in global packet order, so every shard must keep making
+  // progress regardless of how many OS threads exist).
+  const std::size_t groups = std::min<std::size_t>(threads, pipes);
+  const net::Trace* trace_ptr = &trace;
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::vector<PipeShard*> mine;
+    for (std::size_t s = g; s < pipes; s += groups) mine.push_back(shards[s].get());
+    pool.submit([mine, trace_ptr, &epochs, index_bits, pipes, cap] {
+      for (;;) {
+        bool all_done = true;
+        bool progressed = false;
+        for (PipeShard* s : mine) {
+          for (;;) {
+            if (!s->has_staged) {
+              if (s->cursor >= s->packet_indices.size()) break;
+              const std::uint32_t i = s->packet_indices[s->cursor];
+              shard_stage(*s, trace_ptr->packets[i], epochs[i], index_bits,
+                          pipes, cap);
+              ++s->cursor;
+              s->has_staged = true;
+            }
+            if (!s->queue->try_push(s->staged)) break;
+            s->has_staged = false;
+            progressed = true;
+          }
+          if (s->has_staged || s->cursor < s->packet_indices.size()) {
+            all_done = false;
+          }
+        }
+        if (all_done) return;
+        if (!progressed) std::this_thread::yield();
+      }
+    });
+  }
+
+  // ---- Coordinator state: the grant-/delivery-coupled half of the Data
+  // Engine, replicated with the same seeds and the same per-packet order as
+  // DataEngine so every RNG draw and every table rebuild is identical.
+  std::vector<std::uint32_t> coord_hash(table_size, 0);
+  std::vector<std::uint32_t> bklog_n(table_size, 0);
+  std::vector<std::uint32_t> bklog_t(table_size, 0);
+  // Cached verdict per slot: 0 = none, else ticket + 1 (resolved after the
+  // batches complete; the class value never feeds back into replay state).
+  std::vector<std::uint64_t> cls_ticket(table_size, 0);
+
+  ProbabilityLookupTable prob_table(de.prob_t_cells, de.prob_c_cells,
+                                    de.prob_t_max_s, de.prob_c_max,
+                                    de.prob_log_scale_c, de.prob_log_scale_t);
+  const double token_rate_v = data_engine_.token_rate_v();
+  {
+    TrafficStats stats;
+    stats.token_rate_v = token_rate_v;
+    stats.flow_count_n = de.initial_flow_count;
+    stats.packet_rate_q = de.initial_packet_rate;
+    prob_table.rebuild(stats);
+  }
+  TokenBucketConfig bucket_config;
+  bucket_config.token_rate_v = token_rate_v;
+  bucket_config.capacity_tokens = de.bucket_capacity_tokens;
+  bucket_config.seed = de.bucket_seed;
+  TokenBucket bucket(bucket_config);
+  telemetry::RateMeter flow_meter(de.stats_ewma_alpha);
+  telemetry::RateMeter packet_meter(de.stats_ewma_alpha);
+  HealthWatchdog watchdog(de.watchdog);
+  std::uint64_t degraded_grants = 0;
+  std::uint64_t results_applied = 0;
+  std::uint64_t results_stale = 0;
+  sim::SimTime last_tick = 0;
+  std::uint64_t win_new_flows = 0;
+  std::uint64_t win_packets = 0;
+
+  const switchsim::TernaryMatchTable* prelim = data_engine_.preliminary_table();
+  const FeatureLayout& prelim_layout = data_engine_.preliminary_layout();
+
+  std::priority_queue<PendingResult, std::vector<PendingResult>, std::greater<>>
+      pending;
+  std::priority_queue<MissEvent, std::vector<MissEvent>, std::greater<>> misses;
+  std::uint64_t miss_seq = 0;
+  RetransmitBucket rtx_bucket(config_.recovery.retransmit_rate_hz,
+                              config_.recovery.retransmit_burst_tokens);
+  const sim::SimDuration deadline = config_.recovery.result_deadline;
+
+  std::vector<net::ClassLabel> flow_labels(trace.flows.size(), net::kUnlabeled);
+  for (const net::FlowRecord& f : trace.flows) {
+    if (f.flow_id < flow_labels.size()) flow_labels[f.flow_id] = f.label;
+  }
+
+  // ---- Deferred (symbolic) verdict accounting. Confusion-matrix updates are
+  // commutative integer increments, so resolving ticket-valued cells after
+  // the run preserves equality with the serial report.
+  struct DeferredForward {
+    net::ClassLabel label;
+    std::int32_t phase;  ///< -1 when outside every phase slice.
+    InferenceBatcher::Ticket ticket;
+  };
+  struct DeferredInference {
+    net::ClassLabel label;
+    InferenceBatcher::Ticket ticket;
+  };
+  std::vector<DeferredForward> deferred_forward;
+  std::vector<DeferredInference> deferred_inference;
+  std::vector<std::int64_t> flow_verdict_ticket(trace.flows.size(), -1);
+
+  const auto send_vector = [&](const net::FeatureVector& vec, sim::SimTime emitted,
+                               unsigned retries_left) {
+    const auto schedule_miss = [&] {
+      misses.push(MissEvent{emitted + deadline, miss_seq++, vec, retries_left});
+    };
+    const auto fpga_arrival = to_fpga_.transfer_lossy(emitted, vec.wire_bytes());
+    if (!fpga_arrival) {
+      ++report.channel_losses;
+      schedule_miss();
+      return;
+    }
+    report.internal_tx.record(*fpga_arrival - emitted);
+
+    auto result = model_engine_.submit_timed(vec, *fpga_arrival);
+    if (!result) {
+      ++report.fifo_drops;
+      schedule_miss();
+      return;
+    }
+    const InferenceBatcher::Ticket ticket = batcher.enqueue(vec.sequence);
+    report.queueing.record(result->inference_started - *fpga_arrival);
+    report.inference.record(result->inference_finished - result->inference_started);
+    const auto back = from_fpga_.transfer_lossy(result->inference_finished,
+                                                result->wire_bytes());
+    if (!back) {
+      ++report.channel_losses;
+      schedule_miss();
+      return;
+    }
+    report.return_tx.record(*back - result->inference_finished);
+    PendingResult p;
+    p.delivered_at = *back + data_engine_.timing().pass_latency();
+    p.result = *result;
+    p.result.delivered_at = p.delivered_at;
+    p.mirror_emitted = emitted;
+    p.fpga_arrival = *fpga_arrival;
+    p.ticket = ticket;
+    if (p.delivered_at > emitted + deadline) schedule_miss();
+    pending.push(std::move(p));
+  };
+
+  const auto deliver_one = [&] {
+    const PendingResult p = pending.top();
+    pending.pop();
+    // DataEngine::deliver_result, against coordinator-owned verdict state.
+    watchdog.on_result(p.result.delivered_at);
+    const std::uint32_t slot = net::flow_index(p.result.tuple, index_bits);
+    if (coord_hash[slot] == net::flow_hash32(p.result.tuple)) {
+      cls_ticket[slot] = p.ticket + 1;
+      ++results_applied;
+    } else {
+      ++results_stale;
+    }
+    report.end_to_end.record(p.delivered_at - p.mirror_emitted);
+    if (p.result.flow_id < flow_labels.size()) {
+      deferred_inference.push_back({flow_labels[p.result.flow_id], p.ticket});
+      flow_verdict_ticket[p.result.flow_id] = static_cast<std::int64_t>(p.ticket);
+    }
+  };
+
+  const auto miss_one = [&] {
+    MissEvent ev = misses.top();
+    misses.pop();
+    ++report.deadline_misses;
+    watchdog.on_deadline_missed(ev.at);
+    if (ev.retries_left == 0) {
+      ++report.retransmits_exhausted;
+      return;
+    }
+    if (!rtx_bucket.try_take(ev.at)) {
+      ++report.retransmits_suppressed;
+      return;
+    }
+    ++report.retransmits;
+    send_vector(ev.vec, ev.at, ev.retries_left - 1);
+  };
+
+  // Identical drain/tie-break to the serial pump: results win ties.
+  const auto pump = [&](sim::SimTime now, bool everything) {
+    for (;;) {
+      const bool have_result =
+          !pending.empty() && (everything || pending.top().delivered_at <= now);
+      const bool have_miss =
+          !misses.empty() && (everything || misses.top().at <= now);
+      if (!have_result && !have_miss) break;
+      if (have_result &&
+          (!have_miss || pending.top().delivered_at <= misses.top().at)) {
+        deliver_one();
+      } else {
+        miss_one();
+      }
+    }
+  };
+
+  net::FeatureVector mirror_buf;  // reused grant-assembly buffer
+  mirror_buf.sequence.reserve(cap + 1);
+
+  std::size_t phase_idx = 0;
+  for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+    const net::PacketRecord& packet = trace.packets[i];
+    PipeShard& shard = *shards[owner[i]];
+    PrePacket pp;
+    for (;;) {
+      if (auto popped = shard.queue->try_pop()) {
+        pp = *popped;
+        break;
+      }
+      std::this_thread::yield();
+    }
+
+    if (hooks) hooks->at_time(packet.timestamp);
+    pump(packet.timestamp, /*everything=*/false);
+
+    // Control-plane window tick (DataEngine::control_plane_tick).
+    if (!(packet.timestamp < last_tick + de.window_tw)) {
+      const sim::SimDuration elapsed =
+          last_tick == 0 ? de.window_tw : packet.timestamp - last_tick;
+      last_tick = packet.timestamp;
+      const double n_smoothed = flow_meter.update(win_new_flows, sim::kSecond);
+      const double q_smoothed = packet_meter.update(win_packets, elapsed);
+      TrafficStats stats;
+      stats.token_rate_v = token_rate_v;
+      stats.flow_count_n = std::max(1.0, n_smoothed);
+      stats.packet_rate_q = std::max(1.0, q_smoothed);
+      prob_table.rebuild(stats);
+      win_new_flows = 0;
+      win_packets = 0;
+    }
+    ++win_packets;
+    if (pp.counted_new) ++win_new_flows;
+
+    // Data-plane pass over the coordinator's half of the flow state.
+    const std::uint32_t slot = pp.slot;
+    const auto now_us =
+        static_cast<std::uint32_t>(packet.timestamp / sim::kMicrosecond);
+    if (pp.new_flow) {
+      coord_hash[slot] = pp.flow_hash;
+      bklog_n[slot] = 0;
+      bklog_t[slot] = now_us;
+      cls_ticket[slot] = 0;
+    }
+    const std::uint32_t backlog_count = ++bklog_n[slot];
+    const std::uint32_t age_us = now_us - bklog_t[slot];  // wrap-aware
+
+    // Forwarding decision (degradation ladder).
+    std::int16_t forward_class = -1;
+    bool from_engine = false;
+    bool from_tree = false;
+    InferenceBatcher::Ticket forward_ticket = 0;
+    if (cls_ticket[slot] != 0) {
+      from_engine = true;
+      forward_ticket = cls_ticket[slot] - 1;
+    } else if (prelim) {
+      const std::uint64_t key = pack_key(
+          prelim_layout,
+          {std::min<std::uint64_t>(pp.feature.length, (1u << 11) - 1),
+           pp.feature.ipd_code});
+      if (const auto hit = prelim->lookup(key)) {
+        forward_class = static_cast<std::int16_t>(hit->action_data);
+        from_tree = true;
+        if (watchdog.degraded()) ++report.fallback_verdicts;
+      }
+    }
+
+    ++report.packets;
+    while (phase_idx < report.phases.size() &&
+           packet.timestamp >= report.phases[phase_idx].end) {
+      ++phase_idx;
+    }
+    const bool in_phase = phase_idx < report.phases.size() &&
+                          packet.timestamp >= report.phases[phase_idx].start;
+    if (from_engine) {
+      deferred_forward.push_back(
+          {packet.label, in_phase ? static_cast<std::int32_t>(phase_idx) : -1,
+           forward_ticket});
+    } else {
+      report.packet_confusion.add(packet.label, forward_class);
+      if (in_phase) {
+        report.phases[phase_idx].packet_confusion.add(packet.label, forward_class);
+      }
+    }
+    if (in_phase) {
+      PhaseReport& phase = report.phases[phase_idx];
+      ++phase.packets;
+      if (from_engine) {
+        ++phase.dnn_verdicts;
+      } else if (from_tree) {
+        ++phase.tree_verdicts;
+      } else {
+        ++phase.unclassified;
+      }
+    }
+
+    // Rate Limiter: one probabilistic draw per packet, in packet order.
+    const double t_i =
+        sim::to_seconds(static_cast<sim::SimDuration>(age_us) * sim::kMicrosecond);
+    const std::uint16_t prob =
+        prob_table.lookup_fixed(t_i, static_cast<double>(backlog_count));
+    if (bucket.on_packet(packet.timestamp, prob)) {
+      bool emit = true;
+      if (watchdog.degraded()) {
+        const unsigned stride = std::max(1u, de.degraded_probe_stride);
+        emit = degraded_grants++ % stride == 0;
+        if (!emit) ++report.mirrors_suppressed;
+      }
+      if (emit) {
+        mirror_buf.tuple = packet.tuple;
+        mirror_buf.flow_id = packet.flow_id;
+        mirror_buf.emitted_at = packet.timestamp;
+        mirror_buf.sequence.clear();
+        for (std::uint32_t k = 0; k < pp.win_len; ++k) {
+          mirror_buf.sequence.push_back(pp.window[k]);
+        }
+        mirror_buf.sequence.push_back(pp.feature);
+        bklog_n[slot] = 0;  // record_feature_sent
+        bklog_t[slot] = now_us;
+        ++report.mirrors;
+        const sim::SimTime emitted =
+            packet.timestamp + data_engine_.timing().transit_latency();
+        send_vector(mirror_buf, emitted, config_.recovery.max_retransmits);
+      }
+    }
+  }
+
+  pump(0, /*everything=*/true);
+  watchdog.close(trace.duration());
+  pool.wait();
+
+  // ---- Resolve the symbolic verdicts now that every batch has run.
+  batcher.finish();
+  for (const DeferredForward& d : deferred_forward) {
+    const std::int16_t cls = batcher.result(d.ticket);
+    report.packet_confusion.add(d.label, cls);
+    if (d.phase >= 0) {
+      report.phases[static_cast<std::size_t>(d.phase)].packet_confusion.add(d.label,
+                                                                            cls);
+    }
+  }
+  for (const DeferredInference& d : deferred_inference) {
+    report.inference_confusion.add(d.label, batcher.result(d.ticket));
+  }
+  for (std::size_t f = 0; f < flow_labels.size(); ++f) {
+    const std::int64_t t = flow_verdict_ticket[f];
+    report.flow_confusion.add(
+        flow_labels[f],
+        t < 0 ? std::int16_t{-1}
+              : batcher.result(static_cast<InferenceBatcher::Ticket>(t)));
+  }
+
+  report.results_applied = results_applied;
+  report.results_stale = results_stale;
+  report.watchdog = watchdog.stats();
+  return report;
+}
+
+}  // namespace fenix::core

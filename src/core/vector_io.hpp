@@ -50,6 +50,22 @@ class VectorIoProcessor {
     return parsed;
   }
 
+  /// Allocation-free admission: identical queue/stat effects to ingest(),
+  /// but the feature sequence is not copied — the caller reads it straight
+  /// from `packet` (the hot submit path tokenizes in place). Returns false
+  /// on identifier-queue overflow (the packet is dropped).
+  bool admit(const net::FeatureVector& packet) {
+    Identifier id;
+    id.tuple = packet.tuple;
+    id.flow_id = packet.flow_id;
+    if (!identifiers_.push(id)) {
+      ++stats_.queue_drops;
+      return false;
+    }
+    ++stats_.ingested;
+    return true;
+  }
+
   /// Pairs an inference output with the oldest outstanding identifier and
   /// assembles the result packet for the switch. Returns nullopt if no
   /// identifier is outstanding (a protocol violation, counted).

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace fenix::nn {
 
@@ -59,6 +60,92 @@ void gemv_acc_i8(const std::int8_t* w, std::size_t rows, std::size_t row_stride,
 void conv1d_i8(const std::int8_t* w, std::size_t out_ch, std::size_t in_ch,
                std::size_t kernel, const std::int8_t* x, std::size_t T,
                const std::int32_t* bias, int shift, bool relu, std::int8_t* y);
+
+// ---- SIMD variants (kernels_simd.cpp) ----
+//
+// Explicitly vectorized AVX2 / AVX-512 versions of the kernels above, used
+// by the batched Model Engine submission path. They widen INT8 operands to
+// INT16, multiply-accumulate pairs into INT32 lanes (vpmaddwd: each product
+// is at most 128*127, so a pair sum fits INT32 with enormous margin), and
+// reduce the lanes to the same exact INT32 dot product the scalar loops
+// compute — integer addition is associative and overflow-free at these layer
+// sizes, so any lane partitioning is bit-identical. Requantization reuses
+// rounding_shift_right/saturate_i8 verbatim. On hosts without AVX2 every
+// entry point falls back to the scalar kernel, so results never depend on
+// the ISA, only speed does.
+
+/// True when the running CPU has at least AVX2 (the _simd entry points below
+/// then use vector code; otherwise they forward to the scalar kernels).
+bool simd_available();
+
+/// Bit-identical SIMD counterparts of gemv_i8 / gemv_acc_i8 / conv1d_i8.
+void gemv_i8_simd(const std::int8_t* w, std::size_t rows, std::size_t row_stride,
+                  std::size_t cols, const std::int8_t* x, const std::int32_t* bias,
+                  int shift, bool relu, std::int8_t* y);
+void gemv_acc_i8_simd(const std::int8_t* w, std::size_t rows,
+                      std::size_t row_stride, std::size_t cols,
+                      const std::int8_t* x, std::int32_t* acc);
+void conv1d_i8_simd(const std::int8_t* w, std::size_t out_ch, std::size_t in_ch,
+                    std::size_t kernel, const std::int8_t* x, std::size_t T,
+                    const std::int32_t* bias, int shift, bool relu, std::int8_t* y);
+
+// ---- Batch-lane GEMM (kernels_simd.cpp) ----
+//
+// The row-wise SIMD kernels above still pay one horizontal reduction per
+// output for FENIX's small layers. The batched kernels instead map the
+// *batch* dimension onto vector lanes: lane b of every INT32 accumulator
+// belongs to inference b, so accumulation is purely vertical and the kernel
+// streams each weight row exactly once per batch. This is the software
+// mirror of the FPGA's async input FIFO feeding the systolic array
+// back-to-back frames (§6): per-frame overhead is amortized across the
+// batch, arithmetic is unchanged.
+//
+// Operand layouts:
+//  * Weights are pre-widened once per layer into INT16 pairs packed in an
+//    INT32 word: wpairs[r * kpairs + k/2] = (int16)w[r][k] | (int16)w[r][k+1]
+//    << 16, kpairs = ceil(K/2), zero-padded when K is odd (pack_weight_pairs).
+//  * Activations are packed per batch with gemm_pack_x: packed[kp * lanes +
+//    b] holds the same INT16 pair of item b's vector. vpmaddwd then computes
+//    w[k]*x_b[k] + w[k+1]*x_b[k+1] per lane — two MACs per lane per
+//    instruction with no widening in the inner loop.
+//
+// out/acc are row-major rows x lanes. Lanes beyond lanes_used are computed
+// on zero inputs and must be ignored by the caller. Like every kernel here,
+// results are bit-identical to the scalar reference (INT32 accumulation
+// cannot overflow at these layer sizes; requantization is the same
+// rounding_shift_right / relu / saturate_i8 sequence). gemm_i8_batch
+// requires shift > 0 (always true for real quantized layers; callers fall
+// back to the per-item path otherwise so the int64 left-shift semantics of
+// the scalar reference are preserved).
+
+/// Batch width the GEMM kernels process per call: 16 with AVX-512, 8 with
+/// AVX2, 1 without either (the scalar fallback loops over one lane).
+std::size_t gemm_batch_lanes();
+
+/// Pre-widens a weight matrix into broadcast-ready INT16 pairs. `cols` is
+/// the logical row width (may be smaller than row_stride, e.g. the recurrent
+/// Wx rows); odd cols pads the final pair with zero.
+std::vector<std::int32_t> pack_weight_pairs(const std::int8_t* w,
+                                            std::size_t rows,
+                                            std::size_t row_stride,
+                                            std::size_t cols);
+
+/// Packs lanes_used items' activation vectors (xs[b], K INT8 each) into the
+/// pair-interleaved batch operand (ceil(K/2) * gemm_batch_lanes() INT32s).
+/// Unused lanes are zeroed.
+void gemm_pack_x(const std::int8_t* const* xs, std::size_t lanes_used,
+                 std::size_t K, std::int32_t* packed);
+
+/// out[r * lanes + b] = requantize(bias[r] + w_r . x_b); requires shift > 0.
+void gemm_i8_batch(const std::int32_t* wpairs, std::size_t rows,
+                   std::size_t kpairs, const std::int32_t* packed_x,
+                   const std::int32_t* bias, int shift, bool relu,
+                   std::int8_t* out);
+
+/// acc[r * lanes + b] = w_r . x_b as raw INT32 accumulators.
+void gemm_acc_i8_batch(const std::int32_t* wpairs, std::size_t rows,
+                       std::size_t kpairs, const std::int32_t* packed_x,
+                       std::int32_t* acc);
 
 }  // namespace kernels
 }  // namespace fenix::nn

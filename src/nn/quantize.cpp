@@ -56,6 +56,12 @@ void QDense::forward(const std::int8_t* x, std::int8_t* y, bool relu) const {
                    relu, y);
 }
 
+void QDense::forward_simd(const std::int8_t* x, std::int8_t* y, bool relu) const {
+  const int shift = out_exponent - (w.exponent + in_exponent);
+  kernels::gemv_i8_simd(w.data.data(), w.rows, w.cols, w.cols, x, bias.data(),
+                        shift, relu, y);
+}
+
 void QDense::forward_reference(const std::int8_t* x, std::int8_t* y, bool relu) const {
   const int shift = out_exponent - (w.exponent + in_exponent);
   for (std::size_t r = 0; r < w.rows; ++r) {
@@ -95,6 +101,13 @@ void QConv1D::forward(const std::int8_t* x, std::size_t T, std::int8_t* y,
   const int shift = out_exponent - (w.exponent + in_exponent);
   kernels::conv1d_i8(w.data.data(), out_ch, in_ch, kernel, x, T, bias.data(),
                      shift, relu, y);
+}
+
+void QConv1D::forward_simd(const std::int8_t* x, std::size_t T, std::int8_t* y,
+                           bool relu) const {
+  const int shift = out_exponent - (w.exponent + in_exponent);
+  kernels::conv1d_i8_simd(w.data.data(), out_ch, in_ch, kernel, x, T,
+                          bias.data(), shift, relu, y);
 }
 
 void QConv1D::forward_reference(const std::int8_t* x, std::size_t T, std::int8_t* y,
@@ -258,10 +271,30 @@ QuantizedCnn::QuantizedCnn(const CnnClassifier& model,
     fcs_.push_back(QDense::from(*fcs[i], in_e, out_e));
     in_e = out_e;
   }
+
+  // Pre-widen every layer for the batch-lane GEMM; the batched path also
+  // needs shift > 0 everywhere (it always is for calibrated layers — the
+  // flag guards pathological hand-built models).
+  batch_ok_ = true;
+  for (const QConv1D& c : convs_) {
+    conv_wpairs_.push_back(kernels::pack_weight_pairs(c.w.data.data(), c.out_ch,
+                                                      c.w.cols, c.w.cols));
+    if (c.out_exponent - (c.w.exponent + c.in_exponent) <= 0) batch_ok_ = false;
+  }
+  for (const QDense& f : fcs_) {
+    fc_wpairs_.push_back(kernels::pack_weight_pairs(f.w.data.data(), f.w.rows,
+                                                    f.w.cols, f.w.cols));
+    if (f.out_exponent - (f.w.exponent + f.in_exponent) <= 0) batch_ok_ = false;
+  }
 }
 
 const std::vector<std::int32_t>& QuantizedCnn::logits_q(
     const std::vector<Token>& tokens, Scratch& s) const {
+  return logits_q_impl(tokens.data(), s, /*simd=*/false);
+}
+
+const std::vector<std::int32_t>& QuantizedCnn::logits_q_impl(
+    const Token* tokens, Scratch& s, bool simd) const {
   const std::size_t T = config_.seq_len;
   const std::size_t E = config_.embed_dim();
 
@@ -281,7 +314,11 @@ const std::vector<std::int32_t>& QuantizedCnn::logits_q(
                 config_.ipd_embed_dim);
   }
   for (const QConv1D& conv : convs_) {
-    conv.forward(cur, T, next, /*relu=*/true);
+    if (simd) {
+      conv.forward_simd(cur, T, next, /*relu=*/true);
+    } else {
+      conv.forward(cur, T, next, /*relu=*/true);
+    }
     std::swap(cur, next);
   }
   // Average pool: integer sum, fixed-point multiply by 1/T, requantize.
@@ -295,7 +332,11 @@ const std::vector<std::int32_t>& QuantizedCnn::logits_q(
   }
   std::swap(cur, next);
   for (std::size_t i = 0; i < fcs_.size(); ++i) {
-    fcs_[i].forward(cur, next, /*relu=*/i + 1 < fcs_.size());
+    if (simd) {
+      fcs_[i].forward_simd(cur, next, /*relu=*/i + 1 < fcs_.size());
+    } else {
+      fcs_[i].forward(cur, next, /*relu=*/i + 1 < fcs_.size());
+    }
     std::swap(cur, next);
   }
   const std::size_t out_dim = fcs_.empty() ? C : fcs_.back().w.rows;
@@ -308,6 +349,132 @@ std::int16_t QuantizedCnn::predict(const std::vector<Token>& tokens,
                                    Scratch& scratch) const {
   const auto& q = logits_q(tokens, scratch);
   return static_cast<std::int16_t>(std::max_element(q.begin(), q.end()) - q.begin());
+}
+
+void QuantizedCnn::predict_batch(const Token* tokens, std::size_t count,
+                                 Scratch& s, std::int16_t* out) const {
+  const std::size_t T = config_.seq_len;
+  const std::size_t lanes = kernels::gemm_batch_lanes();
+  if (!batch_ok_ || convs_.empty() || fcs_.empty() || lanes == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto& q = logits_q_impl(tokens + i * T, s, /*simd=*/true);
+      out[i] = static_cast<std::int16_t>(std::max_element(q.begin(), q.end()) -
+                                         q.begin());
+    }
+    return;
+  }
+
+  // Batch-lane pipeline: lane b of every GEMM carries inference base+b.
+  // Activation planes are zero-padded with `maxpad` border rows so each conv
+  // always consumes a full kernel window — padded rows are zero, contribute
+  // zero to the integer accumulators, and keep the result bit-identical to
+  // the edge-trimmed serial convolution.
+  const std::size_t E = config_.embed_dim();
+  std::size_t maxpad = 0, max_w = E, max_kpairs = 0, max_rows = 0;
+  for (const QConv1D& c : convs_) {
+    maxpad = std::max(maxpad, c.kernel / 2);
+    max_w = std::max(max_w, c.out_ch);
+    max_kpairs = std::max(max_kpairs, (c.w.cols + 1) / 2);
+    max_rows = std::max(max_rows, c.out_ch);
+  }
+  for (const QDense& f : fcs_) {
+    max_w = std::max(max_w, f.w.rows);
+    max_kpairs = std::max(max_kpairs, (f.w.cols + 1) / 2);
+    max_rows = std::max(max_rows, f.w.rows);
+  }
+  const std::size_t plane = (T + 2 * maxpad) * max_w;
+  s.batch_a.resize(lanes * plane);
+  s.batch_b.resize(lanes * plane);
+  s.batch_pack.resize(max_kpairs * lanes);
+  s.batch_out.resize(max_rows * lanes);
+
+  const std::int8_t* xs[16];
+  for (std::size_t base = 0; base < count; base += lanes) {
+    const std::size_t n = std::min(lanes, count - base);
+    std::int8_t* cur = s.batch_a.data();
+    std::int8_t* nxt = s.batch_b.data();
+    for (std::size_t b = 0; b < n; ++b) {
+      std::int8_t* p = cur + b * plane;
+      std::memset(p, 0, (T + 2 * maxpad) * E);
+      const Token* tk = tokens + (base + b) * T;
+      for (std::size_t t = 0; t < T; ++t) {
+        std::memcpy(p + (maxpad + t) * E, len_embed_.row(tk[t][0]),
+                    config_.len_embed_dim);
+        std::memcpy(p + (maxpad + t) * E + config_.len_embed_dim,
+                    ipd_embed_.row(tk[t][1]), config_.ipd_embed_dim);
+      }
+    }
+    std::size_t in_ch = E;
+    for (std::size_t l = 0; l < convs_.size(); ++l) {
+      const QConv1D& c = convs_[l];
+      const std::size_t pad = c.kernel / 2;
+      const std::size_t kpairs = (c.w.cols + 1) / 2;
+      const int shift = c.out_exponent - (c.w.exponent + c.in_exponent);
+      for (std::size_t b = 0; b < n; ++b) {
+        std::memset(nxt + b * plane, 0, (T + 2 * maxpad) * c.out_ch);
+      }
+      for (std::size_t t = 0; t < T; ++t) {
+        for (std::size_t b = 0; b < n; ++b) {
+          xs[b] = cur + b * plane + (maxpad + t - pad) * in_ch;
+        }
+        kernels::gemm_pack_x(xs, n, c.w.cols, s.batch_pack.data());
+        kernels::gemm_i8_batch(conv_wpairs_[l].data(), c.out_ch, kpairs,
+                               s.batch_pack.data(), c.bias.data(), shift,
+                               /*relu=*/true, s.batch_out.data());
+        for (std::size_t b = 0; b < n; ++b) {
+          std::int8_t* dst = nxt + b * plane + (maxpad + t) * c.out_ch;
+          const std::int8_t* src = s.batch_out.data() + b;
+          for (std::size_t r = 0; r < c.out_ch; ++r) dst[r] = src[r * lanes];
+        }
+      }
+      std::swap(cur, nxt);
+      in_ch = c.out_ch;
+    }
+    const std::size_t C = in_ch;
+    const int pool_shift = 15 + (pool_out_exponent_ - pool_in_exponent_);
+    for (std::size_t b = 0; b < n; ++b) {
+      const std::int8_t* p = cur + b * plane + maxpad * C;
+      std::int8_t* dst = nxt + b * plane;
+      for (std::size_t ch = 0; ch < C; ++ch) {
+        std::int64_t sum = 0;
+        for (std::size_t t = 0; t < T; ++t) sum += p[t * C + ch];
+        dst[ch] =
+            saturate_i8(rounding_shift_right(sum * pool_multiplier_, pool_shift));
+      }
+    }
+    std::swap(cur, nxt);
+    for (std::size_t l = 0; l < fcs_.size(); ++l) {
+      const QDense& f = fcs_[l];
+      const std::size_t kpairs = (f.w.cols + 1) / 2;
+      const int shift = f.out_exponent - (f.w.exponent + f.in_exponent);
+      const bool relu = l + 1 < fcs_.size();
+      for (std::size_t b = 0; b < n; ++b) xs[b] = cur + b * plane;
+      kernels::gemm_pack_x(xs, n, f.w.cols, s.batch_pack.data());
+      kernels::gemm_i8_batch(fc_wpairs_[l].data(), f.w.rows, kpairs,
+                             s.batch_pack.data(), f.bias.data(), shift, relu,
+                             s.batch_out.data());
+      if (l + 1 < fcs_.size()) {
+        for (std::size_t b = 0; b < n; ++b) {
+          std::int8_t* dst = nxt + b * plane;
+          for (std::size_t r = 0; r < f.w.rows; ++r) {
+            dst[r] = s.batch_out[r * lanes + b];
+          }
+        }
+        std::swap(cur, nxt);
+      } else {
+        // max_element semantics: the first maximum wins.
+        for (std::size_t b = 0; b < n; ++b) {
+          std::size_t best = 0;
+          for (std::size_t r = 1; r < f.w.rows; ++r) {
+            if (s.batch_out[r * lanes + b] > s.batch_out[best * lanes + b]) {
+              best = r;
+            }
+          }
+          out[base + b] = static_cast<std::int16_t>(best);
+        }
+      }
+    }
+  }
 }
 
 std::vector<std::int32_t> QuantizedCnn::logits_q(
@@ -436,10 +603,128 @@ QuantizedRnn::QuantizedRnn(const RnnClassifier& model,
     fcs_.push_back(QDense::from(*fcs[i], in_e, out_e));
     in_e = out_e;
   }
+
+  // Batch-lane GEMM operands (see QuantizedCnn): recurrent weight rows use
+  // their logical widths (E for Wx, U for Wh) so padding never pairs a
+  // weight with a neighbour from the next row.
+  batch_ok_ = true;
+  wx_pairs_ = kernels::pack_weight_pairs(wx_.data.data(), wx_.rows, wx_.cols,
+                                         config_.embed_dim());
+  wh_pairs_ = kernels::pack_weight_pairs(wh_.data.data(), wh_.rows, wh_.cols,
+                                         config_.units);
+  for (const QDense& f : fcs_) {
+    fc_wpairs_.push_back(kernels::pack_weight_pairs(f.w.data.data(), f.w.rows,
+                                                    f.w.cols, f.w.cols));
+    if (f.out_exponent - (f.w.exponent + f.in_exponent) <= 0) batch_ok_ = false;
+  }
 }
 
 std::int16_t QuantizedRnn::predict(const std::vector<Token>& tokens,
                                    Scratch& s) const {
+  return predict_impl(tokens.data(), s, /*simd=*/false);
+}
+
+void QuantizedRnn::predict_batch(const Token* tokens, std::size_t count,
+                                 Scratch& s, std::int16_t* out) const {
+  const std::size_t T = config_.seq_len;
+  const std::size_t lanes = kernels::gemm_batch_lanes();
+  if (!batch_ok_ || lanes == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = predict_impl(tokens + i * T, s, /*simd=*/true);
+    }
+    return;
+  }
+
+  const std::size_t E = config_.embed_dim();
+  const std::size_t U = config_.units;
+  std::size_t vec_w = std::max(E, U);
+  std::size_t max_kpairs = std::max((E + 1) / 2, (U + 1) / 2);
+  std::size_t max_rows = U;
+  for (const QDense& f : fcs_) {
+    vec_w = std::max(vec_w, f.w.rows);
+    max_kpairs = std::max(max_kpairs, (f.w.cols + 1) / 2);
+    max_rows = std::max(max_rows, f.w.rows);
+  }
+  s.batch_a.resize(lanes * vec_w);  // x, then the FC ping plane
+  s.batch_b.resize(lanes * vec_w);  // h, then the FC pong plane
+  s.batch_c.resize(lanes * vec_w);  // h_next
+  s.batch_pack.resize(max_kpairs * lanes);
+  s.batch_acc_a.resize(U * lanes);
+  s.batch_acc_b.resize(U * lanes);
+  s.batch_out.resize(max_rows * lanes);
+
+  const std::size_t wx_kpairs = (E + 1) / 2;
+  const std::size_t wh_kpairs = (U + 1) / 2;
+  const std::int8_t* xs[16];
+  for (std::size_t base = 0; base < count; base += lanes) {
+    const std::size_t n = std::min(lanes, count - base);
+    std::int8_t* x = s.batch_a.data();
+    std::int8_t* h = s.batch_b.data();
+    std::int8_t* h_next = s.batch_c.data();
+    for (std::size_t b = 0; b < n; ++b) std::memset(h + b * vec_w, 0, U);
+    for (std::size_t t = 0; t < T; ++t) {
+      for (std::size_t b = 0; b < n; ++b) {
+        const Token* tk = tokens + (base + b) * T;
+        std::int8_t* xb = x + b * vec_w;
+        std::memcpy(xb, len_embed_.row(tk[t][0]), config_.len_embed_dim);
+        std::memcpy(xb + config_.len_embed_dim, ipd_embed_.row(tk[t][1]),
+                    config_.ipd_embed_dim);
+        xs[b] = xb;
+      }
+      kernels::gemm_pack_x(xs, n, E, s.batch_pack.data());
+      kernels::gemm_acc_i8_batch(wx_pairs_.data(), U, wx_kpairs,
+                                 s.batch_pack.data(), s.batch_acc_a.data());
+      for (std::size_t b = 0; b < n; ++b) xs[b] = h + b * vec_w;
+      kernels::gemm_pack_x(xs, n, U, s.batch_pack.data());
+      kernels::gemm_acc_i8_batch(wh_pairs_.data(), U, wh_kpairs,
+                                 s.batch_pack.data(), s.batch_acc_b.data());
+      for (std::size_t u = 0; u < U; ++u) {
+        const std::int32_t* aa = s.batch_acc_a.data() + u * lanes;
+        const std::int32_t* ab = s.batch_acc_b.data() + u * lanes;
+        for (std::size_t b = 0; b < n; ++b) {
+          std::int64_t acc = static_cast<std::int64_t>(cell_bias_[u]) + aa[b];
+          acc += rounding_shift_right(ab[b], wh_acc_shift_);
+          (h_next + b * vec_w)[u] = tanh_lut_.apply(acc);
+        }
+      }
+      std::swap(h, h_next);
+    }
+    std::int8_t* cur = h;
+    std::int8_t* nxt = h_next;
+    std::size_t dim = U;
+    for (std::size_t l = 0; l < fcs_.size(); ++l) {
+      const QDense& f = fcs_[l];
+      const std::size_t kpairs = (f.w.cols + 1) / 2;
+      const int shift = f.out_exponent - (f.w.exponent + f.in_exponent);
+      const bool relu = l + 1 < fcs_.size();
+      for (std::size_t b = 0; b < n; ++b) xs[b] = cur + b * vec_w;
+      kernels::gemm_pack_x(xs, n, f.w.cols, s.batch_pack.data());
+      kernels::gemm_i8_batch(fc_wpairs_[l].data(), f.w.rows, kpairs,
+                             s.batch_pack.data(), f.bias.data(), shift, relu,
+                             s.batch_out.data());
+      for (std::size_t b = 0; b < n; ++b) {
+        std::int8_t* dst = nxt + b * vec_w;
+        for (std::size_t r = 0; r < f.w.rows; ++r) {
+          dst[r] = s.batch_out[r * lanes + b];
+        }
+      }
+      dim = f.w.rows;
+      std::swap(cur, nxt);
+    }
+    // Strictly-greater scan: the first maximum wins, as in predict().
+    for (std::size_t b = 0; b < n; ++b) {
+      const std::int8_t* v = cur + b * vec_w;
+      std::size_t best = 0;
+      for (std::size_t r = 1; r < dim; ++r) {
+        if (v[r] > v[best]) best = r;
+      }
+      out[base + b] = static_cast<std::int16_t>(best);
+    }
+  }
+}
+
+std::int16_t QuantizedRnn::predict_impl(const Token* tokens, Scratch& s,
+                                        bool simd) const {
   const std::size_t T = config_.seq_len;
   const std::size_t E = config_.embed_dim();
   const std::size_t U = config_.units;
@@ -459,8 +744,13 @@ std::int16_t QuantizedRnn::predict(const std::vector<Token>& tokens,
     std::memcpy(x, len_embed_.row(tokens[t][0]), config_.len_embed_dim);
     std::memcpy(x + config_.len_embed_dim, ipd_embed_.row(tokens[t][1]),
                 config_.ipd_embed_dim);
-    kernels::gemv_acc_i8(wx_.data.data(), U, wx_.cols, E, x, s.acc_a.data());
-    kernels::gemv_acc_i8(wh_.data.data(), U, wh_.cols, U, h, s.acc_b.data());
+    if (simd) {
+      kernels::gemv_acc_i8_simd(wx_.data.data(), U, wx_.cols, E, x, s.acc_a.data());
+      kernels::gemv_acc_i8_simd(wh_.data.data(), U, wh_.cols, U, h, s.acc_b.data());
+    } else {
+      kernels::gemv_acc_i8(wx_.data.data(), U, wx_.cols, E, x, s.acc_a.data());
+      kernels::gemv_acc_i8(wh_.data.data(), U, wh_.cols, U, h, s.acc_b.data());
+    }
     for (std::size_t u = 0; u < U; ++u) {
       std::int64_t acc = static_cast<std::int64_t>(cell_bias_[u]) + s.acc_a[u];
       acc += rounding_shift_right(s.acc_b[u], wh_acc_shift_);
@@ -475,7 +765,11 @@ std::int16_t QuantizedRnn::predict(const std::vector<Token>& tokens,
   std::int8_t* next = s.act_a.data();
   std::size_t dim = U;
   for (std::size_t i = 0; i < fcs_.size(); ++i) {
-    fcs_[i].forward(cur, next, /*relu=*/i + 1 < fcs_.size());
+    if (simd) {
+      fcs_[i].forward_simd(cur, next, /*relu=*/i + 1 < fcs_.size());
+    } else {
+      fcs_[i].forward(cur, next, /*relu=*/i + 1 < fcs_.size());
+    }
     dim = fcs_[i].w.rows;
     std::swap(cur, next);
   }

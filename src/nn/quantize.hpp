@@ -53,6 +53,10 @@ struct QDense {
   /// blocked path must match it bit for bit.
   void forward_reference(const std::int8_t* x, std::int8_t* y, bool relu) const;
 
+  /// Explicitly vectorized GEMV (kernels::gemv_i8_simd), bit-identical to
+  /// forward(); falls back to the blocked scalar kernel without AVX2.
+  void forward_simd(const std::int8_t* x, std::int8_t* y, bool relu) const;
+
   static QDense from(const Dense& d, int in_exponent, int out_exponent);
 };
 
@@ -71,6 +75,11 @@ struct QConv1D {
   /// Scalar reference with per-tap bounds checks, retained for testing.
   void forward_reference(const std::int8_t* x, std::size_t T, std::int8_t* y,
                          bool relu) const;
+
+  /// Explicitly vectorized convolution (kernels::conv1d_i8_simd),
+  /// bit-identical to forward().
+  void forward_simd(const std::int8_t* x, std::size_t T, std::int8_t* y,
+                    bool relu) const;
 
   static QConv1D from(const Conv1D& c, int in_exponent, int out_exponent);
 };
@@ -127,6 +136,16 @@ struct Scratch {
   std::vector<std::int32_t> acc_a;  ///< Raw accumulators (recurrent Wx x).
   std::vector<std::int32_t> acc_b;  ///< Raw accumulators (recurrent Wh h).
   std::vector<std::int32_t> logits;
+
+  // Batched (predict_batch) workspace: per-lane activation planes plus the
+  // packed GEMM operand and its row-major rows x lanes outputs.
+  std::vector<std::int8_t> batch_a;
+  std::vector<std::int8_t> batch_b;
+  std::vector<std::int8_t> batch_c;
+  std::vector<std::int32_t> batch_pack;
+  std::vector<std::int32_t> batch_acc_a;
+  std::vector<std::int32_t> batch_acc_b;
+  std::vector<std::int8_t> batch_out;
 };
 
 // ------------------------------------------------------------ Quantized CNN
@@ -153,11 +172,22 @@ class QuantizedCnn {
   /// retained for bit-exactness testing against the blocked path.
   std::vector<std::int32_t> logits_q_reference(const std::vector<Token>& tokens) const;
 
+  /// Batched inference over `count` windows laid out row-major as
+  /// count * seq_len tokens: each window runs the explicitly vectorized
+  /// (AVX2/AVX-512) layer kernels and writes its argmax class to out[i].
+  /// Bit-identical to calling predict() per window — the batch exists to
+  /// amortize dispatch/frame overhead, not to change arithmetic.
+  void predict_batch(const Token* tokens, std::size_t count, Scratch& scratch,
+                     std::int16_t* out) const;
+
   const CnnConfig& config() const { return config_; }
   /// Total INT8 MACs of one inference (drives the systolic timer).
   std::uint64_t macs_per_inference() const;
 
  private:
+  const std::vector<std::int32_t>& logits_q_impl(const Token* tokens, Scratch& scratch,
+                                                 bool simd) const;
+
   CnnConfig config_;
   QEmbedding len_embed_, ipd_embed_;
   int embed_exponent_ = 0;
@@ -166,6 +196,11 @@ class QuantizedCnn {
   std::int32_t pool_multiplier_ = 0;  ///< round(2^15 / seq_len)
   int pool_in_exponent_ = 0;
   int pool_out_exponent_ = 0;
+  // Batch-lane GEMM operands: per-layer weight pairs (pack_weight_pairs) and
+  // whether every layer satisfies the batched kernels' shift > 0 contract.
+  std::vector<std::vector<std::int32_t>> conv_wpairs_;
+  std::vector<std::vector<std::int32_t>> fc_wpairs_;
+  bool batch_ok_ = false;
 };
 
 // ------------------------------------------------------------ Quantized RNN
@@ -183,10 +218,21 @@ class QuantizedRnn {
   /// Scalar reference recurrence, retained for bit-exactness testing.
   std::int16_t predict_reference(const std::vector<Token>& tokens) const;
 
+  /// Batched inference over `count` windows (count * seq_len tokens,
+  /// row-major) through the vectorized kernels; bit-identical to predict().
+  void predict_batch(const Token* tokens, std::size_t count, Scratch& scratch,
+                     std::int16_t* out) const;
+
   const RnnConfig& config() const { return config_; }
   std::uint64_t macs_per_inference() const;
 
  private:
+  std::int16_t predict_impl(const Token* tokens, Scratch& scratch, bool simd) const;
+
+  std::vector<std::int32_t> wx_pairs_, wh_pairs_;
+  std::vector<std::vector<std::int32_t>> fc_wpairs_;
+  bool batch_ok_ = false;
+
   RnnConfig config_;
   QEmbedding len_embed_, ipd_embed_;
   int embed_exponent_ = 0;

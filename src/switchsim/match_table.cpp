@@ -4,6 +4,26 @@
 
 namespace fenix::switchsim {
 
+namespace {
+
+/// splitmix64 finalizer: packed match keys are low-entropy bit fields, so
+/// mix before masking down to the slot index.
+std::uint64_t mix_key(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Smallest power of two >= n (and >= 2).
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 ExactMatchTable::ExactMatchTable(ResourceLedger& ledger, std::string name,
                                  unsigned stage, std::size_t capacity,
                                  unsigned key_bits, unsigned action_data_bits)
@@ -18,26 +38,73 @@ ExactMatchTable::ExactMatchTable(ResourceLedger& ledger, std::string name,
       static_cast<double>(capacity) * entry_bits * 1.25);
   alloc.bus_bits = action_data_bits;
   ledger.allocate(alloc);
+
+  // <= 50% load when full, so linear probe chains stay short; sized once,
+  // never rehashed (capacity is a hard budget, like the SRAM reservation).
+  slots_.resize(pow2_at_least(capacity_ * 2));
+  mask_ = slots_.size() - 1;
+}
+
+std::size_t ExactMatchTable::probe_start(std::uint64_t key) const {
+  return static_cast<std::size_t>(mix_key(key)) & mask_;
+}
+
+std::size_t ExactMatchTable::find_slot(std::uint64_t key) const {
+  std::size_t i = probe_start(key);
+  std::size_t first_tombstone = slots_.size();  // sentinel: none seen
+  // Bounded probe: long erase/insert histories can leave every slot
+  // non-empty (full + tombstones), so a wrap-around means "absent".
+  for (std::size_t probes = 0; probes < slots_.size(); ++probes) {
+    const Slot& slot = slots_[i];
+    if (slot.state == SlotState::kEmpty) {
+      return first_tombstone != slots_.size() ? first_tombstone : i;
+    }
+    if (slot.state == SlotState::kFull && slot.key == key) return i;
+    if (slot.state == SlotState::kTombstone && first_tombstone == slots_.size()) {
+      first_tombstone = i;
+    }
+    i = (i + 1) & mask_;
+  }
+  return first_tombstone;  // table has no empty slot; a tombstone must exist
 }
 
 bool ExactMatchTable::insert(std::uint64_t key, ActionEntry action) {
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    it->second = action;
+  const std::size_t i = find_slot(key);
+  Slot& slot = slots_[i];
+  if (slot.state == SlotState::kFull) {
+    slot.action = action;
     return true;
   }
-  if (entries_.size() >= capacity_) return false;
-  entries_.emplace(key, action);
+  if (size_ >= capacity_) return false;
+  slot.key = key;
+  slot.action = action;
+  slot.state = SlotState::kFull;
+  ++size_;
   return true;
 }
 
-void ExactMatchTable::erase(std::uint64_t key) { entries_.erase(key); }
+void ExactMatchTable::erase(std::uint64_t key) {
+  const std::size_t i = find_slot(key);
+  if (slots_[i].state != SlotState::kFull) return;
+  slots_[i].state = SlotState::kTombstone;
+  --size_;
+}
+
+void ExactMatchTable::clear() {
+  for (Slot& slot : slots_) slot.state = SlotState::kEmpty;
+  size_ = 0;
+}
 
 std::optional<ActionEntry> ExactMatchTable::lookup(std::uint64_t key) const {
   ++lookups_;
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  std::size_t i = probe_start(key);
+  for (std::size_t probes = 0; probes < slots_.size(); ++probes) {
+    const Slot& slot = slots_[i];
+    if (slot.state == SlotState::kEmpty) return std::nullopt;
+    if (slot.state == SlotState::kFull && slot.key == key) return slot.action;
+    i = (i + 1) & mask_;
+  }
+  return std::nullopt;
 }
 
 TernaryMatchTable::TernaryMatchTable(ResourceLedger& ledger, std::string name,

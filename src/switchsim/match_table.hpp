@@ -10,7 +10,6 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "switchsim/resources.hpp"
@@ -24,6 +23,12 @@ struct ActionEntry {
 };
 
 /// An exact-match table backed by SRAM.
+///
+/// Open-addressing flat hash table, sized once at construction (the same way
+/// the hardware reserves SRAM ways up-front): a power-of-two slot array at
+/// <= 50% load when full, linear probing, tombstone deletion. One contiguous
+/// allocation, no per-entry nodes, no rehash — lookups in the replay hot
+/// path touch one or two cache lines instead of chasing bucket pointers.
 class ExactMatchTable {
  public:
   /// `key_bits` is the match key width; `capacity` the entry budget. SRAM is
@@ -34,20 +39,34 @@ class ExactMatchTable {
 
   const std::string& name() const { return name_; }
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return size_; }
 
   /// Inserts or overwrites an entry. Returns false when at capacity.
   bool insert(std::uint64_t key, ActionEntry action);
   void erase(std::uint64_t key);
-  void clear() { entries_.clear(); }
+  void clear();
 
   std::optional<ActionEntry> lookup(std::uint64_t key) const;
   std::uint64_t lookups() const { return lookups_; }
 
  private:
+  enum class SlotState : std::uint8_t { kEmpty = 0, kFull, kTombstone };
+  struct Slot {
+    std::uint64_t key = 0;
+    ActionEntry action;
+    SlotState state = SlotState::kEmpty;
+  };
+
+  std::size_t probe_start(std::uint64_t key) const;
+  /// Index of `key`'s slot, or the insert position (first tombstone on the
+  /// probe path, else the terminating empty slot) when absent.
+  std::size_t find_slot(std::uint64_t key) const;
+
   std::string name_;
   std::size_t capacity_;
-  std::unordered_map<std::uint64_t, ActionEntry> entries_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;  ///< slots_.size() - 1 (power of two).
+  std::vector<Slot> slots_;
   mutable std::uint64_t lookups_ = 0;
 };
 

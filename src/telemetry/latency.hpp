@@ -22,6 +22,10 @@ class LatencyRecorder {
 
   void record(sim::SimDuration d);
 
+  /// Pre-sizes the sample reservoir for an expected `n` records so the hot
+  /// replay loop never pays vector growth (clamped to the reservoir bound).
+  void reserve(std::size_t n) { samples_.reserve(n < capacity_ ? n : capacity_); }
+
   std::uint64_t count() const { return count_; }
   sim::SimDuration min() const { return count_ ? min_ : 0; }
   sim::SimDuration max() const { return max_; }

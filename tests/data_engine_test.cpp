@@ -79,7 +79,7 @@ TEST(DataEngine, MirrorCarriesSequenceHistory) {
     auto out = engine.on_packet(
         make_packet(5, static_cast<sim::SimTime>(i) * sim::milliseconds(1),
                     static_cast<std::uint16_t>(100 + i)));
-    if (out.mirrored) last = out.mirrored;
+    if (out.mirrored) last = *out.mirrored;
   }
   ASSERT_TRUE(last.has_value());
   EXPECT_GE(last->sequence.size(), 2u);
@@ -197,7 +197,7 @@ TEST(DataEngine, UsesOrigTimestampsForIpd) {
     auto p = make_packet(11, static_cast<sim::SimTime>(i) * sim::microseconds(1));
     p.orig_timestamp = static_cast<sim::SimTime>(i) * sim::milliseconds(1);
     auto out = engine.on_packet(p);
-    if (out.mirrored) mirror = out.mirrored;
+    if (out.mirrored) mirror = *out.mirrored;
   }
   ASSERT_TRUE(mirror.has_value());
   ASSERT_GE(mirror->sequence.size(), 2u);

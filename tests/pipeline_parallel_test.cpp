@@ -1,0 +1,216 @@
+// Multi-pipe sharded replay parity: run_pipelined() must produce a
+// bit-identical RunReport to run() at every shard/thread/batch count,
+// including under fault schedules (deadline misses, watchdog degradation,
+// channel brownouts) and with per-phase accounting enabled.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/fenix_system.hpp"
+#include "core/model_pool.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_schedule.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+namespace fenix::core {
+namespace {
+
+class PipelineParallelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    profile_ = new trafficgen::DatasetProfile(trafficgen::DatasetProfile::iscx_vpn());
+    trafficgen::SynthesisConfig synth;
+    synth.total_flows = 400;
+    synth.seed = 17;
+    flows_ = new std::vector<trafficgen::FlowSample>(
+        trafficgen::synthesize_flows(*profile_, synth));
+
+    nn::CnnConfig config;
+    config.conv_channels = {8};
+    config.fc_dims = {16};
+    config.num_classes = profile_->num_classes();
+    model_ = new nn::CnnClassifier(config, 11);
+    const auto samples = trafficgen::make_packet_samples(*flows_, 9, 6, 3);
+    nn::TrainOptions opts;
+    opts.epochs = 1;
+    model_->fit(samples, opts);
+    quantized_ = new nn::QuantizedCnn(*model_, samples);
+
+    trafficgen::TraceConfig trace_config;
+    trace_config.flow_arrival_rate_hz = 2500;
+    trace_ = new net::Trace(trafficgen::assemble_trace(*flows_, trace_config));
+  }
+
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete quantized_;
+    delete model_;
+    delete flows_;
+    delete profile_;
+  }
+
+  static FenixSystemConfig default_config() {
+    FenixSystemConfig config;
+    config.data_engine.tracker.index_bits = 12;
+    config.data_engine.window_tw = sim::milliseconds(20);
+    return config;
+  }
+
+  static RunReport serial_report(const std::vector<RunPhase>& phases = {}) {
+    FenixSystem system(default_config(), quantized_, nullptr);
+    return system.run(*trace_, profile_->num_classes(), nullptr, phases);
+  }
+
+  static RunReport pipelined_report(const PipelineOptions& opts,
+                                    const std::vector<RunPhase>& phases = {}) {
+    FenixSystem system(default_config(), quantized_, nullptr);
+    return system.run_pipelined(*trace_, profile_->num_classes(), nullptr, phases,
+                                opts);
+  }
+
+  static trafficgen::DatasetProfile* profile_;
+  static std::vector<trafficgen::FlowSample>* flows_;
+  static nn::CnnClassifier* model_;
+  static nn::QuantizedCnn* quantized_;
+  static net::Trace* trace_;
+};
+
+trafficgen::DatasetProfile* PipelineParallelTest::profile_ = nullptr;
+std::vector<trafficgen::FlowSample>* PipelineParallelTest::flows_ = nullptr;
+nn::CnnClassifier* PipelineParallelTest::model_ = nullptr;
+nn::QuantizedCnn* PipelineParallelTest::quantized_ = nullptr;
+net::Trace* PipelineParallelTest::trace_ = nullptr;
+
+TEST_F(PipelineParallelTest, ReportEqualityIsStructural) {
+  const RunReport a = serial_report();
+  const RunReport b = serial_report();
+  EXPECT_TRUE(run_reports_equal(a, b));
+  RunReport c = serial_report();
+  ++c.mirrors;
+  EXPECT_FALSE(run_reports_equal(a, c));
+}
+
+TEST_F(PipelineParallelTest, BitIdenticalAcrossShardAndThreadCounts) {
+  const RunReport serial = serial_report();
+  ASSERT_GT(serial.mirrors, 0u);
+  ASSERT_GT(serial.results_applied, 0u);
+
+  const std::size_t hw = runtime::ThreadPool::default_thread_count();
+  for (std::size_t pipes : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}, hw}) {
+      PipelineOptions opts;
+      opts.pipes = pipes;
+      opts.batch = 16;
+      opts.threads = threads;
+      const RunReport parallel = pipelined_report(opts);
+      EXPECT_TRUE(run_reports_equal(serial, parallel))
+          << "pipes=" << pipes << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(PipelineParallelTest, BitIdenticalAcrossBatchSizes) {
+  const RunReport serial = serial_report();
+  for (std::size_t batch : {std::size_t{1}, std::size_t{5}, std::size_t{64}}) {
+    PipelineOptions opts;
+    opts.pipes = 4;
+    opts.batch = batch;
+    const RunReport parallel = pipelined_report(opts);
+    EXPECT_TRUE(run_reports_equal(serial, parallel)) << "batch=" << batch;
+  }
+}
+
+TEST_F(PipelineParallelTest, BitIdenticalWithPhaseAccounting) {
+  const sim::SimTime mid = trace_->duration() / 2;
+  const std::vector<RunPhase> phases = {
+      {"warmup", 0, mid},
+      {"steady", mid, trace_->duration() + 1},
+  };
+  const RunReport serial = serial_report(phases);
+  ASSERT_EQ(serial.phases.size(), 2u);
+  ASSERT_GT(serial.phases[0].packets, 0u);
+  ASSERT_GT(serial.phases[1].packets, 0u);
+
+  PipelineOptions opts;
+  opts.pipes = 4;
+  const RunReport parallel = pipelined_report(opts, phases);
+  EXPECT_TRUE(run_reports_equal(serial, parallel));
+}
+
+TEST_F(PipelineParallelTest, BitIdenticalUnderFaultSchedule) {
+  // A compound failure mid-trace: FPGA stall (deadline misses, watchdog
+  // degradation, retransmits) overlapping a channel brownout (frame loss,
+  // reduced line rate) and a FIFO shrink. The pipelined replay must drive
+  // the identical recovery ladder.
+  const sim::SimTime horizon = trace_->duration();
+  const auto make_schedule = [&] {
+    faults::FaultSchedule s;
+    faults::FaultWindow stall;
+    stall.kind = faults::FaultKind::kFpgaStall;
+    stall.start = horizon / 4;
+    stall.end = horizon / 2;
+    s.add(stall);
+    faults::FaultWindow brown;
+    brown.kind = faults::FaultKind::kChannelBrownout;
+    brown.start = horizon / 3;
+    brown.end = (2 * horizon) / 3;
+    brown.loss_rate = 0.3;
+    brown.rate_scale = 0.5;
+    s.add(brown);
+    faults::FaultWindow shrink;
+    shrink.kind = faults::FaultKind::kFifoShrink;
+    shrink.start = (3 * horizon) / 4;
+    shrink.end = horizon;
+    shrink.fifo_depth = 4;
+    s.add(shrink);
+    return s;
+  };
+
+  FenixSystem serial_sys(default_config(), quantized_, nullptr);
+  faults::FaultInjector serial_inj(make_schedule(), serial_sys);
+  const RunReport serial =
+      serial_sys.run(*trace_, profile_->num_classes(), &serial_inj);
+  ASSERT_GT(serial.deadline_misses, 0u);
+  ASSERT_GT(serial.channel_losses, 0u);
+
+  for (std::size_t pipes : {std::size_t{1}, std::size_t{4}}) {
+    FenixSystem par_sys(default_config(), quantized_, nullptr);
+    faults::FaultInjector par_inj(make_schedule(), par_sys);
+    PipelineOptions opts;
+    opts.pipes = pipes;
+    const RunReport parallel = par_sys.run_pipelined(
+        *trace_, profile_->num_classes(), &par_inj, {}, opts);
+    EXPECT_TRUE(run_reports_equal(serial, parallel)) << "pipes=" << pipes;
+  }
+}
+
+TEST_F(PipelineParallelTest, InferenceBatcherMatchesScalarPredict) {
+  InferenceBatcher batcher(quantized_, nullptr, 16, 0);
+  std::vector<std::vector<net::PacketFeature>> sequences;
+  for (const net::PacketRecord& p : trace_->packets) {
+    if (sequences.size() == 100) break;
+    std::vector<net::PacketFeature> seq;
+    for (std::size_t k = 0; k <= sequences.size() % 9; ++k) {
+      net::PacketFeature f;
+      f.length = p.wire_length;
+      f.ipd_code = static_cast<std::uint16_t>((p.wire_length * 7 + k) % 1024);
+      seq.push_back(f);
+    }
+    sequences.push_back(std::move(seq));
+  }
+  std::vector<InferenceBatcher::Ticket> tickets;
+  for (const auto& seq : sequences) tickets.push_back(batcher.enqueue(seq));
+  batcher.finish();
+
+  nn::Scratch scratch;
+  std::vector<nn::Token> tokens;
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    nn::tokenize_into(sequences[i], quantized_->config().seq_len, tokens);
+    EXPECT_EQ(batcher.result(tickets[i]), quantized_->predict(tokens, scratch))
+        << "sequence " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fenix::core

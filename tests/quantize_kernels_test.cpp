@@ -131,6 +131,71 @@ TEST(QDenseKernels, RandomizedShapesBitExact) {
   }
 }
 
+// --------------------------------------------------------- SIMD variants
+//
+// The AVX2/AVX-512 kernels must agree with the scalar blocked kernels bit
+// for bit on every shape, including tails shorter than a vector chunk. On a
+// host without AVX2 the _simd entry points forward to the scalar kernels, so
+// these tests degenerate to identity checks there (still worth running: they
+// pin the dispatch path).
+
+TEST(SimdKernels, GemvAccMatchesScalarBitExact) {
+  sim::RandomStream rng(21);
+  for (std::size_t rows : {1u, 2u, 3u, 4u, 5u, 9u, 16u, 31u, 64u}) {
+    for (std::size_t cols : {1u, 3u, 15u, 16u, 17u, 31u, 32u, 33u, 48u, 64u, 100u, 128u}) {
+      std::vector<std::int8_t> w(rows * cols), x(cols);
+      fill_i8(w, rng);
+      fill_i8(x, rng);
+      std::vector<std::int32_t> scalar(rows, 0), simd(rows, 0);
+      kernels::gemv_acc_i8(w.data(), rows, cols, cols, x.data(), scalar.data());
+      kernels::gemv_acc_i8_simd(w.data(), rows, cols, cols, x.data(), simd.data());
+      ASSERT_EQ(simd, scalar) << rows << "x" << cols;
+    }
+  }
+}
+
+TEST(SimdKernels, GemvMatchesScalarBitExact) {
+  sim::RandomStream rng(22);
+  const std::size_t shapes[][2] = {{1, 1},   {1, 16},  {3, 17},  {4, 48},
+                                   {5, 33},  {7, 31},  {16, 64}, {31, 65},
+                                   {64, 128}, {130, 50}};
+  for (const auto& shape : shapes) {
+    const auto layer = random_qdense(shape[0], shape[1], rng);
+    std::vector<std::int8_t> x(shape[1]);
+    fill_i8(x, rng);
+    for (bool relu : {false, true}) {
+      std::vector<std::int8_t> y_scalar(shape[0]), y_simd(shape[0]);
+      layer.forward(x.data(), y_scalar.data(), relu);
+      layer.forward_simd(x.data(), y_simd.data(), relu);
+      ASSERT_EQ(y_simd, y_scalar)
+          << shape[0] << "x" << shape[1] << " relu=" << relu;
+    }
+  }
+}
+
+TEST(SimdKernels, Conv1dMatchesScalarBitExact) {
+  sim::RandomStream rng(23);
+  const std::size_t shapes[][3] = {{1, 1, 1},   {1, 4, 3},  {3, 5, 3},
+                                   {16, 16, 3}, {16, 32, 5}, {7, 9, 5},
+                                   {32, 64, 3}};
+  for (const auto& shape : shapes) {
+    const auto layer = random_qconv(shape[0], shape[1], shape[2], rng);
+    for (std::size_t T : {1u, 2u, 3u, 5u, 9u, 17u}) {
+      std::vector<std::int8_t> x(T * shape[0]);
+      fill_i8(x, rng);
+      for (bool relu : {false, true}) {
+        std::vector<std::int8_t> y_scalar(T * shape[1]);
+        std::vector<std::int8_t> y_simd(T * shape[1]);
+        layer.forward(x.data(), T, y_scalar.data(), relu);
+        layer.forward_simd(x.data(), T, y_simd.data(), relu);
+        ASSERT_EQ(y_simd, y_scalar)
+            << "in=" << shape[0] << " out=" << shape[1] << " k=" << shape[2]
+            << " T=" << T << " relu=" << relu;
+      }
+    }
+  }
+}
+
 TEST(QConv1DKernels, BlockedMatchesReferenceBitExact) {
   sim::RandomStream rng(15);
   const std::size_t shapes[][3] = {{1, 1, 1},  {1, 4, 3},  {3, 5, 3},
@@ -218,6 +283,58 @@ TEST(QuantizedRnnKernels, BlockedPredictMatchesReference) {
     const auto blocked = qmodel.predict(s.tokens, scratch);
     ASSERT_EQ(blocked, qmodel.predict_reference(s.tokens));
     ASSERT_EQ(blocked, qmodel.predict(s.tokens));
+  }
+}
+
+TEST(QuantizedCnnKernels, PredictBatchMatchesPerWindowPredict) {
+  CnnConfig config;
+  config.conv_channels = {16, 24};
+  config.fc_dims = {32};
+  config.num_classes = 3;
+  CnnClassifier model(config, 35);
+  const auto train = pattern_samples(20, 76);
+  TrainOptions opts;
+  opts.epochs = 2;
+  model.fit(train, opts);
+  const QuantizedCnn qmodel(model, train);
+
+  const auto test = pattern_samples(30, 77);
+  std::vector<Token> flat;
+  for (const SeqSample& s : test) {
+    flat.insert(flat.end(), s.tokens.begin(), s.tokens.end());
+  }
+  Scratch scratch;
+  std::vector<std::int16_t> batched(test.size());
+  qmodel.predict_batch(flat.data(), test.size(), scratch, batched.data());
+  Scratch serial_scratch;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    ASSERT_EQ(batched[i], qmodel.predict(test[i].tokens, serial_scratch)) << i;
+  }
+}
+
+TEST(QuantizedRnnKernels, PredictBatchMatchesPerWindowPredict) {
+  RnnConfig config;
+  config.units = 24;
+  config.fc_dims = {16};
+  config.num_classes = 3;
+  RnnClassifier model(config, 36);
+  const auto train = pattern_samples(20, 78);
+  TrainOptions opts;
+  opts.epochs = 2;
+  model.fit(train, opts);
+  const QuantizedRnn qmodel(model, train);
+
+  const auto test = pattern_samples(30, 79);
+  std::vector<Token> flat;
+  for (const SeqSample& s : test) {
+    flat.insert(flat.end(), s.tokens.begin(), s.tokens.end());
+  }
+  Scratch scratch;
+  std::vector<std::int16_t> batched(test.size());
+  qmodel.predict_batch(flat.data(), test.size(), scratch, batched.data());
+  Scratch serial_scratch;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    ASSERT_EQ(batched[i], qmodel.predict(test[i].tokens, serial_scratch)) << i;
   }
 }
 

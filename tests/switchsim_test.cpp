@@ -141,6 +141,33 @@ TEST(ExactMatchTable, InsertLookupCapacity) {
   EXPECT_FALSE(table.lookup(2).has_value());
 }
 
+TEST(ExactMatchTable, SurvivesInsertEraseChurn) {
+  // Open-addressing stress: repeated insert/erase cycles leave tombstones on
+  // the probe paths; entries must stay findable, capacity must stay a hard
+  // budget, and absent-key lookups must terminate.
+  ResourceLedger ledger(ChipProfile::tofino2());
+  ExactMatchTable table(ledger, "t", 0, 64, 32, 16);
+  for (std::uint64_t round = 0; round < 40; ++round) {
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      ASSERT_TRUE(table.insert(round * 1000 + k, {static_cast<std::uint32_t>(k), k}));
+    }
+    EXPECT_EQ(table.size(), 64u);
+    EXPECT_FALSE(table.insert(round * 1000 + 999, {9, 9}));  // at capacity
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      const auto hit = table.lookup(round * 1000 + k);
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_EQ(hit->action_data, k);
+    }
+    EXPECT_FALSE(table.lookup(round * 1000 + 998).has_value());
+    for (std::uint64_t k = 0; k < 64; ++k) table.erase(round * 1000 + k);
+    EXPECT_EQ(table.size(), 0u);
+  }
+  table.insert(5, {1, 1});
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.lookup(5).has_value());
+}
+
 TEST(TernaryMatchTable, PriorityOrdering) {
   ResourceLedger ledger(ChipProfile::tofino2());
   TernaryMatchTable table(ledger, "t", 0, 8, 16, 16);

@@ -11,6 +11,10 @@
 //   --fault-schedule <file>  arm a faults::FaultSchedule against the replay
 //   --fallback-tree          train + install the switch-local preliminary
 //                            tree from the trace (degradation ladder)
+//   --pipes <N>              multi-pipe sharded replay with N pipe shards
+//                            (bit-identical to the serial replay)
+//   --batch <N>              inferences per batched Model Engine submission
+//                            (with --pipes; default 16)
 //
 // Datasets: "vpn" (ISCXVPN2016 profile) or "tfc" (USTC-TFC profile).
 // Traces use the net::trace_io format; models the nn::serialize format.
@@ -41,7 +45,7 @@ int usage() {
          "  fenix_replay train <vpn|tfc> <flows> <out.model> [cnn|rnn] [seed]\n"
          "  fenix_replay run   <trace> <model> [pcb_loss_rate]\n"
          "                     [--pcb-loss <rate>] [--fault-schedule <file>]\n"
-         "                     [--fallback-tree]\n";
+         "                     [--fallback-tree] [--pipes <N>] [--batch <N>]\n";
   return 2;
 }
 
@@ -153,6 +157,8 @@ int cmd_run(int argc, char** argv) {
   core::FenixSystemConfig config;
   faults::FaultSchedule schedule;
   bool fallback_tree = false;
+  bool pipelined = false;
+  core::PipelineOptions pipeline_opts;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--pcb-loss") {
@@ -163,6 +169,14 @@ int cmd_run(int argc, char** argv) {
       schedule = faults::FaultSchedule::load(argv[i]);
     } else if (arg == "--fallback-tree") {
       fallback_tree = true;
+    } else if (arg == "--pipes") {
+      if (++i >= argc) return usage();
+      pipelined = true;
+      pipeline_opts.pipes = std::max(1l, std::atol(argv[i]));
+    } else if (arg == "--batch") {
+      if (++i >= argc) return usage();
+      pipelined = true;
+      pipeline_opts.batch = std::max(1l, std::atol(argv[i]));
     } else if (!arg.empty() && arg[0] != '-') {
       config.pcb_loss_rate = std::atof(argv[i]);  // legacy positional form
     } else {
@@ -225,9 +239,17 @@ int cmd_run(int argc, char** argv) {
               << schedule.to_text();
   }
 
-  std::cout << "replaying " << trace.packets.size() << " packets...\n";
+  std::cout << "replaying " << trace.packets.size() << " packets";
+  if (pipelined) {
+    std::cout << " (" << pipeline_opts.pipes << " pipe shards, batch "
+              << pipeline_opts.batch << ")";
+  }
+  std::cout << "...\n";
+  faults::FaultInjector* hooks = schedule.empty() ? nullptr : &injector;
   const auto report =
-      system.run(trace, classes, schedule.empty() ? nullptr : &injector);
+      pipelined
+          ? system.run_pipelined(trace, classes, hooks, {}, pipeline_opts)
+          : system.run(trace, classes, hooks);
 
   telemetry::TextTable table({"Metric", "Value"});
   table.add_row({"flow macro-F1",
