@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/verdict_backend.hpp"
 #include "nn/models.hpp"
 #include "nn/quantize.hpp"
 #include "telemetry/metrics.hpp"
@@ -91,7 +92,8 @@ telemetry::ConfusionMatrix evaluate_packet_level(
 
 /// Flow-level evaluation by majority vote of the per-packet verdicts
 /// (the paper's FENIX-F accuracy: "majority voting of packet classifications
-/// within each flow").
+/// within each flow"). The vote itself is core::majority_verdict — the same
+/// code path every VerdictBackend goes through.
 template <typename Classify>
 telemetry::ConfusionMatrix evaluate_flow_level(
     const std::vector<trafficgen::FlowSample>& flows, std::size_t num_classes,
@@ -99,43 +101,21 @@ telemetry::ConfusionMatrix evaluate_flow_level(
   telemetry::ConfusionMatrix cm(num_classes);
   for (const auto& flow : flows) {
     const auto verdicts = classify(flow);
-    std::vector<std::size_t> votes(num_classes, 0);
-    for (const auto v : verdicts) {
-      if (v >= 0 && static_cast<std::size_t>(v) < num_classes) {
-        ++votes[static_cast<std::size_t>(v)];
-      }
-    }
-    std::int16_t best = -1;
-    std::size_t best_votes = 0;
-    for (std::size_t c = 0; c < num_classes; ++c) {
-      if (votes[c] > best_votes) {
-        best_votes = votes[c];
-        best = static_cast<std::int16_t>(c);
-      }
-    }
-    cm.add(flow.label, best);
+    cm.add(flow.label, core::majority_verdict(
+                           std::span<const std::int16_t>(verdicts), num_classes));
   }
   return cm;
 }
 
 /// Per-packet verdicts of a quantized sequence model over one flow
-/// (window ending at every packet — the Model Engine's view).
+/// (window ending at every packet — the Model Engine's view). Runs the
+/// shared harness loop via core::QuantizedModelBackend.
 template <typename QModel>
 std::vector<std::int16_t> classify_packets_with(const QModel& model,
                                                 const trafficgen::FlowSample& flow,
                                                 std::size_t seq_len) {
-  nn::Scratch scratch;
-  std::vector<nn::Token> tokens;
-  std::vector<std::int16_t> verdicts(flow.features.size(), -1);
-  for (std::size_t i = 0; i < flow.features.size(); ++i) {
-    const std::size_t start = i + 1 >= seq_len ? i + 1 - seq_len : 0;
-    nn::tokenize_into(
-        std::span<const net::PacketFeature>(flow.features.data() + start,
-                                            i + 1 - start),
-        seq_len, tokens);
-    verdicts[i] = model.predict(tokens, scratch);
-  }
-  return verdicts;
+  core::QuantizedModelBackend<QModel> backend(model, seq_len, "fenix");
+  return core::classify_flow_packets(backend, flow);
 }
 
 /// Prints a standard bench banner.

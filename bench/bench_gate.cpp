@@ -104,7 +104,21 @@ int main(int argc, char** argv) {
         ++failures;
       } else if (identity_metric) {
         status = value == 1.0 ? "ok" : "BROKEN";
-        if (value != 1.0) ++failures;
+        if (value != 1.0) {
+          ++failures;
+          // bench_pipeline_throughput records the first diverging RunReport
+          // field next to each broken identity bit — surface it here so the
+          // gate log says *what* diverged, not just that something did.
+          const std::string div_key =
+              base.key.substr(0, base.key.size() -
+                                     std::string("_bit_identical").size()) +
+              "_divergence";
+          if (const bench::BenchMetric* div =
+                  find_metric(current, base.section, div_key)) {
+            std::cerr << "DIVERGENCE " << base.section << "." << div_key << ": "
+                      << div->value << "\n";
+          }
+        }
       } else {
         const double floor = expected * (1.0 - tolerance);
         status = value >= floor ? "ok" : "REGRESSED";

@@ -93,8 +93,12 @@ int main() {
     const auto report = system.run_pipelined(trace, classes, nullptr, {}, opts);
     const double wall_s = seconds_since(start);
 
-    const bool identical = core::run_reports_equal(serial_report, report);
+    const auto divergence = core::first_divergence(serial_report, report);
+    const bool identical = !divergence.has_value();
     all_identical = all_identical && identical;
+    if (!identical) {
+      std::cerr << "DIVERGENCE at pipes=" << pipes << ": " << *divergence << "\n";
+    }
     const double pps =
         wall_s > 0 ? static_cast<double>(report.packets) / wall_s : 0.0;
     const double speedup = serial_s > 0 && wall_s > 0 ? serial_s / wall_s : 0.0;
@@ -109,6 +113,7 @@ int main() {
     perf.put(label + "_packets_per_sec", pps);
     perf.put(label + "_speedup", speedup);
     perf.put(label + "_bit_identical", identical ? std::int64_t{1} : std::int64_t{0});
+    if (!identical) perf.put(label + "_divergence", *divergence);
   }
   std::cout << table.render();
   std::cout << "\n4-pipe speedup over serial: "

@@ -113,45 +113,38 @@ void run_dataset(const trafficgen::DatasetProfile& profile, std::uint64_t seed,
   });
   std::cout << "training done; evaluating...\n";
 
-  auto cnn_packets = [&](const trafficgen::FlowSample& flow) {
-    return bench::classify_packets_with(*fenix_models.qcnn, flow, 9);
-  };
-  auto rnn_packets = [&](const trafficgen::FlowSample& flow) {
-    return bench::classify_packets_with(*fenix_models.qrnn, flow, 9);
-  };
+  // Every scheme — FENIX's quantized models and the five baselines — is
+  // evaluated as a core::VerdictBackend through the shared harness loop, so
+  // Table 2 compares classifiers, not trace-loop implementations.
+  core::QuantizedModelBackend<nn::QuantizedCnn> cnn_backend(*fenix_models.qcnn,
+                                                            9, "fenix-cnn");
+  core::QuantizedModelBackend<nn::QuantizedRnn> rnn_backend(*fenix_models.qrnn,
+                                                            9, "fenix-rnn");
+  const auto flowlens_backend = flowlens->backend();
+  const auto netbeacon_backend = netbeacon->backend();
+  const auto leo_backend = leo->backend();
+  const auto bos_backend = bos->backend();
+  const auto n3ic_backend = n3ic->backend();
 
   std::vector<SchemeResult> results;
+  results.push_back({"FENIX F-CNN",
+                     core::evaluate_flow_level(cnn_backend, dataset.test, k)});
+  results.push_back({"FENIX F-RNN",
+                     core::evaluate_flow_level(rnn_backend, dataset.test, k)});
+  results.push_back({"FlowLens", core::evaluate_flow_level(*flowlens_backend,
+                                                           dataset.test, k)});
+  results.push_back({"FENIX P-CNN",
+                     core::evaluate_packet_level(cnn_backend, dataset.test, k)});
+  results.push_back({"FENIX P-RNN",
+                     core::evaluate_packet_level(rnn_backend, dataset.test, k)});
+  results.push_back({"NetBeacon", core::evaluate_packet_level(*netbeacon_backend,
+                                                              dataset.test, k)});
   results.push_back(
-      {"FENIX F-CNN", bench::evaluate_flow_level(dataset.test, k, cnn_packets)});
+      {"Leo", core::evaluate_packet_level(*leo_backend, dataset.test, k)});
   results.push_back(
-      {"FENIX F-RNN", bench::evaluate_flow_level(dataset.test, k, rnn_packets)});
-  {
-    telemetry::ConfusionMatrix cm(k);
-    for (const auto& flow : dataset.test) {
-      cm.add(flow.label, flowlens->classify_flow(flow));
-    }
-    results.push_back({"FlowLens", std::move(cm)});
-  }
+      {"BoS", core::evaluate_packet_level(*bos_backend, dataset.test, k)});
   results.push_back(
-      {"FENIX P-CNN", bench::evaluate_packet_level(dataset.test, k, cnn_packets)});
-  results.push_back(
-      {"FENIX P-RNN", bench::evaluate_packet_level(dataset.test, k, rnn_packets)});
-  results.push_back({"NetBeacon",
-                     bench::evaluate_packet_level(dataset.test, k, [&](const auto& f) {
-                       return netbeacon->classify_packets(f);
-                     })});
-  results.push_back({"Leo",
-                     bench::evaluate_packet_level(dataset.test, k, [&](const auto& f) {
-                       return leo->classify_packets(f);
-                     })});
-  results.push_back({"BoS",
-                     bench::evaluate_packet_level(dataset.test, k, [&](const auto& f) {
-                       return bos->classify_packets(f);
-                     })});
-  results.push_back({"N3IC",
-                     bench::evaluate_packet_level(dataset.test, k, [&](const auto& f) {
-                       return n3ic->classify_packets(f);
-                     })});
+      {"N3IC", core::evaluate_packet_level(*n3ic_backend, dataset.test, k)});
   print_results(dataset, results);
 }
 

@@ -1,6 +1,39 @@
 #include "baselines/bos.hpp"
 
 namespace fenix::baselines {
+namespace {
+
+/// BoS as the switch sees a flow: a sliding window of the last seq_len
+/// packet features, re-tokenized and pushed through the binarized GRU on
+/// every packet (the recurrent state is recomputed per packet, as the
+/// published match-action unrolling does).
+class BosBackend final : public core::VerdictBackend {
+ public:
+  BosBackend(const nn::BinarizedGru* model, std::size_t seq_len)
+      : model_(model), seq_len_(seq_len) {
+    window_.reserve(seq_len_);
+  }
+
+  std::string name() const override { return "bos"; }
+
+  void begin_flow() override { window_.clear(); }
+
+  std::int16_t on_packet(const net::PacketFeature& feature) override {
+    if (!model_) return -1;
+    if (window_.size() == seq_len_) window_.erase(window_.begin());
+    window_.push_back(feature);
+    const auto tokens = nn::tokenize(
+        std::span<const net::PacketFeature>(window_), seq_len_);
+    return model_->predict(tokens);
+  }
+
+ private:
+  const nn::BinarizedGru* model_;
+  std::size_t seq_len_;
+  std::vector<net::PacketFeature> window_;
+};
+
+}  // namespace
 
 Bos::Bos(BosConfig config) : config_(std::move(config)) {}
 
@@ -20,19 +53,14 @@ void Bos::train(const std::vector<trafficgen::FlowSample>& flows,
                                                  config_.hidden_bits);
 }
 
+std::unique_ptr<core::VerdictBackend> Bos::backend() const {
+  return std::make_unique<BosBackend>(deployed_.get(), config_.seq_len);
+}
+
 std::vector<std::int16_t> Bos::classify_packets(
     const trafficgen::FlowSample& flow) const {
-  std::vector<std::int16_t> verdicts(flow.features.size(), -1);
-  if (!deployed_) return verdicts;
-  for (std::size_t i = 0; i < flow.features.size(); ++i) {
-    const std::size_t start = i + 1 >= config_.seq_len ? i + 1 - config_.seq_len : 0;
-    const auto tokens = nn::tokenize(
-        std::span<const net::PacketFeature>(flow.features.data() + start,
-                                            i + 1 - start),
-        config_.seq_len);
-    verdicts[i] = deployed_->predict(tokens);
-  }
-  return verdicts;
+  const auto b = backend();
+  return core::classify_flow_packets(*b, flow);
 }
 
 switchsim::ResourceLedger Bos::switch_program(const switchsim::ChipProfile& chip) {

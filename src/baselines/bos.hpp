@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/verdict_backend.hpp"
 #include "nn/binarize.hpp"
 #include "nn/models.hpp"
 #include "switchsim/chip.hpp"
@@ -37,7 +38,12 @@ class Bos {
   void train(const std::vector<trafficgen::FlowSample>& flows,
              std::size_t num_classes);
 
+  /// Streaming classifier over the trained binarized GRU — the scheme's
+  /// plug-in to the shared replay harness (core/verdict_backend.hpp).
+  std::unique_ptr<core::VerdictBackend> backend() const;
+
   /// Per-packet verdicts over one flow (token window ending at each packet).
+  /// Thin wrapper: runs backend() through the shared harness loop.
   std::vector<std::int16_t> classify_packets(
       const trafficgen::FlowSample& flow) const;
 

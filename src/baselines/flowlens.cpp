@@ -3,6 +3,42 @@
 #include <cmath>
 
 namespace fenix::baselines {
+namespace {
+
+/// FlowLens as the switch sees a flow: the Flow Marker Accumulator buffers
+/// quantized packet features for the collection window; classification only
+/// happens when the control plane reads the marker out (flow_verdict).
+class FlowLensBackend final : public core::VerdictBackend {
+ public:
+  FlowLensBackend(const FlowLensConfig& config, const trees::GradientBoosted& model)
+      : config_(config), model_(model) {}
+
+  std::string name() const override { return "flowlens"; }
+
+  void begin_flow() override { window_.features.clear(); }
+
+  std::int16_t on_packet(const net::PacketFeature& feature) override {
+    if (config_.window_packets == 0 ||
+        window_.features.size() < config_.window_packets) {
+      window_.features.push_back(feature);
+    }
+    return -1;  // No per-packet verdicts: decisions wait for window close.
+  }
+
+  std::int16_t flow_verdict() override {
+    const auto marker = trafficgen::flow_marker(window_, config_.len_bins,
+                                                config_.shift, config_.ipd_bins,
+                                                config_.window_packets);
+    return model_.predict(marker);
+  }
+
+ private:
+  const FlowLensConfig& config_;
+  const trees::GradientBoosted& model_;
+  trafficgen::FlowSample window_;  ///< Buffered collection window.
+};
+
+}  // namespace
 
 FlowLens::FlowLens(FlowLensConfig config) : config_(std::move(config)) {}
 
@@ -14,11 +50,14 @@ void FlowLens::train(const std::vector<trafficgen::FlowSample>& flows,
   model_.fit(data, num_classes, config_.boost);
 }
 
+std::unique_ptr<core::VerdictBackend> FlowLens::backend() const {
+  return std::make_unique<FlowLensBackend>(config_, model_);
+}
+
 std::int16_t FlowLens::classify_flow(const trafficgen::FlowSample& flow) const {
-  const auto marker = trafficgen::flow_marker(flow, config_.len_bins, config_.shift,
-                                              config_.ipd_bins,
-                                              config_.window_packets);
-  return model_.predict(marker);
+  const auto b = backend();
+  core::classify_flow_packets(*b, flow);
+  return b->flow_verdict();
 }
 
 FlowLens::DecisionLatency FlowLens::sample_latency(sim::RandomStream& rng) const {

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/verdict_backend.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 #include "switchsim/chip.hpp"
@@ -36,7 +38,14 @@ class FlowLens {
   void train(const std::vector<trafficgen::FlowSample>& flows,
              std::size_t num_classes);
 
-  /// Flow-level classification from the flow's marker.
+  /// Streaming marker accumulator over the trained booster — the scheme's
+  /// plug-in to the shared replay harness (core/verdict_backend.hpp).
+  /// Per-packet verdicts are -1 (FlowLens only classifies at window close);
+  /// flow_verdict() scores the accumulated marker.
+  std::unique_ptr<core::VerdictBackend> backend() const;
+
+  /// Flow-level classification from the flow's marker. Thin wrapper: runs
+  /// backend() through the shared harness loop and takes its flow verdict.
   std::int16_t classify_flow(const trafficgen::FlowSample& flow) const;
 
   const trees::GradientBoosted& model() const { return model_; }

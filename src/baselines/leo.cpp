@@ -5,23 +5,55 @@
 #include "sim/random.hpp"
 
 namespace fenix::baselines {
+namespace {
+
+/// Running per-flow register state a switch maintains for Leo: packet length
+/// extremes, cumulative bytes (20-bit saturating), packet count.
+struct LeoRegisters {
+  float len_min = 65535.0f;
+  float len_max = 0.0f;
+  float cum = 0.0f;
+  float cnt = 0.0f;
+
+  /// Updates on one packet and writes the 5-feature row for the tree.
+  void update(const net::PacketFeature& feature, float* out) {
+    const auto len = static_cast<float>(feature.length);
+    len_min = std::min(len_min, len);
+    len_max = std::max(len_max, len);
+    cum = std::min(cum + len, 1048575.0f);  // 20-bit saturating byte counter
+    cnt += 1.0f;
+    out[0] = len;
+    out[1] = len_min;
+    out[2] = len_max;
+    out[3] = cum;
+    out[4] = cnt;
+  }
+};
+
+/// Leo as the switch sees a flow: per-packet register update + one tree
+/// lookup per packet.
+class LeoBackend final : public core::VerdictBackend {
+ public:
+  explicit LeoBackend(const trees::DecisionTree& tree) : tree_(tree) {}
+
+  std::string name() const override { return "leo"; }
+
+  void begin_flow() override { regs_ = LeoRegisters{}; }
+
+  std::int16_t on_packet(const net::PacketFeature& feature) override {
+    float row[5];
+    regs_.update(feature, row);
+    return tree_.predict(std::span<const float>(row, 5));
+  }
+
+ private:
+  const trees::DecisionTree& tree_;
+  LeoRegisters regs_;
+};
+
+}  // namespace
 
 Leo::Leo(LeoConfig config) : config_(std::move(config)) {}
-
-void Leo::running_features(const trafficgen::FlowSample& flow, std::size_t i,
-                           float* out, float& len_min, float& len_max, float& cum,
-                           float& cnt) {
-  const auto len = static_cast<float>(flow.features[i].length);
-  len_min = std::min(len_min, len);
-  len_max = std::max(len_max, len);
-  cum = std::min(cum + len, 1048575.0f);  // 20-bit saturating byte counter
-  cnt += 1.0f;
-  out[0] = len;
-  out[1] = len_min;
-  out[2] = len_max;
-  out[3] = cum;
-  out[4] = cnt;
-}
 
 void Leo::train(const std::vector<trafficgen::FlowSample>& flows,
                 std::size_t num_classes) {
@@ -29,10 +61,10 @@ void Leo::train(const std::vector<trafficgen::FlowSample>& flows,
   data.dim = 5;
   for (const trafficgen::FlowSample& flow : flows) {
     if (data.rows() >= config_.max_train_rows) break;
-    float len_min = 65535.0f, len_max = 0.0f, cum = 0.0f, cnt = 0.0f;
+    LeoRegisters regs;
     float row[5];
     for (std::size_t i = 0; i < flow.features.size(); ++i) {
-      running_features(flow, i, row, len_min, len_max, cum, cnt);
+      regs.update(flow.features[i], row);
       if (data.rows() >= config_.max_train_rows) break;
       data.add_row(std::span<const float>(row, 5), flow.label);
     }
@@ -45,16 +77,14 @@ void Leo::train(const std::vector<trafficgen::FlowSample>& flows,
   tree_.fit(data, num_classes, tree_config);
 }
 
+std::unique_ptr<core::VerdictBackend> Leo::backend() const {
+  return std::make_unique<LeoBackend>(tree_);
+}
+
 std::vector<std::int16_t> Leo::classify_packets(
     const trafficgen::FlowSample& flow) const {
-  std::vector<std::int16_t> verdicts(flow.features.size(), -1);
-  float len_min = 65535.0f, len_max = 0.0f, cum = 0.0f, cnt = 0.0f;
-  float row[5];
-  for (std::size_t i = 0; i < flow.features.size(); ++i) {
-    running_features(flow, i, row, len_min, len_max, cum, cnt);
-    verdicts[i] = tree_.predict(std::span<const float>(row, 5));
-  }
-  return verdicts;
+  const auto b = backend();
+  return core::classify_flow_packets(*b, flow);
 }
 
 switchsim::ResourceLedger Leo::switch_program(const switchsim::ChipProfile& chip) {

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/verdict_backend.hpp"
 #include "switchsim/chip.hpp"
 #include "switchsim/resources.hpp"
 #include "trafficgen/synthesizer.hpp"
@@ -30,7 +32,12 @@ class Leo {
   void train(const std::vector<trafficgen::FlowSample>& flows,
              std::size_t num_classes);
 
-  /// Per-packet verdicts over one flow.
+  /// Streaming classifier over the trained tree — the scheme's plug-in to
+  /// the shared replay harness (core/verdict_backend.hpp).
+  std::unique_ptr<core::VerdictBackend> backend() const;
+
+  /// Per-packet verdicts over one flow. Thin wrapper: runs backend()
+  /// through the shared harness loop.
   std::vector<std::int16_t> classify_packets(
       const trafficgen::FlowSample& flow) const;
 
@@ -40,12 +47,6 @@ class Leo {
   static switchsim::ResourceLedger switch_program(const switchsim::ChipProfile& chip);
 
  private:
-  /// Running per-packet features: current length, min length, max length,
-  /// cumulative bytes (saturating), packet count.
-  static void running_features(const trafficgen::FlowSample& flow, std::size_t i,
-                               float* out, float& len_min, float& len_max,
-                               float& cum, float& cnt);
-
   LeoConfig config_;
   trees::DecisionTree tree_;
 };

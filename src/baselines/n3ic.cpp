@@ -5,6 +5,37 @@
 #include "nn/featurizer.hpp"
 
 namespace fenix::baselines {
+namespace {
+
+/// N3IC as the NIC sees a flow: a trailing window of packet features whose
+/// statistics feed one binary-MLP pass per packet.
+class N3icBackend final : public core::VerdictBackend {
+ public:
+  N3icBackend(const nn::BinaryMlp* model, std::size_t window)
+      : model_(model), window_(window) {
+    features_.reserve(window_);
+  }
+
+  std::string name() const override { return "n3ic"; }
+
+  void begin_flow() override { features_.clear(); }
+
+  std::int16_t on_packet(const net::PacketFeature& feature) override {
+    if (!model_) return -1;
+    if (features_.size() == window_) features_.erase(features_.begin());
+    features_.push_back(feature);
+    const auto stats = nn::flow_statistics(
+        std::span<const net::PacketFeature>(features_));
+    return model_->predict(stats);
+  }
+
+ private:
+  const nn::BinaryMlp* model_;
+  std::size_t window_;
+  std::vector<net::PacketFeature> features_;
+};
+
+}  // namespace
 
 N3ic::N3ic(N3icConfig config) : config_(std::move(config)) {}
 
@@ -36,18 +67,14 @@ void N3ic::train(const std::vector<trafficgen::FlowSample>& flows,
   model_->fit(samples, config_.train);
 }
 
+std::unique_ptr<core::VerdictBackend> N3ic::backend() const {
+  return std::make_unique<N3icBackend>(model_.get(), config_.window);
+}
+
 std::vector<std::int16_t> N3ic::classify_packets(
     const trafficgen::FlowSample& flow) const {
-  std::vector<std::int16_t> verdicts(flow.features.size(), -1);
-  if (!model_) return verdicts;
-  for (std::size_t i = 0; i < flow.features.size(); ++i) {
-    const std::size_t end = i + 1;
-    const std::size_t start = end >= config_.window ? end - config_.window : 0;
-    const auto stats = nn::flow_statistics(std::span<const net::PacketFeature>(
-        flow.features.data() + start, end - start));
-    verdicts[i] = model_->predict(stats);
-  }
-  return verdicts;
+  const auto b = backend();
+  return core::classify_flow_packets(*b, flow);
 }
 
 N3ic::DecisionLatency N3ic::sample_latency(sim::RandomStream& rng) const {

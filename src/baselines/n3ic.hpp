@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/verdict_backend.hpp"
 #include "nn/binarize.hpp"
 #include "sim/random.hpp"
 #include "trafficgen/synthesizer.hpp"
@@ -35,8 +36,13 @@ class N3ic {
   void train(const std::vector<trafficgen::FlowSample>& flows,
              std::size_t num_classes);
 
+  /// Streaming classifier over the trained binary MLP — the scheme's plug-in
+  /// to the shared replay harness (core/verdict_backend.hpp).
+  std::unique_ptr<core::VerdictBackend> backend() const;
+
   /// Per-packet verdicts: each packet classified from the statistics of the
-  /// window ending at it.
+  /// window ending at it. Thin wrapper: runs backend() through the shared
+  /// harness loop.
   std::vector<std::int16_t> classify_packets(
       const trafficgen::FlowSample& flow) const;
 

@@ -1,26 +1,28 @@
 #include "baselines/netbeacon.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "net/feature.hpp"
 
 namespace fenix::baselines {
+namespace {
 
-NetBeacon::NetBeacon(NetBeaconConfig config) : config_(std::move(config)) {}
-
-std::vector<float> NetBeacon::phase_features(const trafficgen::FlowSample& flow,
-                                             std::size_t upto) {
-  const std::size_t n = std::min(upto, flow.features.size());
+/// In-dataplane features computable by a switch at a phase boundary, over
+/// the flow's first packets: min/max/mean length, packet count, total bytes,
+/// min/max IPD code.
+std::vector<float> phase_features(std::span<const net::PacketFeature> features) {
+  const std::size_t n = features.size();
   float len_min = 65535.0f, len_max = 0.0f;
   float ipd_min = 65535.0f, ipd_max = 0.0f;
   std::uint64_t bytes = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    const auto len = static_cast<float>(flow.features[i].length);
+    const auto len = static_cast<float>(features[i].length);
     len_min = std::min(len_min, len);
     len_max = std::max(len_max, len);
-    bytes += flow.features[i].length;
+    bytes += features[i].length;
     if (i > 0) {
-      const auto code = static_cast<float>(flow.features[i].ipd_code);
+      const auto code = static_cast<float>(features[i].ipd_code);
       ipd_min = std::min(ipd_min, code);
       ipd_max = std::max(ipd_max, code);
     }
@@ -33,6 +35,46 @@ std::vector<float> NetBeacon::phase_features(const trafficgen::FlowSample& flow,
           ipd_min, ipd_max};
 }
 
+/// NetBeacon as the switch sees a flow: feature registers accumulate until a
+/// phase boundary, where the phase's forest refreshes the sticky verdict.
+class NetBeaconBackend final : public core::VerdictBackend {
+ public:
+  NetBeaconBackend(const NetBeaconConfig& config,
+                   const std::vector<trees::RandomForest>& forests)
+      : config_(config), forests_(forests) {}
+
+  std::string name() const override { return "netbeacon"; }
+
+  void begin_flow() override {
+    features_.clear();
+    last_ = -1;
+  }
+
+  std::int16_t on_packet(const net::PacketFeature& feature) override {
+    features_.push_back(feature);
+    // Phase boundary reached with this packet?
+    for (std::size_t p = 0;
+         p < config_.phases.size() && p < forests_.size(); ++p) {
+      if (features_.size() == config_.phases[p]) {
+        last_ = forests_[p].predict(
+            phase_features(std::span<const net::PacketFeature>(features_)));
+        break;
+      }
+    }
+    return last_;
+  }
+
+ private:
+  const NetBeaconConfig& config_;
+  const std::vector<trees::RandomForest>& forests_;
+  std::vector<net::PacketFeature> features_;
+  std::int16_t last_ = -1;
+};
+
+}  // namespace
+
+NetBeacon::NetBeacon(NetBeaconConfig config) : config_(std::move(config)) {}
+
 void NetBeacon::train(const std::vector<trafficgen::FlowSample>& flows,
                       std::size_t num_classes) {
   forests_.clear();
@@ -42,7 +84,9 @@ void NetBeacon::train(const std::vector<trafficgen::FlowSample>& flows,
     data.dim = 7;
     for (const trafficgen::FlowSample& flow : flows) {
       if (flow.features.size() < boundary) continue;
-      data.add_row(phase_features(flow, boundary), flow.label);
+      data.add_row(phase_features(std::span<const net::PacketFeature>(
+                       flow.features.data(), boundary)),
+                   flow.label);
     }
     trees::TreeConfig tree_config;
     tree_config.max_depth = config_.max_depth;
@@ -53,21 +97,14 @@ void NetBeacon::train(const std::vector<trafficgen::FlowSample>& flows,
   }
 }
 
+std::unique_ptr<core::VerdictBackend> NetBeacon::backend() const {
+  return std::make_unique<NetBeaconBackend>(config_, forests_);
+}
+
 std::vector<std::int16_t> NetBeacon::classify_packets(
     const trafficgen::FlowSample& flow) const {
-  std::vector<std::int16_t> verdicts(flow.features.size(), -1);
-  std::int16_t last = -1;
-  for (std::size_t i = 0; i < flow.features.size(); ++i) {
-    // Phase boundary reached with packet i+1?
-    for (std::size_t p = 0; p < config_.phases.size(); ++p) {
-      if (i + 1 == config_.phases[p]) {
-        last = forests_[p].predict(phase_features(flow, config_.phases[p]));
-        break;
-      }
-    }
-    verdicts[i] = last;
-  }
-  return verdicts;
+  const auto b = backend();
+  return core::classify_flow_packets(*b, flow);
 }
 
 switchsim::ResourceLedger NetBeacon::switch_program(

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/verdict_backend.hpp"
 #include "switchsim/chip.hpp"
 #include "switchsim/resources.hpp"
 #include "trafficgen/synthesizer.hpp"
@@ -31,8 +33,13 @@ class NetBeacon {
   void train(const std::vector<trafficgen::FlowSample>& flows,
              std::size_t num_classes);
 
+  /// Streaming classifier over the trained phase forests — the scheme's
+  /// plug-in to the shared replay harness (core/verdict_backend.hpp).
+  std::unique_ptr<core::VerdictBackend> backend() const;
+
   /// Per-packet verdicts over one flow (index i = prediction attached to
-  /// packet i). -1 before the first phase boundary.
+  /// packet i). -1 before the first phase boundary. Thin wrapper: runs
+  /// backend() through the shared harness loop.
   std::vector<std::int16_t> classify_packets(
       const trafficgen::FlowSample& flow) const;
 
@@ -43,11 +50,6 @@ class NetBeacon {
   const NetBeaconConfig& config() const { return config_; }
 
  private:
-  /// In-dataplane features computable by a switch at a phase boundary:
-  /// min/max/mean length, packet count, total bytes, min/max IPD code.
-  static std::vector<float> phase_features(const trafficgen::FlowSample& flow,
-                                           std::size_t upto);
-
   NetBeaconConfig config_;
   std::vector<trees::RandomForest> forests_;  ///< One per phase.
 };

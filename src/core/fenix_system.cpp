@@ -1,73 +1,8 @@
 #include "core/fenix_system.hpp"
 
-#include <algorithm>
-#include <vector>
+#include "core/replay_core.hpp"
 
 namespace fenix::core {
-namespace {
-
-struct PendingResult {
-  sim::SimTime delivered_at;
-  net::InferenceResult result;
-  sim::SimTime mirror_emitted;
-  sim::SimTime fpga_arrival;
-
-  bool operator>(const PendingResult& other) const {
-    return delivered_at > other.delivered_at;
-  }
-};
-
-/// A mirror whose verdict will not be back by its deadline: fires the
-/// watchdog and (retry budget + token bucket permitting) a retransmit. `seq`
-/// makes heap ordering total, so identical runs pop identical orders.
-struct MissEvent {
-  sim::SimTime at;
-  std::uint64_t seq;
-  net::FeatureVector vec;
-  unsigned retries_left;
-
-  bool operator>(const MissEvent& other) const {
-    if (at != other.at) return at > other.at;
-    return seq > other.seq;
-  }
-};
-
-/// Deterministic (non-probabilistic) token bucket bounding the aggregate
-/// retransmit rate. Held in time units like the Rate Limiter's bucket; starts
-/// full so the first loss burst can be repaired immediately.
-class RetransmitBucket {
- public:
-  RetransmitBucket(double rate_hz, double burst_tokens) {
-    const double cost =
-        rate_hz > 0.0 ? static_cast<double>(sim::kSecond) / rate_hz
-                      : static_cast<double>(sim::kSecond);
-    cost_ps_ = std::max<sim::SimDuration>(1, static_cast<sim::SimDuration>(cost));
-    cap_ps_ = static_cast<sim::SimDuration>(static_cast<double>(cost_ps_) *
-                                            std::max(1.0, burst_tokens));
-    level_ps_ = cap_ps_;
-  }
-
-  bool try_take(sim::SimTime now) {
-    if (first_) {
-      first_ = false;
-    } else if (now > t_last_) {
-      level_ps_ = std::min(cap_ps_, level_ps_ + (now - t_last_));
-    }
-    t_last_ = now;
-    if (level_ps_ < cost_ps_) return false;
-    level_ps_ -= cost_ps_;
-    return true;
-  }
-
- private:
-  sim::SimDuration cost_ps_ = 1;
-  sim::SimDuration cap_ps_ = 1;
-  sim::SimDuration level_ps_ = 0;
-  sim::SimTime t_last_ = 0;
-  bool first_ = true;
-};
-
-}  // namespace
 
 DataEngineConfig FenixSystem::resolve_data_engine_config(FenixSystemConfig config,
                                                          const ModelEngine& engine) {
@@ -86,186 +21,41 @@ FenixSystem::FenixSystem(const FenixSystemConfig& config, const nn::QuantizedCnn
       from_fpga_(config.pcb_channel_bps, config.pcb_propagation,
                  config.pcb_loss_rate, /*loss_seed=*/0x6f07) {}
 
+// The serial replay is the pipes=1 instantiation of the shared ReplayCore:
+// the Data Engine itself runs the flow-track / admission stages (so its
+// counters stay the system of record), the eager EngineInferenceStage runs
+// one scalar forward pass per mirror, and delivered verdicts land back in
+// the Data Engine's Flow Info Table.
 RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes,
                            RunHooks* hooks, const std::vector<RunPhase>& phases) {
-  RunReport report(num_classes);
-  report.trace_duration = trace.duration();
-  report.phases.reserve(phases.size());
-  for (const RunPhase& p : phases) {
-    report.phases.emplace_back(p.name, p.start, p.end, num_classes);
-  }
-  // Pre-size the latency reservoirs so the hot loop never grows a vector
-  // (mirror-path recorders see at most one sample per packet).
-  report.internal_tx.reserve(trace.packets.size());
-  report.queueing.reserve(trace.packets.size());
-  report.inference.reserve(trace.packets.size());
-  report.return_tx.reserve(trace.packets.size());
-  report.end_to_end.reserve(trace.packets.size());
+  ReplayCoreConfig core_config;
+  core_config.recovery = config_.recovery;
+  core_config.transit_latency = data_engine_.timing().transit_latency();
+  core_config.pass_latency = data_engine_.timing().pass_latency();
+  EngineInferenceStage inference(model_engine_);
+  DataEngineResultSink sink(data_engine_);
+  ReplayCore core(trace, num_classes, phases, core_config, to_fpga_, from_fpga_,
+                  data_engine_.watchdog(), inference, sink, hooks);
 
-  std::priority_queue<PendingResult, std::vector<PendingResult>, std::greater<>>
-      pending;
-  std::priority_queue<MissEvent, std::vector<MissEvent>, std::greater<>> misses;
-  std::uint64_t miss_seq = 0;
-  RetransmitBucket rtx_bucket(config_.recovery.retransmit_rate_hz,
-                              config_.recovery.retransmit_burst_tokens);
-  const sim::SimDuration deadline = config_.recovery.result_deadline;
-
-  // Flow-id -> truth label for inference accuracy accounting, plus the last
-  // verdict each flow received (for flow-level macro-F1, Figure 10).
-  std::vector<net::ClassLabel> flow_labels(trace.flows.size(), net::kUnlabeled);
-  std::vector<std::int16_t> flow_verdicts(trace.flows.size(), -1);
-  for (const net::FlowRecord& f : trace.flows) {
-    if (f.flow_id < flow_labels.size()) flow_labels[f.flow_id] = f.label;
-  }
-
-  // One send attempt (original mirror or retransmit) through the full
-  // channel -> Model Engine -> channel path. Any failure to produce a
-  // verdict by `emitted + deadline` schedules a MissEvent; the simulator
-  // learns the attempt's fate synchronously, but the switch only acts on it
-  // when the deadline actually passes.
-  const auto send_vector = [&](const net::FeatureVector& vec, sim::SimTime emitted,
-                               unsigned retries_left) {
-    const auto schedule_miss = [&] {
-      misses.push(MissEvent{emitted + deadline, miss_seq++, vec, retries_left});
-    };
-    const auto fpga_arrival = to_fpga_.transfer_lossy(emitted, vec.wire_bytes());
-    if (!fpga_arrival) {
-      ++report.channel_losses;
-      schedule_miss();
-      return;
-    }
-    report.internal_tx.record(*fpga_arrival - emitted);
-
-    auto result = model_engine_.submit(vec, *fpga_arrival);
-    if (!result) {
-      ++report.fifo_drops;
-      schedule_miss();
-      return;
-    }
-    report.queueing.record(result->inference_started - *fpga_arrival);
-    report.inference.record(result->inference_finished - result->inference_started);
-    // Result packet: five-tuple + verdict, minimal frame.
-    const auto back = from_fpga_.transfer_lossy(result->inference_finished,
-                                                result->wire_bytes());
-    if (!back) {
-      ++report.channel_losses;
-      schedule_miss();
-      return;
-    }
-    report.return_tx.record(*back - result->inference_finished);
-    PendingResult p;
-    p.delivered_at = *back + data_engine_.timing().pass_latency();
-    p.result = *result;
-    p.result.delivered_at = p.delivered_at;
-    p.mirror_emitted = emitted;
-    p.fpga_arrival = *fpga_arrival;
-    // A verdict landing after its own deadline still gets applied, but the
-    // switch has already declared the miss by then.
-    if (p.delivered_at > emitted + deadline) schedule_miss();
-    pending.push(std::move(p));
-  };
-
-  const auto deliver_one = [&] {
-    const PendingResult& p = pending.top();
-    data_engine_.deliver_result(p.result);
-    report.end_to_end.record(p.delivered_at - p.mirror_emitted);
-    if (p.result.flow_id < flow_labels.size()) {
-      report.inference_confusion.add(flow_labels[p.result.flow_id],
-                                     p.result.predicted_class);
-      flow_verdicts[p.result.flow_id] = p.result.predicted_class;
-    }
-    pending.pop();
-  };
-
-  const auto miss_one = [&] {
-    MissEvent ev = misses.top();
-    misses.pop();
-    ++report.deadline_misses;
-    data_engine_.watchdog().on_deadline_missed(ev.at);
-    if (ev.retries_left == 0) {
-      ++report.retransmits_exhausted;
-      return;
-    }
-    if (!rtx_bucket.try_take(ev.at)) {
-      ++report.retransmits_suppressed;
-      return;
-    }
-    ++report.retransmits;
-    send_vector(ev.vec, ev.at, ev.retries_left - 1);
-  };
-
-  // Drains result deliveries and deadline misses due by `now` in simulated-
-  // time order, so watchdog heartbeats and misses interleave exactly as the
-  // switch would observe them. `everything` drains both queues to empty
-  // (end-of-trace tail, where retransmits may spawn further events).
-  const auto pump = [&](sim::SimTime now, bool everything) {
-    for (;;) {
-      const bool have_result =
-          !pending.empty() && (everything || pending.top().delivered_at <= now);
-      const bool have_miss =
-          !misses.empty() && (everything || misses.top().at <= now);
-      if (!have_result && !have_miss) break;
-      if (have_result &&
-          (!have_miss || pending.top().delivered_at <= misses.top().at)) {
-        deliver_one();
-      } else {
-        miss_one();
-      }
-    }
-  };
-
-  std::size_t phase_idx = 0;
   for (const net::PacketRecord& packet : trace.packets) {
-    if (hooks) hooks->at_time(packet.timestamp);
-    pump(packet.timestamp, /*everything=*/false);
-
+    core.begin_packet(packet.timestamp);
     data_engine_.control_plane_tick(packet.timestamp);
     DataEngineOutput out = data_engine_.on_packet(packet);
-    ++report.packets;
-    report.packet_confusion.add(packet.label, out.forward_class);
-
-    while (phase_idx < report.phases.size() &&
-           packet.timestamp >= report.phases[phase_idx].end) {
-      ++phase_idx;
-    }
-    if (phase_idx < report.phases.size() &&
-        packet.timestamp >= report.phases[phase_idx].start) {
-      PhaseReport& phase = report.phases[phase_idx];
-      ++phase.packets;
-      phase.packet_confusion.add(packet.label, out.forward_class);
-      if (out.from_model_engine) {
-        ++phase.dnn_verdicts;
-      } else if (out.from_fallback_tree) {
-        ++phase.tree_verdicts;
-      } else {
-        ++phase.unclassified;
-      }
-    }
-
-    if (out.mirrored) {
-      ++report.mirrors;
-      // Mirror leaves the deparser after the full switch transit.
-      const sim::SimTime emitted =
-          packet.timestamp + data_engine_.timing().transit_latency();
-      send_vector(*out.mirrored, emitted, config_.recovery.max_retransmits);
-    }
+    core.account_packet(packet.timestamp, packet.label, out.forward_class,
+                        out.from_model_engine,
+                        out.from_model_engine
+                            ? static_cast<VerdictSymbol>(out.forward_class)
+                            : kNoVerdict,
+                        out.from_fallback_tree);
+    if (out.mirrored) core.emit_mirror(*out.mirrored, packet.timestamp);
   }
 
-  // Drain the tail so late verdicts still count toward inference accuracy
-  // and the final misses reach the watchdog.
-  pump(0, /*everything=*/true);
-  data_engine_.watchdog().close(trace.duration());
-
-  for (std::size_t f = 0; f < flow_labels.size(); ++f) {
-    report.flow_confusion.add(flow_labels[f], flow_verdicts[f]);
-  }
-
-  report.results_applied = data_engine_.results_applied();
-  report.results_stale = data_engine_.results_stale();
-  report.fallback_verdicts = data_engine_.fallback_verdicts();
-  report.mirrors_suppressed = data_engine_.mirrors_suppressed();
-  report.watchdog = data_engine_.watchdog().stats();
-  return report;
+  core.drain(trace.duration());
+  core.resolve();
+  // Degraded-mode admission ran inside the Data Engine on this path.
+  core.report().fallback_verdicts = data_engine_.fallback_verdicts();
+  core.report().mirrors_suppressed = data_engine_.mirrors_suppressed();
+  return core.take_report();
 }
 
 telemetry::MetricRegistry FenixSystem::health_metrics(const RunReport& report) const {

@@ -15,35 +15,17 @@
 // heartbeat probe stream, failing back to DNN service when results resume.
 #pragma once
 
-#include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "core/data_engine.hpp"
 #include "core/model_engine.hpp"
+#include "core/replay_core.hpp"
 #include "sim/channel.hpp"
 #include "telemetry/latency.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace fenix::core {
-
-/// Per-mirror deadline / retransmit / watchdog knobs.
-struct RecoveryConfig {
-  /// A mirror whose verdict has not come back `result_deadline` after it
-  /// left the deparser is declared missed (watchdog signal + retransmit
-  /// candidate). Healthy end-to-end latency is a few microseconds, so the
-  /// default only fires on real loss or a stalled card.
-  sim::SimDuration result_deadline = sim::microseconds(500);
-
-  /// Retransmit attempts per original mirror (0 disables retransmission).
-  unsigned max_retransmits = 1;
-
-  /// Token bucket governing the aggregate retransmit rate, so a dead card
-  /// cannot double the PCB channel load with futile repeats.
-  double retransmit_rate_hz = 200e3;
-  double retransmit_burst_tokens = 32;
-};
 
 struct FenixSystemConfig {
   /// data_engine.fpga_inference_rate_hz <= 0 derives F (Eq. 1) from the
@@ -60,80 +42,9 @@ struct FenixSystemConfig {
   /// faults drop CRC-failing frames). 0 = healthy board.
   double pcb_loss_rate = 0.0;
 
-  /// Deadline / retransmit / watchdog recovery behaviour.
+  /// Deadline / retransmit / watchdog recovery behaviour
+  /// (core/replay_core.hpp, threaded into the shared ReplayCore).
   RecoveryConfig recovery;
-};
-
-/// Host-side observation hooks driven by the replay loop as simulated time
-/// advances. Fault injectors (src/faults) implement this to arm and clear
-/// their fault windows against the running system.
-struct RunHooks {
-  virtual ~RunHooks() = default;
-  /// Called with each packet's timestamp before the packet is processed
-  /// (monotonically non-decreasing).
-  virtual void at_time(sim::SimTime now) { (void)now; }
-};
-
-/// A named time slice of a replay for phase-by-phase accounting
-/// ([start, end) in simulated time; slices must be sorted and disjoint).
-struct RunPhase {
-  std::string name;
-  sim::SimTime start = 0;
-  sim::SimTime end = 0;
-};
-
-/// Per-phase accounting of forwarding verdicts (the in-outage / recovery
-/// accuracy numbers of the degradation bench).
-struct PhaseReport {
-  std::string name;
-  sim::SimTime start = 0;
-  sim::SimTime end = 0;
-  telemetry::ConfusionMatrix packet_confusion;  ///< Forwarding class vs truth.
-  std::uint64_t packets = 0;
-  std::uint64_t dnn_verdicts = 0;   ///< Forwarded on a cached DNN verdict.
-  std::uint64_t tree_verdicts = 0;  ///< Forwarded on the compiled tree.
-  std::uint64_t unclassified = 0;   ///< No verdict source had an answer.
-
-  PhaseReport(std::string name_, sim::SimTime start_, sim::SimTime end_,
-              std::size_t num_classes)
-      : name(std::move(name_)), start(start_), end(end_),
-        packet_confusion(num_classes) {}
-};
-
-/// Aggregate measurements of one trace replay.
-struct RunReport {
-  telemetry::ConfusionMatrix packet_confusion;    ///< Forwarding class vs truth.
-  telemetry::ConfusionMatrix inference_confusion; ///< DNN verdicts vs truth.
-  telemetry::ConfusionMatrix flow_confusion;      ///< Final per-flow verdict vs truth
-                                                  ///< (flows never inferred = miss).
-  telemetry::LatencyRecorder internal_tx;  ///< Mirror deparser -> FPGA ingress.
-  telemetry::LatencyRecorder queueing;     ///< FPGA ingress -> array start.
-  telemetry::LatencyRecorder inference;    ///< Array compute (+ CDC crossings).
-  telemetry::LatencyRecorder return_tx;    ///< FPGA egress -> switch.
-  telemetry::LatencyRecorder end_to_end;   ///< Mirror emit -> verdict installed.
-
-  std::uint64_t packets = 0;
-  std::uint64_t mirrors = 0;
-  std::uint64_t fifo_drops = 0;
-  std::uint64_t channel_losses = 0;  ///< Mirrors or results lost in flight.
-  std::uint64_t results_applied = 0;
-  std::uint64_t results_stale = 0;
-  sim::SimDuration trace_duration = 0;
-
-  // Failure / recovery accounting (DESIGN.md § Failure semantics).
-  std::uint64_t deadline_misses = 0;         ///< Mirrors with no verdict by deadline.
-  std::uint64_t retransmits = 0;             ///< Feature vectors re-sent.
-  std::uint64_t retransmits_suppressed = 0;  ///< Wanted to re-send, bucket empty.
-  std::uint64_t retransmits_exhausted = 0;   ///< Retry budget spent, verdict lost.
-  std::uint64_t fallback_verdicts = 0;       ///< Tree verdicts served while degraded.
-  std::uint64_t mirrors_suppressed = 0;      ///< Grants thinned while degraded.
-  HealthWatchdogStats watchdog;              ///< Final watchdog state counters.
-
-  std::vector<PhaseReport> phases;  ///< Populated when run() was given phases.
-
-  explicit RunReport(std::size_t num_classes)
-      : packet_confusion(num_classes), inference_confusion(num_classes),
-        flow_confusion(num_classes) {}
 };
 
 /// Knobs of the multi-pipe sharded replay (run_pipelined).
@@ -197,12 +108,5 @@ class FenixSystem {
   sim::Channel to_fpga_;
   sim::Channel from_fpga_;
 };
-
-/// Structural equality of two run reports: every counter, every confusion
-/// cell, the latency recorders (count / sum via mean / min / max / percentile
-/// grid), watchdog stats, and per-phase accounting. The sharded-replay tests
-/// and benches use this to assert the parallel path is bit-identical to the
-/// serial one.
-bool run_reports_equal(const RunReport& a, const RunReport& b);
 
 }  // namespace fenix::core

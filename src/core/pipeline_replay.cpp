@@ -17,35 +17,37 @@
 //    everything that couples flows to each other or to time: backlog
 //    accumulators (grants reset them), the probabilistic token bucket (one
 //    16-bit RNG draw per packet, in packet order), the probability-table
-//    rebuild at each control window, the PCB channels, the Model Engine's
-//    admission/occupancy model, the health watchdog, and the deadline /
-//    retransmit machinery.
-//  * DNN forward passes are deferred: the coordinator admits mirrors with
-//    ModelEngine::submit_timed() and enqueues the feature window into an
+//    rebuild at each control window, and the Model Engine's
+//    admission/occupancy model.
+//  * Everything downstream of admission — the PCB channels, the deadline /
+//    retransmit machinery, the health watchdog feed, and all verdict /
+//    confusion / phase accounting — is the shared ReplayCore
+//    (core/replay_core.hpp), instantiated here with the batched
+//    BatchedInferenceStage: mirrors are admitted with
+//    ModelEngine::submit_timed() and their feature windows enqueued into an
 //    InferenceBatcher ticket. A predicted class is pure data — a function of
 //    the token window only — and nothing in the replay's *timing* depends on
-//    it, so verdicts flow through the accounting symbolically (a cached
-//    verdict is "the class of ticket T") and every confusion-matrix cell is
-//    resolved after the batches complete. Batches therefore always fill to
-//    the SIMD batch-lane width regardless of how many inferences are in
-//    flight at once.
+//    it, so verdicts flow through the core's accounting symbolically and
+//    resolve once the batches complete. Batches therefore always fill to the
+//    SIMD batch-lane width regardless of how many inferences are in flight.
 //
 // Determinism (DESIGN.md § Multi-pipe sharded replay): shard outputs are pure
 // per-slot functions of each slot's packet subsequence, so they are identical
 // at any shard/thread count; the coordinator consumes them in global packet
-// order and replicates run()'s event interleaving — including the pump
-// tie-break (results win when delivered_at <= miss.at) — bit for bit.
+// order and the shared core replicates run()'s event interleaving —
+// including the pump tie-break (results win when delivered_at <= miss.at) —
+// bit for bit.
 #include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <thread>
 #include <vector>
 
 #include "core/fenix_system.hpp"
 #include "core/model_pool.hpp"
+#include "core/replay_core.hpp"
 #include "net/hash.hpp"
 #include "runtime/spsc_queue.hpp"
 #include "runtime/thread_pool.hpp"
@@ -59,64 +61,6 @@ constexpr std::uint32_t kMaxRing = 16;
 
 /// Per-shard SPSC ring depth (PrePackets in flight per pipe).
 constexpr std::size_t kShardQueueDepth = 4096;
-
-struct PendingResult {
-  sim::SimTime delivered_at;
-  net::InferenceResult result;
-  sim::SimTime mirror_emitted;
-  sim::SimTime fpga_arrival;
-  InferenceBatcher::Ticket ticket = 0;  ///< Deferred predicted class.
-
-  bool operator>(const PendingResult& other) const {
-    return delivered_at > other.delivered_at;
-  }
-};
-
-/// Same total order as the serial replay's MissEvent.
-struct MissEvent {
-  sim::SimTime at;
-  std::uint64_t seq;
-  net::FeatureVector vec;
-  unsigned retries_left;
-
-  bool operator>(const MissEvent& other) const {
-    if (at != other.at) return at > other.at;
-    return seq > other.seq;
-  }
-};
-
-/// Deterministic retransmit-rate bucket; mirror of the serial replay's.
-class RetransmitBucket {
- public:
-  RetransmitBucket(double rate_hz, double burst_tokens) {
-    const double cost =
-        rate_hz > 0.0 ? static_cast<double>(sim::kSecond) / rate_hz
-                      : static_cast<double>(sim::kSecond);
-    cost_ps_ = std::max<sim::SimDuration>(1, static_cast<sim::SimDuration>(cost));
-    cap_ps_ = static_cast<sim::SimDuration>(static_cast<double>(cost_ps_) *
-                                            std::max(1.0, burst_tokens));
-    level_ps_ = cap_ps_;
-  }
-
-  bool try_take(sim::SimTime now) {
-    if (first_) {
-      first_ = false;
-    } else if (now > t_last_) {
-      level_ps_ = std::min(cap_ps_, level_ps_ + (now - t_last_));
-    }
-    t_last_ = now;
-    if (level_ps_ < cost_ps_) return false;
-    level_ps_ -= cost_ps_;
-    return true;
-  }
-
- private:
-  sim::SimDuration cost_ps_ = 1;
-  sim::SimDuration cap_ps_ = 1;
-  sim::SimDuration level_ps_ = 0;
-  sim::SimTime t_last_ = 0;
-  bool first_ = true;
-};
 
 /// Everything the coordinator needs to know about one packet, produced by its
 /// pipe shard. ~100 bytes, passed by value through the SPSC ring so the
@@ -223,81 +167,42 @@ void shard_stage(PipeShard& s, const net::PacketRecord& p, std::uint32_t epoch,
   ring[ring_slot] = pp.feature;  // deparser-stage register write
 }
 
-bool confusion_equal(const telemetry::ConfusionMatrix& a,
-                     const telemetry::ConfusionMatrix& b) {
-  if (a.num_classes() != b.num_classes()) return false;
-  if (a.total() != b.total() || a.unpredicted() != b.unpredicted()) return false;
-  for (std::size_t t = 0; t < a.num_classes(); ++t) {
-    for (std::size_t p = 0; p < a.num_classes(); ++p) {
-      if (a.count(t, p) != b.count(t, p)) return false;
+/// DataEngine::deliver_result, replayed against the coordinator's replica of
+/// the verdict registers: a result only sticks while its flow still owns the
+/// slot, and the cached verdict is the (symbolic) ticket, not a class.
+class CoordinatorResultSink final : public ResultSink {
+ public:
+  CoordinatorResultSink(HealthWatchdog& watchdog,
+                        std::vector<std::uint32_t>& coord_hash,
+                        std::vector<VerdictSymbol>& cls_symbol,
+                        unsigned index_bits)
+      : watchdog_(watchdog), coord_hash_(coord_hash), cls_symbol_(cls_symbol),
+        index_bits_(index_bits) {}
+
+  void apply(const net::InferenceResult& result, VerdictSymbol symbol) override {
+    watchdog_.on_result(result.delivered_at);
+    const std::uint32_t slot = net::flow_index(result.tuple, index_bits_);
+    if (coord_hash_[slot] == net::flow_hash32(result.tuple)) {
+      cls_symbol_[slot] = symbol + 1;  // 0 = no cached verdict
+      ++applied_;
+    } else {
+      ++stale_;
     }
   }
-  return true;
-}
 
-bool recorder_equal(const telemetry::LatencyRecorder& a,
-                    const telemetry::LatencyRecorder& b) {
-  if (a.count() != b.count() || a.min() != b.min() || a.max() != b.max()) {
-    return false;
-  }
-  if (a.mean_ps() != b.mean_ps()) return false;
-  static constexpr double kPercentiles[] = {0.0,  10.0, 25.0, 50.0,  75.0,
-                                            90.0, 95.0, 99.0, 99.9, 100.0};
-  for (double p : kPercentiles) {
-    if (a.percentile(p) != b.percentile(p)) return false;
-  }
-  return true;
-}
+  std::uint64_t results_applied() const override { return applied_; }
+  std::uint64_t results_stale() const override { return stale_; }
+
+ private:
+  HealthWatchdog& watchdog_;
+  std::vector<std::uint32_t>& coord_hash_;
+  std::vector<VerdictSymbol>& cls_symbol_;
+  unsigned index_bits_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t stale_ = 0;
+};
 
 }  // namespace
-
-bool run_reports_equal(const RunReport& a, const RunReport& b) {
-  if (a.packets != b.packets || a.mirrors != b.mirrors ||
-      a.fifo_drops != b.fifo_drops || a.channel_losses != b.channel_losses ||
-      a.results_applied != b.results_applied ||
-      a.results_stale != b.results_stale ||
-      a.trace_duration != b.trace_duration ||
-      a.deadline_misses != b.deadline_misses ||
-      a.retransmits != b.retransmits ||
-      a.retransmits_suppressed != b.retransmits_suppressed ||
-      a.retransmits_exhausted != b.retransmits_exhausted ||
-      a.fallback_verdicts != b.fallback_verdicts ||
-      a.mirrors_suppressed != b.mirrors_suppressed) {
-    return false;
-  }
-  if (a.watchdog.deadline_misses != b.watchdog.deadline_misses ||
-      a.watchdog.heartbeats != b.watchdog.heartbeats ||
-      a.watchdog.degradations != b.watchdog.degradations ||
-      a.watchdog.recoveries != b.watchdog.recoveries ||
-      a.watchdog.time_degraded != b.watchdog.time_degraded) {
-    return false;
-  }
-  if (!confusion_equal(a.packet_confusion, b.packet_confusion) ||
-      !confusion_equal(a.inference_confusion, b.inference_confusion) ||
-      !confusion_equal(a.flow_confusion, b.flow_confusion)) {
-    return false;
-  }
-  if (!recorder_equal(a.internal_tx, b.internal_tx) ||
-      !recorder_equal(a.queueing, b.queueing) ||
-      !recorder_equal(a.inference, b.inference) ||
-      !recorder_equal(a.return_tx, b.return_tx) ||
-      !recorder_equal(a.end_to_end, b.end_to_end)) {
-    return false;
-  }
-  if (a.phases.size() != b.phases.size()) return false;
-  for (std::size_t i = 0; i < a.phases.size(); ++i) {
-    const PhaseReport& pa = a.phases[i];
-    const PhaseReport& pb = b.phases[i];
-    if (pa.name != pb.name || pa.start != pb.start || pa.end != pb.end ||
-        pa.packets != pb.packets || pa.dnn_verdicts != pb.dnn_verdicts ||
-        pa.tree_verdicts != pb.tree_verdicts ||
-        pa.unclassified != pb.unclassified ||
-        !confusion_equal(pa.packet_confusion, pb.packet_confusion)) {
-      return false;
-    }
-  }
-  return true;
-}
 
 RunReport FenixSystem::run_pipelined(const net::Trace& trace,
                                      std::size_t num_classes, RunHooks* hooks,
@@ -311,18 +216,6 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
     // Ring deeper than the inline PrePacket window: serve serially.
     return run(trace, num_classes, hooks, phases);
   }
-
-  RunReport report(num_classes);
-  report.trace_duration = trace.duration();
-  report.phases.reserve(phases.size());
-  for (const RunPhase& p : phases) {
-    report.phases.emplace_back(p.name, p.start, p.end, num_classes);
-  }
-  report.internal_tx.reserve(trace.packets.size());
-  report.queueing.reserve(trace.packets.size());
-  report.inference.reserve(trace.packets.size());
-  report.return_tx.reserve(trace.packets.size());
-  report.end_to_end.reserve(trace.packets.size());
 
   const unsigned index_bits = de.tracker.index_bits;
   const std::size_t table_size = std::size_t{1} << index_bits;
@@ -410,9 +303,10 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
   std::vector<std::uint32_t> coord_hash(table_size, 0);
   std::vector<std::uint32_t> bklog_n(table_size, 0);
   std::vector<std::uint32_t> bklog_t(table_size, 0);
-  // Cached verdict per slot: 0 = none, else ticket + 1 (resolved after the
-  // batches complete; the class value never feeds back into replay state).
-  std::vector<std::uint64_t> cls_ticket(table_size, 0);
+  // Cached verdict per slot: 0 = none, else verdict symbol (ticket) + 1
+  // (resolved after the batches complete; the class value never feeds back
+  // into replay state).
+  std::vector<VerdictSymbol> cls_symbol(table_size, 0);
 
   ProbabilityLookupTable prob_table(de.prob_t_cells, de.prob_c_cells,
                                     de.prob_t_max_s, de.prob_c_max,
@@ -434,8 +328,6 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
   telemetry::RateMeter packet_meter(de.stats_ewma_alpha);
   HealthWatchdog watchdog(de.watchdog);
   std::uint64_t degraded_grants = 0;
-  std::uint64_t results_applied = 0;
-  std::uint64_t results_stale = 0;
   sim::SimTime last_tick = 0;
   std::uint64_t win_new_flows = 0;
   std::uint64_t win_packets = 0;
@@ -443,133 +335,20 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
   const switchsim::TernaryMatchTable* prelim = data_engine_.preliminary_table();
   const FeatureLayout& prelim_layout = data_engine_.preliminary_layout();
 
-  std::priority_queue<PendingResult, std::vector<PendingResult>, std::greater<>>
-      pending;
-  std::priority_queue<MissEvent, std::vector<MissEvent>, std::greater<>> misses;
-  std::uint64_t miss_seq = 0;
-  RetransmitBucket rtx_bucket(config_.recovery.retransmit_rate_hz,
-                              config_.recovery.retransmit_burst_tokens);
-  const sim::SimDuration deadline = config_.recovery.result_deadline;
-
-  std::vector<net::ClassLabel> flow_labels(trace.flows.size(), net::kUnlabeled);
-  for (const net::FlowRecord& f : trace.flows) {
-    if (f.flow_id < flow_labels.size()) flow_labels[f.flow_id] = f.label;
-  }
-
-  // ---- Deferred (symbolic) verdict accounting. Confusion-matrix updates are
-  // commutative integer increments, so resolving ticket-valued cells after
-  // the run preserves equality with the serial report.
-  struct DeferredForward {
-    net::ClassLabel label;
-    std::int32_t phase;  ///< -1 when outside every phase slice.
-    InferenceBatcher::Ticket ticket;
-  };
-  struct DeferredInference {
-    net::ClassLabel label;
-    InferenceBatcher::Ticket ticket;
-  };
-  std::vector<DeferredForward> deferred_forward;
-  std::vector<DeferredInference> deferred_inference;
-  std::vector<std::int64_t> flow_verdict_ticket(trace.flows.size(), -1);
-
-  const auto send_vector = [&](const net::FeatureVector& vec, sim::SimTime emitted,
-                               unsigned retries_left) {
-    const auto schedule_miss = [&] {
-      misses.push(MissEvent{emitted + deadline, miss_seq++, vec, retries_left});
-    };
-    const auto fpga_arrival = to_fpga_.transfer_lossy(emitted, vec.wire_bytes());
-    if (!fpga_arrival) {
-      ++report.channel_losses;
-      schedule_miss();
-      return;
-    }
-    report.internal_tx.record(*fpga_arrival - emitted);
-
-    auto result = model_engine_.submit_timed(vec, *fpga_arrival);
-    if (!result) {
-      ++report.fifo_drops;
-      schedule_miss();
-      return;
-    }
-    const InferenceBatcher::Ticket ticket = batcher.enqueue(vec.sequence);
-    report.queueing.record(result->inference_started - *fpga_arrival);
-    report.inference.record(result->inference_finished - result->inference_started);
-    const auto back = from_fpga_.transfer_lossy(result->inference_finished,
-                                                result->wire_bytes());
-    if (!back) {
-      ++report.channel_losses;
-      schedule_miss();
-      return;
-    }
-    report.return_tx.record(*back - result->inference_finished);
-    PendingResult p;
-    p.delivered_at = *back + data_engine_.timing().pass_latency();
-    p.result = *result;
-    p.result.delivered_at = p.delivered_at;
-    p.mirror_emitted = emitted;
-    p.fpga_arrival = *fpga_arrival;
-    p.ticket = ticket;
-    if (p.delivered_at > emitted + deadline) schedule_miss();
-    pending.push(std::move(p));
-  };
-
-  const auto deliver_one = [&] {
-    const PendingResult p = pending.top();
-    pending.pop();
-    // DataEngine::deliver_result, against coordinator-owned verdict state.
-    watchdog.on_result(p.result.delivered_at);
-    const std::uint32_t slot = net::flow_index(p.result.tuple, index_bits);
-    if (coord_hash[slot] == net::flow_hash32(p.result.tuple)) {
-      cls_ticket[slot] = p.ticket + 1;
-      ++results_applied;
-    } else {
-      ++results_stale;
-    }
-    report.end_to_end.record(p.delivered_at - p.mirror_emitted);
-    if (p.result.flow_id < flow_labels.size()) {
-      deferred_inference.push_back({flow_labels[p.result.flow_id], p.ticket});
-      flow_verdict_ticket[p.result.flow_id] = static_cast<std::int64_t>(p.ticket);
-    }
-  };
-
-  const auto miss_one = [&] {
-    MissEvent ev = misses.top();
-    misses.pop();
-    ++report.deadline_misses;
-    watchdog.on_deadline_missed(ev.at);
-    if (ev.retries_left == 0) {
-      ++report.retransmits_exhausted;
-      return;
-    }
-    if (!rtx_bucket.try_take(ev.at)) {
-      ++report.retransmits_suppressed;
-      return;
-    }
-    ++report.retransmits;
-    send_vector(ev.vec, ev.at, ev.retries_left - 1);
-  };
-
-  // Identical drain/tie-break to the serial pump: results win ties.
-  const auto pump = [&](sim::SimTime now, bool everything) {
-    for (;;) {
-      const bool have_result =
-          !pending.empty() && (everything || pending.top().delivered_at <= now);
-      const bool have_miss =
-          !misses.empty() && (everything || misses.top().at <= now);
-      if (!have_result && !have_miss) break;
-      if (have_result &&
-          (!have_miss || pending.top().delivered_at <= misses.top().at)) {
-        deliver_one();
-      } else {
-        miss_one();
-      }
-    }
-  };
+  // ---- The shared staged core, instantiated with the batched stage.
+  ReplayCoreConfig core_config;
+  core_config.recovery = config_.recovery;
+  core_config.transit_latency = data_engine_.timing().transit_latency();
+  core_config.pass_latency = data_engine_.timing().pass_latency();
+  BatchedInferenceStage inference(model_engine_, batcher);
+  CoordinatorResultSink sink(watchdog, coord_hash, cls_symbol, index_bits);
+  ReplayCore core(trace, num_classes, phases, core_config, to_fpga_, from_fpga_,
+                  watchdog, inference, sink, hooks);
+  RunReport& report = core.report();
 
   net::FeatureVector mirror_buf;  // reused grant-assembly buffer
   mirror_buf.sequence.reserve(cap + 1);
 
-  std::size_t phase_idx = 0;
   for (std::size_t i = 0; i < trace.packets.size(); ++i) {
     const net::PacketRecord& packet = trace.packets[i];
     PipeShard& shard = *shards[owner[i]];
@@ -582,8 +361,7 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
       std::this_thread::yield();
     }
 
-    if (hooks) hooks->at_time(packet.timestamp);
-    pump(packet.timestamp, /*everything=*/false);
+    core.begin_packet(packet.timestamp);
 
     // Control-plane window tick (DataEngine::control_plane_tick).
     if (!(packet.timestamp < last_tick + de.window_tw)) {
@@ -611,7 +389,7 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
       coord_hash[slot] = pp.flow_hash;
       bklog_n[slot] = 0;
       bklog_t[slot] = now_us;
-      cls_ticket[slot] = 0;
+      cls_symbol[slot] = 0;
     }
     const std::uint32_t backlog_count = ++bklog_n[slot];
     const std::uint32_t age_us = now_us - bklog_t[slot];  // wrap-aware
@@ -620,10 +398,10 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
     std::int16_t forward_class = -1;
     bool from_engine = false;
     bool from_tree = false;
-    InferenceBatcher::Ticket forward_ticket = 0;
-    if (cls_ticket[slot] != 0) {
+    VerdictSymbol forward_symbol = kNoVerdict;
+    if (cls_symbol[slot] != 0) {
       from_engine = true;
-      forward_ticket = cls_ticket[slot] - 1;
+      forward_symbol = cls_symbol[slot] - 1;
     } else if (prelim) {
       const std::uint64_t key = pack_key(
           prelim_layout,
@@ -636,34 +414,8 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
       }
     }
 
-    ++report.packets;
-    while (phase_idx < report.phases.size() &&
-           packet.timestamp >= report.phases[phase_idx].end) {
-      ++phase_idx;
-    }
-    const bool in_phase = phase_idx < report.phases.size() &&
-                          packet.timestamp >= report.phases[phase_idx].start;
-    if (from_engine) {
-      deferred_forward.push_back(
-          {packet.label, in_phase ? static_cast<std::int32_t>(phase_idx) : -1,
-           forward_ticket});
-    } else {
-      report.packet_confusion.add(packet.label, forward_class);
-      if (in_phase) {
-        report.phases[phase_idx].packet_confusion.add(packet.label, forward_class);
-      }
-    }
-    if (in_phase) {
-      PhaseReport& phase = report.phases[phase_idx];
-      ++phase.packets;
-      if (from_engine) {
-        ++phase.dnn_verdicts;
-      } else if (from_tree) {
-        ++phase.tree_verdicts;
-      } else {
-        ++phase.unclassified;
-      }
-    }
+    core.account_packet(packet.timestamp, packet.label, forward_class,
+                        from_engine, forward_symbol, from_tree);
 
     // Rate Limiter: one probabilistic draw per packet, in packet order.
     const double t_i =
@@ -688,43 +440,17 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
         mirror_buf.sequence.push_back(pp.feature);
         bklog_n[slot] = 0;  // record_feature_sent
         bklog_t[slot] = now_us;
-        ++report.mirrors;
-        const sim::SimTime emitted =
-            packet.timestamp + data_engine_.timing().transit_latency();
-        send_vector(mirror_buf, emitted, config_.recovery.max_retransmits);
+        core.emit_mirror(mirror_buf, packet.timestamp);
       }
     }
   }
 
-  pump(0, /*everything=*/true);
-  watchdog.close(trace.duration());
+  core.drain(trace.duration());
   pool.wait();
-
-  // ---- Resolve the symbolic verdicts now that every batch has run.
+  // Resolve the symbolic verdicts now that every batch has run.
   batcher.finish();
-  for (const DeferredForward& d : deferred_forward) {
-    const std::int16_t cls = batcher.result(d.ticket);
-    report.packet_confusion.add(d.label, cls);
-    if (d.phase >= 0) {
-      report.phases[static_cast<std::size_t>(d.phase)].packet_confusion.add(d.label,
-                                                                            cls);
-    }
-  }
-  for (const DeferredInference& d : deferred_inference) {
-    report.inference_confusion.add(d.label, batcher.result(d.ticket));
-  }
-  for (std::size_t f = 0; f < flow_labels.size(); ++f) {
-    const std::int64_t t = flow_verdict_ticket[f];
-    report.flow_confusion.add(
-        flow_labels[f],
-        t < 0 ? std::int16_t{-1}
-              : batcher.result(static_cast<InferenceBatcher::Ticket>(t)));
-  }
-
-  report.results_applied = results_applied;
-  report.results_stale = results_stale;
-  report.watchdog = watchdog.stats();
-  return report;
+  core.resolve();
+  return core.take_report();
 }
 
 }  // namespace fenix::core

@@ -1,0 +1,437 @@
+#include "core/replay_core.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/data_engine.hpp"
+#include "core/model_engine.hpp"
+#include "core/model_pool.hpp"
+
+namespace fenix::core {
+
+// ---------------------------------------------------------------------------
+// Stage adapters.
+
+std::optional<net::InferenceResult> EngineInferenceStage::submit(
+    const net::FeatureVector& vec, sim::SimTime arrival, VerdictSymbol& symbol) {
+  auto result = engine_.submit(vec, arrival);
+  if (result) symbol = static_cast<VerdictSymbol>(result->predicted_class);
+  return result;
+}
+
+std::int16_t EngineInferenceStage::resolve(VerdictSymbol symbol) const {
+  return static_cast<std::int16_t>(symbol);
+}
+
+std::optional<net::InferenceResult> BatchedInferenceStage::submit(
+    const net::FeatureVector& vec, sim::SimTime arrival, VerdictSymbol& symbol) {
+  auto result = engine_.submit_timed(vec, arrival);
+  if (result) symbol = static_cast<VerdictSymbol>(batcher_.enqueue(vec.sequence));
+  return result;
+}
+
+std::int16_t BatchedInferenceStage::resolve(VerdictSymbol symbol) const {
+  return batcher_.result(static_cast<InferenceBatcher::Ticket>(symbol));
+}
+
+void DataEngineResultSink::apply(const net::InferenceResult& result,
+                                 VerdictSymbol symbol) {
+  (void)symbol;  // The eager stage's result already carries its class.
+  engine_.deliver_result(result);
+}
+
+std::uint64_t DataEngineResultSink::results_applied() const {
+  return engine_.results_applied();
+}
+
+std::uint64_t DataEngineResultSink::results_stale() const {
+  return engine_.results_stale();
+}
+
+// ---------------------------------------------------------------------------
+// ReplayCore.
+
+ReplayCore::RetransmitBucket::RetransmitBucket(double rate_hz,
+                                               double burst_tokens) {
+  const double cost = rate_hz > 0.0
+                          ? static_cast<double>(sim::kSecond) / rate_hz
+                          : static_cast<double>(sim::kSecond);
+  cost_ps_ = std::max<sim::SimDuration>(1, static_cast<sim::SimDuration>(cost));
+  cap_ps_ = static_cast<sim::SimDuration>(static_cast<double>(cost_ps_) *
+                                          std::max(1.0, burst_tokens));
+  level_ps_ = cap_ps_;
+}
+
+bool ReplayCore::RetransmitBucket::try_take(sim::SimTime now) {
+  if (first_) {
+    first_ = false;
+  } else if (now > t_last_) {
+    level_ps_ = std::min(cap_ps_, level_ps_ + (now - t_last_));
+  }
+  t_last_ = now;
+  if (level_ps_ < cost_ps_) return false;
+  level_ps_ -= cost_ps_;
+  return true;
+}
+
+ReplayCore::ReplayCore(const net::Trace& trace, std::size_t num_classes,
+                       const std::vector<RunPhase>& phases,
+                       const ReplayCoreConfig& config, sim::Channel& to_fpga,
+                       sim::Channel& from_fpga, HealthWatchdog& watchdog,
+                       InferenceStage& inference, ResultSink& sink,
+                       RunHooks* hooks)
+    : config_(config), to_fpga_(to_fpga), from_fpga_(from_fpga),
+      watchdog_(watchdog), inference_(inference), sink_(sink), hooks_(hooks),
+      report_(num_classes),
+      rtx_bucket_(config.recovery.retransmit_rate_hz,
+                  config.recovery.retransmit_burst_tokens),
+      flow_labels_(trace.flows.size(), net::kUnlabeled),
+      flow_verdict_symbol_(trace.flows.size(), kNoVerdict) {
+  report_.trace_duration = trace.duration();
+  report_.phases.reserve(phases.size());
+  for (const RunPhase& p : phases) {
+    report_.phases.emplace_back(p.name, p.start, p.end, num_classes);
+  }
+  // Pre-size the latency reservoirs so the hot loop never grows a vector
+  // (mirror-path recorders see at most one sample per packet).
+  report_.internal_tx.reserve(trace.packets.size());
+  report_.queueing.reserve(trace.packets.size());
+  report_.inference.reserve(trace.packets.size());
+  report_.return_tx.reserve(trace.packets.size());
+  report_.end_to_end.reserve(trace.packets.size());
+  for (const net::FlowRecord& f : trace.flows) {
+    if (f.flow_id < flow_labels_.size()) flow_labels_[f.flow_id] = f.label;
+  }
+}
+
+// One send attempt (original mirror or retransmit) through the full
+// channel -> Model Engine -> channel path. Any failure to produce a verdict
+// by `emitted + deadline` schedules a MissEvent; the simulator learns the
+// attempt's fate synchronously, but the switch only acts on it when the
+// deadline actually passes.
+void ReplayCore::send_vector(const net::FeatureVector& vec, sim::SimTime emitted,
+                             unsigned retries_left) {
+  const sim::SimDuration deadline = config_.recovery.result_deadline;
+  const auto schedule_miss = [&] {
+    misses_.push(MissEvent{emitted + deadline, miss_seq_++, vec, retries_left});
+  };
+  const auto fpga_arrival = to_fpga_.transfer_lossy(emitted, vec.wire_bytes());
+  if (!fpga_arrival) {
+    ++report_.channel_losses;
+    schedule_miss();
+    return;
+  }
+  report_.internal_tx.record(*fpga_arrival - emitted);
+
+  VerdictSymbol symbol = kNoVerdict;
+  auto result = inference_.submit(vec, *fpga_arrival, symbol);
+  if (!result) {
+    ++report_.fifo_drops;
+    schedule_miss();
+    return;
+  }
+  report_.queueing.record(result->inference_started - *fpga_arrival);
+  report_.inference.record(result->inference_finished -
+                           result->inference_started);
+  // Result packet: five-tuple + verdict, minimal frame.
+  const auto back = from_fpga_.transfer_lossy(result->inference_finished,
+                                              result->wire_bytes());
+  if (!back) {
+    ++report_.channel_losses;
+    schedule_miss();
+    return;
+  }
+  report_.return_tx.record(*back - result->inference_finished);
+  PendingResult p;
+  p.delivered_at = *back + config_.pass_latency;
+  p.result = *result;
+  p.result.delivered_at = p.delivered_at;
+  p.mirror_emitted = emitted;
+  p.fpga_arrival = *fpga_arrival;
+  p.symbol = symbol;
+  // A verdict landing after its own deadline still gets applied, but the
+  // switch has already declared the miss by then.
+  if (p.delivered_at > emitted + deadline) schedule_miss();
+  pending_.push(std::move(p));
+}
+
+void ReplayCore::deliver_one() {
+  const PendingResult p = pending_.top();
+  pending_.pop();
+  sink_.apply(p.result, p.symbol);
+  report_.end_to_end.record(p.delivered_at - p.mirror_emitted);
+  if (p.result.flow_id < flow_labels_.size()) {
+    deferred_inference_.push_back({flow_labels_[p.result.flow_id], p.symbol});
+    flow_verdict_symbol_[p.result.flow_id] = p.symbol;
+  }
+}
+
+void ReplayCore::miss_one() {
+  MissEvent ev = misses_.top();
+  misses_.pop();
+  ++report_.deadline_misses;
+  watchdog_.on_deadline_missed(ev.at);
+  if (ev.retries_left == 0) {
+    ++report_.retransmits_exhausted;
+    return;
+  }
+  if (!rtx_bucket_.try_take(ev.at)) {
+    ++report_.retransmits_suppressed;
+    return;
+  }
+  ++report_.retransmits;
+  send_vector(ev.vec, ev.at, ev.retries_left - 1);
+}
+
+// Drains result deliveries and deadline misses due by `now` in simulated-
+// time order, so watchdog heartbeats and misses interleave exactly as the
+// switch would observe them. `everything` drains both queues to empty
+// (end-of-trace tail, where retransmits may spawn further events). The
+// tie-break is part of the bit-identity contract: results win ties.
+void ReplayCore::pump(sim::SimTime now, bool everything) {
+  for (;;) {
+    const bool have_result =
+        !pending_.empty() && (everything || pending_.top().delivered_at <= now);
+    const bool have_miss =
+        !misses_.empty() && (everything || misses_.top().at <= now);
+    if (!have_result && !have_miss) break;
+    if (have_result &&
+        (!have_miss || pending_.top().delivered_at <= misses_.top().at)) {
+      deliver_one();
+    } else {
+      miss_one();
+    }
+  }
+}
+
+void ReplayCore::begin_packet(sim::SimTime now) {
+  if (hooks_) hooks_->at_time(now);
+  pump(now, /*everything=*/false);
+}
+
+void ReplayCore::account_packet(sim::SimTime now, net::ClassLabel truth,
+                                std::int16_t forward_class, bool from_engine,
+                                VerdictSymbol engine_symbol, bool from_tree) {
+  ++report_.packets;
+  while (phase_idx_ < report_.phases.size() &&
+         now >= report_.phases[phase_idx_].end) {
+    ++phase_idx_;
+  }
+  const bool in_phase = phase_idx_ < report_.phases.size() &&
+                        now >= report_.phases[phase_idx_].start;
+  if (from_engine) {
+    deferred_forward_.push_back(
+        {truth, in_phase ? static_cast<std::int32_t>(phase_idx_) : -1,
+         engine_symbol});
+  } else {
+    report_.packet_confusion.add(truth, forward_class);
+    if (in_phase) {
+      report_.phases[phase_idx_].packet_confusion.add(truth, forward_class);
+    }
+  }
+  if (in_phase) {
+    PhaseReport& phase = report_.phases[phase_idx_];
+    ++phase.packets;
+    if (from_engine) {
+      ++phase.dnn_verdicts;
+    } else if (from_tree) {
+      ++phase.tree_verdicts;
+    } else {
+      ++phase.unclassified;
+    }
+  }
+}
+
+void ReplayCore::emit_mirror(const net::FeatureVector& vec,
+                             sim::SimTime packet_ts) {
+  ++report_.mirrors;
+  // Mirror leaves the deparser after the full switch transit.
+  send_vector(vec, packet_ts + config_.transit_latency,
+              config_.recovery.max_retransmits);
+}
+
+void ReplayCore::drain(sim::SimTime trace_end) {
+  // Drain the tail so late verdicts still count toward inference accuracy
+  // and the final misses reach the watchdog.
+  pump(0, /*everything=*/true);
+  watchdog_.close(trace_end);
+}
+
+void ReplayCore::resolve() {
+  for (const DeferredForward& d : deferred_forward_) {
+    const std::int16_t cls = inference_.resolve(d.symbol);
+    report_.packet_confusion.add(d.label, cls);
+    if (d.phase >= 0) {
+      report_.phases[static_cast<std::size_t>(d.phase)].packet_confusion.add(
+          d.label, cls);
+    }
+  }
+  for (const DeferredInference& d : deferred_inference_) {
+    report_.inference_confusion.add(d.label, inference_.resolve(d.symbol));
+  }
+  for (std::size_t f = 0; f < flow_labels_.size(); ++f) {
+    const VerdictSymbol s = flow_verdict_symbol_[f];
+    report_.flow_confusion.add(
+        flow_labels_[f],
+        s == kNoVerdict ? std::int16_t{-1} : inference_.resolve(s));
+  }
+  report_.results_applied = sink_.results_applied();
+  report_.results_stale = sink_.results_stale();
+  report_.watchdog = watchdog_.stats();
+}
+
+// ---------------------------------------------------------------------------
+// Report comparison / divergence diagnostics.
+
+namespace {
+
+template <typename T>
+std::optional<std::string> diverge(const std::string& field, const T& a,
+                                   const T& b) {
+  if (a == b) return std::nullopt;
+  std::ostringstream out;
+  out << field << ": " << a << " vs " << b;
+  return out.str();
+}
+
+std::optional<std::string> confusion_divergence(
+    const std::string& field, const telemetry::ConfusionMatrix& a,
+    const telemetry::ConfusionMatrix& b) {
+  if (auto d = diverge(field + ".num_classes", a.num_classes(), b.num_classes()))
+    return d;
+  // Cells first: "which cell" is the actionable diagnostic; total/unpredicted
+  // are derived tallies that only catch compensating cell errors.
+  for (std::size_t t = 0; t < a.num_classes(); ++t) {
+    for (std::size_t p = 0; p < a.num_classes(); ++p) {
+      if (a.count(t, p) != b.count(t, p)) {
+        std::ostringstream out;
+        out << field << "[truth=" << t << "][pred=" << p
+            << "]: " << a.count(t, p) << " vs " << b.count(t, p);
+        return out.str();
+      }
+    }
+  }
+  if (auto d = diverge(field + ".unpredicted", a.unpredicted(), b.unpredicted()))
+    return d;
+  if (auto d = diverge(field + ".total", a.total(), b.total())) return d;
+  return std::nullopt;
+}
+
+std::optional<std::string> recorder_divergence(
+    const std::string& field, const telemetry::LatencyRecorder& a,
+    const telemetry::LatencyRecorder& b) {
+  if (auto d = diverge(field + ".count", a.count(), b.count())) return d;
+  if (auto d = diverge(field + ".min", a.min(), b.min())) return d;
+  if (auto d = diverge(field + ".max", a.max(), b.max())) return d;
+  if (auto d = diverge(field + ".mean_ps", a.mean_ps(), b.mean_ps())) return d;
+  static constexpr double kPercentiles[] = {0.0,  10.0, 25.0, 50.0,  75.0,
+                                            90.0, 95.0, 99.0, 99.9, 100.0};
+  for (double p : kPercentiles) {
+    if (a.percentile(p) != b.percentile(p)) {
+      std::ostringstream out;
+      out << field << ".p" << p << ": " << a.percentile(p) << " vs "
+          << b.percentile(p);
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> first_divergence(const RunReport& a,
+                                            const RunReport& b) {
+  if (auto d = diverge("packets", a.packets, b.packets)) return d;
+  if (auto d = diverge("mirrors", a.mirrors, b.mirrors)) return d;
+  if (auto d = diverge("fifo_drops", a.fifo_drops, b.fifo_drops)) return d;
+  if (auto d = diverge("channel_losses", a.channel_losses, b.channel_losses))
+    return d;
+  if (auto d = diverge("results_applied", a.results_applied, b.results_applied))
+    return d;
+  if (auto d = diverge("results_stale", a.results_stale, b.results_stale))
+    return d;
+  if (auto d = diverge("trace_duration", a.trace_duration, b.trace_duration))
+    return d;
+  if (auto d = diverge("deadline_misses", a.deadline_misses, b.deadline_misses))
+    return d;
+  if (auto d = diverge("retransmits", a.retransmits, b.retransmits)) return d;
+  if (auto d = diverge("retransmits_suppressed", a.retransmits_suppressed,
+                       b.retransmits_suppressed))
+    return d;
+  if (auto d = diverge("retransmits_exhausted", a.retransmits_exhausted,
+                       b.retransmits_exhausted))
+    return d;
+  if (auto d = diverge("fallback_verdicts", a.fallback_verdicts,
+                       b.fallback_verdicts))
+    return d;
+  if (auto d = diverge("mirrors_suppressed", a.mirrors_suppressed,
+                       b.mirrors_suppressed))
+    return d;
+  if (auto d = diverge("watchdog.deadline_misses", a.watchdog.deadline_misses,
+                       b.watchdog.deadline_misses))
+    return d;
+  if (auto d = diverge("watchdog.heartbeats", a.watchdog.heartbeats,
+                       b.watchdog.heartbeats))
+    return d;
+  if (auto d = diverge("watchdog.degradations", a.watchdog.degradations,
+                       b.watchdog.degradations))
+    return d;
+  if (auto d = diverge("watchdog.recoveries", a.watchdog.recoveries,
+                       b.watchdog.recoveries))
+    return d;
+  if (auto d = diverge("watchdog.time_degraded", a.watchdog.time_degraded,
+                       b.watchdog.time_degraded))
+    return d;
+  if (auto d = confusion_divergence("packet_confusion", a.packet_confusion,
+                                    b.packet_confusion))
+    return d;
+  if (auto d = confusion_divergence("inference_confusion",
+                                    a.inference_confusion,
+                                    b.inference_confusion))
+    return d;
+  if (auto d = confusion_divergence("flow_confusion", a.flow_confusion,
+                                    b.flow_confusion))
+    return d;
+  if (auto d = recorder_divergence("internal_tx", a.internal_tx, b.internal_tx))
+    return d;
+  if (auto d = recorder_divergence("queueing", a.queueing, b.queueing)) return d;
+  if (auto d = recorder_divergence("inference", a.inference, b.inference))
+    return d;
+  if (auto d = recorder_divergence("return_tx", a.return_tx, b.return_tx))
+    return d;
+  if (auto d = recorder_divergence("end_to_end", a.end_to_end, b.end_to_end))
+    return d;
+  if (auto d = diverge("phases.size", a.phases.size(), b.phases.size()))
+    return d;
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    const PhaseReport& pa = a.phases[i];
+    const PhaseReport& pb = b.phases[i];
+    if (auto d = diverge("phases[" + std::to_string(i) + "].name", pa.name,
+                         pb.name))
+      return d;
+    const std::string prefix =
+        "phases[" + std::to_string(i) + " \"" + pa.name + "\"].";
+    if (auto d = diverge(prefix + "start", pa.start, pb.start)) return d;
+    if (auto d = diverge(prefix + "end", pa.end, pb.end)) return d;
+    if (auto d = diverge(prefix + "packets", pa.packets, pb.packets)) return d;
+    if (auto d = diverge(prefix + "dnn_verdicts", pa.dnn_verdicts,
+                         pb.dnn_verdicts))
+      return d;
+    if (auto d = diverge(prefix + "tree_verdicts", pa.tree_verdicts,
+                         pb.tree_verdicts))
+      return d;
+    if (auto d = diverge(prefix + "unclassified", pa.unclassified,
+                         pb.unclassified))
+      return d;
+    if (auto d = confusion_divergence(prefix + "packet_confusion",
+                                      pa.packet_confusion, pb.packet_confusion))
+      return d;
+  }
+  return std::nullopt;
+}
+
+bool run_reports_equal(const RunReport& a, const RunReport& b) {
+  return !first_divergence(a, b).has_value();
+}
+
+}  // namespace fenix::core

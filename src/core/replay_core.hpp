@@ -1,0 +1,382 @@
+// Staged replay core shared by every trace-replay loop.
+//
+// FENIX's data plane is one per-packet dataflow — parse, flow-track /
+// featurize, admission / mirror, inference, verdict accounting — and this
+// file owns the stages every replay has in common, exactly once:
+//
+//   * the mirror transmit path (PCB channel -> Model Engine -> PCB channel)
+//     with per-mirror result deadlines, MissEvent ordering, and the
+//     deterministic retransmit token bucket;
+//   * the simulated-time event pump (results and deadline misses drained in
+//     order, results winning ties) feeding the FPGA health watchdog;
+//   * verdict / confusion / phase accounting, including the deferred
+//     *symbolic* verdict scheme: a predicted class is pure data that never
+//     feeds back into replay timing or RNG state, so engine verdicts flow
+//     through the accounting as opaque symbols and every confusion cell is
+//     resolved once inference completes (confusion increments commute).
+//
+// FenixSystem::run() is the pipes=1 instantiation — an eager InferenceStage
+// whose symbols already *are* classes — and run_pipelined() is the sharding /
+// coordination skeleton (PipeShards + SPSC rings + serial coordinator)
+// driving the same stage code with an InferenceBatcher-backed stage whose
+// symbols are batch tickets. Both produce bit-identical RunReports; the
+// first_divergence() diagnostic pinpoints the first field that breaks when
+// a change violates that contract.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "core/health_watchdog.hpp"
+#include "net/feature.hpp"
+#include "net/packet.hpp"
+#include "sim/channel.hpp"
+#include "telemetry/latency.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace fenix::core {
+
+class ModelEngine;
+class DataEngine;
+class InferenceBatcher;
+
+/// Per-mirror deadline / retransmit / watchdog knobs.
+struct RecoveryConfig {
+  /// A mirror whose verdict has not come back `result_deadline` after it
+  /// left the deparser is declared missed (watchdog signal + retransmit
+  /// candidate). Healthy end-to-end latency is a few microseconds, so the
+  /// default only fires on real loss or a stalled card.
+  sim::SimDuration result_deadline = sim::microseconds(500);
+
+  /// Retransmit attempts per original mirror (0 disables retransmission).
+  unsigned max_retransmits = 1;
+
+  /// Token bucket governing the aggregate retransmit rate, so a dead card
+  /// cannot double the PCB channel load with futile repeats.
+  double retransmit_rate_hz = 200e3;
+  double retransmit_burst_tokens = 32;
+};
+
+/// Host-side observation hooks driven by the replay loop as simulated time
+/// advances. Fault injectors (src/faults) implement this to arm and clear
+/// their fault windows against the running system.
+struct RunHooks {
+  virtual ~RunHooks() = default;
+  /// Called with each packet's timestamp before the packet is processed
+  /// (monotonically non-decreasing).
+  virtual void at_time(sim::SimTime now) { (void)now; }
+};
+
+/// A named time slice of a replay for phase-by-phase accounting
+/// ([start, end) in simulated time; slices must be sorted and disjoint).
+struct RunPhase {
+  std::string name;
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+};
+
+/// Per-phase accounting of forwarding verdicts (the in-outage / recovery
+/// accuracy numbers of the degradation bench).
+struct PhaseReport {
+  std::string name;
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  telemetry::ConfusionMatrix packet_confusion;  ///< Forwarding class vs truth.
+  std::uint64_t packets = 0;
+  std::uint64_t dnn_verdicts = 0;   ///< Forwarded on a cached DNN verdict.
+  std::uint64_t tree_verdicts = 0;  ///< Forwarded on the compiled tree.
+  std::uint64_t unclassified = 0;   ///< No verdict source had an answer.
+
+  PhaseReport(std::string name_, sim::SimTime start_, sim::SimTime end_,
+              std::size_t num_classes)
+      : name(std::move(name_)), start(start_), end(end_),
+        packet_confusion(num_classes) {}
+};
+
+/// Aggregate measurements of one trace replay.
+struct RunReport {
+  telemetry::ConfusionMatrix packet_confusion;    ///< Forwarding class vs truth.
+  telemetry::ConfusionMatrix inference_confusion; ///< DNN verdicts vs truth.
+  telemetry::ConfusionMatrix flow_confusion;      ///< Final per-flow verdict vs truth
+                                                  ///< (flows never inferred = miss).
+  telemetry::LatencyRecorder internal_tx;  ///< Mirror deparser -> FPGA ingress.
+  telemetry::LatencyRecorder queueing;     ///< FPGA ingress -> array start.
+  telemetry::LatencyRecorder inference;    ///< Array compute (+ CDC crossings).
+  telemetry::LatencyRecorder return_tx;    ///< FPGA egress -> switch.
+  telemetry::LatencyRecorder end_to_end;   ///< Mirror emit -> verdict installed.
+
+  std::uint64_t packets = 0;
+  std::uint64_t mirrors = 0;
+  std::uint64_t fifo_drops = 0;
+  std::uint64_t channel_losses = 0;  ///< Mirrors or results lost in flight.
+  std::uint64_t results_applied = 0;
+  std::uint64_t results_stale = 0;
+  sim::SimDuration trace_duration = 0;
+
+  // Failure / recovery accounting (DESIGN.md § Failure semantics).
+  std::uint64_t deadline_misses = 0;         ///< Mirrors with no verdict by deadline.
+  std::uint64_t retransmits = 0;             ///< Feature vectors re-sent.
+  std::uint64_t retransmits_suppressed = 0;  ///< Wanted to re-send, bucket empty.
+  std::uint64_t retransmits_exhausted = 0;   ///< Retry budget spent, verdict lost.
+  std::uint64_t fallback_verdicts = 0;       ///< Tree verdicts served while degraded.
+  std::uint64_t mirrors_suppressed = 0;      ///< Grants thinned while degraded.
+  HealthWatchdogStats watchdog;              ///< Final watchdog state counters.
+
+  std::vector<PhaseReport> phases;  ///< Populated when run() was given phases.
+
+  explicit RunReport(std::size_t num_classes)
+      : packet_confusion(num_classes), inference_confusion(num_classes),
+        flow_confusion(num_classes) {}
+};
+
+/// A verdict that resolves to a class only after the replay finishes. The
+/// eager serial stage's symbols already are class values; the batched stage's
+/// symbols are InferenceBatcher tickets. kNoVerdict marks "never inferred".
+using VerdictSymbol = std::int64_t;
+inline constexpr VerdictSymbol kNoVerdict = -1;
+
+/// The inference stage of the replay: one mirror in, one timed result out.
+/// Implementations must be timing-identical — the admission decision, FIFO
+/// occupancy, and result timestamps must not depend on which stage runs —
+/// so the serial and batched replays stay bit-identical.
+class InferenceStage {
+ public:
+  virtual ~InferenceStage() = default;
+
+  /// Submits one feature vector arriving at the Model Engine at `arrival`.
+  /// On admission, returns the timed result (predicted class may be a
+  /// placeholder) and sets `symbol` to the verdict symbol accounting should
+  /// carry. nullopt = input FIFO drop.
+  virtual std::optional<net::InferenceResult> submit(
+      const net::FeatureVector& vec, sim::SimTime arrival,
+      VerdictSymbol& symbol) = 0;
+
+  /// Resolves a symbol to its predicted class. Only valid after the replay's
+  /// compute has finished (for batched stages, after InferenceBatcher::finish).
+  virtual std::int16_t resolve(VerdictSymbol symbol) const = 0;
+};
+
+/// Where delivered results land: the serial replay applies them to the Data
+/// Engine's Flow Info Table; the sharded replay applies them to the
+/// coordinator's replica of the verdict registers.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// One result crossing back into the switch at result.delivered_at.
+  /// Implementations feed the watchdog heartbeat and the apply/stale split.
+  virtual void apply(const net::InferenceResult& result, VerdictSymbol symbol) = 0;
+
+  virtual std::uint64_t results_applied() const = 0;
+  virtual std::uint64_t results_stale() const = 0;
+};
+
+/// Eager per-mirror inference (ModelEngine::submit): the symbol is the
+/// predicted class itself. The pipes=1 stage.
+class EngineInferenceStage final : public InferenceStage {
+ public:
+  explicit EngineInferenceStage(ModelEngine& engine) : engine_(engine) {}
+
+  std::optional<net::InferenceResult> submit(const net::FeatureVector& vec,
+                                             sim::SimTime arrival,
+                                             VerdictSymbol& symbol) override;
+  std::int16_t resolve(VerdictSymbol symbol) const override;
+
+ private:
+  ModelEngine& engine_;
+};
+
+/// Deferred batched inference (ModelEngine::submit_timed + InferenceBatcher):
+/// the symbol is a batch ticket, resolved after finish().
+class BatchedInferenceStage final : public InferenceStage {
+ public:
+  BatchedInferenceStage(ModelEngine& engine, InferenceBatcher& batcher)
+      : engine_(engine), batcher_(batcher) {}
+
+  std::optional<net::InferenceResult> submit(const net::FeatureVector& vec,
+                                             sim::SimTime arrival,
+                                             VerdictSymbol& symbol) override;
+  std::int16_t resolve(VerdictSymbol symbol) const override;
+
+ private:
+  ModelEngine& engine_;
+  InferenceBatcher& batcher_;
+};
+
+/// Serial result sink: verdicts land in the Data Engine's Flow Info Table
+/// (DataEngine::deliver_result owns the watchdog heartbeat + staleness check).
+class DataEngineResultSink final : public ResultSink {
+ public:
+  explicit DataEngineResultSink(DataEngine& engine) : engine_(engine) {}
+
+  void apply(const net::InferenceResult& result, VerdictSymbol symbol) override;
+  std::uint64_t results_applied() const override;
+  std::uint64_t results_stale() const override;
+
+ private:
+  DataEngine& engine_;
+};
+
+/// Timing/recovery knobs of a ReplayCore, copied out of the owning system.
+struct ReplayCoreConfig {
+  RecoveryConfig recovery;
+  sim::SimDuration transit_latency = 0;  ///< Packet ingress -> mirror deparsed.
+  sim::SimDuration pass_latency = 0;     ///< Result ingress -> verdict installed.
+};
+
+/// The per-packet stage driver. A replay loop constructs one ReplayCore per
+/// run and calls, for every packet in trace order:
+///
+///   begin_packet(ts)                  // fault hooks + event pump
+///   ... driver-specific flow tracking / admission ...
+///   account_packet(ts, truth, ...)    // confusion + phase accounting
+///   emit_mirror(vec, ts)              // granted mirrors only
+///
+/// then `drain(trace_end)`, any driver-specific compute barrier (thread-pool
+/// wait, batcher finish), and `resolve()` to materialize symbolic verdicts
+/// into the final RunReport.
+class ReplayCore {
+ public:
+  ReplayCore(const net::Trace& trace, std::size_t num_classes,
+             const std::vector<RunPhase>& phases, const ReplayCoreConfig& config,
+             sim::Channel& to_fpga, sim::Channel& from_fpga,
+             HealthWatchdog& watchdog, InferenceStage& inference,
+             ResultSink& sink, RunHooks* hooks);
+
+  /// Advances simulated time to `now`: drives fault hooks, then drains every
+  /// result delivery and deadline miss due by `now` in simulated-time order.
+  void begin_packet(sim::SimTime now);
+
+  /// Books one forwarded packet: phase advance, forwarding confusion (either
+  /// immediate for tree/unclassified verdicts or deferred for symbolic engine
+  /// verdicts), and the per-phase verdict-source tallies.
+  void account_packet(sim::SimTime now, net::ClassLabel truth,
+                      std::int16_t forward_class, bool from_engine,
+                      VerdictSymbol engine_symbol, bool from_tree);
+
+  /// Ships one granted mirror: deparser transit, PCB channel, inference
+  /// stage, return channel, deadline scheduling.
+  void emit_mirror(const net::FeatureVector& vec, sim::SimTime packet_ts);
+
+  /// End of trace: drains the remaining events (late verdicts still count;
+  /// final misses reach the watchdog) and closes the watchdog accounting.
+  void drain(sim::SimTime trace_end);
+
+  /// Resolves every deferred symbolic verdict into the confusion matrices and
+  /// copies the sink/watchdog counters into the report. Call after the
+  /// driver's compute barrier (InferenceBatcher::finish for batched stages).
+  void resolve();
+
+  /// Driver-adjustable report (e.g. degraded-mode fallback_verdicts /
+  /// mirrors_suppressed, which belong to the admission stage the driver owns).
+  RunReport& report() { return report_; }
+  RunReport take_report() { return std::move(report_); }
+
+ private:
+  struct PendingResult {
+    sim::SimTime delivered_at;
+    net::InferenceResult result;
+    sim::SimTime mirror_emitted;
+    sim::SimTime fpga_arrival;
+    VerdictSymbol symbol = kNoVerdict;
+
+    bool operator>(const PendingResult& other) const {
+      return delivered_at > other.delivered_at;
+    }
+  };
+
+  /// A mirror whose verdict will not be back by its deadline: fires the
+  /// watchdog and (retry budget + token bucket permitting) a retransmit.
+  /// `seq` makes heap ordering total, so identical runs pop identical orders.
+  struct MissEvent {
+    sim::SimTime at;
+    std::uint64_t seq;
+    net::FeatureVector vec;
+    unsigned retries_left;
+
+    bool operator>(const MissEvent& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  /// Deterministic (non-probabilistic) token bucket bounding the aggregate
+  /// retransmit rate. Held in time units like the Rate Limiter's bucket;
+  /// starts full so the first loss burst can be repaired immediately.
+  class RetransmitBucket {
+   public:
+    RetransmitBucket(double rate_hz, double burst_tokens);
+    bool try_take(sim::SimTime now);
+
+   private:
+    sim::SimDuration cost_ps_ = 1;
+    sim::SimDuration cap_ps_ = 1;
+    sim::SimDuration level_ps_ = 0;
+    sim::SimTime t_last_ = 0;
+    bool first_ = true;
+  };
+
+  /// Engine verdicts carried symbolically until resolve().
+  struct DeferredForward {
+    net::ClassLabel label;
+    std::int32_t phase;  ///< -1 when outside every phase slice.
+    VerdictSymbol symbol;
+  };
+  struct DeferredInference {
+    net::ClassLabel label;
+    VerdictSymbol symbol;
+  };
+
+  void send_vector(const net::FeatureVector& vec, sim::SimTime emitted,
+                   unsigned retries_left);
+  void deliver_one();
+  void miss_one();
+  void pump(sim::SimTime now, bool everything);
+
+  ReplayCoreConfig config_;
+  sim::Channel& to_fpga_;
+  sim::Channel& from_fpga_;
+  HealthWatchdog& watchdog_;
+  InferenceStage& inference_;
+  ResultSink& sink_;
+  RunHooks* hooks_;
+
+  RunReport report_;
+  std::size_t phase_idx_ = 0;
+
+  std::priority_queue<PendingResult, std::vector<PendingResult>, std::greater<>>
+      pending_;
+  std::priority_queue<MissEvent, std::vector<MissEvent>, std::greater<>> misses_;
+  std::uint64_t miss_seq_ = 0;
+  RetransmitBucket rtx_bucket_;
+
+  /// Flow-id -> truth label for inference accuracy accounting, plus the last
+  /// verdict symbol each flow received (flow-level macro-F1, Figure 10).
+  std::vector<net::ClassLabel> flow_labels_;
+  std::vector<VerdictSymbol> flow_verdict_symbol_;
+
+  std::vector<DeferredForward> deferred_forward_;
+  std::vector<DeferredInference> deferred_inference_;
+};
+
+/// Human-readable description of the first field where two run reports
+/// differ — "field[indices]: <a-value> vs <b-value>" — walking every counter,
+/// confusion cell, latency-recorder statistic (count / mean / min / max /
+/// percentile grid), watchdog stat, and per-phase field in a fixed order.
+/// nullopt when the reports are bit-identical. The sharded-replay tests and
+/// the bench gate print this when the bit-identity contract breaks, so the
+/// failure names the first divergent quantity instead of a bare bool.
+std::optional<std::string> first_divergence(const RunReport& a,
+                                            const RunReport& b);
+
+/// Structural equality of two run reports: every counter, every confusion
+/// cell, the latency recorders (count / sum via mean / min / max / percentile
+/// grid), watchdog stats, and per-phase accounting. The sharded-replay tests
+/// and benches use this to assert the parallel path is bit-identical to the
+/// serial one. Equivalent to !first_divergence(a, b).
+bool run_reports_equal(const RunReport& a, const RunReport& b);
+
+}  // namespace fenix::core

@@ -1,0 +1,61 @@
+#include "core/verdict_backend.hpp"
+
+namespace fenix::core {
+
+std::vector<std::int16_t> classify_flow_packets(
+    VerdictBackend& backend, const trafficgen::FlowSample& flow) {
+  backend.begin_flow();
+  std::vector<std::int16_t> verdicts(flow.features.size(), -1);
+  for (std::size_t i = 0; i < flow.features.size(); ++i) {
+    verdicts[i] = backend.on_packet(flow.features[i]);
+  }
+  return verdicts;
+}
+
+std::int16_t majority_verdict(std::span<const std::int16_t> verdicts,
+                              std::size_t num_classes) {
+  std::vector<std::size_t> votes(num_classes, 0);
+  for (const std::int16_t v : verdicts) {
+    if (v >= 0 && static_cast<std::size_t>(v) < num_classes) {
+      ++votes[static_cast<std::size_t>(v)];
+    }
+  }
+  std::int16_t best = -1;
+  std::size_t best_votes = 0;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    if (votes[c] > best_votes) {
+      best_votes = votes[c];
+      best = static_cast<std::int16_t>(c);
+    }
+  }
+  return best;
+}
+
+telemetry::ConfusionMatrix evaluate_packet_level(
+    VerdictBackend& backend, const std::vector<trafficgen::FlowSample>& flows,
+    std::size_t num_classes) {
+  telemetry::ConfusionMatrix cm(num_classes);
+  for (const trafficgen::FlowSample& flow : flows) {
+    for (const std::int16_t v : classify_flow_packets(backend, flow)) {
+      cm.add(flow.label, v);
+    }
+  }
+  return cm;
+}
+
+telemetry::ConfusionMatrix evaluate_flow_level(
+    VerdictBackend& backend, const std::vector<trafficgen::FlowSample>& flows,
+    std::size_t num_classes) {
+  telemetry::ConfusionMatrix cm(num_classes);
+  for (const trafficgen::FlowSample& flow : flows) {
+    const auto verdicts = classify_flow_packets(backend, flow);
+    std::int16_t verdict = backend.flow_verdict();
+    if (verdict == VerdictBackend::kMajorityVote) {
+      verdict = majority_verdict(verdicts, num_classes);
+    }
+    cm.add(flow.label, verdict);
+  }
+  return cm;
+}
+
+}  // namespace fenix::core

@@ -1,0 +1,115 @@
+// Pluggable streaming verdict backends over replayed flows.
+//
+// FENIX's accuracy evaluation (Table 2) compares nine schemes, and the five
+// baselines (BoS, FlowLens, Leo, N3IC, NetBeacon) each used to carry their
+// own ad-hoc per-flow trace loop. Baselines only compare fairly when they
+// share the replay harness, so this file defines the one interface they all
+// implement — a streaming per-flow classifier fed one packet at a time, the
+// way the data plane sees a flow — plus the single harness loop and the
+// packet-/flow-level evaluation drivers that `fenix_replay baselines` and
+// the accuracy benches run every scheme through.
+//
+// The FENIX models themselves plug in as QuantizedModelBackend (the Model
+// Engine's sliding-window view of a flow), so "our scheme" and "their
+// scheme" literally execute the same loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/feature.hpp"
+#include "nn/featurizer.hpp"
+#include "nn/quantize.hpp"
+#include "telemetry/metrics.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+namespace fenix::core {
+
+/// A streaming per-flow classifier: the harness calls begin_flow(), then
+/// on_packet() for every packet of the flow in capture order. Implementations
+/// keep whatever per-flow state their data plane would (rings, registers,
+/// histograms) and return the verdict the data plane would attach to each
+/// packet (-1 = no verdict yet).
+class VerdictBackend {
+ public:
+  /// flow_verdict() sentinel: "take the majority vote of my per-packet
+  /// verdicts" (the paper's F-* metric for per-packet schemes).
+  static constexpr std::int16_t kMajorityVote = -2;
+
+  virtual ~VerdictBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Resets per-flow state; the next on_packet() starts a new flow.
+  virtual void begin_flow() = 0;
+
+  /// One packet of the current flow, in order. Returns this packet's verdict.
+  virtual std::int16_t on_packet(const net::PacketFeature& feature) = 0;
+
+  /// Flow-level verdict once the whole flow has streamed through. Flow-level
+  /// schemes (FlowLens' marker classification) override this; per-packet
+  /// schemes keep the default, and the harness majority-votes their
+  /// per-packet verdicts.
+  virtual std::int16_t flow_verdict() { return kMajorityVote; }
+};
+
+/// THE per-flow replay loop: begin_flow(), then every packet in capture
+/// order. Returns one verdict per packet. Every scheme — FENIX's quantized
+/// models and all five baselines — goes through this exact loop.
+std::vector<std::int16_t> classify_flow_packets(VerdictBackend& backend,
+                                                const trafficgen::FlowSample& flow);
+
+/// Majority vote over per-packet verdicts (ties break to the lowest class;
+/// all-abstain votes -1). The flow-level metric for per-packet schemes.
+std::int16_t majority_verdict(std::span<const std::int16_t> verdicts,
+                              std::size_t num_classes);
+
+/// Packet-level confusion over the test flows: every packet's verdict vs the
+/// flow's ground truth (the paper's P-* rows).
+telemetry::ConfusionMatrix evaluate_packet_level(
+    VerdictBackend& backend, const std::vector<trafficgen::FlowSample>& flows,
+    std::size_t num_classes);
+
+/// Flow-level confusion over the test flows: one verdict per flow, either
+/// the backend's own flow_verdict() or the majority vote of its per-packet
+/// verdicts (the paper's F-* rows).
+telemetry::ConfusionMatrix evaluate_flow_level(
+    VerdictBackend& backend, const std::vector<trafficgen::FlowSample>& flows,
+    std::size_t num_classes);
+
+/// The FENIX Model Engine's view of a flow as a streaming backend: a sliding
+/// window of the last `seq_len` packet features, tokenized and classified by
+/// a quantized model on every packet.
+template <typename QModel>
+class QuantizedModelBackend final : public VerdictBackend {
+ public:
+  QuantizedModelBackend(const QModel& model, std::size_t seq_len,
+                        std::string name)
+      : model_(model), seq_len_(seq_len), name_(std::move(name)) {
+    window_.reserve(seq_len_);
+  }
+
+  std::string name() const override { return name_; }
+
+  void begin_flow() override { window_.clear(); }
+
+  std::int16_t on_packet(const net::PacketFeature& feature) override {
+    if (window_.size() == seq_len_) window_.erase(window_.begin());
+    window_.push_back(feature);
+    nn::tokenize_into(std::span<const net::PacketFeature>(window_), seq_len_,
+                      tokens_);
+    return model_.predict(tokens_, scratch_);
+  }
+
+ private:
+  const QModel& model_;
+  std::size_t seq_len_;
+  std::string name_;
+  std::vector<net::PacketFeature> window_;
+  std::vector<nn::Token> tokens_;
+  nn::Scratch scratch_;
+};
+
+}  // namespace fenix::core

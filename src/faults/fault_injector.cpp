@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/fenix_system.hpp"
+
 namespace fenix::faults {
 namespace {
 

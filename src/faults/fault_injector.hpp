@@ -1,7 +1,8 @@
 // Arms a FaultSchedule against a live FenixSystem during a replay.
 //
-// The injector implements core::RunHooks: FenixSystem::run() reports every
-// packet timestamp, and the injector fires schedule windows in chronological
+// The injector implements core::RunHooks (core/replay_core.hpp): the shared
+// ReplayCore driving run() and run_pipelined() reports every packet
+// timestamp, and the injector fires schedule windows in chronological
 // order — FPGA stalls/resets through the fpgasim::Device fault hooks, channel
 // brownouts by retuning the PCB channels (saving and restoring the healthy
 // line rate and loss), and FIFO shrinks through the Model Engine. Everything
@@ -12,8 +13,12 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/fenix_system.hpp"
+#include "core/replay_core.hpp"
 #include "faults/fault_schedule.hpp"
+
+namespace fenix::core {
+class FenixSystem;
+}
 
 namespace fenix::faults {
 

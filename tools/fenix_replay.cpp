@@ -5,6 +5,10 @@
 //   info  <trace>                                 print trace statistics
 //   train <dataset> <flows> <out.model> [cnn|rnn] train + save a float model
 //   run   <trace> <model> [options]               replay through FENIX
+//   baselines <dataset> <flows> [seed]            train the five baseline
+//                                                 schemes and evaluate them
+//                                                 through the shared
+//                                                 VerdictBackend harness
 //
 // Run options:
 //   --pcb-loss <rate>        frame loss rate on both PCB channels
@@ -22,7 +26,13 @@
 #include <iostream>
 #include <string>
 
+#include "baselines/bos.hpp"
+#include "baselines/flowlens.hpp"
+#include "baselines/leo.hpp"
+#include "baselines/n3ic.hpp"
+#include "baselines/netbeacon.hpp"
 #include "core/fenix_system.hpp"
+#include "core/verdict_backend.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/fault_schedule.hpp"
 #include "net/trace_io.hpp"
@@ -45,7 +55,8 @@ int usage() {
          "  fenix_replay train <vpn|tfc> <flows> <out.model> [cnn|rnn] [seed]\n"
          "  fenix_replay run   <trace> <model> [pcb_loss_rate]\n"
          "                     [--pcb-loss <rate>] [--fault-schedule <file>]\n"
-         "                     [--fallback-tree] [--pipes <N>] [--batch <N>]\n";
+         "                     [--fallback-tree] [--pipes <N>] [--batch <N>]\n"
+         "  fenix_replay baselines <vpn|tfc> <flows> [seed]\n";
   return 2;
 }
 
@@ -267,6 +278,54 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+int cmd_baselines(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const auto profile = profile_by_name(argv[0]);
+  trafficgen::SynthesisConfig synth;
+  synth.total_flows = static_cast<std::size_t>(std::atol(argv[1]));
+  synth.min_flows_per_class = 20;
+  if (argc > 2) synth.seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+  auto flows = trafficgen::synthesize_flows(profile, synth);
+  const std::size_t k = profile.num_classes();
+
+  // 80/20 train/test split in synthesis order (synthesize_flows interleaves
+  // classes, so both splits cover every class).
+  const std::size_t train_n = flows.size() * 4 / 5;
+  std::vector<trafficgen::FlowSample> train(flows.begin(),
+                                            flows.begin() + train_n);
+  std::vector<trafficgen::FlowSample> test(flows.begin() + train_n, flows.end());
+  std::cout << "dataset " << profile.name << ": " << train.size()
+            << " train / " << test.size() << " test flows, " << k
+            << " classes\n";
+
+  baselines::FlowLens flowlens;
+  baselines::NetBeacon netbeacon;
+  baselines::Leo leo;
+  baselines::Bos bos;
+  baselines::N3ic n3ic;
+  flowlens.train(train, k);
+  netbeacon.train(train, k);
+  leo.train(train, k);
+  bos.train(train, k);
+  n3ic.train(train, k);
+
+  // All five schemes stream through the same core::VerdictBackend harness
+  // the accuracy benches use — one loop, five plug-ins.
+  std::unique_ptr<core::VerdictBackend> backends[] = {
+      flowlens.backend(), netbeacon.backend(), leo.backend(), bos.backend(),
+      n3ic.backend()};
+  telemetry::TextTable table({"Scheme", "Flow macro-F1", "Packet accuracy"});
+  for (auto& backend : backends) {
+    const auto flow_cm = core::evaluate_flow_level(*backend, test, k);
+    const auto packet_cm = core::evaluate_packet_level(*backend, test, k);
+    table.add_row({backend->name(),
+                   telemetry::TextTable::num(flow_cm.macro_f1()),
+                   telemetry::TextTable::num(packet_cm.accuracy())});
+  }
+  std::cout << table.render();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -277,6 +336,7 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(argc - 2, argv + 2);
     if (command == "train") return cmd_train(argc - 2, argv + 2);
     if (command == "run") return cmd_run(argc - 2, argv + 2);
+    if (command == "baselines") return cmd_baselines(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
