@@ -19,7 +19,18 @@ FenixSystem::FenixSystem(const FenixSystemConfig& config, const nn::QuantizedCnn
       to_fpga_(config.pcb_channel_bps, config.pcb_propagation,
                config.pcb_loss_rate, /*loss_seed=*/0x70f6),
       from_fpga_(config.pcb_channel_bps, config.pcb_propagation,
-                 config.pcb_loss_rate, /*loss_seed=*/0x6f07) {}
+                 config.pcb_loss_rate, /*loss_seed=*/0x6f07),
+      link_to_fpga_(to_fpga_, config.link),
+      link_from_fpga_(from_fpga_, config.link) {
+  // An FPGA reboot orphans every in-flight frame: bump both link epochs so
+  // verdicts stamped before the reset are discarded on delivery instead of
+  // installing pre-reboot flow state (appended after the Model Engine's own
+  // queue-flush hook).
+  model_engine_.device().add_reset_hook([this](sim::SimTime at) {
+    link_to_fpga_.resync(at);
+    link_from_fpga_.resync(at);
+  });
+}
 
 // The serial replay is the pipes=1 instantiation of the shared ReplayCore:
 // the Data Engine itself runs the flow-track / admission stages (so its
@@ -34,8 +45,9 @@ RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes,
   core_config.pass_latency = data_engine_.timing().pass_latency();
   EngineInferenceStage inference(model_engine_);
   DataEngineResultSink sink(data_engine_);
-  ReplayCore core(trace, num_classes, phases, core_config, to_fpga_, from_fpga_,
-                  data_engine_.watchdog(), inference, sink, hooks);
+  ReplayCore core(trace, num_classes, phases, core_config, link_to_fpga_,
+                  link_from_fpga_, data_engine_.watchdog(), inference, sink,
+                  hooks);
 
   for (const net::PacketRecord& packet : trace.packets) {
     core.begin_packet(packet.timestamp);
@@ -68,10 +80,31 @@ telemetry::MetricRegistry FenixSystem::health_metrics(const RunReport& report) c
   reg.set_counter("channel_losses", report.channel_losses);
   reg.set_counter("to_fpga_losses", to_fpga_.stats().losses);
   reg.set_counter("from_fpga_losses", from_fpga_.stats().losses);
+  reg.set_counter("to_fpga_corruptions", to_fpga_.stats().corruptions);
+  reg.set_counter("from_fpga_corruptions", from_fpga_.stats().corruptions);
+  reg.set_counter("to_fpga_duplicates", to_fpga_.stats().duplicates);
+  reg.set_counter("from_fpga_duplicates", from_fpga_.stats().duplicates);
+  reg.set_counter("to_fpga_reorders", to_fpga_.stats().reorders);
+  reg.set_counter("from_fpga_reorders", from_fpga_.stats().reorders);
+  // Reliable-framing health (this run's deltas, both directions aggregated).
+  reg.set_counter("stale_epoch_drops", report.stale_epoch_drops);
+  reg.set_counter("link_retransmits", report.link_retransmits);
+  reg.set_counter("link_nacks", report.link_nacks);
+  reg.set_counter("link_corrupt_drops", report.link_corrupt_drops);
+  reg.set_counter("link_dup_suppressed", report.link_dup_suppressed);
+  reg.set_counter("link_reorder_held", report.link_reorder_held);
+  reg.set_counter("link_window_drops", report.link_window_drops);
+  reg.set_counter("link_pacer_drops", report.link_pacer_drops);
+  reg.set_counter("link_resyncs", report.link_resyncs);
   const ModelEngineStats& engine = model_engine_.stats();
   reg.set_counter("engine_input_drops", engine.input_drops);
   reg.set_counter("reconfig_drops", engine.reconfig_drops);
   reg.set_counter("stall_drops", engine.stall_drops);
+  // Model Engine Flow Identifier Queue pressure (sim::FifoStats), next to the
+  // watchdog counters so brownout benches see queue saturation directly.
+  const sim::FifoStats& fifo = model_engine_.vector_io().queue_stats();
+  reg.set_counter("engine_fifo_drops", fifo.drops);
+  reg.set_counter("engine_fifo_peak", fifo.peak_occupancy);
   const fpgasim::DeviceFaultStats& device = model_engine_.device().fault_stats();
   reg.set_counter("device_stalls", device.stalls);
   reg.set_counter("device_resets", device.resets);

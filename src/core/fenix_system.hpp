@@ -42,6 +42,11 @@ struct FenixSystemConfig {
   /// faults drop CRC-failing frames). 0 = healthy board.
   double pcb_loss_rate = 0.0;
 
+  /// Reliable framing over the PCB channels (net/reliable_link.hpp): reorder
+  /// window, NACK-paced frame retransmits, epoch resync after FPGA reboot.
+  /// The default (max_retransmits = 0) degenerates to the bare lossy channel.
+  net::ReliableLink::Config link;
+
   /// Deadline / retransmit / watchdog recovery behaviour
   /// (core/replay_core.hpp, threaded into the shared ReplayCore).
   RecoveryConfig recovery;
@@ -92,9 +97,11 @@ class FenixSystem {
   ModelEngine& model_engine() { return model_engine_; }
   const sim::Channel& to_fpga() const { return to_fpga_; }
   const sim::Channel& from_fpga() const { return from_fpga_; }
+  const net::ReliableLink& link_to_fpga() const { return link_to_fpga_; }
+  const net::ReliableLink& link_from_fpga() const { return link_from_fpga_; }
 
   /// Mutable channel access for fault injection (brownouts retune the line
-  /// rate and loss of the live links).
+  /// rate, loss, and chaos rates of the live links).
   sim::Channel& to_fpga_mut() { return to_fpga_; }
   sim::Channel& from_fpga_mut() { return from_fpga_; }
 
@@ -107,6 +114,8 @@ class FenixSystem {
   DataEngine data_engine_;
   sim::Channel to_fpga_;
   sim::Channel from_fpga_;
+  net::ReliableLink link_to_fpga_;    ///< Reliable framing over to_fpga_.
+  net::ReliableLink link_from_fpga_;  ///< Reliable framing over from_fpga_.
 };
 
 }  // namespace fenix::core

@@ -1,0 +1,78 @@
+// Conservation invariants over a replay's RunReport + link statistics.
+//
+// The chaos harness (tools/fenix_chaos) replays randomized fault schedules
+// and checks every run against this registry: each invariant is a named
+// predicate over the final RunReport, the per-direction ReliableLinkStats,
+// and the trace's ground truth. A healthy system satisfies all of them at
+// every fault mix — a violation means frames were double-counted, silently
+// dropped, resurrected across an epoch, or released out of order, and the
+// violating seed reproduces the failure exactly.
+//
+// The built-in set (standard()) encodes the accounting laws provable from
+// the replay engine's structure:
+//   packet-conservation     every trace packet is booked exactly once
+//   frame-conservation      per link: offered = delivered + drops by reason
+//   mirror-frames           forward-link frames = mirrors + retransmits
+//   return-frames           return-link frames = forward deliveries - FIFO drops
+//   verdict-conservation    return deliveries = applied + stale + epoch drops
+//   flow-accounting         every trace flow gets exactly one final verdict row
+//   reorder-window-bound    peak window occupancy <= configured window
+//   retransmit-budget       link and replay retransmits within their budgets
+//   monotone-release        in-order release times never run backwards
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/replay_core.hpp"
+#include "net/reliable_link.hpp"
+
+namespace fenix::core {
+
+/// Everything an invariant may inspect about one finished replay.
+struct InvariantContext {
+  const RunReport& report;
+  std::uint64_t trace_packets = 0;  ///< Packets in the replayed trace.
+  /// Flows in the trace with an in-range ground-truth label (the confusion
+  /// matrices skip unlabeled truths, so only labeled flows produce rows).
+  std::uint64_t trace_flows = 0;
+  const net::ReliableLinkStats* to_link = nullptr;    ///< This run's deltas.
+  const net::ReliableLinkStats* from_link = nullptr;  ///< This run's deltas.
+  std::size_t reorder_window = 0;       ///< Link config bound.
+  unsigned link_max_retransmits = 0;    ///< Per-frame NACK repair budget.
+  unsigned replay_max_retransmits = 0;  ///< Per-mirror deadline repair budget.
+};
+
+struct InvariantViolation {
+  std::string name;    ///< Which invariant failed.
+  std::string detail;  ///< The numbers that broke it.
+};
+
+/// A named set of invariant checks. Each check appends any violations it
+/// finds; check() runs them all and returns every violation, in registration
+/// order, so a broken run reports the full blast radius at once.
+class InvariantRegistry {
+ public:
+  using Check = std::function<void(const InvariantContext&,
+                                   std::vector<InvariantViolation>&)>;
+
+  void add(std::string name, Check check);
+
+  std::vector<InvariantViolation> check(const InvariantContext& ctx) const;
+
+  std::size_t size() const { return checks_.size(); }
+
+  /// The built-in conservation set described in the file header.
+  static InvariantRegistry standard();
+
+ private:
+  struct Named {
+    std::string name;
+    Check check;
+  };
+  std::vector<Named> checks_;
+};
+
+}  // namespace fenix::core

@@ -342,8 +342,8 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
   core_config.pass_latency = data_engine_.timing().pass_latency();
   BatchedInferenceStage inference(model_engine_, batcher);
   CoordinatorResultSink sink(watchdog, coord_hash, cls_symbol, index_bits);
-  ReplayCore core(trace, num_classes, phases, core_config, to_fpga_, from_fpga_,
-                  watchdog, inference, sink, hooks);
+  ReplayCore core(trace, num_classes, phases, core_config, link_to_fpga_,
+                  link_from_fpga_, watchdog, inference, sink, hooks);
   RunReport& report = core.report();
 
   net::FeatureVector mirror_buf;  // reused grant-assembly buffer

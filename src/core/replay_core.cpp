@@ -51,33 +51,10 @@ std::uint64_t DataEngineResultSink::results_stale() const {
 // ---------------------------------------------------------------------------
 // ReplayCore.
 
-ReplayCore::RetransmitBucket::RetransmitBucket(double rate_hz,
-                                               double burst_tokens) {
-  const double cost = rate_hz > 0.0
-                          ? static_cast<double>(sim::kSecond) / rate_hz
-                          : static_cast<double>(sim::kSecond);
-  cost_ps_ = std::max<sim::SimDuration>(1, static_cast<sim::SimDuration>(cost));
-  cap_ps_ = static_cast<sim::SimDuration>(static_cast<double>(cost_ps_) *
-                                          std::max(1.0, burst_tokens));
-  level_ps_ = cap_ps_;
-}
-
-bool ReplayCore::RetransmitBucket::try_take(sim::SimTime now) {
-  if (first_) {
-    first_ = false;
-  } else if (now > t_last_) {
-    level_ps_ = std::min(cap_ps_, level_ps_ + (now - t_last_));
-  }
-  t_last_ = now;
-  if (level_ps_ < cost_ps_) return false;
-  level_ps_ -= cost_ps_;
-  return true;
-}
-
 ReplayCore::ReplayCore(const net::Trace& trace, std::size_t num_classes,
                        const std::vector<RunPhase>& phases,
-                       const ReplayCoreConfig& config, sim::Channel& to_fpga,
-                       sim::Channel& from_fpga, HealthWatchdog& watchdog,
+                       const ReplayCoreConfig& config, net::ReliableLink& to_fpga,
+                       net::ReliableLink& from_fpga, HealthWatchdog& watchdog,
                        InferenceStage& inference, ResultSink& sink,
                        RunHooks* hooks)
     : config_(config), to_fpga_(to_fpga), from_fpga_(from_fpga),
@@ -85,6 +62,7 @@ ReplayCore::ReplayCore(const net::Trace& trace, std::size_t num_classes,
       report_(num_classes),
       rtx_bucket_(config.recovery.retransmit_rate_hz,
                   config.recovery.retransmit_burst_tokens),
+      to_fpga_start_(to_fpga.stats()), from_fpga_start_(from_fpga.stats()),
       flow_labels_(trace.flows.size(), net::kUnlabeled),
       flow_verdict_symbol_(trace.flows.size(), kNoVerdict) {
   report_.trace_duration = trace.duration();
@@ -105,50 +83,55 @@ ReplayCore::ReplayCore(const net::Trace& trace, std::size_t num_classes,
 }
 
 // One send attempt (original mirror or retransmit) through the full
-// channel -> Model Engine -> channel path. Any failure to produce a verdict
+// link -> Model Engine -> link path. Any failure to produce a verdict
 // by `emitted + deadline` schedules a MissEvent; the simulator learns the
 // attempt's fate synchronously, but the switch only acts on it when the
-// deadline actually passes.
+// deadline actually passes. The links hide frame-level repair (NACK-paced
+// retransmits of lost/corrupt frames) — a link drop here means the frame
+// is gone for good with a recorded reason.
 void ReplayCore::send_vector(const net::FeatureVector& vec, sim::SimTime emitted,
                              unsigned retries_left) {
   const sim::SimDuration deadline = config_.recovery.result_deadline;
   const auto schedule_miss = [&] {
     misses_.push(MissEvent{emitted + deadline, miss_seq_++, vec, retries_left});
   };
-  const auto fpga_arrival = to_fpga_.transfer_lossy(emitted, vec.wire_bytes());
-  if (!fpga_arrival) {
+  const net::SendOutcome fwd = to_fpga_.send(emitted, vec.wire_bytes());
+  if (!fwd.delivered_at) {
     ++report_.channel_losses;
     schedule_miss();
     return;
   }
-  report_.internal_tx.record(*fpga_arrival - emitted);
+  report_.internal_tx.record(*fwd.delivered_at - emitted);
 
   VerdictSymbol symbol = kNoVerdict;
-  auto result = inference_.submit(vec, *fpga_arrival, symbol);
+  auto result = inference_.submit(vec, *fwd.delivered_at, symbol);
   if (!result) {
     ++report_.fifo_drops;
     schedule_miss();
     return;
   }
-  report_.queueing.record(result->inference_started - *fpga_arrival);
+  report_.queueing.record(result->inference_started - *fwd.delivered_at);
   report_.inference.record(result->inference_finished -
                            result->inference_started);
   // Result packet: five-tuple + verdict, minimal frame.
-  const auto back = from_fpga_.transfer_lossy(result->inference_finished,
-                                              result->wire_bytes());
-  if (!back) {
+  const net::SendOutcome back =
+      from_fpga_.send(result->inference_finished, result->wire_bytes());
+  if (!back.delivered_at) {
     ++report_.channel_losses;
     schedule_miss();
     return;
   }
-  report_.return_tx.record(*back - result->inference_finished);
+  report_.return_tx.record(*back.delivered_at - result->inference_finished);
   PendingResult p;
-  p.delivered_at = *back + config_.pass_latency;
+  p.delivered_at = *back.delivered_at + config_.pass_latency;
   p.result = *result;
   p.result.delivered_at = p.delivered_at;
   p.mirror_emitted = emitted;
-  p.fpga_arrival = *fpga_arrival;
+  p.fpga_arrival = *fwd.delivered_at;
   p.symbol = symbol;
+  p.epoch = back.epoch;
+  p.vec = vec;
+  p.retries_left = retries_left;
   // A verdict landing after its own deadline still gets applied, but the
   // switch has already declared the miss by then.
   if (p.delivered_at > emitted + deadline) schedule_miss();
@@ -158,6 +141,20 @@ void ReplayCore::send_vector(const net::FeatureVector& vec, sim::SimTime emitted
 void ReplayCore::deliver_one() {
   const PendingResult p = pending_.top();
   pending_.pop();
+  if (from_fpga_.stale(p.epoch, p.delivered_at)) {
+    // The FPGA rebooted after this verdict's frame was stamped: the switch
+    // discards it rather than install pre-reboot flow state. If the verdict
+    // was going to beat its deadline, no miss was scheduled at send time —
+    // the switch now never hears back, so the deadline fires (and may
+    // retransmit into the new epoch).
+    ++report_.stale_epoch_drops;
+    const sim::SimTime deadline_at =
+        p.mirror_emitted + config_.recovery.result_deadline;
+    if (p.delivered_at <= deadline_at) {
+      misses_.push(MissEvent{deadline_at, miss_seq_++, p.vec, p.retries_left});
+    }
+    return;
+  }
   sink_.apply(p.result, p.symbol);
   report_.end_to_end.record(p.delivered_at - p.mirror_emitted);
   if (p.result.flow_id < flow_labels_.size()) {
@@ -278,6 +275,36 @@ void ReplayCore::resolve() {
   report_.results_applied = sink_.results_applied();
   report_.results_stale = sink_.results_stale();
   report_.watchdog = watchdog_.stats();
+
+  // Link counters: the links belong to the system and outlive a run, so the
+  // report carries this run's deltas, aggregated over both directions.
+  const net::ReliableLinkStats& ts = to_fpga_.stats();
+  const net::ReliableLinkStats& fs = from_fpga_.stats();
+  const auto delta = [](std::uint64_t end_to, std::uint64_t start_to,
+                        std::uint64_t end_from, std::uint64_t start_from) {
+    return (end_to - start_to) + (end_from - start_from);
+  };
+  report_.link_retransmits = delta(ts.retransmits, to_fpga_start_.retransmits,
+                                   fs.retransmits, from_fpga_start_.retransmits);
+  report_.link_nacks =
+      delta(ts.nacks, to_fpga_start_.nacks, fs.nacks, from_fpga_start_.nacks);
+  report_.link_corrupt_drops =
+      delta(ts.corrupt_drops, to_fpga_start_.corrupt_drops, fs.corrupt_drops,
+            from_fpga_start_.corrupt_drops);
+  report_.link_dup_suppressed =
+      delta(ts.dup_suppressed, to_fpga_start_.dup_suppressed, fs.dup_suppressed,
+            from_fpga_start_.dup_suppressed);
+  report_.link_reorder_held =
+      delta(ts.reorder_held, to_fpga_start_.reorder_held, fs.reorder_held,
+            from_fpga_start_.reorder_held);
+  report_.link_window_drops = delta(
+      ts.window_overflow_drops, to_fpga_start_.window_overflow_drops,
+      fs.window_overflow_drops, from_fpga_start_.window_overflow_drops);
+  report_.link_pacer_drops =
+      delta(ts.drops_pacer, to_fpga_start_.drops_pacer, fs.drops_pacer,
+            from_fpga_start_.drops_pacer);
+  report_.link_resyncs =
+      delta(ts.resyncs, to_fpga_start_.resyncs, fs.resyncs, from_fpga_start_.resyncs);
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +378,30 @@ std::optional<std::string> first_divergence(const RunReport& a,
   if (auto d = diverge("results_stale", a.results_stale, b.results_stale))
     return d;
   if (auto d = diverge("trace_duration", a.trace_duration, b.trace_duration))
+    return d;
+  if (auto d = diverge("stale_epoch_drops", a.stale_epoch_drops,
+                       b.stale_epoch_drops))
+    return d;
+  if (auto d = diverge("link_retransmits", a.link_retransmits,
+                       b.link_retransmits))
+    return d;
+  if (auto d = diverge("link_nacks", a.link_nacks, b.link_nacks)) return d;
+  if (auto d = diverge("link_corrupt_drops", a.link_corrupt_drops,
+                       b.link_corrupt_drops))
+    return d;
+  if (auto d = diverge("link_dup_suppressed", a.link_dup_suppressed,
+                       b.link_dup_suppressed))
+    return d;
+  if (auto d = diverge("link_reorder_held", a.link_reorder_held,
+                       b.link_reorder_held))
+    return d;
+  if (auto d = diverge("link_window_drops", a.link_window_drops,
+                       b.link_window_drops))
+    return d;
+  if (auto d = diverge("link_pacer_drops", a.link_pacer_drops,
+                       b.link_pacer_drops))
+    return d;
+  if (auto d = diverge("link_resyncs", a.link_resyncs, b.link_resyncs))
     return d;
   if (auto d = diverge("deadline_misses", a.deadline_misses, b.deadline_misses))
     return d;

@@ -33,7 +33,8 @@
 #include "core/health_watchdog.hpp"
 #include "net/feature.hpp"
 #include "net/packet.hpp"
-#include "sim/channel.hpp"
+#include "net/reliable_link.hpp"
+#include "sim/pacing_bucket.hpp"
 #include "telemetry/latency.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -111,10 +112,24 @@ struct RunReport {
   std::uint64_t packets = 0;
   std::uint64_t mirrors = 0;
   std::uint64_t fifo_drops = 0;
-  std::uint64_t channel_losses = 0;  ///< Mirrors or results lost in flight.
+  std::uint64_t channel_losses = 0;  ///< Mirrors or results dropped by the link
+                                     ///< (lost / corrupt / pacer / window).
   std::uint64_t results_applied = 0;
   std::uint64_t results_stale = 0;
   sim::SimDuration trace_duration = 0;
+
+  // Reliable-link accounting, aggregated over both directions for this run
+  // (DESIGN.md § Reliable framing). `stale_epoch_drops` counts verdicts
+  // discarded because the FPGA rebooted between frame stamp and delivery.
+  std::uint64_t stale_epoch_drops = 0;
+  std::uint64_t link_retransmits = 0;    ///< NACK-paced frame re-sends.
+  std::uint64_t link_nacks = 0;
+  std::uint64_t link_corrupt_drops = 0;  ///< Arrivals failing the frame checksum.
+  std::uint64_t link_dup_suppressed = 0;
+  std::uint64_t link_reorder_held = 0;
+  std::uint64_t link_window_drops = 0;
+  std::uint64_t link_pacer_drops = 0;
+  std::uint64_t link_resyncs = 0;        ///< Epoch bumps seen this run.
 
   // Failure / recovery accounting (DESIGN.md § Failure semantics).
   std::uint64_t deadline_misses = 0;         ///< Mirrors with no verdict by deadline.
@@ -242,7 +257,7 @@ class ReplayCore {
  public:
   ReplayCore(const net::Trace& trace, std::size_t num_classes,
              const std::vector<RunPhase>& phases, const ReplayCoreConfig& config,
-             sim::Channel& to_fpga, sim::Channel& from_fpga,
+             net::ReliableLink& to_fpga, net::ReliableLink& from_fpga,
              HealthWatchdog& watchdog, InferenceStage& inference,
              ResultSink& sink, RunHooks* hooks);
 
@@ -282,6 +297,12 @@ class ReplayCore {
     sim::SimTime mirror_emitted;
     sim::SimTime fpga_arrival;
     VerdictSymbol symbol = kNoVerdict;
+    /// Return-path frame epoch; a reboot between stamp and delivery makes
+    /// the verdict stale (discarded, and the deadline miss fires instead).
+    std::uint16_t epoch = 0;
+    /// Carried so a stale-epoch discard can still retransmit the mirror.
+    net::FeatureVector vec;
+    unsigned retries_left = 0;
 
     bool operator>(const PendingResult& other) const {
       return delivered_at > other.delivered_at;
@@ -303,22 +324,6 @@ class ReplayCore {
     }
   };
 
-  /// Deterministic (non-probabilistic) token bucket bounding the aggregate
-  /// retransmit rate. Held in time units like the Rate Limiter's bucket;
-  /// starts full so the first loss burst can be repaired immediately.
-  class RetransmitBucket {
-   public:
-    RetransmitBucket(double rate_hz, double burst_tokens);
-    bool try_take(sim::SimTime now);
-
-   private:
-    sim::SimDuration cost_ps_ = 1;
-    sim::SimDuration cap_ps_ = 1;
-    sim::SimDuration level_ps_ = 0;
-    sim::SimTime t_last_ = 0;
-    bool first_ = true;
-  };
-
   /// Engine verdicts carried symbolically until resolve().
   struct DeferredForward {
     net::ClassLabel label;
@@ -337,8 +342,8 @@ class ReplayCore {
   void pump(sim::SimTime now, bool everything);
 
   ReplayCoreConfig config_;
-  sim::Channel& to_fpga_;
-  sim::Channel& from_fpga_;
+  net::ReliableLink& to_fpga_;
+  net::ReliableLink& from_fpga_;
   HealthWatchdog& watchdog_;
   InferenceStage& inference_;
   ResultSink& sink_;
@@ -351,7 +356,14 @@ class ReplayCore {
       pending_;
   std::priority_queue<MissEvent, std::vector<MissEvent>, std::greater<>> misses_;
   std::uint64_t miss_seq_ = 0;
-  RetransmitBucket rtx_bucket_;
+  /// Deadline-driven mirror retransmits (distinct from the links' own
+  /// NACK-paced frame repairs); shared deterministic bucket implementation.
+  sim::PacingBucket rtx_bucket_;
+
+  /// Link counters at construction: the links outlive a single run, so the
+  /// report carries this run's deltas.
+  net::ReliableLinkStats to_fpga_start_;
+  net::ReliableLinkStats from_fpga_start_;
 
   /// Flow-id -> truth label for inference accuracy accounting, plus the last
   /// verdict symbol each flow received (flow-level macro-F1, Figure 10).

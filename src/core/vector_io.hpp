@@ -90,6 +90,10 @@ class VectorIoProcessor {
   std::size_t outstanding() const { return identifiers_.size(); }
   const VectorIoStats& stats() const { return stats_; }
 
+  /// Raw Flow Identifier Queue counters (drops / peak occupancy), exported
+  /// into the health table so brownout benches can see queue pressure.
+  const sim::FifoStats& queue_stats() const { return identifiers_.stats(); }
+
   /// Clears outstanding identifiers (partial reconfiguration abandons the
   /// in-flight work they were waiting for).
   void reset() { identifiers_.clear(); }

@@ -78,6 +78,35 @@ void FaultInjector::arm(const FaultWindow& window) {
       engine.set_input_queue_depth(window.fifo_depth);
       break;
     }
+    case FaultKind::kChannelCorrupt: {
+      sim::Channel& to = system_.to_fpga_mut();
+      sim::Channel& from = system_.from_fpga_mut();
+      effect.saved_to_chaos = to.corrupt_rate();
+      effect.saved_from_chaos = from.corrupt_rate();
+      to.set_corrupt_rate(window.chaos_rate);
+      from.set_corrupt_rate(window.chaos_rate);
+      break;
+    }
+    case FaultKind::kChannelReorder: {
+      sim::Channel& to = system_.to_fpga_mut();
+      sim::Channel& from = system_.from_fpga_mut();
+      effect.saved_to_chaos = to.reorder_rate();
+      effect.saved_from_chaos = from.reorder_rate();
+      effect.saved_to_delay = to.reorder_delay();
+      effect.saved_from_delay = from.reorder_delay();
+      to.set_reorder(window.chaos_rate, window.reorder_delay);
+      from.set_reorder(window.chaos_rate, window.reorder_delay);
+      break;
+    }
+    case FaultKind::kChannelDuplicate: {
+      sim::Channel& to = system_.to_fpga_mut();
+      sim::Channel& from = system_.from_fpga_mut();
+      effect.saved_to_chaos = to.duplicate_rate();
+      effect.saved_from_chaos = from.duplicate_rate();
+      to.set_duplicate_rate(window.chaos_rate);
+      from.set_duplicate_rate(window.chaos_rate);
+      break;
+    }
   }
   active_.push_back(effect);
 }
@@ -100,6 +129,23 @@ void FaultInjector::restore(const ActiveEffect& effect) {
     case FaultKind::kFifoShrink:
       system_.model_engine().set_input_queue_depth(effect.saved_fifo_depth);
       break;
+    case FaultKind::kChannelCorrupt: {
+      system_.to_fpga_mut().set_corrupt_rate(effect.saved_to_chaos);
+      system_.from_fpga_mut().set_corrupt_rate(effect.saved_from_chaos);
+      break;
+    }
+    case FaultKind::kChannelReorder: {
+      system_.to_fpga_mut().set_reorder(effect.saved_to_chaos,
+                                        effect.saved_to_delay);
+      system_.from_fpga_mut().set_reorder(effect.saved_from_chaos,
+                                          effect.saved_from_delay);
+      break;
+    }
+    case FaultKind::kChannelDuplicate: {
+      system_.to_fpga_mut().set_duplicate_rate(effect.saved_to_chaos);
+      system_.from_fpga_mut().set_duplicate_rate(effect.saved_from_chaos);
+      break;
+    }
   }
 }
 

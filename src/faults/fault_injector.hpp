@@ -52,6 +52,11 @@ class FaultInjector : public core::RunHooks {
     double saved_to_loss = 0.0;
     double saved_from_loss = 0.0;
     std::size_t saved_fifo_depth = 0;
+    // Saved chaos rates (corrupt / reorder / duplicate windows).
+    double saved_to_chaos = 0.0;
+    double saved_from_chaos = 0.0;
+    sim::SimDuration saved_to_delay = 0;
+    sim::SimDuration saved_from_delay = 0;
   };
 
   void arm(const FaultWindow& window);

@@ -1,15 +1,23 @@
 #include "faults/fault_schedule.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 
 #include "sim/random.hpp"
 
 namespace fenix::faults {
 namespace {
+
+bool is_chaos_kind(FaultKind kind) {
+  return kind == FaultKind::kChannelCorrupt ||
+         kind == FaultKind::kChannelReorder ||
+         kind == FaultKind::kChannelDuplicate;
+}
 
 void validate(const FaultWindow& w) {
   if (w.end <= w.start) {
@@ -27,6 +35,12 @@ void validate(const FaultWindow& w) {
   if (w.kind == FaultKind::kFifoShrink && w.fifo_depth == 0) {
     throw std::invalid_argument("FaultWindow: fifo_depth must be >= 1");
   }
+  if (is_chaos_kind(w.kind) && !(w.chaos_rate >= 0.0 && w.chaos_rate <= 1.0)) {
+    throw std::invalid_argument("FaultWindow: chaos rate must be in [0, 1]");
+  }
+  if (w.kind == FaultKind::kChannelReorder && w.reorder_delay == 0) {
+    throw std::invalid_argument("FaultWindow: reorder delay must be > 0");
+  }
 }
 
 bool window_less(const FaultWindow& a, const FaultWindow& b) {
@@ -35,15 +49,78 @@ bool window_less(const FaultWindow& a, const FaultWindow& b) {
   return static_cast<int>(a.kind) < static_cast<int>(b.kind);
 }
 
-FaultKind kind_by_name(const std::string& name) {
-  if (name == "fpga_stall") return FaultKind::kFpgaStall;
-  if (name == "fpga_reset") return FaultKind::kFpgaReset;
-  if (name == "brownout") return FaultKind::kChannelBrownout;
-  if (name == "fifo_shrink") return FaultKind::kFifoShrink;
-  throw std::runtime_error("unknown fault kind: " + name);
+double ms_of(sim::SimTime t) { return sim::to_milliseconds(t); }
+
+// ---------------------------------------------------------------------------
+// Text-format parsing. Tokens remember the 1-based column they started at so
+// every rejection can name the offending token, not just the line.
+
+struct Token {
+  std::string text;
+  std::size_t column = 0;  ///< 1-based column of the first character.
+};
+
+std::vector<Token> tokenize(const std::string& line) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == '#') break;  // comment to end of line
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != '#' &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    out.push_back(Token{line.substr(start, i - start), start + 1});
+  }
+  return out;
 }
 
-double ms_of(sim::SimTime t) { return sim::to_milliseconds(t); }
+FaultKind kind_by_name(const Token& tok, std::size_t line_no) {
+  if (tok.text == "fpga_stall") return FaultKind::kFpgaStall;
+  if (tok.text == "fpga_reset") return FaultKind::kFpgaReset;
+  if (tok.text == "brownout") return FaultKind::kChannelBrownout;
+  if (tok.text == "fifo_shrink") return FaultKind::kFifoShrink;
+  if (tok.text == "corrupt") return FaultKind::kChannelCorrupt;
+  if (tok.text == "reorder") return FaultKind::kChannelReorder;
+  if (tok.text == "dup") return FaultKind::kChannelDuplicate;
+  throw ScheduleParseError(line_no, tok.column,
+                           "unknown fault kind '" + tok.text + "'");
+}
+
+/// Strict full-token double parse: trailing garbage ("0.5x"), empty text,
+/// overflow, and non-finite values are all malformed.
+double parse_double(const Token& tok, std::size_t line_no, const char* what) {
+  const char* begin = tok.text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(begin, &end);
+  if (tok.text.empty() || end != begin + tok.text.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    throw ScheduleParseError(line_no, tok.column,
+                             std::string("malformed ") + what + " '" +
+                                 tok.text + "'");
+  }
+  return value;
+}
+
+std::size_t parse_size(const Token& tok, std::size_t line_no, const char* what) {
+  const char* begin = tok.text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long value = std::strtoul(begin, &end, 10);
+  if (tok.text.empty() || tok.text[0] == '-' ||
+      end != begin + tok.text.size() || errno == ERANGE) {
+    throw ScheduleParseError(line_no, tok.column,
+                             std::string("malformed ") + what + " '" +
+                                 tok.text + "'");
+  }
+  return static_cast<std::size_t>(value);
+}
 
 }  // namespace
 
@@ -77,6 +154,9 @@ const char* FaultSchedule::kind_name(FaultKind kind) {
     case FaultKind::kFpgaReset: return "fpga_reset";
     case FaultKind::kChannelBrownout: return "brownout";
     case FaultKind::kFifoShrink: return "fifo_shrink";
+    case FaultKind::kChannelCorrupt: return "corrupt";
+    case FaultKind::kChannelReorder: return "reorder";
+    case FaultKind::kChannelDuplicate: return "dup";
   }
   return "?";
 }
@@ -87,45 +167,57 @@ FaultSchedule FaultSchedule::parse(std::istream& in) {
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream fields(line);
-    std::string kind_word;
-    if (!(fields >> kind_word)) continue;  // blank / comment-only line
+    const std::vector<Token> toks = tokenize(line);
+    if (toks.empty()) continue;  // blank / comment-only line
+
+    FaultWindow w;
+    w.kind = kind_by_name(toks[0], line_no);
+    if (toks.size() < 3) {
+      const Token& last = toks.back();
+      throw ScheduleParseError(line_no, last.column + last.text.size(),
+                               "expected <start_ms> <end_ms>");
+    }
+    const double start_ms = parse_double(toks[1], line_no, "start_ms");
+    const double end_ms = parse_double(toks[2], line_no, "end_ms");
+    if (start_ms < 0.0) {
+      throw ScheduleParseError(line_no, toks[1].column, "times must be >= 0");
+    }
+    if (end_ms < 0.0) {
+      throw ScheduleParseError(line_no, toks[2].column, "times must be >= 0");
+    }
+    w.start = sim::from_seconds(start_ms / 1e3);
+    w.end = sim::from_seconds(end_ms / 1e3);
+
+    for (std::size_t t = 3; t < toks.size(); ++t) {
+      const Token& opt = toks[t];
+      const std::size_t eq = opt.text.find('=');
+      if (eq == std::string::npos) {
+        throw ScheduleParseError(line_no, opt.column,
+                                 "expected key=value, got '" + opt.text + "'");
+      }
+      const std::string key = opt.text.substr(0, eq);
+      const Token value{opt.text.substr(eq + 1), opt.column + eq + 1};
+      if (key == "loss") {
+        w.loss_rate = parse_double(value, line_no, "loss");
+      } else if (key == "rate_scale") {
+        w.rate_scale = parse_double(value, line_no, "rate_scale");
+      } else if (key == "depth") {
+        w.fifo_depth = parse_size(value, line_no, "depth");
+      } else if (key == "rate") {
+        w.chaos_rate = parse_double(value, line_no, "rate");
+      } else if (key == "delay_us") {
+        w.reorder_delay =
+            static_cast<sim::SimDuration>(parse_size(value, line_no, "delay_us")) *
+            sim::kMicrosecond;
+      } else {
+        throw ScheduleParseError(line_no, opt.column,
+                                 "unknown option '" + key + "'");
+      }
+    }
     try {
-      FaultWindow w;
-      w.kind = kind_by_name(kind_word);
-      double start_ms = 0.0, end_ms = 0.0;
-      if (!(fields >> start_ms >> end_ms)) {
-        throw std::runtime_error("expected <start_ms> <end_ms>");
-      }
-      if (start_ms < 0.0 || end_ms < 0.0) {
-        throw std::runtime_error("times must be >= 0");
-      }
-      w.start = sim::from_seconds(start_ms / 1e3);
-      w.end = sim::from_seconds(end_ms / 1e3);
-      std::string option;
-      while (fields >> option) {
-        const std::size_t eq = option.find('=');
-        if (eq == std::string::npos) {
-          throw std::runtime_error("expected key=value, got '" + option + "'");
-        }
-        const std::string key = option.substr(0, eq);
-        const std::string value = option.substr(eq + 1);
-        if (key == "loss") {
-          w.loss_rate = std::stod(value);
-        } else if (key == "rate_scale") {
-          w.rate_scale = std::stod(value);
-        } else if (key == "depth") {
-          w.fifo_depth = static_cast<std::size_t>(std::stoul(value));
-        } else {
-          throw std::runtime_error("unknown option '" + key + "'");
-        }
-      }
       schedule.add(w);
-    } catch (const std::exception& e) {
-      throw std::runtime_error("fault schedule line " + std::to_string(line_no) +
-                               ": " + e.what());
+    } catch (const std::invalid_argument& e) {
+      throw ScheduleParseError(line_no, toks[0].column, e.what());
     }
   }
   return schedule;
@@ -146,6 +238,11 @@ std::string FaultSchedule::to_text() const {
       out << " loss=" << w.loss_rate << " rate_scale=" << w.rate_scale;
     } else if (w.kind == FaultKind::kFifoShrink) {
       out << " depth=" << w.fifo_depth;
+    } else if (w.kind == FaultKind::kChannelReorder) {
+      out << " rate=" << w.chaos_rate
+          << " delay_us=" << w.reorder_delay / sim::kMicrosecond;
+    } else if (is_chaos_kind(w.kind)) {
+      out << " rate=" << w.chaos_rate;
     }
     out << '\n';
   }
@@ -169,15 +266,20 @@ FaultSchedule FaultSchedule::random(std::uint64_t seed, sim::SimDuration horizon
   const std::size_t max_attempts = count * 64 + 64;
   while (schedule.size() < count && attempts++ < max_attempts) {
     FaultWindow w;
-    w.kind = static_cast<FaultKind>(rng.uniform_int(4));
+    w.kind = static_cast<FaultKind>(rng.uniform_int(7));
     const double span = static_cast<double>(horizon);
     const double duration = span * rng.uniform(0.02, 0.10);
     const double start = rng.uniform(0.0, span - duration);
     w.start = static_cast<sim::SimTime>(start);
     w.end = static_cast<sim::SimTime>(start + duration);
+    // Every parameter is drawn for every window regardless of kind, so the
+    // stream position after a window never depends on which kind it rolled.
     w.loss_rate = rng.uniform(0.2, 0.8);
     w.rate_scale = rng.uniform(0.1, 0.5);
     w.fifo_depth = 2 + rng.uniform_int(15);
+    w.chaos_rate = rng.uniform(0.05, 0.5);
+    w.reorder_delay =
+        static_cast<sim::SimDuration>(10 + rng.uniform_int(190)) * sim::kMicrosecond;
     try {
       schedule.add(w);
     } catch (const std::invalid_argument&) {

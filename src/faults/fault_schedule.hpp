@@ -13,10 +13,17 @@
 //   fpga_reset  <start_ms> <end_ms>
 //   brownout    <start_ms> <end_ms> [loss=<0..1>] [rate_scale=<0<..1>]
 //   fifo_shrink <start_ms> <end_ms> [depth=<n>]
+//   corrupt     <start_ms> <end_ms> [rate=<0..1>]
+//   reorder     <start_ms> <end_ms> [rate=<0..1>] [delay_us=<n>]
+//   dup         <start_ms> <end_ms> [rate=<0..1>]
+// Malformed input is rejected with a `line:column` diagnostic
+// (ScheduleParseError), so a bad schedule names the offending token instead
+// of being silently skipped.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -25,10 +32,31 @@
 namespace fenix::faults {
 
 enum class FaultKind {
-  kFpgaStall,       ///< Fabric stops accepting work; in-flight completes.
-  kFpgaReset,       ///< Hard reset at start: in-flight lost, down for the window.
-  kChannelBrownout, ///< Both PCB channels: elevated loss, reduced line rate.
-  kFifoShrink,      ///< Model Engine input FIFO clamped to a smaller depth.
+  kFpgaStall,        ///< Fabric stops accepting work; in-flight completes.
+  kFpgaReset,        ///< Hard reset at start: in-flight lost, down for the window.
+  kChannelBrownout,  ///< Both PCB channels: elevated loss, reduced line rate.
+  kFifoShrink,       ///< Model Engine input FIFO clamped to a smaller depth.
+  kChannelCorrupt,   ///< Both PCB channels: frames arrive with flipped bits.
+  kChannelReorder,   ///< Both PCB channels: frames overtaken in flight.
+  kChannelDuplicate, ///< Both PCB channels: frames arrive twice.
+};
+
+/// Parse failure with the 1-based line and column of the offending token.
+/// what() reads "fault schedule line L:C: <detail>".
+class ScheduleParseError : public std::runtime_error {
+ public:
+  ScheduleParseError(std::size_t line, std::size_t column,
+                     const std::string& detail)
+      : std::runtime_error("fault schedule line " + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + detail),
+        line_(line), column_(column) {}
+
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
 };
 
 /// Floor on the brownout line-rate multiplier. A zero or negative rate would
@@ -44,6 +72,8 @@ struct FaultWindow {
   double loss_rate = 0.5;      ///< Brownout frame loss in [0, 1].
   double rate_scale = 0.25;    ///< Brownout line-rate multiplier, (0, 1].
   std::size_t fifo_depth = 4;  ///< Shrunk FIFO depth, >= 1.
+  double chaos_rate = 0.1;     ///< Corrupt/reorder/dup fraction in [0, 1].
+  sim::SimDuration reorder_delay = sim::microseconds(50);  ///< Reorder hold, > 0.
 };
 
 /// A sorted, validated set of fault windows. Windows of the same kind must
@@ -66,8 +96,9 @@ class FaultSchedule {
 
   static const char* kind_name(FaultKind kind);
 
-  /// Parses the text format; throws std::runtime_error with a line number on
-  /// malformed input.
+  /// Parses the text format; throws ScheduleParseError (a std::runtime_error)
+  /// with the 1-based line:column of the offending token on unknown event
+  /// kinds, malformed numbers, or out-of-range parameters.
   static FaultSchedule parse(std::istream& in);
   static FaultSchedule load(const std::string& path);
 

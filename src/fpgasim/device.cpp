@@ -40,7 +40,9 @@ void Device::stall(sim::SimTime from, sim::SimTime until) {
 void Device::reset(sim::SimTime at, sim::SimDuration reboot) {
   arm_window(at, at + reboot);
   ++stats_.resets;
-  if (reset_hook_) reset_hook_(at);
+  for (const ResetHook& hook : reset_hooks_) {
+    if (hook) hook(at);
+  }
 }
 
 }  // namespace fenix::fpgasim

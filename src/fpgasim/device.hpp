@@ -11,6 +11,7 @@
 #include <functional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -77,7 +78,16 @@ class Device {
   sim::SimTime down_until() const { return down_until_; }
 
   /// Owner callback fired on reset() so fabric-coupled queues flush too.
-  void set_reset_hook(ResetHook hook) { reset_hook_ = std::move(hook); }
+  /// Replaces every previously registered hook.
+  void set_reset_hook(ResetHook hook) {
+    reset_hooks_.clear();
+    reset_hooks_.push_back(std::move(hook));
+  }
+
+  /// Registers an additional reset observer (fired after earlier hooks, in
+  /// registration order). The reliable links use this to resync their epoch
+  /// without displacing the Model Engine's own queue-flush hook.
+  void add_reset_hook(ResetHook hook) { reset_hooks_.push_back(std::move(hook)); }
 
   const DeviceFaultStats& fault_stats() const { return stats_; }
 
@@ -87,7 +97,7 @@ class Device {
   DeviceProfile profile_;
   sim::SimTime down_from_ = 0;
   sim::SimTime down_until_ = 0;
-  ResetHook reset_hook_;
+  std::vector<ResetHook> reset_hooks_;
   DeviceFaultStats stats_;
 };
 

@@ -1,0 +1,72 @@
+#include "net/frame.hpp"
+
+namespace fenix::net {
+namespace {
+
+constexpr std::uint32_t kFnvOffset = 0x811c9dc5u;
+constexpr std::uint32_t kFnvPrime = 0x01000193u;
+
+void fnv_byte(std::uint32_t& h, std::uint8_t b) {
+  h ^= b;
+  h *= kFnvPrime;
+}
+
+template <typename T>
+void fnv_le(std::uint32_t& h, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    fnv_byte(h, static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+std::uint32_t frame_checksum(const FrameHeader& h) {
+  std::uint32_t digest = kFnvOffset;
+  fnv_le(digest, h.seq);
+  fnv_le(digest, h.epoch);
+  fnv_byte(digest, static_cast<std::uint8_t>(h.kind));
+  fnv_le(digest, h.payload_bytes);
+  return digest;
+}
+
+FrameHeader make_data_frame(std::uint32_t seq, std::uint16_t epoch,
+                            std::uint16_t payload_bytes) {
+  FrameHeader h;
+  h.seq = seq;
+  h.epoch = epoch;
+  h.kind = FrameKind::kData;
+  h.payload_bytes = payload_bytes;
+  h.checksum = frame_checksum(h);
+  return h;
+}
+
+FrameHeader make_control_frame(FrameKind kind, std::uint32_t seq,
+                               std::uint16_t epoch) {
+  FrameHeader h;
+  h.seq = seq;
+  h.epoch = epoch;
+  h.kind = kind;
+  h.payload_bytes = 0;
+  h.checksum = frame_checksum(h);
+  return h;
+}
+
+bool verify(const FrameHeader& h) { return h.checksum == frame_checksum(h); }
+
+void corrupt_in_flight(FrameHeader& h, std::uint64_t entropy) {
+  // Pick one protected bit position from the entropy draw. seq (32) +
+  // epoch (16) + kind (8) + payload_bytes (16) = 72 candidate bits.
+  const std::uint64_t bit = entropy % 72;
+  if (bit < 32) {
+    h.seq ^= 1u << bit;
+  } else if (bit < 48) {
+    h.epoch ^= static_cast<std::uint16_t>(1u << (bit - 32));
+  } else if (bit < 56) {
+    h.kind = static_cast<FrameKind>(static_cast<std::uint8_t>(h.kind) ^
+                                    static_cast<std::uint8_t>(1u << (bit - 48)));
+  } else {
+    h.payload_bytes ^= static_cast<std::uint16_t>(1u << (bit - 56));
+  }
+}
+
+}  // namespace fenix::net

@@ -1,0 +1,68 @@
+// Switch<->FPGA link-layer framing.
+//
+// Every mirrored feature vector and every returning verdict crosses the
+// board-level channels inside a sequence-numbered, checksummed frame. The
+// header is deliberately tiny — it must fit inside the encapsulation budget
+// the wire model already charges (the 16-byte mirror encapsulation of
+// FeatureVector::wire_bytes(), or the 64-byte minimum-frame floor of
+// InferenceResult::kWireBytes), so adding framing changes no channel timing.
+//
+//   seq (4B) | epoch (2B) | kind (1B) | payload_bytes (2B) | checksum (4B)
+//
+// `epoch` is bumped by ReliableLink::resync() whenever the FPGA reboots
+// (fpgasim::Device::reset()); frames stamped with a dead epoch are discarded
+// by the receiver instead of corrupting post-reboot flow state. `checksum`
+// is FNV-1a over the other header fields plus the payload length — enough to
+// catch the single/multi bit flips the channel's corruption mutator models.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fenix::net {
+
+enum class FrameKind : std::uint8_t {
+  kData = 0,  ///< Feature vector or verdict payload.
+  kAck = 1,   ///< Cumulative acknowledgement (receiver -> sender).
+  kNack = 2,  ///< Negative ack naming a missing/corrupt seq.
+};
+
+/// On-wire frame header. 13 bytes when serialized (see kFrameHeaderBytes).
+struct FrameHeader {
+  std::uint32_t seq = 0;
+  std::uint16_t epoch = 0;
+  FrameKind kind = FrameKind::kData;
+  std::uint16_t payload_bytes = 0;
+  std::uint32_t checksum = 0;
+
+  friend bool operator==(const FrameHeader&, const FrameHeader&) = default;
+};
+
+/// Serialized header size. Fits inside the 16-byte mirror encapsulation
+/// already billed by FeatureVector::wire_bytes() (and trivially inside the
+/// 64-byte result-frame floor), so framing adds zero bytes to any transfer.
+inline constexpr std::size_t kFrameHeaderBytes = 13;
+static_assert(kFrameHeaderBytes <= 16,
+              "frame header must fit the mirror encapsulation budget");
+
+/// FNV-1a over the header's protected fields (everything but the checksum).
+std::uint32_t frame_checksum(const FrameHeader& h);
+
+/// Builds a checksummed data frame.
+FrameHeader make_data_frame(std::uint32_t seq, std::uint16_t epoch,
+                            std::uint16_t payload_bytes);
+
+/// Builds a checksummed control frame (ack/nack) naming `seq`.
+FrameHeader make_control_frame(FrameKind kind, std::uint32_t seq,
+                               std::uint16_t epoch);
+
+/// True when the stored checksum matches the protected fields.
+bool verify(const FrameHeader& h);
+
+/// Applies a deterministic in-flight bit flip chosen by `entropy` (the
+/// channel's corruption draw) to one of the protected fields. Guaranteed to
+/// make verify() fail: a single-bit change in a protected field always
+/// changes the FNV-1a digest.
+void corrupt_in_flight(FrameHeader& h, std::uint64_t entropy);
+
+}  // namespace fenix::net

@@ -1,0 +1,55 @@
+// Deterministic (non-probabilistic) token bucket for pacing repair traffic.
+//
+// Both repair layers of the switch<->FPGA path meter their re-sends through
+// this bucket: the ReplayCore's deadline-driven feature-vector retransmits
+// (DESIGN.md § Failure semantics) and the ReliableLink's NACK-driven frame
+// retransmits (DESIGN.md § Reliable framing). Tokens are held in time units —
+// one token is `1/rate_hz` of simulated time — exactly like the Rate
+// Limiter's bucket, and the bucket starts full so the first loss burst can
+// be repaired immediately. No RNG is involved, so a replay with the same
+// fault schedule drains the bucket identically every run.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/time.hpp"
+
+namespace fenix::sim {
+
+class PacingBucket {
+ public:
+  /// `rate_hz` tokens accrue per second up to `burst_tokens` capacity.
+  /// A non-positive rate degrades to one token per simulated second.
+  PacingBucket(double rate_hz, double burst_tokens) {
+    const double cost = rate_hz > 0.0 ? static_cast<double>(kSecond) / rate_hz
+                                      : static_cast<double>(kSecond);
+    cost_ps_ = std::max<SimDuration>(1, static_cast<SimDuration>(cost));
+    cap_ps_ = static_cast<SimDuration>(static_cast<double>(cost_ps_) *
+                                       std::max(1.0, burst_tokens));
+    level_ps_ = cap_ps_;
+  }
+
+  /// Takes one token at time `now` if available. Refill is computed from the
+  /// previous take attempt; calls must use non-decreasing timestamps (earlier
+  /// times simply earn no refill).
+  bool try_take(SimTime now) {
+    if (first_) {
+      first_ = false;
+    } else if (now > t_last_) {
+      level_ps_ = std::min(cap_ps_, level_ps_ + (now - t_last_));
+    }
+    t_last_ = now;
+    if (level_ps_ < cost_ps_) return false;
+    level_ps_ -= cost_ps_;
+    return true;
+  }
+
+ private:
+  SimDuration cost_ps_ = 1;
+  SimDuration cap_ps_ = 1;
+  SimDuration level_ps_ = 0;
+  SimTime t_last_ = 0;
+  bool first_ = true;
+};
+
+}  // namespace fenix::sim

@@ -57,14 +57,19 @@ std::size_t ExactMatchTable::find_slot(std::uint64_t key) const {
   for (std::size_t probes = 0; probes < slots_.size(); ++probes) {
     const Slot& slot = slots_[i];
     if (slot.state == SlotState::kEmpty) {
+      max_probe_ = std::max(max_probe_, probes + 1);
       return first_tombstone != slots_.size() ? first_tombstone : i;
     }
-    if (slot.state == SlotState::kFull && slot.key == key) return i;
+    if (slot.state == SlotState::kFull && slot.key == key) {
+      max_probe_ = std::max(max_probe_, probes + 1);
+      return i;
+    }
     if (slot.state == SlotState::kTombstone && first_tombstone == slots_.size()) {
       first_tombstone = i;
     }
     i = (i + 1) & mask_;
   }
+  max_probe_ = std::max(max_probe_, slots_.size());
   return first_tombstone;  // table has no empty slot; a tombstone must exist
 }
 
@@ -100,10 +105,17 @@ std::optional<ActionEntry> ExactMatchTable::lookup(std::uint64_t key) const {
   std::size_t i = probe_start(key);
   for (std::size_t probes = 0; probes < slots_.size(); ++probes) {
     const Slot& slot = slots_[i];
-    if (slot.state == SlotState::kEmpty) return std::nullopt;
-    if (slot.state == SlotState::kFull && slot.key == key) return slot.action;
+    if (slot.state == SlotState::kEmpty) {
+      max_probe_ = std::max(max_probe_, probes + 1);
+      return std::nullopt;
+    }
+    if (slot.state == SlotState::kFull && slot.key == key) {
+      max_probe_ = std::max(max_probe_, probes + 1);
+      return slot.action;
+    }
     i = (i + 1) & mask_;
   }
+  max_probe_ = std::max(max_probe_, slots_.size());
   return std::nullopt;
 }
 

@@ -49,6 +49,11 @@ class ExactMatchTable {
   std::optional<ActionEntry> lookup(std::uint64_t key) const;
   std::uint64_t lookups() const { return lookups_; }
 
+  /// Longest probe chain any operation has walked so far. Tombstone reuse on
+  /// insert is what keeps this bounded under churn; the chaos-churn test
+  /// asserts it never exceeds the slot count.
+  std::size_t max_probe_length() const { return max_probe_; }
+
  private:
   enum class SlotState : std::uint8_t { kEmpty = 0, kFull, kTombstone };
   struct Slot {
@@ -68,6 +73,7 @@ class ExactMatchTable {
   std::size_t mask_ = 0;  ///< slots_.size() - 1 (power of two).
   std::vector<Slot> slots_;
   mutable std::uint64_t lookups_ = 0;
+  mutable std::size_t max_probe_ = 0;
 };
 
 /// One ternary entry: matches when (key & mask) == value. Lower `priority`

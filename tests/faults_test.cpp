@@ -109,6 +109,68 @@ TEST(FaultSchedule, ParseReportsLineNumbers) {
   EXPECT_THROW(FaultSchedule::parse(badopt), std::runtime_error);
 }
 
+TEST(FaultSchedule, ParseErrorsCarryLineAndColumn) {
+  // Unknown kind: the error points at the kind token itself.
+  std::istringstream unknown("# header\n\n  martian_attack 1 2\n");
+  try {
+    FaultSchedule::parse(unknown);
+    FAIL() << "expected ScheduleParseError";
+  } catch (const ScheduleParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 3u);  // two leading spaces
+    EXPECT_NE(std::string(e.what()).find("3:3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("martian_attack"), std::string::npos);
+  }
+
+  // Malformed rate value: the error points at the value, not the key.
+  std::istringstream badrate("corrupt 1 2 rate=banana\n");
+  try {
+    FaultSchedule::parse(badrate);
+    FAIL() << "expected ScheduleParseError";
+  } catch (const ScheduleParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_EQ(e.column(), 18u);  // "banana" after "rate="
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+  }
+
+  // Out-of-range rate: rejected with a position even though it parses as a
+  // number.
+  std::istringstream toobig("dup 1 2 rate=1.5\n");
+  EXPECT_THROW(FaultSchedule::parse(toobig), ScheduleParseError);
+
+  // Missing required argument: reported one column past the last token.
+  std::istringstream truncated("fpga_stall 5\n");
+  EXPECT_THROW(FaultSchedule::parse(truncated), ScheduleParseError);
+}
+
+TEST(FaultSchedule, ChaosKindsRoundTripThroughText) {
+  FaultSchedule s;
+  auto c = window(FaultKind::kChannelCorrupt, sim::milliseconds(1),
+                  sim::milliseconds(2));
+  c.chaos_rate = 0.25;
+  s.add(c);
+  auto r = window(FaultKind::kChannelReorder, sim::milliseconds(3),
+                  sim::milliseconds(4));
+  r.chaos_rate = 0.5;
+  r.reorder_delay = sim::microseconds(120);
+  s.add(r);
+  auto d = window(FaultKind::kChannelDuplicate, sim::milliseconds(5),
+                  sim::milliseconds(6));
+  d.chaos_rate = 0.125;
+  s.add(d);
+
+  std::istringstream in(s.to_text());
+  const FaultSchedule reparsed = FaultSchedule::parse(in);
+  EXPECT_EQ(reparsed.to_text(), s.to_text());
+  ASSERT_EQ(reparsed.size(), 3u);
+  EXPECT_EQ(reparsed.windows()[0].kind, FaultKind::kChannelCorrupt);
+  EXPECT_DOUBLE_EQ(reparsed.windows()[0].chaos_rate, 0.25);
+  EXPECT_EQ(reparsed.windows()[1].kind, FaultKind::kChannelReorder);
+  EXPECT_EQ(reparsed.windows()[1].reorder_delay, sim::microseconds(120));
+  EXPECT_EQ(reparsed.windows()[2].kind, FaultKind::kChannelDuplicate);
+  EXPECT_DOUBLE_EQ(reparsed.windows()[2].chaos_rate, 0.125);
+}
+
 TEST(FaultSchedule, RandomIsSeedDeterministic) {
   const auto horizon = sim::milliseconds(500);
   const FaultSchedule a = FaultSchedule::random(42, horizon, 6);

@@ -1,0 +1,151 @@
+// The invariant registry itself: a consistent synthetic run must pass every
+// standard check, and each class of corruption must be caught by the right
+// named invariant with the broken numbers in the detail string.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/invariants.hpp"
+#include "core/replay_core.hpp"
+#include "net/reliable_link.hpp"
+
+namespace fenix::core {
+namespace {
+
+/// A small self-consistent run: 10 packets, 6 mirrors (1 lost on the forward
+/// link, 1 dead in the FIFO), 4 verdicts back (1 flow-stale). All confusion /
+/// latency totals line up with the counters.
+struct Scenario {
+  RunReport report{2};
+  net::ReliableLinkStats to;
+  net::ReliableLinkStats from;
+
+  Scenario() {
+    report.packets = 10;
+    for (int i = 0; i < 10; ++i) report.packet_confusion.add(0, 0);
+    report.mirrors = 6;
+    report.fifo_drops = 1;
+    report.results_applied = 3;
+    report.results_stale = 1;
+    for (int i = 0; i < 4; ++i) report.end_to_end.record(sim::microseconds(5));
+    report.flow_confusion.add(0, 0);
+    report.flow_confusion.add(1, 1);
+    report.deadline_misses = 2;
+    report.retransmits = 1;
+
+    to.data_frames = 7;  // 6 mirrors + 1 deadline retransmit
+    to.delivered = 6;
+    to.drops_lost = 1;
+    to.retransmits = 3;
+    to.peak_window = 4;
+
+    from.data_frames = 5;  // 6 forward deliveries - 1 FIFO drop
+    from.delivered = 4;
+    from.drops_corrupt = 1;
+    from.peak_window = 2;
+  }
+
+  InvariantContext context() const {
+    InvariantContext ctx{report};
+    ctx.trace_packets = 10;
+    ctx.trace_flows = 2;
+    ctx.to_link = &to;
+    ctx.from_link = &from;
+    ctx.reorder_window = 8;
+    ctx.link_max_retransmits = 1;
+    ctx.replay_max_retransmits = 1;
+    return ctx;
+  }
+};
+
+bool has_violation(const std::vector<InvariantViolation>& vs,
+                   const std::string& name) {
+  for (const InvariantViolation& v : vs) {
+    if (v.name == name) return true;
+  }
+  return false;
+}
+
+TEST(InvariantRegistry, StandardSetIsComplete) {
+  EXPECT_EQ(InvariantRegistry::standard().size(), 9u);
+}
+
+TEST(InvariantRegistry, ConsistentRunPassesEveryCheck) {
+  const Scenario s;
+  const auto violations = InvariantRegistry::standard().check(s.context());
+  for (const InvariantViolation& v : violations) {
+    ADD_FAILURE() << v.name << ": " << v.detail;
+  }
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(InvariantRegistry, MissingLinkStatsSkipLinkChecksOnly) {
+  Scenario s;
+  InvariantContext ctx = s.context();
+  ctx.to_link = nullptr;
+  ctx.from_link = nullptr;
+  EXPECT_TRUE(InvariantRegistry::standard().check(ctx).empty());
+  // Packet-side checks still run without link stats.
+  s.report.packets = 11;
+  InvariantContext broken = s.context();
+  broken.to_link = nullptr;
+  broken.from_link = nullptr;
+  EXPECT_TRUE(has_violation(InvariantRegistry::standard().check(broken),
+                            "packet-conservation"));
+}
+
+TEST(InvariantRegistry, CatchesEachCorruptionByName) {
+  const InvariantRegistry reg = InvariantRegistry::standard();
+  const struct {
+    const char* invariant;
+    void (*corrupt)(Scenario&);
+  } cases[] = {
+      {"packet-conservation", [](Scenario& s) { ++s.report.packets; }},
+      {"frame-conservation", [](Scenario& s) { ++s.to.delivered; }},
+      {"frame-conservation", [](Scenario& s) { ++s.from.drops_lost; }},
+      {"mirror-frames", [](Scenario& s) { ++s.report.mirrors; }},
+      {"return-frames", [](Scenario& s) { ++s.report.fifo_drops; }},
+      {"verdict-conservation", [](Scenario& s) { ++s.report.results_applied; }},
+      {"verdict-conservation",
+       [](Scenario& s) { ++s.report.stale_epoch_drops; }},
+      {"flow-accounting", [](Scenario& s) { s.report.flow_confusion.add(0, 1); }},
+      {"reorder-window-bound", [](Scenario& s) { s.to.peak_window = 9; }},
+      {"retransmit-budget", [](Scenario& s) { s.to.retransmits = 8; }},
+      {"retransmit-budget", [](Scenario& s) { s.report.retransmits = 3; }},
+      {"monotone-release", [](Scenario& s) { s.from.monotone_violations = 1; }},
+  };
+  for (const auto& c : cases) {
+    Scenario s;
+    c.corrupt(s);
+    const auto violations = reg.check(s.context());
+    EXPECT_TRUE(has_violation(violations, c.invariant))
+        << "corruption expected to trip '" << c.invariant << "' tripped "
+        << violations.size() << " other check(s)";
+  }
+}
+
+TEST(InvariantRegistry, DetailCarriesTheBrokenNumbers) {
+  Scenario s;
+  s.report.packets = 12;
+  const auto violations = InvariantRegistry::standard().check(s.context());
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().name, "packet-conservation");
+  EXPECT_NE(violations.front().detail.find("12"), std::string::npos);
+  EXPECT_NE(violations.front().detail.find("10"), std::string::npos);
+}
+
+TEST(InvariantRegistry, CustomChecksRunAfterStandardOnes) {
+  InvariantRegistry reg = InvariantRegistry::standard();
+  reg.add("always-fails",
+          [](const InvariantContext&, std::vector<InvariantViolation>& out) {
+            out.push_back({"always-fails", "synthetic"});
+          });
+  const Scenario s;
+  const auto violations = reg.check(s.context());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations.back().name, "always-fails");
+}
+
+}  // namespace
+}  // namespace fenix::core

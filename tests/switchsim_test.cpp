@@ -2,7 +2,9 @@
 // tables, range-to-prefix expansion, and pipeline timing.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include "switchsim/chip.hpp"
 #include "switchsim/match_table.hpp"
@@ -166,6 +168,79 @@ TEST(ExactMatchTable, SurvivesInsertEraseChurn) {
   table.clear();
   EXPECT_EQ(table.size(), 0u);
   EXPECT_FALSE(table.lookup(5).has_value());
+}
+
+TEST(ExactMatchTable, ChaosChurnWithReorderDelayedErases) {
+  // Chaos-style churn: a control plane whose erase messages arrive late and
+  // out of order relative to the inserts that replace them (the same
+  // reordering the reliable link's chaos mutators model). Erases for round R
+  // are applied interleaved with round R+1's inserts, in a scrambled order.
+  // Entries must stay findable, tombstones must be reused rather than
+  // accumulate, and probe chains must stay bounded by the slot count.
+  ResourceLedger ledger(ChipProfile::tofino2());
+  ExactMatchTable table(ledger, "t", 0, 64, 32, 16);
+  const std::size_t slot_bound = 128;  // pow2_at_least(2 * capacity)
+
+  std::uint64_t rng = 0x2545F4914F6CDD1DULL;  // deterministic xorshift64
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+
+  std::vector<std::uint64_t> pending_erases;  // delayed from the prior round
+  for (std::uint64_t round = 0; round < 60; ++round) {
+    // Interleave this round's 32 inserts with the delayed erases from the
+    // previous round, consuming the erase backlog in scrambled order.
+    for (std::uint64_t k = 0; k < 32; ++k) {
+      ASSERT_TRUE(table.insert(round * 1000 + k, {0, round * 1000 + k}));
+      if (!pending_erases.empty()) {
+        const std::size_t pick = next() % pending_erases.size();
+        table.erase(pending_erases[pick]);
+        pending_erases[pick] = pending_erases.back();
+        pending_erases.pop_back();
+      }
+    }
+    for (const std::uint64_t stale : pending_erases) table.erase(stale);
+    pending_erases.clear();
+    // Everything inserted this round is findable with the right value even
+    // though erases landed mid-insert.
+    for (std::uint64_t k = 0; k < 32; ++k) {
+      const auto hit = table.lookup(round * 1000 + k);
+      ASSERT_TRUE(hit.has_value()) << "round " << round << " key " << k;
+      EXPECT_EQ(hit->action_data, round * 1000 + k);
+    }
+    EXPECT_EQ(table.size(), 32u);
+    EXPECT_FALSE(table.lookup(round * 1000 + 999).has_value());
+    for (std::uint64_t k = 0; k < 32; ++k) {
+      pending_erases.push_back(round * 1000 + k);
+    }
+    // Probe chains stay bounded no matter how much tombstone debris the
+    // churn leaves behind (find_slot terminates after one sweep).
+    EXPECT_LE(table.max_probe_length(), slot_bound);
+  }
+}
+
+TEST(ExactMatchTable, TombstoneReuseKeepsProbesShort) {
+  // Re-inserting a key after erasing it must land in the first tombstone on
+  // its probe path (its old slot), so single-key churn cannot grow the probe
+  // chain: the high-water probe length after thousands of cycles must match
+  // the length after one cycle.
+  ResourceLedger ledger(ChipProfile::tofino2());
+  ExactMatchTable table(ledger, "t", 0, 64, 32, 16);
+  const std::uint64_t key = 0xfeedULL;
+  table.insert(key, {1, 1});
+  table.erase(key);
+  table.insert(key, {1, 2});
+  const std::size_t after_one_cycle = table.max_probe_length();
+  for (int i = 0; i < 5000; ++i) {
+    table.erase(key);
+    ASSERT_TRUE(table.insert(key, {1, static_cast<std::uint64_t>(i)}));
+  }
+  EXPECT_EQ(table.max_probe_length(), after_one_cycle);
+  EXPECT_EQ(table.lookup(key)->action_data, 4999u);
+  EXPECT_EQ(table.size(), 1u);
 }
 
 TEST(TernaryMatchTable, PriorityOrdering) {

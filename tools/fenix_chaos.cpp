@@ -1,0 +1,278 @@
+// Chaos soak harness: randomized fault schedules vs the invariant registry.
+//
+// For each seed this tool draws a random faults::FaultSchedule (FPGA stalls
+// and resets, channel brownouts, FIFO shrinks, and the corrupt / reorder /
+// dup chaos mutators), replays one trace through BOTH the serial path
+// (FenixSystem::run) and the multi-pipe sharded path (run_pipelined) on
+// fresh systems, and then:
+//
+//   1. checks every core::InvariantRegistry::standard() conservation law
+//      against each run's RunReport + per-direction reliable-link stats, and
+//   2. asserts the two RunReports are bit-identical, printing the
+//      first_divergence() diagnostic if not.
+//
+// Any failure prints the violating seed and the exact schedule text so the
+// run reproduces with `--seeds 1 --start <seed>`. `--mutate` is the harness's
+// self-test: it deliberately corrupts a healthy run's counters and exits
+// nonzero unless the registry flags every corruption.
+//
+// Usage:
+//   fenix_chaos [--seeds N] [--start S] [--windows W] [--mutate]
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fenix_system.hpp"
+#include "core/invariants.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_schedule.hpp"
+#include "nn/quantize.hpp"
+#include "trafficgen/profiles.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+namespace {
+
+using namespace fenix;
+
+/// One shared workload: a modest labeled trace plus a small trained +
+/// quantized CNN, built once and replayed for every seed.
+struct Workload {
+  trafficgen::DatasetProfile profile;
+  std::unique_ptr<nn::QuantizedCnn> quantized;
+  net::Trace trace;
+  std::size_t num_classes = 0;
+  std::uint64_t labeled_flows = 0;
+
+  Workload() {
+    profile = trafficgen::DatasetProfile::iscx_vpn();
+    trafficgen::SynthesisConfig synth;
+    synth.total_flows = 120;
+    synth.seed = 23;
+    const auto flows = trafficgen::synthesize_flows(profile, synth);
+
+    num_classes = profile.num_classes();
+    nn::CnnConfig config;
+    config.conv_channels = {8};
+    config.fc_dims = {16};
+    config.num_classes = num_classes;
+    nn::CnnClassifier model(config, 11);
+    const auto samples = trafficgen::make_packet_samples(flows, 9, 6, 3);
+    nn::TrainOptions opts;
+    opts.epochs = 1;
+    model.fit(samples, opts);
+    quantized = std::make_unique<nn::QuantizedCnn>(model, samples);
+
+    trafficgen::TraceConfig trace_config;
+    trace_config.flow_arrival_rate_hz = 2000;
+    trace = trafficgen::assemble_trace(flows, trace_config);
+    for (const net::FlowRecord& f : trace.flows) {
+      if (f.label >= 0 && static_cast<std::size_t>(f.label) < num_classes) {
+        ++labeled_flows;
+      }
+    }
+  }
+};
+
+/// The system configuration a given seed runs under: the reliable link's
+/// repair budget rotates so the soak covers the bare-channel degenerate case
+/// (0), single repair (1), and deeper repair (2).
+core::FenixSystemConfig config_for_seed(std::uint64_t seed) {
+  core::FenixSystemConfig config;
+  config.link.max_retransmits = static_cast<unsigned>(seed % 3);
+  config.link.reorder_window = 32;
+  return config;
+}
+
+core::InvariantContext context_for(const core::RunReport& report,
+                                   const Workload& work,
+                                   const core::FenixSystem& system,
+                                   const core::FenixSystemConfig& config) {
+  core::InvariantContext ctx{report};
+  ctx.trace_packets = work.trace.packets.size();
+  ctx.trace_flows = work.labeled_flows;
+  ctx.to_link = &system.link_to_fpga().stats();
+  ctx.from_link = &system.link_from_fpga().stats();
+  ctx.reorder_window = config.link.reorder_window;
+  ctx.link_max_retransmits = config.link.max_retransmits;
+  ctx.replay_max_retransmits = config.recovery.max_retransmits;
+  return ctx;
+}
+
+void print_violations(const std::vector<core::InvariantViolation>& violations) {
+  for (const core::InvariantViolation& v : violations) {
+    std::cerr << "  invariant '" << v.name << "': " << v.detail << "\n";
+  }
+}
+
+/// Replays one seed through both paths and checks everything. Returns true
+/// when the seed is clean.
+bool run_seed(std::uint64_t seed, const Workload& work, std::size_t windows) {
+  const core::FenixSystemConfig config = config_for_seed(seed);
+  const faults::FaultSchedule schedule =
+      faults::FaultSchedule::random(seed, work.trace.duration(), windows);
+
+  // Serial path.
+  core::FenixSystem serial(config, work.quantized.get(), nullptr);
+  faults::FaultInjector serial_injector(schedule, serial);
+  const core::RunReport serial_report =
+      serial.run(work.trace, work.num_classes, &serial_injector);
+
+  // Sharded path: pipes / batch rotate with the seed so the soak sweeps the
+  // shard and batch-lane space, not one fixed configuration.
+  static constexpr std::size_t kPipes[] = {1, 2, 4};
+  static constexpr std::size_t kBatch[] = {1, 8, 16};
+  core::PipelineOptions opts;
+  opts.pipes = kPipes[seed % 3];
+  opts.batch = kBatch[(seed / 3) % 3];
+  core::FenixSystem sharded(config, work.quantized.get(), nullptr);
+  faults::FaultInjector sharded_injector(schedule, sharded);
+  const core::RunReport sharded_report = sharded.run_pipelined(
+      work.trace, work.num_classes, &sharded_injector, {}, opts);
+
+  bool ok = true;
+  const core::InvariantRegistry registry = core::InvariantRegistry::standard();
+  const auto serial_violations =
+      registry.check(context_for(serial_report, work, serial, config));
+  if (!serial_violations.empty()) {
+    std::cerr << "seed " << seed << ": serial replay violated "
+              << serial_violations.size() << " invariant(s)\n";
+    print_violations(serial_violations);
+    ok = false;
+  }
+  const auto sharded_violations =
+      registry.check(context_for(sharded_report, work, sharded, config));
+  if (!sharded_violations.empty()) {
+    std::cerr << "seed " << seed << ": sharded replay (pipes=" << opts.pipes
+              << " batch=" << opts.batch << ") violated "
+              << sharded_violations.size() << " invariant(s)\n";
+    print_violations(sharded_violations);
+    ok = false;
+  }
+  if (const auto div = core::first_divergence(serial_report, sharded_report)) {
+    std::cerr << "seed " << seed << ": serial vs sharded (pipes=" << opts.pipes
+              << " batch=" << opts.batch
+              << ") reports diverge: first_divergence = " << *div << "\n";
+    ok = false;
+  }
+  if (!ok) {
+    std::cerr << "reproduce with: fenix_chaos --seeds 1 --start " << seed
+              << " --windows " << windows << "\nschedule:\n"
+              << schedule.to_text();
+  }
+  return ok;
+}
+
+/// Self-test: corrupt a healthy run's counters one at a time and demand the
+/// registry catches every corruption. Guards against the checker rotting
+/// into a rubber stamp.
+bool run_mutation_check(std::uint64_t seed, const Workload& work,
+                        std::size_t windows) {
+  const core::FenixSystemConfig config = config_for_seed(seed);
+  const faults::FaultSchedule schedule =
+      faults::FaultSchedule::random(seed, work.trace.duration(), windows);
+  core::FenixSystem system(config, work.quantized.get(), nullptr);
+  faults::FaultInjector injector(schedule, system);
+  core::RunReport report = system.run(work.trace, work.num_classes, &injector);
+
+  const core::InvariantRegistry registry = core::InvariantRegistry::standard();
+  const auto clean =
+      registry.check(context_for(report, work, system, config));
+  if (!clean.empty()) {
+    std::cerr << "mutation check: baseline run is not clean (seed " << seed
+              << ")\n";
+    print_violations(clean);
+    return false;
+  }
+
+  struct Mutation {
+    const char* name;
+    void (*apply)(core::RunReport&);
+  };
+  const Mutation mutations[] = {
+      {"packets+1", [](core::RunReport& r) { ++r.packets; }},
+      {"mirrors+1", [](core::RunReport& r) { ++r.mirrors; }},
+      {"fifo_drops+1", [](core::RunReport& r) { ++r.fifo_drops; }},
+      {"results_applied+1", [](core::RunReport& r) { ++r.results_applied; }},
+      {"retransmits=misses+1",
+       [](core::RunReport& r) { r.retransmits = r.deadline_misses + 1; }},
+      {"stale_epoch_drops+1",
+       [](core::RunReport& r) { ++r.stale_epoch_drops; }},
+  };
+  bool ok = true;
+  for (const Mutation& m : mutations) {
+    core::RunReport mutated = report;  // fresh copy per mutation
+    m.apply(mutated);
+    const auto violations =
+        registry.check(context_for(mutated, work, system, config));
+    if (violations.empty()) {
+      std::cerr << "mutation check FAILED: corruption '" << m.name
+                << "' slipped past the registry (seed " << seed << ")\n";
+      ok = false;
+    } else {
+      std::cout << "mutation '" << m.name << "' caught by invariant '"
+                << violations.front().name << "'\n";
+    }
+  }
+  return ok;
+}
+
+int usage() {
+  std::cerr << "usage: fenix_chaos [--seeds N] [--start S] [--windows W] "
+               "[--mutate]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 32;
+  std::uint64_t start = 0;
+  std::size_t windows = 6;
+  bool mutate = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seeds") {
+      if (++i >= argc) return usage();
+      seeds = std::strtoull(argv[i], nullptr, 10);
+    } else if (arg == "--start") {
+      if (++i >= argc) return usage();
+      start = std::strtoull(argv[i], nullptr, 10);
+    } else if (arg == "--windows") {
+      if (++i >= argc) return usage();
+      windows = static_cast<std::size_t>(std::strtoull(argv[i], nullptr, 10));
+    } else if (arg == "--mutate") {
+      mutate = true;
+    } else {
+      return usage();
+    }
+  }
+
+  const Workload work;
+  std::cout << "chaos workload: " << work.trace.packets.size() << " packets, "
+            << work.trace.flows.size() << " flows (" << work.labeled_flows
+            << " labeled), " << work.num_classes << " classes\n";
+
+  if (mutate) {
+    return run_mutation_check(start, work, windows) ? 0 : 1;
+  }
+
+  std::uint64_t clean = 0;
+  for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
+    if (!run_seed(seed, work, windows)) {
+      std::cerr << "chaos soak FAILED at seed " << seed << " (" << clean
+                << " clean seeds before it)\n";
+      return 1;
+    }
+    ++clean;
+    if (clean % 50 == 0) {
+      std::cout << "  " << clean << "/" << seeds << " seeds clean\n";
+    }
+  }
+  std::cout << "chaos soak PASSED: " << clean << " seeds, zero invariant "
+            << "violations, serial == sharded at every seed\n";
+  return 0;
+}

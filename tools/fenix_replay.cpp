@@ -177,7 +177,15 @@ int cmd_run(int argc, char** argv) {
       config.pcb_loss_rate = std::atof(argv[i]);
     } else if (arg == "--fault-schedule") {
       if (++i >= argc) return usage();
-      schedule = faults::FaultSchedule::load(argv[i]);
+      try {
+        schedule = faults::FaultSchedule::load(argv[i]);
+      } catch (const faults::ScheduleParseError& e) {
+        // Malformed schedules name the offending line:column — print that
+        // verbatim so the user can fix the file, not a bare abort.
+        std::cerr << "fenix_replay: invalid fault schedule '" << argv[i]
+                  << "': " << e.what() << "\n";
+        return 2;
+      }
     } else if (arg == "--fallback-tree") {
       fallback_tree = true;
     } else if (arg == "--pipes") {
