@@ -1,17 +1,18 @@
 // Perf-regression gate over the checked-in replay-throughput record.
 //
-// Compares BENCH_PR3.json (the committed output of bench_pipeline_throughput)
+// Compares BENCH_PR6.json (the committed output of bench_pipeline_throughput)
 // against bench/baselines.json and fails when a throughput metric regresses
 // more than the tolerance. Wired into ctest (label `bench_smoke`) and the
 // release-bench workflow, so a change that silently costs >30% of replay
-// packets/sec — or breaks the sharded replay's bit-identity contract — turns
-// the build red instead of landing unnoticed.
+// packets/sec — or flattens the multi-pipe scaling curve, or breaks the
+// sharded replay's bit-identity contract — turns the build red instead of
+// landing unnoticed.
 //
 // Gate policy, by metric name:
-//   *_packets_per_sec, *_speedup  higher-is-better; current must be
-//                                 >= baseline * (1 - tolerance)
-//   *_bit_identical               must be exactly 1
-//   anything else                 informational (recorded, not gated)
+//   *_packets_per_sec, *_speedup,  higher-is-better; current must be
+//   *_scaling_efficiency           >= baseline * (1 - tolerance)
+//   *_bit_identical                must be exactly 1
+//   anything else                  informational (recorded, not gated)
 //
 // Usage: bench_gate [baselines.json] [current.json]
 //   Tolerance: $FENIX_BENCH_GATE_TOLERANCE (fraction, default 0.30).
@@ -50,7 +51,7 @@ const fenix::bench::BenchMetric* find_metric(
 int main(int argc, char** argv) {
   using namespace fenix;
   const std::string baseline_path = argc > 1 ? argv[1] : "bench/baselines.json";
-  const std::string current_path = argc > 2 ? argv[2] : "BENCH_PR3.json";
+  const std::string current_path = argc > 2 ? argv[2] : "BENCH_PR6.json";
   double tolerance = 0.30;
   if (const char* env = std::getenv("FENIX_BENCH_GATE_TOLERANCE")) {
     double v = 0.0;
@@ -78,7 +79,8 @@ int main(int argc, char** argv) {
   for (const auto& base : baselines) {
     const bool rate_metric = ends_with(base.key, "_packets_per_sec") ||
                              base.key == "serial_packets_per_sec" ||
-                             ends_with(base.key, "_speedup");
+                             ends_with(base.key, "_speedup") ||
+                             ends_with(base.key, "_scaling_efficiency");
     const bool identity_metric = ends_with(base.key, "_bit_identical");
     if (!rate_metric && !identity_metric) continue;
     ++gated;

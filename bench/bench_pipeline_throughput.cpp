@@ -1,16 +1,22 @@
-// Replay throughput: serial run() vs multi-pipe sharded run_pipelined().
+// Replay throughput: serial run() vs decentralized multi-pipe run_pipelined().
 //
 // Methodology: the Figure 10 NIC-saturation point (8000 flows, 8x gap
 // compression, 128k-slot Flow Info Table) replayed through the same trained
-// CNN four ways — the serial reference, then the sharded replay at 1, 2 and
-// 4 pipe shards with batched (SIMD batch-lane) Model Engine submission.
-// Every sharded replay's RunReport is asserted bit-identical to the serial
-// one before its throughput number is accepted: a packets/sec figure from a
-// replay that diverged from the reference semantics is meaningless.
+// CNN — the serial reference, then the decentralized replay swept across
+// 1, 2, 4, 8 and 16 pipe shards with batched (SIMD batch-lane) Model Engine
+// submission. Every sharded replay's RunReport is asserted bit-identical to
+// the serial one before its throughput number is accepted: a packets/sec
+// figure from a replay that diverged from the reference semantics is
+// meaningless.
 //
-// Headline metrics (BENCH_PR3.json § pipeline_throughput): packets/sec for
-// each configuration and the 4-pipe speedup over serial, gated against
-// bench/baselines.json by bench_gate.
+// Headline metrics (BENCH_PR6.json § pipeline_throughput): packets/sec for
+// each configuration, the speedup over serial, and the scaling efficiency
+// pps(N) / pps(1) — how much of the 1-pipe pipelined throughput each wider
+// shard count retains. All are gated against bench/baselines.json by
+// bench_gate. `host_threads` records the worker pool width the sweep
+// actually ran with: scaling efficiency above 1.0 is only physically
+// possible when host_threads > 1, so a flat curve on a 1-core runner is the
+// expected honest result, not a regression.
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -20,6 +26,7 @@
 #include "bench_common.hpp"
 #include "bench_json.hpp"
 #include "core/fenix_system.hpp"
+#include "runtime/thread_pool.hpp"
 #include "telemetry/table.hpp"
 
 namespace {
@@ -72,19 +79,26 @@ int main() {
   const double serial_pps =
       serial_s > 0 ? static_cast<double>(serial_report.packets) / serial_s : 0.0;
 
-  telemetry::TextTable table(
-      {"Config", "Wall s", "Packets/sec", "Speedup", "Bit-identical"});
+  const std::size_t host_threads = runtime::ThreadPool::default_thread_count();
+  std::cout << "Host worker threads: " << host_threads << "\n";
+
+  telemetry::TextTable table({"Config", "Wall s", "Packets/sec", "Speedup",
+                              "Scaling eff", "Bit-identical"});
   table.add_row({"serial", telemetry::TextTable::num(serial_s, 2),
-                 telemetry::TextTable::num(serial_pps, 0), "1.00", "ref"});
+                 telemetry::TextTable::num(serial_pps, 0), "1.00", "-", "ref"});
 
   bench::JsonSection perf;
   perf.put("trace_packets", static_cast<std::int64_t>(trace.packets.size()));
+  perf.put("host_threads", static_cast<std::int64_t>(host_threads));
   perf.put("serial_wall_s", serial_s);
   perf.put("serial_packets_per_sec", serial_pps);
 
   bool all_identical = true;
+  double pps_1 = 0.0;
   double speedup_4 = 0.0;
-  for (const std::size_t pipes : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+  for (const std::size_t pipes :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8},
+        std::size_t{16}}) {
     core::PipelineOptions opts;
     opts.pipes = pipes;
     opts.batch = 16;
@@ -102,16 +116,23 @@ int main() {
     const double pps =
         wall_s > 0 ? static_cast<double>(report.packets) / wall_s : 0.0;
     const double speedup = serial_s > 0 && wall_s > 0 ? serial_s / wall_s : 0.0;
+    if (pipes == 1) pps_1 = pps;
     if (pipes == 4) speedup_4 = speedup;
+    // pps(N) / pps(1): the decentralization headline. Near-linear scaling
+    // shows up here once host_threads >= pipes; on a single hardware thread
+    // the honest expectation is ~1.0 (no shard-count overhead), not growth.
+    const double efficiency = pps_1 > 0 ? pps / pps_1 : 0.0;
 
     const std::string label = "pipes" + std::to_string(pipes);
     table.add_row({label + " batch16", telemetry::TextTable::num(wall_s, 2),
                    telemetry::TextTable::num(pps, 0),
                    telemetry::TextTable::num(speedup, 2),
+                   telemetry::TextTable::num(efficiency, 2),
                    identical ? "yes" : "NO"});
     perf.put(label + "_wall_s", wall_s);
     perf.put(label + "_packets_per_sec", pps);
     perf.put(label + "_speedup", speedup);
+    perf.put(label + "_scaling_efficiency", efficiency);
     perf.put(label + "_bit_identical", identical ? std::int64_t{1} : std::int64_t{0});
     if (!identical) perf.put(label + "_divergence", *divergence);
   }
@@ -119,7 +140,7 @@ int main() {
   std::cout << "\n4-pipe speedup over serial: "
             << telemetry::TextTable::num(speedup_4, 2) << "x\n";
 
-  bench::write_bench_json("pipeline_throughput", perf, "BENCH_PR3.json");
+  bench::write_bench_json("pipeline_throughput", perf, "BENCH_PR6.json");
 
   if (!all_identical) {
     std::cerr << "FAIL: a sharded replay diverged from the serial report\n";

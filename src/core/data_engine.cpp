@@ -25,7 +25,7 @@ DataEngine::DataEngine(const DataEngineConfig& config)
   bucket_config.token_rate_v = token_rate_v_;
   bucket_config.capacity_tokens = config.bucket_capacity_tokens;
   bucket_config.seed = config.bucket_seed;
-  bucket_ = std::make_unique<TokenBucket>(bucket_config);
+  bucket_ = std::make_unique<ShardedTokenBucket>(bucket_config);
 
   flow_rate_meter_ = telemetry::RateMeter(config.stats_ewma_alpha);
   packet_rate_meter_ = telemetry::RateMeter(config.stats_ewma_alpha);
@@ -122,11 +122,12 @@ DataEngineOutput DataEngine::on_packet(const net::PacketRecord& packet) {
   const double t_i = sim::to_seconds(out.flow.backlog_age);
   const double c_i = static_cast<double>(out.flow.backlog_count);
   const std::uint16_t prob = prob_table_.lookup_fixed(t_i, c_i);
-  if (bucket_->on_packet(packet.timestamp, prob)) {
+  const std::size_t lane = lane_of_slot(out.flow.index);
+  if (bucket_->on_packet(lane, packet.timestamp, prob)) {
     bool emit = true;
     if (watchdog_.degraded()) {
       const unsigned stride = std::max(1u, config_.degraded_probe_stride);
-      emit = degraded_grants_++ % stride == 0;
+      emit = degraded_grants_[lane]++ % stride == 0;
       if (!emit) ++mirrors_suppressed_;
     }
     if (emit) {
@@ -146,8 +147,9 @@ DataEngineOutput DataEngine::on_packet(const net::PacketRecord& packet) {
 
 bool DataEngine::deliver_result(const net::InferenceResult& result) {
   // Any verdict making it back is proof of life, stale or not — the slot may
-  // have been recycled, but the FPGA computed and returned it.
-  watchdog_.on_result(result.delivered_at);
+  // have been recycled, but the FPGA computed and returned it. The heartbeat
+  // buffers in the result's lane until the next epoch_reconcile().
+  watchdog_.buffer_result(lane_of(result.tuple), result.delivered_at);
   if (tracker_->apply_classification(result.tuple, result.predicted_class)) {
     ++results_applied_;
     return true;

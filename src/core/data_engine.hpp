@@ -13,6 +13,7 @@
 // (N, Q), and rebuilds the probability lookup table (§4.2).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -20,6 +21,7 @@
 #include "core/buffer_manager.hpp"
 #include "core/flow_tracker.hpp"
 #include "core/health_watchdog.hpp"
+#include "core/lane_coordination.hpp"
 #include "core/probability_model.hpp"
 #include "core/token_bucket.hpp"
 #include "core/tree_compiler.hpp"
@@ -95,12 +97,28 @@ class DataEngine {
   /// Data-plane processing of one packet.
   DataEngineOutput on_packet(const net::PacketRecord& packet);
 
-  /// Applies an inference result arriving back from the Model Engine.
+  /// Applies an inference result arriving back from the Model Engine. The
+  /// heartbeat is buffered into the result's lane (derived from the tuple's
+  /// flow-table slot) and folded into the watchdog at the next
+  /// epoch_reconcile().
   bool deliver_result(const net::InferenceResult& result);
 
   /// Control-plane window maintenance at time `now`; call at least once per
   /// T_w (idempotent within a window).
   void control_plane_tick(sim::SimTime now);
+
+  /// Epoch reconciliation (coordinator only, at a barrier): folds buffered
+  /// watchdog events in canonical order, publishes the degraded flag the
+  /// forwarding ladder reads, and rebalances the sharded token budget.
+  void epoch_reconcile(sim::SimTime now) {
+    watchdog_.reconcile();
+    bucket_->reconcile(now);
+  }
+
+  /// The coordination lane of a five-tuple (lane of its flow-table slot).
+  std::size_t lane_of(const net::FiveTuple& tuple) const {
+    return lane_of_slot(net::flow_index(tuple, config_.tracker.index_bits));
+  }
 
   /// Installs the preliminary per-packet decision tree (compiled to TCAM).
   /// The tree's features are (packet length, IPD code). `max_entries` caps
@@ -112,7 +130,7 @@ class DataEngine {
   // ---- accessors ----
   const switchsim::ResourceLedger& ledger() const { return ledger_; }
   const FlowTracker& tracker() const { return *tracker_; }
-  const TokenBucket& bucket() const { return *bucket_; }
+  const ShardedTokenBucket& bucket() const { return *bucket_; }
   const ProbabilityLookupTable& prob_table() const { return prob_table_; }
   const BufferManager& buffers() const { return *buffers_; }
   const switchsim::PipelineTiming& timing() const { return timing_; }
@@ -132,11 +150,11 @@ class DataEngine {
   std::uint64_t fallback_verdicts() const { return fallback_verdicts_; }
   std::uint64_t mirrors_suppressed() const { return mirrors_suppressed_; }
 
-  /// FPGA health watchdog. deliver_result() feeds it heartbeats; the system
-  /// loop reports missed result deadlines into it; on_packet() consults it
-  /// for the degradation ladder.
-  HealthWatchdog& watchdog() { return watchdog_; }
-  const HealthWatchdog& watchdog() const { return watchdog_; }
+  /// FPGA health watchdog, lane-buffered. deliver_result() buffers
+  /// heartbeats; the replay core buffers missed result deadlines; the
+  /// degradation ladder reads the flag published at epoch_reconcile().
+  LaneWatchdog& watchdog() { return watchdog_; }
+  const LaneWatchdog& watchdog() const { return watchdog_; }
 
  private:
   DataEngineConfig config_;
@@ -144,7 +162,7 @@ class DataEngine {
   switchsim::PipelineTiming timing_;
   std::unique_ptr<FlowTracker> tracker_;
   std::unique_ptr<BufferManager> buffers_;
-  std::unique_ptr<TokenBucket> bucket_;
+  std::unique_ptr<ShardedTokenBucket> bucket_;
   ProbabilityLookupTable prob_table_;
   double token_rate_v_;
 
@@ -158,8 +176,10 @@ class DataEngine {
   telemetry::RateMeter flow_rate_meter_{0.4};
   telemetry::RateMeter packet_rate_meter_{0.4};
 
-  HealthWatchdog watchdog_;
-  std::uint64_t degraded_grants_ = 0;  ///< Grants seen while degraded (probe stride).
+  LaneWatchdog watchdog_;
+  /// Per-lane grants seen while degraded (probe stride); lane-local so pipe
+  /// workers never share a stride counter.
+  std::array<std::uint64_t, kCoordinationLanes> degraded_grants_{};
   net::FeatureVector mirror_buf_;      ///< Reused mirror assembly buffer.
 
   sim::SimTime last_window_tick_ = 0;

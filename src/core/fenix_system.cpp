@@ -1,8 +1,26 @@
 #include "core/fenix_system.hpp"
 
+#include <algorithm>
+
 #include "core/replay_core.hpp"
 
 namespace fenix::core {
+
+namespace {
+
+/// Decorrelation constant for per-lane channel RNG seeds (same mix the
+/// sharded token bucket uses; RandomStream seeding splitmixes, so nearby
+/// seeds already yield independent streams).
+constexpr std::uint64_t kLaneSeedMix = 0x9e3779b97f4a7c15ULL;
+
+net::ReliableLink::Config lane_link_config(net::ReliableLink::Config cfg) {
+  const auto n = static_cast<double>(kCoordinationLanes);
+  cfg.nack_rate_hz /= n;
+  cfg.nack_burst = std::max(1.0, cfg.nack_burst / n);
+  return cfg;
+}
+
+}  // namespace
 
 DataEngineConfig FenixSystem::resolve_data_engine_config(FenixSystemConfig config,
                                                          const ModelEngine& engine) {
@@ -15,28 +33,132 @@ DataEngineConfig FenixSystem::resolve_data_engine_config(FenixSystemConfig confi
 FenixSystem::FenixSystem(const FenixSystemConfig& config, const nn::QuantizedCnn* cnn,
                          const nn::QuantizedRnn* rnn)
     : config_(config), model_engine_(config.model_engine, cnn, rnn),
-      data_engine_(resolve_data_engine_config(config, model_engine_)),
-      to_fpga_(config.pcb_channel_bps, config.pcb_propagation,
-               config.pcb_loss_rate, /*loss_seed=*/0x70f6),
-      from_fpga_(config.pcb_channel_bps, config.pcb_propagation,
-                 config.pcb_loss_rate, /*loss_seed=*/0x6f07),
-      link_to_fpga_(to_fpga_, config.link),
-      link_from_fpga_(from_fpga_, config.link) {
-  // An FPGA reboot orphans every in-flight frame: bump both link epochs so
-  // verdicts stamped before the reset are discarded on delivery instead of
-  // installing pre-reboot flow state (appended after the Model Engine's own
-  // queue-flush hook).
+      data_engine_(resolve_data_engine_config(config, model_engine_)) {
+  // Stripe the aggregate PCB bandwidth over the coordination lanes: each lane
+  // gets an even bandwidth slice and its own decorrelated loss RNG, so pipe
+  // workers drive their lanes' endpoints with no shared link state.
+  const double lane_bps =
+      config.pcb_channel_bps / static_cast<double>(kCoordinationLanes);
+  const net::ReliableLink::Config link_cfg = lane_link_config(config.link);
+  lanes_.reserve(kCoordinationLanes);
+  for (std::size_t lane = 0; lane < kCoordinationLanes; ++lane) {
+    lanes_.push_back(std::make_unique<LanePath>(
+        lane_bps, config.pcb_propagation, config.pcb_loss_rate,
+        /*to_seed=*/0x70f6 + kLaneSeedMix * lane,
+        /*from_seed=*/0x6f07 + kLaneSeedMix * lane, link_cfg));
+  }
+  // An FPGA reboot orphans every in-flight frame: bump every lane's link
+  // epochs so verdicts stamped before the reset are discarded on delivery
+  // instead of installing pre-reboot flow state (appended after the Model
+  // Engine's own queue-flush hook).
   model_engine_.device().add_reset_hook([this](sim::SimTime at) {
-    link_to_fpga_.resync(at);
-    link_from_fpga_.resync(at);
+    for (auto& lane : lanes_) {
+      lane->to_link.resync(at);
+      lane->from_link.resync(at);
+    }
   });
 }
 
-// The serial replay is the pipes=1 instantiation of the shared ReplayCore:
-// the Data Engine itself runs the flow-track / admission stages (so its
-// counters stay the system of record), the eager EngineInferenceStage runs
-// one scalar forward pass per mirror, and delivered verdicts land back in
-// the Data Engine's Flow Info Table.
+LaneLinks FenixSystem::to_links() {
+  LaneLinks links{};
+  for (std::size_t lane = 0; lane < kCoordinationLanes; ++lane) {
+    links[lane] = &lanes_[lane]->to_link;
+  }
+  return links;
+}
+
+LaneLinks FenixSystem::from_links() {
+  LaneLinks links{};
+  for (std::size_t lane = 0; lane < kCoordinationLanes; ++lane) {
+    links[lane] = &lanes_[lane]->from_link;
+  }
+  return links;
+}
+
+net::ReliableLinkStats FenixSystem::link_stats_to_fpga() const {
+  net::ReliableLinkStats total;
+  for (const auto& lane : lanes_) {
+    const net::ReliableLinkStats& s = lane->to_link.stats();
+    total.data_frames += s.data_frames;
+    total.delivered += s.delivered;
+    total.retransmits += s.retransmits;
+    total.nacks += s.nacks;
+    total.corrupt_drops += s.corrupt_drops;
+    total.dup_suppressed += s.dup_suppressed;
+    total.reorder_held += s.reorder_held;
+    total.window_overflow_drops += s.window_overflow_drops;
+    total.drops_lost += s.drops_lost;
+    total.drops_corrupt += s.drops_corrupt;
+    total.drops_pacer += s.drops_pacer;
+    total.peak_window = std::max(total.peak_window, s.peak_window);
+    total.resyncs += s.resyncs;
+    total.monotone_violations += s.monotone_violations;
+  }
+  return total;
+}
+
+net::ReliableLinkStats FenixSystem::link_stats_from_fpga() const {
+  net::ReliableLinkStats total;
+  for (const auto& lane : lanes_) {
+    const net::ReliableLinkStats& s = lane->from_link.stats();
+    total.data_frames += s.data_frames;
+    total.delivered += s.delivered;
+    total.retransmits += s.retransmits;
+    total.nacks += s.nacks;
+    total.corrupt_drops += s.corrupt_drops;
+    total.dup_suppressed += s.dup_suppressed;
+    total.reorder_held += s.reorder_held;
+    total.window_overflow_drops += s.window_overflow_drops;
+    total.drops_lost += s.drops_lost;
+    total.drops_corrupt += s.drops_corrupt;
+    total.drops_pacer += s.drops_pacer;
+    total.peak_window = std::max(total.peak_window, s.peak_window);
+    total.resyncs += s.resyncs;
+    total.monotone_violations += s.monotone_violations;
+  }
+  return total;
+}
+
+sim::ChannelStats FenixSystem::channel_stats_to_fpga() const {
+  sim::ChannelStats total;
+  for (const auto& lane : lanes_) {
+    const sim::ChannelStats& s = lane->to_ch.stats();
+    total.transfers += s.transfers;
+    total.bytes += s.bytes;
+    total.losses += s.losses;
+    total.corruptions += s.corruptions;
+    total.duplicates += s.duplicates;
+    total.reorders += s.reorders;
+    total.busy_time += s.busy_time;
+    total.max_queueing = std::max(total.max_queueing, s.max_queueing);
+  }
+  return total;
+}
+
+sim::ChannelStats FenixSystem::channel_stats_from_fpga() const {
+  sim::ChannelStats total;
+  for (const auto& lane : lanes_) {
+    const sim::ChannelStats& s = lane->from_ch.stats();
+    total.transfers += s.transfers;
+    total.bytes += s.bytes;
+    total.losses += s.losses;
+    total.corruptions += s.corruptions;
+    total.duplicates += s.duplicates;
+    total.reorders += s.reorders;
+    total.busy_time += s.busy_time;
+    total.max_queueing = std::max(total.max_queueing, s.max_queueing);
+  }
+  return total;
+}
+
+// The serial replay is the one-thread instantiation of the lane-granular
+// ReplayCore: the Data Engine itself runs the flow-track / admission stages
+// (so its counters stay the system of record), the eager EngineInferenceStage
+// runs one scalar forward pass per mirror on the packet's lane port, and
+// delivered verdicts land back in the Data Engine's Flow Info Table. Epoch
+// boundaries — fault hooks, the cross-lane watchdog fold, token-budget
+// rebalancing, the control-plane window tick — fire on the quantized trace
+// timestamps run_pipelined() reconstructs identically.
 RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes,
                            RunHooks* hooks, const std::vector<RunPhase>& phases) {
   ReplayCoreConfig core_config;
@@ -45,23 +167,38 @@ RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes,
   core_config.pass_latency = data_engine_.timing().pass_latency();
   EngineInferenceStage inference(model_engine_);
   DataEngineResultSink sink(data_engine_);
-  ReplayCore core(trace, num_classes, phases, core_config, link_to_fpga_,
-                  link_from_fpga_, data_engine_.watchdog(), inference, sink,
-                  hooks);
+  ReplayCore core(trace, num_classes, phases, core_config, to_links(),
+                  from_links(), data_engine_.watchdog(), inference, sink, hooks);
 
+  const sim::SimDuration quantum =
+      std::max<sim::SimDuration>(1, config_.reconcile_quantum);
+  sim::SimTime last_epoch = 0;
+  bool first = true;
   for (const net::PacketRecord& packet : trace.packets) {
-    core.begin_packet(packet.timestamp);
-    data_engine_.control_plane_tick(packet.timestamp);
+    const sim::SimTime ts = packet.timestamp;
+    if (first || ts >= last_epoch + quantum) {
+      core.reconcile(ts);
+      data_engine_.epoch_reconcile(ts);
+      data_engine_.control_plane_tick(ts);
+      last_epoch = ts;
+      first = false;
+    }
+    const std::size_t lane = data_engine_.lane_of(packet.tuple);
+    core.begin_packet(ts, lane);
     DataEngineOutput out = data_engine_.on_packet(packet);
-    core.account_packet(packet.timestamp, packet.label, out.forward_class,
+    core.account_packet(ts, packet.label, out.forward_class,
                         out.from_model_engine,
                         out.from_model_engine
                             ? static_cast<VerdictSymbol>(out.forward_class)
                             : kNoVerdict,
-                        out.from_fallback_tree);
-    if (out.mirrored) core.emit_mirror(*out.mirrored, packet.timestamp);
+                        out.from_fallback_tree, lane);
+    if (out.mirrored) core.emit_mirror(*out.mirrored, ts, lane);
   }
 
+  // Final barrier at end of trace, then the tail drain (late verdicts still
+  // count; the watchdog folds and closes inside drain()).
+  core.reconcile(trace.duration());
+  data_engine_.epoch_reconcile(trace.duration());
   core.drain(trace.duration());
   core.resolve();
   // Degraded-mode admission ran inside the Data Engine on this path.
@@ -78,14 +215,16 @@ telemetry::MetricRegistry FenixSystem::health_metrics(const RunReport& report) c
   reg.set_counter("results_stale", report.results_stale);
   reg.set_counter("fifo_drops", report.fifo_drops);
   reg.set_counter("channel_losses", report.channel_losses);
-  reg.set_counter("to_fpga_losses", to_fpga_.stats().losses);
-  reg.set_counter("from_fpga_losses", from_fpga_.stats().losses);
-  reg.set_counter("to_fpga_corruptions", to_fpga_.stats().corruptions);
-  reg.set_counter("from_fpga_corruptions", from_fpga_.stats().corruptions);
-  reg.set_counter("to_fpga_duplicates", to_fpga_.stats().duplicates);
-  reg.set_counter("from_fpga_duplicates", from_fpga_.stats().duplicates);
-  reg.set_counter("to_fpga_reorders", to_fpga_.stats().reorders);
-  reg.set_counter("from_fpga_reorders", from_fpga_.stats().reorders);
+  const sim::ChannelStats to_ch = channel_stats_to_fpga();
+  const sim::ChannelStats from_ch = channel_stats_from_fpga();
+  reg.set_counter("to_fpga_losses", to_ch.losses);
+  reg.set_counter("from_fpga_losses", from_ch.losses);
+  reg.set_counter("to_fpga_corruptions", to_ch.corruptions);
+  reg.set_counter("from_fpga_corruptions", from_ch.corruptions);
+  reg.set_counter("to_fpga_duplicates", to_ch.duplicates);
+  reg.set_counter("from_fpga_duplicates", from_ch.duplicates);
+  reg.set_counter("to_fpga_reorders", to_ch.reorders);
+  reg.set_counter("from_fpga_reorders", from_ch.reorders);
   // Reliable-framing health (this run's deltas, both directions aggregated).
   reg.set_counter("stale_epoch_drops", report.stale_epoch_drops);
   reg.set_counter("link_retransmits", report.link_retransmits);
@@ -96,13 +235,14 @@ telemetry::MetricRegistry FenixSystem::health_metrics(const RunReport& report) c
   reg.set_counter("link_window_drops", report.link_window_drops);
   reg.set_counter("link_pacer_drops", report.link_pacer_drops);
   reg.set_counter("link_resyncs", report.link_resyncs);
-  const ModelEngineStats& engine = model_engine_.stats();
+  const ModelEngineStats engine = model_engine_.combined_stats();
   reg.set_counter("engine_input_drops", engine.input_drops);
   reg.set_counter("reconfig_drops", engine.reconfig_drops);
   reg.set_counter("stall_drops", engine.stall_drops);
-  // Model Engine Flow Identifier Queue pressure (sim::FifoStats), next to the
-  // watchdog counters so brownout benches see queue saturation directly.
-  const sim::FifoStats& fifo = model_engine_.vector_io().queue_stats();
+  // Model Engine Flow Identifier Queue pressure (sim::FifoStats, legacy path
+  // plus every lane port), next to the watchdog counters so brownout benches
+  // see queue saturation directly.
+  const sim::FifoStats fifo = model_engine_.combined_queue_stats();
   reg.set_counter("engine_fifo_drops", fifo.drops);
   reg.set_counter("engine_fifo_peak", fifo.peak_occupancy);
   const fpgasim::DeviceFaultStats& device = model_engine_.device().fault_stats();
@@ -118,6 +258,28 @@ telemetry::MetricRegistry FenixSystem::health_metrics(const RunReport& report) c
   reg.set_counter("watchdog_recoveries", report.watchdog.recoveries);
   reg.set_gauge("time_degraded_ms",
                 sim::to_milliseconds(report.watchdog.time_degraded));
+  // Decentralized-coordination health: how often the epoch reconcilers ran,
+  // and (after run_pipelined) the fan-in contention and per-pipe backlog
+  // peaks of the worker fleet.
+  // Exactly one replay driver ran: serial drives the Data Engine's
+  // reconcilers, run_pipelined drives replicas it exports via telemetry —
+  // summing surfaces whichever path executed.
+  reg.set_counter("watchdog_reconciles",
+                  data_engine_.watchdog().reconciles() +
+                      pipeline_telemetry_.watchdog_reconciles);
+  reg.set_counter("bucket_reconciles",
+                  data_engine_.bucket().reconciles() +
+                      pipeline_telemetry_.bucket_reconciles);
+  reg.set_counter("pipeline_epochs", pipeline_telemetry_.epochs);
+  reg.set_counter("fanin_enqueues", pipeline_telemetry_.fanin.enqueues);
+  reg.set_counter("fanin_cas_retries", pipeline_telemetry_.fanin.cas_retries);
+  reg.set_counter("fanin_full_stalls", pipeline_telemetry_.fanin.full_stalls);
+  reg.set_counter("fanin_peak_size", pipeline_telemetry_.fanin.peak_size);
+  for (std::size_t pipe = 0; pipe < pipeline_telemetry_.pipe_queue_peaks.size();
+       ++pipe) {
+    reg.set_counter("pipe" + std::to_string(pipe) + "_queue_peak",
+                    pipeline_telemetry_.pipe_queue_peaks[pipe]);
+  }
   return reg;
 }
 

@@ -7,6 +7,16 @@
 // per-packet forwarding classifications, and internal-transmission /
 // inference / return-path latency distributions.
 //
+// Since the decentralized coordinator (DESIGN.md §4.9) the switch<->FPGA
+// fabric is lane-striped: the aggregate PCB bandwidth is split into
+// core::kCoordinationLanes per-direction channel + reliable-link pairs, one
+// per coordination lane, so pipe workers drive their lanes' links without a
+// shared endpoint. The serial run() walks the same lane fabric one packet at
+// a time; run_pipelined() spreads the lanes over pipe workers. Both replays
+// reconcile cross-lane state (token budget, watchdog, fault hooks, control
+// plane) on the same epoch schedule — every `reconcile_quantum` of trace
+// time — and produce bit-identical RunReports.
+//
 // The replay is failure-aware (DESIGN.md § Failure semantics): every mirror
 // carries a result deadline; deadlines missed feed the Data Engine's FPGA
 // health watchdog and arm a token-bucket-governed retransmit of the stored
@@ -15,12 +25,14 @@
 // heartbeat probe stream, failing back to DNN service when results resume.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/data_engine.hpp"
 #include "core/model_engine.hpp"
 #include "core/replay_core.hpp"
+#include "runtime/mpsc_queue.hpp"
 #include "sim/channel.hpp"
 #include "telemetry/latency.hpp"
 #include "telemetry/metrics.hpp"
@@ -34,35 +46,63 @@ struct FenixSystemConfig {
   DataEngineConfig data_engine;
   ModelEngineConfig model_engine;
 
-  /// Board-level port channels between the Tofino and the FPGA (§6: multiple
-  /// 100 Gbps channels; we model one per direction).
+  /// Aggregate board-level bandwidth between the Tofino and the FPGA per
+  /// direction (§6: multiple 100 Gbps channels). Striped evenly over the
+  /// kCoordinationLanes per-lane channels.
   double pcb_channel_bps = 100e9;
   sim::SimDuration pcb_propagation = sim::nanoseconds(40);  ///< PCB trace flight.
   /// Frame loss rate on the PCB channels (failure injection: signal-integrity
-  /// faults drop CRC-failing frames). 0 = healthy board.
+  /// faults drop CRC-failing frames). 0 = healthy board. Applied to every
+  /// lane; each lane draws from its own decorrelated RNG stream.
   double pcb_loss_rate = 0.0;
 
   /// Reliable framing over the PCB channels (net/reliable_link.hpp): reorder
   /// window, NACK-paced frame retransmits, epoch resync after FPGA reboot.
   /// The default (max_retransmits = 0) degenerates to the bare lossy channel.
+  /// The NACK pacing budget is split evenly over the lanes (rate / L, burst
+  /// / L with a floor of one token).
   net::ReliableLink::Config link;
 
   /// Deadline / retransmit / watchdog recovery behaviour
   /// (core/replay_core.hpp, threaded into the shared ReplayCore).
   RecoveryConfig recovery;
+
+  /// Epoch-reconciliation quantum of the decentralized coordinator: fault
+  /// hooks, the cross-lane watchdog fold, token-budget rebalancing, and the
+  /// control-plane window tick all run at trace-timestamp boundaries spaced
+  /// by this quantum. Part of the replay semantics — both replay paths use
+  /// the identical schedule (a pure function of the trace).
+  sim::SimDuration reconcile_quantum = sim::milliseconds(1);
 };
 
 /// Knobs of the multi-pipe sharded replay (run_pipelined).
 struct PipelineOptions {
-  /// Pipe shards the packet stream is partitioned into by five-tuple hash
-  /// (flow-affine, modeling Tofino 2's four pipes). Each shard owns its own
-  /// Flow Tracker / Buffer Manager partition.
+  /// Pipe shards the packet stream is partitioned into (flow-affine by
+  /// coordination lane: pipe = lane % pipes, modeling Tofino 2's pipes).
+  /// Capped at kCoordinationLanes.
   std::size_t pipes = 4;
   /// Inferences per batched Model Engine submission (predict_batch frame).
   std::size_t batch = 16;
-  /// Worker threads for the shard pre-pass + inference workers; 0 picks
+  /// Worker threads for the pipe workers + inference workers; 0 picks
   /// runtime::ThreadPool::default_thread_count().
   std::size_t threads = 0;
+};
+
+/// What the last run_pipelined() observed about its own coordination
+/// machinery (satellite telemetry of the decentralized coordinator; all
+/// zeros after a serial run()). Exported by health_metrics().
+struct PipelineTelemetry {
+  std::size_t pipes = 0;
+  std::uint64_t epochs = 0;  ///< Reconciliation barriers executed.
+  /// Barrier counts of the replica reconcilers the pipelined run drove
+  /// (the serial path drives the Data Engine's own; health_metrics sums
+  /// both so either driver's counts surface).
+  std::uint64_t watchdog_reconciles = 0;
+  std::uint64_t bucket_reconciles = 0;
+  /// Peak per-epoch packet backlog each pipe worker drained (index = pipe).
+  std::vector<std::uint64_t> pipe_queue_peaks;
+  /// Model Engine fan-in queue contention/occupancy counters.
+  runtime::MpscQueueStats fanin;
 };
 
 class FenixSystem {
@@ -72,17 +112,20 @@ class FenixSystem {
               const nn::QuantizedRnn* rnn);
 
   /// Replays `trace` through the full system. `hooks` (optional) observes
-  /// simulated time for fault injection; `phases` (optional, sorted,
-  /// disjoint) requests per-phase forwarding accuracy accounting.
+  /// simulated time for fault injection (fired at epoch boundaries);
+  /// `phases` (optional, sorted, disjoint) requests per-phase forwarding
+  /// accuracy accounting.
   RunReport run(const net::Trace& trace, std::size_t num_classes,
                 RunHooks* hooks = nullptr, const std::vector<RunPhase>& phases = {});
 
-  /// Multi-pipe sharded replay: bit-identical RunReport to run() at any
-  /// shard/thread count (DESIGN.md § Multi-pipe sharded replay), but the
-  /// flow-tracker/featurization work runs on per-pipe shards and every DNN
-  /// forward pass goes through batched (SIMD batch-lane) Model Engine
-  /// submission instead of one scalar predict per mirror. Must be called on
-  /// a freshly constructed system, exactly like the benches call run().
+  /// Multi-pipe replay on the decentralized coordinator: bit-identical
+  /// RunReport to run() at any pipe/batch/thread count (DESIGN.md §4.9).
+  /// Pipe workers own disjoint coordination-lane sets — flow tracking,
+  /// admission, the lane's link pair, and Model Engine lane submission all
+  /// run pipe-locally — and the coordinator only reconciles the lanes at
+  /// epoch barriers and merges at the end. DNN forward passes are batched
+  /// through a lock-free MPSC fan-in. Must be called on a freshly
+  /// constructed system, exactly like the benches call run().
   RunReport run_pipelined(const net::Trace& trace, std::size_t num_classes,
                           RunHooks* hooks = nullptr,
                           const std::vector<RunPhase>& phases = {},
@@ -95,27 +138,63 @@ class FenixSystem {
 
   DataEngine& data_engine() { return data_engine_; }
   ModelEngine& model_engine() { return model_engine_; }
-  const sim::Channel& to_fpga() const { return to_fpga_; }
-  const sim::Channel& from_fpga() const { return from_fpga_; }
-  const net::ReliableLink& link_to_fpga() const { return link_to_fpga_; }
-  const net::ReliableLink& link_from_fpga() const { return link_from_fpga_; }
 
-  /// Mutable channel access for fault injection (brownouts retune the line
-  /// rate, loss, and chaos rates of the live links).
-  sim::Channel& to_fpga_mut() { return to_fpga_; }
-  sim::Channel& from_fpga_mut() { return from_fpga_; }
+  /// Number of coordination lanes the fabric is striped over.
+  static constexpr std::size_t lane_count() { return kCoordinationLanes; }
+
+  /// Lane-0 endpoints (representative lane — every lane is configured
+  /// identically at construction; fault injection mutates all of them).
+  const sim::Channel& to_fpga() const { return lanes_[0]->to_ch; }
+  const sim::Channel& from_fpga() const { return lanes_[0]->from_ch; }
+  const net::ReliableLink& link_to_fpga() const { return lanes_[0]->to_link; }
+  const net::ReliableLink& link_from_fpga() const { return lanes_[0]->from_link; }
+
+  /// Mutable per-lane channel access for fault injection (brownouts retune
+  /// the line rate, loss, and chaos rates of every live lane).
+  sim::Channel& to_fpga_mut(std::size_t lane = 0) { return lanes_[lane]->to_ch; }
+  sim::Channel& from_fpga_mut(std::size_t lane = 0) { return lanes_[lane]->from_ch; }
+
+  /// Reliable-link counters aggregated over all lanes of one direction
+  /// (counters summed, peak_window maxed) — the whole-fabric view the
+  /// invariant checker's conservation laws run against.
+  net::ReliableLinkStats link_stats_to_fpga() const;
+  net::ReliableLinkStats link_stats_from_fpga() const;
+
+  /// Channel fault counters aggregated over all lanes of one direction.
+  sim::ChannelStats channel_stats_to_fpga() const;
+  sim::ChannelStats channel_stats_from_fpga() const;
+
+  /// Coordination telemetry of the last run_pipelined() (zeros otherwise).
+  const PipelineTelemetry& pipeline_telemetry() const { return pipeline_telemetry_; }
 
  private:
+  /// One coordination lane's slice of the switch<->FPGA fabric.
+  struct LanePath {
+    LanePath(double bps, sim::SimDuration propagation, double loss_rate,
+             std::uint64_t to_seed, std::uint64_t from_seed,
+             const net::ReliableLink::Config& link_cfg)
+        : to_ch(bps, propagation, loss_rate, to_seed),
+          from_ch(bps, propagation, loss_rate, from_seed),
+          to_link(to_ch, link_cfg), from_link(from_ch, link_cfg) {}
+
+    sim::Channel to_ch;
+    sim::Channel from_ch;
+    net::ReliableLink to_link;
+    net::ReliableLink from_link;
+  };
+
   static DataEngineConfig resolve_data_engine_config(FenixSystemConfig config,
                                                      const ModelEngine& engine);
+
+  LaneLinks to_links();
+  LaneLinks from_links();
 
   FenixSystemConfig config_;
   ModelEngine model_engine_;  ///< Built first: the Data Engine derives V from it.
   DataEngine data_engine_;
-  sim::Channel to_fpga_;
-  sim::Channel from_fpga_;
-  net::ReliableLink link_to_fpga_;    ///< Reliable framing over to_fpga_.
-  net::ReliableLink link_from_fpga_;  ///< Reliable framing over from_fpga_.
+  /// kCoordinationLanes lane paths (unique_ptr: links hold channel refs).
+  std::vector<std::unique_ptr<LanePath>> lanes_;
+  PipelineTelemetry pipeline_telemetry_;
 };
 
 }  // namespace fenix::core

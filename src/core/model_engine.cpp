@@ -16,13 +16,29 @@ ModelEngine::ModelEngine(const ModelEngineConfig& config, const nn::QuantizedCnn
   ii_cycles_ = config_.layer_pipelined ? slowest_stage : latency;
   if (config_.ii_override_cycles != 0) ii_cycles_ = config_.ii_override_cycles;
   sync_latency_ = timer_.clock().cycles(config_.sync_cycles);
+  const std::size_t lane_flow_depth =
+      std::max<std::size_t>(1, config_.flow_queue_depth / kCoordinationLanes);
+  ports_.reserve(kCoordinationLanes);
+  for (std::size_t lane = 0; lane < kCoordinationLanes; ++lane) {
+    ports_.emplace_back(lane_flow_depth);
+  }
   // A card reset loses everything staged in the fabric: occupancy of the
-  // input async FIFO and the identifiers parked in the Vector I/O Processor.
+  // input async FIFOs and the identifiers parked in the Vector I/O
+  // Processor — on the legacy path and on every lane port.
   device_.set_reset_hook([this](sim::SimTime) {
     pending_finishes_.clear();
     vector_io_.reset();
     array_free_at_ = device_.down_until();
+    clear_ports(device_.down_until());
   });
+}
+
+void ModelEngine::clear_ports(sim::SimTime free_at) {
+  for (EnginePort& port : ports_) {
+    port.pending_finishes.clear();
+    port.vio.reset();
+    port.array_free_at = free_at;
+  }
 }
 
 void ModelEngine::set_input_queue_depth(std::size_t depth) {
@@ -95,6 +111,7 @@ void ModelEngine::begin_reconfiguration(sim::SimTime now, const nn::QuantizedCnn
   pending_finishes_.clear();
   vector_io_.reset();
   array_free_at_ = reconfig_until_;
+  clear_ports(reconfig_until_);
   ++stats_.reconfigurations;
 }
 
@@ -140,6 +157,85 @@ std::optional<net::InferenceResult> ModelEngine::submit_timed(const net::Feature
   // placeholder the caller overwrites (submit() below, or the ModelPool's
   // batch drain).
   return vector_io_.pair(-1, start, finish + sync_latency_);
+}
+
+std::optional<net::InferenceResult> ModelEngine::submit_timed_lane(
+    std::size_t lane, const net::FeatureVector& vec, sim::SimTime arrival) {
+  EnginePort& port = ports_[lane];
+  if (arrival < reconfig_until_) {
+    ++port.stats.reconfig_drops;
+    return std::nullopt;
+  }
+  if (!device_.available(arrival)) {
+    ++port.stats.stall_drops;
+    return std::nullopt;
+  }
+  while (!port.pending_finishes.empty() &&
+         port.pending_finishes.front() <= arrival) {
+    port.pending_finishes.pop_front();
+  }
+  const std::size_t lane_depth =
+      std::max<std::size_t>(1, config_.input_queue_depth / kCoordinationLanes);
+  if (port.pending_finishes.size() >= lane_depth) {
+    ++port.stats.input_drops;
+    return std::nullopt;
+  }
+  if (!port.vio.admit(vec)) {
+    ++port.stats.input_drops;
+    return std::nullopt;
+  }
+  const sim::SimTime visible = arrival + sync_latency_;
+  const sim::SimTime start =
+      visible > port.array_free_at ? visible : port.array_free_at;
+  const sim::SimTime finish = start + timer_.to_time(cycles_per_inference_);
+  port.array_free_at = start + timer_.to_time(ii_cycles_);
+  port.pending_finishes.push_back(finish);
+  ++port.stats.inferences;
+  return port.vio.pair(-1, start, finish + sync_latency_);
+}
+
+std::optional<net::InferenceResult> ModelEngine::submit_lane(
+    std::size_t lane, const net::FeatureVector& vec, sim::SimTime arrival) {
+  auto result = submit_timed_lane(lane, vec, arrival);
+  if (!result) return std::nullopt;
+  const std::size_t seq_len = cnn_ ? cnn_->config().seq_len : rnn_->config().seq_len;
+  nn::tokenize_into(vec.sequence, seq_len, tokens_);
+  result->predicted_class =
+      cnn_ ? cnn_->predict(tokens_, scratch_) : rnn_->predict(tokens_, scratch_);
+  return result;
+}
+
+ModelEngineStats ModelEngine::combined_stats() const {
+  ModelEngineStats total = stats_;
+  for (const EnginePort& port : ports_) {
+    total.inferences += port.stats.inferences;
+    total.input_drops += port.stats.input_drops;
+    total.reconfig_drops += port.stats.reconfig_drops;
+    total.stall_drops += port.stats.stall_drops;
+  }
+  return total;
+}
+
+VectorIoStats ModelEngine::combined_vector_io_stats() const {
+  VectorIoStats total = vector_io_.stats();
+  for (const EnginePort& port : ports_) {
+    total.ingested += port.vio.stats().ingested;
+    total.queue_drops += port.vio.stats().queue_drops;
+    total.paired += port.vio.stats().paired;
+    total.orphan_results += port.vio.stats().orphan_results;
+  }
+  return total;
+}
+
+sim::FifoStats ModelEngine::combined_queue_stats() const {
+  sim::FifoStats total = vector_io_.queue_stats();
+  for (const EnginePort& port : ports_) {
+    total.drops += port.vio.queue_stats().drops;
+    if (port.vio.queue_stats().peak_occupancy > total.peak_occupancy) {
+      total.peak_occupancy = port.vio.queue_stats().peak_occupancy;
+    }
+  }
+  return total;
 }
 
 std::optional<net::InferenceResult> ModelEngine::submit(const net::FeatureVector& vec,

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/lane_coordination.hpp"
 #include "core/vector_io.hpp"
 #include "fpgasim/device.hpp"
 #include "fpgasim/resource_model.hpp"
@@ -92,6 +93,26 @@ class ModelEngine {
   std::optional<net::InferenceResult> submit_timed(const net::FeatureVector& vec,
                                                    sim::SimTime arrival);
 
+  /// Lane-decomposed admission for the decentralized replay: each of the
+  /// kCoordinationLanes lanes owns an independent slice of the Model Engine
+  /// front end — its own input-FIFO occupancy, Flow Identifier Queue, array
+  /// slot clock, and stats — so pipe workers submit concurrently without a
+  /// coordinator as long as each lane is driven by exactly one thread
+  /// between barriers. Admission logic is submit_timed()'s, against the
+  /// lane's slice (per-lane FIFO bound = max(1, input_queue_depth / lanes)).
+  /// The legacy whole-engine submit()/submit_timed() path is untouched and
+  /// may not be interleaved with the lane path within one run.
+  std::optional<net::InferenceResult> submit_timed_lane(std::size_t lane,
+                                                        const net::FeatureVector& vec,
+                                                        sim::SimTime arrival);
+
+  /// Lane admission + eager functional inference (the serial replay's lane
+  /// path). Uses the engine's shared scratch buffers: single-threaded
+  /// callers only.
+  std::optional<net::InferenceResult> submit_lane(std::size_t lane,
+                                                  const net::FeatureVector& vec,
+                                                  sim::SimTime arrival);
+
   /// Model accessors for external batched inference (the ModelPool runs
   /// predict_batch against the same bound model the engine would use).
   const nn::QuantizedCnn* cnn() const { return cnn_; }
@@ -139,6 +160,16 @@ class ModelEngine {
   const VectorIoProcessor& vector_io() const { return vector_io_; }
   bool is_cnn() const { return cnn_ != nullptr; }
 
+  /// Whole-engine view across the legacy path and every lane port: summed
+  /// stats, summed identifier-queue drops, max identifier-queue peak.
+  ModelEngineStats combined_stats() const;
+  VectorIoStats combined_vector_io_stats() const;
+  sim::FifoStats combined_queue_stats() const;
+
+  const VectorIoProcessor& lane_vector_io(std::size_t lane) const {
+    return ports_[lane].vio;
+  }
+
  private:
   /// Computes (total latency cycles, slowest layer-stage cycles).
   std::pair<std::uint64_t, std::uint64_t> compute_cycles() const;
@@ -159,6 +190,20 @@ class ModelEngine {
   ModelEngineStats stats_;
   nn::Scratch scratch_;            ///< Inference workspace; zero steady-state allocation.
   std::vector<nn::Token> tokens_;  ///< Reused per-submit token buffer.
+
+  /// One lane's slice of the front end. Each lane is driven by exactly one
+  /// pipe worker between barriers, so no synchronization is needed; the
+  /// shared members a lane submit reads (device window, reconfig window,
+  /// config depths) change only at epoch barriers.
+  struct EnginePort {
+    explicit EnginePort(std::size_t flow_queue_depth) : vio(flow_queue_depth) {}
+    std::deque<sim::SimTime> pending_finishes;
+    sim::SimTime array_free_at = 0;
+    VectorIoProcessor vio;
+    ModelEngineStats stats;
+  };
+  std::vector<EnginePort> ports_;  ///< kCoordinationLanes entries.
+  void clear_ports(sim::SimTime free_at);
 };
 
 }  // namespace fenix::core

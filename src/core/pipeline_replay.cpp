@@ -1,44 +1,45 @@
-// Multi-pipe sharded replay with batched Model Engine submission.
+// Multi-pipe replay on the decentralized coordinator (DESIGN.md §4.9).
 //
-// FenixSystem::run() replays a trace through one serial state machine. This
-// file is the throughput path: the same replay decomposed the way the
-// hardware is — Tofino 2 processes packets in (up to) four independent pipes,
-// and the FPGA's async input FIFO feeds the systolic array back-to-back
-// frames. Concretely:
+// FenixSystem::run() replays a trace through one thread walking the
+// lane-granular ReplayCore. This file is the throughput path: the same lane
+// state machines, driven by a fleet of pipe workers. The serial coordinator
+// of the earlier sharded replay is gone — there is no global packet-order
+// drain, no coordinator-owned token bucket or watchdog or Model Engine
+// admission. Instead:
 //
-//  * Packets are sharded by five-tuple hash (flow-affine: a Flow Info Table
-//    slot is owned by exactly one pipe shard). Each shard replicates the
-//    grant-independent per-packet work — Flow Tracker fingerprint
-//    check-and-claim, window-new-flow counting, IPD featurization, ring
-//    buffer maintenance and mirror-window assembly — on its own partition of
-//    the register arrays, and streams one PrePacket per packet through a
-//    bounded SPSC ring.
-//  * A serial coordinator drains the shards in global packet order and owns
-//    everything that couples flows to each other or to time: backlog
-//    accumulators (grants reset them), the probabilistic token bucket (one
-//    16-bit RNG draw per packet, in packet order), the probability-table
-//    rebuild at each control window, and the Model Engine's
-//    admission/occupancy model.
-//  * Everything downstream of admission — the PCB channels, the deadline /
-//    retransmit machinery, the health watchdog feed, and all verdict /
-//    confusion / phase accounting — is the shared ReplayCore
-//    (core/replay_core.hpp), instantiated here with the batched
-//    BatchedInferenceStage: mirrors are admitted with
-//    ModelEngine::submit_timed() and their feature windows enqueued into an
-//    InferenceBatcher ticket. A predicted class is pure data — a function of
-//    the token window only — and nothing in the replay's *timing* depends on
-//    it, so verdicts flow through the core's accounting symbolically and
-//    resolve once the batches complete. Batches therefore always fill to the
-//    SIMD batch-lane width regardless of how many inferences are in flight.
+//  * Every coordination lane (core/lane_coordination.hpp; lane = flow-table
+//    slot mod kCoordinationLanes) owns a full vertical slice of the per-packet
+//    dataflow: a replica of the Flow Tracker / Buffer Manager registers for
+//    its slots, its share of the sharded token bucket, its own PCB link pair,
+//    its Model Engine lane port, and its ReplayCore lane (deadline heaps,
+//    retransmit pacer, deferred accounting). A pipe worker owns the lanes
+//    with lane % pipes == pipe and replays its packets in trace order,
+//    start to finish — admission decision included.
+//  * The coordinator's only job is the epoch barrier, every
+//    FenixSystemConfig::reconcile_quantum of trace time: fire fault hooks,
+//    fold the lane-buffered watchdog events (publishing the degraded flag),
+//    rebalance the token sub-budgets, and run the control-plane window tick
+//    over the harvested per-lane window counters. Between barriers it drains
+//    the inference fan-in.
+//  * DNN forward passes are batched: workers admit mirrors with
+//    ModelEngine::submit_timed_lane (pure timing/FIFO effects against the
+//    lane port) and push the feature windows through a lock-free MPSC queue
+//    — the software mirror of the Model Engine's shared input arbiter — to
+//    the coordinator, which feeds an InferenceBatcher. Verdicts flow through
+//    the accounting as (lane, sequence) symbols and resolve to classes after
+//    the batches complete; a predicted class is pure data (nn::predict_batch
+//    is bit-identical to scalar predict), so the racy drain order never
+//    leaks into the replay.
 //
-// Determinism (DESIGN.md § Multi-pipe sharded replay): shard outputs are pure
-// per-slot functions of each slot's packet subsequence, so they are identical
-// at any shard/thread count; the coordinator consumes them in global packet
-// order and the shared core replicates run()'s event interleaving —
-// including the pump tie-break (results win when delivered_at <= miss.at) —
-// bit for bit.
+// Determinism: a lane's state is touched only by its owner between barriers,
+// every packet of a flow hashes to one lane, and the barrier schedule is a
+// pure function of the trace — so per-lane state evolves identically whether
+// the lanes run interleaved on one thread (run()) or spread over N workers,
+// and the lane-order merge in ReplayCore::resolve() yields bit-identical
+// RunReports at every pipes/batch/threads setting.
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -49,39 +50,30 @@
 #include "core/model_pool.hpp"
 #include "core/replay_core.hpp"
 #include "net/hash.hpp"
-#include "runtime/spsc_queue.hpp"
+#include "runtime/mpsc_queue.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace fenix::core {
 namespace {
 
-/// Largest ring capacity the inline PrePacket window supports; larger
+/// Largest ring capacity the inline mirror-window staging supports; larger
 /// configurations fall back to the serial path.
 constexpr std::uint32_t kMaxRing = 16;
 
-/// Per-shard SPSC ring depth (PrePackets in flight per pipe).
-constexpr std::size_t kShardQueueDepth = 4096;
+/// Fan-in ring depth (admitted mirrors in flight between barriers).
+constexpr std::size_t kFanInDepth = 1 << 14;
 
-/// Everything the coordinator needs to know about one packet, produced by its
-/// pipe shard. ~100 bytes, passed by value through the SPSC ring so the
-/// shard's mutable state is never shared.
-struct PrePacket {
-  std::uint32_t slot = 0;          ///< Flow Info Table index.
-  std::uint32_t flow_hash = 0;     ///< 32-bit fingerprint.
-  std::uint32_t packet_count = 0;  ///< Flow total after this packet.
-  net::PacketFeature feature;      ///< Current packet's feature (F9).
-  std::uint8_t win_len = 0;        ///< Valid prior ring entries.
-  bool new_flow = false;
-  bool counted_new = false;  ///< Incremented the window new-flow counter.
-  std::array<net::PacketFeature, kMaxRing> window;  ///< Oldest first.
-};
+/// Bit budget of the per-lane sequence counter inside a VerdictSymbol
+/// ((lane << kSymbolSeqBits) | seq).
+constexpr unsigned kSymbolSeqBits = 40;
 
-/// One pipe shard: a partition of the Flow Tracker / Buffer Manager register
-/// state (slots with slot % pipes == shard id, stored densely at slot /
-/// pipes) plus the packet subsequence it owns.
-struct PipeShard {
-  // Register partition.
-  std::vector<std::uint32_t> hash;
+/// One coordination lane's replica of the Data Engine's per-slot registers,
+/// dense over the lane's slots (local index = slot / kCoordinationLanes).
+/// Touched only by the lane's owner pipe between barriers; the scalar
+/// tail counters are harvested / summed by the coordinator at barriers.
+struct LaneShard {
+  // Flow Tracker replica (fingerprint check-and-claim + per-flow counters).
+  std::vector<std::uint32_t> fingerprint;
   std::vector<std::uint32_t> pkt_cnt;
   std::vector<std::uint32_t> buff_idx;
   std::vector<std::uint32_t> counter_hash;
@@ -89,117 +81,159 @@ struct PipeShard {
   std::vector<std::uint32_t> last_orig_us;
   std::vector<net::PacketFeature> rings;  ///< local_slots * ring_capacity.
 
-  std::vector<std::uint32_t> packet_indices;  ///< Global packet ids, in order.
-  std::size_t cursor = 0;
-  PrePacket staged;
-  bool has_staged = false;
-  std::unique_ptr<runtime::SpscQueue<PrePacket>> queue;
+  // Rate Limiter backlog accumulators + cached-verdict registers.
+  std::vector<std::uint32_t> bklog_n;
+  std::vector<std::uint32_t> bklog_t;
+  /// 0 = no cached verdict, else verdict symbol + 1.
+  std::vector<VerdictSymbol> cls_symbol;
 
-  PipeShard(std::size_t local_slots, std::uint32_t ring_capacity)
-      : hash(local_slots, 0), pkt_cnt(local_slots, 0), buff_idx(local_slots, 0),
-        counter_hash(local_slots, 0), counter_epoch(local_slots, 0),
-        last_orig_us(local_slots, 0), rings(local_slots * ring_capacity),
-        queue(std::make_unique<runtime::SpscQueue<PrePacket>>(kShardQueueDepth)) {}
+  // Window counters, harvested by the coordinator at each barrier.
+  std::uint64_t win_packets = 0;
+  std::uint64_t win_new_flows = 0;
+
+  // Degraded-mode admission accounting (summed into the report at the end).
+  std::uint64_t degraded_grants = 0;
+  std::uint64_t fallback_verdicts = 0;
+  std::uint64_t mirrors_suppressed = 0;
+
+  // Result-sink accounting.
+  std::uint64_t results_applied = 0;
+  std::uint64_t results_stale = 0;
+
+  net::FeatureVector mirror_buf;  ///< Reused grant-assembly buffer.
+
+  LaneShard(std::size_t local_slots, std::uint32_t ring_capacity)
+      : fingerprint(local_slots, 0), pkt_cnt(local_slots, 0),
+        buff_idx(local_slots, 0), counter_hash(local_slots, 0),
+        counter_epoch(local_slots, 0), last_orig_us(local_slots, 0),
+        rings(local_slots * ring_capacity), bklog_n(local_slots, 0),
+        bklog_t(local_slots, 0), cls_symbol(local_slots, 0) {
+    mirror_buf.sequence.reserve(ring_capacity + 1);
+  }
 };
 
-/// The shard-side replica of DataEngine::on_packet's grant-independent half.
-/// Bit-for-bit the same arithmetic as FlowTracker::on_packet + the IPD
-/// featurization + BufferManager::assemble/store, restricted to this shard's
-/// slots.
-void shard_stage(PipeShard& s, const net::PacketRecord& p, std::uint32_t epoch,
-                 unsigned index_bits, std::uint32_t pipes, std::uint32_t cap) {
-  PrePacket& pp = s.staged;
-  pp.slot = net::flow_index(p.tuple, index_bits);
-  pp.flow_hash = net::flow_hash32(p.tuple);
-  const std::size_t ls = pp.slot / pipes;  // dense local slot
+/// One admitted mirror crossing the fan-in: the symbol its verdict will be
+/// published under, plus the feature window the batcher will tokenize.
+struct FanInItem {
+  VerdictSymbol symbol = kNoVerdict;
+  std::vector<net::PacketFeature> sequence;
+};
 
-  // Fingerprint check-and-claim (hash register). Per-flow state resets on a
-  // new/evicting flow exactly as the stateful ALU does.
-  pp.new_flow = s.hash[ls] != pp.flow_hash;
-  if (pp.new_flow) {
-    s.hash[ls] = pp.flow_hash;
-    s.pkt_cnt[ls] = 0;
-    s.buff_idx[ls] = 0;
-  }
-
-  // Window new-flow counter (Figure 4a). The serial engine clears the hash
-  // registers at each control window; tagging each entry with its window
-  // epoch is equivalent and needs no cross-shard reset.
-  const std::uint32_t tag = epoch + 1;
-  const std::uint32_t stored = s.counter_epoch[ls] == tag ? s.counter_hash[ls] : 0;
-  pp.counted_new = stored != pp.flow_hash;
-  s.counter_hash[ls] = pp.flow_hash;
-  s.counter_epoch[ls] = tag;
-
-  // IPD featurization from the original capture timestamp register
-  // (wrap-aware 32-bit microsecond arithmetic, as the switch computes it).
-  const auto orig_us = static_cast<std::uint32_t>(p.orig_timestamp / sim::kMicrosecond);
-  const std::uint32_t prev_us = s.last_orig_us[ls];
-  s.last_orig_us[ls] = orig_us;
-  const std::uint32_t cnt = ++s.pkt_cnt[ls];
-  pp.packet_count = cnt;
-  pp.feature.length = p.wire_length;
-  if (pp.new_flow || cnt <= 1) {
-    pp.feature.ipd_code = 0;
-  } else {
-    const std::uint32_t ipd_us = orig_us - prev_us;
-    pp.feature.ipd_code = net::encode_ipd(static_cast<sim::SimDuration>(ipd_us) *
-                                          sim::kMicrosecond);
-  }
-
-  // Ring index (wrap-without-modulo; the packet writes the old value's slot).
-  const std::uint32_t ring_slot = s.buff_idx[ls];
-  s.buff_idx[ls] = ring_slot >= cap - 1 ? 0 : ring_slot + 1;
-
-  // Mirror-window assembly (grant-independent: the ring contents are a pure
-  // function of the flow's packet subsequence). Copied inline so the
-  // coordinator never touches shard-mutable memory.
-  net::PacketFeature* ring = s.rings.data() + static_cast<std::size_t>(ls) * cap;
-  const std::uint32_t valid = std::min(cnt - 1, cap);
-  pp.win_len = static_cast<std::uint8_t>(valid);
-  if (valid < cap) {
-    for (std::uint32_t i = 0; i < valid; ++i) pp.window[i] = ring[i];
-  } else {
-    for (std::uint32_t i = 0; i < cap; ++i) {
-      pp.window[i] = ring[(ring_slot + i) % cap];
-    }
-  }
-  ring[ring_slot] = pp.feature;  // deparser-stage register write
-}
-
-/// DataEngine::deliver_result, replayed against the coordinator's replica of
-/// the verdict registers: a result only sticks while its flow still owns the
-/// slot, and the cached verdict is the (symbolic) ticket, not a class.
-class CoordinatorResultSink final : public ResultSink {
+/// The pipelined InferenceStage: lane-port admission on the worker, batched
+/// compute behind the MPSC fan-in on the coordinator. Symbols encode
+/// (lane, per-lane sequence); drain() maps them to InferenceBatcher tickets.
+class FanInInferenceStage final : public InferenceStage {
  public:
-  CoordinatorResultSink(HealthWatchdog& watchdog,
-                        std::vector<std::uint32_t>& coord_hash,
-                        std::vector<VerdictSymbol>& cls_symbol,
-                        unsigned index_bits)
-      : watchdog_(watchdog), coord_hash_(coord_hash), cls_symbol_(cls_symbol),
-        index_bits_(index_bits) {}
+  FanInInferenceStage(ModelEngine& engine, InferenceBatcher& batcher)
+      : engine_(engine), batcher_(batcher), queue_(kFanInDepth),
+        consumer_(std::this_thread::get_id()) {}
 
-  void apply(const net::InferenceResult& result, VerdictSymbol symbol) override {
-    watchdog_.on_result(result.delivered_at);
-    const std::uint32_t slot = net::flow_index(result.tuple, index_bits_);
-    if (coord_hash_[slot] == net::flow_hash32(result.tuple)) {
-      cls_symbol_[slot] = symbol + 1;  // 0 = no cached verdict
-      ++applied_;
-    } else {
-      ++stale_;
+  std::optional<net::InferenceResult> submit(const net::FeatureVector& vec,
+                                             sim::SimTime arrival,
+                                             std::size_t lane,
+                                             VerdictSymbol& symbol) override {
+    auto result = engine_.submit_timed_lane(lane, vec, arrival);
+    if (!result) return std::nullopt;
+    symbol = static_cast<VerdictSymbol>(
+        (static_cast<std::uint64_t>(lane) << kSymbolSeqBits) |
+        lane_seq_[lane]++);
+    FanInItem item;
+    item.symbol = symbol;
+    item.sequence = vec.sequence;
+    while (!queue_.try_push(item)) {
+      // Full ring: the coordinator drains itself (barrier-time retransmit
+      // pumps run on the consumer thread); workers wait for the consumer.
+      if (std::this_thread::get_id() == consumer_) {
+        drain();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    return result;
+  }
+
+  /// Coordinator only: feed everything queued into the batcher. Per-producer
+  /// FIFO holds, so each lane's items arrive in sequence order; batch
+  /// composition across lanes is racy but per-item results are
+  /// composition-independent.
+  void drain() {
+    while (auto item = queue_.try_pop()) {
+      const auto bits = static_cast<std::uint64_t>(item->symbol);
+      const std::size_t lane = bits >> kSymbolSeqBits;
+      const std::size_t seq = bits & ((std::uint64_t{1} << kSymbolSeqBits) - 1);
+      auto& slots = tickets_[lane];
+      if (seq >= slots.size()) slots.resize(seq + 1);
+      slots[seq] = batcher_.enqueue(item->sequence);
     }
   }
 
-  std::uint64_t results_applied() const override { return applied_; }
-  std::uint64_t results_stale() const override { return stale_; }
+  std::int16_t resolve(VerdictSymbol symbol) const override {
+    const auto bits = static_cast<std::uint64_t>(symbol);
+    const std::size_t lane = bits >> kSymbolSeqBits;
+    const std::size_t seq = bits & ((std::uint64_t{1} << kSymbolSeqBits) - 1);
+    return batcher_.result(tickets_[lane][seq]);
+  }
+
+  runtime::MpscQueueStats fanin_stats() const { return queue_.stats(); }
 
  private:
-  HealthWatchdog& watchdog_;
-  std::vector<std::uint32_t>& coord_hash_;
-  std::vector<VerdictSymbol>& cls_symbol_;
+  ModelEngine& engine_;
+  InferenceBatcher& batcher_;
+  runtime::MpscQueue<FanInItem> queue_;
+  std::thread::id consumer_;
+  std::array<std::uint64_t, kCoordinationLanes> lane_seq_{};
+  std::array<std::vector<InferenceBatcher::Ticket>, kCoordinationLanes> tickets_;
+};
+
+/// DataEngine::deliver_result replayed against the lane shards: the
+/// heartbeat buffers into the result's lane, and the verdict only sticks
+/// while its flow still owns the slot. Runs on the lane's owner thread (lane
+/// pumps) or on the coordinator at barriers — never concurrently per lane.
+class LaneResultSink final : public ResultSink {
+ public:
+  LaneResultSink(LaneWatchdog& watchdog,
+                 std::vector<std::unique_ptr<LaneShard>>& shards,
+                 unsigned index_bits)
+      : watchdog_(watchdog), shards_(shards), index_bits_(index_bits) {}
+
+  void apply(const net::InferenceResult& result, VerdictSymbol symbol) override {
+    const std::uint32_t slot = net::flow_index(result.tuple, index_bits_);
+    const std::size_t lane = lane_of_slot(slot);
+    watchdog_.buffer_result(lane, result.delivered_at);
+    LaneShard& sh = *shards_[lane];
+    const std::size_t ls = slot / kCoordinationLanes;
+    if (sh.fingerprint[ls] == net::flow_hash32(result.tuple)) {
+      sh.cls_symbol[ls] = symbol + 1;  // 0 = no cached verdict
+      ++sh.results_applied;
+    } else {
+      ++sh.results_stale;
+    }
+  }
+
+  std::uint64_t results_applied() const override {
+    std::uint64_t total = 0;
+    for (const auto& sh : shards_) total += sh->results_applied;
+    return total;
+  }
+  std::uint64_t results_stale() const override {
+    std::uint64_t total = 0;
+    for (const auto& sh : shards_) total += sh->results_stale;
+    return total;
+  }
+
+ private:
+  LaneWatchdog& watchdog_;
+  std::vector<std::unique_ptr<LaneShard>>& shards_;
   unsigned index_bits_;
-  std::uint64_t applied_ = 0;
-  std::uint64_t stale_ = 0;
+};
+
+/// One epoch barrier of the precomputed reconciliation schedule (a pure
+/// function of the trace: the boundary fires before packet `first_packet`).
+struct EpochBoundary {
+  std::size_t first_packet = 0;
+  sim::SimTime at = 0;
+  bool tick = false;                 ///< Control-plane window tick fires here.
+  sim::SimDuration tick_elapsed = 0; ///< Meter window for the tick.
 };
 
 }  // namespace
@@ -210,108 +244,99 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
                                      const PipelineOptions& opts) {
   const DataEngineConfig& de = config_.data_engine;
   const std::uint32_t cap = de.tracker.ring_capacity;
-  const std::uint32_t pipes =
-      static_cast<std::uint32_t>(std::max<std::size_t>(1, opts.pipes));
   if (cap == 0 || cap > kMaxRing) {
-    // Ring deeper than the inline PrePacket window: serve serially.
+    // Ring deeper than the inline mirror-window staging: serve serially.
     return run(trace, num_classes, hooks, phases);
   }
+  const std::size_t pipes =
+      std::min<std::size_t>(kCoordinationLanes,
+                            std::max<std::size_t>(1, opts.pipes));
 
   const unsigned index_bits = de.tracker.index_bits;
   const std::size_t table_size = std::size_t{1} << index_bits;
-  const std::size_t local_slots = (table_size + pipes - 1) / pipes;
+  const std::size_t local_slots =
+      (table_size + kCoordinationLanes - 1) / kCoordinationLanes;
+  const sim::SimDuration quantum =
+      std::max<sim::SimDuration>(1, config_.reconcile_quantum);
 
-  // ---- Phase A (serial, cheap): shard assignment + control-window epochs.
+  // ---- Phase A (serial, cheap): slots, window epochs, barrier schedule.
   //
-  // The control-plane tick schedule is a pure function of the packet
-  // timestamps, so the window epoch of every packet is known up front; the
-  // shards need it to emulate the window new-flow counter reset.
-  std::vector<std::uint32_t> owner(trace.packets.size());
-  std::vector<std::uint32_t> epochs(trace.packets.size());
+  // The reconciliation schedule and the control-plane tick schedule are pure
+  // functions of the packet timestamps (the same predicates run() evaluates
+  // inline), so every barrier, every tick, and every packet's window epoch
+  // is known up front. Workers need the window epoch to emulate the window
+  // new-flow counter reset without a cross-lane clear.
+  const std::size_t n = trace.packets.size();
+  std::vector<std::uint32_t> slots(n);
+  std::vector<std::uint32_t> win_epoch(n);
+  std::vector<EpochBoundary> boundaries;
   {
+    sim::SimTime last_epoch = 0;
     sim::SimTime last_tick = 0;
-    std::uint32_t epoch = 0;
-    for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+    std::uint32_t wepoch = 0;
+    bool first = true;
+    for (std::size_t i = 0; i < n; ++i) {
       const sim::SimTime ts = trace.packets[i].timestamp;
-      if (!(ts < last_tick + de.window_tw)) {
-        last_tick = ts;
-        ++epoch;
+      if (first || ts >= last_epoch + quantum) {
+        EpochBoundary b;
+        b.first_packet = i;
+        b.at = ts;
+        if (!(ts < last_tick + de.window_tw)) {
+          b.tick = true;
+          b.tick_elapsed = last_tick == 0 ? de.window_tw : ts - last_tick;
+          last_tick = ts;
+          ++wepoch;
+        }
+        boundaries.push_back(b);
+        last_epoch = ts;
+        first = false;
       }
-      epochs[i] = epoch;
-      owner[i] = net::flow_index(trace.packets[i].tuple, index_bits) % pipes;
+      win_epoch[i] = wepoch;
+      slots[i] = net::flow_index(trace.packets[i].tuple, index_bits);
     }
   }
 
-  std::vector<std::unique_ptr<PipeShard>> shards;
-  shards.reserve(pipes);
-  for (std::uint32_t s = 0; s < pipes; ++s) {
-    shards.push_back(std::make_unique<PipeShard>(local_slots, cap));
-  }
-  for (std::size_t i = 0; i < trace.packets.size(); ++i) {
-    shards[owner[i]]->packet_indices.push_back(static_cast<std::uint32_t>(i));
-  }
-
-  // ---- Worker threads: pipe shards + inference workers.
-  runtime::ThreadPool pool(opts.threads);
-  const std::size_t threads = pool.size();
-
-  const nn::QuantizedCnn* cnn = model_engine_.cnn();
-  const nn::QuantizedRnn* rnn = model_engine_.rnn();
-  InferenceBatcher batcher(cnn, rnn, std::max<std::size_t>(1, opts.batch),
-                           threads > 1 ? threads - 1 : 0);
-
-  // Pipe shards are grouped onto the pool's workers; each task round-robins
-  // its shards so a full ring never stalls the others (the coordinator
-  // consumes in global packet order, so every shard must keep making
-  // progress regardless of how many OS threads exist).
-  const std::size_t groups = std::min<std::size_t>(threads, pipes);
-  const net::Trace* trace_ptr = &trace;
-  for (std::size_t g = 0; g < groups; ++g) {
-    std::vector<PipeShard*> mine;
-    for (std::size_t s = g; s < pipes; s += groups) mine.push_back(shards[s].get());
-    pool.submit([mine, trace_ptr, &epochs, index_bits, pipes, cap] {
-      for (;;) {
-        bool all_done = true;
-        bool progressed = false;
-        for (PipeShard* s : mine) {
-          for (;;) {
-            if (!s->has_staged) {
-              if (s->cursor >= s->packet_indices.size()) break;
-              const std::uint32_t i = s->packet_indices[s->cursor];
-              shard_stage(*s, trace_ptr->packets[i], epochs[i], index_bits,
-                          pipes, cap);
-              ++s->cursor;
-              s->has_staged = true;
-            }
-            if (!s->queue->try_push(s->staged)) break;
-            s->has_staged = false;
-            progressed = true;
-          }
-          if (s->has_staged || s->cursor < s->packet_indices.size()) {
-            all_done = false;
-          }
+  // Per-pipe packet lists (trace order) + per-epoch offsets into them.
+  std::vector<std::vector<std::uint32_t>> pipe_packets(pipes);
+  std::vector<std::vector<std::size_t>> pipe_epoch_begin(pipes);
+  {
+    std::size_t next_boundary = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      while (next_boundary < boundaries.size() &&
+             boundaries[next_boundary].first_packet == i) {
+        for (std::size_t p = 0; p < pipes; ++p) {
+          pipe_epoch_begin[p].push_back(pipe_packets[p].size());
         }
-        if (all_done) return;
-        if (!progressed) std::this_thread::yield();
+        ++next_boundary;
       }
-    });
+      pipe_packets[lane_of_slot(slots[i]) % pipes].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+    for (std::size_t p = 0; p < pipes; ++p) {
+      pipe_epoch_begin[p].push_back(pipe_packets[p].size());
+    }
   }
 
-  // ---- Coordinator state: the grant-/delivery-coupled half of the Data
-  // Engine, replicated with the same seeds and the same per-packet order as
-  // DataEngine so every RNG draw and every table rebuild is identical.
-  std::vector<std::uint32_t> coord_hash(table_size, 0);
-  std::vector<std::uint32_t> bklog_n(table_size, 0);
-  std::vector<std::uint32_t> bklog_t(table_size, 0);
-  // Cached verdict per slot: 0 = none, else verdict symbol (ticket) + 1
-  // (resolved after the batches complete; the class value never feeds back
-  // into replay state).
-  std::vector<VerdictSymbol> cls_symbol(table_size, 0);
+  // ---- Lane replicas + replica reconcilers (seeded exactly as the Data
+  // Engine's own, so every admission draw and every degraded decision is
+  // identical to run()'s).
+  std::vector<std::unique_ptr<LaneShard>> shards;
+  shards.reserve(kCoordinationLanes);
+  for (std::size_t lane = 0; lane < kCoordinationLanes; ++lane) {
+    shards.push_back(std::make_unique<LaneShard>(local_slots, cap));
+  }
+
+  const double token_rate_v = data_engine_.token_rate_v();
+  TokenBucketConfig bucket_config;
+  bucket_config.token_rate_v = token_rate_v;
+  bucket_config.capacity_tokens = de.bucket_capacity_tokens;
+  bucket_config.seed = de.bucket_seed;
+  ShardedTokenBucket bucket(bucket_config);
+  LaneWatchdog watchdog(de.watchdog);
 
   ProbabilityLookupTable prob_table(de.prob_t_cells, de.prob_c_cells,
                                     de.prob_t_max_s, de.prob_c_max,
                                     de.prob_log_scale_c, de.prob_log_scale_t);
-  const double token_rate_v = data_engine_.token_rate_v();
   {
     TrafficStats stats;
     stats.token_rate_v = token_rate_v;
@@ -319,57 +344,192 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
     stats.packet_rate_q = de.initial_packet_rate;
     prob_table.rebuild(stats);
   }
-  TokenBucketConfig bucket_config;
-  bucket_config.token_rate_v = token_rate_v;
-  bucket_config.capacity_tokens = de.bucket_capacity_tokens;
-  bucket_config.seed = de.bucket_seed;
-  TokenBucket bucket(bucket_config);
   telemetry::RateMeter flow_meter(de.stats_ewma_alpha);
   telemetry::RateMeter packet_meter(de.stats_ewma_alpha);
-  HealthWatchdog watchdog(de.watchdog);
-  std::uint64_t degraded_grants = 0;
-  sim::SimTime last_tick = 0;
   std::uint64_t win_new_flows = 0;
   std::uint64_t win_packets = 0;
 
   const switchsim::TernaryMatchTable* prelim = data_engine_.preliminary_table();
+  if (prelim) prelim->prepare();  // read-only lookups from here on
   const FeatureLayout& prelim_layout = data_engine_.preliminary_layout();
 
-  // ---- The shared staged core, instantiated with the batched stage.
+  // ---- Worker fleet + batched inference fan-in.
+  runtime::ThreadPool pool(opts.threads);
+  const std::size_t threads = pool.size();
+  InferenceBatcher batcher(model_engine_.cnn(), model_engine_.rnn(),
+                           std::max<std::size_t>(1, opts.batch),
+                           threads > 1 ? threads - 1 : 0);
+
+  // ---- The shared lane-granular core with the fan-in stage.
   ReplayCoreConfig core_config;
   core_config.recovery = config_.recovery;
   core_config.transit_latency = data_engine_.timing().transit_latency();
   core_config.pass_latency = data_engine_.timing().pass_latency();
-  BatchedInferenceStage inference(model_engine_, batcher);
-  CoordinatorResultSink sink(watchdog, coord_hash, cls_symbol, index_bits);
-  ReplayCore core(trace, num_classes, phases, core_config, link_to_fpga_,
-                  link_from_fpga_, watchdog, inference, sink, hooks);
-  RunReport& report = core.report();
+  FanInInferenceStage inference(model_engine_, batcher);
+  LaneResultSink sink(watchdog, shards, index_bits);
+  ReplayCore core(trace, num_classes, phases, core_config, to_links(),
+                  from_links(), watchdog, inference, sink, hooks);
 
-  net::FeatureVector mirror_buf;  // reused grant-assembly buffer
-  mirror_buf.sequence.reserve(cap + 1);
-
-  for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+  // Full per-packet work for one packet, on its lane's state only. Runs on
+  // the lane's owner pipe worker (or inline on the coordinator).
+  const auto process_packet = [&](std::uint32_t i) {
     const net::PacketRecord& packet = trace.packets[i];
-    PipeShard& shard = *shards[owner[i]];
-    PrePacket pp;
-    for (;;) {
-      if (auto popped = shard.queue->try_pop()) {
-        pp = *popped;
-        break;
-      }
-      std::this_thread::yield();
+    const std::uint32_t slot = slots[i];
+    const std::size_t lane = lane_of_slot(slot);
+    LaneShard& sh = *shards[lane];
+    const std::size_t ls = slot / kCoordinationLanes;
+    const sim::SimTime ts = packet.timestamp;
+
+    core.begin_packet(ts, lane);
+
+    // Flow Tracker replica: fingerprint check-and-claim + per-flow counters
+    // (bit-for-bit FlowTracker::on_packet arithmetic on the lane's slots).
+    const std::uint32_t flow_hash = net::flow_hash32(packet.tuple);
+    const bool new_flow = sh.fingerprint[ls] != flow_hash;
+    const auto now_us = static_cast<std::uint32_t>(ts / sim::kMicrosecond);
+    if (new_flow) {
+      sh.fingerprint[ls] = flow_hash;
+      sh.pkt_cnt[ls] = 0;
+      sh.buff_idx[ls] = 0;
+      sh.bklog_n[ls] = 0;
+      sh.bklog_t[ls] = now_us;
+      sh.cls_symbol[ls] = 0;
     }
 
-    core.begin_packet(packet.timestamp);
+    // Window new-flow counter (Figure 4a): the serial engine clears the hash
+    // registers at each control window; tagging each entry with its window
+    // epoch is equivalent and needs no cross-lane reset.
+    const std::uint32_t tag = win_epoch[i] + 1;
+    const std::uint32_t stored =
+        sh.counter_epoch[ls] == tag ? sh.counter_hash[ls] : 0;
+    const bool counted_new = stored != flow_hash;
+    sh.counter_hash[ls] = flow_hash;
+    sh.counter_epoch[ls] = tag;
+    ++sh.win_packets;
+    if (counted_new) ++sh.win_new_flows;
 
-    // Control-plane window tick (DataEngine::control_plane_tick).
-    if (!(packet.timestamp < last_tick + de.window_tw)) {
-      const sim::SimDuration elapsed =
-          last_tick == 0 ? de.window_tw : packet.timestamp - last_tick;
-      last_tick = packet.timestamp;
+    // IPD featurization from the original capture timestamp register
+    // (wrap-aware 32-bit microsecond arithmetic, as the switch computes it).
+    const auto orig_us =
+        static_cast<std::uint32_t>(packet.orig_timestamp / sim::kMicrosecond);
+    const std::uint32_t prev_us = sh.last_orig_us[ls];
+    sh.last_orig_us[ls] = orig_us;
+    const std::uint32_t cnt = ++sh.pkt_cnt[ls];
+    net::PacketFeature feature;
+    feature.length = packet.wire_length;
+    if (new_flow || cnt <= 1) {
+      feature.ipd_code = 0;
+    } else {
+      const std::uint32_t ipd_us = orig_us - prev_us;
+      feature.ipd_code = net::encode_ipd(
+          static_cast<sim::SimDuration>(ipd_us) * sim::kMicrosecond);
+    }
+
+    // Ring index (wrap-without-modulo; the packet writes the old value's slot).
+    const std::uint32_t ring_slot = sh.buff_idx[ls];
+    sh.buff_idx[ls] = ring_slot >= cap - 1 ? 0 : ring_slot + 1;
+    net::PacketFeature* ring = sh.rings.data() + ls * cap;
+
+    // Rate Limiter backlog accumulators.
+    const std::uint32_t backlog_count = ++sh.bklog_n[ls];
+    const std::uint32_t age_us = now_us - sh.bklog_t[ls];  // wrap-aware
+
+    // Forwarding decision (degradation ladder): cached DNN verdict, else the
+    // compiled tree. The degraded flag was published at the last barrier.
+    std::int16_t forward_class = -1;
+    bool from_engine = false;
+    bool from_tree = false;
+    VerdictSymbol forward_symbol = kNoVerdict;
+    if (sh.cls_symbol[ls] != 0) {
+      from_engine = true;
+      forward_symbol = sh.cls_symbol[ls] - 1;
+    } else if (prelim) {
+      const std::uint64_t key = pack_key(
+          prelim_layout,
+          {std::min<std::uint64_t>(feature.length, (1u << 11) - 1),
+           feature.ipd_code});
+      if (const auto hit = prelim->lookup_shared(key)) {
+        forward_class = static_cast<std::int16_t>(hit->action_data);
+        from_tree = true;
+        if (watchdog.degraded()) ++sh.fallback_verdicts;
+      }
+    }
+
+    core.account_packet(ts, packet.label, forward_class, from_engine,
+                        forward_symbol, from_tree, lane);
+
+    // Rate Limiter: one probabilistic draw per packet against the lane's
+    // sub-bucket, in the lane's packet order.
+    const double t_i = sim::to_seconds(static_cast<sim::SimDuration>(age_us) *
+                                       sim::kMicrosecond);
+    const std::uint16_t prob =
+        prob_table.lookup_fixed(t_i, static_cast<double>(backlog_count));
+    if (bucket.on_packet(lane, ts, prob)) {
+      bool emit = true;
+      if (watchdog.degraded()) {
+        const unsigned stride = std::max(1u, de.degraded_probe_stride);
+        emit = sh.degraded_grants++ % stride == 0;
+        if (!emit) ++sh.mirrors_suppressed;
+      }
+      if (emit) {
+        // Mirror-window assembly (BufferManager::assemble + record_feature_sent).
+        net::FeatureVector& mirror = sh.mirror_buf;
+        mirror.tuple = packet.tuple;
+        mirror.flow_id = packet.flow_id;
+        mirror.emitted_at = ts;
+        mirror.sequence.clear();
+        const std::uint32_t valid = std::min(cnt - 1, cap);
+        if (valid < cap) {
+          for (std::uint32_t k = 0; k < valid; ++k) {
+            mirror.sequence.push_back(ring[k]);
+          }
+        } else {
+          for (std::uint32_t k = 0; k < cap; ++k) {
+            mirror.sequence.push_back(ring[(ring_slot + k) % cap]);
+          }
+        }
+        mirror.sequence.push_back(feature);
+        sh.bklog_n[ls] = 0;
+        sh.bklog_t[ls] = now_us;
+        core.emit_mirror(mirror, ts, lane);
+      }
+    }
+
+    ring[ring_slot] = feature;  // deparser-stage register write
+  };
+
+  const auto run_pipe_epoch = [&](std::size_t pipe, std::size_t epoch) {
+    const auto& idxs = pipe_packets[pipe];
+    const std::size_t begin = pipe_epoch_begin[pipe][epoch];
+    const std::size_t end = pipe_epoch_begin[pipe][epoch + 1];
+    for (std::size_t k = begin; k < end; ++k) process_packet(idxs[k]);
+  };
+
+  // Single-worker pools gain nothing from a thread handoff: the coordinator
+  // runs the pipe tasks inline (valid at any pipe count — lanes are
+  // disjoint, so sequential pipe execution is just another interleaving).
+  const bool inline_exec = threads <= 1;
+  std::vector<std::uint64_t> pipe_peaks(pipes, 0);
+
+  // ---- Epoch loop: barrier work, then the epoch's packet fleet.
+  for (std::size_t e = 0; e < boundaries.size(); ++e) {
+    const EpochBoundary& b = boundaries[e];
+
+    // Coordinator barrier work, in run()'s exact order: fault hooks + all-
+    // lane pump, watchdog fold (publishes degraded), token rebalance, then
+    // the control-plane window tick over the harvested window counters.
+    core.reconcile(b.at);
+    watchdog.reconcile();
+    bucket.reconcile(b.at);
+    for (auto& sh : shards) {
+      win_packets += sh->win_packets;
+      win_new_flows += sh->win_new_flows;
+      sh->win_packets = 0;
+      sh->win_new_flows = 0;
+    }
+    if (b.tick) {
       const double n_smoothed = flow_meter.update(win_new_flows, sim::kSecond);
-      const double q_smoothed = packet_meter.update(win_packets, elapsed);
+      const double q_smoothed = packet_meter.update(win_packets, b.tick_elapsed);
       TrafficStats stats;
       stats.token_rate_v = token_rate_v;
       stats.flow_count_n = std::max(1.0, n_smoothed);
@@ -378,78 +538,66 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
       win_new_flows = 0;
       win_packets = 0;
     }
-    ++win_packets;
-    if (pp.counted_new) ++win_new_flows;
 
-    // Data-plane pass over the coordinator's half of the flow state.
-    const std::uint32_t slot = pp.slot;
-    const auto now_us =
-        static_cast<std::uint32_t>(packet.timestamp / sim::kMicrosecond);
-    if (pp.new_flow) {
-      coord_hash[slot] = pp.flow_hash;
-      bklog_n[slot] = 0;
-      bklog_t[slot] = now_us;
-      cls_symbol[slot] = 0;
-    }
-    const std::uint32_t backlog_count = ++bklog_n[slot];
-    const std::uint32_t age_us = now_us - bklog_t[slot];  // wrap-aware
-
-    // Forwarding decision (degradation ladder).
-    std::int16_t forward_class = -1;
-    bool from_engine = false;
-    bool from_tree = false;
-    VerdictSymbol forward_symbol = kNoVerdict;
-    if (cls_symbol[slot] != 0) {
-      from_engine = true;
-      forward_symbol = cls_symbol[slot] - 1;
-    } else if (prelim) {
-      const std::uint64_t key = pack_key(
-          prelim_layout,
-          {std::min<std::uint64_t>(pp.feature.length, (1u << 11) - 1),
-           pp.feature.ipd_code});
-      if (const auto hit = prelim->lookup(key)) {
-        forward_class = static_cast<std::int16_t>(hit->action_data);
-        from_tree = true;
-        if (watchdog.degraded()) ++report.fallback_verdicts;
-      }
+    for (std::size_t p = 0; p < pipes; ++p) {
+      const std::size_t backlog =
+          pipe_epoch_begin[p][e + 1] - pipe_epoch_begin[p][e];
+      pipe_peaks[p] = std::max<std::uint64_t>(pipe_peaks[p], backlog);
     }
 
-    core.account_packet(packet.timestamp, packet.label, forward_class,
-                        from_engine, forward_symbol, from_tree);
-
-    // Rate Limiter: one probabilistic draw per packet, in packet order.
-    const double t_i =
-        sim::to_seconds(static_cast<sim::SimDuration>(age_us) * sim::kMicrosecond);
-    const std::uint16_t prob =
-        prob_table.lookup_fixed(t_i, static_cast<double>(backlog_count));
-    if (bucket.on_packet(packet.timestamp, prob)) {
-      bool emit = true;
-      if (watchdog.degraded()) {
-        const unsigned stride = std::max(1u, de.degraded_probe_stride);
-        emit = degraded_grants++ % stride == 0;
-        if (!emit) ++report.mirrors_suppressed;
-      }
-      if (emit) {
-        mirror_buf.tuple = packet.tuple;
-        mirror_buf.flow_id = packet.flow_id;
-        mirror_buf.emitted_at = packet.timestamp;
-        mirror_buf.sequence.clear();
-        for (std::uint32_t k = 0; k < pp.win_len; ++k) {
-          mirror_buf.sequence.push_back(pp.window[k]);
-        }
-        mirror_buf.sequence.push_back(pp.feature);
-        bklog_n[slot] = 0;  // record_feature_sent
-        bklog_t[slot] = now_us;
-        core.emit_mirror(mirror_buf, packet.timestamp);
-      }
+    if (inline_exec) {
+      for (std::size_t p = 0; p < pipes; ++p) run_pipe_epoch(p, e);
+      inference.drain();
+      continue;
     }
+
+    std::atomic<std::size_t> pending{0};
+    for (std::size_t p = 0; p < pipes; ++p) {
+      if (pipe_epoch_begin[p][e + 1] == pipe_epoch_begin[p][e]) continue;
+      pending.fetch_add(1, std::memory_order_relaxed);
+      pool.submit([&run_pipe_epoch, &pending, p, e] {
+        // Decrement on scope exit so a throwing task still releases the
+        // barrier (the pool re-raises the exception at wait()).
+        struct Release {
+          std::atomic<std::size_t>& counter;
+          ~Release() { counter.fetch_sub(1, std::memory_order_release); }
+        } release{pending};
+        run_pipe_epoch(p, e);
+      });
+    }
+    // The coordinator is the fan-in consumer: drain while the fleet works so
+    // producers never wedge on a full ring.
+    while (pending.load(std::memory_order_acquire) != 0) {
+      inference.drain();
+      std::this_thread::yield();
+    }
+    inference.drain();
   }
 
+  // Final barrier at end of trace (run()'s order), tail drain, then the
+  // compute barrier before resolving symbols to classes.
+  core.reconcile(trace.duration());
+  watchdog.reconcile();
+  bucket.reconcile(trace.duration());
   core.drain(trace.duration());
+  inference.drain();
   pool.wait();
-  // Resolve the symbolic verdicts now that every batch has run.
   batcher.finish();
   core.resolve();
+
+  RunReport& report = core.report();
+  for (const auto& sh : shards) {
+    report.fallback_verdicts += sh->fallback_verdicts;
+    report.mirrors_suppressed += sh->mirrors_suppressed;
+  }
+
+  pipeline_telemetry_ = PipelineTelemetry{};
+  pipeline_telemetry_.pipes = pipes;
+  pipeline_telemetry_.epochs = boundaries.size();
+  pipeline_telemetry_.watchdog_reconciles = watchdog.reconciles();
+  pipeline_telemetry_.bucket_reconciles = bucket.reconciles();
+  pipeline_telemetry_.pipe_queue_peaks = std::move(pipe_peaks);
+  pipeline_telemetry_.fanin = inference.fanin_stats();
   return core.take_report();
 }
 

@@ -13,25 +13,15 @@ namespace fenix::core {
 // Stage adapters.
 
 std::optional<net::InferenceResult> EngineInferenceStage::submit(
-    const net::FeatureVector& vec, sim::SimTime arrival, VerdictSymbol& symbol) {
-  auto result = engine_.submit(vec, arrival);
+    const net::FeatureVector& vec, sim::SimTime arrival, std::size_t lane,
+    VerdictSymbol& symbol) {
+  auto result = engine_.submit_lane(lane, vec, arrival);
   if (result) symbol = static_cast<VerdictSymbol>(result->predicted_class);
   return result;
 }
 
 std::int16_t EngineInferenceStage::resolve(VerdictSymbol symbol) const {
   return static_cast<std::int16_t>(symbol);
-}
-
-std::optional<net::InferenceResult> BatchedInferenceStage::submit(
-    const net::FeatureVector& vec, sim::SimTime arrival, VerdictSymbol& symbol) {
-  auto result = engine_.submit_timed(vec, arrival);
-  if (result) symbol = static_cast<VerdictSymbol>(batcher_.enqueue(vec.sequence));
-  return result;
-}
-
-std::int16_t BatchedInferenceStage::resolve(VerdictSymbol symbol) const {
-  return batcher_.result(static_cast<InferenceBatcher::Ticket>(symbol));
 }
 
 void DataEngineResultSink::apply(const net::InferenceResult& result,
@@ -51,18 +41,19 @@ std::uint64_t DataEngineResultSink::results_stale() const {
 // ---------------------------------------------------------------------------
 // ReplayCore.
 
+ReplayCore::LaneState::LaneState(net::ReliableLink* to, net::ReliableLink* from,
+                                 double rtx_rate_hz, double rtx_burst)
+    : to_fpga(to), from_fpga(from), to_start(to->stats()),
+      from_start(from->stats()), rtx_bucket(rtx_rate_hz, rtx_burst) {}
+
 ReplayCore::ReplayCore(const net::Trace& trace, std::size_t num_classes,
                        const std::vector<RunPhase>& phases,
-                       const ReplayCoreConfig& config, net::ReliableLink& to_fpga,
-                       net::ReliableLink& from_fpga, HealthWatchdog& watchdog,
+                       const ReplayCoreConfig& config, const LaneLinks& to_fpga,
+                       const LaneLinks& from_fpga, LaneWatchdog& watchdog,
                        InferenceStage& inference, ResultSink& sink,
                        RunHooks* hooks)
-    : config_(config), to_fpga_(to_fpga), from_fpga_(from_fpga),
-      watchdog_(watchdog), inference_(inference), sink_(sink), hooks_(hooks),
-      report_(num_classes),
-      rtx_bucket_(config.recovery.retransmit_rate_hz,
-                  config.recovery.retransmit_burst_tokens),
-      to_fpga_start_(to_fpga.stats()), from_fpga_start_(from_fpga.stats()),
+    : config_(config), watchdog_(watchdog), inference_(inference), sink_(sink),
+      hooks_(hooks), report_(num_classes),
       flow_labels_(trace.flows.size(), net::kUnlabeled),
       flow_verdict_symbol_(trace.flows.size(), kNoVerdict) {
   report_.trace_duration = trace.duration();
@@ -70,8 +61,24 @@ ReplayCore::ReplayCore(const net::Trace& trace, std::size_t num_classes,
   for (const RunPhase& p : phases) {
     report_.phases.emplace_back(p.name, p.start, p.end, num_classes);
   }
-  // Pre-size the latency reservoirs so the hot loop never grows a vector
-  // (mirror-path recorders see at most one sample per packet).
+  // The per-lane retransmit pacer gets an even slice of the aggregate budget
+  // (burst floored at one token so a lane can always repair its first loss).
+  const auto n = static_cast<double>(kCoordinationLanes);
+  const double lane_rate = config.recovery.retransmit_rate_hz / n;
+  const double lane_burst =
+      std::max(1.0, config.recovery.retransmit_burst_tokens / n);
+  lanes_.reserve(kCoordinationLanes);
+  for (std::size_t lane = 0; lane < kCoordinationLanes; ++lane) {
+    lanes_.emplace_back(to_fpga[lane], from_fpga[lane], lane_rate, lane_burst);
+    // Pre-size the lane reservoirs so the hot loop rarely grows a vector
+    // (mirror-path recorders see at most one sample per lane packet).
+    const std::size_t expect = trace.packets.size() / kCoordinationLanes + 64;
+    lanes_[lane].internal_tx.reserve(expect);
+    lanes_[lane].queueing.reserve(expect);
+    lanes_[lane].inference.reserve(expect);
+    lanes_[lane].return_tx.reserve(expect);
+    lanes_[lane].end_to_end.reserve(expect);
+  }
   report_.internal_tx.reserve(trace.packets.size());
   report_.queueing.reserve(trace.packets.size());
   report_.inference.reserve(trace.packets.size());
@@ -82,46 +89,46 @@ ReplayCore::ReplayCore(const net::Trace& trace, std::size_t num_classes,
   }
 }
 
-// One send attempt (original mirror or retransmit) through the full
-// link -> Model Engine -> link path. Any failure to produce a verdict
-// by `emitted + deadline` schedules a MissEvent; the simulator learns the
-// attempt's fate synchronously, but the switch only acts on it when the
+// One send attempt (original mirror or retransmit) through the lane's full
+// link -> Model Engine lane port -> link path. Any failure to produce a
+// verdict by `emitted + deadline` schedules a MissEvent; the simulator learns
+// the attempt's fate synchronously, but the switch only acts on it when the
 // deadline actually passes. The links hide frame-level repair (NACK-paced
 // retransmits of lost/corrupt frames) — a link drop here means the frame
 // is gone for good with a recorded reason.
 void ReplayCore::send_vector(const net::FeatureVector& vec, sim::SimTime emitted,
-                             unsigned retries_left) {
+                             unsigned retries_left, std::size_t lane) {
+  LaneState& L = lanes_[lane];
   const sim::SimDuration deadline = config_.recovery.result_deadline;
   const auto schedule_miss = [&] {
-    misses_.push(MissEvent{emitted + deadline, miss_seq_++, vec, retries_left});
+    L.misses.push(MissEvent{emitted + deadline, L.miss_seq++, vec, retries_left});
   };
-  const net::SendOutcome fwd = to_fpga_.send(emitted, vec.wire_bytes());
+  const net::SendOutcome fwd = L.to_fpga->send(emitted, vec.wire_bytes());
   if (!fwd.delivered_at) {
-    ++report_.channel_losses;
+    ++L.channel_losses;
     schedule_miss();
     return;
   }
-  report_.internal_tx.record(*fwd.delivered_at - emitted);
+  L.internal_tx.record(*fwd.delivered_at - emitted);
 
   VerdictSymbol symbol = kNoVerdict;
-  auto result = inference_.submit(vec, *fwd.delivered_at, symbol);
+  auto result = inference_.submit(vec, *fwd.delivered_at, lane, symbol);
   if (!result) {
-    ++report_.fifo_drops;
+    ++L.fifo_drops;
     schedule_miss();
     return;
   }
-  report_.queueing.record(result->inference_started - *fwd.delivered_at);
-  report_.inference.record(result->inference_finished -
-                           result->inference_started);
+  L.queueing.record(result->inference_started - *fwd.delivered_at);
+  L.inference.record(result->inference_finished - result->inference_started);
   // Result packet: five-tuple + verdict, minimal frame.
   const net::SendOutcome back =
-      from_fpga_.send(result->inference_finished, result->wire_bytes());
+      L.from_fpga->send(result->inference_finished, result->wire_bytes());
   if (!back.delivered_at) {
-    ++report_.channel_losses;
+    ++L.channel_losses;
     schedule_miss();
     return;
   }
-  report_.return_tx.record(*back.delivered_at - result->inference_finished);
+  L.return_tx.record(*back.delivered_at - result->inference_finished);
   PendingResult p;
   p.delivered_at = *back.delivered_at + config_.pass_latency;
   p.result = *result;
@@ -135,137 +142,196 @@ void ReplayCore::send_vector(const net::FeatureVector& vec, sim::SimTime emitted
   // A verdict landing after its own deadline still gets applied, but the
   // switch has already declared the miss by then.
   if (p.delivered_at > emitted + deadline) schedule_miss();
-  pending_.push(std::move(p));
+  L.pending.push(std::move(p));
 }
 
-void ReplayCore::deliver_one() {
-  const PendingResult p = pending_.top();
-  pending_.pop();
-  if (from_fpga_.stale(p.epoch, p.delivered_at)) {
+void ReplayCore::deliver_one(std::size_t lane) {
+  LaneState& L = lanes_[lane];
+  const PendingResult p = L.pending.top();
+  L.pending.pop();
+  if (L.from_fpga->stale(p.epoch, p.delivered_at)) {
     // The FPGA rebooted after this verdict's frame was stamped: the switch
     // discards it rather than install pre-reboot flow state. If the verdict
     // was going to beat its deadline, no miss was scheduled at send time —
     // the switch now never hears back, so the deadline fires (and may
     // retransmit into the new epoch).
-    ++report_.stale_epoch_drops;
+    ++L.stale_epoch_drops;
     const sim::SimTime deadline_at =
         p.mirror_emitted + config_.recovery.result_deadline;
     if (p.delivered_at <= deadline_at) {
-      misses_.push(MissEvent{deadline_at, miss_seq_++, p.vec, p.retries_left});
+      L.misses.push(MissEvent{deadline_at, L.miss_seq++, p.vec, p.retries_left});
     }
     return;
   }
   sink_.apply(p.result, p.symbol);
-  report_.end_to_end.record(p.delivered_at - p.mirror_emitted);
+  L.end_to_end.record(p.delivered_at - p.mirror_emitted);
   if (p.result.flow_id < flow_labels_.size()) {
-    deferred_inference_.push_back({flow_labels_[p.result.flow_id], p.symbol});
+    L.deferred_inference.push_back({flow_labels_[p.result.flow_id], p.symbol});
     flow_verdict_symbol_[p.result.flow_id] = p.symbol;
   }
 }
 
-void ReplayCore::miss_one() {
-  MissEvent ev = misses_.top();
-  misses_.pop();
-  ++report_.deadline_misses;
-  watchdog_.on_deadline_missed(ev.at);
+void ReplayCore::miss_one(std::size_t lane) {
+  LaneState& L = lanes_[lane];
+  MissEvent ev = L.misses.top();
+  L.misses.pop();
+  ++L.deadline_misses;
+  watchdog_.buffer_miss(lane, ev.at);
   if (ev.retries_left == 0) {
-    ++report_.retransmits_exhausted;
+    ++L.retransmits_exhausted;
     return;
   }
-  if (!rtx_bucket_.try_take(ev.at)) {
-    ++report_.retransmits_suppressed;
+  if (!L.rtx_bucket.try_take(ev.at)) {
+    ++L.retransmits_suppressed;
     return;
   }
-  ++report_.retransmits;
-  send_vector(ev.vec, ev.at, ev.retries_left - 1);
+  ++L.retransmits;
+  send_vector(ev.vec, ev.at, ev.retries_left - 1, lane);
 }
 
-// Drains result deliveries and deadline misses due by `now` in simulated-
-// time order, so watchdog heartbeats and misses interleave exactly as the
-// switch would observe them. `everything` drains both queues to empty
+// Drains the lane's result deliveries and deadline misses due by `now` in
+// simulated-time order, so watchdog heartbeats and misses interleave exactly
+// as the switch would observe them. `everything` drains both queues to empty
 // (end-of-trace tail, where retransmits may spawn further events). The
 // tie-break is part of the bit-identity contract: results win ties.
-void ReplayCore::pump(sim::SimTime now, bool everything) {
+void ReplayCore::pump(sim::SimTime now, bool everything, std::size_t lane) {
+  LaneState& L = lanes_[lane];
   for (;;) {
     const bool have_result =
-        !pending_.empty() && (everything || pending_.top().delivered_at <= now);
+        !L.pending.empty() && (everything || L.pending.top().delivered_at <= now);
     const bool have_miss =
-        !misses_.empty() && (everything || misses_.top().at <= now);
+        !L.misses.empty() && (everything || L.misses.top().at <= now);
     if (!have_result && !have_miss) break;
     if (have_result &&
-        (!have_miss || pending_.top().delivered_at <= misses_.top().at)) {
-      deliver_one();
+        (!have_miss || L.pending.top().delivered_at <= L.misses.top().at)) {
+      deliver_one(lane);
     } else {
-      miss_one();
+      miss_one(lane);
     }
   }
 }
 
-void ReplayCore::begin_packet(sim::SimTime now) {
+void ReplayCore::reconcile(sim::SimTime now) {
   if (hooks_) hooks_->at_time(now);
-  pump(now, /*everything=*/false);
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    pump(now, /*everything=*/false, lane);
+  }
+}
+
+void ReplayCore::begin_packet(sim::SimTime now, std::size_t lane) {
+  pump(now, /*everything=*/false, lane);
 }
 
 void ReplayCore::account_packet(sim::SimTime now, net::ClassLabel truth,
                                 std::int16_t forward_class, bool from_engine,
-                                VerdictSymbol engine_symbol, bool from_tree) {
-  ++report_.packets;
-  while (phase_idx_ < report_.phases.size() &&
-         now >= report_.phases[phase_idx_].end) {
-    ++phase_idx_;
+                                VerdictSymbol engine_symbol, bool from_tree,
+                                std::size_t lane) {
+  LaneState& L = lanes_[lane];
+  ++L.packets;
+  // The lane's packets are a subsequence of the trace, so a per-lane
+  // monotone cursor finds the same slice a global cursor would.
+  while (L.phase_idx < report_.phases.size() &&
+         now >= report_.phases[L.phase_idx].end) {
+    ++L.phase_idx;
   }
-  const bool in_phase = phase_idx_ < report_.phases.size() &&
-                        now >= report_.phases[phase_idx_].start;
-  if (from_engine) {
-    deferred_forward_.push_back(
-        {truth, in_phase ? static_cast<std::int32_t>(phase_idx_) : -1,
-         engine_symbol});
-  } else {
-    report_.packet_confusion.add(truth, forward_class);
-    if (in_phase) {
-      report_.phases[phase_idx_].packet_confusion.add(truth, forward_class);
-    }
-  }
-  if (in_phase) {
-    PhaseReport& phase = report_.phases[phase_idx_];
-    ++phase.packets;
-    if (from_engine) {
-      ++phase.dnn_verdicts;
-    } else if (from_tree) {
-      ++phase.tree_verdicts;
-    } else {
-      ++phase.unclassified;
-    }
-  }
+  const bool in_phase = L.phase_idx < report_.phases.size() &&
+                        now >= report_.phases[L.phase_idx].start;
+  L.outcomes.push_back(
+      {truth, forward_class, engine_symbol,
+       in_phase ? static_cast<std::int32_t>(L.phase_idx) : -1, from_engine,
+       from_tree});
 }
 
 void ReplayCore::emit_mirror(const net::FeatureVector& vec,
-                             sim::SimTime packet_ts) {
-  ++report_.mirrors;
+                             sim::SimTime packet_ts, std::size_t lane) {
+  ++lanes_[lane].mirrors;
   // Mirror leaves the deparser after the full switch transit.
   send_vector(vec, packet_ts + config_.transit_latency,
-              config_.recovery.max_retransmits);
+              config_.recovery.max_retransmits, lane);
 }
 
 void ReplayCore::drain(sim::SimTime trace_end) {
-  // Drain the tail so late verdicts still count toward inference accuracy
-  // and the final misses reach the watchdog.
-  pump(0, /*everything=*/true);
+  // Drain every lane's tail so late verdicts still count toward inference
+  // accuracy and the final misses reach the watchdog, then fold the buffered
+  // events and close the open degraded interval.
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    pump(0, /*everything=*/true, lane);
+  }
   watchdog_.close(trace_end);
 }
 
 void ReplayCore::resolve() {
-  for (const DeferredForward& d : deferred_forward_) {
-    const std::int16_t cls = inference_.resolve(d.symbol);
-    report_.packet_confusion.add(d.label, cls);
-    if (d.phase >= 0) {
-      report_.phases[static_cast<std::size_t>(d.phase)].packet_confusion.add(
-          d.label, cls);
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    LaneState& L = lanes_[lane];
+    report_.packets += L.packets;
+    report_.mirrors += L.mirrors;
+    report_.fifo_drops += L.fifo_drops;
+    report_.channel_losses += L.channel_losses;
+    report_.stale_epoch_drops += L.stale_epoch_drops;
+    report_.deadline_misses += L.deadline_misses;
+    report_.retransmits += L.retransmits;
+    report_.retransmits_suppressed += L.retransmits_suppressed;
+    report_.retransmits_exhausted += L.retransmits_exhausted;
+
+    for (const PacketOutcome& o : L.outcomes) {
+      const std::int16_t cls =
+          o.from_engine ? inference_.resolve(o.symbol) : o.forward_class;
+      report_.packet_confusion.add(o.label, cls);
+      if (o.phase >= 0) {
+        PhaseReport& phase = report_.phases[static_cast<std::size_t>(o.phase)];
+        phase.packet_confusion.add(o.label, cls);
+        ++phase.packets;
+        if (o.from_engine) {
+          ++phase.dnn_verdicts;
+        } else if (o.from_tree) {
+          ++phase.tree_verdicts;
+        } else {
+          ++phase.unclassified;
+        }
+      }
     }
+    for (const DeferredInference& d : L.deferred_inference) {
+      report_.inference_confusion.add(d.label, inference_.resolve(d.symbol));
+    }
+
+    report_.internal_tx.absorb(L.internal_tx);
+    report_.queueing.absorb(L.queueing);
+    report_.inference.absorb(L.inference);
+    report_.return_tx.absorb(L.return_tx);
+    report_.end_to_end.absorb(L.end_to_end);
+
+    // Link counters: the links belong to the system and outlive a run, so
+    // the report carries this run's deltas, aggregated over both directions
+    // of every lane.
+    const net::ReliableLinkStats& ts = L.to_fpga->stats();
+    const net::ReliableLinkStats& fs = L.from_fpga->stats();
+    const auto delta = [](std::uint64_t end_to, std::uint64_t start_to,
+                          std::uint64_t end_from, std::uint64_t start_from) {
+      return (end_to - start_to) + (end_from - start_from);
+    };
+    report_.link_retransmits += delta(ts.retransmits, L.to_start.retransmits,
+                                      fs.retransmits, L.from_start.retransmits);
+    report_.link_nacks +=
+        delta(ts.nacks, L.to_start.nacks, fs.nacks, L.from_start.nacks);
+    report_.link_corrupt_drops +=
+        delta(ts.corrupt_drops, L.to_start.corrupt_drops, fs.corrupt_drops,
+              L.from_start.corrupt_drops);
+    report_.link_dup_suppressed +=
+        delta(ts.dup_suppressed, L.to_start.dup_suppressed, fs.dup_suppressed,
+              L.from_start.dup_suppressed);
+    report_.link_reorder_held +=
+        delta(ts.reorder_held, L.to_start.reorder_held, fs.reorder_held,
+              L.from_start.reorder_held);
+    report_.link_window_drops += delta(
+        ts.window_overflow_drops, L.to_start.window_overflow_drops,
+        fs.window_overflow_drops, L.from_start.window_overflow_drops);
+    report_.link_pacer_drops +=
+        delta(ts.drops_pacer, L.to_start.drops_pacer, fs.drops_pacer,
+              L.from_start.drops_pacer);
+    report_.link_resyncs += delta(ts.resyncs, L.to_start.resyncs, fs.resyncs,
+                                  L.from_start.resyncs);
   }
-  for (const DeferredInference& d : deferred_inference_) {
-    report_.inference_confusion.add(d.label, inference_.resolve(d.symbol));
-  }
+
   for (std::size_t f = 0; f < flow_labels_.size(); ++f) {
     const VerdictSymbol s = flow_verdict_symbol_[f];
     report_.flow_confusion.add(
@@ -275,36 +341,6 @@ void ReplayCore::resolve() {
   report_.results_applied = sink_.results_applied();
   report_.results_stale = sink_.results_stale();
   report_.watchdog = watchdog_.stats();
-
-  // Link counters: the links belong to the system and outlive a run, so the
-  // report carries this run's deltas, aggregated over both directions.
-  const net::ReliableLinkStats& ts = to_fpga_.stats();
-  const net::ReliableLinkStats& fs = from_fpga_.stats();
-  const auto delta = [](std::uint64_t end_to, std::uint64_t start_to,
-                        std::uint64_t end_from, std::uint64_t start_from) {
-    return (end_to - start_to) + (end_from - start_from);
-  };
-  report_.link_retransmits = delta(ts.retransmits, to_fpga_start_.retransmits,
-                                   fs.retransmits, from_fpga_start_.retransmits);
-  report_.link_nacks =
-      delta(ts.nacks, to_fpga_start_.nacks, fs.nacks, from_fpga_start_.nacks);
-  report_.link_corrupt_drops =
-      delta(ts.corrupt_drops, to_fpga_start_.corrupt_drops, fs.corrupt_drops,
-            from_fpga_start_.corrupt_drops);
-  report_.link_dup_suppressed =
-      delta(ts.dup_suppressed, to_fpga_start_.dup_suppressed, fs.dup_suppressed,
-            from_fpga_start_.dup_suppressed);
-  report_.link_reorder_held =
-      delta(ts.reorder_held, to_fpga_start_.reorder_held, fs.reorder_held,
-            from_fpga_start_.reorder_held);
-  report_.link_window_drops = delta(
-      ts.window_overflow_drops, to_fpga_start_.window_overflow_drops,
-      fs.window_overflow_drops, from_fpga_start_.window_overflow_drops);
-  report_.link_pacer_drops =
-      delta(ts.drops_pacer, to_fpga_start_.drops_pacer, fs.drops_pacer,
-            from_fpga_start_.drops_pacer);
-  report_.link_resyncs =
-      delta(ts.resyncs, to_fpga_start_.resyncs, fs.resyncs, from_fpga_start_.resyncs);
 }
 
 // ---------------------------------------------------------------------------

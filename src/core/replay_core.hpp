@@ -2,35 +2,43 @@
 //
 // FENIX's data plane is one per-packet dataflow — parse, flow-track /
 // featurize, admission / mirror, inference, verdict accounting — and this
-// file owns the stages every replay has in common, exactly once:
+// file owns the stages every replay has in common, exactly once. Since the
+// decentralization of the coordinator (DESIGN.md §4.9) the core is
+// *lane-granular*: all mutable per-packet state — the mirror transmit path
+// (per-lane PCB link pair -> Model Engine lane port -> return link) with
+// per-mirror result deadlines, MissEvent ordering, and the deterministic
+// retransmit pacing bucket; the simulated-time event pump; and the deferred
+// verdict / confusion / phase accounting — is sharded over the fixed
+// core::kCoordinationLanes coordination lanes (core/lane_coordination.hpp),
+// keyed by flow-table slot. A lane's state is touched only by the caller
+// driving that lane's packets, so the serial replay (one thread walking all
+// lanes) and the pipelined replay (lanes spread over pipe workers) drive the
+// exact same per-lane state machines and merge to bit-identical RunReports.
 //
-//   * the mirror transmit path (PCB channel -> Model Engine -> PCB channel)
-//     with per-mirror result deadlines, MissEvent ordering, and the
-//     deterministic retransmit token bucket;
-//   * the simulated-time event pump (results and deadline misses drained in
-//     order, results winning ties) feeding the FPGA health watchdog;
-//   * verdict / confusion / phase accounting, including the deferred
-//     *symbolic* verdict scheme: a predicted class is pure data that never
-//     feeds back into replay timing or RNG state, so engine verdicts flow
-//     through the accounting as opaque symbols and every confusion cell is
-//     resolved once inference completes (confusion increments commute).
+// The coordinator's only jobs are the epoch boundaries (reconcile(): fault
+// hooks + an all-lane pump) and the final merge (resolve(): deferred
+// outcomes replayed lane 0..N-1, latency recorders absorbed, link deltas
+// summed). Verdicts flow through the accounting as opaque symbols — a
+// predicted class is pure data that never feeds back into replay timing or
+// RNG state — and every confusion cell is resolved once inference completes
+// (confusion increments commute).
 //
-// FenixSystem::run() is the pipes=1 instantiation — an eager InferenceStage
-// whose symbols already *are* classes — and run_pipelined() is the sharding /
-// coordination skeleton (PipeShards + SPSC rings + serial coordinator)
-// driving the same stage code with an InferenceBatcher-backed stage whose
-// symbols are batch tickets. Both produce bit-identical RunReports; the
+// FenixSystem::run() is the single-threaded instantiation — an eager
+// InferenceStage whose symbols already *are* classes — and run_pipelined()
+// spreads the lanes over pipe workers with a lock-free MPSC fan-in feeding
+// an InferenceBatcher. Both produce bit-identical RunReports; the
 // first_divergence() diagnostic pinpoints the first field that breaks when
 // a change violates that contract.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <queue>
 #include <string>
 #include <vector>
 
-#include "core/health_watchdog.hpp"
+#include "core/lane_coordination.hpp"
 #include "net/feature.hpp"
 #include "net/packet.hpp"
 #include "net/reliable_link.hpp"
@@ -42,7 +50,6 @@ namespace fenix::core {
 
 class ModelEngine;
 class DataEngine;
-class InferenceBatcher;
 
 /// Per-mirror deadline / retransmit / watchdog knobs.
 struct RecoveryConfig {
@@ -56,18 +63,22 @@ struct RecoveryConfig {
   unsigned max_retransmits = 1;
 
   /// Token bucket governing the aggregate retransmit rate, so a dead card
-  /// cannot double the PCB channel load with futile repeats.
+  /// cannot double the PCB channel load with futile repeats. Split evenly
+  /// over the coordination lanes (rate / L per lane, burst / L each with a
+  /// floor of one token) so pipe workers never share a pacer.
   double retransmit_rate_hz = 200e3;
   double retransmit_burst_tokens = 32;
 };
 
 /// Host-side observation hooks driven by the replay loop as simulated time
 /// advances. Fault injectors (src/faults) implement this to arm and clear
-/// their fault windows against the running system.
+/// their fault windows against the running system. Since the decentralized
+/// coordinator, hooks fire at epoch-reconciliation boundaries (every
+/// FenixSystemConfig::reconcile_quantum of trace time), not per packet.
 struct RunHooks {
   virtual ~RunHooks() = default;
-  /// Called with each packet's timestamp before the packet is processed
-  /// (monotonically non-decreasing).
+  /// Called with each epoch boundary's timestamp (monotonically
+  /// non-decreasing).
   virtual void at_time(sim::SimTime now) { (void)now; }
 };
 
@@ -118,9 +129,9 @@ struct RunReport {
   std::uint64_t results_stale = 0;
   sim::SimDuration trace_duration = 0;
 
-  // Reliable-link accounting, aggregated over both directions for this run
-  // (DESIGN.md § Reliable framing). `stale_epoch_drops` counts verdicts
-  // discarded because the FPGA rebooted between frame stamp and delivery.
+  // Reliable-link accounting, aggregated over both directions and all lanes
+  // for this run (DESIGN.md § Reliable framing). `stale_epoch_drops` counts
+  // verdicts discarded because the FPGA rebooted between stamp and delivery.
   std::uint64_t stale_epoch_drops = 0;
   std::uint64_t link_retransmits = 0;    ///< NACK-paced frame re-sends.
   std::uint64_t link_nacks = 0;
@@ -148,25 +159,28 @@ struct RunReport {
 };
 
 /// A verdict that resolves to a class only after the replay finishes. The
-/// eager serial stage's symbols already are class values; the batched stage's
-/// symbols are InferenceBatcher tickets. kNoVerdict marks "never inferred".
+/// eager serial stage's symbols already are class values; the pipelined
+/// fan-in stage's symbols encode (lane, per-lane sequence). kNoVerdict marks
+/// "never inferred".
 using VerdictSymbol = std::int64_t;
 inline constexpr VerdictSymbol kNoVerdict = -1;
 
 /// The inference stage of the replay: one mirror in, one timed result out.
 /// Implementations must be timing-identical — the admission decision, FIFO
 /// occupancy, and result timestamps must not depend on which stage runs —
-/// so the serial and batched replays stay bit-identical.
+/// so the serial and pipelined replays stay bit-identical. `lane` selects
+/// the Model Engine lane port; a stage may be driven concurrently on
+/// *distinct* lanes, never concurrently on the same lane.
 class InferenceStage {
  public:
   virtual ~InferenceStage() = default;
 
-  /// Submits one feature vector arriving at the Model Engine at `arrival`.
-  /// On admission, returns the timed result (predicted class may be a
-  /// placeholder) and sets `symbol` to the verdict symbol accounting should
-  /// carry. nullopt = input FIFO drop.
+  /// Submits one feature vector arriving at the Model Engine at `arrival`
+  /// on `lane`. On admission, returns the timed result (predicted class may
+  /// be a placeholder) and sets `symbol` to the verdict symbol accounting
+  /// should carry. nullopt = input FIFO drop.
   virtual std::optional<net::InferenceResult> submit(
-      const net::FeatureVector& vec, sim::SimTime arrival,
+      const net::FeatureVector& vec, sim::SimTime arrival, std::size_t lane,
       VerdictSymbol& symbol) = 0;
 
   /// Resolves a symbol to its predicted class. Only valid after the replay's
@@ -175,54 +189,42 @@ class InferenceStage {
 };
 
 /// Where delivered results land: the serial replay applies them to the Data
-/// Engine's Flow Info Table; the sharded replay applies them to the
-/// coordinator's replica of the verdict registers.
+/// Engine's Flow Info Table; the sharded replay applies them to per-lane
+/// replicas of the verdict registers. Implementations derive the lane from
+/// the result's five-tuple and must be callable concurrently on distinct
+/// lanes.
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
 
   /// One result crossing back into the switch at result.delivered_at.
-  /// Implementations feed the watchdog heartbeat and the apply/stale split.
+  /// Implementations feed the (lane-buffered) watchdog heartbeat and the
+  /// apply/stale split.
   virtual void apply(const net::InferenceResult& result, VerdictSymbol symbol) = 0;
 
   virtual std::uint64_t results_applied() const = 0;
   virtual std::uint64_t results_stale() const = 0;
 };
 
-/// Eager per-mirror inference (ModelEngine::submit): the symbol is the
-/// predicted class itself. The pipes=1 stage.
+/// Eager per-mirror inference (ModelEngine::submit_lane): the symbol is the
+/// predicted class itself. The serial replay's stage.
 class EngineInferenceStage final : public InferenceStage {
  public:
   explicit EngineInferenceStage(ModelEngine& engine) : engine_(engine) {}
 
   std::optional<net::InferenceResult> submit(const net::FeatureVector& vec,
                                              sim::SimTime arrival,
+                                             std::size_t lane,
                                              VerdictSymbol& symbol) override;
   std::int16_t resolve(VerdictSymbol symbol) const override;
 
  private:
   ModelEngine& engine_;
-};
-
-/// Deferred batched inference (ModelEngine::submit_timed + InferenceBatcher):
-/// the symbol is a batch ticket, resolved after finish().
-class BatchedInferenceStage final : public InferenceStage {
- public:
-  BatchedInferenceStage(ModelEngine& engine, InferenceBatcher& batcher)
-      : engine_(engine), batcher_(batcher) {}
-
-  std::optional<net::InferenceResult> submit(const net::FeatureVector& vec,
-                                             sim::SimTime arrival,
-                                             VerdictSymbol& symbol) override;
-  std::int16_t resolve(VerdictSymbol symbol) const override;
-
- private:
-  ModelEngine& engine_;
-  InferenceBatcher& batcher_;
 };
 
 /// Serial result sink: verdicts land in the Data Engine's Flow Info Table
-/// (DataEngine::deliver_result owns the watchdog heartbeat + staleness check).
+/// (DataEngine::deliver_result owns the lane-buffered watchdog heartbeat +
+/// staleness check).
 class DataEngineResultSink final : public ResultSink {
  public:
   explicit DataEngineResultSink(DataEngine& engine) : engine_(engine) {}
@@ -242,47 +244,62 @@ struct ReplayCoreConfig {
   sim::SimDuration pass_latency = 0;     ///< Result ingress -> verdict installed.
 };
 
-/// The per-packet stage driver. A replay loop constructs one ReplayCore per
-/// run and calls, for every packet in trace order:
+/// One ReliableLink endpoint per coordination lane, per direction.
+using LaneLinks = std::array<net::ReliableLink*, kCoordinationLanes>;
+
+/// The per-packet stage driver, lane-granular. A replay loop constructs one
+/// ReplayCore per run and calls, for every packet in trace order (lane =
+/// lane_of_slot(flow-table slot); only one thread may drive a given lane
+/// between reconcile() calls):
 ///
-///   begin_packet(ts)                  // fault hooks + event pump
+///   reconcile(ts)                       // at epoch boundaries: hooks + all-lane pump
+///   begin_packet(ts, lane)              // lane event pump
 ///   ... driver-specific flow tracking / admission ...
-///   account_packet(ts, truth, ...)    // confusion + phase accounting
-///   emit_mirror(vec, ts)              // granted mirrors only
+///   account_packet(ts, truth, ..., lane)// deferred outcome capture
+///   emit_mirror(vec, ts, lane)          // granted mirrors only
 ///
-/// then `drain(trace_end)`, any driver-specific compute barrier (thread-pool
-/// wait, batcher finish), and `resolve()` to materialize symbolic verdicts
-/// into the final RunReport.
+/// then a final reconcile(trace_end), `drain(trace_end)`, any
+/// driver-specific compute barrier (thread-pool wait, batcher finish), and
+/// `resolve()` to merge the lanes and materialize symbolic verdicts into the
+/// final RunReport.
 class ReplayCore {
  public:
   ReplayCore(const net::Trace& trace, std::size_t num_classes,
              const std::vector<RunPhase>& phases, const ReplayCoreConfig& config,
-             net::ReliableLink& to_fpga, net::ReliableLink& from_fpga,
-             HealthWatchdog& watchdog, InferenceStage& inference,
+             const LaneLinks& to_fpga, const LaneLinks& from_fpga,
+             LaneWatchdog& watchdog, InferenceStage& inference,
              ResultSink& sink, RunHooks* hooks);
 
-  /// Advances simulated time to `now`: drives fault hooks, then drains every
-  /// result delivery and deadline miss due by `now` in simulated-time order.
-  void begin_packet(sim::SimTime now);
+  /// Epoch boundary (coordinator only): drives fault hooks at `now`, then
+  /// drains every lane's due events in lane order.
+  void reconcile(sim::SimTime now);
 
-  /// Books one forwarded packet: phase advance, forwarding confusion (either
-  /// immediate for tree/unclassified verdicts or deferred for symbolic engine
-  /// verdicts), and the per-phase verdict-source tallies.
+  /// Advances `lane` to `now`: drains the lane's result deliveries and
+  /// deadline misses due by `now` in simulated-time order.
+  void begin_packet(sim::SimTime now, std::size_t lane);
+
+  /// Books one forwarded packet on `lane`: the outcome (truth, verdict
+  /// source, phase slice) is captured per lane and replayed into the
+  /// confusion matrices at resolve(), so accounting never contends.
   void account_packet(sim::SimTime now, net::ClassLabel truth,
                       std::int16_t forward_class, bool from_engine,
-                      VerdictSymbol engine_symbol, bool from_tree);
+                      VerdictSymbol engine_symbol, bool from_tree,
+                      std::size_t lane);
 
-  /// Ships one granted mirror: deparser transit, PCB channel, inference
-  /// stage, return channel, deadline scheduling.
-  void emit_mirror(const net::FeatureVector& vec, sim::SimTime packet_ts);
+  /// Ships one granted mirror on `lane`: deparser transit, the lane's PCB
+  /// link pair, inference lane port, deadline scheduling.
+  void emit_mirror(const net::FeatureVector& vec, sim::SimTime packet_ts,
+                   std::size_t lane);
 
-  /// End of trace: drains the remaining events (late verdicts still count;
-  /// final misses reach the watchdog) and closes the watchdog accounting.
+  /// End of trace: drains the remaining events of every lane (late verdicts
+  /// still count; final misses reach the watchdog) and closes the watchdog
+  /// accounting.
   void drain(sim::SimTime trace_end);
 
-  /// Resolves every deferred symbolic verdict into the confusion matrices and
-  /// copies the sink/watchdog counters into the report. Call after the
-  /// driver's compute barrier (InferenceBatcher::finish for batched stages).
+  /// Merges the lanes in lane order — deferred outcomes into the confusion
+  /// matrices and phase tallies, latency recorders absorbed, counters and
+  /// link deltas summed — and copies the sink/watchdog counters into the
+  /// report. Call after the driver's compute barrier.
   void resolve();
 
   /// Driver-adjustable report (e.g. degraded-mode fallback_verdicts /
@@ -324,54 +341,88 @@ class ReplayCore {
     }
   };
 
-  /// Engine verdicts carried symbolically until resolve().
-  struct DeferredForward {
+  /// One packet's verdict-accounting outcome, captured lane-locally and
+  /// replayed at resolve(). `phase` is -1 outside every phase slice.
+  struct PacketOutcome {
     net::ClassLabel label;
-    std::int32_t phase;  ///< -1 when outside every phase slice.
+    std::int16_t forward_class;
     VerdictSymbol symbol;
+    std::int32_t phase;
+    bool from_engine;
+    bool from_tree;
   };
+
+  /// Engine verdicts applied to a flow, carried symbolically until resolve().
   struct DeferredInference {
     net::ClassLabel label;
     VerdictSymbol symbol;
   };
 
+  /// Everything one coordination lane owns. Touched by exactly one thread
+  /// between reconcile() barriers; merged by the coordinator at resolve().
+  struct LaneState {
+    LaneState(net::ReliableLink* to, net::ReliableLink* from,
+              double rtx_rate_hz, double rtx_burst);
+
+    net::ReliableLink* to_fpga;
+    net::ReliableLink* from_fpga;
+    /// Link counters at construction: the links outlive a single run, so the
+    /// report carries this run's deltas.
+    net::ReliableLinkStats to_start;
+    net::ReliableLinkStats from_start;
+
+    std::priority_queue<PendingResult, std::vector<PendingResult>,
+                        std::greater<>>
+        pending;
+    std::priority_queue<MissEvent, std::vector<MissEvent>, std::greater<>>
+        misses;
+    std::uint64_t miss_seq = 0;
+    /// Deadline-driven mirror retransmits (distinct from the links' own
+    /// NACK-paced frame repairs); this lane's slice of the pacing budget.
+    sim::PacingBucket rtx_bucket;
+
+    std::uint64_t packets = 0;
+    std::uint64_t mirrors = 0;
+    std::uint64_t fifo_drops = 0;
+    std::uint64_t channel_losses = 0;
+    std::uint64_t stale_epoch_drops = 0;
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t retransmits_suppressed = 0;
+    std::uint64_t retransmits_exhausted = 0;
+
+    telemetry::LatencyRecorder internal_tx;
+    telemetry::LatencyRecorder queueing;
+    telemetry::LatencyRecorder inference;
+    telemetry::LatencyRecorder return_tx;
+    telemetry::LatencyRecorder end_to_end;
+
+    std::size_t phase_idx = 0;  ///< Monotone per lane: lane packets are in trace order.
+    std::vector<PacketOutcome> outcomes;
+    std::vector<DeferredInference> deferred_inference;
+  };
+
   void send_vector(const net::FeatureVector& vec, sim::SimTime emitted,
-                   unsigned retries_left);
-  void deliver_one();
-  void miss_one();
-  void pump(sim::SimTime now, bool everything);
+                   unsigned retries_left, std::size_t lane);
+  void deliver_one(std::size_t lane);
+  void miss_one(std::size_t lane);
+  void pump(sim::SimTime now, bool everything, std::size_t lane);
 
   ReplayCoreConfig config_;
-  net::ReliableLink& to_fpga_;
-  net::ReliableLink& from_fpga_;
-  HealthWatchdog& watchdog_;
+  LaneWatchdog& watchdog_;
   InferenceStage& inference_;
   ResultSink& sink_;
   RunHooks* hooks_;
 
   RunReport report_;
-  std::size_t phase_idx_ = 0;
-
-  std::priority_queue<PendingResult, std::vector<PendingResult>, std::greater<>>
-      pending_;
-  std::priority_queue<MissEvent, std::vector<MissEvent>, std::greater<>> misses_;
-  std::uint64_t miss_seq_ = 0;
-  /// Deadline-driven mirror retransmits (distinct from the links' own
-  /// NACK-paced frame repairs); shared deterministic bucket implementation.
-  sim::PacingBucket rtx_bucket_;
-
-  /// Link counters at construction: the links outlive a single run, so the
-  /// report carries this run's deltas.
-  net::ReliableLinkStats to_fpga_start_;
-  net::ReliableLinkStats from_fpga_start_;
+  std::vector<LaneState> lanes_;  ///< kCoordinationLanes entries.
 
   /// Flow-id -> truth label for inference accuracy accounting, plus the last
   /// verdict symbol each flow received (flow-level macro-F1, Figure 10).
+  /// Shared arrays, but lane-partitioned: a flow's packets and results all
+  /// hash to one lane, so no two lanes touch the same element.
   std::vector<net::ClassLabel> flow_labels_;
   std::vector<VerdictSymbol> flow_verdict_symbol_;
-
-  std::vector<DeferredForward> deferred_forward_;
-  std::vector<DeferredInference> deferred_inference_;
 };
 
 /// Human-readable description of the first field where two run reports

@@ -32,6 +32,17 @@ void TokenBucket::set_token_rate(double token_rate_v) {
       static_cast<sim::SimDuration>(tokens_now * static_cast<double>(cost_ps_)));
 }
 
+void TokenBucket::refill_to(sim::SimTime now) {
+  if (first_) {
+    first_ = false;
+    t_last_ = now;
+    return;
+  }
+  const sim::SimDuration gap = now >= t_last_ ? now - t_last_ : 0;
+  t_last_ = now;
+  bucket_ps_ = std::min(cap_ps_, bucket_ps_ + gap);
+}
+
 bool TokenBucket::on_packet(sim::SimTime now, std::uint16_t prob_fixed) {
   ++stats_.attempts;
   // Lines 1-5: compute the refill gap.

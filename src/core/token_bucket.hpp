@@ -47,6 +47,21 @@ class TokenBucket {
 
   const TokenBucketStats& stats() const { return stats_; }
   sim::SimDuration token_cost_ps() const { return cost_ps_; }
+  sim::SimDuration capacity_ps() const { return cap_ps_; }
+
+  /// Raw bucket content in picoseconds-of-budget. The epoch reconciler uses
+  /// these to conserve the global budget across per-lane sub-buckets: levels
+  /// are read, redistributed in integer arithmetic, and written back.
+  sim::SimDuration level_ps() const { return bucket_ps_; }
+  void set_level_ps(sim::SimDuration level) {
+    bucket_ps_ = level < cap_ps_ ? level : cap_ps_;
+  }
+
+  /// Advances the refill clock to `now` without running the admission draw:
+  /// the bucket gains the elapsed gap (capped), exactly as the next on_packet
+  /// would have credited it. Lanes that saw no packets this epoch are topped
+  /// up this way so their budget is not stranded behind an idle refill clock.
+  void refill_to(sim::SimTime now);
 
   /// Control-plane reconfiguration when V changes (bucket content is scaled
   /// to preserve the token count).

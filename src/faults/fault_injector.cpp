@@ -49,6 +49,10 @@ void FaultInjector::arm(const FaultWindow& window) {
   ++stats_.windows_armed;
   ActiveEffect effect;
   effect.window = window;
+  // Channel faults are board-level: they hit every coordination lane of the
+  // striped PCB fabric at once. All lanes are configured identically, so the
+  // lane-0 values stand in for the whole fabric in the saved healthy state.
+  const std::size_t lanes = core::FenixSystem::lane_count();
   switch (window.kind) {
     case FaultKind::kFpgaStall:
       system_.model_engine().device().stall(window.start, window.end);
@@ -59,17 +63,18 @@ void FaultInjector::arm(const FaultWindow& window) {
                                             window.end - window.start);
       return;
     case FaultKind::kChannelBrownout: {
-      sim::Channel& to = system_.to_fpga_mut();
-      sim::Channel& from = system_.from_fpga_mut();
-      effect.saved_to_bps = to.bits_per_second();
-      effect.saved_from_bps = from.bits_per_second();
-      effect.saved_to_loss = to.loss_rate();
-      effect.saved_from_loss = from.loss_rate();
+      effect.saved_to_bps = system_.to_fpga().bits_per_second();
+      effect.saved_from_bps = system_.from_fpga().bits_per_second();
+      effect.saved_to_loss = system_.to_fpga().loss_rate();
+      effect.saved_from_loss = system_.from_fpga().loss_rate();
       const double scale = std::max(window.rate_scale, kMinBrownoutRateScale);
-      to.set_bits_per_second(effect.saved_to_bps * scale);
-      from.set_bits_per_second(effect.saved_from_bps * scale);
-      to.set_loss_rate(window.loss_rate);
-      from.set_loss_rate(window.loss_rate);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        system_.to_fpga_mut(lane).set_bits_per_second(effect.saved_to_bps * scale);
+        system_.from_fpga_mut(lane).set_bits_per_second(effect.saved_from_bps *
+                                                        scale);
+        system_.to_fpga_mut(lane).set_loss_rate(window.loss_rate);
+        system_.from_fpga_mut(lane).set_loss_rate(window.loss_rate);
+      }
       break;
     }
     case FaultKind::kFifoShrink: {
@@ -79,32 +84,34 @@ void FaultInjector::arm(const FaultWindow& window) {
       break;
     }
     case FaultKind::kChannelCorrupt: {
-      sim::Channel& to = system_.to_fpga_mut();
-      sim::Channel& from = system_.from_fpga_mut();
-      effect.saved_to_chaos = to.corrupt_rate();
-      effect.saved_from_chaos = from.corrupt_rate();
-      to.set_corrupt_rate(window.chaos_rate);
-      from.set_corrupt_rate(window.chaos_rate);
+      effect.saved_to_chaos = system_.to_fpga().corrupt_rate();
+      effect.saved_from_chaos = system_.from_fpga().corrupt_rate();
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        system_.to_fpga_mut(lane).set_corrupt_rate(window.chaos_rate);
+        system_.from_fpga_mut(lane).set_corrupt_rate(window.chaos_rate);
+      }
       break;
     }
     case FaultKind::kChannelReorder: {
-      sim::Channel& to = system_.to_fpga_mut();
-      sim::Channel& from = system_.from_fpga_mut();
-      effect.saved_to_chaos = to.reorder_rate();
-      effect.saved_from_chaos = from.reorder_rate();
-      effect.saved_to_delay = to.reorder_delay();
-      effect.saved_from_delay = from.reorder_delay();
-      to.set_reorder(window.chaos_rate, window.reorder_delay);
-      from.set_reorder(window.chaos_rate, window.reorder_delay);
+      effect.saved_to_chaos = system_.to_fpga().reorder_rate();
+      effect.saved_from_chaos = system_.from_fpga().reorder_rate();
+      effect.saved_to_delay = system_.to_fpga().reorder_delay();
+      effect.saved_from_delay = system_.from_fpga().reorder_delay();
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        system_.to_fpga_mut(lane).set_reorder(window.chaos_rate,
+                                              window.reorder_delay);
+        system_.from_fpga_mut(lane).set_reorder(window.chaos_rate,
+                                                window.reorder_delay);
+      }
       break;
     }
     case FaultKind::kChannelDuplicate: {
-      sim::Channel& to = system_.to_fpga_mut();
-      sim::Channel& from = system_.from_fpga_mut();
-      effect.saved_to_chaos = to.duplicate_rate();
-      effect.saved_from_chaos = from.duplicate_rate();
-      to.set_duplicate_rate(window.chaos_rate);
-      from.set_duplicate_rate(window.chaos_rate);
+      effect.saved_to_chaos = system_.to_fpga().duplicate_rate();
+      effect.saved_from_chaos = system_.from_fpga().duplicate_rate();
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        system_.to_fpga_mut(lane).set_duplicate_rate(window.chaos_rate);
+        system_.from_fpga_mut(lane).set_duplicate_rate(window.chaos_rate);
+      }
       break;
     }
   }
@@ -113,37 +120,44 @@ void FaultInjector::arm(const FaultWindow& window) {
 
 void FaultInjector::restore(const ActiveEffect& effect) {
   ++stats_.windows_restored;
+  const std::size_t lanes = core::FenixSystem::lane_count();
   switch (effect.window.kind) {
     case FaultKind::kFpgaStall:
     case FaultKind::kFpgaReset:
       break;  // Device windows clear themselves via available(now).
     case FaultKind::kChannelBrownout: {
-      sim::Channel& to = system_.to_fpga_mut();
-      sim::Channel& from = system_.from_fpga_mut();
-      to.set_bits_per_second(effect.saved_to_bps);
-      from.set_bits_per_second(effect.saved_from_bps);
-      to.set_loss_rate(effect.saved_to_loss);
-      from.set_loss_rate(effect.saved_from_loss);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        system_.to_fpga_mut(lane).set_bits_per_second(effect.saved_to_bps);
+        system_.from_fpga_mut(lane).set_bits_per_second(effect.saved_from_bps);
+        system_.to_fpga_mut(lane).set_loss_rate(effect.saved_to_loss);
+        system_.from_fpga_mut(lane).set_loss_rate(effect.saved_from_loss);
+      }
       break;
     }
     case FaultKind::kFifoShrink:
       system_.model_engine().set_input_queue_depth(effect.saved_fifo_depth);
       break;
     case FaultKind::kChannelCorrupt: {
-      system_.to_fpga_mut().set_corrupt_rate(effect.saved_to_chaos);
-      system_.from_fpga_mut().set_corrupt_rate(effect.saved_from_chaos);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        system_.to_fpga_mut(lane).set_corrupt_rate(effect.saved_to_chaos);
+        system_.from_fpga_mut(lane).set_corrupt_rate(effect.saved_from_chaos);
+      }
       break;
     }
     case FaultKind::kChannelReorder: {
-      system_.to_fpga_mut().set_reorder(effect.saved_to_chaos,
-                                        effect.saved_to_delay);
-      system_.from_fpga_mut().set_reorder(effect.saved_from_chaos,
-                                          effect.saved_from_delay);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        system_.to_fpga_mut(lane).set_reorder(effect.saved_to_chaos,
+                                              effect.saved_to_delay);
+        system_.from_fpga_mut(lane).set_reorder(effect.saved_from_chaos,
+                                                effect.saved_from_delay);
+      }
       break;
     }
     case FaultKind::kChannelDuplicate: {
-      system_.to_fpga_mut().set_duplicate_rate(effect.saved_to_chaos);
-      system_.from_fpga_mut().set_duplicate_rate(effect.saved_from_chaos);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        system_.to_fpga_mut(lane).set_duplicate_rate(effect.saved_to_chaos);
+        system_.from_fpga_mut(lane).set_duplicate_rate(effect.saved_from_chaos);
+      }
       break;
     }
   }

@@ -141,8 +141,7 @@ bool TernaryMatchTable::insert(TernaryEntry entry) {
   return true;
 }
 
-std::optional<ActionEntry> TernaryMatchTable::lookup(std::uint64_t key) const {
-  ++lookups_;
+void TernaryMatchTable::prepare() const {
   if (!sorted_) {
     std::stable_sort(entries_.begin(), entries_.end(),
                      [](const TernaryEntry& a, const TernaryEntry& b) {
@@ -150,10 +149,12 @@ std::optional<ActionEntry> TernaryMatchTable::lookup(std::uint64_t key) const {
                      });
     sorted_ = true;
   }
-  for (const TernaryEntry& e : entries_) {
-    if ((key & e.mask) == e.value) return e.action;
-  }
-  return std::nullopt;
+}
+
+std::optional<ActionEntry> TernaryMatchTable::lookup(std::uint64_t key) const {
+  ++lookups_;
+  prepare();
+  return lookup_shared(key);
 }
 
 std::vector<PrefixMask> expand_range_to_prefixes(std::uint64_t lo, std::uint64_t hi,

@@ -105,6 +105,21 @@ class TernaryMatchTable {
   std::optional<ActionEntry> lookup(std::uint64_t key) const;
   std::uint64_t lookups() const { return lookups_; }
 
+  /// Sorts the entry list by priority so lookup_shared() is purely read-only.
+  /// Call once before handing the table to concurrent readers.
+  void prepare() const;
+
+  /// Concurrent-reader lookup: same match semantics as lookup(), but touches
+  /// no mutable state (no lazy sort, no lookup counter) — requires prepare().
+  /// The pipe workers of the decentralized replay share one compiled table,
+  /// as all pipes of a real switch share the compiled program.
+  std::optional<ActionEntry> lookup_shared(std::uint64_t key) const {
+    for (const TernaryEntry& e : entries_) {
+      if ((key & e.mask) == e.value) return e.action;
+    }
+    return std::nullopt;
+  }
+
  private:
   std::string name_;
   std::size_t capacity_;

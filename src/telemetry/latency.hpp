@@ -37,6 +37,24 @@ class LatencyRecorder {
   /// Percentile in [0, 100]; exact over the retained reservoir.
   sim::SimDuration percentile(double p) const;
 
+  /// Folds another recorder's contents into this one (sharded replay merge).
+  /// Count/sum/min/max are combined exactly; retained samples append until
+  /// the reservoir bound. Deterministic — merging the same recorders in the
+  /// same order always yields the same summary, which is what lets per-lane
+  /// recorders merge into a bit-identical RunReport.
+  void absorb(const LatencyRecorder& other) {
+    if (other.count_ == 0) return;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    for (const sim::SimDuration d : other.samples_) {
+      if (samples_.size() >= capacity_) break;
+      samples_.push_back(d);
+    }
+    sorted_ = false;
+  }
+
   /// Convenience: p50/p99 in microseconds.
   double p50_us() const { return sim::to_microseconds(percentile(50.0)); }
   double p99_us() const { return sim::to_microseconds(percentile(99.0)); }

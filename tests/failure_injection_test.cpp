@@ -228,7 +228,8 @@ TEST(FailureInjection, PostResetEpochsNeverApplyStaleVerdicts) {
 
   // The reboot resynced both links, and some pre-reset verdicts died of it.
   EXPECT_GT(report.link_resyncs, 0u);
-  const net::ReliableLinkStats& from = system.link_from_fpga().stats();
+  // Whole-fabric return-direction counters (summed over all lanes).
+  const net::ReliableLinkStats from = system.link_stats_from_fpga();
   EXPECT_EQ(from.delivered,
             report.results_applied + report.results_stale +
                 report.stale_epoch_drops);

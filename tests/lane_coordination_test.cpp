@@ -1,0 +1,243 @@
+// Lane-decomposed coordination state (core/lane_coordination.hpp): the
+// sharded token bucket's conservation protocol across epoch reconciliations
+// — including fault-shaped schedules that starve some lanes and hammer
+// others — and the lane watchdog's canonical merge against a serially driven
+// HealthWatchdog.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lane_coordination.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace fenix::core {
+namespace {
+
+constexpr std::uint16_t kAlwaysAdmit = 0xffff;
+
+TokenBucketConfig bucket_config(double rate_v, double capacity) {
+  TokenBucketConfig config;
+  config.token_rate_v = rate_v;
+  config.capacity_tokens = capacity;
+  config.seed = 0x5eed;
+  return config;
+}
+
+TEST(ShardedTokenBucket, SubBudgetsSplitRateAndCapacityEvenly) {
+  const ShardedTokenBucket bucket(bucket_config(1.6e6, 64));
+  // Each lane refills at V/L, so a lane token costs L times a global token
+  // in picoseconds — but each lane holds C/L of them, so the summed capacity
+  // in *tokens* equals the global bucket's C.
+  const TokenBucket global{bucket_config(1.6e6, 64)};
+  const double total_tokens =
+      static_cast<double>(bucket.total_capacity_ps()) /
+      static_cast<double>(bucket.lane(0).token_cost_ps());
+  EXPECT_NEAR(total_tokens, 64.0, 1e-6);
+  // And each lane's ps budget window matches the global bucket's: C/L tokens
+  // at L-times the cost is the same burst duration.
+  for (std::size_t lane = 0; lane < kCoordinationLanes; ++lane) {
+    EXPECT_EQ(bucket.lane(lane).capacity_ps(), global.capacity_ps());
+    EXPECT_EQ(bucket.lane(lane).token_cost_ps(), bucket.lane(0).token_cost_ps());
+  }
+}
+
+TEST(ShardedTokenBucket, IdleLanesAccrueGlobalRateAcrossEpochs) {
+  // No traffic at all: reconciliation alone must grow the pooled budget at
+  // the global rate V (every sub-bucket refills at V/L) until the caps fill.
+  ShardedTokenBucket bucket(bucket_config(1e6, 1600));
+  bucket.reconcile(0);  // epoch 0 starts the refill clocks
+  const sim::SimDuration epoch = sim::milliseconds(1);
+  for (int e = 1; e <= 1000; ++e) {
+    bucket.reconcile(static_cast<sim::SimTime>(e) * epoch);
+    EXPECT_LE(bucket.total_level_ps(), bucket.total_capacity_ps());
+  }
+  // 1 s at V = 1e6 tokens/s against a 1600-token pool: the pool is full.
+  EXPECT_EQ(bucket.total_level_ps(), bucket.total_capacity_ps());
+  EXPECT_EQ(bucket.reconciles(), 1001u);
+}
+
+TEST(ShardedTokenBucket, ReconcileConservesPooledBudgetExactly) {
+  // Drain a few lanes hard, leave the rest idle, then reconcile: the
+  // redistribution must neither mint nor destroy budget — the pool after the
+  // barrier equals the refilled pool before it (no cap clamping in play).
+  ShardedTokenBucket bucket(bucket_config(1e6, 1600));
+  const sim::SimTime start = sim::milliseconds(5);
+  bucket.reconcile(start);  // align refill clocks
+
+  // Hammer lanes 0..3 at one microsecond spacing until their buckets empty.
+  sim::SimTime now = start;
+  for (int i = 0; i < 400; ++i) {
+    now += sim::microseconds(1);
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      bucket.on_packet(lane, now, kAlwaysAdmit);
+    }
+  }
+
+  // Pool right before the barrier, refilled to the barrier instant by hand.
+  sim::SimDuration expected = 0;
+  {
+    ShardedTokenBucket probe(bucket_config(1e6, 1600));
+    probe.reconcile(start);
+    sim::SimTime t = start;
+    for (int i = 0; i < 400; ++i) {
+      t += sim::microseconds(1);
+      for (std::size_t lane = 0; lane < 4; ++lane) {
+        probe.on_packet(lane, t, kAlwaysAdmit);
+      }
+    }
+    for (std::size_t lane = 0; lane < kCoordinationLanes; ++lane) {
+      probe.lane(lane).refill_to(now);
+      expected += probe.lane(lane).level_ps();
+    }
+  }
+
+  bucket.reconcile(now);
+  EXPECT_EQ(bucket.total_level_ps(), expected);
+
+  // And the redistribution is even: lanes differ by at most one integer
+  // division remainder step.
+  sim::SimDuration lo = bucket.lane(0).level_ps();
+  sim::SimDuration hi = lo;
+  for (std::size_t lane = 1; lane < kCoordinationLanes; ++lane) {
+    lo = std::min(lo, bucket.lane(lane).level_ps());
+    hi = std::max(hi, bucket.lane(lane).level_ps());
+  }
+  EXPECT_LE(hi - lo, static_cast<sim::SimDuration>(kCoordinationLanes));
+}
+
+TEST(ShardedTokenBucket, SaturatedGrantsTrackGlobalRateUnderSkewedLoad) {
+  // Fault-shaped schedule: one hot lane takes 8x the traffic of the cold
+  // lanes, with reconciliation every millisecond. The epoch redistribution
+  // must keep feeding the hot lane from the idle lanes' refill, so the total
+  // grant count over the run tracks the *global* V — the whole point of
+  // decentralizing the bucket without changing the paper's Eq. 1 behavior.
+  const double rate_v = 2e5;
+  ShardedTokenBucket bucket(bucket_config(rate_v, 64));
+  sim::RandomStream rng(0xfeed);
+  const sim::SimDuration epoch = sim::milliseconds(1);
+  const int epochs = 2000;  // 2 s of simulated time
+  std::uint64_t grants = 0;
+  bucket.reconcile(0);
+  for (int e = 0; e < epochs; ++e) {
+    const sim::SimTime t0 = static_cast<sim::SimTime>(e) * epoch;
+    // 640 packets per epoch: 8/16 on lane 0, the rest spread over lanes 1-15.
+    for (int k = 0; k < 640; ++k) {
+      const std::size_t lane =
+          (k % 2 == 0) ? 0 : 1 + static_cast<std::size_t>(rng() % 15);
+      const sim::SimTime at =
+          t0 + static_cast<sim::SimDuration>(k) * (epoch / 640);
+      if (bucket.on_packet(lane, at, kAlwaysAdmit)) ++grants;
+    }
+    bucket.reconcile(t0 + epoch);
+  }
+  const double seconds = 2.0;
+  const double expected = rate_v * seconds;
+  EXPECT_NEAR(static_cast<double>(grants), expected, expected * 0.02);
+  EXPECT_EQ(grants, bucket.stats().grants);
+}
+
+TEST(ShardedTokenBucket, DeterministicAcrossIdenticalRuns) {
+  const auto run = [] {
+    ShardedTokenBucket bucket(bucket_config(5e5, 128));
+    bucket.reconcile(0);
+    for (int e = 1; e <= 200; ++e) {
+      const sim::SimTime t = static_cast<sim::SimTime>(e) * sim::milliseconds(1);
+      for (std::size_t lane = 0; lane < kCoordinationLanes; ++lane) {
+        bucket.on_packet(lane, t - sim::microseconds(1 + lane), 0x8000);
+      }
+      bucket.reconcile(t);
+    }
+    return bucket.stats();
+  };
+  const TokenBucketStats a = run();
+  const TokenBucketStats b = run();
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.grants, b.grants);
+  EXPECT_EQ(a.prob_rejections, b.prob_rejections);
+  EXPECT_EQ(a.token_rejections, b.token_rejections);
+}
+
+TEST(LaneWatchdog, CanonicalMergeMatchesSeriallyDrivenWatchdog) {
+  // Buffer an interleaved miss/result stream through the lanes in arbitrary
+  // per-lane order, reconcile, and drive a plain HealthWatchdog with the
+  // same events pre-sorted by the canonical order (timestamp, results first,
+  // lane, buffer index). State and stats must match exactly.
+  HealthWatchdogConfig config;
+  config.miss_threshold = 4;
+  config.recovery_threshold = 2;
+  LaneWatchdog sharded(config);
+  HealthWatchdog serial(config);
+
+  struct Ev {
+    sim::SimTime at;
+    bool miss;
+    std::uint32_t lane;
+    std::uint32_t index;
+  };
+  std::vector<Ev> events;
+  sim::RandomStream rng(0xd06);
+  std::vector<std::uint32_t> lane_index(kCoordinationLanes, 0);
+  for (int i = 0; i < 4000; ++i) {
+    Ev e;
+    // Coarse timestamps force plenty of ties, exercising the tie-break.
+    e.at = static_cast<sim::SimTime>(rng() % 64) * sim::microseconds(10);
+    e.miss = (rng() % 3) != 0;  // miss-heavy: crosses thresholds both ways
+    e.lane = static_cast<std::uint32_t>(rng() % kCoordinationLanes);
+    e.index = lane_index[e.lane]++;
+    events.push_back(e);
+    if (e.miss) {
+      sharded.buffer_miss(e.lane, e.at);
+    } else {
+      sharded.buffer_result(e.lane, e.at);
+    }
+  }
+  sharded.reconcile();
+
+  std::stable_sort(events.begin(), events.end(), [](const Ev& a, const Ev& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.miss != b.miss) return !a.miss;  // results before misses
+    if (a.lane != b.lane) return a.lane < b.lane;
+    return a.index < b.index;
+  });
+  for (const Ev& e : events) {
+    if (e.miss) {
+      serial.on_deadline_missed(e.at);
+    } else {
+      serial.on_result(e.at);
+    }
+  }
+
+  EXPECT_EQ(sharded.degraded(), serial.degraded());
+  EXPECT_EQ(sharded.stats().deadline_misses, serial.stats().deadline_misses);
+  EXPECT_EQ(sharded.stats().heartbeats, serial.stats().heartbeats);
+  EXPECT_EQ(sharded.stats().degradations, serial.stats().degradations);
+  EXPECT_EQ(sharded.stats().recoveries, serial.stats().recoveries);
+}
+
+TEST(LaneWatchdog, PublishedFlagIsStableBetweenBarriers) {
+  // Buffered events must not move the published flag until reconcile() runs:
+  // that stability is what makes per-packet forwarding decisions identical
+  // at every pipe count.
+  HealthWatchdogConfig config;
+  config.miss_threshold = 2;
+  config.recovery_threshold = 1;
+  LaneWatchdog wd(config);
+  EXPECT_FALSE(wd.degraded());
+
+  wd.buffer_miss(3, sim::microseconds(10));
+  wd.buffer_miss(7, sim::microseconds(20));
+  EXPECT_FALSE(wd.degraded());  // not published yet
+  wd.reconcile();
+  EXPECT_TRUE(wd.degraded());  // threshold crossed at the barrier
+
+  wd.buffer_result(1, sim::microseconds(30));
+  EXPECT_TRUE(wd.degraded());  // recovery invisible until the next barrier
+  wd.reconcile();
+  EXPECT_FALSE(wd.degraded());
+  EXPECT_EQ(wd.reconciles(), 2u);
+}
+
+}  // namespace
+}  // namespace fenix::core

@@ -122,7 +122,8 @@ TEST_F(PipelineParallelTest, BitIdenticalAcrossShardAndThreadCounts) {
   ASSERT_GT(serial.results_applied, 0u);
 
   const std::size_t hw = runtime::ThreadPool::default_thread_count();
-  for (std::size_t pipes : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+  for (std::size_t pipes : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                            std::size_t{8}, std::size_t{16}}) {
     for (std::size_t threads : {std::size_t{1}, std::size_t{2}, hw}) {
       PipelineOptions opts;
       opts.pipes = pipes;

@@ -87,19 +87,24 @@ core::FenixSystemConfig config_for_seed(std::uint64_t seed) {
   return config;
 }
 
-core::InvariantContext context_for(const core::RunReport& report,
-                                   const Workload& work,
-                                   const core::FenixSystem& system,
-                                   const core::FenixSystemConfig& config) {
+/// Runs the standard registry against one report. The conservation laws hold
+/// over the whole striped fabric, so the link counters are the all-lane
+/// aggregates (kept in locals for the duration of the check — the context
+/// holds pointers).
+std::vector<core::InvariantViolation> check_invariants(
+    const core::RunReport& report, const Workload& work,
+    const core::FenixSystem& system, const core::FenixSystemConfig& config) {
+  const net::ReliableLinkStats to_stats = system.link_stats_to_fpga();
+  const net::ReliableLinkStats from_stats = system.link_stats_from_fpga();
   core::InvariantContext ctx{report};
   ctx.trace_packets = work.trace.packets.size();
   ctx.trace_flows = work.labeled_flows;
-  ctx.to_link = &system.link_to_fpga().stats();
-  ctx.from_link = &system.link_from_fpga().stats();
+  ctx.to_link = &to_stats;
+  ctx.from_link = &from_stats;
   ctx.reorder_window = config.link.reorder_window;
   ctx.link_max_retransmits = config.link.max_retransmits;
   ctx.replay_max_retransmits = config.recovery.max_retransmits;
-  return ctx;
+  return core::InvariantRegistry::standard().check(ctx);
 }
 
 void print_violations(const std::vector<core::InvariantViolation>& violations) {
@@ -123,20 +128,19 @@ bool run_seed(std::uint64_t seed, const Workload& work, std::size_t windows) {
 
   // Sharded path: pipes / batch rotate with the seed so the soak sweeps the
   // shard and batch-lane space, not one fixed configuration.
-  static constexpr std::size_t kPipes[] = {1, 2, 4};
+  static constexpr std::size_t kPipes[] = {1, 2, 4, 8};
   static constexpr std::size_t kBatch[] = {1, 8, 16};
   core::PipelineOptions opts;
-  opts.pipes = kPipes[seed % 3];
-  opts.batch = kBatch[(seed / 3) % 3];
+  opts.pipes = kPipes[seed % 4];
+  opts.batch = kBatch[(seed / 4) % 3];
   core::FenixSystem sharded(config, work.quantized.get(), nullptr);
   faults::FaultInjector sharded_injector(schedule, sharded);
   const core::RunReport sharded_report = sharded.run_pipelined(
       work.trace, work.num_classes, &sharded_injector, {}, opts);
 
   bool ok = true;
-  const core::InvariantRegistry registry = core::InvariantRegistry::standard();
   const auto serial_violations =
-      registry.check(context_for(serial_report, work, serial, config));
+      check_invariants(serial_report, work, serial, config);
   if (!serial_violations.empty()) {
     std::cerr << "seed " << seed << ": serial replay violated "
               << serial_violations.size() << " invariant(s)\n";
@@ -144,7 +148,7 @@ bool run_seed(std::uint64_t seed, const Workload& work, std::size_t windows) {
     ok = false;
   }
   const auto sharded_violations =
-      registry.check(context_for(sharded_report, work, sharded, config));
+      check_invariants(sharded_report, work, sharded, config);
   if (!sharded_violations.empty()) {
     std::cerr << "seed " << seed << ": sharded replay (pipes=" << opts.pipes
               << " batch=" << opts.batch << ") violated "
@@ -178,9 +182,7 @@ bool run_mutation_check(std::uint64_t seed, const Workload& work,
   faults::FaultInjector injector(schedule, system);
   core::RunReport report = system.run(work.trace, work.num_classes, &injector);
 
-  const core::InvariantRegistry registry = core::InvariantRegistry::standard();
-  const auto clean =
-      registry.check(context_for(report, work, system, config));
+  const auto clean = check_invariants(report, work, system, config);
   if (!clean.empty()) {
     std::cerr << "mutation check: baseline run is not clean (seed " << seed
               << ")\n";
@@ -206,8 +208,7 @@ bool run_mutation_check(std::uint64_t seed, const Workload& work,
   for (const Mutation& m : mutations) {
     core::RunReport mutated = report;  // fresh copy per mutation
     m.apply(mutated);
-    const auto violations =
-        registry.check(context_for(mutated, work, system, config));
+    const auto violations = check_invariants(mutated, work, system, config);
     if (violations.empty()) {
       std::cerr << "mutation check FAILED: corruption '" << m.name
                 << "' slipped past the registry (seed " << seed << ")\n";
