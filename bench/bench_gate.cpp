@@ -12,6 +12,8 @@
 //   *_packets_per_sec, *_speedup,  higher-is-better; current must be
 //   *_scaling_efficiency           >= baseline * (1 - tolerance)
 //   *_bit_identical                must be exactly 1
+//   *_divergence                   must be exactly 0 (count of sharded
+//                                  replays whose report diverged from serial)
 //   anything else                  informational (recorded, not gated)
 //
 // Usage: bench_gate [baselines.json] [current.json]
@@ -82,7 +84,8 @@ int main(int argc, char** argv) {
                              ends_with(base.key, "_speedup") ||
                              ends_with(base.key, "_scaling_efficiency");
     const bool identity_metric = ends_with(base.key, "_bit_identical");
-    if (!rate_metric && !identity_metric) continue;
+    const bool divergence_metric = ends_with(base.key, "_divergence");
+    if (!rate_metric && !identity_metric && !divergence_metric) continue;
     ++gated;
 
     double expected = 0.0;
@@ -121,6 +124,9 @@ int main(int argc, char** argv) {
                       << div->value << "\n";
           }
         }
+      } else if (divergence_metric) {
+        status = value == 0.0 ? "ok" : "DIVERGED";
+        if (value != 0.0) ++failures;
       } else {
         const double floor = expected * (1.0 - tolerance);
         status = value >= floor ? "ok" : "REGRESSED";

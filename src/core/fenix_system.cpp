@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/replay_core.hpp"
+#include "lifecycle/lifecycle.hpp"
+#include "telemetry/drift_monitor.hpp"
 
 namespace fenix::core {
 
@@ -165,11 +167,31 @@ RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes,
   core_config.recovery = config_.recovery;
   core_config.transit_latency = data_engine_.timing().transit_latency();
   core_config.pass_latency = data_engine_.timing().pass_latency();
-  EngineInferenceStage inference(model_engine_);
   DataEngineResultSink sink(data_engine_);
+
+  if (config_.lifecycle.enabled()) {
+    // Lifecycle wiring: the shadow-scoring stage replaces the eager engine
+    // stage (identical admission timing and serving-model classes), and the
+    // manager rides the ReplayCore's barrier schedule as its observer.
+    lifecycle::LifecycleInferenceStage stage(model_engine_, config_.lifecycle);
+    ReplayCore core(trace, num_classes, phases, core_config, to_links(),
+                    from_links(), data_engine_.watchdog(), stage, sink, hooks);
+    lifecycle::LifecycleManager manager(config_.lifecycle, num_classes,
+                                        model_engine_, stage, to_links(),
+                                        from_links(), data_engine_.watchdog());
+    core.set_lifecycle(&manager);
+    RunReport report = run_serial(core, trace);
+    manager.finalize(report);
+    return report;
+  }
+
+  EngineInferenceStage inference(model_engine_);
   ReplayCore core(trace, num_classes, phases, core_config, to_links(),
                   from_links(), data_engine_.watchdog(), inference, sink, hooks);
+  return run_serial(core, trace);
+}
 
+RunReport FenixSystem::run_serial(ReplayCore& core, const net::Trace& trace) {
   const sim::SimDuration quantum =
       std::max<sim::SimDuration>(1, config_.reconcile_quantum);
   sim::SimTime last_epoch = 0;
@@ -258,6 +280,26 @@ telemetry::MetricRegistry FenixSystem::health_metrics(const RunReport& report) c
   reg.set_counter("watchdog_recoveries", report.watchdog.recoveries);
   reg.set_gauge("time_degraded_ms",
                 sim::to_milliseconds(report.watchdog.time_degraded));
+  // Model-lifecycle health: shadow-evaluation drift, swap/rollback activity,
+  // and the mirrors sacrificed to reconfiguration blackouts (all zero when no
+  // shadow model is configured).
+  reg.set_counter("lifecycle_shadow_evals", report.lifecycle_shadow_evals);
+  reg.set_counter("lifecycle_disagreements", report.lifecycle_disagreements);
+  reg.set_counter("lifecycle_promotions", report.lifecycle_promotions);
+  reg.set_counter("lifecycle_rollbacks", report.lifecycle_rollbacks);
+  reg.set_counter("lifecycle_slo_breaches", report.lifecycle_slo_breaches);
+  reg.set_counter("lifecycle_verdicts_primary", report.lifecycle_verdicts_primary);
+  reg.set_counter("lifecycle_verdicts_candidate",
+                  report.lifecycle_verdicts_candidate);
+  reg.set_counter("lifecycle_demoted_applies", report.lifecycle_demoted_applies);
+  reg.set_counter("lifecycle_swap_drops", report.lifecycle_swap_drops);
+  reg.set_gauge("lifecycle_drift_rate",
+                report.lifecycle_shadow_evals == 0
+                    ? 0.0
+                    : static_cast<double>(report.lifecycle_disagreements) /
+                          static_cast<double>(report.lifecycle_shadow_evals));
+  reg.set_gauge("lifecycle_swap_blackout_ms",
+                sim::to_milliseconds(report.lifecycle_swap_blackout));
   // Decentralized-coordination health: how often the epoch reconcilers ran,
   // and (after run_pipelined) the fan-in contention and per-pipe backlog
   // peaks of the worker fleet.

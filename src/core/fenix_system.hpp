@@ -32,6 +32,7 @@
 #include "core/data_engine.hpp"
 #include "core/model_engine.hpp"
 #include "core/replay_core.hpp"
+#include "lifecycle/config.hpp"
 #include "runtime/mpsc_queue.hpp"
 #include "sim/channel.hpp"
 #include "telemetry/latency.hpp"
@@ -66,6 +67,12 @@ struct FenixSystemConfig {
   /// Deadline / retransmit / watchdog recovery behaviour
   /// (core/replay_core.hpp, threaded into the shared ReplayCore).
   RecoveryConfig recovery;
+
+  /// Online model lifecycle (src/lifecycle/): configuring a shadow model
+  /// enables shadow evaluation + drift monitoring, and optionally an
+  /// epoch-tagged hot swap at promote_at with SLO-guarded automatic
+  /// rollback. Disabled (all-default) runs are byte-for-byte unaffected.
+  lifecycle::LifecycleConfig lifecycle;
 
   /// Epoch-reconciliation quantum of the decentralized coordinator: fault
   /// hooks, the cross-lane watchdog fold, token-budget rebalancing, and the
@@ -188,6 +195,10 @@ class FenixSystem {
 
   LaneLinks to_links();
   LaneLinks from_links();
+
+  /// The serial packet loop of run(), shared by the plain and
+  /// lifecycle-enabled stage wirings.
+  RunReport run_serial(ReplayCore& core, const net::Trace& trace);
 
   FenixSystemConfig config_;
   ModelEngine model_engine_;  ///< Built first: the Data Engine derives V from it.

@@ -35,6 +35,15 @@ void HealthWatchdog::on_result(sim::SimTime now) {
   }
 }
 
+void HealthWatchdog::force_degrade(sim::SimTime now) {
+  consecutive_misses_ = 0;
+  consecutive_results_ = 0;
+  if (degraded_) return;
+  degraded_ = true;
+  degraded_since_ = now;
+  ++stats_.degradations;
+}
+
 void HealthWatchdog::close(sim::SimTime now) {
   if (degraded_ && now > degraded_since_) {
     stats_.time_degraded += now - degraded_since_;

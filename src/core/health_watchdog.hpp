@@ -44,6 +44,12 @@ class HealthWatchdog {
   /// A verdict arrived back at the switch within its deadline.
   void on_result(sim::SimTime now);
 
+  /// Control-plane-forced degradation (model-lifecycle rollback to the TCAM
+  /// fallback tree): enters the degraded state immediately, as if the miss
+  /// streak had just tripped. Both streaks reset; recovery then follows the
+  /// normal consecutive-result hysteresis. No-op while already degraded.
+  void force_degrade(sim::SimTime now);
+
   bool degraded() const { return degraded_; }
 
   /// Start of the current degraded interval (meaningful while degraded()).

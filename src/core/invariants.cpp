@@ -161,6 +161,79 @@ InvariantRegistry InvariantRegistry::standard() {
                  ctx.report.retransmits, ctx.report.deadline_misses);
           });
 
+  // No verdict from a demoted model generation is ever applied: the cutover
+  // runs after the barrier's all-lane pump and resyncs every lane link, so
+  // the epoch staleness rule discards everything the old generation still
+  // had in flight. Unconditional — a non-lifecycle run trivially books 0.
+  reg.add("no-demoted-verdicts",
+          [](const InvariantContext& ctx, std::vector<InvariantViolation>& out) {
+            Expect e("no-demoted-verdicts", out);
+            e.eq("lifecycle_demoted_applies != 0",
+                 ctx.report.lifecycle_demoted_applies, 0);
+          });
+
+  // The drift monitor never invents evaluations: disagreements are a subset
+  // of shadow evaluations.
+  reg.add("drift-bounds",
+          [](const InvariantContext& ctx, std::vector<InvariantViolation>& out) {
+            Expect e("drift-bounds", out);
+            e.le("lifecycle_disagreements > lifecycle_shadow_evals",
+                 ctx.report.lifecycle_disagreements,
+                 ctx.report.lifecycle_shadow_evals);
+          });
+
+  // Every verdict delivered without an epoch discard is attributed to
+  // exactly one model generation (the sink may still reject it as
+  // flow-stale, so the right-hand side is applied + stale).
+  reg.add("lifecycle-attribution",
+          [](const InvariantContext& ctx, std::vector<InvariantViolation>& out) {
+            if (!ctx.lifecycle_enabled) return;
+            Expect e("lifecycle-attribution", out);
+            e.eq("primary + candidate != applied + stale",
+                 ctx.report.lifecycle_verdicts_primary +
+                     ctx.report.lifecycle_verdicts_candidate,
+                 ctx.report.results_applied + ctx.report.results_stale);
+          });
+
+  // Swap accounting: rollbacks demote previous promotions and each one was
+  // triggered by a recorded SLO breach; the summed blackout is exactly the
+  // configured window per swap event.
+  reg.add("lifecycle-swap-accounting",
+          [](const InvariantContext& ctx, std::vector<InvariantViolation>& out) {
+            Expect e("lifecycle-swap-accounting", out);
+            e.le("lifecycle_rollbacks > lifecycle_promotions",
+                 ctx.report.lifecycle_rollbacks, ctx.report.lifecycle_promotions);
+            e.le("lifecycle_rollbacks > lifecycle_slo_breaches",
+                 ctx.report.lifecycle_rollbacks,
+                 ctx.report.lifecycle_slo_breaches);
+            if (!ctx.lifecycle_enabled) return;
+            e.eq("lifecycle_swap_blackout != swaps * configured blackout",
+                 static_cast<std::uint64_t>(ctx.report.lifecycle_swap_blackout),
+                 (ctx.report.lifecycle_promotions +
+                  ctx.report.lifecycle_rollbacks) *
+                     static_cast<std::uint64_t>(ctx.lifecycle_blackout));
+          });
+
+  // The report's aggregated link deltas agree with the per-direction link
+  // statistics the checker was handed (both directions summed) — the two
+  // reporting surfaces cannot drift apart.
+  reg.add("link-report-consistency",
+          [](const InvariantContext& ctx, std::vector<InvariantViolation>& out) {
+            if (!ctx.to_link || !ctx.from_link) return;
+            Expect e("link-report-consistency", out);
+            e.eq("report.link_retransmits != to + from retransmits",
+                 ctx.report.link_retransmits,
+                 ctx.to_link->retransmits + ctx.from_link->retransmits);
+            e.eq("report.link_nacks != to + from nacks",
+                 ctx.report.link_nacks, ctx.to_link->nacks + ctx.from_link->nacks);
+            e.eq("report.link_corrupt_drops != to + from corrupt drops",
+                 ctx.report.link_corrupt_drops,
+                 ctx.to_link->corrupt_drops + ctx.from_link->corrupt_drops);
+            e.eq("report.link_resyncs != to + from resyncs",
+                 ctx.report.link_resyncs,
+                 ctx.to_link->resyncs + ctx.from_link->resyncs);
+          });
+
   // In-order release times never run backwards. Only *release* order is
   // monotone by contract — send times are legitimately not (a deadline miss
   // at t can fire after a mirror emitted at t + transit), which is why the

@@ -43,6 +43,12 @@ struct InvariantContext {
   std::size_t reorder_window = 0;       ///< Link config bound.
   unsigned link_max_retransmits = 0;    ///< Per-frame NACK repair budget.
   unsigned replay_max_retransmits = 0;  ///< Per-mirror deadline repair budget.
+  /// Model lifecycle ran this replay (gates the attribution laws that only
+  /// hold when verdicts carry generation tags).
+  bool lifecycle_enabled = false;
+  /// Configured per-swap reconfiguration window (lifecycle_swap_blackout
+  /// must equal swaps * this, exactly).
+  sim::SimDuration lifecycle_blackout = 0;
 };
 
 struct InvariantViolation {

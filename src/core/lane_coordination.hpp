@@ -185,6 +185,15 @@ class LaneWatchdog {
     inner_.close(now);
   }
 
+  /// Control-plane-forced degradation (coordinator only, at a barrier): the
+  /// lifecycle rollback-to-fallback path pins the ladder onto the TCAM tree
+  /// immediately; the next reconcile()'s event replay then applies the
+  /// normal recovery hysteresis.
+  void force_degrade(sim::SimTime at) {
+    inner_.force_degrade(at);
+    published_degraded_ = inner_.degraded();
+  }
+
   /// The epoch-published flag (NOT the live inner state): stable between
   /// barriers, so per-packet forwarding decisions are pipe-count-invariant.
   bool degraded() const { return published_degraded_; }

@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/model_engine.hpp"
@@ -30,6 +31,15 @@ class DeviceOvercommit : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when a routed task id names no resident engine. A typed error (not
+/// the container's bare std::out_of_range) so callers on the submission hot
+/// path can distinguish a misrouted mirror session from a genuine bug in the
+/// pool itself.
+class UnknownTask : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 class ModelPool {
  public:
   /// All engines share one device envelope.
@@ -42,14 +52,25 @@ class ModelPool {
                          const nn::QuantizedRnn* rnn);
 
   std::size_t size() const { return engines_.size(); }
-  ModelEngine& engine(std::size_t task) { return *engines_.at(task); }
-  const ModelEngine& engine(std::size_t task) const { return *engines_.at(task); }
+  ModelEngine& engine(std::size_t task) { return *checked(task); }
+  const ModelEngine& engine(std::size_t task) const { return *checked(task); }
 
-  /// Routes a feature vector to the engine serving `task`.
+  /// Routes a feature vector to the engine serving `task`. Throws
+  /// UnknownTask when `task` names no resident engine.
   std::optional<net::InferenceResult> submit(std::size_t task,
                                              const net::FeatureVector& vec,
                                              sim::SimTime arrival) {
-    return engines_.at(task)->submit(vec, arrival);
+    return checked(task)->submit(vec, arrival);
+  }
+
+  /// Per-engine hot swap: partial-reconfigure the engine serving `task` onto
+  /// a new model (exactly one of `cnn` / `rnn` non-null). The engine drops
+  /// submissions for `blackout`, then serves the new model; the switch keeps
+  /// forwarding from cached verdicts / the fallback tree meanwhile.
+  void swap_model(std::size_t task, const nn::QuantizedCnn* cnn,
+                  const nn::QuantizedRnn* rnn, sim::SimTime now,
+                  sim::SimDuration blackout = sim::milliseconds(20)) {
+    checked(task)->begin_reconfiguration(now, cnn, rnn, blackout);
   }
 
   /// Pooled resource utilization across all resident engines.
@@ -61,6 +82,18 @@ class ModelPool {
 
  private:
   static fpgasim::ResourceEstimate total_of(const ModelEngine& engine);
+
+  ModelEngine* checked(std::size_t task) {
+    if (task >= engines_.size()) {
+      throw UnknownTask("ModelPool: unknown task id " + std::to_string(task) +
+                        " (" + std::to_string(engines_.size()) +
+                        " engines resident)");
+    }
+    return engines_[task].get();
+  }
+  const ModelEngine* checked(std::size_t task) const {
+    return const_cast<ModelPool*>(this)->checked(task);
+  }
 
   fpgasim::DeviceProfile device_;
   fpgasim::ResourceEstimate pooled_;

@@ -49,6 +49,7 @@
 #include "core/fenix_system.hpp"
 #include "core/model_pool.hpp"
 #include "core/replay_core.hpp"
+#include "lifecycle/lifecycle.hpp"
 #include "net/hash.hpp"
 #include "runtime/mpsc_queue.hpp"
 #include "runtime/thread_pool.hpp"
@@ -360,15 +361,35 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
                            std::max<std::size_t>(1, opts.batch),
                            threads > 1 ? threads - 1 : 0);
 
-  // ---- The shared lane-granular core with the fan-in stage.
+  // ---- The shared lane-granular core. Plain runs batch DNN passes behind
+  // the MPSC fan-in; lifecycle runs score eagerly on the workers with
+  // per-lane scratch (the shadow pass must see every window, and the serving
+  // class must be published under a generation-tagged symbol), so they skip
+  // the fan-in/batcher machinery entirely.
   ReplayCoreConfig core_config;
   core_config.recovery = config_.recovery;
   core_config.transit_latency = data_engine_.timing().transit_latency();
   core_config.pass_latency = data_engine_.timing().pass_latency();
-  FanInInferenceStage inference(model_engine_, batcher);
+  const bool lifecycle_on = config_.lifecycle.enabled();
+  std::optional<FanInInferenceStage> fanin;
+  std::optional<lifecycle::LifecycleInferenceStage> lifecycle_stage;
+  if (lifecycle_on) {
+    lifecycle_stage.emplace(model_engine_, config_.lifecycle);
+  } else {
+    fanin.emplace(model_engine_, batcher);
+  }
+  InferenceStage& inference =
+      lifecycle_on ? static_cast<InferenceStage&>(*lifecycle_stage)
+                   : static_cast<InferenceStage&>(*fanin);
   LaneResultSink sink(watchdog, shards, index_bits);
   ReplayCore core(trace, num_classes, phases, core_config, to_links(),
                   from_links(), watchdog, inference, sink, hooks);
+  std::optional<lifecycle::LifecycleManager> manager;
+  if (lifecycle_on) {
+    manager.emplace(config_.lifecycle, num_classes, model_engine_,
+                    *lifecycle_stage, to_links(), from_links(), watchdog);
+    core.set_lifecycle(&*manager);
+  }
 
   // Full per-packet work for one packet, on its lane's state only. Runs on
   // the lane's owner pipe worker (or inline on the coordinator).
@@ -547,7 +568,7 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
 
     if (inline_exec) {
       for (std::size_t p = 0; p < pipes; ++p) run_pipe_epoch(p, e);
-      inference.drain();
+      if (fanin) fanin->drain();
       continue;
     }
 
@@ -568,10 +589,10 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
     // The coordinator is the fan-in consumer: drain while the fleet works so
     // producers never wedge on a full ring.
     while (pending.load(std::memory_order_acquire) != 0) {
-      inference.drain();
+      if (fanin) fanin->drain();
       std::this_thread::yield();
     }
-    inference.drain();
+    if (fanin) fanin->drain();
   }
 
   // Final barrier at end of trace (run()'s order), tail drain, then the
@@ -580,7 +601,7 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
   watchdog.reconcile();
   bucket.reconcile(trace.duration());
   core.drain(trace.duration());
-  inference.drain();
+  if (fanin) fanin->drain();
   pool.wait();
   batcher.finish();
   core.resolve();
@@ -590,6 +611,7 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
     report.fallback_verdicts += sh->fallback_verdicts;
     report.mirrors_suppressed += sh->mirrors_suppressed;
   }
+  if (manager) manager->finalize(report);
 
   pipeline_telemetry_ = PipelineTelemetry{};
   pipeline_telemetry_.pipes = pipes;
@@ -597,7 +619,8 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
   pipeline_telemetry_.watchdog_reconciles = watchdog.reconciles();
   pipeline_telemetry_.bucket_reconciles = bucket.reconciles();
   pipeline_telemetry_.pipe_queue_peaks = std::move(pipe_peaks);
-  pipeline_telemetry_.fanin = inference.fanin_stats();
+  pipeline_telemetry_.fanin =
+      fanin ? fanin->fanin_stats() : runtime::MpscQueueStats{};
   return core.take_report();
 }
 

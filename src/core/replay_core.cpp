@@ -165,6 +165,9 @@ void ReplayCore::deliver_one(std::size_t lane) {
   }
   sink_.apply(p.result, p.symbol);
   L.end_to_end.record(p.delivered_at - p.mirror_emitted);
+  if (lifecycle_) {
+    lifecycle_->on_apply(lane, p.symbol, p.delivered_at - p.mirror_emitted);
+  }
   if (p.result.flow_id < flow_labels_.size()) {
     L.deferred_inference.push_back({flow_labels_[p.result.flow_id], p.symbol});
     flow_verdict_symbol_[p.result.flow_id] = p.symbol;
@@ -216,6 +219,12 @@ void ReplayCore::reconcile(sim::SimTime now) {
   for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
     pump(now, /*everything=*/false, lane);
   }
+  // Lifecycle decisions run strictly after the all-lane pump: every pending
+  // verdict due by `now` has been applied, so a cutover's link resync leaves
+  // only not-yet-due pendings behind — all of which the epoch-staleness rule
+  // (epoch < cur && delivered_at >= epoch_end == now) then discards. That is
+  // the no-demoted-verdicts guarantee.
+  if (lifecycle_) lifecycle_->at_barrier(now);
 }
 
 void ReplayCore::begin_packet(sim::SimTime now, std::size_t lane) {
@@ -257,6 +266,7 @@ void ReplayCore::drain(sim::SimTime trace_end) {
   for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
     pump(0, /*everything=*/true, lane);
   }
+  if (lifecycle_) lifecycle_->at_drain(trace_end);
   watchdog_.close(trace_end);
 }
 
@@ -438,6 +448,37 @@ std::optional<std::string> first_divergence(const RunReport& a,
                        b.link_pacer_drops))
     return d;
   if (auto d = diverge("link_resyncs", a.link_resyncs, b.link_resyncs))
+    return d;
+  if (auto d = diverge("lifecycle_shadow_evals", a.lifecycle_shadow_evals,
+                       b.lifecycle_shadow_evals))
+    return d;
+  if (auto d = diverge("lifecycle_disagreements", a.lifecycle_disagreements,
+                       b.lifecycle_disagreements))
+    return d;
+  if (auto d = diverge("lifecycle_promotions", a.lifecycle_promotions,
+                       b.lifecycle_promotions))
+    return d;
+  if (auto d = diverge("lifecycle_rollbacks", a.lifecycle_rollbacks,
+                       b.lifecycle_rollbacks))
+    return d;
+  if (auto d = diverge("lifecycle_slo_breaches", a.lifecycle_slo_breaches,
+                       b.lifecycle_slo_breaches))
+    return d;
+  if (auto d = diverge("lifecycle_verdicts_primary", a.lifecycle_verdicts_primary,
+                       b.lifecycle_verdicts_primary))
+    return d;
+  if (auto d = diverge("lifecycle_verdicts_candidate",
+                       a.lifecycle_verdicts_candidate,
+                       b.lifecycle_verdicts_candidate))
+    return d;
+  if (auto d = diverge("lifecycle_demoted_applies", a.lifecycle_demoted_applies,
+                       b.lifecycle_demoted_applies))
+    return d;
+  if (auto d = diverge("lifecycle_swap_drops", a.lifecycle_swap_drops,
+                       b.lifecycle_swap_drops))
+    return d;
+  if (auto d = diverge("lifecycle_swap_blackout", a.lifecycle_swap_blackout,
+                       b.lifecycle_swap_blackout))
     return d;
   if (auto d = diverge("deadline_misses", a.deadline_misses, b.deadline_misses))
     return d;

@@ -142,6 +142,21 @@ struct RunReport {
   std::uint64_t link_pacer_drops = 0;
   std::uint64_t link_resyncs = 0;        ///< Epoch bumps seen this run.
 
+  // Model-lifecycle accounting (src/lifecycle, DESIGN.md §5.7). All zero
+  // unless a shadow model was configured for the run.
+  std::uint64_t lifecycle_shadow_evals = 0;    ///< Candidate scored per mirror.
+  std::uint64_t lifecycle_disagreements = 0;   ///< Active vs shadow mismatches.
+  std::uint64_t lifecycle_promotions = 0;      ///< Shadow -> serving cutovers.
+  std::uint64_t lifecycle_rollbacks = 0;       ///< SLO-breach demotions.
+  std::uint64_t lifecycle_slo_breaches = 0;    ///< Guard trips (>= rollbacks).
+  std::uint64_t lifecycle_verdicts_primary = 0;    ///< Applies from even generations.
+  std::uint64_t lifecycle_verdicts_candidate = 0;  ///< Applies from odd generations.
+  /// Verdicts whose generation was no longer serving when they crossed back.
+  /// The swap's link resync + the PR 5 staleness rule guarantee this is 0.
+  std::uint64_t lifecycle_demoted_applies = 0;
+  std::uint64_t lifecycle_swap_drops = 0;      ///< Mirrors lost to swap blackouts.
+  sim::SimDuration lifecycle_swap_blackout = 0;  ///< Summed blackout windows.
+
   // Failure / recovery accounting (DESIGN.md § Failure semantics).
   std::uint64_t deadline_misses = 0;         ///< Mirrors with no verdict by deadline.
   std::uint64_t retransmits = 0;             ///< Feature vectors re-sent.
@@ -204,6 +219,31 @@ class ResultSink {
 
   virtual std::uint64_t results_applied() const = 0;
   virtual std::uint64_t results_stale() const = 0;
+};
+
+/// Observer the model-lifecycle control plane (src/lifecycle) hangs off the
+/// replay. on_apply fires lane-locally for every verdict that survives the
+/// epoch-staleness check; at_barrier fires on the coordinator AFTER the
+/// all-lane pump of reconcile(), so every in-flight verdict due by the
+/// barrier has been applied before a cutover resyncs the links — the
+/// ordering that guarantees no verdict of a demoted generation ever applies.
+/// at_drain fires after the end-of-trace pump, before the report resolves.
+class LifecycleObserver {
+ public:
+  virtual ~LifecycleObserver() = default;
+
+  /// One applied verdict on `lane` (concurrent across distinct lanes):
+  /// carries the verdict symbol (generation-tagged by the lifecycle stage)
+  /// and the mirror-emit -> install latency.
+  virtual void on_apply(std::size_t lane, VerdictSymbol symbol,
+                        sim::SimDuration end_to_end) = 0;
+
+  /// Epoch barrier (coordinator only, post-pump): fold lane tallies, judge
+  /// the SLO, and perform at most one promote/rollback cutover.
+  virtual void at_barrier(sim::SimTime now) = 0;
+
+  /// End-of-trace tail drained; fold the remaining lane tallies.
+  virtual void at_drain(sim::SimTime trace_end) = 0;
 };
 
 /// Eager per-mirror inference (ModelEngine::submit_lane): the symbol is the
@@ -301,6 +341,10 @@ class ReplayCore {
   /// link deltas summed — and copies the sink/watchdog counters into the
   /// report. Call after the driver's compute barrier.
   void resolve();
+
+  /// Attaches the model-lifecycle observer (nullptr = none). Set before the
+  /// first packet; the observer outlives the core's last resolve().
+  void set_lifecycle(LifecycleObserver* lifecycle) { lifecycle_ = lifecycle; }
 
   /// Driver-adjustable report (e.g. degraded-mode fallback_verdicts /
   /// mirrors_suppressed, which belong to the admission stage the driver owns).
@@ -413,6 +457,7 @@ class ReplayCore {
   InferenceStage& inference_;
   ResultSink& sink_;
   RunHooks* hooks_;
+  LifecycleObserver* lifecycle_ = nullptr;
 
   RunReport report_;
   std::vector<LaneState> lanes_;  ///< kCoordinationLanes entries.

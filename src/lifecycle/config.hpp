@@ -1,0 +1,74 @@
+// Model-lifecycle configuration (DESIGN.md §5.7).
+//
+// Dependency-free value struct so FenixSystemConfig can carry it without
+// pulling the lifecycle implementation into every consumer. The shadow model
+// is referenced, not owned — like the primary model, it must outlive the
+// system (synthesis-time binding).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace fenix::nn {
+class QuantizedCnn;
+class QuantizedRnn;
+}  // namespace fenix::nn
+
+namespace fenix::lifecycle {
+
+/// SLO thresholds the SloGuard evaluates at every reconciliation barrier
+/// while the candidate is serving. Any breach demotes deterministically at
+/// that barrier.
+struct SloConfig {
+  /// Maximum per-window disagreement rate between the serving model and its
+  /// shadow (after a promotion the demoted primary shadows the candidate, so
+  /// the same signal stays defined in both directions). Rates are in [0, 1];
+  /// the default > 1 disables the drift check.
+  double max_drift_rate = 1.1;
+
+  /// Windows with fewer shadow evaluations than this never trip the drift
+  /// check (one early disagreement on a thin window is noise, not drift).
+  std::uint64_t min_samples = 32;
+
+  /// Maximum p99 of the end-to-end verdict latencies applied during the
+  /// window (mirror emit -> verdict installed). 0 disables the check.
+  sim::SimDuration max_verdict_p99 = 0;
+
+  /// Breach when the FPGA health watchdog is degraded at the barrier (the
+  /// flag published at the previous barrier, identically in both replays).
+  bool breach_on_degraded = false;
+
+  /// On rollback, additionally force the health watchdog degraded so the
+  /// switch drops to the PR 2 TCAM fallback tree + probe-thinned mirroring;
+  /// recovery then follows the watchdog's normal hysteresis.
+  bool rollback_to_fallback = false;
+};
+
+/// Online model lifecycle: shadow evaluation, epoch-tagged hot swap,
+/// automatic rollback. Enabled by configuring a shadow model (exactly one of
+/// shadow_cnn / shadow_rnn non-null).
+struct LifecycleConfig {
+  const nn::QuantizedCnn* shadow_cnn = nullptr;
+  const nn::QuantizedRnn* shadow_rnn = nullptr;
+
+  /// First barrier at or after this trace time promotes the shadow to
+  /// serving. 0 = shadow-evaluate only, never promote.
+  sim::SimTime promote_at = 0;
+
+  /// After a rollback, re-promote the candidate this long after the demote
+  /// barrier (soak testing: every promote/rollback cycle re-exercises the
+  /// swap path). 0 = a rollback is final.
+  sim::SimDuration repromote_every = 0;
+
+  /// Partial-reconfiguration window of each swap: the Model Engine drops
+  /// mirrors for this long (counted as lifecycle_swap_drops) and the summed
+  /// windows are reported as lifecycle_swap_blackout.
+  sim::SimDuration swap_blackout = sim::milliseconds(20);
+
+  SloConfig slo;
+
+  bool enabled() const { return shadow_cnn != nullptr || shadow_rnn != nullptr; }
+};
+
+}  // namespace fenix::lifecycle

@@ -1,0 +1,95 @@
+// Windowed model-drift monitor fed by shadow evaluation (DESIGN.md §5.7).
+//
+// The lifecycle control plane runs a candidate model over the same mirrored
+// feature windows as the active model and records, per evaluation, whether
+// the two verdicts agree and how far the decision margins moved. This class
+// turns that stream into the two views the SloGuard and the health table
+// need: cumulative totals (per-class disagreement counts, summed confidence
+// shift) and per-epoch windows closed at reconciliation barriers, whose
+// disagreement rate is the drift signal a promotion decision is judged by.
+//
+// Determinism: pure integer accumulation, folded in lane order at epoch
+// barriers, so both replay paths observe identical window sequences.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fenix::telemetry {
+
+/// One closed drift-observation window (one reconciliation epoch).
+struct DriftWindow {
+  std::uint64_t evals = 0;          ///< Shadow evaluations in the window.
+  std::uint64_t disagreements = 0;  ///< Active vs shadow verdict mismatches.
+  /// Summed |active margin - shadow margin| over the window's evaluations
+  /// (raw INT32 logit units; 0 for models that expose only an argmax).
+  std::int64_t confidence_shift = 0;
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(std::size_t num_classes)
+      : per_class_disagreements_(num_classes, 0) {}
+
+  /// One shadow evaluation: the active model's verdict, the candidate's, and
+  /// the absolute decision-margin shift between them.
+  void record(std::int16_t active_class, std::int16_t shadow_class,
+              std::int64_t confidence_shift) {
+    ++window_.evals;
+    ++total_.evals;
+    window_.confidence_shift += confidence_shift;
+    total_.confidence_shift += confidence_shift;
+    if (active_class != shadow_class) {
+      ++window_.disagreements;
+      ++total_.disagreements;
+      if (active_class >= 0 &&
+          static_cast<std::size_t>(active_class) < per_class_disagreements_.size()) {
+        ++per_class_disagreements_[static_cast<std::size_t>(active_class)];
+      }
+    }
+  }
+
+  /// Closes the open window (epoch barrier) and returns it; recording
+  /// continues into a fresh window.
+  DriftWindow end_window() {
+    last_ = window_;
+    window_ = DriftWindow{};
+    ++windows_;
+    return last_;
+  }
+
+  /// Disagreement rate of the last closed window (0 when it saw no evals).
+  double window_rate() const {
+    return last_.evals == 0
+               ? 0.0
+               : static_cast<double>(last_.disagreements) /
+                     static_cast<double>(last_.evals);
+  }
+
+  /// Cumulative disagreement rate over the whole run so far.
+  double total_rate() const {
+    return total_.evals == 0
+               ? 0.0
+               : static_cast<double>(total_.disagreements) /
+                     static_cast<double>(total_.evals);
+  }
+
+  const DriftWindow& last_window() const { return last_; }
+  const DriftWindow& total() const { return total_; }
+  std::uint64_t windows() const { return windows_; }
+
+  /// Disagreements keyed by the active model's class (which traffic classes
+  /// the candidate re-labels).
+  const std::vector<std::uint64_t>& per_class_disagreements() const {
+    return per_class_disagreements_;
+  }
+
+ private:
+  DriftWindow window_;  ///< Open window (current epoch).
+  DriftWindow last_;    ///< Most recently closed window.
+  DriftWindow total_;
+  std::uint64_t windows_ = 0;
+  std::vector<std::uint64_t> per_class_disagreements_;
+};
+
+}  // namespace fenix::telemetry

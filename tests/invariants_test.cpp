@@ -39,6 +39,7 @@ struct Scenario {
     to.drops_lost = 1;
     to.retransmits = 3;
     to.peak_window = 4;
+    report.link_retransmits = 3;  // report aggregate mirrors the link stats
 
     from.data_frames = 5;  // 6 forward deliveries - 1 FIFO drop
     from.delivered = 4;
@@ -68,7 +69,7 @@ bool has_violation(const std::vector<InvariantViolation>& vs,
 }
 
 TEST(InvariantRegistry, StandardSetIsComplete) {
-  EXPECT_EQ(InvariantRegistry::standard().size(), 9u);
+  EXPECT_EQ(InvariantRegistry::standard().size(), 14u);
 }
 
 TEST(InvariantRegistry, ConsistentRunPassesEveryCheck) {
@@ -111,9 +112,20 @@ TEST(InvariantRegistry, CatchesEachCorruptionByName) {
        [](Scenario& s) { ++s.report.stale_epoch_drops; }},
       {"flow-accounting", [](Scenario& s) { s.report.flow_confusion.add(0, 1); }},
       {"reorder-window-bound", [](Scenario& s) { s.to.peak_window = 9; }},
-      {"retransmit-budget", [](Scenario& s) { s.to.retransmits = 8; }},
+      {"retransmit-budget",
+       [](Scenario& s) {
+         s.to.retransmits = 8;
+         s.report.link_retransmits = 8;  // keep link-report-consistency green
+       }},
       {"retransmit-budget", [](Scenario& s) { s.report.retransmits = 3; }},
       {"monotone-release", [](Scenario& s) { s.from.monotone_violations = 1; }},
+      {"no-demoted-verdicts",
+       [](Scenario& s) { ++s.report.lifecycle_demoted_applies; }},
+      {"drift-bounds",
+       [](Scenario& s) { ++s.report.lifecycle_disagreements; }},
+      {"lifecycle-swap-accounting",
+       [](Scenario& s) { ++s.report.lifecycle_rollbacks; }},
+      {"link-report-consistency", [](Scenario& s) { ++s.report.link_nacks; }},
   };
   for (const auto& c : cases) {
     Scenario s;
@@ -122,6 +134,40 @@ TEST(InvariantRegistry, CatchesEachCorruptionByName) {
     EXPECT_TRUE(has_violation(violations, c.invariant))
         << "corruption expected to trip '" << c.invariant << "' tripped "
         << violations.size() << " other check(s)";
+  }
+}
+
+TEST(InvariantRegistry, LifecycleAttributionGatedOnLifecycleRuns) {
+  // Non-lifecycle runs book zero generation-attributed verdicts, which would
+  // trivially break primary + candidate == applied + stale — the law only
+  // runs when the context says a lifecycle replay produced the report.
+  Scenario s;
+  EXPECT_FALSE(has_violation(InvariantRegistry::standard().check(s.context()),
+                             "lifecycle-attribution"));
+  InvariantContext ctx = s.context();
+  ctx.lifecycle_enabled = true;
+  EXPECT_TRUE(has_violation(InvariantRegistry::standard().check(ctx),
+                            "lifecycle-attribution"));
+}
+
+TEST(InvariantRegistry, LifecycleConsistentRunPasses) {
+  Scenario s;
+  // Attribute the 4 delivered verdicts (3 applied + 1 flow-stale) across the
+  // generations of one promote/rollback cycle, with the exact blackout sum.
+  s.report.lifecycle_shadow_evals = 6;
+  s.report.lifecycle_disagreements = 2;
+  s.report.lifecycle_promotions = 1;
+  s.report.lifecycle_rollbacks = 1;
+  s.report.lifecycle_slo_breaches = 1;
+  s.report.lifecycle_verdicts_primary = 3;
+  s.report.lifecycle_verdicts_candidate = 1;
+  s.report.lifecycle_swap_blackout = 2 * sim::milliseconds(5);
+  InvariantContext ctx = s.context();
+  ctx.lifecycle_enabled = true;
+  ctx.lifecycle_blackout = sim::milliseconds(5);
+  const auto violations = InvariantRegistry::standard().check(ctx);
+  for (const InvariantViolation& v : violations) {
+    ADD_FAILURE() << v.name << ": " << v.detail;
   }
 }
 

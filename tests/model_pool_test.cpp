@@ -113,6 +113,121 @@ TEST(ModelPool, RejectsOvercommit) {
   EXPECT_EQ(pool.size(), admitted);
 }
 
+TEST(ModelPool, UnknownTaskIsATypedError) {
+  TwoModels models;
+  ModelPool pool(fpgasim::DeviceProfile::zu19eg());
+  ModelEngineConfig config;
+  config.conv_lanes = 512;
+  config.fc_lanes = 256;
+  const auto task = pool.add_engine(config, models.qcnn.get(), nullptr);
+
+  // Misrouted task ids on the submission hot path surface as the pool's own
+  // typed error, never the container's bare std::out_of_range.
+  EXPECT_THROW(pool.submit(task + 1, vector_for(1), 0), UnknownTask);
+  EXPECT_THROW(pool.engine(task + 1), UnknownTask);
+  EXPECT_THROW(pool.swap_model(task + 7, nullptr, models.qrnn.get(), 0),
+               UnknownTask);
+  try {
+    pool.submit(99, vector_for(1), 0);
+    FAIL() << "expected UnknownTask";
+  } catch (const UnknownTask& e) {
+    // The message names the bad id and the resident count.
+    EXPECT_NE(std::string(e.what()).find("99"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1"), std::string::npos);
+  }
+  // UnknownTask is still an invalid_argument (and thus a logic_error), so
+  // existing generic handlers keep working.
+  EXPECT_THROW(pool.submit(task + 1, vector_for(1), 0), std::invalid_argument);
+  // The pool remains usable after the error.
+  EXPECT_TRUE(pool.submit(task, vector_for(1), sim::microseconds(1)).has_value());
+}
+
+TEST(ModelPool, OvercommitBoundaryAtExactDeviceCapacity) {
+  TwoModels models;
+  ModelEngineConfig config;
+  config.conv_lanes = 512;
+  config.fc_lanes = 256;
+
+  // Measure one engine's exact footprint, then build device envelopes around
+  // it. At exactly 100% pooled utilization the routing/arbiter margin (3% per
+  // resident engine) must reject the admission...
+  fpgasim::ResourceEstimate est;
+  {
+    ModelEngine probe(config, models.qcnn.get(), nullptr);
+    for (const auto& module : probe.resource_report()) est += module;
+  }
+  fpgasim::DeviceProfile exact;
+  exact.name = "exact-fit";
+  exact.luts = est.luts;
+  exact.flip_flops = est.flip_flops;
+  exact.bram36_blocks = static_cast<std::uint64_t>(est.bram36) + 1;
+  exact.uram_blocks = static_cast<std::uint64_t>(est.uram) + 1;
+  exact.dsp_slices = est.dsps;
+  exact.fabric_clock_hz = 300e6;
+  ModelPool full(exact);
+  EXPECT_THROW(full.add_engine(config, models.qcnn.get(), nullptr),
+               DeviceOvercommit);
+  EXPECT_EQ(full.size(), 0u);
+
+  // ...while a device with exactly the margin's worth of headroom admits it:
+  // LUT/FF utilization lands at <= 97%, so util + 0.03 does not exceed 1.0.
+  fpgasim::DeviceProfile headroom = exact;
+  headroom.name = "margin-fit";
+  headroom.luts = (est.luts * 100 + 96) / 97;        // ceil(luts / 0.97)
+  headroom.flip_flops = (est.flip_flops * 100 + 96) / 97;
+  ModelPool fits(headroom);
+  const auto task = fits.add_engine(config, models.qcnn.get(), nullptr);
+  EXPECT_EQ(fits.size(), 1u);
+  const auto util = fits.utilization();
+  EXPECT_GT(util.lut, 0.9);
+  EXPECT_LE(util.lut + 0.03, 1.0);
+  EXPECT_TRUE(fits.submit(task, vector_for(1), sim::microseconds(1)).has_value());
+}
+
+TEST(ModelPool, HotSwapRacingDeviceReset) {
+  // A partial-reconfiguration swap and a hard device reset overlapping in
+  // time: submissions die for the union of both windows, in-flight state is
+  // flushed exactly once, and the engine comes back serving the new model.
+  TwoModels models;
+  ModelPool pool(fpgasim::DeviceProfile::zu19eg());
+  ModelEngineConfig config;
+  config.conv_lanes = 512;
+  config.fc_lanes = 256;
+  const auto task = pool.add_engine(config, models.qcnn.get(), nullptr);
+
+  // Prime some in-flight work, then swap at t=1ms (2ms blackout) and reset
+  // the device at t=2ms (2ms reboot): the windows overlap by 1ms.
+  for (int i = 0; i < 8; ++i) {
+    pool.submit(task, vector_for(static_cast<std::uint32_t>(i)),
+                sim::microseconds(100 * (i + 1)));
+  }
+  pool.swap_model(task, nullptr, models.qrnn.get(), sim::milliseconds(1),
+                  sim::milliseconds(2));
+  pool.engine(task).device().reset(sim::milliseconds(2), sim::milliseconds(2));
+
+  // Inside the reconfiguration window (before the reset): dropped.
+  EXPECT_FALSE(
+      pool.submit(task, vector_for(20), sim::milliseconds(1) + 1).has_value());
+  // Inside the overlap: still dropped.
+  EXPECT_FALSE(
+      pool.submit(task, vector_for(21), sim::milliseconds(2) + 1).has_value());
+  // Reconfiguration done but the card is still rebooting: dropped.
+  EXPECT_FALSE(pool.submit(task, vector_for(22),
+                           sim::milliseconds(3) + sim::microseconds(500))
+                   .has_value());
+  // Both windows elapsed: the engine serves the swapped-in RNN.
+  const auto result = pool.submit(task, vector_for(23), sim::milliseconds(5));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(pool.engine(task).is_cnn());
+  EXPECT_GE(result->predicted_class, 0);
+  EXPECT_LT(result->predicted_class, 12);
+
+  const auto stats = pool.engine(task).combined_stats();
+  EXPECT_EQ(stats.reconfigurations, 1u);
+  EXPECT_GT(stats.reconfig_drops, 0u);
+  EXPECT_EQ(pool.engine(task).device().fault_stats().resets, 1u);
+}
+
 TEST(ModelPool, PerTaskHotSwap) {
   TwoModels models;
   ModelPool pool(fpgasim::DeviceProfile::zu19eg());

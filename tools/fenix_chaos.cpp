@@ -11,13 +11,21 @@
 //   2. asserts the two RunReports are bit-identical, printing the
 //      first_divergence() diagnostic if not.
 //
+// Every seed also runs the model lifecycle: a second (shadow) CNN is scored
+// against the active model, promoted mid-trace, and — on odd seeds — demoted
+// again by an unsatisfiable latency SLO, so each soak exercises hot swaps and
+// rollbacks racing the fault schedule. `--promote-every <ms>` re-arms
+// promotion after each rollback at that cadence, driving repeated swap
+// cycles through the same faults.
+//
 // Any failure prints the violating seed and the exact schedule text so the
 // run reproduces with `--seeds 1 --start <seed>`. `--mutate` is the harness's
 // self-test: it deliberately corrupts a healthy run's counters and exits
 // nonzero unless the registry flags every corruption.
 //
 // Usage:
-//   fenix_chaos [--seeds N] [--start S] [--windows W] [--mutate]
+//   fenix_chaos [--seeds N] [--start S] [--windows W] [--promote-every MS]
+//               [--mutate]
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +51,7 @@ using namespace fenix;
 struct Workload {
   trafficgen::DatasetProfile profile;
   std::unique_ptr<nn::QuantizedCnn> quantized;
+  std::unique_ptr<nn::QuantizedCnn> shadow;
   net::Trace trace;
   std::size_t num_classes = 0;
   std::uint64_t labeled_flows = 0;
@@ -66,6 +75,12 @@ struct Workload {
     model.fit(samples, opts);
     quantized = std::make_unique<nn::QuantizedCnn>(model, samples);
 
+    // Shadow candidate: same architecture, different init, so the drift
+    // monitor sees real (but not total) disagreement during evaluation.
+    nn::CnnClassifier candidate(config, 31);
+    candidate.fit(samples, opts);
+    shadow = std::make_unique<nn::QuantizedCnn>(candidate, samples);
+
     trafficgen::TraceConfig trace_config;
     trace_config.flow_arrival_rate_hz = 2000;
     trace = trafficgen::assemble_trace(flows, trace_config);
@@ -79,11 +94,29 @@ struct Workload {
 
 /// The system configuration a given seed runs under: the reliable link's
 /// repair budget rotates so the soak covers the bare-channel degenerate case
-/// (0), single repair (1), and deeper repair (2).
-core::FenixSystemConfig config_for_seed(std::uint64_t seed) {
+/// (0), single repair (1), and deeper repair (2). Every seed runs the model
+/// lifecycle — shadow evaluation from the start, a promotion one third into
+/// the trace — and the SLO rotates with seed parity: odd seeds carry an
+/// unsatisfiable latency target so the promotion is always rolled back (every
+/// fourth seed additionally forcing the TCAM fallback on demotion), while
+/// even seeds keep the candidate serving to soak the post-swap epoch rule.
+core::FenixSystemConfig config_for_seed(std::uint64_t seed,
+                                        const Workload& work,
+                                        std::uint64_t promote_every_ms) {
   core::FenixSystemConfig config;
   config.link.max_retransmits = static_cast<unsigned>(seed % 3);
   config.link.reorder_window = 32;
+  config.lifecycle.shadow_cnn = work.shadow.get();
+  config.lifecycle.promote_at = work.trace.duration() / 3;
+  config.lifecycle.swap_blackout = sim::milliseconds(2);
+  if (seed % 2 == 1) {
+    config.lifecycle.slo.max_verdict_p99 = 1;  // unsatisfiable: forces rollback
+    config.lifecycle.slo.min_samples = 1;
+    config.lifecycle.slo.rollback_to_fallback = (seed % 4 == 3);
+    if (promote_every_ms > 0) {
+      config.lifecycle.repromote_every = sim::milliseconds(promote_every_ms);
+    }
+  }
   return config;
 }
 
@@ -104,6 +137,8 @@ std::vector<core::InvariantViolation> check_invariants(
   ctx.reorder_window = config.link.reorder_window;
   ctx.link_max_retransmits = config.link.max_retransmits;
   ctx.replay_max_retransmits = config.recovery.max_retransmits;
+  ctx.lifecycle_enabled = config.lifecycle.enabled();
+  ctx.lifecycle_blackout = config.lifecycle.swap_blackout;
   return core::InvariantRegistry::standard().check(ctx);
 }
 
@@ -113,10 +148,19 @@ void print_violations(const std::vector<core::InvariantViolation>& violations) {
   }
 }
 
+/// Aggregated lifecycle activity across the soak so the summary can prove
+/// the run actually exercised swaps and rollbacks, not just clean replays.
+struct SoakTotals {
+  std::uint64_t promotions = 0;
+  std::uint64_t rollbacks = 0;
+};
+
 /// Replays one seed through both paths and checks everything. Returns true
 /// when the seed is clean.
-bool run_seed(std::uint64_t seed, const Workload& work, std::size_t windows) {
-  const core::FenixSystemConfig config = config_for_seed(seed);
+bool run_seed(std::uint64_t seed, const Workload& work, std::size_t windows,
+              std::uint64_t promote_every_ms, SoakTotals& totals) {
+  const core::FenixSystemConfig config =
+      config_for_seed(seed, work, promote_every_ms);
   const faults::FaultSchedule schedule =
       faults::FaultSchedule::random(seed, work.trace.duration(), windows);
 
@@ -167,6 +211,8 @@ bool run_seed(std::uint64_t seed, const Workload& work, std::size_t windows) {
               << " --windows " << windows << "\nschedule:\n"
               << schedule.to_text();
   }
+  totals.promotions += serial_report.lifecycle_promotions;
+  totals.rollbacks += serial_report.lifecycle_rollbacks;
   return ok;
 }
 
@@ -175,7 +221,7 @@ bool run_seed(std::uint64_t seed, const Workload& work, std::size_t windows) {
 /// into a rubber stamp.
 bool run_mutation_check(std::uint64_t seed, const Workload& work,
                         std::size_t windows) {
-  const core::FenixSystemConfig config = config_for_seed(seed);
+  const core::FenixSystemConfig config = config_for_seed(seed, work, 0);
   const faults::FaultSchedule schedule =
       faults::FaultSchedule::random(seed, work.trace.duration(), windows);
   core::FenixSystem system(config, work.quantized.get(), nullptr);
@@ -203,6 +249,27 @@ bool run_mutation_check(std::uint64_t seed, const Workload& work,
        [](core::RunReport& r) { r.retransmits = r.deadline_misses + 1; }},
       {"stale_epoch_drops+1",
        [](core::RunReport& r) { ++r.stale_epoch_drops; }},
+      // Lifecycle accounting: each corruption must trip the matching law.
+      {"demoted_applies+1",
+       [](core::RunReport& r) { ++r.lifecycle_demoted_applies; }},
+      {"disagreements=evals+1",
+       [](core::RunReport& r) {
+         r.lifecycle_disagreements = r.lifecycle_shadow_evals + 1;
+       }},
+      {"verdicts_primary+1",
+       [](core::RunReport& r) { ++r.lifecycle_verdicts_primary; }},
+      {"rollbacks=promotions+1",
+       [](core::RunReport& r) {
+         r.lifecycle_rollbacks = r.lifecycle_promotions + 1;
+       }},
+      {"swap_blackout+1",
+       [](core::RunReport& r) { r.lifecycle_swap_blackout += 1; }},
+      // Report-side link aggregates must keep matching the link stats.
+      {"link_retransmits+1", [](core::RunReport& r) { ++r.link_retransmits; }},
+      {"link_nacks+1", [](core::RunReport& r) { ++r.link_nacks; }},
+      {"link_corrupt_drops+1",
+       [](core::RunReport& r) { ++r.link_corrupt_drops; }},
+      {"link_resyncs+1", [](core::RunReport& r) { ++r.link_resyncs; }},
   };
   bool ok = true;
   for (const Mutation& m : mutations) {
@@ -223,7 +290,7 @@ bool run_mutation_check(std::uint64_t seed, const Workload& work,
 
 int usage() {
   std::cerr << "usage: fenix_chaos [--seeds N] [--start S] [--windows W] "
-               "[--mutate]\n";
+               "[--promote-every MS] [--mutate]\n";
   return 2;
 }
 
@@ -233,6 +300,7 @@ int main(int argc, char** argv) {
   std::uint64_t seeds = 32;
   std::uint64_t start = 0;
   std::size_t windows = 6;
+  std::uint64_t promote_every_ms = 0;
   bool mutate = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -245,6 +313,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--windows") {
       if (++i >= argc) return usage();
       windows = static_cast<std::size_t>(std::strtoull(argv[i], nullptr, 10));
+    } else if (arg == "--promote-every") {
+      if (++i >= argc) return usage();
+      promote_every_ms = std::strtoull(argv[i], nullptr, 10);
     } else if (arg == "--mutate") {
       mutate = true;
     } else {
@@ -262,8 +333,9 @@ int main(int argc, char** argv) {
   }
 
   std::uint64_t clean = 0;
+  SoakTotals totals;
   for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
-    if (!run_seed(seed, work, windows)) {
+    if (!run_seed(seed, work, windows, promote_every_ms, totals)) {
       std::cerr << "chaos soak FAILED at seed " << seed << " (" << clean
                 << " clean seeds before it)\n";
       return 1;
@@ -273,7 +345,18 @@ int main(int argc, char** argv) {
       std::cout << "  " << clean << "/" << seeds << " seeds clean\n";
     }
   }
+  // A soak that never swapped models proved nothing about the lifecycle:
+  // demand at least one promotion, and one rollback once two seeds ran (the
+  // odd-parity SLO guarantees a demotion on every odd seed).
+  if (totals.promotions == 0 || (seeds >= 2 && totals.rollbacks == 0)) {
+    std::cerr << "chaos soak FAILED: lifecycle never exercised (promotions="
+              << totals.promotions << " rollbacks=" << totals.rollbacks
+              << ")\n";
+    return 1;
+  }
   std::cout << "chaos soak PASSED: " << clean << " seeds, zero invariant "
-            << "violations, serial == sharded at every seed\n";
+            << "violations, serial == sharded at every seed ("
+            << totals.promotions << " promotions, " << totals.rollbacks
+            << " rollbacks exercised)\n";
   return 0;
 }

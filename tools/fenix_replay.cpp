@@ -19,6 +19,16 @@
 //                            (bit-identical to the serial replay)
 //   --batch <N>              inferences per batched Model Engine submission
 //                            (with --pipes; default 16)
+//   --shadow-model <file>    score a candidate model over the same mirrored
+//                            features (shadow evaluation; no data-path cost)
+//   --promote-at <sec>       hot-swap the shadow in at this replay time
+//   --slo-drift <rate>       rollback when the windowed disagreement rate
+//                            exceeds this after a promotion
+//   --slo-p99-us <us>        rollback when windowed verdict p99 exceeds this
+//   --slo-min-samples <N>    per-window sample floor before an SLO breach can
+//                            fire (default 32; lower for sparse traces)
+//   --slo-fallback           on rollback, also force the switch-local TCAM
+//                            degraded mode until health recovers
 //
 // Datasets: "vpn" (ISCXVPN2016 profile) or "tfc" (USTC-TFC profile).
 // Traces use the net::trace_io format; models the nn::serialize format.
@@ -56,6 +66,9 @@ int usage() {
          "  fenix_replay run   <trace> <model> [pcb_loss_rate]\n"
          "                     [--pcb-loss <rate>] [--fault-schedule <file>]\n"
          "                     [--fallback-tree] [--pipes <N>] [--batch <N>]\n"
+         "                     [--shadow-model <file>] [--promote-at <sec>]\n"
+         "                     [--slo-drift <rate>] [--slo-p99-us <us>]\n"
+         "                     [--slo-min-samples <N>] [--slo-fallback]\n"
          "  fenix_replay baselines <vpn|tfc> <flows> [seed]\n";
   return 2;
 }
@@ -169,6 +182,7 @@ int cmd_run(int argc, char** argv) {
   faults::FaultSchedule schedule;
   bool fallback_tree = false;
   bool pipelined = false;
+  std::string shadow_path;
   core::PipelineOptions pipeline_opts;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -196,6 +210,24 @@ int cmd_run(int argc, char** argv) {
       if (++i >= argc) return usage();
       pipelined = true;
       pipeline_opts.batch = std::max(1l, std::atol(argv[i]));
+    } else if (arg == "--shadow-model") {
+      if (++i >= argc) return usage();
+      shadow_path = argv[i];
+    } else if (arg == "--promote-at") {
+      if (++i >= argc) return usage();
+      config.lifecycle.promote_at = sim::from_seconds(std::atof(argv[i]));
+    } else if (arg == "--slo-drift") {
+      if (++i >= argc) return usage();
+      config.lifecycle.slo.max_drift_rate = std::atof(argv[i]);
+    } else if (arg == "--slo-p99-us") {
+      if (++i >= argc) return usage();
+      config.lifecycle.slo.max_verdict_p99 = sim::microseconds(std::atol(argv[i]));
+    } else if (arg == "--slo-min-samples") {
+      if (++i >= argc) return usage();
+      config.lifecycle.slo.min_samples =
+          static_cast<std::uint64_t>(std::max(1l, std::atol(argv[i])));
+    } else if (arg == "--slo-fallback") {
+      config.lifecycle.slo.rollback_to_fallback = true;
     } else if (!arg.empty() && arg[0] != '-') {
       config.pcb_loss_rate = std::atof(argv[i]);  // legacy positional form
     } else {
@@ -216,6 +248,36 @@ int cmd_run(int argc, char** argv) {
   std::unique_ptr<nn::QuantizedRnn> qrnn;
   if (cnn) qcnn = std::make_unique<nn::QuantizedCnn>(*cnn, calibration);
   if (rnn) qrnn = std::make_unique<nn::QuantizedRnn>(*rnn, calibration);
+
+  // The shadow candidate quantizes against the same trace-derived
+  // calibration as the active model; the quantized weights must outlive the
+  // system (the lifecycle stage holds raw pointers).
+  std::unique_ptr<nn::CnnClassifier> shadow_cnn;
+  std::unique_ptr<nn::RnnClassifier> shadow_rnn;
+  std::unique_ptr<nn::QuantizedCnn> shadow_qcnn;
+  std::unique_ptr<nn::QuantizedRnn> shadow_qrnn;
+  if (!shadow_path.empty()) {
+    try {
+      shadow_cnn = nn::load_cnn(shadow_path);
+    } catch (const nn::SerializeError&) {
+      shadow_rnn = nn::load_rnn(shadow_path);
+    }
+    if (shadow_cnn) {
+      shadow_qcnn = std::make_unique<nn::QuantizedCnn>(*shadow_cnn, calibration);
+      config.lifecycle.shadow_cnn = shadow_qcnn.get();
+    }
+    if (shadow_rnn) {
+      shadow_qrnn = std::make_unique<nn::QuantizedRnn>(*shadow_rnn, calibration);
+      config.lifecycle.shadow_rnn = shadow_qrnn.get();
+    }
+    std::cout << "shadow model " << shadow_path << " loaded ("
+              << (shadow_cnn ? "cnn" : "rnn") << ")";
+    if (config.lifecycle.promote_at > 0) {
+      std::cout << ", promotion armed at "
+                << sim::to_seconds(config.lifecycle.promote_at) << " s";
+    }
+    std::cout << "\n";
+  }
 
   core::FenixSystem system(config, qcnn.get(), qrnn.get());
 
@@ -280,6 +342,16 @@ int cmd_run(int argc, char** argv) {
   table.add_row({"e2e p99 (us)",
                  telemetry::TextTable::num(report.end_to_end.p99_us(), 1)});
   std::cout << table.render();
+  if (config.lifecycle.enabled()) {
+    std::cout << "lifecycle: " << report.lifecycle_shadow_evals
+              << " shadow evals, " << report.lifecycle_disagreements
+              << " disagreements, " << report.lifecycle_promotions
+              << " promotion(s), " << report.lifecycle_rollbacks
+              << " rollback(s), blackout "
+              << sim::to_milliseconds(report.lifecycle_swap_blackout)
+              << " ms, " << report.lifecycle_swap_drops
+              << " swap drops\n";
+  }
   // Same health table the benches emit (telemetry::MetricRegistry), so every
   // reporting surface prints one consistent set of failure counters.
   std::cout << "\nHealth counters:\n" << system.health_metrics(report).render();
