@@ -57,8 +57,16 @@ void run_dataset(const trafficgen::DatasetProfile& profile, std::uint64_t seed) 
   gru.fit(samples, opts);
   nn::BinarizedGru bos_style(gru, 6, 9);
 
+  // The multiply-free sub-INT8 tiers of the same trained models: between
+  // INT8 (negligible loss) and BoS-style binarization (order-of-magnitude
+  // loss) on the precision axis.
+  const nn::QuantizedCnn cnn_i4(*models.cnn, samples, nn::Precision::kInt4);
+  const nn::QuantizedCnn cnn_t(*models.cnn, samples, nn::Precision::kTernary);
+  const nn::QuantizedRnn rnn_i4(*models.rnn, samples, nn::Precision::kInt4);
+  const nn::QuantizedRnn rnn_t(*models.rnn, samples, nn::Precision::kTernary);
+
   telemetry::TextTable table({"Model / precision", "Packet macro-F1", "vs fp32"});
-  // The six evaluations only read the (already trained) models, so they are
+  // The evaluations only read the (already trained) models, so they are
   // independent jobs; fan them across the SweepRunner pool.
   const std::vector<std::function<double()>> evals{
       [&] {
@@ -85,12 +93,30 @@ void run_dataset(const trafficgen::DatasetProfile& profile, std::uint64_t seed) 
         return packet_macro_f1(dataset.test, k,
                                [&](const auto& t) { return bos_style.predict(t); });
       },
+      [&] {
+        return packet_macro_f1(dataset.test, k,
+                               [&](const auto& t) { return cnn_i4.predict(t); });
+      },
+      [&] {
+        return packet_macro_f1(dataset.test, k,
+                               [&](const auto& t) { return cnn_t.predict(t); });
+      },
+      [&] {
+        return packet_macro_f1(dataset.test, k,
+                               [&](const auto& t) { return rnn_i4.predict(t); });
+      },
+      [&] {
+        return packet_macro_f1(dataset.test, k,
+                               [&](const auto& t) { return rnn_t.predict(t); });
+      },
   };
   runtime::SweepRunner runner;
   const auto f1s = runner.run(evals.size(), [&](std::size_t i) { return evals[i](); });
   const double cnn_fp = f1s[0], cnn_q = f1s[1];
   const double rnn_fp = f1s[2], rnn_q = f1s[3];
   const double gru_fp = f1s[4], gru_bin = f1s[5];
+  const double cnn_4 = f1s[6], cnn_2 = f1s[7];
+  const double rnn_4 = f1s[8], rnn_2 = f1s[9];
 
   auto delta = [](double q, double fp) {
     return telemetry::TextTable::num(q - fp);
@@ -101,6 +127,14 @@ void run_dataset(const trafficgen::DatasetProfile& profile, std::uint64_t seed) 
   table.add_row({"RNN fp32", telemetry::TextTable::num(rnn_fp), "-"});
   table.add_row({"RNN INT8 (FENIX)", telemetry::TextTable::num(rnn_q),
                  delta(rnn_q, rnn_fp)});
+  table.add_row({"CNN INT4 (LUT-PE)", telemetry::TextTable::num(cnn_4),
+                 delta(cnn_4, cnn_fp)});
+  table.add_row({"CNN ternary (LUT-PE)", telemetry::TextTable::num(cnn_2),
+                 delta(cnn_2, cnn_fp)});
+  table.add_row({"RNN INT4 (LUT-PE)", telemetry::TextTable::num(rnn_4),
+                 delta(rnn_4, rnn_fp)});
+  table.add_row({"RNN ternary (LUT-PE)", telemetry::TextTable::num(rnn_2),
+                 delta(rnn_2, rnn_fp)});
   table.add_row({"GRU fp32 (8 units)", telemetry::TextTable::num(gru_fp), "-"});
   table.add_row({"GRU binarized (BoS-style)", telemetry::TextTable::num(gru_bin),
                  delta(gru_bin, gru_fp)});

@@ -14,6 +14,13 @@
 //   *_bit_identical                must be exactly 1
 //   *_divergence                   must be exactly 0 (count of sharded
 //                                  replays whose report diverged from serial)
+//   *_floor                        absolute minimum: the current metric named
+//                                  by stripping the `_floor` suffix must be
+//                                  >= the baseline value, with NO tolerance
+//                                  (used for hard claims like "ternary GEMV
+//                                  beats INT8" or per-precision accuracy
+//                                  floors, where 30% slack would be
+//                                  meaningless)
 //   anything else                  informational (recorded, not gated)
 //
 // Usage: bench_gate [baselines.json] [current.json]
@@ -85,8 +92,16 @@ int main(int argc, char** argv) {
                              ends_with(base.key, "_scaling_efficiency");
     const bool identity_metric = ends_with(base.key, "_bit_identical");
     const bool divergence_metric = ends_with(base.key, "_divergence");
-    if (!rate_metric && !identity_metric && !divergence_metric) continue;
+    const bool floor_metric = ends_with(base.key, "_floor");
+    if (!rate_metric && !identity_metric && !divergence_metric && !floor_metric) {
+      continue;
+    }
     ++gated;
+    // A `_floor` baseline gates the current metric named without the suffix.
+    const std::string current_key =
+        floor_metric
+            ? base.key.substr(0, base.key.size() - std::string("_floor").size())
+            : base.key;
 
     double expected = 0.0;
     if (!parse_number(base.value, expected)) {
@@ -95,7 +110,8 @@ int main(int argc, char** argv) {
       ++failures;
       continue;
     }
-    const bench::BenchMetric* cur = find_metric(current, base.section, base.key);
+    const bench::BenchMetric* cur =
+        find_metric(current, base.section, current_key);
     std::string status;
     std::string shown = "-";
     if (cur == nullptr) {
@@ -127,6 +143,9 @@ int main(int argc, char** argv) {
       } else if (divergence_metric) {
         status = value == 0.0 ? "ok" : "DIVERGED";
         if (value != 0.0) ++failures;
+      } else if (floor_metric) {
+        status = value >= expected ? "ok" : "BELOW FLOOR";
+        if (value < expected) ++failures;
       } else {
         const double floor = expected * (1.0 - tolerance);
         status = value >= floor ? "ok" : "REGRESSED";

@@ -374,6 +374,42 @@ void report_kernel_speedups(bool smoke) {
                 blocked, reference, blocked > 0 ? reference / blocked : 0.0);
   }
 
+  // Sub-INT8 tiers: the vectorized biased-plane path vs the packed-reading
+  // sequential reference, same 128x128 shape as the INT8 row above.
+  for (const nn::Precision p : {nn::Precision::kTernary, nn::Precision::kInt4}) {
+    constexpr std::size_t kN = 128;
+    sim::RandomStream rng(0x51b + static_cast<std::uint64_t>(p));
+    nn::Dense d(kN, kN, rng);
+    for (std::size_t r = 0; r < kN; ++r) {
+      for (std::size_t c = 0; c < kN; ++c) {
+        d.weights()(r, c) = static_cast<float>(rng.uniform(-0.5, 0.5));
+      }
+    }
+    const auto layer = nn::QPackedDense::from(d, p, -6, -4);
+    std::vector<std::int8_t> x(kN), y(kN);
+    fill_i8(x, rng);
+    const double blocked = time_ns_per_op(
+        [&] {
+          layer.forward_simd(x.data(), y.data(), true);
+          benchmark::DoNotOptimize(y.data());
+        },
+        min_iters, min_seconds);
+    const double reference = time_ns_per_op(
+        [&] {
+          layer.forward_reference(x.data(), y.data(), true);
+          benchmark::DoNotOptimize(y.data());
+        },
+        min_iters, min_seconds);
+    const std::string name = nn::precision_name(p);
+    section.put("gemv128_" + name + "_blocked_ns", blocked);
+    section.put("gemv128_" + name + "_reference_ns", reference);
+    section.put("gemv128_" + name + "_speedup",
+                blocked > 0 ? reference / blocked : 0.0);
+    std::printf("gemv %s:  blocked %8.1f ns  reference %8.1f ns  (%.2fx)\n",
+                name.c_str(), blocked, reference,
+                blocked > 0 ? reference / blocked : 0.0);
+  }
+
   {
     const auto model = make_quantized_cnn();
     std::vector<nn::Token> tokens(9, nn::Token{10, 3});

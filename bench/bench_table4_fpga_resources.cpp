@@ -7,6 +7,7 @@
 
 #include "bench_common.hpp"
 #include "core/model_engine.hpp"
+#include "fpgasim/lut_pe.hpp"
 #include "fpgasim/resource_model.hpp"
 #include "telemetry/table.hpp"
 
@@ -77,6 +78,38 @@ int main() {
   add_row(table, "Vector I/O", vio, device);
 
   std::cout << table.render();
+
+  // ---- LUT-only PE arrays (sub-INT8 tier) ----
+  // The same Model Engine shapes priced for the multiply-free array styles:
+  // ternary (2-bit) and INT4 weights map every PE to fabric selects + adder
+  // trees, so the DSP column is structurally zero and weight BRAM shrinks
+  // with the packed width.
+  const fpgasim::LutPeCostModel lpe;
+  telemetry::TextTable lut_table({"Array style", "LUT", "FF", "BRAM", "DSP"});
+  for (const unsigned bits : {2u, 4u}) {
+    const char* tier = bits == 2 ? "ternary" : "int4";
+    ResourceEstimate cnn_lpe;
+    cnn_lpe.module = "CNN";
+    cnn_lpe += embedding;  // embeddings stay INT8 activations
+    cnn_lpe += fpgasim::estimate_lut_pe_conv_stack(lpe, bits, {16, 64, 128, 256},
+                                                   3, /*lanes=*/3072);
+    cnn_lpe += fpgasim::estimate_lut_pe_fc(lpe, bits, 256, 512, 1024);
+    cnn_lpe += fpgasim::estimate_lut_pe_fc(lpe, bits, 512, 256, 256);
+    cnn_lpe += fpgasim::estimate_lut_pe_fc(lpe, bits, 256, 12, 128);
+    add_row(lut_table, std::string("CNN LUT-PE ") + tier, cnn_lpe, device);
+
+    ResourceEstimate rnn_lpe;
+    rnn_lpe.module = "RNN";
+    rnn_lpe += embedding;
+    rnn_lpe += fpgasim::estimate_lut_pe_recurrent(lpe, bits, 16, 128, 1,
+                                                  /*lanes=*/1792);
+    rnn_lpe += fpgasim::estimate_lut_pe_fc(lpe, bits, 128, 512, 1024);
+    rnn_lpe += fpgasim::estimate_lut_pe_fc(lpe, bits, 512, 256, 256);
+    rnn_lpe += fpgasim::estimate_lut_pe_fc(lpe, bits, 256, 12, 128);
+    add_row(lut_table, std::string("RNN LUT-PE ") + tier, rnn_lpe, device);
+  }
+  std::cout << "\nLUT-only PE arrays (zero-DSP sub-INT8 mapping):\n"
+            << lut_table.render();
 
   std::cout << "\nPaper reference (Table 4):\n"
                "| CNN (overall) | 38.4% | 33.8% | 7.1% | 8.1% |\n"

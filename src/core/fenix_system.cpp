@@ -226,11 +226,18 @@ RunReport FenixSystem::run_serial(ReplayCore& core, const net::Trace& trace) {
   // Degraded-mode admission ran inside the Data Engine on this path.
   core.report().fallback_verdicts = data_engine_.fallback_verdicts();
   core.report().mirrors_suppressed = data_engine_.mirrors_suppressed();
+  core.report().precision = nn::precision_name(model_engine_.precision());
   return core.take_report();
 }
 
 telemetry::MetricRegistry FenixSystem::health_metrics(const RunReport& report) const {
   telemetry::MetricRegistry reg;
+  // Precision tier as its bit width so the numeric registry can carry it
+  // (the RunReport itself holds the name).
+  nn::Precision prec;
+  if (!nn::parse_precision(report.precision, prec)) prec = nn::Precision::kInt8;
+  reg.set_counter("precision_bits",
+                  static_cast<std::uint64_t>(nn::weight_bits(prec)));
   reg.set_counter("packets", report.packets);
   reg.set_counter("mirrors", report.mirrors);
   reg.set_counter("results_applied", report.results_applied);

@@ -118,6 +118,13 @@ class ModelEngine {
   const nn::QuantizedCnn* cnn() const { return cnn_; }
   const nn::QuantizedRnn* rnn() const { return rnn_; }
 
+  /// Precision tier of the bound model (kInt8 when no model is bound).
+  nn::Precision precision() const {
+    if (cnn_ != nullptr) return cnn_->precision();
+    if (rnn_ != nullptr) return rnn_->precision();
+    return nn::Precision::kInt8;
+  }
+
   /// Pure compute latency of one inference (pipeline empty).
   sim::SimDuration inference_latency() const { return timer_.to_time(cycles_per_inference_); }
   std::uint64_t cycles_per_inference() const { return cycles_per_inference_; }

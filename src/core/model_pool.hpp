@@ -55,6 +55,12 @@ class ModelPool {
   ModelEngine& engine(std::size_t task) { return *checked(task); }
   const ModelEngine& engine(std::size_t task) const { return *checked(task); }
 
+  /// Precision tier of the model bound to `task` — part of the task's
+  /// configuration, echoed by task listings and the replay health table.
+  nn::Precision task_precision(std::size_t task) const {
+    return checked(task)->precision();
+  }
+
   /// Routes a feature vector to the engine serving `task`. Throws
   /// UnknownTask when `task` names no resident engine.
   std::optional<net::InferenceResult> submit(std::size_t task,

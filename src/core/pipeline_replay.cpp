@@ -607,6 +607,7 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
   core.resolve();
 
   RunReport& report = core.report();
+  report.precision = nn::precision_name(model_engine_.precision());
   for (const auto& sh : shards) {
     report.fallback_verdicts += sh->fallback_verdicts;
     report.mirrors_suppressed += sh->mirrors_suppressed;

@@ -414,6 +414,7 @@ std::optional<std::string> recorder_divergence(
 
 std::optional<std::string> first_divergence(const RunReport& a,
                                             const RunReport& b) {
+  if (auto d = diverge("precision", a.precision, b.precision)) return d;
   if (auto d = diverge("packets", a.packets, b.packets)) return d;
   if (auto d = diverge("mirrors", a.mirrors, b.mirrors)) return d;
   if (auto d = diverge("fifo_drops", a.fifo_drops, b.fifo_drops)) return d;

@@ -120,6 +120,11 @@ struct RunReport {
   telemetry::LatencyRecorder return_tx;    ///< FPGA egress -> switch.
   telemetry::LatencyRecorder end_to_end;   ///< Mirror emit -> verdict installed.
 
+  /// Precision tier the Model Engine served this run ("fp32" / "int8" /
+  /// "int4" / "ternary"). Part of the bit-identity contract: a pipelined run
+  /// must report the same precision as its serial twin.
+  std::string precision = "int8";
+
   std::uint64_t packets = 0;
   std::uint64_t mirrors = 0;
   std::uint64_t fifo_drops = 0;

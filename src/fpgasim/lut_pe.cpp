@@ -1,0 +1,118 @@
+#include "fpgasim/lut_pe.hpp"
+
+#include <algorithm>
+
+namespace fenix::fpgasim {
+namespace {
+
+constexpr double kBram36Bits = 36'864.0;
+
+/// Per-PE select/negate fabric plus the shared adder tree and lane control.
+/// Every arithmetic element lives in LUTs — the array never touches a DSP.
+void add_lut_pe_lanes(const LutPeCostModel& cm, unsigned weight_bits,
+                      std::uint64_t lanes, ResourceEstimate& est) {
+  const bool ternary = weight_bits <= 2;
+  const std::uint64_t pe_luts =
+      ternary ? cm.ternary_luts_per_pe : cm.int4_luts_per_pe;
+  const std::uint64_t pe_ffs = ternary ? cm.ternary_ffs_per_pe : cm.int4_ffs_per_pe;
+  est.luts += lanes * pe_luts + lanes * cm.luts_per_lane_ctrl;
+  est.flip_flops += lanes * pe_ffs + lanes * cm.ffs_per_lane_ctrl;
+  // Balanced adder tree over the lanes: lanes-1 nodes, carry-chain adders of
+  // acc_width_bits, registered at every level.
+  const std::uint64_t nodes = lanes > 0 ? lanes - 1 : 0;
+  est.luts += nodes * cm.acc_width_bits;
+  est.flip_flops += nodes * cm.acc_width_bits;
+}
+
+/// Weight storage at the packed width (2 or 4 bits per weight) with
+/// ping-pong copies; biases stay INT32. Sub-INT8 tensors are small enough
+/// that the URAM spill path of the DSP model never triggers here.
+void add_packed_weight_memory(const LutPeCostModel& cm, unsigned weight_bits,
+                              std::uint64_t weights, std::uint64_t bias_rows,
+                              ResourceEstimate& est) {
+  const unsigned bits = weight_bits <= 2 ? 2 : 4;
+  const double stored =
+      static_cast<double>(weights * bits + bias_rows * 32) * cm.weight_buffer_copies;
+  est.bram36 += stored / kBram36Bits;
+}
+
+}  // namespace
+
+unsigned adder_tree_depth(std::uint64_t leaves) {
+  unsigned depth = 0;
+  while (leaves > 1) {
+    leaves = (leaves + 1) / 2;
+    ++depth;
+  }
+  return depth;
+}
+
+ResourceEstimate estimate_lut_pe_fc(const LutPeCostModel& cm, unsigned weight_bits,
+                                    unsigned in_dim, unsigned out_dim,
+                                    unsigned lanes) {
+  ResourceEstimate est;
+  est.module = weight_bits <= 2 ? "FC (LUT-PE ternary)" : "FC (LUT-PE int4)";
+  add_lut_pe_lanes(cm, weight_bits, lanes, est);
+  add_packed_weight_memory(cm, weight_bits,
+                           static_cast<std::uint64_t>(in_dim) * out_dim, out_dim,
+                           est);
+  est.luts += cm.module_fixed_luts;
+  est.flip_flops += cm.module_fixed_ffs;
+  return est;
+}
+
+ResourceEstimate estimate_lut_pe_conv_stack(const LutPeCostModel& cm,
+                                            unsigned weight_bits,
+                                            const std::vector<unsigned>& channels,
+                                            unsigned kernel, unsigned lanes) {
+  ResourceEstimate est;
+  est.module = weight_bits <= 2 ? "Convolutional (LUT-PE ternary)"
+                                : "Convolutional (LUT-PE int4)";
+  if (channels.size() < 2) return est;
+  add_lut_pe_lanes(cm, weight_bits, lanes, est);
+  for (std::size_t i = 1; i < channels.size(); ++i) {
+    add_packed_weight_memory(
+        cm, weight_bits,
+        static_cast<std::uint64_t>(channels[i - 1]) * channels[i] * kernel,
+        channels[i], est);
+  }
+  // Line buffers hold INT8 activations — unchanged by the weight format.
+  unsigned widest = 0;
+  for (unsigned c : channels) widest = std::max(widest, c);
+  const std::uint64_t linebuf_bits =
+      static_cast<std::uint64_t>(kernel > 0 ? kernel - 1 : 0) * widest * 8 * 64;
+  est.bram36 += static_cast<double>(linebuf_bits) / kBram36Bits;
+  est.luts += cm.module_fixed_luts * channels.size();
+  est.flip_flops += cm.module_fixed_ffs * channels.size();
+  return est;
+}
+
+ResourceEstimate estimate_lut_pe_recurrent(const LutPeCostModel& cm,
+                                           unsigned weight_bits, unsigned in_dim,
+                                           unsigned units, unsigned gates,
+                                           unsigned lanes) {
+  ResourceEstimate est;
+  est.module = weight_bits <= 2 ? "Recurrent (LUT-PE ternary)"
+                                : "Recurrent (LUT-PE int4)";
+  add_lut_pe_lanes(cm, weight_bits, lanes, est);
+  for (unsigned g = 0; g < gates; ++g) {
+    add_packed_weight_memory(cm, weight_bits,
+                             static_cast<std::uint64_t>(in_dim) * units +
+                                 static_cast<std::uint64_t>(units) * units,
+                             units, est);
+  }
+  est.flip_flops += static_cast<std::uint64_t>(units) * 8 * 2;  // hidden state
+  est.luts += static_cast<std::uint64_t>(gates) * 2048;  // tanh/sigmoid LUTs
+  est.luts += cm.module_fixed_luts;
+  est.flip_flops += cm.module_fixed_ffs;
+  return est;
+}
+
+std::uint64_t lut_pe_latency_cycles(const LutPeCostModel& cm, std::uint64_t macs,
+                                    unsigned lanes) {
+  if (lanes == 0) return 0;
+  const std::uint64_t issue = (macs + lanes - 1) / lanes;
+  return issue + adder_tree_depth(lanes) + cm.requant_pipeline_cycles;
+}
+
+}  // namespace fenix::fpgasim

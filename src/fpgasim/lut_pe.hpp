@@ -1,0 +1,69 @@
+// LUT-only processing-element array cost/latency model for sub-INT8 weights.
+//
+// The DSP systolic array of resource_model.hpp prices INT8 MAC lanes; this
+// model prices the multiply-free alternative: with ternary ({-1,0,+1}) or
+// INT4 weights a "multiply" is a pass/negate/zero select (ternary) or a
+// 3-term shift/add (INT4), so a processing element is a handful of LUTs
+// feeding a balanced adder tree — no DSP48 slices anywhere, the de10nano
+// BitNet mapping. Weight memory shrinks with the format (2 or 4 bits per
+// weight instead of 8), which is what lets the same BRAM budget hold wider
+// layers. Latency is the usual blocked schedule: ceil(macs / lanes) issue
+// cycles plus the adder-tree and requantization pipeline fill.
+#pragma once
+
+#include <cstdint>
+
+#include "fpgasim/resource_model.hpp"
+
+namespace fenix::fpgasim {
+
+/// Cost-model constants for the LUT-only array (tunable; defaults follow
+/// standard fabric mappings for select/negate datapaths on 6-input LUTs).
+struct LutPeCostModel {
+  // Per-PE fabric cost: one INT8 operand select/negate plus its slice of the
+  // compressor feeding the adder tree.
+  unsigned ternary_luts_per_pe = 12;  ///< Zero/pass/negate select (2-bit code).
+  unsigned ternary_ffs_per_pe = 9;
+  unsigned int4_luts_per_pe = 28;     ///< Sign select + up to 3 shift/adds.
+  unsigned int4_ffs_per_pe = 21;
+  // Balanced adder tree: lanes-1 nodes, one LUT per accumulator bit per node
+  // (carry-chain adders), registered every level.
+  unsigned acc_width_bits = 24;
+  unsigned luts_per_lane_ctrl = 4;
+  unsigned ffs_per_lane_ctrl = 12;
+  unsigned module_fixed_luts = 1200;
+  unsigned module_fixed_ffs = 2000;
+  double weight_buffer_copies = 2.0;  ///< Ping-pong, as in the DSP model.
+  unsigned requant_pipeline_cycles = 4;  ///< Per-row shift/round/saturate.
+};
+
+/// Depth of a balanced binary adder tree reducing `leaves` inputs
+/// (ceil(log2), 0 for a single leaf).
+unsigned adder_tree_depth(std::uint64_t leaves);
+
+/// Estimates a fully connected layer of shape out x in on the LUT-only array.
+/// `weight_bits` selects the PE flavor: 2 (ternary) or 4 (INT4); anything
+/// else is priced as INT4. Always reports zero DSPs.
+ResourceEstimate estimate_lut_pe_fc(const LutPeCostModel& cm, unsigned weight_bits,
+                                    unsigned in_dim, unsigned out_dim,
+                                    unsigned lanes);
+
+/// Estimates a 1-D convolution stack (same shape convention as
+/// estimate_conv_stack) on the LUT-only array.
+ResourceEstimate estimate_lut_pe_conv_stack(const LutPeCostModel& cm,
+                                            unsigned weight_bits,
+                                            const std::vector<unsigned>& channels,
+                                            unsigned kernel, unsigned lanes);
+
+/// Estimates a recurrent layer (vanilla RNN: gates = 1) on the LUT-only array.
+ResourceEstimate estimate_lut_pe_recurrent(const LutPeCostModel& cm,
+                                           unsigned weight_bits, unsigned in_dim,
+                                           unsigned units, unsigned gates,
+                                           unsigned lanes);
+
+/// Cycles for one inference of `macs` multiply-accumulates on `lanes` PEs:
+/// ceil(macs / lanes) issue cycles + adder-tree depth + requantization fill.
+std::uint64_t lut_pe_latency_cycles(const LutPeCostModel& cm, std::uint64_t macs,
+                                    unsigned lanes);
+
+}  // namespace fenix::fpgasim

@@ -61,6 +61,112 @@ void conv1d_i8(const std::int8_t* w, std::size_t out_ch, std::size_t in_ch,
                std::size_t kernel, const std::int8_t* x, std::size_t T,
                const std::int32_t* bias, int shift, bool relu, std::int8_t* y);
 
+// ---- Sub-INT8 (ternary / INT4) multiply-free kernels ----
+//
+// Weight formats (activations stay INT8 throughout):
+//  * Ternary: weights in {-1, 0, +1}, packed 2 bits per weight, 4 per byte,
+//    least-significant pair first. Code 0 = 0, 1 = +1, 2 = -1 (3 is invalid).
+//    A product is a pass/negate/zero select — no multiplier, on the FPGA or
+//    here.
+//  * INT4: weights in [-7, 7], packed as two's-complement nibbles, low nibble
+//    first. A product decomposes into at most three shift/adds of x
+//    (w = +-(b0 + 2*b1 + 4*b2)).
+//
+// Scaling is per *output row*: each row r carries its own weight exponent, so
+// requantization takes a per-row shift array instead of one layer shift, and
+// the bias for row r sits at exponent row_e[r] + in_e. Every kernel below is
+// exact integer arithmetic — the packed-reading reference, the multiply-free
+// optimized forms, and the SIMD lowering all compute the same INT32 dot
+// product, so bit-identity holds by associativity (no overflow at these
+// layer sizes).
+//
+// Operand forms (all derived deterministically from the packed bytes):
+//  * packed      — the 2-bit / nibble rows themselves (reference kernels).
+//  * plane       — nibble-/code-unpacked INT8 weights (shift/add kernels and
+//                  scalar fallbacks).
+//  * idx/seg     — ternary sparse form: per row, the +1 column indices then
+//                  the -1 column indices, each ascending. seg has 2*rows+1
+//                  entries: row r's plus run is idx[seg[2r]..seg[2r+1]) and
+//                  its minus run idx[seg[2r+1]..seg[2r+2]). The dot product
+//                  is sum(x[plus]) - sum(x[minus]) — two loads and an add
+//                  per nonzero weight, nothing else.
+//  * biased      — plane + B as unsigned bytes (B = 1 ternary, 8 INT4), the
+//                  unsigned operand of the AVX-512VNNI dpbusd path:
+//                  sum((w+B)*x) - B*sum(x) == sum(w*x) exactly.
+
+/// Reference dot products reading the packed rows directly (these pin the
+/// packed bytes as the source of truth for every other operand form).
+std::int32_t dot_ternary_packed(const std::uint8_t* row, const std::int8_t* x,
+                                std::size_t cols);
+std::int32_t dot_i4_packed(const std::uint8_t* row, const std::int8_t* x,
+                           std::size_t cols);
+
+/// Sequential reference GEMV over packed rows; shift is per-row.
+void gemv_ternary_packed_ref(const std::uint8_t* packed, std::size_t rows,
+                             std::size_t row_bytes, std::size_t cols,
+                             const std::int8_t* x, const std::int32_t* bias,
+                             const std::int32_t* shift, bool relu,
+                             std::int8_t* y);
+void gemv_i4_packed_ref(const std::uint8_t* packed, std::size_t rows,
+                        std::size_t row_bytes, std::size_t cols,
+                        const std::int8_t* x, const std::int32_t* bias,
+                        const std::int32_t* shift, bool relu, std::int8_t* y);
+
+/// Multiply-free ternary GEMV over the sparse idx/seg form, 4-way unrolled
+/// within each run. acc variant returns raw INT32 accumulators.
+void gemv_ternary(const std::uint16_t* idx, const std::uint32_t* seg,
+                  std::size_t rows, const std::int8_t* x,
+                  const std::int32_t* bias, const std::int32_t* shift,
+                  bool relu, std::int8_t* y);
+void gemv_acc_ternary(const std::uint16_t* idx, const std::uint32_t* seg,
+                      std::size_t rows, const std::int8_t* x,
+                      std::int32_t* acc);
+
+/// Ternary 1-D convolution ('same' padding, stride 1) over the sparse form.
+/// Row width is in_ch*kernel; each timestep's valid tap window selects the
+/// index subrange by binary search (both runs are ascending), so edges cost
+/// two searches per row instead of per-tap branches.
+void conv1d_ternary(const std::uint16_t* idx, const std::uint32_t* seg,
+                    std::size_t out_ch, std::size_t in_ch, std::size_t kernel,
+                    const std::int8_t* x, std::size_t T,
+                    const std::int32_t* bias, const std::int32_t* shift,
+                    bool relu, std::int8_t* y);
+
+/// Multiply-free INT4 kernels over the nibble-unpacked plane: each product is
+/// a sign-select plus up to three shift/adds, blocked 4 rows per pass like
+/// gemv_i8.
+void gemv_i4(const std::int8_t* plane, std::size_t rows, std::size_t row_stride,
+             std::size_t cols, const std::int8_t* x, const std::int32_t* bias,
+             const std::int32_t* shift, bool relu, std::int8_t* y);
+void gemv_acc_i4(const std::int8_t* plane, std::size_t rows,
+                 std::size_t row_stride, std::size_t cols, const std::int8_t* x,
+                 std::int32_t* acc);
+void conv1d_i4(const std::int8_t* plane, std::size_t out_ch, std::size_t in_ch,
+               std::size_t kernel, const std::int8_t* x, std::size_t T,
+               const std::int32_t* bias, const std::int32_t* shift, bool relu,
+               std::int8_t* y);
+
+/// SIMD sub-INT8 kernels (kernels_simd.cpp) over the biased unsigned plane.
+/// weight_bias is B (1 for ternary, 8 for INT4). With AVX-512VNNI each step
+/// is one dpbusd per row per 64 columns — about a quarter of the INT8 madd
+/// ladder's work — and the B*sum(x) correction restores the exact signed dot
+/// product. Without VNNI the biased plane runs through the same
+/// widen-and-madd ladder as the INT8 kernels; without AVX2 a scalar loop
+/// computes the identical sums. Results never depend on the ISA.
+void gemv_sub8_simd(const std::uint8_t* biased, std::size_t rows,
+                    std::size_t row_stride, std::size_t cols, int weight_bias,
+                    const std::int8_t* x, const std::int32_t* bias,
+                    const std::int32_t* shift, bool relu, std::int8_t* y);
+void gemv_acc_sub8_simd(const std::uint8_t* biased, std::size_t rows,
+                        std::size_t row_stride, std::size_t cols,
+                        int weight_bias, const std::int8_t* x,
+                        std::int32_t* acc);
+void conv1d_sub8_simd(const std::uint8_t* biased, std::size_t out_ch,
+                      std::size_t in_ch, std::size_t kernel, int weight_bias,
+                      const std::int8_t* x, std::size_t T,
+                      const std::int32_t* bias, const std::int32_t* shift,
+                      bool relu, std::int8_t* y);
+
 // ---- SIMD variants (kernels_simd.cpp) ----
 //
 // Explicitly vectorized AVX2 / AVX-512 versions of the kernels above, used

@@ -58,6 +58,14 @@ Isa isa() {
   return cached;
 }
 
+// AVX-512VNNI gates the dpbusd sub-INT8 path; detection is separate from the
+// Isa ladder because VNNI only changes speed, never results.
+bool has_vnni() {
+  static const bool cached = __builtin_cpu_supports("avx512vnni") &&
+                             __builtin_cpu_supports("avx512bw");
+  return cached;
+}
+
 // ---- AVX2: 16 columns per step (128-bit INT8 loads widened to 256-bit
 // INT16, vpmaddwd into 8 INT32 lanes). The bench models' layer widths are
 // all multiples of 16, so the scalar tail is usually empty.
@@ -424,7 +432,222 @@ __attribute__((target("avx2"))) void gemm_acc_batch_avx2(
   }
 }
 
+// ---- Sub-INT8 (biased unsigned plane) dot products ----
+//
+// The biased plane stores w + B as unsigned bytes (B = 1 ternary, 8 INT4).
+// Accumulating sum((w+B)*x) and subtracting B*sum(x) yields sum(w*x) as an
+// exact integer identity — no tolerance involved. All ISA levels accumulate
+// in the biased domain so one correction per row finishes the job.
+
+// AVX-512VNNI: one dpbusd per row per 64 columns (u8 weights x s8
+// activations, 4-wide dot into each INT32 lane). This is the kernel that
+// makes ternary GEMV beat the INT8 madd ladder outright.
+
+__attribute__((target("avx512vnni,avx512bw"))) void dot4_sub8_vnni(
+    const std::uint8_t* w0, const std::uint8_t* w1, const std::uint8_t* w2,
+    const std::uint8_t* w3, const std::int8_t* x, std::size_t cols,
+    std::int32_t out[4]) {
+  __m512i acc0 = _mm512_setzero_si512();
+  __m512i acc1 = _mm512_setzero_si512();
+  __m512i acc2 = _mm512_setzero_si512();
+  __m512i acc3 = _mm512_setzero_si512();
+  std::size_t c = 0;
+  for (; c + 64 <= cols; c += 64) {
+    const __m512i xv = _mm512_loadu_si512(x + c);
+    acc0 = _mm512_dpbusd_epi32(acc0, _mm512_loadu_si512(w0 + c), xv);
+    acc1 = _mm512_dpbusd_epi32(acc1, _mm512_loadu_si512(w1 + c), xv);
+    acc2 = _mm512_dpbusd_epi32(acc2, _mm512_loadu_si512(w2 + c), xv);
+    acc3 = _mm512_dpbusd_epi32(acc3, _mm512_loadu_si512(w3 + c), xv);
+  }
+  if (c < cols) {
+    // Masked tail: lanes beyond cols load as zero and contribute nothing.
+    const __mmask64 m = (~0ULL) >> (64 - (cols - c));
+    const __m512i xv = _mm512_maskz_loadu_epi8(m, x + c);
+    acc0 = _mm512_dpbusd_epi32(acc0, _mm512_maskz_loadu_epi8(m, w0 + c), xv);
+    acc1 = _mm512_dpbusd_epi32(acc1, _mm512_maskz_loadu_epi8(m, w1 + c), xv);
+    acc2 = _mm512_dpbusd_epi32(acc2, _mm512_maskz_loadu_epi8(m, w2 + c), xv);
+    acc3 = _mm512_dpbusd_epi32(acc3, _mm512_maskz_loadu_epi8(m, w3 + c), xv);
+  }
+  out[0] = _mm512_reduce_add_epi32(acc0);
+  out[1] = _mm512_reduce_add_epi32(acc1);
+  out[2] = _mm512_reduce_add_epi32(acc2);
+  out[3] = _mm512_reduce_add_epi32(acc3);
+}
+
+__attribute__((target("avx512vnni,avx512bw"))) void dot1_sub8_vnni(
+    const std::uint8_t* w, const std::int8_t* x, std::size_t cols,
+    std::int32_t* out) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t c = 0;
+  for (; c + 64 <= cols; c += 64) {
+    acc = _mm512_dpbusd_epi32(acc, _mm512_loadu_si512(w + c),
+                              _mm512_loadu_si512(x + c));
+  }
+  if (c < cols) {
+    const __mmask64 m = (~0ULL) >> (64 - (cols - c));
+    acc = _mm512_dpbusd_epi32(acc, _mm512_maskz_loadu_epi8(m, w + c),
+                              _mm512_maskz_loadu_epi8(m, x + c));
+  }
+  *out = _mm512_reduce_add_epi32(acc);
+}
+
+// AVX-512BW without VNNI: zero-extend the biased bytes and run the same madd
+// ladder as the INT8 kernels (pairs of (w+B)*x fit INT16 products easily).
+
+__attribute__((target("avx512bw"))) inline __m512i widenu16_avx512(
+    const std::uint8_t* p) {
+  return _mm512_cvtepu8_epi16(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+}
+
+__attribute__((target("avx2"))) inline __m256i widenu16_avx2(
+    const std::uint8_t* p) {
+  return _mm256_cvtepu8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+}
+
+__attribute__((target("avx512bw"))) void dot4_sub8_avx512(
+    const std::uint8_t* w0, const std::uint8_t* w1, const std::uint8_t* w2,
+    const std::uint8_t* w3, const std::int8_t* x, std::size_t cols,
+    std::int32_t out[4]) {
+  __m512i acc0 = _mm512_setzero_si512();
+  __m512i acc1 = _mm512_setzero_si512();
+  __m512i acc2 = _mm512_setzero_si512();
+  __m512i acc3 = _mm512_setzero_si512();
+  std::size_t c = 0;
+  for (; c + 32 <= cols; c += 32) {
+    const __m512i xv = widen16_avx512(x + c);
+    acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(widenu16_avx512(w0 + c), xv));
+    acc1 = _mm512_add_epi32(acc1, _mm512_madd_epi16(widenu16_avx512(w1 + c), xv));
+    acc2 = _mm512_add_epi32(acc2, _mm512_madd_epi16(widenu16_avx512(w2 + c), xv));
+    acc3 = _mm512_add_epi32(acc3, _mm512_madd_epi16(widenu16_avx512(w3 + c), xv));
+  }
+  out[0] = _mm512_reduce_add_epi32(acc0);
+  out[1] = _mm512_reduce_add_epi32(acc1);
+  out[2] = _mm512_reduce_add_epi32(acc2);
+  out[3] = _mm512_reduce_add_epi32(acc3);
+  for (; c < cols; ++c) {
+    const std::int32_t xv = x[c];
+    out[0] += static_cast<std::int32_t>(w0[c]) * xv;
+    out[1] += static_cast<std::int32_t>(w1[c]) * xv;
+    out[2] += static_cast<std::int32_t>(w2[c]) * xv;
+    out[3] += static_cast<std::int32_t>(w3[c]) * xv;
+  }
+}
+
+__attribute__((target("avx512bw"))) void dot1_sub8_avx512(
+    const std::uint8_t* w, const std::int8_t* x, std::size_t cols,
+    std::int32_t* out) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t c = 0;
+  for (; c + 32 <= cols; c += 32) {
+    acc = _mm512_add_epi32(
+        acc, _mm512_madd_epi16(widenu16_avx512(w + c), widen16_avx512(x + c)));
+  }
+  std::int32_t sum = _mm512_reduce_add_epi32(acc);
+  for (; c < cols; ++c) {
+    sum += static_cast<std::int32_t>(w[c]) * static_cast<std::int32_t>(x[c]);
+  }
+  *out = sum;
+}
+
+__attribute__((target("avx2"))) void dot4_sub8_avx2(
+    const std::uint8_t* w0, const std::uint8_t* w1, const std::uint8_t* w2,
+    const std::uint8_t* w3, const std::int8_t* x, std::size_t cols,
+    std::int32_t out[4]) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  __m256i acc2 = _mm256_setzero_si256();
+  __m256i acc3 = _mm256_setzero_si256();
+  std::size_t c = 0;
+  for (; c + 16 <= cols; c += 16) {
+    const __m256i xv = widen16_avx2(x + c);
+    acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(widenu16_avx2(w0 + c), xv));
+    acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(widenu16_avx2(w1 + c), xv));
+    acc2 = _mm256_add_epi32(acc2, _mm256_madd_epi16(widenu16_avx2(w2 + c), xv));
+    acc3 = _mm256_add_epi32(acc3, _mm256_madd_epi16(widenu16_avx2(w3 + c), xv));
+  }
+  out[0] = hsum_avx2(acc0);
+  out[1] = hsum_avx2(acc1);
+  out[2] = hsum_avx2(acc2);
+  out[3] = hsum_avx2(acc3);
+  for (; c < cols; ++c) {
+    const std::int32_t xv = x[c];
+    out[0] += static_cast<std::int32_t>(w0[c]) * xv;
+    out[1] += static_cast<std::int32_t>(w1[c]) * xv;
+    out[2] += static_cast<std::int32_t>(w2[c]) * xv;
+    out[3] += static_cast<std::int32_t>(w3[c]) * xv;
+  }
+}
+
+__attribute__((target("avx2"))) void dot1_sub8_avx2(const std::uint8_t* w,
+                                                    const std::int8_t* x,
+                                                    std::size_t cols,
+                                                    std::int32_t* out) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t c = 0;
+  for (; c + 16 <= cols; c += 16) {
+    acc = _mm256_add_epi32(
+        acc, _mm256_madd_epi16(widenu16_avx2(w + c), widen16_avx2(x + c)));
+  }
+  std::int32_t sum = hsum_avx2(acc);
+  for (; c < cols; ++c) {
+    sum += static_cast<std::int32_t>(w[c]) * static_cast<std::int32_t>(x[c]);
+  }
+  *out = sum;
+}
+
+// Dispatches one 4-row / 1-row biased-domain dot to the best ISA.
+void dot4_sub8(const std::uint8_t* w0, const std::uint8_t* w1,
+               const std::uint8_t* w2, const std::uint8_t* w3,
+               const std::int8_t* x, std::size_t cols, std::int32_t out[4]) {
+  if (has_vnni()) {
+    dot4_sub8_vnni(w0, w1, w2, w3, x, cols, out);
+  } else if (isa() == Isa::kAvx512) {
+    dot4_sub8_avx512(w0, w1, w2, w3, x, cols, out);
+  } else {
+    dot4_sub8_avx2(w0, w1, w2, w3, x, cols, out);
+  }
+}
+
+void dot1_sub8(const std::uint8_t* w, const std::int8_t* x, std::size_t cols,
+               std::int32_t* out) {
+  if (has_vnni()) {
+    dot1_sub8_vnni(w, x, cols, out);
+  } else if (isa() == Isa::kAvx512) {
+    dot1_sub8_avx512(w, x, cols, out);
+  } else {
+    dot1_sub8_avx2(w, x, cols, out);
+  }
+}
+
 #endif  // FENIX_SIMD_X86
+
+// Shared by every sub-INT8 path: sum of x (the B*sum(x) correction is one
+// subtract per row). Plain loop — the compiler vectorizes it, and any
+// summation order is exact.
+std::int32_t sum_x_i32(const std::int8_t* x, std::size_t cols) {
+  std::int32_t s = 0;
+  for (std::size_t c = 0; c < cols; ++c) s += x[c];
+  return s;
+}
+
+// Scalar sub-INT8 fallback: multiply out the biased plane directly. Same
+// integer sums, so non-AVX hosts stay bit-identical.
+void gemv_acc_sub8_scalar(const std::uint8_t* biased, std::size_t rows,
+                          std::size_t row_stride, std::size_t cols,
+                          int weight_bias, const std::int8_t* x,
+                          std::int32_t* acc) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::uint8_t* wr = biased + r * row_stride;
+    std::int32_t a = 0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      a += (static_cast<std::int32_t>(wr[c]) - weight_bias) *
+           static_cast<std::int32_t>(x[c]);
+    }
+    acc[r] = a;
+  }
+}
 
 // Scalar batch fallback (1 lane): the same pair-decomposed arithmetic in
 // plain integers, so non-AVX hosts stay bit-identical to the vector paths.
@@ -508,6 +731,88 @@ void gemv_i8_simd(const std::int8_t* w, std::size_t rows,
   }
 #endif
   gemv_i8(w, rows, row_stride, cols, x, bias, shift, relu, y);
+}
+
+void gemv_acc_sub8_simd(const std::uint8_t* biased, std::size_t rows,
+                        std::size_t row_stride, std::size_t cols,
+                        int weight_bias, const std::int8_t* x,
+                        std::int32_t* acc) {
+#if FENIX_SIMD_X86
+  if (isa() != Isa::kScalar) {
+    const std::int32_t corr = weight_bias * sum_x_i32(x, cols);
+    std::size_t r = 0;
+    for (; r + 4 <= rows; r += 4) {
+      const std::uint8_t* base = biased + r * row_stride;
+      std::int32_t raw[4];
+      dot4_sub8(base, base + row_stride, base + 2 * row_stride,
+                base + 3 * row_stride, x, cols, raw);
+      acc[r + 0] = raw[0] - corr;
+      acc[r + 1] = raw[1] - corr;
+      acc[r + 2] = raw[2] - corr;
+      acc[r + 3] = raw[3] - corr;
+    }
+    for (; r < rows; ++r) {
+      std::int32_t raw;
+      dot1_sub8(biased + r * row_stride, x, cols, &raw);
+      acc[r] = raw - corr;
+    }
+    return;
+  }
+#endif
+  gemv_acc_sub8_scalar(biased, rows, row_stride, cols, weight_bias, x, acc);
+}
+
+void gemv_sub8_simd(const std::uint8_t* biased, std::size_t rows,
+                    std::size_t row_stride, std::size_t cols, int weight_bias,
+                    const std::int8_t* x, const std::int32_t* bias,
+                    const std::int32_t* shift, bool relu, std::int8_t* y) {
+#if FENIX_SIMD_X86
+  if (isa() != Isa::kScalar) {
+    const std::int32_t corr = weight_bias * sum_x_i32(x, cols);
+    std::size_t r = 0;
+    std::int32_t raw[4];
+    for (; r + 4 <= rows; r += 4) {
+      const std::uint8_t* base = biased + r * row_stride;
+      dot4_sub8(base, base + row_stride, base + 2 * row_stride,
+                base + 3 * row_stride, x, cols, raw);
+      for (int i = 0; i < 4; ++i) {
+        y[r + i] =
+            requantize(raw[i] - corr, bias[r + i], shift[r + i], relu);
+      }
+    }
+    for (; r < rows; ++r) {
+      dot1_sub8(biased + r * row_stride, x, cols, raw);
+      y[r] = requantize(raw[0] - corr, bias[r], shift[r], relu);
+    }
+    return;
+  }
+#endif
+  std::int32_t a;
+  for (std::size_t r = 0; r < rows; ++r) {
+    gemv_acc_sub8_scalar(biased + r * row_stride, 1, row_stride, cols,
+                         weight_bias, x, &a);
+    y[r] = requantize(a, bias[r], shift[r], relu);
+  }
+}
+
+void conv1d_sub8_simd(const std::uint8_t* biased, std::size_t out_ch,
+                      std::size_t in_ch, std::size_t kernel, int weight_bias,
+                      const std::int8_t* x, std::size_t T,
+                      const std::int32_t* bias, const std::int32_t* shift,
+                      bool relu, std::int8_t* y) {
+  const std::size_t pad = kernel / 2;
+  const std::size_t row_stride = in_ch * kernel;
+  for (std::size_t ti = 0; ti < T; ++ti) {
+    // Valid tap window, as in conv1d_i8_simd: survivors form one contiguous
+    // span of both x and each (biased) weight row.
+    const std::size_t k_lo = pad > ti ? pad - ti : 0;
+    const std::size_t k_hi = ti + (kernel - pad) <= T ? kernel : T + pad - ti;
+    const std::size_t span = (k_hi - k_lo) * in_ch;
+    const std::int8_t* xs = x + (ti + k_lo - pad) * in_ch;
+    const std::uint8_t* ws = biased + k_lo * in_ch;
+    gemv_sub8_simd(ws, out_ch, row_stride, span, weight_bias, xs, bias, shift,
+                   relu, y + ti * out_ch);
+  }
 }
 
 std::size_t gemm_batch_lanes() {

@@ -4,7 +4,37 @@
 #include <cmath>
 #include <cstring>
 
+#include "nn/serialize.hpp"  // pack_ternary / pack_int4 bit-packing helpers
+
 namespace fenix::nn {
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kFp32: return "fp32";
+    case Precision::kInt8: return "int8";
+    case Precision::kInt4: return "int4";
+    case Precision::kTernary: return "ternary";
+  }
+  return "unknown";
+}
+
+bool parse_precision(const std::string& s, Precision& out) {
+  if (s == "fp32") { out = Precision::kFp32; return true; }
+  if (s == "int8") { out = Precision::kInt8; return true; }
+  if (s == "int4") { out = Precision::kInt4; return true; }
+  if (s == "ternary") { out = Precision::kTernary; return true; }
+  return false;
+}
+
+int weight_bits(Precision p) {
+  switch (p) {
+    case Precision::kFp32: return 32;
+    case Precision::kInt8: return 8;
+    case Precision::kInt4: return 4;
+    case Precision::kTernary: return 2;
+  }
+  return 0;
+}
 
 int choose_exponent(const float* values, std::size_t n) {
   float max_abs = 0.0f;
@@ -31,6 +61,274 @@ QMatrix QMatrix::from(const Matrix& m) {
   q.data.resize(m.size());
   quantize_to_i8(m.data(), m.size(), q.exponent, q.data.data());
   return q;
+}
+
+// ------------------------------------------------- Sub-INT8 packed weights
+
+namespace {
+
+std::size_t packed_row_bytes(Precision p, std::size_t cols) {
+  return p == Precision::kTernary ? packed_size_ternary(cols)
+                                  : packed_size_int4(cols);
+}
+
+int sub8_weight_bias(Precision p) {
+  return p == Precision::kTernary ? 1 : 8;
+}
+
+/// Per-row bias/shift at the row's accumulator exponent row_e[r] + in_e.
+void sub8_bias_shift(const QPackedMatrix& w, const std::vector<float>& fbias,
+                     int in_e, int out_e, std::vector<std::int32_t>& bias,
+                     std::vector<std::int32_t>& shift) {
+  bias.resize(w.rows);
+  shift.resize(w.rows);
+  for (std::size_t r = 0; r < w.rows; ++r) {
+    const int acc_e = w.row_exponent[r] + in_e;
+    bias[r] = static_cast<std::int32_t>(
+        std::llround(static_cast<double>(fbias[r]) * std::ldexp(1.0, -acc_e)));
+    shift[r] = out_e - acc_e;
+  }
+}
+
+}  // namespace
+
+QPackedMatrix QPackedMatrix::from(const Matrix& m, Precision p) {
+  if (p != Precision::kInt4 && p != Precision::kTernary) {
+    throw QuantizeError(std::string("QPackedMatrix::from: precision ") +
+                        precision_name(p) + " is not a packed sub-INT8 format");
+  }
+  QPackedMatrix q;
+  q.precision = p;
+  q.rows = m.rows();
+  q.cols = m.cols();
+  q.row_bytes = packed_row_bytes(p, q.cols);
+  q.packed.resize(q.rows * q.row_bytes);
+  q.row_exponent.resize(q.rows);
+  std::vector<std::int8_t> qrow(q.cols);
+  for (std::size_t r = 0; r < q.rows; ++r) {
+    const float* wr = m.data() + r * q.cols;
+    int e = -7;  // All-zero rows stay at the finest exponent, weights 0.
+    std::fill(qrow.begin(), qrow.end(), 0);
+    if (p == Precision::kTernary) {
+      // BitNet-b1.58 absmean: scale by the row's mean magnitude, round, clip.
+      double s = 0.0;
+      for (std::size_t c = 0; c < q.cols; ++c) s += std::fabs(wr[c]);
+      s /= static_cast<double>(q.cols);
+      if (s > 0.0) {
+        e = static_cast<int>(std::llround(std::log2(s)));
+        const double inv = std::ldexp(1.0, -e);
+        for (std::size_t c = 0; c < q.cols; ++c) {
+          const auto v = std::llround(static_cast<double>(wr[c]) * inv);
+          qrow[c] = static_cast<std::int8_t>(std::clamp<long long>(v, -1, 1));
+        }
+      }
+    } else {
+      // Absmax: the finest exponent whose 7-step grid covers the row.
+      float max_abs = 0.0f;
+      for (std::size_t c = 0; c < q.cols; ++c) {
+        max_abs = std::max(max_abs, std::fabs(wr[c]));
+      }
+      if (max_abs > 0.0f) {
+        e = -24;
+        while (7.0 * std::ldexp(1.0, e) < max_abs) ++e;
+        const double inv = std::ldexp(1.0, -e);
+        for (std::size_t c = 0; c < q.cols; ++c) {
+          const auto v = std::llround(static_cast<double>(wr[c]) * inv);
+          qrow[c] = static_cast<std::int8_t>(std::clamp<long long>(v, -7, 7));
+        }
+      }
+    }
+    q.row_exponent[r] = e;
+    const auto bytes = p == Precision::kTernary
+                           ? pack_ternary(qrow.data(), q.cols)
+                           : pack_int4(qrow.data(), q.cols);
+    std::memcpy(q.packed.data() + r * q.row_bytes, bytes.data(), q.row_bytes);
+  }
+  q.validate();
+  return q;
+}
+
+void QPackedMatrix::validate() const {
+  if (precision != Precision::kInt4 && precision != Precision::kTernary) {
+    throw QuantizeError(std::string("QPackedMatrix: precision ") +
+                        precision_name(precision) +
+                        " is not a packed sub-INT8 format");
+  }
+  const std::size_t want = packed_row_bytes(precision, cols);
+  if (row_bytes != want) {
+    throw QuantizeError("QPackedMatrix: row_bytes " + std::to_string(row_bytes) +
+                        " does not match the " + precision_name(precision) +
+                        " packed size " + std::to_string(want) + " of " +
+                        std::to_string(cols) + " columns");
+  }
+  if (packed.size() != rows * row_bytes) {
+    throw QuantizeError("QPackedMatrix: packed slab holds " +
+                        std::to_string(packed.size()) + " bytes, layout needs " +
+                        std::to_string(rows * row_bytes) + " (" +
+                        std::to_string(rows) + " rows x " +
+                        std::to_string(row_bytes) + " bytes)");
+  }
+  if (row_exponent.size() != rows) {
+    throw QuantizeError("QPackedMatrix: " + std::to_string(row_exponent.size()) +
+                        " row exponents for " + std::to_string(rows) + " rows");
+  }
+  if (precision == Precision::kTernary && cols > 65535) {
+    throw QuantizeError("QPackedMatrix: " + std::to_string(cols) +
+                        " columns exceeds the uint16 ternary index range");
+  }
+}
+
+std::vector<std::int8_t> QPackedMatrix::unpack() const {
+  validate();
+  std::vector<std::int8_t> plane(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::uint8_t* src = packed.data() + r * row_bytes;
+    std::int8_t* dst = plane.data() + r * cols;
+    if (precision == Precision::kTernary) {
+      unpack_ternary(src, cols, dst);
+    } else {
+      unpack_int4(src, cols, dst);
+    }
+  }
+  return plane;
+}
+
+PackedOperands PackedOperands::prepare(const QPackedMatrix& m) {
+  PackedOperands ops;
+  ops.plane = m.unpack();
+  const int B = sub8_weight_bias(m.precision);
+  ops.biased.resize(ops.plane.size());
+  for (std::size_t i = 0; i < ops.plane.size(); ++i) {
+    ops.biased[i] = static_cast<std::uint8_t>(static_cast<int>(ops.plane[i]) + B);
+  }
+  if (m.precision == Precision::kTernary) {
+    ops.seg.reserve(2 * m.rows + 1);
+    ops.seg.push_back(0);
+    for (std::size_t r = 0; r < m.rows; ++r) {
+      const std::int8_t* row = ops.plane.data() + r * m.cols;
+      for (std::size_t c = 0; c < m.cols; ++c) {
+        if (row[c] == 1) ops.idx.push_back(static_cast<std::uint16_t>(c));
+      }
+      ops.seg.push_back(static_cast<std::uint32_t>(ops.idx.size()));
+      for (std::size_t c = 0; c < m.cols; ++c) {
+        if (row[c] == -1) ops.idx.push_back(static_cast<std::uint16_t>(c));
+      }
+      ops.seg.push_back(static_cast<std::uint32_t>(ops.idx.size()));
+    }
+  }
+  return ops;
+}
+
+// -------------------------------------------------------------- QPackedDense
+
+QPackedDense QPackedDense::from(const Dense& d, Precision p, int in_exponent,
+                                int out_exponent) {
+  QPackedDense q;
+  q.w = QPackedMatrix::from(d.weights(), p);
+  q.ops = PackedOperands::prepare(q.w);
+  q.in_exponent = in_exponent;
+  q.out_exponent = out_exponent;
+  sub8_bias_shift(q.w, d.bias(), in_exponent, out_exponent, q.bias, q.shift);
+  return q;
+}
+
+void QPackedDense::forward(const std::int8_t* x, std::int8_t* y,
+                           bool relu) const {
+  if (w.precision == Precision::kTernary) {
+    kernels::gemv_ternary(ops.idx.data(), ops.seg.data(), w.rows, x,
+                          bias.data(), shift.data(), relu, y);
+  } else {
+    kernels::gemv_i4(ops.plane.data(), w.rows, w.cols, w.cols, x, bias.data(),
+                     shift.data(), relu, y);
+  }
+}
+
+void QPackedDense::forward_simd(const std::int8_t* x, std::int8_t* y,
+                                bool relu) const {
+  kernels::gemv_sub8_simd(ops.biased.data(), w.rows, w.cols, w.cols,
+                          sub8_weight_bias(w.precision), x, bias.data(),
+                          shift.data(), relu, y);
+}
+
+void QPackedDense::forward_reference(const std::int8_t* x, std::int8_t* y,
+                                     bool relu) const {
+  if (w.precision == Precision::kTernary) {
+    kernels::gemv_ternary_packed_ref(w.packed.data(), w.rows, w.row_bytes,
+                                     w.cols, x, bias.data(), shift.data(), relu,
+                                     y);
+  } else {
+    kernels::gemv_i4_packed_ref(w.packed.data(), w.rows, w.row_bytes, w.cols, x,
+                                bias.data(), shift.data(), relu, y);
+  }
+}
+
+// ------------------------------------------------------------- QPackedConv1D
+
+QPackedConv1D QPackedConv1D::from(const Conv1D& c, Precision p, int in_exponent,
+                                  int out_exponent) {
+  QPackedConv1D q;
+  q.in_ch = c.in_channels();
+  q.out_ch = c.out_channels();
+  q.kernel = c.kernel();
+  q.w = QPackedMatrix::from(c.weights(), p);
+  q.ops = PackedOperands::prepare(q.w);
+  q.in_exponent = in_exponent;
+  q.out_exponent = out_exponent;
+  sub8_bias_shift(q.w, c.bias(), in_exponent, out_exponent, q.bias, q.shift);
+  return q;
+}
+
+void QPackedConv1D::forward(const std::int8_t* x, std::size_t T, std::int8_t* y,
+                            bool relu) const {
+  if (w.precision == Precision::kTernary) {
+    kernels::conv1d_ternary(ops.idx.data(), ops.seg.data(), out_ch, in_ch,
+                            kernel, x, T, bias.data(), shift.data(), relu, y);
+  } else {
+    kernels::conv1d_i4(ops.plane.data(), out_ch, in_ch, kernel, x, T,
+                       bias.data(), shift.data(), relu, y);
+  }
+}
+
+void QPackedConv1D::forward_simd(const std::int8_t* x, std::size_t T,
+                                 std::int8_t* y, bool relu) const {
+  kernels::conv1d_sub8_simd(ops.biased.data(), out_ch, in_ch, kernel,
+                            sub8_weight_bias(w.precision), x, T, bias.data(),
+                            shift.data(), relu, y);
+}
+
+void QPackedConv1D::forward_reference(const std::int8_t* x, std::size_t T,
+                                      std::int8_t* y, bool relu) const {
+  // Per-tap bounds-checked loop reading the packed bytes directly, mirroring
+  // QConv1D::forward_reference.
+  const auto pad = static_cast<std::ptrdiff_t>(kernel / 2);
+  const bool ternary = w.precision == Precision::kTernary;
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t o = 0; o < out_ch; ++o) {
+      std::int64_t acc = bias[o];
+      const std::uint8_t* row = w.packed.data() + o * w.row_bytes;
+      for (std::size_t k = 0; k < kernel; ++k) {
+        const std::ptrdiff_t src =
+            static_cast<std::ptrdiff_t>(t) + static_cast<std::ptrdiff_t>(k) - pad;
+        if (src < 0 || src >= static_cast<std::ptrdiff_t>(T)) continue;
+        const std::int8_t* xs = x + static_cast<std::size_t>(src) * in_ch;
+        for (std::size_t c = 0; c < in_ch; ++c) {
+          const std::size_t j = k * in_ch + c;
+          int wv;
+          if (ternary) {
+            const unsigned code = (row[j / 4] >> (2 * (j % 4))) & 0x3u;
+            wv = code == 2 ? -1 : static_cast<int>(code);
+          } else {
+            const unsigned nib = (row[j / 2] >> (4 * (j % 2))) & 0xFu;
+            wv = nib >= 8 ? static_cast<int>(nib) - 16 : static_cast<int>(nib);
+          }
+          acc += wv * static_cast<std::int32_t>(xs[c]);
+        }
+      }
+      std::int64_t v = rounding_shift_right(acc, shift[o]);
+      if (relu && v < 0) v = 0;
+      y[t * out_ch + o] = saturate_i8(v);
+    }
+  }
 }
 
 // ------------------------------------------------------------------- QDense
@@ -197,7 +495,18 @@ int Calibrator::exponent(std::size_t point) const {
 
 QuantizedCnn::QuantizedCnn(const CnnClassifier& model,
                            const std::vector<SeqSample>& calibration)
-    : config_(model.config()) {
+    : QuantizedCnn(model, calibration, Precision::kInt8) {}
+
+QuantizedCnn::QuantizedCnn(const CnnClassifier& model,
+                           const std::vector<SeqSample>& calibration,
+                           Precision precision)
+    : precision_(precision), config_(model.config()) {
+  if (precision_ == Precision::kFp32) {
+    // Serve the float parent directly; nothing to quantize. The caller keeps
+    // `model` alive (see header).
+    float_model_ = &model;
+    return;
+  }
   const std::size_t T = config_.seq_len;
   const auto& convs = model.conv_layers();
   const auto& fcs = model.fc_layers();
@@ -255,10 +564,18 @@ QuantizedCnn::QuantizedCnn(const CnnClassifier& model,
   requant(len_embed_, model.len_embedding());
   requant(ipd_embed_, model.ipd_embedding());
 
+  // The activation exponent chain comes from the float calibration pass, so
+  // it is identical across precisions; only the weight format differs.
+  const bool sub8 =
+      precision_ == Precision::kInt4 || precision_ == Precision::kTernary;
   int in_e = embed_exponent_;
   for (std::size_t i = 0; i < convs.size(); ++i) {
     const int out_e = cal.exponent(1 + i);
-    convs_.push_back(QConv1D::from(*convs[i], in_e, out_e));
+    if (sub8) {
+      pconvs_.push_back(QPackedConv1D::from(*convs[i], precision_, in_e, out_e));
+    } else {
+      convs_.push_back(QConv1D::from(*convs[i], in_e, out_e));
+    }
     in_e = out_e;
   }
   pool_in_exponent_ = in_e;
@@ -268,9 +585,14 @@ QuantizedCnn::QuantizedCnn(const CnnClassifier& model,
   in_e = pool_out_exponent_;
   for (std::size_t i = 0; i < fcs.size(); ++i) {
     const int out_e = cal.exponent(2 + convs.size() + i);
-    fcs_.push_back(QDense::from(*fcs[i], in_e, out_e));
+    if (sub8) {
+      pfcs_.push_back(QPackedDense::from(*fcs[i], precision_, in_e, out_e));
+    } else {
+      fcs_.push_back(QDense::from(*fcs[i], in_e, out_e));
+    }
     in_e = out_e;
   }
+  if (sub8) return;  // The batch-lane GEMM path below is INT8-only.
 
   // Pre-widen every layer for the batch-lane GEMM; the batched path also
   // needs shift > 0 everywhere (it always is for calibrated layers — the
@@ -295,6 +617,8 @@ const std::vector<std::int32_t>& QuantizedCnn::logits_q(
 
 const std::vector<std::int32_t>& QuantizedCnn::logits_q_impl(
     const Token* tokens, Scratch& s, bool simd) const {
+  if (precision_ == Precision::kFp32) return logits_q_fp32(tokens, s);
+  if (precision_ != Precision::kInt8) return logits_q_sub8(tokens, s, simd);
   const std::size_t T = config_.seq_len;
   const std::size_t E = config_.embed_dim();
 
@@ -342,6 +666,72 @@ const std::vector<std::int32_t>& QuantizedCnn::logits_q_impl(
   const std::size_t out_dim = fcs_.empty() ? C : fcs_.back().w.rows;
   s.logits.resize(fcs_.empty() ? 0 : out_dim);
   for (std::size_t i = 0; i < s.logits.size(); ++i) s.logits[i] = cur[i];
+  return s.logits;
+}
+
+const std::vector<std::int32_t>& QuantizedCnn::logits_q_sub8(
+    const Token* tokens, Scratch& s, bool simd) const {
+  const std::size_t T = config_.seq_len;
+  const std::size_t E = config_.embed_dim();
+
+  std::size_t max_elems = T * E;
+  for (const QPackedConv1D& conv : pconvs_) {
+    max_elems = std::max(max_elems, T * conv.out_ch);
+  }
+  for (const QPackedDense& fc : pfcs_) max_elems = std::max(max_elems, fc.w.rows);
+  s.act_a.resize(max_elems);
+  s.act_b.resize(max_elems);
+
+  std::int8_t* cur = s.act_a.data();
+  std::int8_t* next = s.act_b.data();
+  for (std::size_t t = 0; t < T; ++t) {
+    std::memcpy(cur + t * E, len_embed_.row(tokens[t][0]), config_.len_embed_dim);
+    std::memcpy(cur + t * E + config_.len_embed_dim, ipd_embed_.row(tokens[t][1]),
+                config_.ipd_embed_dim);
+  }
+  for (const QPackedConv1D& conv : pconvs_) {
+    if (simd) {
+      conv.forward_simd(cur, T, next, /*relu=*/true);
+    } else {
+      conv.forward(cur, T, next, /*relu=*/true);
+    }
+    std::swap(cur, next);
+  }
+  const std::size_t C = pconvs_.empty() ? E : pconvs_.back().out_ch;
+  const int shift = 15 + (pool_out_exponent_ - pool_in_exponent_);
+  for (std::size_t c = 0; c < C; ++c) {
+    std::int64_t sum = 0;
+    for (std::size_t t = 0; t < T; ++t) sum += cur[t * C + c];
+    const std::int64_t scaled = sum * pool_multiplier_;
+    next[c] = saturate_i8(rounding_shift_right(scaled, shift));
+  }
+  std::swap(cur, next);
+  for (std::size_t i = 0; i < pfcs_.size(); ++i) {
+    if (simd) {
+      pfcs_[i].forward_simd(cur, next, /*relu=*/i + 1 < pfcs_.size());
+    } else {
+      pfcs_[i].forward(cur, next, /*relu=*/i + 1 < pfcs_.size());
+    }
+    std::swap(cur, next);
+  }
+  const std::size_t out_dim = pfcs_.empty() ? C : pfcs_.back().w.rows;
+  s.logits.resize(pfcs_.empty() ? 0 : out_dim);
+  for (std::size_t i = 0; i < s.logits.size(); ++i) s.logits[i] = cur[i];
+  return s.logits;
+}
+
+const std::vector<std::int32_t>& QuantizedCnn::logits_q_fp32(
+    const Token* tokens, Scratch& s) const {
+  // Float logits scaled to a fixed exponent of -16: argmax order is
+  // preserved and the values are deterministic (same float code path every
+  // call), so serial/pipelined bit-identity holds trivially.
+  const std::vector<Token> seq(tokens, tokens + config_.seq_len);
+  const std::vector<float> logits = float_model_->logits(seq);
+  s.logits.resize(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    s.logits[i] = static_cast<std::int32_t>(
+        std::llround(static_cast<double>(logits[i]) * 65536.0));
+  }
   return s.logits;
 }
 
@@ -492,6 +882,43 @@ std::vector<std::int32_t> QuantizedCnn::logits_q_reference(
     const std::vector<Token>& tokens) const {
   const std::size_t T = config_.seq_len;
   const std::size_t E = config_.embed_dim();
+  if (precision_ == Precision::kFp32) {
+    Scratch scratch;
+    return logits_q_fp32(tokens.data(), scratch);
+  }
+  if (precision_ != Precision::kInt8) {
+    // Packed-reading reference pipeline for the sub-INT8 tier.
+    std::vector<std::int8_t> cur(T * E);
+    for (std::size_t t = 0; t < T; ++t) {
+      std::memcpy(cur.data() + t * E, len_embed_.row(tokens[t][0]),
+                  config_.len_embed_dim);
+      std::memcpy(cur.data() + t * E + config_.len_embed_dim,
+                  ipd_embed_.row(tokens[t][1]), config_.ipd_embed_dim);
+    }
+    for (const QPackedConv1D& conv : pconvs_) {
+      std::vector<std::int8_t> next(T * conv.out_ch);
+      conv.forward_reference(cur.data(), T, next.data(), /*relu=*/true);
+      cur = std::move(next);
+    }
+    const std::size_t C = pconvs_.empty() ? E : pconvs_.back().out_ch;
+    std::vector<std::int8_t> pooled(C);
+    const int shift = 15 + (pool_out_exponent_ - pool_in_exponent_);
+    for (std::size_t c = 0; c < C; ++c) {
+      std::int64_t sum = 0;
+      for (std::size_t t = 0; t < T; ++t) sum += cur[t * C + c];
+      pooled[c] = saturate_i8(rounding_shift_right(sum * pool_multiplier_, shift));
+    }
+    std::vector<std::int8_t> x = std::move(pooled);
+    std::vector<std::int32_t> out;
+    for (std::size_t i = 0; i < pfcs_.size(); ++i) {
+      std::vector<std::int8_t> y(pfcs_[i].w.rows);
+      pfcs_[i].forward_reference(x.data(), y.data(),
+                                 /*relu=*/i + 1 < pfcs_.size());
+      if (i + 1 == pfcs_.size()) out.assign(y.begin(), y.end());
+      x = std::move(y);
+    }
+    return out;
+  }
   std::vector<std::int8_t> cur(T * E);
   for (std::size_t t = 0; t < T; ++t) {
     std::memcpy(cur.data() + t * E, len_embed_.row(tokens[t][0]),
@@ -532,8 +959,23 @@ std::uint64_t QuantizedCnn::macs_per_inference() const {
   for (const QConv1D& c : convs_) {
     macs += static_cast<std::uint64_t>(T) * c.out_ch * c.in_ch * c.kernel;
   }
+  for (const QPackedConv1D& c : pconvs_) {
+    macs += static_cast<std::uint64_t>(T) * c.out_ch * c.in_ch * c.kernel;
+  }
   for (const QDense& f : fcs_) {
     macs += static_cast<std::uint64_t>(f.w.rows) * f.w.cols;
+  }
+  for (const QPackedDense& f : pfcs_) {
+    macs += static_cast<std::uint64_t>(f.w.rows) * f.w.cols;
+  }
+  if (float_model_ != nullptr) {
+    for (const auto& c : float_model_->conv_layers()) {
+      macs += static_cast<std::uint64_t>(T) * c->out_channels() *
+              c->in_channels() * c->kernel();
+    }
+    for (const auto& f : float_model_->fc_layers()) {
+      macs += static_cast<std::uint64_t>(f->out_dim()) * f->in_dim();
+    }
   }
   return macs;
 }
@@ -542,7 +984,16 @@ std::uint64_t QuantizedCnn::macs_per_inference() const {
 
 QuantizedRnn::QuantizedRnn(const RnnClassifier& model,
                            const std::vector<SeqSample>& calibration)
-    : config_(model.config()) {
+    : QuantizedRnn(model, calibration, Precision::kInt8) {}
+
+QuantizedRnn::QuantizedRnn(const RnnClassifier& model,
+                           const std::vector<SeqSample>& calibration,
+                           Precision precision)
+    : precision_(precision), config_(model.config()) {
+  if (precision_ == Precision::kFp32) {
+    float_model_ = &model;
+    return;
+  }
   const std::size_t T = config_.seq_len;
   const auto& fcs = model.fc_layers();
 
@@ -582,27 +1033,57 @@ QuantizedRnn::QuantizedRnn(const RnnClassifier& model,
   requant(len_embed_, model.len_embedding());
   requant(ipd_embed_, model.ipd_embedding());
 
-  wx_ = QMatrix::from(model.cell().wx());
-  wh_ = QMatrix::from(model.cell().wh());
   hidden_exponent_ = -7;  // tanh output in (-1, 1)
-  const int acc_e = wx_.exponent + embed_exponent_;
+  const bool sub8 =
+      precision_ == Precision::kInt4 || precision_ == Precision::kTernary;
+  int acc_e;
+  if (sub8) {
+    wx_p_ = QPackedMatrix::from(model.cell().wx(), precision_);
+    wh_p_ = QPackedMatrix::from(model.cell().wh(), precision_);
+    wx_ops_ = PackedOperands::prepare(wx_p_);
+    wh_ops_ = PackedOperands::prepare(wh_p_);
+    // Per-output-row weight exponents: both recurrent accumulators are
+    // re-expressed at a common exponent acc_e (the coarsest Wx row's) before
+    // the shared tanh LUT. sub8_wx_shift_ is >= 0 by construction of acc_e;
+    // sub8_wh_shift_ may be negative (left shift, exact in int64).
+    const std::size_t U = config_.units;
+    acc_e = wx_p_.row_exponent[0] + embed_exponent_;
+    for (std::size_t u = 1; u < U; ++u) {
+      acc_e = std::max(acc_e, wx_p_.row_exponent[u] + embed_exponent_);
+    }
+    sub8_wx_shift_.resize(U);
+    sub8_wh_shift_.resize(U);
+    for (std::size_t u = 0; u < U; ++u) {
+      sub8_wx_shift_[u] = acc_e - (wx_p_.row_exponent[u] + embed_exponent_);
+      sub8_wh_shift_[u] = acc_e - (wh_p_.row_exponent[u] + hidden_exponent_);
+    }
+  } else {
+    wx_ = QMatrix::from(model.cell().wx());
+    wh_ = QMatrix::from(model.cell().wh());
+    acc_e = wx_.exponent + embed_exponent_;
+    // Align Wh*h accumulator (exponent wh.e + hidden_e) to acc_e.
+    wh_acc_shift_ = acc_e - (wh_.exponent + hidden_exponent_);
+  }
   const double inv_scale = std::ldexp(1.0, -acc_e);
   cell_bias_.resize(model.cell().bias().size());
   for (std::size_t i = 0; i < cell_bias_.size(); ++i) {
     cell_bias_[i] = static_cast<std::int32_t>(
         std::llround(static_cast<double>(model.cell().bias()[i]) * inv_scale));
   }
-  // Align Wh*h accumulator (exponent wh.e + hidden_e) to acc_e.
-  wh_acc_shift_ = acc_e - (wh_.exponent + hidden_exponent_);
   tanh_lut_ = QLutActivation([](double x) { return std::tanh(x); }, acc_e,
                              hidden_exponent_, 8.0);
 
   int in_e = hidden_exponent_;
   for (std::size_t i = 0; i < fcs.size(); ++i) {
     const int out_e = cal.exponent(1 + i);
-    fcs_.push_back(QDense::from(*fcs[i], in_e, out_e));
+    if (sub8) {
+      pfcs_.push_back(QPackedDense::from(*fcs[i], precision_, in_e, out_e));
+    } else {
+      fcs_.push_back(QDense::from(*fcs[i], in_e, out_e));
+    }
     in_e = out_e;
   }
+  if (sub8) return;  // The batch-lane GEMM path below is INT8-only.
 
   // Batch-lane GEMM operands (see QuantizedCnn): recurrent weight rows use
   // their logical widths (E for Wx, U for Wh) so padding never pairs a
@@ -725,6 +1206,11 @@ void QuantizedRnn::predict_batch(const Token* tokens, std::size_t count,
 
 std::int16_t QuantizedRnn::predict_impl(const Token* tokens, Scratch& s,
                                         bool simd) const {
+  if (precision_ == Precision::kFp32) {
+    const std::vector<Token> seq(tokens, tokens + config_.seq_len);
+    return float_model_->predict(seq);
+  }
+  if (precision_ != Precision::kInt8) return predict_sub8(tokens, s, simd);
   const std::size_t T = config_.seq_len;
   const std::size_t E = config_.embed_dim();
   const std::size_t U = config_.units;
@@ -782,6 +1268,73 @@ std::int16_t QuantizedRnn::predict_impl(const Token* tokens, Scratch& s,
   return best;
 }
 
+std::int16_t QuantizedRnn::predict_sub8(const Token* tokens, Scratch& s,
+                                        bool simd) const {
+  const std::size_t T = config_.seq_len;
+  const std::size_t E = config_.embed_dim();
+  const std::size_t U = config_.units;
+  std::size_t max_elems = std::max(E, U);
+  for (const QPackedDense& fc : pfcs_) max_elems = std::max(max_elems, fc.w.rows);
+  s.act_a.resize(max_elems);
+  s.act_b.resize(max_elems);
+  s.act_c.resize(U);
+  s.acc_a.resize(U);
+  s.acc_b.resize(U);
+
+  const bool ternary = precision_ == Precision::kTernary;
+  const int B = ternary ? 1 : 8;
+  std::int8_t* x = s.act_a.data();
+  std::int8_t* h = s.act_b.data();
+  std::int8_t* h_next = s.act_c.data();
+  std::memset(h, 0, U);
+  for (std::size_t t = 0; t < T; ++t) {
+    std::memcpy(x, len_embed_.row(tokens[t][0]), config_.len_embed_dim);
+    std::memcpy(x + config_.len_embed_dim, ipd_embed_.row(tokens[t][1]),
+                config_.ipd_embed_dim);
+    if (simd) {
+      kernels::gemv_acc_sub8_simd(wx_ops_.biased.data(), U, E, E, B, x,
+                                  s.acc_a.data());
+      kernels::gemv_acc_sub8_simd(wh_ops_.biased.data(), U, U, U, B, h,
+                                  s.acc_b.data());
+    } else if (ternary) {
+      kernels::gemv_acc_ternary(wx_ops_.idx.data(), wx_ops_.seg.data(), U, x,
+                                s.acc_a.data());
+      kernels::gemv_acc_ternary(wh_ops_.idx.data(), wh_ops_.seg.data(), U, h,
+                                s.acc_b.data());
+    } else {
+      kernels::gemv_acc_i4(wx_ops_.plane.data(), U, E, E, x, s.acc_a.data());
+      kernels::gemv_acc_i4(wh_ops_.plane.data(), U, U, U, h, s.acc_b.data());
+    }
+    for (std::size_t u = 0; u < U; ++u) {
+      std::int64_t acc = static_cast<std::int64_t>(cell_bias_[u]) +
+                         rounding_shift_right(s.acc_a[u], sub8_wx_shift_[u]);
+      acc += rounding_shift_right(s.acc_b[u], sub8_wh_shift_[u]);
+      h_next[u] = tanh_lut_.apply(acc);
+    }
+    std::swap(h, h_next);
+  }
+  if (h != s.act_b.data()) std::memcpy(s.act_b.data(), h, U);
+  std::int8_t* cur = s.act_b.data();
+  std::int8_t* next = s.act_a.data();
+  std::size_t dim = U;
+  for (std::size_t i = 0; i < pfcs_.size(); ++i) {
+    if (simd) {
+      pfcs_[i].forward_simd(cur, next, /*relu=*/i + 1 < pfcs_.size());
+    } else {
+      pfcs_[i].forward(cur, next, /*relu=*/i + 1 < pfcs_.size());
+    }
+    dim = pfcs_[i].w.rows;
+    std::swap(cur, next);
+  }
+  std::int16_t best = 0;
+  for (std::size_t i = 1; i < dim; ++i) {
+    if (cur[i] > cur[static_cast<std::size_t>(best)]) {
+      best = static_cast<std::int16_t>(i);
+    }
+  }
+  return best;
+}
+
 std::int16_t QuantizedRnn::predict(const std::vector<Token>& tokens) const {
   Scratch scratch;
   return predict(tokens, scratch);
@@ -791,6 +1344,48 @@ std::int16_t QuantizedRnn::predict_reference(const std::vector<Token>& tokens) c
   const std::size_t T = config_.seq_len;
   const std::size_t E = config_.embed_dim();
   const std::size_t U = config_.units;
+  if (precision_ == Precision::kFp32) return float_model_->predict(tokens);
+  if (precision_ != Precision::kInt8) {
+    // Packed-reading reference recurrence for the sub-INT8 tier.
+    const bool ternary = precision_ == Precision::kTernary;
+    std::vector<std::int8_t> h(U, 0);
+    std::vector<std::int8_t> x(E);
+    for (std::size_t t = 0; t < T; ++t) {
+      std::memcpy(x.data(), len_embed_.row(tokens[t][0]), config_.len_embed_dim);
+      std::memcpy(x.data() + config_.len_embed_dim,
+                  ipd_embed_.row(tokens[t][1]), config_.ipd_embed_dim);
+      std::vector<std::int8_t> h_next(U);
+      for (std::size_t u = 0; u < U; ++u) {
+        const std::uint8_t* wxr = wx_p_.packed.data() + u * wx_p_.row_bytes;
+        const std::uint8_t* whr = wh_p_.packed.data() + u * wh_p_.row_bytes;
+        const std::int32_t acc_x =
+            ternary ? kernels::dot_ternary_packed(wxr, x.data(), E)
+                    : kernels::dot_i4_packed(wxr, x.data(), E);
+        const std::int32_t acc_h =
+            ternary ? kernels::dot_ternary_packed(whr, h.data(), U)
+                    : kernels::dot_i4_packed(whr, h.data(), U);
+        std::int64_t acc = static_cast<std::int64_t>(cell_bias_[u]) +
+                           rounding_shift_right(acc_x, sub8_wx_shift_[u]);
+        acc += rounding_shift_right(acc_h, sub8_wh_shift_[u]);
+        h_next[u] = tanh_lut_.apply(acc);
+      }
+      h = std::move(h_next);
+    }
+    std::vector<std::int8_t> v = std::move(h);
+    for (std::size_t i = 0; i < pfcs_.size(); ++i) {
+      std::vector<std::int8_t> y(pfcs_[i].w.rows);
+      pfcs_[i].forward_reference(v.data(), y.data(),
+                                 /*relu=*/i + 1 < pfcs_.size());
+      v = std::move(y);
+    }
+    std::int16_t best = 0;
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      if (v[i] > v[static_cast<std::size_t>(best)]) {
+        best = static_cast<std::int16_t>(i);
+      }
+    }
+    return best;
+  }
   std::vector<std::int8_t> h(U, 0);
   std::vector<std::int8_t> x(E);
   for (std::size_t t = 0; t < T; ++t) {

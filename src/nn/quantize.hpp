@@ -13,12 +13,34 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "nn/kernels.hpp"  // saturate_i8, rounding_shift_right, blocked kernels
 #include "nn/models.hpp"
 
 namespace fenix::nn {
+
+/// Inference precision tier. INT8 is the paper's deployment format; INT4 and
+/// ternary are the multiply-free sub-INT8 tiers (per-output-row exponents,
+/// packed weights); FP32 is the float parent served unquantized as the
+/// accuracy ceiling.
+enum class Precision { kFp32, kInt8, kInt4, kTernary };
+
+const char* precision_name(Precision p);
+/// Parses "fp32" / "int8" / "int4" / "ternary"; returns false on anything else.
+bool parse_precision(const std::string& s, Precision& out);
+/// Bits per stored weight: 32 / 8 / 4 / 2.
+int weight_bits(Precision p);
+
+/// Typed rejection for weight tensors whose dimensions or contents don't
+/// match the declared packing layout (the quantizer throws this instead of
+/// asserting, so callers can surface a clean error for bad models).
+class QuantizeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Chooses the smallest power-of-two exponent e such that
 /// max|values| <= 127 * 2^e (i.e. the finest precision without saturation).
@@ -82,6 +104,90 @@ struct QConv1D {
                     bool relu) const;
 
   static QConv1D from(const Conv1D& c, int in_exponent, int out_exponent);
+};
+
+// ------------------------------------------------- Sub-INT8 packed weights
+
+/// A sub-INT8 weight matrix: bit-packed rows (2-bit ternary codes or INT4
+/// nibbles, see nn/serialize pack helpers) with a per-output-row power-of-two
+/// exponent. Row r represents values q * 2^row_exponent[r].
+///
+/// Scaling rules:
+///  * Ternary (BitNet-b1.58 style absmean): e_r = round(log2 mean|w_r|), then
+///    round(w / 2^e_r) clipped to {-1, 0, +1}. An all-zero row gets e_r = -7.
+///  * INT4 (absmax): the smallest e_r with 7 * 2^e_r >= max|w_r|, then
+///    round(w / 2^e_r) clipped to [-7, 7]. An all-zero row gets e_r = -7.
+struct QPackedMatrix {
+  Precision precision = Precision::kTernary;
+  std::size_t rows = 0, cols = 0;
+  std::size_t row_bytes = 0;  ///< Packed bytes per row.
+  std::vector<std::uint8_t> packed;        ///< rows * row_bytes.
+  std::vector<std::int32_t> row_exponent;  ///< One exponent per output row.
+
+  static QPackedMatrix from(const Matrix& m, Precision p);
+
+  /// Throws QuantizeError unless precision is sub-INT8, row_bytes matches the
+  /// packed size of `cols` at that precision, the packed slab is exactly
+  /// rows * row_bytes, there is one exponent per row, and (ternary) cols fits
+  /// the uint16 sparse index form.
+  void validate() const;
+
+  /// Nibble-/code-unpacks to a rows x cols INT8 plane.
+  std::vector<std::int8_t> unpack() const;
+};
+
+/// Kernel operand forms derived deterministically from the packed bytes (the
+/// packed slab stays the source of truth; see kernels.hpp for the forms).
+struct PackedOperands {
+  std::vector<std::int8_t> plane;    ///< Unpacked INT8 weights, rows x cols.
+  std::vector<std::uint8_t> biased;  ///< plane + B as unsigned bytes (SIMD).
+  std::vector<std::uint16_t> idx;    ///< Ternary sparse column indices.
+  std::vector<std::uint32_t> seg;    ///< Ternary run bounds, 2*rows+1.
+
+  static PackedOperands prepare(const QPackedMatrix& m);
+};
+
+/// A sub-INT8 dense layer: packed weights, per-row INT32 bias at exponent
+/// row_exponent[r] + in_exponent, per-row requantization shifts.
+struct QPackedDense {
+  QPackedMatrix w;
+  PackedOperands ops;
+  std::vector<std::int32_t> bias;
+  std::vector<std::int32_t> shift;  ///< out_e - (row_e[r] + in_e) per row.
+  int in_exponent = 0;
+  int out_exponent = 0;
+
+  /// Multiply-free scalar path (sparse ternary / shift-add INT4 kernels).
+  void forward(const std::int8_t* x, std::int8_t* y, bool relu) const;
+  /// Packed-reading sequential reference (bit-exactness anchor).
+  void forward_reference(const std::int8_t* x, std::int8_t* y, bool relu) const;
+  /// Vectorized biased-plane path (kernels::gemv_sub8_simd), bit-identical.
+  void forward_simd(const std::int8_t* x, std::int8_t* y, bool relu) const;
+
+  static QPackedDense from(const Dense& d, Precision p, int in_exponent,
+                           int out_exponent);
+};
+
+/// A sub-INT8 1-D convolution ('same' padding, stride 1); weight rows are
+/// out_ch x (in_ch*kernel) like QConv1D.
+struct QPackedConv1D {
+  std::size_t in_ch = 0, out_ch = 0, kernel = 0;
+  QPackedMatrix w;
+  PackedOperands ops;
+  std::vector<std::int32_t> bias;
+  std::vector<std::int32_t> shift;
+  int in_exponent = 0;
+  int out_exponent = 0;
+
+  void forward(const std::int8_t* x, std::size_t T, std::int8_t* y,
+               bool relu) const;
+  void forward_reference(const std::int8_t* x, std::size_t T, std::int8_t* y,
+                         bool relu) const;
+  void forward_simd(const std::int8_t* x, std::size_t T, std::int8_t* y,
+                    bool relu) const;
+
+  static QPackedConv1D from(const Conv1D& c, Precision p, int in_exponent,
+                            int out_exponent);
 };
 
 /// Integer lookup-table activation: maps an INT32 accumulator (at exponent
@@ -158,6 +264,16 @@ class QuantizedCnn {
   /// Quantizes `model` using activation ranges observed on `calibration`.
   QuantizedCnn(const CnnClassifier& model, const std::vector<SeqSample>& calibration);
 
+  /// Precision-selecting constructor. kInt8 matches the two-argument form;
+  /// kInt4/kTernary build the packed sub-INT8 layers (same calibration-derived
+  /// activation exponents, per-row weight exponents); kFp32 serves the float
+  /// parent directly — the caller must keep `model` alive for the lifetime of
+  /// this object in that case.
+  QuantizedCnn(const CnnClassifier& model, const std::vector<SeqSample>& calibration,
+               Precision precision);
+
+  Precision precision() const { return precision_; }
+
   /// Allocation-free hot path: runs the blocked kernels inside `scratch` and
   /// returns scratch.logits.
   const std::vector<std::int32_t>& logits_q(const std::vector<Token>& tokens,
@@ -187,6 +303,15 @@ class QuantizedCnn {
  private:
   const std::vector<std::int32_t>& logits_q_impl(const Token* tokens, Scratch& scratch,
                                                  bool simd) const;
+  const std::vector<std::int32_t>& logits_q_sub8(const Token* tokens, Scratch& scratch,
+                                                 bool simd) const;
+  const std::vector<std::int32_t>& logits_q_fp32(const Token* tokens,
+                                                 Scratch& scratch) const;
+
+  Precision precision_ = Precision::kInt8;
+  const CnnClassifier* float_model_ = nullptr;  ///< Set only for kFp32.
+  std::vector<QPackedConv1D> pconvs_;           ///< Sub-INT8 conv layers.
+  std::vector<QPackedDense> pfcs_;              ///< Sub-INT8 FC layers.
 
   CnnConfig config_;
   QEmbedding len_embed_, ipd_embed_;
@@ -209,6 +334,13 @@ class QuantizedRnn {
  public:
   QuantizedRnn(const RnnClassifier& model, const std::vector<SeqSample>& calibration);
 
+  /// Precision-selecting constructor; see QuantizedCnn. For kFp32 the caller
+  /// must keep `model` alive for the lifetime of this object.
+  QuantizedRnn(const RnnClassifier& model, const std::vector<SeqSample>& calibration,
+               Precision precision);
+
+  Precision precision() const { return precision_; }
+
   /// Allocation-free hot path (blocked recurrent + FC kernels).
   std::int16_t predict(const std::vector<Token>& tokens, Scratch& scratch) const;
 
@@ -228,6 +360,19 @@ class QuantizedRnn {
 
  private:
   std::int16_t predict_impl(const Token* tokens, Scratch& scratch, bool simd) const;
+  std::int16_t predict_sub8(const Token* tokens, Scratch& scratch, bool simd) const;
+
+  Precision precision_ = Precision::kInt8;
+  const RnnClassifier* float_model_ = nullptr;  ///< Set only for kFp32.
+  // Sub-INT8 recurrence: packed Wx / Wh with per-row exponents. Both
+  // accumulators are aligned to a common exponent acc_e = max_u(wx row
+  // exponent) + embed exponent before the shared tanh LUT: per-row shifts
+  // sub8_wx_shift_ (always >= 0) and sub8_wh_shift_ (may be negative = left
+  // shift) re-express each row's raw dot product at acc_e.
+  QPackedMatrix wx_p_, wh_p_;
+  PackedOperands wx_ops_, wh_ops_;
+  std::vector<std::int32_t> sub8_wx_shift_, sub8_wh_shift_;
+  std::vector<QPackedDense> pfcs_;
 
   std::vector<std::int32_t> wx_pairs_, wh_pairs_;
   std::vector<std::vector<std::int32_t>> fc_wpairs_;

@@ -7,6 +7,66 @@
 #include "net/hash.hpp"
 
 namespace fenix::nn {
+
+std::vector<std::uint8_t> pack_ternary(const std::int8_t* w, std::size_t n) {
+  std::vector<std::uint8_t> out(packed_size_ternary(n), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t code;
+    switch (w[i]) {
+      case 0: code = 0; break;
+      case 1: code = 1; break;
+      case -1: code = 2; break;
+      default:
+        throw SerializeError("pack_ternary: weight at index " +
+                             std::to_string(i) + " is " +
+                             std::to_string(static_cast<int>(w[i])) +
+                             ", not in {-1,0,+1}");
+    }
+    out[i / 4] |= static_cast<std::uint8_t>(code << (2 * (i % 4)));
+  }
+  return out;
+}
+
+void unpack_ternary(const std::uint8_t* packed, std::size_t n,
+                    std::int8_t* w) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t code = (packed[i / 4] >> (2 * (i % 4))) & 0x3;
+    if (code == 3) {
+      throw SerializeError("unpack_ternary: invalid code 3 at index " +
+                           std::to_string(i));
+    }
+    w[i] = code == 2 ? -1 : static_cast<std::int8_t>(code);
+  }
+}
+
+std::vector<std::uint8_t> pack_int4(const std::int8_t* w, std::size_t n) {
+  std::vector<std::uint8_t> out(packed_size_int4(n), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (w[i] < -7 || w[i] > 7) {
+      throw SerializeError("pack_int4: weight at index " + std::to_string(i) +
+                           " is " + std::to_string(static_cast<int>(w[i])) +
+                           ", outside [-7, 7]");
+    }
+    const std::uint8_t nib = static_cast<std::uint8_t>(w[i]) & 0xF;
+    out[i / 2] |= static_cast<std::uint8_t>(nib << (4 * (i % 2)));
+  }
+  return out;
+}
+
+void unpack_int4(const std::uint8_t* packed, std::size_t n, std::int8_t* w) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t nib = (packed[i / 2] >> (4 * (i % 2))) & 0xF;
+    // Sign-extend the 4-bit two's-complement value.
+    const std::int8_t v = static_cast<std::int8_t>(
+        nib >= 8 ? static_cast<int>(nib) - 16 : static_cast<int>(nib));
+    if (v == -8) {
+      throw SerializeError("unpack_int4: value -8 at index " +
+                           std::to_string(i) + " outside quantizer range");
+    }
+    w[i] = v;
+  }
+}
+
 namespace {
 
 constexpr std::uint32_t kMagic = 0xFE417A11;

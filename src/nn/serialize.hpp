@@ -10,10 +10,13 @@
 // slabs in canonical order, CRC32 trailer.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "nn/models.hpp"
 
@@ -23,6 +26,27 @@ class SerializeError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+// ---- Sub-INT8 weight packing ----
+//
+// Ternary: 2-bit codes, 4 weights per byte, LSB-first. Code 0 = 0,
+// 1 = +1, 2 = -1; code 3 is invalid and rejected on unpack.
+// INT4: two's-complement nibbles, 2 weights per byte, low nibble first.
+// Values are clamped to [-7, 7] by the quantizer; -8 is rejected on pack
+// so every packed nibble has a negation in range.
+//
+// Both pack n elements into ceil(n / per_byte) bytes with zero padding in
+// the unused high codes of the final byte.
+
+std::vector<std::uint8_t> pack_ternary(const std::int8_t* w, std::size_t n);
+void unpack_ternary(const std::uint8_t* packed, std::size_t n, std::int8_t* w);
+
+std::vector<std::uint8_t> pack_int4(const std::int8_t* w, std::size_t n);
+void unpack_int4(const std::uint8_t* packed, std::size_t n, std::int8_t* w);
+
+// Packed byte counts for n elements.
+inline std::size_t packed_size_ternary(std::size_t n) { return (n + 3) / 4; }
+inline std::size_t packed_size_int4(std::size_t n) { return (n + 1) / 2; }
 
 void save_cnn(std::ostream& os, const CnnClassifier& model);
 std::unique_ptr<CnnClassifier> load_cnn(std::istream& is);

@@ -11,6 +11,9 @@
 //                                                 VerdictBackend harness
 //
 // Run options:
+//   --precision <tier>       serve the model at fp32 | int8 (default) |
+//                            int4 | ternary (sub-INT8 tiers run the packed
+//                            multiply-free kernels)
 //   --pcb-loss <rate>        frame loss rate on both PCB channels
 //   --fault-schedule <file>  arm a faults::FaultSchedule against the replay
 //   --fallback-tree          train + install the switch-local preliminary
@@ -64,6 +67,7 @@ int usage() {
          "  fenix_replay info  <trace>\n"
          "  fenix_replay train <vpn|tfc> <flows> <out.model> [cnn|rnn] [seed]\n"
          "  fenix_replay run   <trace> <model> [pcb_loss_rate]\n"
+         "                     [--precision <fp32|int8|int4|ternary>]\n"
          "                     [--pcb-loss <rate>] [--fault-schedule <file>]\n"
          "                     [--fallback-tree] [--pipes <N>] [--batch <N>]\n"
          "                     [--shadow-model <file>] [--promote-at <sec>]\n"
@@ -183,10 +187,18 @@ int cmd_run(int argc, char** argv) {
   bool fallback_tree = false;
   bool pipelined = false;
   std::string shadow_path;
+  nn::Precision precision = nn::Precision::kInt8;
   core::PipelineOptions pipeline_opts;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--pcb-loss") {
+    if (arg == "--precision") {
+      if (++i >= argc) return usage();
+      if (!nn::parse_precision(argv[i], precision)) {
+        std::cerr << "fenix_replay: unknown precision '" << argv[i]
+                  << "' (use fp32, int8, int4, or ternary)\n";
+        return 2;
+      }
+    } else if (arg == "--pcb-loss") {
       if (++i >= argc) return usage();
       config.pcb_loss_rate = std::atof(argv[i]);
     } else if (arg == "--fault-schedule") {
@@ -244,10 +256,13 @@ int cmd_run(int argc, char** argv) {
   } catch (const nn::SerializeError&) {
     rnn = nn::load_rnn(std::string(argv[1]));
   }
+  // The float parents outlive the quantized models: the fp32 tier serves
+  // them directly, and sub-INT8 quantization reads them once here.
   std::unique_ptr<nn::QuantizedCnn> qcnn;
   std::unique_ptr<nn::QuantizedRnn> qrnn;
-  if (cnn) qcnn = std::make_unique<nn::QuantizedCnn>(*cnn, calibration);
-  if (rnn) qrnn = std::make_unique<nn::QuantizedRnn>(*rnn, calibration);
+  if (cnn) qcnn = std::make_unique<nn::QuantizedCnn>(*cnn, calibration, precision);
+  if (rnn) qrnn = std::make_unique<nn::QuantizedRnn>(*rnn, calibration, precision);
+  std::cout << "model precision: " << nn::precision_name(precision) << "\n";
 
   // The shadow candidate quantizes against the same trace-derived
   // calibration as the active model; the quantized weights must outlive the
@@ -333,6 +348,7 @@ int cmd_run(int argc, char** argv) {
           : system.run(trace, classes, hooks);
 
   telemetry::TextTable table({"Metric", "Value"});
+  table.add_row({"precision", report.precision});
   table.add_row({"flow macro-F1",
                  telemetry::TextTable::num(report.flow_confusion.macro_f1())});
   table.add_row({"packet accuracy",
