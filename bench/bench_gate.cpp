@@ -1,12 +1,13 @@
-// Perf-regression gate over the checked-in replay-throughput record.
+// Perf-regression gate over the checked-in bench records.
 //
-// Compares BENCH_PR6.json (the committed output of bench_pipeline_throughput)
-// against bench/baselines.json and fails when a throughput metric regresses
-// more than the tolerance. Wired into ctest (label `bench_smoke`) and the
-// release-bench workflow, so a change that silently costs >30% of replay
-// packets/sec — or flattens the multi-pipe scaling curve, or breaks the
-// sharded replay's bit-identity contract — turns the build red instead of
-// landing unnoticed.
+// Compares a committed bench JSON (default BENCH_PR9.json, the output of
+// bench_scenarios; ctest also runs it over the PR 6/7/8 records) against its
+// baselines file and fails when a gated metric regresses beyond the
+// tolerance. Wired into ctest (label `bench_smoke`) and the release-bench
+// workflow, so a change that silently costs >30% of replay packets/sec — or
+// flattens the multi-pipe scaling curve, breaks the sharded replay's
+// bit-identity contract, or blows a scenario's p999 tail — turns the build
+// red instead of landing unnoticed.
 //
 // Gate policy, by metric name:
 //   *_packets_per_sec, *_speedup,  higher-is-better; current must be
@@ -21,6 +22,14 @@
 //                                  beats INT8" or per-precision accuracy
 //                                  floors, where 30% slack would be
 //                                  meaningless)
+//   *_p50_us, *_p99_us, *_p999_us  latency ceilings: lower-is-better; current
+//                                  must be <= baseline * (1 + tolerance).
+//                                  These are the SLO-grade tail gates over
+//                                  the scenario presets — a p999 blowup is a
+//                                  regression even when the mean is flat
+//   *_drop_unattributed            must be exactly 0: every dropped mirror in
+//                                  a scenario replay must carry a recorded
+//                                  reason (conservation audit, no slack)
 //   anything else                  informational (recorded, not gated)
 //
 // Usage: bench_gate [baselines.json] [current.json]
@@ -60,7 +69,7 @@ const fenix::bench::BenchMetric* find_metric(
 int main(int argc, char** argv) {
   using namespace fenix;
   const std::string baseline_path = argc > 1 ? argv[1] : "bench/baselines.json";
-  const std::string current_path = argc > 2 ? argv[2] : "BENCH_PR6.json";
+  const std::string current_path = argc > 2 ? argv[2] : "BENCH_PR9.json";
   double tolerance = 0.30;
   if (const char* env = std::getenv("FENIX_BENCH_GATE_TOLERANCE")) {
     double v = 0.0;
@@ -93,7 +102,12 @@ int main(int argc, char** argv) {
     const bool identity_metric = ends_with(base.key, "_bit_identical");
     const bool divergence_metric = ends_with(base.key, "_divergence");
     const bool floor_metric = ends_with(base.key, "_floor");
-    if (!rate_metric && !identity_metric && !divergence_metric && !floor_metric) {
+    const bool ceiling_metric = ends_with(base.key, "_p50_us") ||
+                                ends_with(base.key, "_p99_us") ||
+                                ends_with(base.key, "_p999_us");
+    const bool drop_metric = ends_with(base.key, "_drop_unattributed");
+    if (!rate_metric && !identity_metric && !divergence_metric &&
+        !floor_metric && !ceiling_metric && !drop_metric) {
       continue;
     }
     ++gated;
@@ -143,6 +157,13 @@ int main(int argc, char** argv) {
       } else if (divergence_metric) {
         status = value == 0.0 ? "ok" : "DIVERGED";
         if (value != 0.0) ++failures;
+      } else if (drop_metric) {
+        status = value == 0.0 ? "ok" : "UNATTRIBUTED";
+        if (value != 0.0) ++failures;
+      } else if (ceiling_metric) {
+        const double ceiling = expected * (1.0 + tolerance);
+        status = value <= ceiling ? "ok" : "TAIL BLOWN";
+        if (value > ceiling) ++failures;
       } else if (floor_metric) {
         status = value >= expected ? "ok" : "BELOW FLOOR";
         if (value < expected) ++failures;

@@ -161,7 +161,7 @@ sim::ChannelStats FenixSystem::channel_stats_from_fpga() const {
 // boundaries — fault hooks, the cross-lane watchdog fold, token-budget
 // rebalancing, the control-plane window tick — fire on the quantized trace
 // timestamps run_pipelined() reconstructs identically.
-RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes,
+RunReport FenixSystem::run(net::PacketSource& source, std::size_t num_classes,
                            RunHooks* hooks, const std::vector<RunPhase>& phases) {
   ReplayCoreConfig core_config;
   core_config.recovery = config_.recovery;
@@ -174,54 +174,73 @@ RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes,
     // stage (identical admission timing and serving-model classes), and the
     // manager rides the ReplayCore's barrier schedule as its observer.
     lifecycle::LifecycleInferenceStage stage(model_engine_, config_.lifecycle);
-    ReplayCore core(trace, num_classes, phases, core_config, to_links(),
+    ReplayCore core(source, num_classes, phases, core_config, to_links(),
                     from_links(), data_engine_.watchdog(), stage, sink, hooks);
     lifecycle::LifecycleManager manager(config_.lifecycle, num_classes,
                                         model_engine_, stage, to_links(),
                                         from_links(), data_engine_.watchdog());
     core.set_lifecycle(&manager);
-    RunReport report = run_serial(core, trace);
+    RunReport report = run_serial(core, source);
     manager.finalize(report);
     return report;
   }
 
   EngineInferenceStage inference(model_engine_);
-  ReplayCore core(trace, num_classes, phases, core_config, to_links(),
+  ReplayCore core(source, num_classes, phases, core_config, to_links(),
                   from_links(), data_engine_.watchdog(), inference, sink, hooks);
-  return run_serial(core, trace);
+  return run_serial(core, source);
 }
 
-RunReport FenixSystem::run_serial(ReplayCore& core, const net::Trace& trace) {
+RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes,
+                           RunHooks* hooks, const std::vector<RunPhase>& phases) {
+  net::TraceSource source(trace);
+  return run(source, num_classes, hooks, phases);
+}
+
+RunReport FenixSystem::run_serial(ReplayCore& core, net::PacketSource& source) {
   const sim::SimDuration quantum =
       std::max<sim::SimDuration>(1, config_.reconcile_quantum);
   sim::SimTime last_epoch = 0;
+  sim::SimTime first_ts = 0;
+  sim::SimTime last_ts = 0;
   bool first = true;
-  for (const net::PacketRecord& packet : trace.packets) {
-    const sim::SimTime ts = packet.timestamp;
-    if (first || ts >= last_epoch + quantum) {
-      core.reconcile(ts);
-      data_engine_.epoch_reconcile(ts);
-      data_engine_.control_plane_tick(ts);
-      last_epoch = ts;
-      first = false;
+  std::vector<net::PacketRecord> chunk(4096);
+  for (;;) {
+    const std::size_t n = source.next_chunk(chunk);
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      const net::PacketRecord& packet = chunk[i];
+      const sim::SimTime ts = packet.timestamp;
+      if (first || ts >= last_epoch + quantum) {
+        core.reconcile(ts);
+        data_engine_.epoch_reconcile(ts);
+        data_engine_.control_plane_tick(ts);
+        last_epoch = ts;
+        if (first) first_ts = ts;
+        first = false;
+      }
+      last_ts = ts;
+      const std::size_t lane = data_engine_.lane_of(packet.tuple);
+      core.begin_packet(ts, lane);
+      DataEngineOutput out = data_engine_.on_packet(packet);
+      core.account_packet(ts, packet.label, out.forward_class,
+                          out.from_model_engine,
+                          out.from_model_engine
+                              ? static_cast<VerdictSymbol>(out.forward_class)
+                              : kNoVerdict,
+                          out.from_fallback_tree, lane);
+      if (out.mirrored) core.emit_mirror(*out.mirrored, ts, lane);
     }
-    const std::size_t lane = data_engine_.lane_of(packet.tuple);
-    core.begin_packet(ts, lane);
-    DataEngineOutput out = data_engine_.on_packet(packet);
-    core.account_packet(ts, packet.label, out.forward_class,
-                        out.from_model_engine,
-                        out.from_model_engine
-                            ? static_cast<VerdictSymbol>(out.forward_class)
-                            : kNoVerdict,
-                        out.from_fallback_tree, lane);
-    if (out.mirrored) core.emit_mirror(*out.mirrored, ts, lane);
   }
 
   // Final barrier at end of trace, then the tail drain (late verdicts still
-  // count; the watchdog folds and closes inside drain()).
-  core.reconcile(trace.duration());
-  data_engine_.epoch_reconcile(trace.duration());
-  core.drain(trace.duration());
+  // count; the watchdog folds and closes inside drain()). The measured span
+  // replaces the source's construction-time hint.
+  const sim::SimDuration duration = first ? 0 : last_ts - first_ts;
+  core.set_trace_duration(duration);
+  core.reconcile(duration);
+  data_engine_.epoch_reconcile(duration);
+  core.drain(duration);
   core.resolve();
   // Degraded-mode admission ran inside the Data Engine on this path.
   core.report().fallback_verdicts = data_engine_.fallback_verdicts();
@@ -244,6 +263,22 @@ telemetry::MetricRegistry FenixSystem::health_metrics(const RunReport& report) c
   reg.set_counter("results_stale", report.results_stale);
   reg.set_counter("fifo_drops", report.fifo_drops);
   reg.set_counter("channel_losses", report.channel_losses);
+  // SLO-grade verdict-latency tail (mirror emit -> verdict installed). p999
+  // is the number the open-loop scenario gates watch: overload shows up here
+  // and in the attributed drop counters, never as slower wall-clock.
+  reg.set_gauge("e2e_p50_us", report.end_to_end.p50_us());
+  reg.set_gauge("e2e_p99_us", report.end_to_end.p99_us());
+  reg.set_gauge("e2e_p999_us", report.end_to_end.p999_us());
+  // Drop attribution residual. Every mirror (plus every retransmit) must be
+  // accounted for by exactly one fate: lost on a channel, dropped at the
+  // engine FIFO, discarded stale after an epoch resync, or applied/stale at
+  // the sink. A nonzero residual means a drop path went untracked.
+  const std::uint64_t sent = report.mirrors + report.retransmits;
+  const std::uint64_t attributed = report.channel_losses + report.fifo_drops +
+                                   report.stale_epoch_drops +
+                                   report.results_applied + report.results_stale;
+  reg.set_counter("drop_unattributed",
+                  sent > attributed ? sent - attributed : attributed - sent);
   const sim::ChannelStats to_ch = channel_stats_to_fpga();
   const sim::ChannelStats from_ch = channel_stats_from_fpga();
   reg.set_counter("to_fpga_losses", to_ch.losses);

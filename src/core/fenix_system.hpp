@@ -33,6 +33,7 @@
 #include "core/model_engine.hpp"
 #include "core/replay_core.hpp"
 #include "lifecycle/config.hpp"
+#include "net/packet_source.hpp"
 #include "runtime/mpsc_queue.hpp"
 #include "sim/channel.hpp"
 #include "telemetry/latency.hpp"
@@ -118,10 +119,17 @@ class FenixSystem {
   FenixSystem(const FenixSystemConfig& config, const nn::QuantizedCnn* cnn,
               const nn::QuantizedRnn* rnn);
 
-  /// Replays `trace` through the full system. `hooks` (optional) observes
-  /// simulated time for fault injection (fired at epoch boundaries);
-  /// `phases` (optional, sorted, disjoint) requests per-phase forwarding
-  /// accuracy accounting.
+  /// Replays a packet stream through the full system, pulling chunks from
+  /// `source` as simulated time advances — the workload never materializes
+  /// beyond one chunk, so multi-GB open-loop scenarios replay in bounded
+  /// RSS. `hooks` (optional) observes simulated time for fault injection
+  /// (fired at epoch boundaries); `phases` (optional, sorted, disjoint)
+  /// requests per-phase forwarding accuracy accounting.
+  RunReport run(net::PacketSource& source, std::size_t num_classes,
+                RunHooks* hooks = nullptr, const std::vector<RunPhase>& phases = {});
+
+  /// Materialized-trace convenience wrapper: streams `trace` through a
+  /// net::TraceSource. Bit-identical to the streamed path by construction.
   RunReport run(const net::Trace& trace, std::size_t num_classes,
                 RunHooks* hooks = nullptr, const std::vector<RunPhase>& phases = {});
 
@@ -131,8 +139,16 @@ class FenixSystem {
   /// admission, the lane's link pair, and Model Engine lane submission all
   /// run pipe-locally — and the coordinator only reconciles the lanes at
   /// epoch barriers and merges at the end. DNN forward passes are batched
-  /// through a lock-free MPSC fan-in. Must be called on a freshly
-  /// constructed system, exactly like the benches call run().
+  /// through a lock-free MPSC fan-in. Packets stream epoch-by-epoch: the
+  /// coordinator buffers only one reconcile quantum's worth of packets at a
+  /// time. Must be called on a freshly constructed system, exactly like the
+  /// benches call run().
+  RunReport run_pipelined(net::PacketSource& source, std::size_t num_classes,
+                          RunHooks* hooks = nullptr,
+                          const std::vector<RunPhase>& phases = {},
+                          const PipelineOptions& opts = {});
+
+  /// Materialized-trace convenience wrapper for run_pipelined().
   RunReport run_pipelined(const net::Trace& trace, std::size_t num_classes,
                           RunHooks* hooks = nullptr,
                           const std::vector<RunPhase>& phases = {},
@@ -197,8 +213,9 @@ class FenixSystem {
   LaneLinks from_links();
 
   /// The serial packet loop of run(), shared by the plain and
-  /// lifecycle-enabled stage wirings.
-  RunReport run_serial(ReplayCore& core, const net::Trace& trace);
+  /// lifecycle-enabled stage wirings. Streams chunks out of `source` and
+  /// measures the trace span as it goes.
+  RunReport run_serial(ReplayCore& core, net::PacketSource& source);
 
   FenixSystemConfig config_;
   ModelEngine model_engine_;  ///< Built first: the Data Engine derives V from it.

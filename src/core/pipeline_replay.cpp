@@ -228,18 +228,9 @@ class LaneResultSink final : public ResultSink {
   unsigned index_bits_;
 };
 
-/// One epoch barrier of the precomputed reconciliation schedule (a pure
-/// function of the trace: the boundary fires before packet `first_packet`).
-struct EpochBoundary {
-  std::size_t first_packet = 0;
-  sim::SimTime at = 0;
-  bool tick = false;                 ///< Control-plane window tick fires here.
-  sim::SimDuration tick_elapsed = 0; ///< Meter window for the tick.
-};
-
 }  // namespace
 
-RunReport FenixSystem::run_pipelined(const net::Trace& trace,
+RunReport FenixSystem::run_pipelined(net::PacketSource& source,
                                      std::size_t num_classes, RunHooks* hooks,
                                      const std::vector<RunPhase>& phases,
                                      const PipelineOptions& opts) {
@@ -247,7 +238,7 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
   const std::uint32_t cap = de.tracker.ring_capacity;
   if (cap == 0 || cap > kMaxRing) {
     // Ring deeper than the inline mirror-window staging: serve serially.
-    return run(trace, num_classes, hooks, phases);
+    return run(source, num_classes, hooks, phases);
   }
   const std::size_t pipes =
       std::min<std::size_t>(kCoordinationLanes,
@@ -260,63 +251,13 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
   const sim::SimDuration quantum =
       std::max<sim::SimDuration>(1, config_.reconcile_quantum);
 
-  // ---- Phase A (serial, cheap): slots, window epochs, barrier schedule.
-  //
-  // The reconciliation schedule and the control-plane tick schedule are pure
-  // functions of the packet timestamps (the same predicates run() evaluates
-  // inline), so every barrier, every tick, and every packet's window epoch
-  // is known up front. Workers need the window epoch to emulate the window
-  // new-flow counter reset without a cross-lane clear.
-  const std::size_t n = trace.packets.size();
-  std::vector<std::uint32_t> slots(n);
-  std::vector<std::uint32_t> win_epoch(n);
-  std::vector<EpochBoundary> boundaries;
-  {
-    sim::SimTime last_epoch = 0;
-    sim::SimTime last_tick = 0;
-    std::uint32_t wepoch = 0;
-    bool first = true;
-    for (std::size_t i = 0; i < n; ++i) {
-      const sim::SimTime ts = trace.packets[i].timestamp;
-      if (first || ts >= last_epoch + quantum) {
-        EpochBoundary b;
-        b.first_packet = i;
-        b.at = ts;
-        if (!(ts < last_tick + de.window_tw)) {
-          b.tick = true;
-          b.tick_elapsed = last_tick == 0 ? de.window_tw : ts - last_tick;
-          last_tick = ts;
-          ++wepoch;
-        }
-        boundaries.push_back(b);
-        last_epoch = ts;
-        first = false;
-      }
-      win_epoch[i] = wepoch;
-      slots[i] = net::flow_index(trace.packets[i].tuple, index_bits);
-    }
-  }
-
-  // Per-pipe packet lists (trace order) + per-epoch offsets into them.
-  std::vector<std::vector<std::uint32_t>> pipe_packets(pipes);
-  std::vector<std::vector<std::size_t>> pipe_epoch_begin(pipes);
-  {
-    std::size_t next_boundary = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      while (next_boundary < boundaries.size() &&
-             boundaries[next_boundary].first_packet == i) {
-        for (std::size_t p = 0; p < pipes; ++p) {
-          pipe_epoch_begin[p].push_back(pipe_packets[p].size());
-        }
-        ++next_boundary;
-      }
-      pipe_packets[lane_of_slot(slots[i]) % pipes].push_back(
-          static_cast<std::uint32_t>(i));
-    }
-    for (std::size_t p = 0; p < pipes; ++p) {
-      pipe_epoch_begin[p].push_back(pipe_packets[p].size());
-    }
-  }
+  // The epoch schedule (reconcile barriers, control-plane ticks, window
+  // epochs) is a pure function of the packet timestamps — the same
+  // predicates run() evaluates inline — so it is evaluated incrementally as
+  // packets stream in: the coordinator buffers exactly one epoch's packets
+  // (partitioned per pipe), flushes the fleet at each boundary, and never
+  // holds more than a reconcile quantum's worth of the workload. That bound,
+  // not the trace length, is the pipelined replay's memory footprint.
 
   // ---- Lane replicas + replica reconcilers (seeded exactly as the Data
   // Engine's own, so every admission draw and every degraded decision is
@@ -382,7 +323,7 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
       lifecycle_on ? static_cast<InferenceStage&>(*lifecycle_stage)
                    : static_cast<InferenceStage&>(*fanin);
   LaneResultSink sink(watchdog, shards, index_bits);
-  ReplayCore core(trace, num_classes, phases, core_config, to_links(),
+  ReplayCore core(source, num_classes, phases, core_config, to_links(),
                   from_links(), watchdog, inference, sink, hooks);
   std::optional<lifecycle::LifecycleManager> manager;
   if (lifecycle_on) {
@@ -392,10 +333,11 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
   }
 
   // Full per-packet work for one packet, on its lane's state only. Runs on
-  // the lane's owner pipe worker (or inline on the coordinator).
-  const auto process_packet = [&](std::uint32_t i) {
-    const net::PacketRecord& packet = trace.packets[i];
-    const std::uint32_t slot = slots[i];
+  // the lane's owner pipe worker (or inline on the coordinator). `wepoch` is
+  // the packet's control-plane window epoch (constant across one reconcile
+  // epoch, so the coordinator passes the current value at flush time).
+  const auto process_packet = [&](const net::PacketRecord& packet,
+                                  std::uint32_t slot, std::uint32_t wepoch) {
     const std::size_t lane = lane_of_slot(slot);
     LaneShard& sh = *shards[lane];
     const std::size_t ls = slot / kCoordinationLanes;
@@ -420,7 +362,7 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
     // Window new-flow counter (Figure 4a): the serial engine clears the hash
     // registers at each control window; tagging each entry with its window
     // epoch is equivalent and needs no cross-lane reset.
-    const std::uint32_t tag = win_epoch[i] + 1;
+    const std::uint32_t tag = wepoch + 1;
     const std::uint32_t stored =
         sh.counter_epoch[ls] == tag ? sh.counter_hash[ls] : 0;
     const bool counted_new = stored != flow_hash;
@@ -519,11 +461,18 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
     ring[ring_slot] = feature;  // deparser-stage register write
   };
 
-  const auto run_pipe_epoch = [&](std::size_t pipe, std::size_t epoch) {
-    const auto& idxs = pipe_packets[pipe];
-    const std::size_t begin = pipe_epoch_begin[pipe][epoch];
-    const std::size_t end = pipe_epoch_begin[pipe][epoch + 1];
-    for (std::size_t k = begin; k < end; ++k) process_packet(idxs[k]);
+  // ---- Epoch staging: one reconcile quantum's packets, pipe-partitioned.
+  // The buffers are reused across epochs, so steady-state allocation is the
+  // peak epoch backlog — independent of workload length.
+  std::vector<net::PacketRecord> epoch_pkts;
+  std::vector<std::uint32_t> epoch_slots;
+  std::vector<std::vector<std::uint32_t>> pipe_idxs(pipes);
+  std::uint32_t cur_wepoch = 0;
+
+  const auto run_pipe = [&](std::size_t pipe) {
+    for (const std::uint32_t k : pipe_idxs[pipe]) {
+      process_packet(epoch_pkts[k], epoch_slots[k], cur_wepoch);
+    }
   };
 
   // Single-worker pools gain nothing from a thread handoff: the coordinator
@@ -532,75 +481,114 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
   const bool inline_exec = threads <= 1;
   std::vector<std::uint64_t> pipe_peaks(pipes, 0);
 
-  // ---- Epoch loop: barrier work, then the epoch's packet fleet.
-  for (std::size_t e = 0; e < boundaries.size(); ++e) {
-    const EpochBoundary& b = boundaries[e];
-
-    // Coordinator barrier work, in run()'s exact order: fault hooks + all-
-    // lane pump, watchdog fold (publishes degraded), token rebalance, then
-    // the control-plane window tick over the harvested window counters.
-    core.reconcile(b.at);
-    watchdog.reconcile();
-    bucket.reconcile(b.at);
-    for (auto& sh : shards) {
-      win_packets += sh->win_packets;
-      win_new_flows += sh->win_new_flows;
-      sh->win_packets = 0;
-      sh->win_new_flows = 0;
-    }
-    if (b.tick) {
-      const double n_smoothed = flow_meter.update(win_new_flows, sim::kSecond);
-      const double q_smoothed = packet_meter.update(win_packets, b.tick_elapsed);
-      TrafficStats stats;
-      stats.token_rate_v = token_rate_v;
-      stats.flow_count_n = std::max(1.0, n_smoothed);
-      stats.packet_rate_q = std::max(1.0, q_smoothed);
-      prob_table.rebuild(stats);
-      win_new_flows = 0;
-      win_packets = 0;
-    }
-
+  // Replays the buffered epoch over the pipe fleet, then clears the staging
+  // buffers. cur_wepoch is stable for the whole flush: the coordinator only
+  // advances it after the fleet (and its release barrier) has finished.
+  const auto flush_epoch = [&] {
     for (std::size_t p = 0; p < pipes; ++p) {
-      const std::size_t backlog =
-          pipe_epoch_begin[p][e + 1] - pipe_epoch_begin[p][e];
-      pipe_peaks[p] = std::max<std::uint64_t>(pipe_peaks[p], backlog);
+      pipe_peaks[p] = std::max<std::uint64_t>(pipe_peaks[p],
+                                              pipe_idxs[p].size());
     }
-
     if (inline_exec) {
-      for (std::size_t p = 0; p < pipes; ++p) run_pipe_epoch(p, e);
+      for (std::size_t p = 0; p < pipes; ++p) run_pipe(p);
       if (fanin) fanin->drain();
-      continue;
+    } else {
+      std::atomic<std::size_t> pending{0};
+      for (std::size_t p = 0; p < pipes; ++p) {
+        if (pipe_idxs[p].empty()) continue;
+        pending.fetch_add(1, std::memory_order_relaxed);
+        pool.submit([&run_pipe, &pending, p] {
+          // Decrement on scope exit so a throwing task still releases the
+          // barrier (the pool re-raises the exception at wait()).
+          struct Release {
+            std::atomic<std::size_t>& counter;
+            ~Release() { counter.fetch_sub(1, std::memory_order_release); }
+          } release{pending};
+          run_pipe(p);
+        });
+      }
+      // The coordinator is the fan-in consumer: drain while the fleet works
+      // so producers never wedge on a full ring.
+      while (pending.load(std::memory_order_acquire) != 0) {
+        if (fanin) fanin->drain();
+        std::this_thread::yield();
+      }
+      if (fanin) fanin->drain();
     }
+    epoch_pkts.clear();
+    epoch_slots.clear();
+    for (auto& idxs : pipe_idxs) idxs.clear();
+  };
 
-    std::atomic<std::size_t> pending{0};
-    for (std::size_t p = 0; p < pipes; ++p) {
-      if (pipe_epoch_begin[p][e + 1] == pipe_epoch_begin[p][e]) continue;
-      pending.fetch_add(1, std::memory_order_relaxed);
-      pool.submit([&run_pipe_epoch, &pending, p, e] {
-        // Decrement on scope exit so a throwing task still releases the
-        // barrier (the pool re-raises the exception at wait()).
-        struct Release {
-          std::atomic<std::size_t>& counter;
-          ~Release() { counter.fetch_sub(1, std::memory_order_release); }
-        } release{pending};
-        run_pipe_epoch(p, e);
-      });
+  // ---- Stream loop. At each boundary (run()'s exact schedule): flush the
+  // buffered epoch, then the coordinator barrier work in run()'s order —
+  // fault hooks + all-lane pump, watchdog fold (publishes degraded), token
+  // rebalance, then the control-plane window tick over the harvested window
+  // counters.
+  std::uint64_t epochs = 0;
+  sim::SimTime last_epoch = 0;
+  sim::SimTime last_tick = 0;
+  sim::SimTime first_ts = 0;
+  sim::SimTime last_ts = 0;
+  bool first = true;
+  std::vector<net::PacketRecord> chunk(4096);
+  for (;;) {
+    const std::size_t got = source.next_chunk(chunk);
+    if (got == 0) break;
+    for (std::size_t ci = 0; ci < got; ++ci) {
+      const net::PacketRecord& packet = chunk[ci];
+      const sim::SimTime ts = packet.timestamp;
+      if (first || ts >= last_epoch + quantum) {
+        flush_epoch();
+        ++epochs;
+        core.reconcile(ts);
+        watchdog.reconcile();
+        bucket.reconcile(ts);
+        for (auto& sh : shards) {
+          win_packets += sh->win_packets;
+          win_new_flows += sh->win_new_flows;
+          sh->win_packets = 0;
+          sh->win_new_flows = 0;
+        }
+        if (!(ts < last_tick + de.window_tw)) {
+          const sim::SimDuration tick_elapsed =
+              last_tick == 0 ? de.window_tw : ts - last_tick;
+          const double n_smoothed =
+              flow_meter.update(win_new_flows, sim::kSecond);
+          const double q_smoothed =
+              packet_meter.update(win_packets, tick_elapsed);
+          TrafficStats stats;
+          stats.token_rate_v = token_rate_v;
+          stats.flow_count_n = std::max(1.0, n_smoothed);
+          stats.packet_rate_q = std::max(1.0, q_smoothed);
+          prob_table.rebuild(stats);
+          win_new_flows = 0;
+          win_packets = 0;
+          last_tick = ts;
+          ++cur_wepoch;
+        }
+        last_epoch = ts;
+        if (first) first_ts = ts;
+        first = false;
+      }
+      last_ts = ts;
+      const std::uint32_t slot = net::flow_index(packet.tuple, index_bits);
+      pipe_idxs[lane_of_slot(slot) % pipes].push_back(
+          static_cast<std::uint32_t>(epoch_pkts.size()));
+      epoch_pkts.push_back(packet);
+      epoch_slots.push_back(slot);
     }
-    // The coordinator is the fan-in consumer: drain while the fleet works so
-    // producers never wedge on a full ring.
-    while (pending.load(std::memory_order_acquire) != 0) {
-      if (fanin) fanin->drain();
-      std::this_thread::yield();
-    }
-    if (fanin) fanin->drain();
   }
+  flush_epoch();  // last (possibly partial) epoch
 
   // Final barrier at end of trace (run()'s order), tail drain, then the
   // compute barrier before resolving symbols to classes.
-  core.reconcile(trace.duration());
+  const sim::SimDuration duration = first ? 0 : last_ts - first_ts;
+  core.set_trace_duration(duration);
+  core.reconcile(duration);
   watchdog.reconcile();
-  bucket.reconcile(trace.duration());
-  core.drain(trace.duration());
+  bucket.reconcile(duration);
+  core.drain(duration);
   if (fanin) fanin->drain();
   pool.wait();
   batcher.finish();
@@ -616,13 +604,21 @@ RunReport FenixSystem::run_pipelined(const net::Trace& trace,
 
   pipeline_telemetry_ = PipelineTelemetry{};
   pipeline_telemetry_.pipes = pipes;
-  pipeline_telemetry_.epochs = boundaries.size();
+  pipeline_telemetry_.epochs = epochs;
   pipeline_telemetry_.watchdog_reconciles = watchdog.reconciles();
   pipeline_telemetry_.bucket_reconciles = bucket.reconciles();
   pipeline_telemetry_.pipe_queue_peaks = std::move(pipe_peaks);
   pipeline_telemetry_.fanin =
       fanin ? fanin->fanin_stats() : runtime::MpscQueueStats{};
   return core.take_report();
+}
+
+RunReport FenixSystem::run_pipelined(const net::Trace& trace,
+                                     std::size_t num_classes, RunHooks* hooks,
+                                     const std::vector<RunPhase>& phases,
+                                     const PipelineOptions& opts) {
+  net::TraceSource source(trace);
+  return run_pipelined(source, num_classes, hooks, phases, opts);
 }
 
 }  // namespace fenix::core

@@ -6,6 +6,7 @@
 #include "core/data_engine.hpp"
 #include "core/model_engine.hpp"
 #include "core/model_pool.hpp"
+#include "net/packet_source.hpp"
 
 namespace fenix::core {
 
@@ -46,7 +47,7 @@ ReplayCore::LaneState::LaneState(net::ReliableLink* to, net::ReliableLink* from,
     : to_fpga(to), from_fpga(from), to_start(to->stats()),
       from_start(from->stats()), rtx_bucket(rtx_rate_hz, rtx_burst) {}
 
-ReplayCore::ReplayCore(const net::Trace& trace, std::size_t num_classes,
+ReplayCore::ReplayCore(const net::PacketSource& source, std::size_t num_classes,
                        const std::vector<RunPhase>& phases,
                        const ReplayCoreConfig& config, const LaneLinks& to_fpga,
                        const LaneLinks& from_fpga, LaneWatchdog& watchdog,
@@ -54,9 +55,11 @@ ReplayCore::ReplayCore(const net::Trace& trace, std::size_t num_classes,
                        RunHooks* hooks)
     : config_(config), watchdog_(watchdog), inference_(inference), sink_(sink),
       hooks_(hooks), report_(num_classes),
-      flow_labels_(trace.flows.size(), net::kUnlabeled),
-      flow_verdict_symbol_(trace.flows.size(), kNoVerdict) {
-  report_.trace_duration = trace.duration();
+      flow_labels_(source.flow_count(), net::kUnlabeled),
+      flow_verdict_symbol_(source.flow_count(), kNoVerdict) {
+  // A hint, not a measurement: streaming drivers overwrite it with the
+  // measured span via set_trace_duration() once the stream is exhausted.
+  report_.trace_duration = source.duration_hint();
   report_.phases.reserve(phases.size());
   for (const RunPhase& p : phases) {
     report_.phases.emplace_back(p.name, p.start, p.end, num_classes);
@@ -67,25 +70,30 @@ ReplayCore::ReplayCore(const net::Trace& trace, std::size_t num_classes,
   const double lane_rate = config.recovery.retransmit_rate_hz / n;
   const double lane_burst =
       std::max(1.0, config.recovery.retransmit_burst_tokens / n);
+  // Reserve capacity is invisible in the report (the reservoirs clamp to a
+  // fixed capacity), so capping the pre-size for huge streamed hints cannot
+  // break bit-identity — it only bounds up-front allocation.
+  const std::size_t hint = static_cast<std::size_t>(
+      std::min<std::uint64_t>(source.packet_hint(), 1ULL << 20));
   lanes_.reserve(kCoordinationLanes);
   for (std::size_t lane = 0; lane < kCoordinationLanes; ++lane) {
     lanes_.emplace_back(to_fpga[lane], from_fpga[lane], lane_rate, lane_burst);
     // Pre-size the lane reservoirs so the hot loop rarely grows a vector
     // (mirror-path recorders see at most one sample per lane packet).
-    const std::size_t expect = trace.packets.size() / kCoordinationLanes + 64;
+    const std::size_t expect = hint / kCoordinationLanes + 64;
     lanes_[lane].internal_tx.reserve(expect);
     lanes_[lane].queueing.reserve(expect);
     lanes_[lane].inference.reserve(expect);
     lanes_[lane].return_tx.reserve(expect);
     lanes_[lane].end_to_end.reserve(expect);
   }
-  report_.internal_tx.reserve(trace.packets.size());
-  report_.queueing.reserve(trace.packets.size());
-  report_.inference.reserve(trace.packets.size());
-  report_.return_tx.reserve(trace.packets.size());
-  report_.end_to_end.reserve(trace.packets.size());
-  for (const net::FlowRecord& f : trace.flows) {
-    if (f.flow_id < flow_labels_.size()) flow_labels_[f.flow_id] = f.label;
+  report_.internal_tx.reserve(hint);
+  report_.queueing.reserve(hint);
+  report_.inference.reserve(hint);
+  report_.return_tx.reserve(hint);
+  report_.end_to_end.reserve(hint);
+  for (std::uint32_t fid = 0; fid < flow_labels_.size(); ++fid) {
+    flow_labels_[fid] = source.flow_label(fid);
   }
 }
 

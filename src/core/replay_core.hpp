@@ -46,6 +46,10 @@
 #include "telemetry/latency.hpp"
 #include "telemetry/metrics.hpp"
 
+namespace fenix::net {
+class PacketSource;
+}
+
 namespace fenix::core {
 
 class ModelEngine;
@@ -309,7 +313,10 @@ using LaneLinks = std::array<net::ReliableLink*, kCoordinationLanes>;
 /// final RunReport.
 class ReplayCore {
  public:
-  ReplayCore(const net::Trace& trace, std::size_t num_classes,
+  /// Sizes per-flow verdict state from the source's flow metadata and its
+  /// packet/duration hints; the core never pulls packets itself — the driver
+  /// streams them in and feeds each one through the staged calls below.
+  ReplayCore(const net::PacketSource& source, std::size_t num_classes,
              const std::vector<RunPhase>& phases, const ReplayCoreConfig& config,
              const LaneLinks& to_fpga, const LaneLinks& from_fpga,
              LaneWatchdog& watchdog, InferenceStage& inference,
@@ -350,6 +357,13 @@ class ReplayCore {
   /// Attaches the model-lifecycle observer (nullptr = none). Set before the
   /// first packet; the observer outlives the core's last resolve().
   void set_lifecycle(LifecycleObserver* lifecycle) { lifecycle_ = lifecycle; }
+
+  /// Records the measured first-to-last-packet span. Streaming drivers call
+  /// this once the stream is exhausted (the construction-time value is only
+  /// the source's hint), before the tail reconcile/drain.
+  void set_trace_duration(sim::SimDuration duration) {
+    report_.trace_duration = duration;
+  }
 
   /// Driver-adjustable report (e.g. degraded-mode fallback_verdicts /
   /// mirrors_suppressed, which belong to the admission stage the driver owns).

@@ -31,31 +31,47 @@ std::int16_t majority_verdict(std::span<const std::int16_t> verdicts,
   return best;
 }
 
-telemetry::ConfusionMatrix evaluate_packet_level(
-    VerdictBackend& backend, const std::vector<trafficgen::FlowSample>& flows,
-    std::size_t num_classes) {
+telemetry::ConfusionMatrix evaluate_packet_level(VerdictBackend& backend,
+                                                 FlowProvider& flows,
+                                                 std::size_t num_classes) {
   telemetry::ConfusionMatrix cm(num_classes);
-  for (const trafficgen::FlowSample& flow : flows) {
-    for (const std::int16_t v : classify_flow_packets(backend, flow)) {
-      cm.add(flow.label, v);
+  flows.rewind();
+  while (const trafficgen::FlowSample* flow = flows.next_flow()) {
+    for (const std::int16_t v : classify_flow_packets(backend, *flow)) {
+      cm.add(flow->label, v);
     }
   }
   return cm;
 }
 
-telemetry::ConfusionMatrix evaluate_flow_level(
-    VerdictBackend& backend, const std::vector<trafficgen::FlowSample>& flows,
-    std::size_t num_classes) {
+telemetry::ConfusionMatrix evaluate_flow_level(VerdictBackend& backend,
+                                               FlowProvider& flows,
+                                               std::size_t num_classes) {
   telemetry::ConfusionMatrix cm(num_classes);
-  for (const trafficgen::FlowSample& flow : flows) {
-    const auto verdicts = classify_flow_packets(backend, flow);
+  flows.rewind();
+  while (const trafficgen::FlowSample* flow = flows.next_flow()) {
+    const auto verdicts = classify_flow_packets(backend, *flow);
     std::int16_t verdict = backend.flow_verdict();
     if (verdict == VerdictBackend::kMajorityVote) {
       verdict = majority_verdict(verdicts, num_classes);
     }
-    cm.add(flow.label, verdict);
+    cm.add(flow->label, verdict);
   }
   return cm;
+}
+
+telemetry::ConfusionMatrix evaluate_packet_level(
+    VerdictBackend& backend, const std::vector<trafficgen::FlowSample>& flows,
+    std::size_t num_classes) {
+  VectorFlowProvider provider(flows);
+  return evaluate_packet_level(backend, provider, num_classes);
+}
+
+telemetry::ConfusionMatrix evaluate_flow_level(
+    VerdictBackend& backend, const std::vector<trafficgen::FlowSample>& flows,
+    std::size_t num_classes) {
+  VectorFlowProvider provider(flows);
+  return evaluate_flow_level(backend, provider, num_classes);
 }
 
 }  // namespace fenix::core

@@ -61,20 +61,60 @@ class VerdictBackend {
 std::vector<std::int16_t> classify_flow_packets(VerdictBackend& backend,
                                                 const trafficgen::FlowSample& flow);
 
+/// Pull-based flow stream for the evaluation drivers — the flow-granular
+/// sibling of net::PacketSource. The drivers hold one flow at a time, so a
+/// provider backed by a generator (or a trace file) evaluates arbitrarily
+/// large flow populations without materializing the vector.
+class FlowProvider {
+ public:
+  virtual ~FlowProvider() = default;
+  /// The next flow, or nullptr when exhausted. The pointee stays valid only
+  /// until the next call.
+  virtual const trafficgen::FlowSample* next_flow() = 0;
+  /// Restarts the stream from the first flow.
+  virtual void rewind() = 0;
+};
+
+/// FlowProvider over an in-memory flow vector (the materialized path).
+class VectorFlowProvider final : public FlowProvider {
+ public:
+  explicit VectorFlowProvider(const std::vector<trafficgen::FlowSample>& flows)
+      : flows_(&flows) {}
+
+  const trafficgen::FlowSample* next_flow() override {
+    if (pos_ >= flows_->size()) return nullptr;
+    return &(*flows_)[pos_++];
+  }
+  void rewind() override { pos_ = 0; }
+
+ private:
+  const std::vector<trafficgen::FlowSample>* flows_;
+  std::size_t pos_ = 0;
+};
+
 /// Majority vote over per-packet verdicts (ties break to the lowest class;
 /// all-abstain votes -1). The flow-level metric for per-packet schemes.
 std::int16_t majority_verdict(std::span<const std::int16_t> verdicts,
                               std::size_t num_classes);
 
-/// Packet-level confusion over the test flows: every packet's verdict vs the
-/// flow's ground truth (the paper's P-* rows).
+/// Packet-level confusion over the streamed test flows: every packet's
+/// verdict vs the flow's ground truth (the paper's P-* rows). Rewinds the
+/// provider first, so repeated evaluations see the same population.
+telemetry::ConfusionMatrix evaluate_packet_level(VerdictBackend& backend,
+                                                 FlowProvider& flows,
+                                                 std::size_t num_classes);
+
+/// Flow-level confusion over the streamed test flows: one verdict per flow,
+/// either the backend's own flow_verdict() or the majority vote of its
+/// per-packet verdicts (the paper's F-* rows). Rewinds the provider first.
+telemetry::ConfusionMatrix evaluate_flow_level(VerdictBackend& backend,
+                                               FlowProvider& flows,
+                                               std::size_t num_classes);
+
+/// Convenience overloads over a materialized flow vector.
 telemetry::ConfusionMatrix evaluate_packet_level(
     VerdictBackend& backend, const std::vector<trafficgen::FlowSample>& flows,
     std::size_t num_classes);
-
-/// Flow-level confusion over the test flows: one verdict per flow, either
-/// the backend's own flow_verdict() or the majority vote of its per-packet
-/// verdicts (the paper's F-* rows).
 telemetry::ConfusionMatrix evaluate_flow_level(
     VerdictBackend& backend, const std::vector<trafficgen::FlowSample>& flows,
     std::size_t num_classes);

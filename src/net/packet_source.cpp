@@ -1,0 +1,61 @@
+#include "net/packet_source.hpp"
+
+#include <algorithm>
+
+namespace fenix::net {
+
+TraceSource::TraceSource(const Trace& trace)
+    : trace_(&trace), labels_(trace.flows.size(), kUnlabeled) {
+  for (const FlowRecord& f : trace.flows) {
+    if (f.flow_id < labels_.size()) labels_[f.flow_id] = f.label;
+  }
+}
+
+std::size_t TraceSource::next_chunk(std::span<PacketRecord> out) {
+  const std::size_t remaining = trace_->packets.size() - pos_;
+  const std::size_t n = std::min(out.size(), remaining);
+  std::copy_n(trace_->packets.begin() + static_cast<std::ptrdiff_t>(pos_), n,
+              out.begin());
+  pos_ += n;
+  return n;
+}
+
+Trace materialize(PacketSource& source) {
+  source.rewind();
+  Trace trace;
+  if (source.packet_hint() > 0) {
+    trace.packets.reserve(static_cast<std::size_t>(source.packet_hint()));
+  }
+  std::vector<PacketRecord> chunk(4096);
+  for (;;) {
+    const std::size_t n = source.next_chunk(chunk);
+    if (n == 0) break;
+    trace.packets.insert(trace.packets.end(), chunk.begin(),
+                         chunk.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+
+  const std::uint32_t flows = source.flow_count();
+  trace.flows.resize(flows);
+  for (std::uint32_t fid = 0; fid < flows; ++fid) {
+    FlowRecord& f = trace.flows[fid];
+    f.flow_id = fid;
+    f.label = source.flow_label(fid);
+  }
+  std::vector<bool> seen(flows, false);
+  for (const PacketRecord& p : trace.packets) {
+    if (p.flow_id >= flows) continue;
+    FlowRecord& f = trace.flows[p.flow_id];
+    if (!seen[p.flow_id]) {
+      seen[p.flow_id] = true;
+      f.tuple = p.tuple;
+      f.first_packet = p.timestamp;
+    }
+    f.last_packet = p.timestamp;
+    ++f.packet_count;
+    f.byte_count += p.wire_length;
+  }
+  source.rewind();
+  return trace;
+}
+
+}  // namespace fenix::net

@@ -1,0 +1,118 @@
+// Pull-based packet streaming: the seam between workload generators and the
+// replay drivers.
+//
+// Every replay driver (FenixSystem::run / run_pipelined, the baseline
+// harnesses, fenix_chaos, the scenario benches) consumes packets through this
+// interface in chunks, so a workload is never required to materialize as one
+// std::vector<PacketRecord> — million-flow open-loop scenarios stream in
+// memory bounded by the generator's live state, not the trace length.
+//
+// Source contract:
+//   * next_chunk() fills a caller-provided buffer with the next packets in
+//     nondecreasing timestamp order and returns how many it wrote; 0 means
+//     the stream is exhausted. A source may return fewer packets than the
+//     buffer holds without meaning exhaustion.
+//   * flow metadata (flow_count / flow_label) is available before the first
+//     packet is pulled — ReplayCore sizes its per-flow verdict arrays from
+//     it, so labels must be computable without consuming the stream.
+//   * rewind() restarts the stream from the beginning and reproduces the
+//     exact same packet sequence (sources are seeded and deterministic);
+//     replaying a source twice is bit-identical to replaying it once, twice.
+//   * packet_hint() / duration_hint() are sizing estimates (reserve() calls,
+//     fault-schedule spans). They carry no correctness weight: the replay
+//     drivers measure the real duration while streaming.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace fenix::net {
+
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+
+  /// Writes the next packets (timestamp order) into `out`; returns the count
+  /// written, 0 when exhausted.
+  virtual std::size_t next_chunk(std::span<PacketRecord> out) = 0;
+
+  /// Restarts the stream; the same packet sequence replays bit-identically.
+  virtual void rewind() = 0;
+
+  /// Expected total packet count (reserve-only estimate; may be approximate).
+  virtual std::uint64_t packet_hint() const = 0;
+
+  /// Number of distinct flows; flow ids are dense in [0, flow_count()).
+  virtual std::uint32_t flow_count() const = 0;
+
+  /// Ground-truth label of a flow, available before streaming begins.
+  virtual ClassLabel flow_label(std::uint32_t flow_id) const = 0;
+
+  /// Expected first-to-last-packet span (estimate; 0 = unknown).
+  virtual sim::SimDuration duration_hint() const { return 0; }
+};
+
+/// A materialized trace viewed as a stream — the compatibility adapter every
+/// Trace-taking replay entry point goes through, which is what makes
+/// "streamed replay of a materialized trace" bit-identical to the historical
+/// vector path by construction.
+class TraceSource final : public PacketSource {
+ public:
+  explicit TraceSource(const Trace& trace);
+
+  std::size_t next_chunk(std::span<PacketRecord> out) override;
+  void rewind() override { pos_ = 0; }
+  std::uint64_t packet_hint() const override { return trace_->packets.size(); }
+  std::uint32_t flow_count() const override {
+    return static_cast<std::uint32_t>(labels_.size());
+  }
+  ClassLabel flow_label(std::uint32_t flow_id) const override {
+    return labels_[flow_id];
+  }
+  sim::SimDuration duration_hint() const override { return trace_->duration(); }
+
+ private:
+  const Trace* trace_;
+  std::vector<ClassLabel> labels_;  ///< flow_id -> label, kUnlabeled default.
+  std::size_t pos_ = 0;
+};
+
+/// Caps every next_chunk() of an inner source at `max_chunk` packets.
+/// Chunking must never be observable — the bit-identity tests replay the
+/// same seed at chunk sizes 1 / 7 / 4096 through this wrapper and demand
+/// identical RunReports.
+class ChunkLimiter final : public PacketSource {
+ public:
+  ChunkLimiter(PacketSource& inner, std::size_t max_chunk)
+      : inner_(&inner), max_chunk_(max_chunk == 0 ? 1 : max_chunk) {}
+
+  std::size_t next_chunk(std::span<PacketRecord> out) override {
+    const std::size_t n = out.size() < max_chunk_ ? out.size() : max_chunk_;
+    return inner_->next_chunk(out.first(n));
+  }
+  void rewind() override { inner_->rewind(); }
+  std::uint64_t packet_hint() const override { return inner_->packet_hint(); }
+  std::uint32_t flow_count() const override { return inner_->flow_count(); }
+  ClassLabel flow_label(std::uint32_t flow_id) const override {
+    return inner_->flow_label(flow_id);
+  }
+  sim::SimDuration duration_hint() const override {
+    return inner_->duration_hint();
+  }
+
+ private:
+  PacketSource* inner_;
+  std::size_t max_chunk_;
+};
+
+/// Drains a source into a Trace (rewinding it first): packets in stream
+/// order plus one FlowRecord per flow id with the source's label and
+/// aggregates recomputed from the packets. Replaying the materialized trace
+/// is bit-identical to replaying the source — the test harnesses rely on it.
+/// Only for workloads known to fit in RAM; production-scale scenarios stream.
+Trace materialize(PacketSource& source);
+
+}  // namespace fenix::net

@@ -1,5 +1,6 @@
 #include "net/trace_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -56,6 +57,39 @@ FiveTuple get_tuple(Reader& r) {
   t.dst_port = r.get<std::uint16_t>();
   t.proto = r.get<std::uint8_t>();
   return t;
+}
+
+// v1 record and section geometry. The payload is
+//   counts (16) | packets (n_packets * 37) | flows (n_flows * 47)
+// so every section offset is computable from the header alone — the
+// streaming reader seeks instead of buffering.
+constexpr std::uint64_t kHeaderBytes = 16;
+constexpr std::uint64_t kCountsBytes = 16;
+constexpr std::uint64_t kPacketBytes = 13 + 8 + 8 + 2 + 2 + 4;
+constexpr std::uint64_t kFlowBytes = 4 + 13 + 2 + 4 + 8 + 8 + 8;
+constexpr std::uint64_t kPacketSectionOffset = kHeaderBytes + kCountsBytes;
+
+PacketRecord get_packet(Reader& r) {
+  PacketRecord p;
+  p.tuple = get_tuple(r);
+  p.timestamp = r.get<std::uint64_t>();
+  p.orig_timestamp = r.get<std::uint64_t>();
+  p.wire_length = r.get<std::uint16_t>();
+  p.label = r.get<std::int16_t>();
+  p.flow_id = r.get<std::uint32_t>();
+  return p;
+}
+
+void read_exact(std::ifstream& is, std::uint8_t* dst, std::size_t n,
+                const char* what) {
+  is.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is.gcount()) != n) throw TraceIoError(what);
+}
+
+/// Folds `chunk` into a raw (pre-final-XOR) CRC register. crc32() applies the
+/// final XOR on every return, so chaining undoes it before the next call.
+std::uint32_t crc_fold(std::uint32_t reg, std::span<const std::uint8_t> chunk) {
+  return crc32(chunk, reg) ^ 0xffffffffu;
 }
 
 }  // namespace
@@ -150,6 +184,117 @@ Trace read_trace(std::istream& is) {
     trace.flows.push_back(f);
   }
   return trace;
+}
+
+StreamingTraceReader::StreamingTraceReader(const std::string& path)
+    : file_(std::make_unique<std::ifstream>(path, std::ios::binary)),
+      path_(path) {
+  if (!*file_) throw TraceIoError("cannot open for read: " + path);
+  std::uint8_t header_bytes[kHeaderBytes];
+  read_exact(*file_, header_bytes, sizeof(header_bytes), "header truncated");
+  Reader header{header_bytes, sizeof(header_bytes)};
+  if (header.get<std::uint32_t>() != kMagic) throw TraceIoError("bad magic");
+  if (header.get<std::uint32_t>() != kVersion) throw TraceIoError("bad version");
+  const auto payload_size = header.get<std::uint64_t>();
+
+  std::uint8_t counts[kCountsBytes];
+  read_exact(*file_, counts, sizeof(counts), "payload truncated");
+  Reader r{counts, sizeof(counts)};
+  n_packets_ = r.get<std::uint64_t>();
+  n_flows_ = r.get<std::uint64_t>();
+  if (payload_size !=
+      kCountsBytes + n_packets_ * kPacketBytes + n_flows_ * kFlowBytes) {
+    throw TraceIoError("section sizes disagree with payload size");
+  }
+  crc_after_counts_ = crc_fold(0xffffffffu, counts);
+  crc_reg_ = crc_after_counts_;
+
+  if (n_packets_ > 0) {
+    std::uint8_t ts_bytes[8];
+    file_->seekg(static_cast<std::streamoff>(kPacketSectionOffset + 13));
+    read_exact(*file_, ts_bytes, sizeof(ts_bytes), "payload truncated");
+    Reader first_ts{ts_bytes, sizeof(ts_bytes)};
+    const auto first = first_ts.get<std::uint64_t>();
+    file_->seekg(static_cast<std::streamoff>(
+        kPacketSectionOffset + (n_packets_ - 1) * kPacketBytes + 13));
+    read_exact(*file_, ts_bytes, sizeof(ts_bytes), "payload truncated");
+    Reader last_ts{ts_bytes, sizeof(ts_bytes)};
+    duration_ = last_ts.get<std::uint64_t>() - first;
+  }
+
+  // One pass over the flow section for labels; CRC over it is deferred to
+  // finish_crc() because the payload CRC must fold sections in order.
+  labels_.assign(n_flows_, kUnlabeled);
+  file_->seekg(static_cast<std::streamoff>(kPacketSectionOffset +
+                                           n_packets_ * kPacketBytes));
+  constexpr std::uint64_t kFlowsPerRead = 4096;
+  io_buf_.resize(kFlowsPerRead * kFlowBytes);
+  for (std::uint64_t done = 0; done < n_flows_;) {
+    const std::uint64_t n = std::min(kFlowsPerRead, n_flows_ - done);
+    read_exact(*file_, io_buf_.data(), n * kFlowBytes, "payload truncated");
+    Reader fr{io_buf_.data(), n * kFlowBytes};
+    for (std::uint64_t i = 0; i < n; ++i) {
+      FlowRecord f;
+      f.flow_id = fr.get<std::uint32_t>();
+      f.tuple = get_tuple(fr);
+      f.label = fr.get<std::int16_t>();
+      fr.pos += 4 + 8 + 8 + 8;  // packet_count, first, last, byte_count
+      if (f.flow_id < labels_.size()) labels_[f.flow_id] = f.label;
+    }
+    done += n;
+  }
+
+  file_->seekg(static_cast<std::streamoff>(kPacketSectionOffset));
+}
+
+StreamingTraceReader::~StreamingTraceReader() = default;
+
+std::size_t StreamingTraceReader::next_chunk(std::span<PacketRecord> out) {
+  if (next_packet_ == n_packets_ || out.empty()) {
+    if (next_packet_ == n_packets_ && !crc_checked_) finish_crc();
+    return 0;
+  }
+  const std::uint64_t n =
+      std::min<std::uint64_t>(out.size(), n_packets_ - next_packet_);
+  io_buf_.resize(std::max<std::size_t>(io_buf_.size(), n * kPacketBytes));
+  read_exact(*file_, io_buf_.data(), n * kPacketBytes, "payload truncated");
+  const std::span<const std::uint8_t> bytes(io_buf_.data(), n * kPacketBytes);
+  crc_reg_ = crc_fold(crc_reg_, bytes);
+  Reader r{bytes.data(), bytes.size()};
+  for (std::uint64_t i = 0; i < n; ++i) out[i] = get_packet(r);
+  next_packet_ += n;
+  if (next_packet_ == n_packets_ && !crc_checked_) finish_crc();
+  return static_cast<std::size_t>(n);
+}
+
+void StreamingTraceReader::finish_crc() {
+  file_->clear();
+  file_->seekg(static_cast<std::streamoff>(kPacketSectionOffset +
+                                           n_packets_ * kPacketBytes));
+  constexpr std::size_t kReadBytes = 1 << 16;
+  io_buf_.resize(std::max<std::size_t>(io_buf_.size(), kReadBytes));
+  for (std::uint64_t left = n_flows_ * kFlowBytes; left > 0;) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kReadBytes, left));
+    read_exact(*file_, io_buf_.data(), n, "payload truncated");
+    crc_reg_ = crc_fold(crc_reg_, {io_buf_.data(), n});
+    left -= n;
+  }
+  std::uint8_t trailer_bytes[4];
+  read_exact(*file_, trailer_bytes, sizeof(trailer_bytes), "trailer truncated");
+  Reader trailer{trailer_bytes, sizeof(trailer_bytes)};
+  if (trailer.get<std::uint32_t>() != (crc_reg_ ^ 0xffffffffu)) {
+    throw TraceIoError("CRC mismatch: " + path_);
+  }
+  crc_checked_ = true;
+}
+
+void StreamingTraceReader::rewind() {
+  file_->clear();
+  file_->seekg(static_cast<std::streamoff>(kPacketSectionOffset));
+  next_packet_ = 0;
+  crc_reg_ = crc_after_counts_;
+  crc_checked_ = false;
 }
 
 void save_trace(const std::string& path, const Trace& trace) {

@@ -7,11 +7,15 @@
 // wire length, flow id, evaluation label).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "net/packet.hpp"
+#include "net/packet_source.hpp"
 
 namespace fenix::net {
 
@@ -19,6 +23,46 @@ namespace fenix::net {
 class TraceIoError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Streams packets out of an on-disk trace file without materializing the
+/// packet vector: memory is O(chunk), not O(trace). The constructor validates
+/// the header and scans the flow section once for labels; the payload CRC is
+/// accumulated incrementally as packets stream and checked when the stream is
+/// exhausted (throwing TraceIoError on mismatch), so a corrupted file is
+/// still detected even though the payload never lives in RAM at once.
+class StreamingTraceReader final : public PacketSource {
+ public:
+  /// Opens `path`, validates magic/version/section sizes, and indexes flow
+  /// labels. Throws TraceIoError on malformed input.
+  explicit StreamingTraceReader(const std::string& path);
+  ~StreamingTraceReader() override;
+
+  std::size_t next_chunk(std::span<PacketRecord> out) override;
+  void rewind() override;
+  std::uint64_t packet_hint() const override { return n_packets_; }
+  std::uint32_t flow_count() const override {
+    return static_cast<std::uint32_t>(labels_.size());
+  }
+  ClassLabel flow_label(std::uint32_t flow_id) const override {
+    return labels_[flow_id];
+  }
+  sim::SimDuration duration_hint() const override { return duration_; }
+
+ private:
+  void finish_crc();
+
+  std::unique_ptr<std::ifstream> file_;
+  std::string path_;
+  std::uint64_t n_packets_ = 0;
+  std::uint64_t n_flows_ = 0;
+  std::uint64_t next_packet_ = 0;       ///< Packets consumed so far.
+  std::uint32_t crc_reg_ = 0;           ///< Running CRC register (pre final-XOR).
+  std::uint32_t crc_after_counts_ = 0;  ///< Register snapshot for rewind().
+  bool crc_checked_ = false;
+  sim::SimDuration duration_ = 0;
+  std::vector<ClassLabel> labels_;
+  std::vector<std::uint8_t> io_buf_;
 };
 
 /// Serializes `trace` to a stream. Throws std::ios_base::failure on I/O error.

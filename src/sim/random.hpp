@@ -98,6 +98,19 @@ class RandomStream {
     return xm / std::pow(u, 1.0 / alpha);
   }
 
+  /// Bounded (truncated) Pareto on [xm, cap] with shape alpha > 0, by inverse
+  /// CDF — one uniform draw, no rejection loop, so the draw count per sample
+  /// is fixed (the scenario generators rely on a deterministic draw budget).
+  /// Heavy-tailed flow sizes need the upper bound: an unbounded alpha <= 1
+  /// tail has infinite mean, which would make offered load unconfigurable.
+  double bounded_pareto(double xm, double cap, double alpha) {
+    if (cap <= xm) return xm;
+    const double hx = std::pow(xm / cap, alpha);  // (xm/cap)^a in (0, 1)
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return xm / std::pow(1.0 - u * (1.0 - hx), 1.0 / alpha);
+  }
+
   /// Log-normal with the given parameters of the underlying normal.
   double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
 

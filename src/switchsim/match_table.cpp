@@ -1,6 +1,9 @@
 #include "switchsim/match_table.hpp"
 
 #include <algorithm>
+#include <bit>
+
+#include "telemetry/metrics.hpp"
 
 namespace fenix::switchsim {
 
@@ -49,6 +52,16 @@ std::size_t ExactMatchTable::probe_start(std::uint64_t key) const {
   return static_cast<std::size_t>(mix_key(key)) & mask_;
 }
 
+void ExactMatchTable::record_probe(std::size_t length) const {
+  max_probe_ = std::max(max_probe_, length);
+  // log2 bucket: chains of [2^b, 2^(b+1)) land in bucket b; the last bucket
+  // absorbs anything longer.
+  const std::size_t bucket = length == 0
+                                 ? 0
+                                 : static_cast<std::size_t>(std::bit_width(length)) - 1;
+  ++probe_hist_[std::min(bucket, kProbeHistBuckets - 1)];
+}
+
 std::size_t ExactMatchTable::find_slot(std::uint64_t key) const {
   std::size_t i = probe_start(key);
   std::size_t first_tombstone = slots_.size();  // sentinel: none seen
@@ -57,11 +70,11 @@ std::size_t ExactMatchTable::find_slot(std::uint64_t key) const {
   for (std::size_t probes = 0; probes < slots_.size(); ++probes) {
     const Slot& slot = slots_[i];
     if (slot.state == SlotState::kEmpty) {
-      max_probe_ = std::max(max_probe_, probes + 1);
+      record_probe(probes + 1);
       return first_tombstone != slots_.size() ? first_tombstone : i;
     }
     if (slot.state == SlotState::kFull && slot.key == key) {
-      max_probe_ = std::max(max_probe_, probes + 1);
+      record_probe(probes + 1);
       return i;
     }
     if (slot.state == SlotState::kTombstone && first_tombstone == slots_.size()) {
@@ -69,23 +82,62 @@ std::size_t ExactMatchTable::find_slot(std::uint64_t key) const {
     }
     i = (i + 1) & mask_;
   }
-  max_probe_ = std::max(max_probe_, slots_.size());
+  record_probe(slots_.size());
   return first_tombstone;  // table has no empty slot; a tombstone must exist
 }
 
 bool ExactMatchTable::insert(std::uint64_t key, ActionEntry action) {
-  const std::size_t i = find_slot(key);
-  Slot& slot = slots_[i];
-  if (slot.state == SlotState::kFull) {
-    slot.action = action;
+  std::size_t i = find_slot(key);
+  if (slots_[i].state == SlotState::kFull) {
+    slots_[i].action = action;
     return true;
   }
-  if (size_ >= capacity_) return false;
+  if (size_ >= capacity_) {
+    if (growth_) {
+      grow();
+      i = find_slot(key);  // slot geometry changed
+    } else if (eviction_ == EvictionPolicy::kEvictCollision && capacity_ > 0) {
+      evict_and_insert(key, action);
+      return true;
+    } else {
+      return false;
+    }
+  }
+  Slot& slot = slots_[i];
   slot.key = key;
   slot.action = action;
   slot.state = SlotState::kFull;
   ++size_;
   return true;
+}
+
+void ExactMatchTable::grow() {
+  // Double the entry budget and rebuild at the same <= 50% load. Rehashing
+  // drops tombstones, so probe chains reset to their fresh-table lengths.
+  capacity_ *= 2;
+  std::vector<Slot> old;
+  old.swap(slots_);
+  slots_.resize(pow2_at_least(capacity_ * 2));
+  mask_ = slots_.size() - 1;
+  size_ = 0;
+  ++grows_;
+  for (const Slot& slot : old) {
+    if (slot.state != SlotState::kFull) continue;
+    const std::size_t i = find_slot(slot.key);
+    slots_[i] = slot;
+    ++size_;
+  }
+}
+
+void ExactMatchTable::evict_and_insert(std::uint64_t key, ActionEntry action) {
+  // The table is full and `key` is absent: displace the first occupied slot
+  // on its probe path (the entry the new key collides with). Size is
+  // unchanged — one entry in, one out.
+  std::size_t i = probe_start(key);
+  while (slots_[i].state != SlotState::kFull) i = (i + 1) & mask_;
+  slots_[i].key = key;
+  slots_[i].action = action;
+  ++evictions_;
 }
 
 void ExactMatchTable::erase(std::uint64_t key) {
@@ -106,17 +158,37 @@ std::optional<ActionEntry> ExactMatchTable::lookup(std::uint64_t key) const {
   for (std::size_t probes = 0; probes < slots_.size(); ++probes) {
     const Slot& slot = slots_[i];
     if (slot.state == SlotState::kEmpty) {
-      max_probe_ = std::max(max_probe_, probes + 1);
+      record_probe(probes + 1);
       return std::nullopt;
     }
     if (slot.state == SlotState::kFull && slot.key == key) {
-      max_probe_ = std::max(max_probe_, probes + 1);
+      record_probe(probes + 1);
       return slot.action;
     }
     i = (i + 1) & mask_;
   }
-  max_probe_ = std::max(max_probe_, slots_.size());
+  record_probe(slots_.size());
   return std::nullopt;
+}
+
+void ExactMatchTable::export_metrics(telemetry::MetricRegistry& reg,
+                                     const std::string& prefix) const {
+  reg.set_gauge(prefix + "size", static_cast<double>(size_));
+  reg.set_gauge(prefix + "capacity", static_cast<double>(capacity_));
+  reg.set_gauge(prefix + "occupancy",
+                capacity_ == 0 ? 0.0
+                               : static_cast<double>(size_) /
+                                     static_cast<double>(capacity_));
+  reg.set_gauge(prefix + "max_probe", static_cast<double>(max_probe_));
+  reg.set_counter(prefix + "lookups", lookups_);
+  reg.set_counter(prefix + "evictions", evictions_);
+  reg.set_counter(prefix + "grows", grows_);
+  for (std::size_t b = 0; b < kProbeHistBuckets; ++b) {
+    // Trailing zero buckets are skipped so the health table stays compact;
+    // bucket 0 always appears as the anchor.
+    if (probe_hist_[b] == 0 && b != 0) continue;
+    reg.set_counter(prefix + "probe_hist_" + std::to_string(b), probe_hist_[b]);
+  }
 }
 
 TernaryMatchTable::TernaryMatchTable(ResourceLedger& ledger, std::string name,

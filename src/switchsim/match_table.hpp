@@ -7,12 +7,17 @@
 // NetBeacon's 18.8% TCAM figure in Table 3.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "switchsim/resources.hpp"
+
+namespace fenix::telemetry {
+class MetricRegistry;
+}
 
 namespace fenix::switchsim {
 
@@ -22,6 +27,15 @@ struct ActionEntry {
   std::uint64_t action_data = 0;
 };
 
+/// What an ExactMatchTable does when insert() arrives at a full table.
+enum class EvictionPolicy : std::uint8_t {
+  kReject,          ///< insert() returns false (the hardware default).
+  kEvictCollision,  ///< Overwrite the first occupied slot on the new key's
+                    ///< probe path — the entry a hash-collision-victim
+                    ///< eviction scheme (e.g. a d-left cuckoo kick or the
+                    ///< Flow Tracker's slot-steal) would displace.
+};
+
 /// An exact-match table backed by SRAM.
 ///
 /// Open-addressing flat hash table, sized once at construction (the same way
@@ -29,6 +43,14 @@ struct ActionEntry {
 /// <= 50% load when full, linear probing, tombstone deletion. One contiguous
 /// allocation, no per-entry nodes, no rehash — lookups in the replay hot
 /// path touch one or two cache lines instead of chasing bucket pointers.
+///
+/// Full-table behavior is configurable for host-side uses (baseline drivers,
+/// scenario-scale churn studies): set_eviction() turns capacity overflow into
+/// collision-victim replacement, and set_growth() lets the slot array double
+/// and rehash instead. Growth is a HOST-SIDE convenience only — it does not
+/// re-charge the resource ledger, because the hardware cannot grow an SRAM
+/// reservation at runtime; the ledger keeps billing the construction-time
+/// capacity.
 class ExactMatchTable {
  public:
   /// `key_bits` is the match key width; `capacity` the entry budget. SRAM is
@@ -54,6 +76,32 @@ class ExactMatchTable {
   /// asserts it never exceeds the slot count.
   std::size_t max_probe_length() const { return max_probe_; }
 
+  /// Full-table insert policy (default kReject). Growth, when enabled, takes
+  /// precedence over eviction.
+  void set_eviction(EvictionPolicy policy) { eviction_ = policy; }
+  /// Allows the slot array to double and rehash when insert() hits capacity.
+  /// Host-side only; see the class comment for the ledger caveat.
+  void set_growth(bool enabled) { growth_ = enabled; }
+
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t grows() const { return grows_; }
+
+  /// Probe-chain length histogram in log2 buckets: bucket b counts probe
+  /// chains of length [2^b, 2^(b+1)), accumulated over every insert, erase,
+  /// and lookup; the last bucket absorbs the tail. A healthy table keeps
+  /// nearly all mass in buckets 0-2 (chains of 1-7 slots) — churn tests
+  /// assert that shape at the 10M-entry scale.
+  static constexpr std::size_t kProbeHistBuckets = 16;
+  const std::array<std::uint64_t, kProbeHistBuckets>& probe_histogram() const {
+    return probe_hist_;
+  }
+
+  /// Exports size/capacity/occupancy gauges, lookup/eviction/grow counters,
+  /// max probe length, and the probe histogram (`<prefix>probe_hist_<b>`)
+  /// into `reg` for the health table.
+  void export_metrics(telemetry::MetricRegistry& reg,
+                      const std::string& prefix) const;
+
  private:
   enum class SlotState : std::uint8_t { kEmpty = 0, kFull, kTombstone };
   struct Slot {
@@ -66,14 +114,25 @@ class ExactMatchTable {
   /// Index of `key`'s slot, or the insert position (first tombstone on the
   /// probe path, else the terminating empty slot) when absent.
   std::size_t find_slot(std::uint64_t key) const;
+  /// Accounts one terminated probe chain of `length` slots.
+  void record_probe(std::size_t length) const;
+  /// Doubles the slot array and rehashes live entries (growth mode).
+  void grow();
+  /// Replaces the first occupied slot on `key`'s probe path (eviction mode).
+  void evict_and_insert(std::uint64_t key, ActionEntry action);
 
   std::string name_;
   std::size_t capacity_;
   std::size_t size_ = 0;
   std::size_t mask_ = 0;  ///< slots_.size() - 1 (power of two).
   std::vector<Slot> slots_;
+  EvictionPolicy eviction_ = EvictionPolicy::kReject;
+  bool growth_ = false;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t grows_ = 0;
   mutable std::uint64_t lookups_ = 0;
   mutable std::size_t max_probe_ = 0;
+  mutable std::array<std::uint64_t, kProbeHistBuckets> probe_hist_{};
 };
 
 /// One ternary entry: matches when (key & mask) == value. Lower `priority`

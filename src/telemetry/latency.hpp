@@ -55,9 +55,12 @@ class LatencyRecorder {
     sorted_ = false;
   }
 
-  /// Convenience: p50/p99 in microseconds.
+  /// Convenience: p50/p99/p999 in microseconds. p999 is exact while the
+  /// sample count stays inside the reservoir bound; beyond it the estimate
+  /// degrades gracefully to the reservoir's nearest-rank value.
   double p50_us() const { return sim::to_microseconds(percentile(50.0)); }
   double p99_us() const { return sim::to_microseconds(percentile(99.0)); }
+  double p999_us() const { return sim::to_microseconds(percentile(99.9)); }
 
  private:
   std::size_t capacity_;

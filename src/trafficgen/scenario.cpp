@@ -1,0 +1,272 @@
+#include "trafficgen/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/time.hpp"
+
+namespace fenix::trafficgen {
+
+namespace {
+
+// Victim address for DDoS flood scenarios (172.16.0.1 in host order).
+constexpr std::uint32_t kVictimIp = 0xac100001u;
+
+constexpr double kTwoPi = 6.283185307179586;
+
+// splitmix64 finalizer over (seed, flow_id[, salt]): the per-flow seed and
+// the label/attack decisions are pure functions of the scenario seed and the
+// flow id, so flow_label() never has to stream and rewind() is exact.
+std::uint64_t mix64(std::uint64_t seed, std::uint64_t value) {
+  std::uint64_t z = seed ^ (value + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Uniform [0, 1) from a hash value (same mantissa trick as RandomStream).
+double hash_uniform(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kAttackSalt = 0xddf100dULL;
+constexpr std::uint64_t kLabelSalt = 0x1abe1ULL;
+
+}  // namespace
+
+ScenarioConfig scenario_preset(const std::string& name) {
+  ScenarioConfig c;
+  if (name == "heavy_tailed") {
+    c.kind = ScenarioKind::kHeavyTailed;
+    c.seed = 11;
+    c.flows = 1000000;
+    c.offered_pps = 2e6;
+  } else if (name == "flash_crowd") {
+    c.kind = ScenarioKind::kFlashCrowd;
+    c.seed = 12;
+    c.flows = 500000;
+    c.mean_flow_packets = 6.0;
+    c.offered_pps = 1.5e6;
+    c.crowd_peak = 8.0;
+    c.crowd_fraction = 0.1;
+  } else if (name == "ddos_flood") {
+    c.kind = ScenarioKind::kDdosFlood;
+    c.seed = 13;
+    c.flows = 1000000;
+    c.offered_pps = 3e6;
+    c.attack_fraction = 0.6;
+  } else if (name == "diurnal") {
+    c.kind = ScenarioKind::kDiurnal;
+    c.seed = 14;
+    c.flows = 500000;
+    c.offered_pps = 1e6;
+    c.diurnal_periods = 2.0;
+    c.diurnal_depth = 0.8;
+  } else {
+    throw std::invalid_argument("unknown scenario preset: " + name);
+  }
+  return c;
+}
+
+const std::vector<std::string>& scenario_preset_names() {
+  static const std::vector<std::string> names = {
+      "heavy_tailed", "flash_crowd", "ddos_flood", "diurnal"};
+  return names;
+}
+
+ScenarioSource::ScenarioSource(const ScenarioConfig& config)
+    : config_(config), arrival_rng_(config.seed) {
+  if (config_.flows == 0) throw std::invalid_argument("scenario needs flows > 0");
+  if (config_.offered_pps <= 0.0)
+    throw std::invalid_argument("scenario needs offered_pps > 0");
+  if (config_.num_classes < 2)
+    throw std::invalid_argument("scenario needs num_classes >= 2");
+
+  // Expected packet volume decides the horizon: offered_pps is what the
+  // switch sees in aggregate, so T = expected packets / offered_pps.
+  double mean_pkts = config_.mean_flow_packets;
+  if (config_.kind == ScenarioKind::kDdosFlood) {
+    mean_pkts = (1.0 - config_.attack_fraction) * config_.mean_flow_packets +
+                config_.attack_fraction * 3.0;
+  }
+  expected_packets_ = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(config_.flows) * mean_pkts));
+  const double horizon_s =
+      static_cast<double>(expected_packets_) / config_.offered_pps;
+  horizon_ = sim::from_seconds(horizon_s);
+
+  // Arrival intensities normalize so the integral of rate_at over the
+  // horizon equals the configured flow count.
+  const double flows = static_cast<double>(config_.flows);
+  switch (config_.kind) {
+    case ScenarioKind::kFlashCrowd: {
+      const double boost = 1.0 + (config_.crowd_peak - 1.0) * config_.crowd_fraction;
+      base_rate_hz_ = flows / (horizon_s * boost);
+      peak_rate_hz_ = base_rate_hz_ * config_.crowd_peak;
+      break;
+    }
+    case ScenarioKind::kDiurnal:
+      // Integer (or near-integer) period counts make the sinusoid integrate
+      // to zero over the horizon, so the base rate normalizes unchanged.
+      base_rate_hz_ = flows / horizon_s;
+      peak_rate_hz_ = base_rate_hz_ * (1.0 + config_.diurnal_depth);
+      break;
+    case ScenarioKind::kHeavyTailed:
+    case ScenarioKind::kDdosFlood:
+      base_rate_hz_ = flows / horizon_s;
+      peak_rate_hz_ = base_rate_hz_;
+      break;
+  }
+  reset();
+}
+
+bool ScenarioSource::attack_flow(std::uint32_t flow_id) const {
+  if (config_.kind != ScenarioKind::kDdosFlood) return false;
+  const std::uint64_t h = mix64(config_.seed ^ kAttackSalt, flow_id);
+  return hash_uniform(h) < config_.attack_fraction;
+}
+
+net::ClassLabel ScenarioSource::flow_label(std::uint32_t flow_id) const {
+  if (attack_flow(flow_id))
+    return static_cast<net::ClassLabel>(config_.num_classes - 1);
+  const std::uint64_t h = mix64(config_.seed ^ kLabelSalt, flow_id);
+  // DDoS reserves the top class for attack traffic; background flows draw
+  // from the remaining classes.
+  const std::uint32_t span = config_.kind == ScenarioKind::kDdosFlood
+                                 ? static_cast<std::uint32_t>(config_.num_classes - 1)
+                                 : config_.num_classes;
+  return static_cast<net::ClassLabel>(h % span);
+}
+
+sim::SimDuration ScenarioSource::duration_hint() const {
+  // Approximate: the last flow admitted near the horizon still plays out its
+  // lifetime. The replay overwrites this with the measured span.
+  return horizon_ + config_.flow_lifetime;
+}
+
+double ScenarioSource::rate_at(sim::SimTime t) const {
+  const double frac = horizon_ == 0
+                          ? 0.0
+                          : static_cast<double>(t) / static_cast<double>(horizon_);
+  switch (config_.kind) {
+    case ScenarioKind::kFlashCrowd:
+      // Crowd window: [0.4, 0.4 + crowd_fraction) of the horizon.
+      if (frac >= 0.4 && frac < 0.4 + config_.crowd_fraction)
+        return base_rate_hz_ * config_.crowd_peak;
+      return base_rate_hz_;
+    case ScenarioKind::kDiurnal:
+      return base_rate_hz_ *
+             (1.0 + config_.diurnal_depth *
+                        std::sin(kTwoPi * config_.diurnal_periods * frac));
+    case ScenarioKind::kHeavyTailed:
+    case ScenarioKind::kDdosFlood:
+      return base_rate_hz_;
+  }
+  return base_rate_hz_;
+}
+
+void ScenarioSource::schedule_next_arrival() {
+  // Thinning (Lewis & Shedler): draw homogeneous candidates at the majorant
+  // rate, accept with probability rate_at(t) / peak. Rejected candidates
+  // consume two draws each — deterministic given the arrival RNG state.
+  while (admitted_ < config_.flows) {
+    next_arrival_ += sim::from_seconds(arrival_rng_.exponential(peak_rate_hz_));
+    const double accept = rate_at(next_arrival_) / peak_rate_hz_;
+    if (arrival_rng_.uniform() < accept) return;
+  }
+}
+
+void ScenarioSource::admit_next() {
+  const std::uint32_t fid = admitted_++;
+  ActiveFlow flow;
+  flow.flow_id = fid;
+  flow.next_ts = next_arrival_;
+  flow.label = flow_label(fid);
+  flow.rng = sim::RandomStream(mix64(config_.seed, fid));
+
+  const double lifetime_s = sim::to_seconds(config_.flow_lifetime);
+  if (attack_flow(fid)) {
+    // Flood flows: a few minimum-size packets converging on one victim.
+    flow.remaining = 3;
+    flow.wire_length = 64;
+    flow.tuple.src_ip = 0x0a000000u |
+                        static_cast<std::uint32_t>(flow.rng.uniform_int(1u << 24));
+    flow.tuple.dst_ip = kVictimIp;
+    flow.tuple.src_port =
+        static_cast<std::uint16_t>(1024 + flow.rng.uniform_int(64000));
+    flow.tuple.dst_port = 80;
+    flow.tuple.proto = static_cast<std::uint8_t>(net::IpProto::kUdp);
+  } else {
+    // Bounded-Pareto flow size with mean mean_flow_packets: for a bounded
+    // Pareto the unbounded-mean scale xm = mean * (alpha-1)/alpha is a close
+    // underestimate of the cap-corrected value, which is fine for a hint.
+    const double alpha = config_.pareto_alpha;
+    const double xm = std::max(1.0, config_.mean_flow_packets * (alpha - 1.0) / alpha);
+    const double drawn = flow.rng.bounded_pareto(
+        xm, static_cast<double>(config_.max_flow_packets), alpha);
+    flow.remaining = static_cast<std::uint32_t>(std::clamp(
+        std::llround(drawn), 1LL,
+        static_cast<long long>(config_.max_flow_packets)));
+    flow.wire_length = static_cast<std::uint16_t>(
+        std::clamp(flow.rng.lognormal(6.2, 0.8), 64.0, 1500.0));
+    flow.tuple.src_ip = 0x0a000000u |
+                        static_cast<std::uint32_t>(flow.rng.uniform_int(1u << 24));
+    flow.tuple.dst_ip = 0xac100000u |
+                        static_cast<std::uint32_t>(flow.rng.uniform_int(1u << 16));
+    flow.tuple.src_port =
+        static_cast<std::uint16_t>(1024 + flow.rng.uniform_int(64000));
+    flow.tuple.dst_port = flow.rng.bernoulli(0.5) ? 443 : 80;
+    flow.tuple.proto = static_cast<std::uint8_t>(
+        flow.rng.bernoulli(0.8) ? net::IpProto::kTcp : net::IpProto::kUdp);
+  }
+  flow.gap_rate_hz = static_cast<double>(flow.remaining) / lifetime_s;
+  active_.push(std::move(flow));
+  peak_active_ = std::max(peak_active_, active_.size());
+}
+
+std::size_t ScenarioSource::next_chunk(std::span<net::PacketRecord> out) {
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    // Admit every flow whose arrival precedes the earliest queued packet.
+    // Arrival times are strictly increasing, so once the pending arrival is
+    // later than the heap minimum no earlier admission can appear and the
+    // emitted timestamps are globally non-decreasing.
+    while (admitted_ < config_.flows &&
+           (active_.empty() || next_arrival_ <= active_.top().next_ts)) {
+      admit_next();
+      schedule_next_arrival();
+    }
+    if (active_.empty()) break;  // All flows admitted and drained.
+
+    ActiveFlow flow = active_.top();
+    active_.pop();
+
+    net::PacketRecord& pkt = out[produced++];
+    pkt.tuple = flow.tuple;
+    pkt.timestamp = flow.next_ts;
+    pkt.orig_timestamp = flow.next_ts;
+    pkt.wire_length = flow.wire_length;
+    pkt.label = flow.label;
+    pkt.flow_id = flow.flow_id;
+
+    if (--flow.remaining > 0) {
+      flow.next_ts +=
+          sim::from_seconds(flow.rng.exponential(flow.gap_rate_hz));
+      active_.push(std::move(flow));
+    }
+  }
+  return produced;
+}
+
+void ScenarioSource::reset() {
+  arrival_rng_.reseed(config_.seed);
+  active_ = {};
+  admitted_ = 0;
+  next_arrival_ = 0;
+  schedule_next_arrival();
+}
+
+void ScenarioSource::rewind() { reset(); }
+
+}  // namespace fenix::trafficgen

@@ -1,0 +1,142 @@
+// Production-shape workload scenarios, streamed open-loop.
+//
+// The synthesizer's dataset profiles reproduce the paper's evaluation
+// traffic; this file generates the traffic a deployed switch actually faces
+// (ROADMAP item 3): millions of concurrent heavy-tailed flows, flash crowds,
+// DDoS floods, and diurnal load ramps. A ScenarioSource is open-loop — flow
+// arrivals follow a (possibly time-varying) Poisson process against the sim
+// clock and the offered packet rate is a *parameter*, so overload shows up
+// as queueing and attributed drops in the replay, never as slower
+// wall-clock. Everything streams through net::PacketSource: live state is
+// one struct per concurrently-active flow (the arrival process admits and
+// retires them), so a multi-GB workload replays in megabytes of RSS.
+//
+// Determinism: one seeded arrival RNG drives admission; each flow's own
+// stream is seeded by splitmix64(seed, flow_id), and a flow's label is a
+// pure hash of (seed, flow_id) — flow_label() answers without streaming,
+// rewind() reproduces the byte-identical sequence, and chunking is
+// unobservable.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/packet_source.hpp"
+#include "sim/random.hpp"
+
+namespace fenix::trafficgen {
+
+enum class ScenarioKind {
+  kHeavyTailed,  ///< Stationary arrivals, bounded-Pareto flow sizes.
+  kFlashCrowd,   ///< Baseline load with a crowd_peak x arrival spike window.
+  kDdosFlood,    ///< attack_fraction of flows are tiny floods at one victim.
+  kDiurnal,      ///< Sinusoidal arrival-rate ramp (diurnal_periods cycles).
+};
+
+struct ScenarioConfig {
+  ScenarioKind kind = ScenarioKind::kHeavyTailed;
+  std::uint64_t seed = 1;
+
+  /// Total flows admitted over the scenario horizon.
+  std::uint32_t flows = 100000;
+  /// Open-loop offered load: the horizon is sized so that
+  /// flows * mean_flow_packets packets span ~(expected packets / offered_pps)
+  /// seconds of sim time. The replay under test either keeps up or drops —
+  /// the generator never slows down.
+  double offered_pps = 1e6;
+  /// Ground-truth label space; attack flows take class num_classes - 1.
+  std::uint16_t num_classes = 4;
+
+  // Flow-size model: bounded Pareto (heavy tail with a finite mean).
+  double mean_flow_packets = 8.0;
+  double pareto_alpha = 1.3;
+  std::uint32_t max_flow_packets = 4096;
+
+  /// Mean in-flow span: intra-flow gaps are exponential with rate
+  /// n_packets / flow_lifetime, so every flow lives ~flow_lifetime and the
+  /// concurrently-active set stays ~arrival_rate * flow_lifetime (the RSS
+  /// bound of the streamed generator).
+  sim::SimDuration flow_lifetime = sim::milliseconds(200);
+
+  // Flash crowd: arrivals run at crowd_peak x baseline for a window of
+  // crowd_fraction of the horizon (starting at 40%).
+  double crowd_peak = 8.0;
+  double crowd_fraction = 0.1;
+
+  // DDoS flood: fraction of flows that are attack flows (3-packet 64-byte
+  // floods converging on one victim address).
+  double attack_fraction = 0.5;
+
+  // Diurnal ramp: rate(t) = base * (1 + depth * sin(2*pi*periods*t/T)).
+  double diurnal_periods = 2.0;
+  double diurnal_depth = 0.8;
+};
+
+/// Named production presets ("heavy_tailed", "flash_crowd", "ddos_flood",
+/// "diurnal") at full scale. Throws std::invalid_argument for unknown names.
+ScenarioConfig scenario_preset(const std::string& name);
+
+/// The preset names scenario_preset() accepts, in canonical order.
+const std::vector<std::string>& scenario_preset_names();
+
+/// Streams one scenario (see file comment for the contract).
+class ScenarioSource final : public net::PacketSource {
+ public:
+  explicit ScenarioSource(const ScenarioConfig& config);
+
+  std::size_t next_chunk(std::span<net::PacketRecord> out) override;
+  void rewind() override;
+  std::uint64_t packet_hint() const override { return expected_packets_; }
+  std::uint32_t flow_count() const override { return config_.flows; }
+  net::ClassLabel flow_label(std::uint32_t flow_id) const override;
+  sim::SimDuration duration_hint() const override;
+
+  /// Peak size of the concurrently-active flow set so far — the quantity
+  /// that bounds the generator's memory (asserted by the RSS check).
+  std::size_t peak_active_flows() const { return peak_active_; }
+
+  /// Horizon the arrival process spreads admissions over.
+  sim::SimDuration horizon() const { return horizon_; }
+
+ private:
+  /// One live flow: its next packet's time plus the state to draw the rest.
+  struct ActiveFlow {
+    sim::SimTime next_ts;
+    std::uint32_t flow_id;
+    std::uint32_t remaining;
+    double gap_rate_hz;  ///< Intra-flow exponential gap rate.
+    net::FiveTuple tuple;
+    net::ClassLabel label;
+    std::uint16_t wire_length;
+    sim::RandomStream rng;
+
+    bool operator>(const ActiveFlow& other) const {
+      if (next_ts != other.next_ts) return next_ts > other.next_ts;
+      return flow_id > other.flow_id;
+    }
+  };
+
+  bool attack_flow(std::uint32_t flow_id) const;
+  double rate_at(sim::SimTime t) const;  ///< Arrival intensity (flows/sec).
+  void admit_next();                     ///< Admit the flow at next_arrival_.
+  void schedule_next_arrival();          ///< Thinning draw for the next admit.
+  void reset();
+
+  ScenarioConfig config_;
+  std::uint64_t expected_packets_ = 0;
+  sim::SimDuration horizon_ = 0;
+  double base_rate_hz_ = 0.0;  ///< Baseline arrival intensity.
+  double peak_rate_hz_ = 0.0;  ///< Thinning majorant (max of rate_at).
+
+  sim::RandomStream arrival_rng_;
+  sim::SimTime next_arrival_ = 0;
+  std::uint32_t admitted_ = 0;
+  std::priority_queue<ActiveFlow, std::vector<ActiveFlow>, std::greater<>>
+      active_;
+  std::size_t peak_active_ = 0;
+};
+
+}  // namespace fenix::trafficgen

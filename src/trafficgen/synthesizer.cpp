@@ -222,6 +222,106 @@ net::Trace assemble_trace(const std::vector<FlowSample>& flows,
   return trace;
 }
 
+FlowStreamSource::FlowStreamSource(const std::vector<FlowSample>& flows,
+                                   const TraceConfig& config)
+    : flows_(&flows),
+      gap_scale_(config.gap_time_scale < 0.0 ? config.time_scale
+                                             : config.gap_time_scale) {
+  // Prepass: replay assemble_trace's single-RNG draw sequence (arrival gap
+  // then five-tuple, per flow in id order) so the streamed tuples and start
+  // times are bit-identical to the materialized trace's; the per-packet
+  // timestamps need no RNG and are recomputed on the fly at merge time.
+  sim::RandomStream rng(config.seed);
+  sim::SimTime arrival_clock = 0;
+  arrival_.resize(flows.size());
+  tuples_.resize(flows.size());
+  sim::SimTime min_ts = 0;
+  sim::SimTime max_ts = 0;
+  bool any = false;
+  for (std::size_t fid = 0; fid < flows.size(); ++fid) {
+    const FlowSample& flow = flows[fid];
+    const double gap_s = rng.exponential(config.flow_arrival_rate_hz);
+    arrival_clock += sim::from_seconds(gap_s * config.time_scale);
+
+    net::FiveTuple tuple;
+    tuple.src_ip = 0x0a000000u | static_cast<std::uint32_t>(rng.uniform_int(1u << 24));
+    tuple.dst_ip = 0xac100000u | static_cast<std::uint32_t>(rng.uniform_int(1u << 16));
+    tuple.src_port = static_cast<std::uint16_t>(1024 + rng.uniform_int(64000));
+    tuple.dst_port = static_cast<std::uint16_t>(rng.bernoulli(0.5) ? 443 : 80);
+    tuple.proto = static_cast<std::uint8_t>(rng.bernoulli(0.8) ? net::IpProto::kTcp
+                                                               : net::IpProto::kUdp);
+    arrival_[fid] = arrival_clock;
+    tuples_[fid] = tuple;
+    total_packets_ += flow.features.size();
+
+    // A flow's packets are non-decreasing in time, so its first/last packet
+    // bound its span; the global span is the min/max over flows.
+    sim::SimTime t = arrival_clock;
+    for (std::size_t i = 0; i < flow.gaps.size(); ++i) {
+      t += static_cast<sim::SimDuration>(static_cast<double>(flow.gaps[i]) *
+                                         gap_scale_);
+      if (i == 0) {
+        if (!any || t < min_ts) min_ts = t;
+      }
+      if (!any || t > max_ts) max_ts = t;
+      any = true;
+    }
+  }
+  duration_ = any ? max_ts - min_ts : 0;
+  reset_cursors();
+}
+
+void FlowStreamSource::reset_cursors() {
+  cursors_.assign(flows_->size(), FlowCursor{});
+  heap_ = {};
+  for (std::size_t fid = 0; fid < flows_->size(); ++fid) {
+    const FlowSample& flow = (*flows_)[fid];
+    if (flow.features.empty()) continue;
+    FlowCursor& c = cursors_[fid];
+    c.t = arrival_[fid];
+    c.orig_t = arrival_[fid];
+    c.next_pkt = 0;
+    const sim::SimTime first_ts =
+        c.t + static_cast<sim::SimDuration>(
+                  static_cast<double>(flow.gaps[0]) * gap_scale_);
+    heap_.push(Cursor{first_ts, static_cast<std::uint32_t>(fid)});
+  }
+}
+
+void FlowStreamSource::rewind() { reset_cursors(); }
+
+std::size_t FlowStreamSource::next_chunk(std::span<net::PacketRecord> out) {
+  std::size_t emitted = 0;
+  while (emitted < out.size() && !heap_.empty()) {
+    const Cursor top = heap_.top();
+    heap_.pop();
+    const std::uint32_t fid = top.flow_id;
+    const FlowSample& flow = (*flows_)[fid];
+    FlowCursor& c = cursors_[fid];
+    const std::size_t i = c.next_pkt;
+    c.orig_t += flow.gaps[i];
+    c.t += static_cast<sim::SimDuration>(static_cast<double>(flow.gaps[i]) *
+                                         gap_scale_);
+
+    net::PacketRecord& pkt = out[emitted++];
+    pkt.tuple = tuples_[fid];
+    pkt.timestamp = c.t;
+    pkt.orig_timestamp = c.orig_t;
+    pkt.wire_length = flow.features[i].length;
+    pkt.label = flow.label;
+    pkt.flow_id = fid;
+
+    c.next_pkt = static_cast<std::uint32_t>(i + 1);
+    if (c.next_pkt < flow.features.size()) {
+      const sim::SimTime next_ts =
+          c.t + static_cast<sim::SimDuration>(
+                    static_cast<double>(flow.gaps[c.next_pkt]) * gap_scale_);
+      heap_.push(Cursor{next_ts, fid});
+    }
+  }
+  return emitted;
+}
+
 net::Trace rescale_trace(const net::Trace& trace, double factor) {
   net::Trace out = trace;
   if (factor <= 0.0) return out;

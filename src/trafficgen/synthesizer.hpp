@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <queue>
 #include <vector>
 
 #include "net/feature.hpp"
 #include "net/packet.hpp"
+#include "net/packet_source.hpp"
 #include "nn/featurizer.hpp"
 #include "trafficgen/profiles.hpp"
 #include "trees/dataset.hpp"
@@ -86,6 +88,61 @@ struct TraceConfig {
 /// five-tuples (unique per flow).
 net::Trace assemble_trace(const std::vector<FlowSample>& flows,
                           const TraceConfig& config);
+
+/// Streams the exact packet sequence assemble_trace(flows, config) would
+/// materialize — same RNG draws, same timestamps, same tie order — without
+/// ever building the packet vector: a construction-time prepass replays only
+/// the per-flow RNG draws (arrival gap + five-tuple, O(flows) state), and
+/// next_chunk() merges the per-flow packet streams through a (timestamp,
+/// flow_id)-keyed heap, which reproduces assemble_trace's stable sort because
+/// a flow's packets are emitted in order and all of a lower flow id's
+/// equal-timestamp packets precede a higher one's. Memory is O(flows), not
+/// O(packets). `flows` must outlive the source.
+class FlowStreamSource final : public net::PacketSource {
+ public:
+  FlowStreamSource(const std::vector<FlowSample>& flows,
+                   const TraceConfig& config);
+
+  std::size_t next_chunk(std::span<net::PacketRecord> out) override;
+  void rewind() override;
+  std::uint64_t packet_hint() const override { return total_packets_; }
+  std::uint32_t flow_count() const override {
+    return static_cast<std::uint32_t>(flows_->size());
+  }
+  net::ClassLabel flow_label(std::uint32_t flow_id) const override {
+    return (*flows_)[flow_id].label;
+  }
+  sim::SimDuration duration_hint() const override { return duration_; }
+
+ private:
+  /// Heap entry: the flow's next undelivered packet. Ordered min-first by
+  /// (timestamp, flow_id) — assemble_trace's stable-sort order.
+  struct Cursor {
+    sim::SimTime next_ts;
+    std::uint32_t flow_id;
+    bool operator>(const Cursor& other) const {
+      if (next_ts != other.next_ts) return next_ts > other.next_ts;
+      return flow_id > other.flow_id;
+    }
+  };
+  /// Per-flow emission state, advanced as the heap pops.
+  struct FlowCursor {
+    sim::SimTime t;       ///< Replay-clock timestamp of the next packet.
+    sim::SimTime orig_t;  ///< Capture-clock timestamp of the next packet.
+    std::uint32_t next_pkt;
+  };
+
+  void reset_cursors();
+
+  const std::vector<FlowSample>* flows_;
+  double gap_scale_;
+  std::vector<sim::SimTime> arrival_;     ///< Flow start (prepass, fixed).
+  std::vector<net::FiveTuple> tuples_;    ///< Per-flow tuple (prepass, fixed).
+  std::vector<FlowCursor> cursors_;
+  std::priority_queue<Cursor, std::vector<Cursor>, std::greater<>> heap_;
+  std::uint64_t total_packets_ = 0;
+  sim::SimDuration duration_ = 0;
+};
 
 /// Compresses trace timestamps by `factor` (>1 = faster replay), keeping
 /// orig_timestamp intact for feature fidelity.

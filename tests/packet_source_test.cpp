@@ -1,0 +1,299 @@
+// PacketSource streaming seam: chunking, rewind, and the streamed replay
+// paths must all be bit-identical to the historical materialized-vector
+// replay. The contract under test (net/packet_source.hpp): chunk size is
+// never observable, rewind() reproduces the exact packet sequence, and
+// materialize(source) round-trips through the same replay byte-for-byte —
+// including under a PR 5 fault schedule and on the multi-pipe coordinator.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fenix_system.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_schedule.hpp"
+#include "net/packet_source.hpp"
+#include "net/trace_io.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+namespace fenix::core {
+namespace {
+
+void expect_packets_equal(const std::vector<net::PacketRecord>& a,
+                          const std::vector<net::PacketRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].timestamp, b[i].timestamp) << "packet " << i;
+    ASSERT_EQ(a[i].orig_timestamp, b[i].orig_timestamp) << "packet " << i;
+    ASSERT_EQ(a[i].flow_id, b[i].flow_id) << "packet " << i;
+    ASSERT_EQ(a[i].wire_length, b[i].wire_length) << "packet " << i;
+    ASSERT_EQ(a[i].label, b[i].label) << "packet " << i;
+    ASSERT_EQ(a[i].tuple, b[i].tuple) << "packet " << i;
+  }
+}
+
+class PacketSourceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    profile_ = new trafficgen::DatasetProfile(trafficgen::DatasetProfile::iscx_vpn());
+    trafficgen::SynthesisConfig synth;
+    synth.total_flows = 300;
+    synth.seed = 23;
+    flows_ = new std::vector<trafficgen::FlowSample>(
+        trafficgen::synthesize_flows(*profile_, synth));
+
+    nn::CnnConfig config;
+    config.conv_channels = {8};
+    config.fc_dims = {16};
+    config.num_classes = profile_->num_classes();
+    model_ = new nn::CnnClassifier(config, 11);
+    const auto samples = trafficgen::make_packet_samples(*flows_, 9, 6, 3);
+    nn::TrainOptions opts;
+    opts.epochs = 1;
+    model_->fit(samples, opts);
+    quantized_ = new nn::QuantizedCnn(*model_, samples);
+
+    trace_config_.flow_arrival_rate_hz = 2500;
+    trace_ = new net::Trace(trafficgen::assemble_trace(*flows_, trace_config_));
+  }
+
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete quantized_;
+    delete model_;
+    delete flows_;
+    delete profile_;
+  }
+
+  static FenixSystemConfig default_config() {
+    FenixSystemConfig config;
+    config.data_engine.tracker.index_bits = 12;
+    config.data_engine.window_tw = sim::milliseconds(20);
+    return config;
+  }
+
+  /// Serial replay of the materialized trace — the historical vector path
+  /// every streamed variant must match bit-for-bit.
+  static RunReport materialized_report() {
+    FenixSystem system(default_config(), quantized_, nullptr);
+    return system.run(*trace_, profile_->num_classes());
+  }
+
+  static RunReport streamed_report(net::PacketSource& source) {
+    FenixSystem system(default_config(), quantized_, nullptr);
+    return system.run(source, profile_->num_classes());
+  }
+
+  static trafficgen::DatasetProfile* profile_;
+  static std::vector<trafficgen::FlowSample>* flows_;
+  static nn::CnnClassifier* model_;
+  static nn::QuantizedCnn* quantized_;
+  static net::Trace* trace_;
+  static trafficgen::TraceConfig trace_config_;
+};
+
+trafficgen::DatasetProfile* PacketSourceTest::profile_ = nullptr;
+std::vector<trafficgen::FlowSample>* PacketSourceTest::flows_ = nullptr;
+nn::CnnClassifier* PacketSourceTest::model_ = nullptr;
+nn::QuantizedCnn* PacketSourceTest::quantized_ = nullptr;
+net::Trace* PacketSourceTest::trace_ = nullptr;
+trafficgen::TraceConfig PacketSourceTest::trace_config_;
+
+TEST_F(PacketSourceTest, TraceSourceRoundTripsThroughMaterialize) {
+  net::TraceSource source(*trace_);
+  EXPECT_EQ(source.packet_hint(), trace_->packets.size());
+  ASSERT_EQ(source.flow_count(), trace_->flows.size());
+  for (std::uint32_t f = 0; f < source.flow_count(); ++f) {
+    EXPECT_EQ(source.flow_label(f), trace_->flows[f].label);
+  }
+
+  const net::Trace round = net::materialize(source);
+  expect_packets_equal(round.packets, trace_->packets);
+  ASSERT_EQ(round.flows.size(), trace_->flows.size());
+  for (std::size_t f = 0; f < round.flows.size(); ++f) {
+    EXPECT_EQ(round.flows[f].label, trace_->flows[f].label);
+  }
+  EXPECT_EQ(round.duration(), trace_->duration());
+}
+
+TEST_F(PacketSourceTest, ChunkSizeIsUnobservableInSerialReplay) {
+  const RunReport reference = materialized_report();
+  ASSERT_GT(reference.packets, 0u);
+  ASSERT_GT(reference.results_applied, 0u);
+
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{4096}}) {
+    net::TraceSource inner(*trace_);
+    net::ChunkLimiter source(inner, chunk);
+    const RunReport streamed = streamed_report(source);
+    const auto div = first_divergence(reference, streamed);
+    EXPECT_EQ(div, std::nullopt) << "chunk=" << chunk << ": " << div.value_or("");
+  }
+}
+
+TEST_F(PacketSourceTest, StreamedPipelinedMatchesMaterializedAtPipes1And4) {
+  const RunReport reference = materialized_report();
+  for (std::size_t pipes : {std::size_t{1}, std::size_t{4}}) {
+    PipelineOptions opts;
+    opts.pipes = pipes;
+
+    FenixSystem materialized(default_config(), quantized_, nullptr);
+    const RunReport from_trace = materialized.run_pipelined(
+        *trace_, profile_->num_classes(), nullptr, {}, opts);
+
+    net::TraceSource inner(*trace_);
+    net::ChunkLimiter source(inner, 7);
+    FenixSystem streamed(default_config(), quantized_, nullptr);
+    const RunReport from_source = streamed.run_pipelined(
+        source, profile_->num_classes(), nullptr, {}, opts);
+
+    const auto serial_div = first_divergence(reference, from_trace);
+    EXPECT_EQ(serial_div, std::nullopt)
+        << "pipes=" << pipes << " (trace vs serial): " << serial_div.value_or("");
+    const auto stream_div = first_divergence(from_trace, from_source);
+    EXPECT_EQ(stream_div, std::nullopt)
+        << "pipes=" << pipes << " (streamed vs trace): " << stream_div.value_or("");
+  }
+}
+
+TEST_F(PacketSourceTest, BitIdentityHoldsUnderFaultSchedule) {
+  // The PR 5 fault machinery observes simulated time through RunHooks; a
+  // streamed replay must fire the exact same windows at the exact same
+  // packet boundaries as the vector path, at every chunk size and pipe count.
+  const faults::FaultSchedule schedule =
+      faults::FaultSchedule::random(0x5eed, trace_->duration(), 4);
+  ASSERT_FALSE(schedule.windows().empty());
+
+  const RunReport reference = [&] {
+    FenixSystem system(default_config(), quantized_, nullptr);
+    faults::FaultInjector injector(schedule, system);
+    return system.run(*trace_, profile_->num_classes(), &injector);
+  }();
+
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{4096}}) {
+    net::TraceSource inner(*trace_);
+    net::ChunkLimiter source(inner, chunk);
+    FenixSystem system(default_config(), quantized_, nullptr);
+    faults::FaultInjector injector(schedule, system);
+    const RunReport streamed =
+        system.run(source, profile_->num_classes(), &injector);
+    const auto div = first_divergence(reference, streamed);
+    EXPECT_EQ(div, std::nullopt) << "chunk=" << chunk << ": " << div.value_or("");
+  }
+
+  for (std::size_t pipes : {std::size_t{1}, std::size_t{4}}) {
+    PipelineOptions opts;
+    opts.pipes = pipes;
+    net::TraceSource inner(*trace_);
+    net::ChunkLimiter source(inner, 7);
+    FenixSystem system(default_config(), quantized_, nullptr);
+    faults::FaultInjector injector(schedule, system);
+    const RunReport streamed = system.run_pipelined(
+        source, profile_->num_classes(), &injector, {}, opts);
+    const auto div = first_divergence(reference, streamed);
+    EXPECT_EQ(div, std::nullopt) << "pipes=" << pipes << ": " << div.value_or("");
+  }
+}
+
+TEST_F(PacketSourceTest, RewindReplaysBitIdentically) {
+  net::TraceSource inner(*trace_);
+  net::ChunkLimiter source(inner, 7);
+  const RunReport first = streamed_report(source);
+  source.rewind();
+  const RunReport second = streamed_report(source);
+  const auto div = first_divergence(first, second);
+  EXPECT_EQ(div, std::nullopt) << div.value_or("");
+}
+
+TEST_F(PacketSourceTest, ChunkLimiterTreatsZeroAsOne) {
+  net::TraceSource inner(*trace_);
+  net::ChunkLimiter source(inner, 0);
+  std::vector<net::PacketRecord> buf(16);
+  EXPECT_EQ(source.next_chunk(buf), 1u);
+}
+
+TEST_F(PacketSourceTest, FlowStreamSourceMatchesAssembleTrace) {
+  // The generator-side implementation of the seam: streaming the flows must
+  // reproduce assemble_trace's packet sequence exactly (same RNG draws, same
+  // stable-sort tie order) without materializing it.
+  trafficgen::FlowStreamSource source(*flows_, trace_config_);
+  EXPECT_EQ(source.packet_hint(), trace_->packets.size());
+  ASSERT_EQ(source.flow_count(), trace_->flows.size());
+  for (std::uint32_t f = 0; f < source.flow_count(); ++f) {
+    EXPECT_EQ(source.flow_label(f), trace_->flows[f].label);
+  }
+  const net::Trace streamed = net::materialize(source);
+  expect_packets_equal(streamed.packets, trace_->packets);
+
+  // And the replay built on it is bit-identical to the vector path.
+  const RunReport reference = materialized_report();
+  source.rewind();
+  const RunReport from_stream = streamed_report(source);
+  const auto div = first_divergence(reference, from_stream);
+  EXPECT_EQ(div, std::nullopt) << div.value_or("");
+}
+
+TEST_F(PacketSourceTest, StreamingTraceReaderMatchesLoadTrace) {
+  const std::string path = ::testing::TempDir() + "packet_source_stream.ftrace";
+  net::save_trace(path, *trace_);
+
+  net::StreamingTraceReader reader(path);
+  EXPECT_EQ(reader.packet_hint(), trace_->packets.size());
+  EXPECT_EQ(reader.duration_hint(), trace_->duration());
+  ASSERT_EQ(reader.flow_count(), trace_->flows.size());
+  for (std::uint32_t f = 0; f < reader.flow_count(); ++f) {
+    EXPECT_EQ(reader.flow_label(f), trace_->flows[f].label);
+  }
+
+  const net::Trace from_disk = net::load_trace(path);
+  const net::Trace streamed = net::materialize(reader);
+  expect_packets_equal(streamed.packets, from_disk.packets);
+  expect_packets_equal(streamed.packets, trace_->packets);
+
+  // rewind() re-reads the packet section (and re-verifies the CRC).
+  reader.rewind();
+  const net::Trace again = net::materialize(reader);
+  expect_packets_equal(again.packets, trace_->packets);
+
+  // The streamed replay of the on-disk trace matches the vector path.
+  const RunReport reference = materialized_report();
+  reader.rewind();
+  net::ChunkLimiter chunked(reader, 7);
+  const RunReport from_reader = streamed_report(chunked);
+  const auto div = first_divergence(reference, from_reader);
+  EXPECT_EQ(div, std::nullopt) << div.value_or("");
+  std::remove(path.c_str());
+}
+
+TEST_F(PacketSourceTest, StreamingTraceReaderDetectsCorruption) {
+  const std::string path = ::testing::TempDir() + "packet_source_corrupt.ftrace";
+  net::save_trace(path, *trace_);
+  {
+    // Flip one byte in the middle of the packet section; the header still
+    // parses, so only the streaming CRC can catch it.
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    file.seekg(48);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(48);
+    file.write(&byte, 1);
+  }
+
+  auto drain = [](net::PacketSource& source) {
+    std::vector<net::PacketRecord> buf(256);
+    std::uint64_t total = 0;
+    while (const std::size_t n = source.next_chunk(buf)) total += n;
+    return total;
+  };
+
+  net::StreamingTraceReader reader(path);
+  EXPECT_THROW(drain(reader), net::TraceIoError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fenix::core

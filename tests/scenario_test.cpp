@@ -1,0 +1,294 @@
+// Open-loop scenario generator: the production-shape presets must be
+// deterministic (seeded, rewindable, chunking-unobservable), emit a
+// timestamp-ordered stream whose offered load tracks the configured rate,
+// and expose pure flow labels before streaming begins. Shape assertions pin
+// each preset to its intent: flash crowds spike, DDoS floods converge on the
+// victim with the attack label, diurnal ramps actually vary the arrival
+// intensity, and the live-flow set (the generator's RSS bound) stays far
+// below the total flow count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/fenix_system.hpp"
+#include "net/packet_source.hpp"
+#include "trafficgen/scenario.hpp"
+#include "trafficgen/synthesizer.hpp"
+
+namespace fenix::trafficgen {
+namespace {
+
+constexpr std::uint32_t kVictimIp = 0xac100001u;  // 172.16.0.1
+
+/// Small-but-not-trivial scenario the fast tests share: ~3k flows at a load
+/// that keeps the horizon around a sim-second.
+ScenarioConfig small_config(ScenarioKind kind) {
+  ScenarioConfig config;
+  config.kind = kind;
+  config.seed = 77;
+  config.flows = 3000;
+  config.offered_pps = 25000.0;
+  config.num_classes = 4;
+  return config;
+}
+
+std::vector<net::PacketRecord> drain(net::PacketSource& source,
+                                     std::size_t chunk) {
+  std::vector<net::PacketRecord> out;
+  std::vector<net::PacketRecord> buf(chunk);
+  while (const std::size_t n = source.next_chunk(buf)) {
+    out.insert(out.end(), buf.begin(), buf.begin() + n);
+  }
+  return out;
+}
+
+bool packets_equal(const std::vector<net::PacketRecord>& a,
+                   const std::vector<net::PacketRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].timestamp != b[i].timestamp || a[i].flow_id != b[i].flow_id ||
+        a[i].orig_timestamp != b[i].orig_timestamp ||
+        a[i].wire_length != b[i].wire_length || a[i].label != b[i].label ||
+        a[i].tuple != b[i].tuple) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Scenario, PresetNamesResolveAndUnknownThrows) {
+  const auto& names = scenario_preset_names();
+  ASSERT_EQ(names.size(), 4u);
+  for (const auto& name : names) {
+    const ScenarioConfig config = scenario_preset(name);
+    EXPECT_GT(config.flows, 0u) << name;
+    EXPECT_GT(config.offered_pps, 0.0) << name;
+  }
+  EXPECT_THROW(scenario_preset("nope"), std::invalid_argument);
+}
+
+TEST(Scenario, DeterministicRewindableAndChunkingUnobservable) {
+  for (ScenarioKind kind : {ScenarioKind::kHeavyTailed, ScenarioKind::kFlashCrowd,
+                            ScenarioKind::kDdosFlood, ScenarioKind::kDiurnal}) {
+    const ScenarioConfig config = small_config(kind);
+    ScenarioSource a(config);
+    const auto reference = drain(a, 4096);
+    ASSERT_FALSE(reference.empty());
+
+    // Same config, fresh source: identical stream.
+    ScenarioSource b(config);
+    EXPECT_TRUE(packets_equal(reference, drain(b, 4096)));
+
+    // rewind() reproduces the stream byte-for-byte.
+    a.rewind();
+    EXPECT_TRUE(packets_equal(reference, drain(a, 4096)));
+
+    // Chunk size is never observable.
+    a.rewind();
+    EXPECT_TRUE(packets_equal(reference, drain(a, 1)));
+    a.rewind();
+    EXPECT_TRUE(packets_equal(reference, drain(a, 7)));
+
+    // A different seed is a different workload.
+    ScenarioConfig reseeded = config;
+    reseeded.seed = 78;
+    ScenarioSource c(reseeded);
+    EXPECT_FALSE(packets_equal(reference, drain(c, 4096)));
+  }
+}
+
+TEST(Scenario, TimestampsNondecreasingAndEveryFlowEmits) {
+  ScenarioSource source(small_config(ScenarioKind::kHeavyTailed));
+  const auto packets = drain(source, 512);
+  std::vector<std::uint32_t> per_flow(source.flow_count(), 0);
+  sim::SimTime prev = 0;
+  for (const auto& pkt : packets) {
+    ASSERT_GE(pkt.timestamp, prev);
+    prev = pkt.timestamp;
+    ASSERT_LT(pkt.flow_id, source.flow_count());
+    ++per_flow[pkt.flow_id];
+  }
+  // Every admitted flow emits at least one packet, and sizes respect the
+  // bounded-Pareto cap.
+  const ScenarioConfig config = small_config(ScenarioKind::kHeavyTailed);
+  for (std::uint32_t f = 0; f < source.flow_count(); ++f) {
+    EXPECT_GE(per_flow[f], 1u) << "flow " << f;
+    EXPECT_LE(per_flow[f], config.max_flow_packets) << "flow " << f;
+  }
+}
+
+TEST(Scenario, FlowLabelsArePureAndMatchTheStream) {
+  const ScenarioConfig config = small_config(ScenarioKind::kDdosFlood);
+  ScenarioSource source(config);
+  // Labels must answer BEFORE the first packet is pulled (ReplayCore sizes
+  // its verdict arrays from them) and must match what the stream emits.
+  std::vector<net::ClassLabel> before(source.flow_count());
+  for (std::uint32_t f = 0; f < source.flow_count(); ++f) {
+    before[f] = source.flow_label(f);
+    ASSERT_GE(before[f], 0);
+    ASSERT_LT(before[f], config.num_classes);
+  }
+  for (const auto& pkt : drain(source, 1024)) {
+    ASSERT_EQ(pkt.label, before[pkt.flow_id]) << "flow " << pkt.flow_id;
+  }
+}
+
+TEST(Scenario, DdosFloodConvergesOnVictimWithAttackLabel) {
+  const ScenarioConfig config = small_config(ScenarioKind::kDdosFlood);
+  ScenarioSource source(config);
+  const net::ClassLabel attack_label =
+      static_cast<net::ClassLabel>(config.num_classes - 1);
+
+  std::uint64_t attack_flows = 0;
+  std::vector<bool> seen(source.flow_count(), false);
+  for (const auto& pkt : drain(source, 1024)) {
+    if (pkt.label == attack_label) {
+      // Attack flows are tiny UDP floods at one victim.
+      EXPECT_EQ(pkt.tuple.dst_ip, kVictimIp);
+      EXPECT_EQ(pkt.tuple.proto, static_cast<std::uint8_t>(net::IpProto::kUdp));
+      EXPECT_EQ(pkt.wire_length, 64u);
+      if (!seen[pkt.flow_id]) {
+        seen[pkt.flow_id] = true;
+        ++attack_flows;
+      }
+    }
+  }
+  // attack_fraction of flows are attack flows (hash-thinned, so approximate).
+  const double fraction =
+      static_cast<double>(attack_flows) / static_cast<double>(config.flows);
+  EXPECT_NEAR(fraction, config.attack_fraction, 0.05);
+}
+
+TEST(Scenario, OfferedLoadSetsTheAchievedSimRate) {
+  const ScenarioConfig config = small_config(ScenarioKind::kHeavyTailed);
+  ScenarioSource source(config);
+  const auto packets = drain(source, 4096);
+  ASSERT_GT(packets.size(), 1000u);
+  const double span_s = sim::to_seconds(packets.back().timestamp);
+  ASSERT_GT(span_s, 0.0);
+  const double achieved_pps = static_cast<double>(packets.size()) / span_s;
+  // Open-loop contract: the generator offers ~offered_pps regardless of the
+  // consumer. Wide tolerance: flow tails run past the arrival horizon and
+  // the bounded-Pareto mean is an estimate.
+  EXPECT_GT(achieved_pps, 0.4 * config.offered_pps);
+  EXPECT_LT(achieved_pps, 2.0 * config.offered_pps);
+}
+
+TEST(Scenario, FlashCrowdSpikesArrivalsInsideTheWindow) {
+  ScenarioConfig config = small_config(ScenarioKind::kFlashCrowd);
+  config.flows = 6000;
+  ScenarioSource source(config);
+  const double horizon_s = sim::to_seconds(source.horizon());
+  ASSERT_GT(horizon_s, 0.0);
+
+  // First packet of each flow = its admission time.
+  std::vector<bool> seen(source.flow_count(), false);
+  std::uint64_t inside = 0, before = 0;
+  const double win_lo = 0.4 * horizon_s;
+  const double win_hi = (0.4 + config.crowd_fraction) * horizon_s;
+  for (const auto& pkt : drain(source, 4096)) {
+    if (seen[pkt.flow_id]) continue;
+    seen[pkt.flow_id] = true;
+    const double t = sim::to_seconds(pkt.timestamp);
+    if (t >= win_lo && t < win_hi) ++inside;
+    else if (t < win_lo) ++before;
+  }
+  ASSERT_GT(inside, 0u);
+  ASSERT_GT(before, 0u);
+  // Arrival intensity inside the crowd window vs the pre-window baseline:
+  // configured at 8x, demand at least 3x to stay robust to thinning noise.
+  const double inside_rate = static_cast<double>(inside) / (win_hi - win_lo);
+  const double before_rate = static_cast<double>(before) / win_lo;
+  EXPECT_GT(inside_rate, 3.0 * before_rate);
+}
+
+TEST(Scenario, DiurnalRampVariesTheArrivalIntensity) {
+  ScenarioConfig config = small_config(ScenarioKind::kDiurnal);
+  config.flows = 6000;
+  ScenarioSource source(config);
+  const double horizon_s = sim::to_seconds(source.horizon());
+
+  // Bucket flow admissions into 8 equal slices of the horizon; with
+  // depth 0.8 the peak-to-trough intensity ratio is 9, so even coarse
+  // buckets must differ by a wide margin.
+  std::vector<std::uint64_t> buckets(8, 0);
+  std::vector<bool> seen(source.flow_count(), false);
+  for (const auto& pkt : drain(source, 4096)) {
+    if (seen[pkt.flow_id]) continue;
+    seen[pkt.flow_id] = true;
+    const double t = sim::to_seconds(pkt.timestamp);
+    const auto b = static_cast<std::size_t>(
+        std::min(7.0, std::max(0.0, 8.0 * t / horizon_s)));
+    ++buckets[b];
+  }
+  const std::uint64_t hi = *std::max_element(buckets.begin(), buckets.end());
+  const std::uint64_t lo = *std::min_element(buckets.begin(), buckets.end());
+  EXPECT_GT(hi, 2 * std::max<std::uint64_t>(lo, 1));
+}
+
+TEST(Scenario, LiveFlowSetStaysFarBelowTotalFlows) {
+  // The streamed generator's memory bound: the concurrently-active set sizes
+  // with arrival_rate * flow_lifetime, not with the total flow count.
+  ScenarioConfig config = small_config(ScenarioKind::kHeavyTailed);
+  config.flows = 20000;
+  config.offered_pps = 200000.0;
+  config.flow_lifetime = sim::milliseconds(50);
+  ScenarioSource source(config);
+  std::vector<net::PacketRecord> buf(4096);
+  while (source.next_chunk(buf) != 0) {
+  }
+  EXPECT_GT(source.peak_active_flows(), 0u);
+  EXPECT_LT(source.peak_active_flows(), config.flows / 4);
+}
+
+TEST(Scenario, StreamedReplayIsBitIdenticalToMaterialized) {
+  // End-to-end: a scenario streamed straight into FenixSystem::run must
+  // produce the same RunReport as materializing it first and replaying the
+  // vector — the same identity bench_scenarios gates at full scale.
+  const auto profile = DatasetProfile::iscx_vpn();
+  SynthesisConfig synth;
+  synth.total_flows = 80;
+  synth.seed = 5;
+  const auto flows = synthesize_flows(profile, synth);
+  nn::CnnConfig cnn;
+  cnn.conv_channels = {8};
+  cnn.fc_dims = {16};
+  cnn.num_classes = profile.num_classes();
+  nn::CnnClassifier model(cnn, 11);
+  const auto samples = make_packet_samples(flows, 9, 6, 3);
+  nn::TrainOptions opts;
+  opts.epochs = 1;
+  model.fit(samples, opts);
+  const nn::QuantizedCnn quantized(model, samples);
+
+  ScenarioConfig config = small_config(ScenarioKind::kHeavyTailed);
+  config.flows = 1500;
+  config.num_classes = static_cast<std::uint16_t>(profile.num_classes());
+  ScenarioSource source(config);
+  const net::Trace materialized = net::materialize(source);
+
+  core::FenixSystemConfig system_config;
+  system_config.data_engine.tracker.index_bits = 12;
+  system_config.data_engine.window_tw = sim::milliseconds(20);
+
+  core::FenixSystem reference_system(system_config, &quantized, nullptr);
+  const core::RunReport reference =
+      reference_system.run(materialized, profile.num_classes());
+  ASSERT_GT(reference.packets, 0u);
+
+  source.rewind();
+  net::ChunkLimiter chunked(source, 7);
+  core::FenixSystem streamed_system(system_config, &quantized, nullptr);
+  const core::RunReport streamed =
+      streamed_system.run(chunked, profile.num_classes());
+  const auto div = core::first_divergence(reference, streamed);
+  EXPECT_EQ(div, std::nullopt) << div.value_or("");
+}
+
+}  // namespace
+}  // namespace fenix::trafficgen

@@ -11,6 +11,7 @@
 #include "switchsim/pipeline.hpp"
 #include "switchsim/register_array.hpp"
 #include "switchsim/resources.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace fenix::switchsim {
 namespace {
@@ -241,6 +242,124 @@ TEST(ExactMatchTable, TombstoneReuseKeepsProbesShort) {
   EXPECT_EQ(table.max_probe_length(), after_one_cycle);
   EXPECT_EQ(table.lookup(key)->action_data, 4999u);
   EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ExactMatchTable, GrowthSustainsTenMillionEntriesWithHealthyProbes) {
+  // Scenario-scale churn (ROADMAP item 3): a host-side flow table that
+  // starts at 64k entries must grow to hold 10M+ flows while linear probing
+  // stays cache-friendly — the log2 probe histogram keeps ~all its mass in
+  // chains of <= 7 slots, because growth rehashes keep the load factor at
+  // <= 50% and drop tombstone debris.
+  ResourceLedger ledger(ChipProfile::tofino2());
+  ExactMatchTable table(ledger, "flows", 0, std::size_t{1} << 16, 64, 32);
+  table.set_growth(true);
+
+  constexpr std::uint64_t kEntries = 10'000'000;
+  // i * odd-constant is a bijection on uint64: 10M distinct well-mixed keys
+  // without materializing them.
+  const auto key_of = [](std::uint64_t i) { return i * 0x9e3779b97f4a7c15ULL + 1; };
+
+  std::uint64_t insert_failures = 0;
+  for (std::uint64_t i = 0; i < kEntries; ++i) {
+    if (!table.insert(key_of(i), {static_cast<std::uint32_t>(i), i})) {
+      ++insert_failures;
+    }
+  }
+  EXPECT_EQ(insert_failures, 0u);
+  EXPECT_EQ(table.size(), kEntries);
+  // 64k doubles 8 times before capacity covers 10M.
+  EXPECT_EQ(table.grows(), 8u);
+  EXPECT_EQ(table.capacity(), std::size_t{1} << 24);
+  EXPECT_EQ(table.evictions(), 0u);
+
+  // Spot-check membership, then churn: erase a 10% slice and re-insert it
+  // with new values (tombstone reuse at scale).
+  for (std::uint64_t i = 0; i < kEntries; i += 997) {
+    const auto hit = table.lookup(key_of(i));
+    ASSERT_TRUE(hit.has_value()) << "key index " << i;
+    EXPECT_EQ(hit->action_data, i);
+  }
+  for (std::uint64_t i = 0; i < kEntries; i += 10) table.erase(key_of(i));
+  EXPECT_EQ(table.size(), kEntries - kEntries / 10);
+  for (std::uint64_t i = 0; i < kEntries; i += 10) {
+    ASSERT_TRUE(table.insert(key_of(i), {0, i + 1}));
+  }
+  EXPECT_EQ(table.size(), kEntries);
+  EXPECT_EQ(table.lookup(key_of(20))->action_data, 21u);
+
+  // Probe-histogram shape: every operation recorded one chain, and the mass
+  // concentrates in buckets 0-2 (chains of 1-7 slots).
+  const auto& hist = table.probe_histogram();
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : hist) total += count;
+  EXPECT_GE(total, kEntries);  // at minimum, the initial inserts
+  const std::uint64_t short_chains = hist[0] + hist[1] + hist[2];
+  EXPECT_GT(static_cast<double>(short_chains), 0.9 * static_cast<double>(total))
+      << "short " << short_chains << " of " << total;
+  EXPECT_LT(table.max_probe_length(), std::size_t{4096});
+  // Nothing ever walked a chain long enough for the overflow bucket.
+  EXPECT_EQ(hist[ExactMatchTable::kProbeHistBuckets - 1], 0u);
+}
+
+TEST(ExactMatchTable, EvictCollisionReplacesAProbePathVictim) {
+  ResourceLedger ledger(ChipProfile::tofino2());
+  ExactMatchTable table(ledger, "t", 0, 64, 32, 16);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    ASSERT_TRUE(table.insert(k, {static_cast<std::uint32_t>(k), k}));
+  }
+  // Hardware default: a full table rejects.
+  EXPECT_FALSE(table.insert(1000, {9, 9}));
+  EXPECT_EQ(table.evictions(), 0u);
+
+  // Eviction mode: the insert lands by displacing one occupied slot on the
+  // new key's probe path; occupancy and capacity are unchanged.
+  table.set_eviction(EvictionPolicy::kEvictCollision);
+  ASSERT_TRUE(table.insert(1000, {9, 1000}));
+  EXPECT_EQ(table.size(), 64u);
+  EXPECT_EQ(table.evictions(), 1u);
+  EXPECT_EQ(table.lookup(1000)->action_data, 1000u);
+  std::size_t survivors = 0;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    if (table.lookup(k).has_value()) ++survivors;
+  }
+  EXPECT_EQ(survivors, 63u);  // exactly one victim
+
+  // Growth, when enabled, takes precedence over eviction.
+  table.set_growth(true);
+  ASSERT_TRUE(table.insert(1001, {9, 1001}));
+  EXPECT_EQ(table.grows(), 1u);
+  EXPECT_EQ(table.size(), 65u);
+  EXPECT_EQ(table.evictions(), 1u);
+}
+
+TEST(ExactMatchTable, ExportMetricsPublishesProbeHistogram) {
+  ResourceLedger ledger(ChipProfile::tofino2());
+  ExactMatchTable table(ledger, "t", 0, 64, 32, 16);
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    ASSERT_TRUE(table.insert(k, {static_cast<std::uint32_t>(k), k}));
+  }
+  for (std::uint64_t k = 0; k < 48; ++k) table.lookup(k);
+
+  telemetry::MetricRegistry reg;
+  table.export_metrics(reg, "switch.flow_table.");
+  EXPECT_DOUBLE_EQ(reg.gauge("switch.flow_table.size"), 32.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("switch.flow_table.capacity"), 64.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("switch.flow_table.occupancy"), 0.5);
+  EXPECT_EQ(reg.counter("switch.flow_table.lookups"), 48u);
+  EXPECT_EQ(reg.counter("switch.flow_table.evictions"), 0u);
+  EXPECT_EQ(reg.counter("switch.flow_table.grows"), 0u);
+  // Bucket 0 always anchors the histogram, and the published mass matches
+  // the recorder exactly.
+  ASSERT_TRUE(reg.contains("switch.flow_table.probe_hist_0"));
+  const auto& hist = table.probe_histogram();
+  for (std::size_t b = 0; b < ExactMatchTable::kProbeHistBuckets; ++b) {
+    const std::string key = "switch.flow_table.probe_hist_" + std::to_string(b);
+    if (reg.contains(key)) {
+      EXPECT_EQ(reg.counter(key), hist[b]) << key;
+    } else {
+      EXPECT_EQ(hist[b], 0u) << key;
+    }
+  }
 }
 
 TEST(TernaryMatchTable, PriorityOrdering) {

@@ -102,6 +102,52 @@ TEST(LatencyRecorder, ReservoirKeepsMeanUnderOverflow) {
   EXPECT_EQ(rec.percentile(50), sim::microseconds(10));
 }
 
+TEST(LatencyRecorder, P999EdgeCases) {
+  // Empty and single-sample recorders must stay well-defined: the health
+  // table exports p999_us unconditionally.
+  LatencyRecorder empty;
+  EXPECT_DOUBLE_EQ(empty.p999_us(), 0.0);
+
+  LatencyRecorder one;
+  one.record(sim::microseconds(7));
+  EXPECT_DOUBLE_EQ(one.p999_us(), 7.0);
+  EXPECT_DOUBLE_EQ(one.p50_us(), 7.0);
+
+  // Two samples: nearest-rank p999 lands on the max.
+  one.record(sim::microseconds(3));
+  EXPECT_DOUBLE_EQ(one.p999_us(), 7.0);
+}
+
+TEST(LatencyRecorder, P999ExactWithinReservoirBound) {
+  // Exactly at the reservoir bound every sample is retained, so p999 is the
+  // exact nearest-rank value — the property the scenario tail gates rely on.
+  LatencyRecorder rec(10'000);
+  for (std::uint64_t i = 1; i <= 10'000; ++i) rec.record(i * sim::kMicrosecond);
+  EXPECT_EQ(rec.count(), 10'000u);
+  // rank = 0.999 * 9999 = 9989.0 -> index 9989 -> sample value 9990us.
+  EXPECT_DOUBLE_EQ(rec.p999_us(), 9990.0);
+  EXPECT_DOUBLE_EQ(rec.p99_us(), 9900.0);
+  EXPECT_EQ(rec.max(), sim::microseconds(10'000));
+
+  // p999 separates a tail the p99 can't see: 10k samples at 10us with 15
+  // outliers at 1000us leave p99 flat but move p999.
+  LatencyRecorder tail(20'000);
+  for (int i = 0; i < 10'000; ++i) tail.record(sim::microseconds(10));
+  for (int i = 0; i < 15; ++i) tail.record(sim::microseconds(1000));
+  EXPECT_DOUBLE_EQ(tail.p99_us(), 10.0);
+  EXPECT_DOUBLE_EQ(tail.p999_us(), 1000.0);
+}
+
+TEST(LatencyRecorder, P999DegradesGracefullyBeyondReservoir) {
+  // Past the bound the reservoir subsamples; the estimate must stay inside
+  // the observed range and the summary stats stay exact.
+  LatencyRecorder rec(256);
+  for (std::uint64_t i = 1; i <= 100'000; ++i) rec.record(i * sim::kNanosecond);
+  EXPECT_EQ(rec.count(), 100'000u);
+  EXPECT_GE(rec.percentile(99.9), rec.percentile(50.0));
+  EXPECT_LE(rec.percentile(99.9), rec.max());
+}
+
 TEST(TextTable, RendersAligned) {
   TextTable table({"Name", "Value"});
   table.add_row({"alpha", "1"});

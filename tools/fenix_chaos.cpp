@@ -38,6 +38,7 @@
 #include "core/invariants.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/fault_schedule.hpp"
+#include "net/packet_source.hpp"
 #include "nn/quantize.hpp"
 #include "trafficgen/profiles.hpp"
 #include "trafficgen/synthesizer.hpp"
@@ -164,11 +165,17 @@ bool run_seed(std::uint64_t seed, const Workload& work, std::size_t windows,
   const faults::FaultSchedule schedule =
       faults::FaultSchedule::random(seed, work.trace.duration(), windows);
 
-  // Serial path.
+  // Serial path, streamed through PacketSource at a seed-rotated chunk size:
+  // every chaos seed also asserts that chunking is unobservable (the serial
+  // report below is the sharded comparison's reference, so a chunk-size leak
+  // would show up as a divergence).
+  static constexpr std::size_t kChunks[] = {1, 7, 64, 4096};
+  net::TraceSource trace_source(work.trace);
+  net::ChunkLimiter serial_source(trace_source, kChunks[(seed / 2) % 4]);
   core::FenixSystem serial(config, work.quantized.get(), nullptr);
   faults::FaultInjector serial_injector(schedule, serial);
   const core::RunReport serial_report =
-      serial.run(work.trace, work.num_classes, &serial_injector);
+      serial.run(serial_source, work.num_classes, &serial_injector);
 
   // Sharded path: pipes / batch rotate with the seed so the soak sweeps the
   // shard and batch-lane space, not one fixed configuration.

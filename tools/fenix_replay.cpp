@@ -22,6 +22,16 @@
 //                            (bit-identical to the serial replay)
 //   --batch <N>              inferences per batched Model Engine submission
 //                            (with --pipes; default 16)
+//   --scenario <preset>      generate a production-shape workload preset
+//                            (heavy_tailed | flash_crowd | ddos_flood |
+//                            diurnal) instead of loading a trace; streams
+//                            open-loop, never materializing the packets
+//   --offered-load <pps>     target aggregate packet rate: rescales a loaded
+//                            trace's timestamps, or overrides the scenario's
+//                            offered load
+//   --stream-chunk <N>       stream the trace file from disk through the
+//                            PacketSource seam in N-packet chunks instead of
+//                            materializing it
 //   --shadow-model <file>    score a candidate model over the same mirrored
 //                            features (shadow evaluation; no data-path cost)
 //   --promote-at <sec>       hot-swap the shadow in at this replay time
@@ -48,7 +58,9 @@
 #include "core/verdict_backend.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/fault_schedule.hpp"
+#include "net/packet_source.hpp"
 #include "net/trace_io.hpp"
+#include "trafficgen/scenario.hpp"
 #include "nn/quantize.hpp"
 #include "nn/serialize.hpp"
 #include "telemetry/table.hpp"
@@ -67,13 +79,16 @@ int usage() {
          "  fenix_replay info  <trace>\n"
          "  fenix_replay train <vpn|tfc> <flows> <out.model> [cnn|rnn] [seed]\n"
          "  fenix_replay run   <trace> <model> [pcb_loss_rate]\n"
+         "  fenix_replay run   --scenario <preset> <model> [options]\n"
          "                     [--precision <fp32|int8|int4|ternary>]\n"
          "                     [--pcb-loss <rate>] [--fault-schedule <file>]\n"
          "                     [--fallback-tree] [--pipes <N>] [--batch <N>]\n"
+         "                     [--offered-load <pps>] [--stream-chunk <N>]\n"
          "                     [--shadow-model <file>] [--promote-at <sec>]\n"
          "                     [--slo-drift <rate>] [--slo-p99-us <us>]\n"
          "                     [--slo-min-samples <N>] [--slo-fallback]\n"
-         "  fenix_replay baselines <vpn|tfc> <flows> [seed]\n";
+         "  fenix_replay baselines <vpn|tfc> <flows> [seed]\n"
+         "scenario presets: heavy_tailed, flash_crowd, ddos_flood, diurnal\n";
   return 2;
 }
 
@@ -157,39 +172,33 @@ int cmd_train(int argc, char** argv) {
 
 int cmd_run(int argc, char** argv) {
   if (argc < 2) return usage();
-  const auto trace = net::load_trace(argv[0]);
-  std::size_t classes = 0;
-  for (const auto& f : trace.flows) {
-    classes = std::max<std::size_t>(classes, static_cast<std::size_t>(f.label) + 1);
-  }
-  // Calibration windows from the trace itself.
-  std::vector<nn::SeqSample> calibration;
-  {
-    trafficgen::FlowSample synth_flow;
-    for (const auto& p : trace.packets) {
-      net::PacketFeature f;
-      f.length = p.wire_length;
-      synth_flow.features.push_back(f);
-      if (synth_flow.features.size() >= 512) break;
-    }
-    for (std::size_t i = 9; i < synth_flow.features.size(); i += 9) {
-      nn::SeqSample s;
-      s.tokens = nn::tokenize(
-          std::span<const net::PacketFeature>(synth_flow.features.data() + i - 9, 9),
-          9);
-      s.label = 0;
-      calibration.push_back(std::move(s));
-    }
+  // Workload: a saved trace (materialized, or streamed from disk with
+  // --stream-chunk) or a generated scenario preset. Everything downstream
+  // consumes the net::PacketSource seam.
+  std::string scenario_name;
+  const char* trace_path = nullptr;
+  const char* model_path = nullptr;
+  int opt_start = 2;
+  if (std::strcmp(argv[0], "--scenario") == 0) {
+    if (argc < 3) return usage();
+    scenario_name = argv[1];
+    model_path = argv[2];
+    opt_start = 3;
+  } else {
+    trace_path = argv[0];
+    model_path = argv[1];
   }
 
   core::FenixSystemConfig config;
   faults::FaultSchedule schedule;
   bool fallback_tree = false;
   bool pipelined = false;
+  double offered_pps = 0.0;
+  std::size_t stream_chunk = 0;
   std::string shadow_path;
   nn::Precision precision = nn::Precision::kInt8;
   core::PipelineOptions pipeline_opts;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = opt_start; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--precision") {
       if (++i >= argc) return usage();
@@ -238,6 +247,12 @@ int cmd_run(int argc, char** argv) {
       if (++i >= argc) return usage();
       config.lifecycle.slo.min_samples =
           static_cast<std::uint64_t>(std::max(1l, std::atol(argv[i])));
+    } else if (arg == "--offered-load") {
+      if (++i >= argc) return usage();
+      offered_pps = std::atof(argv[i]);
+    } else if (arg == "--stream-chunk") {
+      if (++i >= argc) return usage();
+      stream_chunk = static_cast<std::size_t>(std::max(1l, std::atol(argv[i])));
     } else if (arg == "--slo-fallback") {
       config.lifecycle.slo.rollback_to_fallback = true;
     } else if (!arg.empty() && arg[0] != '-') {
@@ -248,13 +263,85 @@ int cmd_run(int argc, char** argv) {
     }
   }
 
+  if (offered_pps > 0.0 && stream_chunk > 0 && scenario_name.empty()) {
+    std::cerr << "fenix_replay: --offered-load needs a materialized trace or "
+                 "a scenario (rescaling a disk stream is not supported)\n";
+    return 2;
+  }
+
+  net::Trace trace;  // Backs the materialized path only; empty when streaming.
+  std::unique_ptr<net::PacketSource> owned;
+  std::unique_ptr<net::ChunkLimiter> limiter;
+  net::PacketSource* source = nullptr;
+  if (!scenario_name.empty()) {
+    trafficgen::ScenarioConfig scenario = trafficgen::scenario_preset(scenario_name);
+    if (offered_pps > 0.0) scenario.offered_pps = offered_pps;
+    auto scenario_source = std::make_unique<trafficgen::ScenarioSource>(scenario);
+    std::cout << "scenario " << scenario_name << ": " << scenario.flows
+              << " flows, offered " << scenario.offered_pps / 1e6
+              << " Mpps over " << sim::to_seconds(scenario_source->horizon())
+              << " s\n";
+    owned = std::move(scenario_source);
+    source = owned.get();
+  } else if (stream_chunk > 0) {
+    owned = std::make_unique<net::StreamingTraceReader>(trace_path);
+    limiter = std::make_unique<net::ChunkLimiter>(*owned, stream_chunk);
+    source = limiter.get();
+  } else {
+    trace = net::load_trace(trace_path);
+    if (offered_pps > 0.0) {
+      const double current = trace.offered_pps();
+      if (current > 0.0) {
+        trace = trafficgen::rescale_trace(trace, offered_pps / current);
+        std::cout << "rescaled trace to " << trace.offered_pps() / 1e6
+                  << " Mpps\n";
+      }
+    }
+    owned = std::make_unique<net::TraceSource>(trace);
+    source = owned.get();
+  }
+
+  std::size_t classes = 0;
+  for (std::uint32_t fid = 0; fid < source->flow_count(); ++fid) {
+    const net::ClassLabel label = source->flow_label(fid);
+    if (label >= 0) {
+      classes = std::max<std::size_t>(classes, static_cast<std::size_t>(label) + 1);
+    }
+  }
+
+  // Calibration windows from the workload's first 512 packets (pulled
+  // through the source, then rewound — works for traces and scenarios).
+  std::vector<nn::SeqSample> calibration;
+  {
+    trafficgen::FlowSample synth_flow;
+    std::vector<net::PacketRecord> chunk(512);
+    while (synth_flow.features.size() < 512) {
+      const std::size_t n = source->next_chunk(std::span(chunk));
+      if (n == 0) break;
+      for (std::size_t j = 0; j < n && synth_flow.features.size() < 512; ++j) {
+        net::PacketFeature f;
+        f.length = chunk[j].wire_length;
+        synth_flow.features.push_back(f);
+      }
+    }
+    source->rewind();
+    for (std::size_t i = 9; i < synth_flow.features.size(); i += 9) {
+      nn::SeqSample s;
+      s.tokens = nn::tokenize(
+          std::span<const net::PacketFeature>(synth_flow.features.data() + i - 9, 9),
+          9);
+      s.label = 0;
+      calibration.push_back(std::move(s));
+    }
+  }
+
   // Try CNN first, fall back to RNN.
   std::unique_ptr<nn::CnnClassifier> cnn;
   std::unique_ptr<nn::RnnClassifier> rnn;
   try {
-    cnn = nn::load_cnn(std::string(argv[1]));
+    cnn = nn::load_cnn(std::string(model_path));
   } catch (const nn::SerializeError&) {
-    rnn = nn::load_rnn(std::string(argv[1]));
+    rnn = nn::load_rnn(std::string(model_path));
   }
   // The float parents outlive the quantized models: the fp32 tier serves
   // them directly, and sub-INT8 quantization reads them once here.
@@ -297,28 +384,35 @@ int cmd_run(int argc, char** argv) {
   core::FenixSystem system(config, qcnn.get(), qrnn.get());
 
   if (fallback_tree) {
-    // Per-packet (length, IPD code) rows reconstructed from the trace — the
+    // Per-packet (length, IPD code) rows streamed from the workload — the
     // same features the Data Engine computes in the pipeline.
     trees::Dataset data;
     data.dim = 2;
-    std::vector<sim::SimTime> last_seen(trace.flows.size(), 0);
-    std::vector<net::ClassLabel> labels(trace.flows.size(), net::kUnlabeled);
-    for (const auto& f : trace.flows) {
-      if (f.flow_id < labels.size()) labels[f.flow_id] = f.label;
-    }
-    for (const auto& p : trace.packets) {
-      if (p.flow_id >= labels.size() || labels[p.flow_id] == net::kUnlabeled) {
-        continue;
+    std::vector<sim::SimTime> last_seen(source->flow_count(), 0);
+    std::vector<net::PacketRecord> chunk(4096);
+    bool done = false;
+    while (!done) {
+      const std::size_t n = source->next_chunk(std::span(chunk));
+      if (n == 0) break;
+      for (std::size_t j = 0; j < n; ++j) {
+        const net::PacketRecord& p = chunk[j];
+        if (p.flow_id >= last_seen.size()) continue;
+        const net::ClassLabel label = source->flow_label(p.flow_id);
+        if (label == net::kUnlabeled) continue;
+        const sim::SimTime prev = last_seen[p.flow_id];
+        const std::uint16_t ipd =
+            prev == 0 ? 0 : net::encode_ipd(p.orig_timestamp - prev);
+        last_seen[p.flow_id] = p.orig_timestamp;
+        const float row[2] = {static_cast<float>(p.wire_length),
+                              static_cast<float>(ipd)};
+        data.add_row(row, label);
+        if (data.rows() >= 60'000) {
+          done = true;
+          break;
+        }
       }
-      const sim::SimTime prev = last_seen[p.flow_id];
-      const std::uint16_t ipd =
-          prev == 0 ? 0 : net::encode_ipd(p.orig_timestamp - prev);
-      last_seen[p.flow_id] = p.orig_timestamp;
-      const float row[2] = {static_cast<float>(p.wire_length),
-                            static_cast<float>(ipd)};
-      data.add_row(row, labels[p.flow_id]);
-      if (data.rows() >= 60'000) break;
     }
+    source->rewind();
     trees::DecisionTree tree;
     trees::TreeConfig tree_config;
     tree_config.max_depth = 8;
@@ -335,7 +429,7 @@ int cmd_run(int argc, char** argv) {
               << schedule.to_text();
   }
 
-  std::cout << "replaying " << trace.packets.size() << " packets";
+  std::cout << "replaying ~" << source->packet_hint() << " packets";
   if (pipelined) {
     std::cout << " (" << pipeline_opts.pipes << " pipe shards, batch "
               << pipeline_opts.batch << ")";
@@ -344,8 +438,8 @@ int cmd_run(int argc, char** argv) {
   faults::FaultInjector* hooks = schedule.empty() ? nullptr : &injector;
   const auto report =
       pipelined
-          ? system.run_pipelined(trace, classes, hooks, {}, pipeline_opts)
-          : system.run(trace, classes, hooks);
+          ? system.run_pipelined(*source, classes, hooks, {}, pipeline_opts)
+          : system.run(*source, classes, hooks);
 
   telemetry::TextTable table({"Metric", "Value"});
   table.add_row({"precision", report.precision});
@@ -357,6 +451,8 @@ int cmd_run(int argc, char** argv) {
                  telemetry::TextTable::num(report.end_to_end.mean_us(), 1)});
   table.add_row({"e2e p99 (us)",
                  telemetry::TextTable::num(report.end_to_end.p99_us(), 1)});
+  table.add_row({"e2e p999 (us)",
+                 telemetry::TextTable::num(report.end_to_end.p999_us(), 1)});
   std::cout << table.render();
   if (config.lifecycle.enabled()) {
     std::cout << "lifecycle: " << report.lifecycle_shadow_evals
