@@ -27,9 +27,13 @@
 //                                  These are the SLO-grade tail gates over
 //                                  the scenario presets — a p999 blowup is a
 //                                  regression even when the mean is flat
-//   *_drop_unattributed            must be exactly 0: every dropped mirror in
-//                                  a scenario replay must carry a recorded
-//                                  reason (conservation audit, no slack)
+//   *_drop_unattributed,           must be exactly 0: every dropped mirror
+//   *_shed_unattributed            and every shed admission grant must carry
+//                                  a recorded reason (conservation audits,
+//                                  no slack)
+//   *_knee_pps                     knee-capacity floors from the overload
+//                                  sweep: higher-is-better; current must be
+//                                  >= baseline * (1 - tolerance)
 //   anything else                  informational (recorded, not gated)
 //
 // Usage: bench_gate [baselines.json] [current.json]
@@ -98,14 +102,16 @@ int main(int argc, char** argv) {
     const bool rate_metric = ends_with(base.key, "_packets_per_sec") ||
                              base.key == "serial_packets_per_sec" ||
                              ends_with(base.key, "_speedup") ||
-                             ends_with(base.key, "_scaling_efficiency");
+                             ends_with(base.key, "_scaling_efficiency") ||
+                             ends_with(base.key, "_knee_pps");
     const bool identity_metric = ends_with(base.key, "_bit_identical");
     const bool divergence_metric = ends_with(base.key, "_divergence");
     const bool floor_metric = ends_with(base.key, "_floor");
     const bool ceiling_metric = ends_with(base.key, "_p50_us") ||
                                 ends_with(base.key, "_p99_us") ||
                                 ends_with(base.key, "_p999_us");
-    const bool drop_metric = ends_with(base.key, "_drop_unattributed");
+    const bool drop_metric = ends_with(base.key, "_drop_unattributed") ||
+                             ends_with(base.key, "_shed_unattributed");
     if (!rate_metric && !identity_metric && !divergence_metric &&
         !floor_metric && !ceiling_metric && !drop_metric) {
       continue;

@@ -79,6 +79,7 @@ DataEngineOutput DataEngine::on_packet(const net::PacketRecord& packet) {
 
   // Stage 0-3: Flow Tracker update.
   out.flow = tracker_->on_packet(packet.tuple, packet.timestamp);
+  if (admission_ && out.flow.new_flow) admission_->on_new_flow(out.flow.index);
 
   // Feature computation: IPD from the original capture timestamp register
   // (see net::PacketRecord::orig_timestamp).
@@ -124,8 +125,16 @@ DataEngineOutput DataEngine::on_packet(const net::PacketRecord& packet) {
   const std::uint16_t prob = prob_table_.lookup_fixed(t_i, c_i);
   const std::size_t lane = lane_of_slot(out.flow.index);
   if (bucket_->on_packet(lane, packet.timestamp, prob)) {
+    // Overload-admission ladder first (a shed grant never reaches the
+    // degraded probe stride, so every shed is attributed exactly once),
+    // then the degraded probe thinning.
     bool emit = true;
-    if (watchdog_.degraded()) {
+    if (admission_ &&
+        !admission_->on_grant(lane, out.flow.flow_hash, out.flow.index,
+                              packet.tuple.dst_ip)) {
+      emit = false;
+    }
+    if (emit && watchdog_.degraded()) {
       const unsigned stride = std::max(1u, config_.degraded_probe_stride);
       emit = degraded_grants_[lane]++ % stride == 0;
       if (!emit) ++mirrors_suppressed_;

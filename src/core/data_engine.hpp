@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/admission_controller.hpp"
 #include "core/buffer_manager.hpp"
 #include "core/flow_tracker.hpp"
 #include "core/health_watchdog.hpp"
@@ -150,6 +151,13 @@ class DataEngine {
   std::uint64_t fallback_verdicts() const { return fallback_verdicts_; }
   std::uint64_t mirrors_suppressed() const { return mirrors_suppressed_; }
 
+  /// Attaches the replay's overload-admission stage (nullptr = none, the
+  /// standalone-DataEngine default). When set, every flow birth and every
+  /// token-bucket grant is routed through it, so the serial driver makes the
+  /// same shed decisions as the pipelined one. The controller belongs to the
+  /// run's ReplayCore; the driver clears this after the run.
+  void set_admission(AdmissionController* admission) { admission_ = admission; }
+
   /// FPGA health watchdog, lane-buffered. deliver_result() buffers
   /// heartbeats; the replay core buffers missed result deadlines; the
   /// degradation ladder reads the flag published at epoch_reconcile().
@@ -177,6 +185,7 @@ class DataEngine {
   telemetry::RateMeter packet_rate_meter_{0.4};
 
   LaneWatchdog watchdog_;
+  AdmissionController* admission_ = nullptr;
   /// Per-lane grants seen while degraded (probe stride); lane-local so pipe
   /// workers never share a stride counter.
   std::array<std::uint64_t, kCoordinationLanes> degraded_grants_{};

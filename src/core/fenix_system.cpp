@@ -167,6 +167,9 @@ RunReport FenixSystem::run(net::PacketSource& source, std::size_t num_classes,
   core_config.recovery = config_.recovery;
   core_config.transit_latency = data_engine_.timing().transit_latency();
   core_config.pass_latency = data_engine_.timing().pass_latency();
+  core_config.admission = config_.admission;
+  // The frozen-flow bit table shadows the Flow Info Table slot-for-slot.
+  core_config.admission.table_slots = data_engine_.tracker().table_size();
   DataEngineResultSink sink(data_engine_);
 
   if (config_.lifecycle.enabled()) {
@@ -198,6 +201,9 @@ RunReport FenixSystem::run(const net::Trace& trace, std::size_t num_classes,
 }
 
 RunReport FenixSystem::run_serial(ReplayCore& core, net::PacketSource& source) {
+  // Route the Data Engine's grant path through this run's admission stage
+  // (the pipelined driver calls core.admission() from its shard loop).
+  data_engine_.set_admission(&core.admission());
   const sim::SimDuration quantum =
       std::max<sim::SimDuration>(1, config_.reconcile_quantum);
   sim::SimTime last_epoch = 0;
@@ -246,6 +252,7 @@ RunReport FenixSystem::run_serial(ReplayCore& core, net::PacketSource& source) {
   core.report().fallback_verdicts = data_engine_.fallback_verdicts();
   core.report().mirrors_suppressed = data_engine_.mirrors_suppressed();
   core.report().precision = nn::precision_name(model_engine_.precision());
+  data_engine_.set_admission(nullptr);  // The controller dies with the core.
   return core.take_report();
 }
 
@@ -318,6 +325,26 @@ telemetry::MetricRegistry FenixSystem::health_metrics(const RunReport& report) c
   reg.set_counter("retransmits_exhausted", report.retransmits_exhausted);
   reg.set_counter("fallback_verdicts", report.fallback_verdicts);
   reg.set_counter("mirrors_suppressed", report.mirrors_suppressed);
+  // Overload-admission health: the shedding ladder's attributed counters plus
+  // the conservation residual. Every Rate Limiter grant must meet exactly one
+  // fate — emitted as a mirror, shed by a ladder tier, or suppressed by the
+  // degraded probe stride; a nonzero residual means a shed path went
+  // untracked.
+  reg.set_counter("admission_offered", report.admission_offered);
+  reg.set_counter("admission_admitted", report.admission_admitted);
+  reg.set_counter("shed_thinned", report.shed_thinned);
+  reg.set_counter("shed_frozen", report.shed_frozen);
+  reg.set_counter("shed_isolated", report.shed_isolated);
+  reg.set_counter("admission_transitions", report.admission_transitions);
+  reg.set_counter("admission_peak_tier", report.admission_peak_tier);
+  const std::uint64_t shed_served = report.admission_admitted +
+                                    report.shed_thinned + report.shed_frozen +
+                                    report.shed_isolated +
+                                    report.mirrors_suppressed;
+  reg.set_counter("shed_unattributed",
+                  report.admission_offered > shed_served
+                      ? report.admission_offered - shed_served
+                      : shed_served - report.admission_offered);
   reg.set_counter("watchdog_degradations", report.watchdog.degradations);
   reg.set_counter("watchdog_recoveries", report.watchdog.recoveries);
   reg.set_gauge("time_degraded_ms",

@@ -69,6 +69,13 @@ struct FenixSystemConfig {
   /// (core/replay_core.hpp, threaded into the shared ReplayCore).
   RecoveryConfig recovery;
 
+  /// Overload-admission ladder (core/admission_controller.hpp): hysteresis
+  /// load shedding between the Rate Limiter grant and the mirror emission.
+  /// Offered/admitted/shed accounting always runs (the shed-conservation
+  /// invariant holds on every report); `admission.enabled` arms the ladder.
+  /// table_slots is resolved from the flow tracker at run time.
+  AdmissionConfig admission;
+
   /// Online model lifecycle (src/lifecycle/): configuring a shadow model
   /// enables shadow evaluation + drift monitoring, and optionally an
   /// epoch-tagged hot swap at promote_at with SLO-guarded automatic

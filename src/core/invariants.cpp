@@ -234,6 +234,25 @@ InvariantRegistry InvariantRegistry::standard() {
                  ctx.to_link->resyncs + ctx.from_link->resyncs);
           });
 
+  // Overload-admission conservation (DESIGN.md §4.12): every token-bucket
+  // grant routed through the admission ladder is either admitted (and became
+  // exactly one mirror) or shed with exactly one attributed reason — thinned,
+  // frozen, isolated, or suppressed by the degraded probe stride. Gated on
+  // admission_tracking: standalone ReplayCore/DataEngine harnesses don't
+  // route grants through the controller, so offered would read 0 there.
+  reg.add("shed-conservation",
+          [](const InvariantContext& ctx, std::vector<InvariantViolation>& out) {
+            if (!ctx.admission_tracking) return;
+            Expect e("shed-conservation", out);
+            e.eq("offered != admitted + thinned + frozen + isolated + suppressed",
+                 ctx.report.admission_offered,
+                 ctx.report.admission_admitted + ctx.report.shed_thinned +
+                     ctx.report.shed_frozen + ctx.report.shed_isolated +
+                     ctx.report.mirrors_suppressed);
+            e.eq("admission_admitted != mirrors", ctx.report.admission_admitted,
+                 ctx.report.mirrors);
+          });
+
   // In-order release times never run backwards. Only *release* order is
   // monotone by contract — send times are legitimately not (a deadline miss
   // at t can fire after a mirror emitted at t + transit), which is why the

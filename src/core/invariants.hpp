@@ -19,6 +19,7 @@
 //   reorder-window-bound    peak window occupancy <= configured window
 //   retransmit-budget       link and replay retransmits within their budgets
 //   monotone-release        in-order release times never run backwards
+//   shed-conservation       offered grants = admitted + every attributed shed
 #pragma once
 
 #include <cstdint>
@@ -46,6 +47,10 @@ struct InvariantContext {
   /// Model lifecycle ran this replay (gates the attribution laws that only
   /// hold when verdicts carry generation tags).
   bool lifecycle_enabled = false;
+  /// The replay routed every token-bucket grant through the overload
+  /// AdmissionController (both FenixSystem drivers do; standalone
+  /// ReplayCore/DataEngine harnesses don't) — gates shed-conservation.
+  bool admission_tracking = false;
   /// Configured per-swap reconfiguration window (lifecycle_swap_blackout
   /// must equal swaps * this, exactly).
   sim::SimDuration lifecycle_blackout = 0;

@@ -311,6 +311,8 @@ RunReport FenixSystem::run_pipelined(net::PacketSource& source,
   core_config.recovery = config_.recovery;
   core_config.transit_latency = data_engine_.timing().transit_latency();
   core_config.pass_latency = data_engine_.timing().pass_latency();
+  core_config.admission = config_.admission;
+  core_config.admission.table_slots = table_size;
   const bool lifecycle_on = config_.lifecycle.enabled();
   std::optional<FanInInferenceStage> fanin;
   std::optional<lifecycle::LifecycleInferenceStage> lifecycle_stage;
@@ -357,6 +359,7 @@ RunReport FenixSystem::run_pipelined(net::PacketSource& source,
       sh.bklog_n[ls] = 0;
       sh.bklog_t[ls] = now_us;
       sh.cls_symbol[ls] = 0;
+      core.admission().on_new_flow(slot);
     }
 
     // Window new-flow counter (Figure 4a): the serial engine clears the hash
@@ -428,8 +431,15 @@ RunReport FenixSystem::run_pipelined(net::PacketSource& source,
     const std::uint16_t prob =
         prob_table.lookup_fixed(t_i, static_cast<double>(backlog_count));
     if (bucket.on_packet(lane, ts, prob)) {
+      // Overload-admission ladder first, then the degraded probe thinning —
+      // the same order as DataEngine::on_packet, so every shed is attributed
+      // exactly once and the reports stay bit-identical.
       bool emit = true;
-      if (watchdog.degraded()) {
+      if (!core.admission().on_grant(lane, flow_hash, slot,
+                                     packet.tuple.dst_ip)) {
+        emit = false;
+      }
+      if (emit && watchdog.degraded()) {
         const unsigned stride = std::max(1u, de.degraded_probe_stride);
         emit = sh.degraded_grants++ % stride == 0;
         if (!emit) ++sh.mirrors_suppressed;

@@ -53,8 +53,8 @@ ReplayCore::ReplayCore(const net::PacketSource& source, std::size_t num_classes,
                        const LaneLinks& from_fpga, LaneWatchdog& watchdog,
                        InferenceStage& inference, ResultSink& sink,
                        RunHooks* hooks)
-    : config_(config), watchdog_(watchdog), inference_(inference), sink_(sink),
-      hooks_(hooks), report_(num_classes),
+    : config_(config), admission_(config.admission), watchdog_(watchdog),
+      inference_(inference), sink_(sink), hooks_(hooks), report_(num_classes),
       flow_labels_(source.flow_count(), net::kUnlabeled),
       flow_verdict_symbol_(source.flow_count(), kNoVerdict) {
   // A hint, not a measurement: streaming drivers overwrite it with the
@@ -227,6 +227,17 @@ void ReplayCore::reconcile(sim::SimTime now) {
   for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
     pump(now, /*everything=*/false, lane);
   }
+  // Admission ladder fold: the pump above may have produced this epoch's
+  // final FIFO drops and deadline misses, so the pressure signal is complete.
+  // Tier changes publish here — never between barriers — and entering the
+  // top tier pins the board-wide TCAM degrade through the watchdog (whose
+  // own reconcile runs after ours in both drivers, so recovery follows the
+  // normal consecutive-result hysteresis).
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    admission_.observe_lane(lane, lanes_[lane].fifo_drops,
+                            lanes_[lane].deadline_misses);
+  }
+  if (admission_.reconcile(now)) watchdog_.force_degrade(now);
   // Lifecycle decisions run strictly after the all-lane pump: every pending
   // verdict due by `now` has been applied, so a cutover's link resync leaves
   // only not-yet-due pendings behind — all of which the epoch-staleness rule
@@ -261,6 +272,10 @@ void ReplayCore::account_packet(sim::SimTime now, net::ClassLabel truth,
 
 void ReplayCore::emit_mirror(const net::FeatureVector& vec,
                              sim::SimTime packet_ts, std::size_t lane) {
+  // Counted here — after the degraded probe stride — so that
+  // admission_admitted == mirrors holds exactly and stride suppressions stay
+  // attributed to mirrors_suppressed (retransmits bypass this path).
+  admission_.note_admitted(lane);
   ++lanes_[lane].mirrors;
   // Mirror leaves the deparser after the full switch transit.
   send_vector(vec, packet_ts + config_.transit_latency,
@@ -358,6 +373,14 @@ void ReplayCore::resolve() {
   }
   report_.results_applied = sink_.results_applied();
   report_.results_stale = sink_.results_stale();
+  const AdmissionTotals shed = admission_.totals();
+  report_.admission_offered = shed.offered;
+  report_.admission_admitted = shed.admitted;
+  report_.shed_thinned = shed.shed_thinned;
+  report_.shed_frozen = shed.shed_frozen;
+  report_.shed_isolated = shed.shed_isolated;
+  report_.admission_transitions = admission_.transitions();
+  report_.admission_peak_tier = admission_.peak_tier();
   report_.watchdog = watchdog_.stats();
 }
 
@@ -503,6 +526,23 @@ std::optional<std::string> first_divergence(const RunReport& a,
     return d;
   if (auto d = diverge("mirrors_suppressed", a.mirrors_suppressed,
                        b.mirrors_suppressed))
+    return d;
+  if (auto d = diverge("admission_offered", a.admission_offered,
+                       b.admission_offered))
+    return d;
+  if (auto d = diverge("admission_admitted", a.admission_admitted,
+                       b.admission_admitted))
+    return d;
+  if (auto d = diverge("shed_thinned", a.shed_thinned, b.shed_thinned))
+    return d;
+  if (auto d = diverge("shed_frozen", a.shed_frozen, b.shed_frozen)) return d;
+  if (auto d = diverge("shed_isolated", a.shed_isolated, b.shed_isolated))
+    return d;
+  if (auto d = diverge("admission_transitions", a.admission_transitions,
+                       b.admission_transitions))
+    return d;
+  if (auto d = diverge("admission_peak_tier", a.admission_peak_tier,
+                       b.admission_peak_tier))
     return d;
   if (auto d = diverge("watchdog.deadline_misses", a.watchdog.deadline_misses,
                        b.watchdog.deadline_misses))

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "core/admission_controller.hpp"
 #include "core/lane_coordination.hpp"
 #include "net/feature.hpp"
 #include "net/packet.hpp"
@@ -173,6 +174,21 @@ struct RunReport {
   std::uint64_t retransmits_exhausted = 0;   ///< Retry budget spent, verdict lost.
   std::uint64_t fallback_verdicts = 0;       ///< Tree verdicts served while degraded.
   std::uint64_t mirrors_suppressed = 0;      ///< Grants thinned while degraded.
+
+  // Overload-admission accounting (core/admission_controller.hpp). Offered
+  // counts every token-bucket grant presented to the admission stage;
+  // admitted counts grants that became actual mirrors (== `mirrors`). The
+  // shed-conservation invariant is
+  //   admission_offered == admission_admitted + shed_thinned + shed_frozen
+  //                        + shed_isolated + mirrors_suppressed.
+  std::uint64_t admission_offered = 0;
+  std::uint64_t admission_admitted = 0;
+  std::uint64_t shed_thinned = 0;        ///< Tier >= 1 flow-hash thinning.
+  std::uint64_t shed_frozen = 0;         ///< Tier >= 2 new-flow freeze.
+  std::uint64_t shed_isolated = 0;       ///< Tier >= 3 victim isolation.
+  std::uint64_t admission_transitions = 0;  ///< Ladder tier changes this run.
+  std::uint64_t admission_peak_tier = 0;    ///< Highest tier reached.
+
   HealthWatchdogStats watchdog;              ///< Final watchdog state counters.
 
   std::vector<PhaseReport> phases;  ///< Populated when run() was given phases.
@@ -291,6 +307,8 @@ struct ReplayCoreConfig {
   RecoveryConfig recovery;
   sim::SimDuration transit_latency = 0;  ///< Packet ingress -> mirror deparsed.
   sim::SimDuration pass_latency = 0;     ///< Result ingress -> verdict installed.
+  /// Overload-shedding ladder knobs; accounting runs even when disabled.
+  AdmissionConfig admission;
 };
 
 /// One ReliableLink endpoint per coordination lane, per direction.
@@ -357,6 +375,13 @@ class ReplayCore {
   /// Attaches the model-lifecycle observer (nullptr = none). Set before the
   /// first packet; the observer outlives the core's last resolve().
   void set_lifecycle(LifecycleObserver* lifecycle) { lifecycle_ = lifecycle; }
+
+  /// The overload-admission stage (between begin_packet and emit_mirror).
+  /// Drivers route every token-bucket grant through admission().on_grant and
+  /// every flow birth through admission().on_new_flow; the ladder fold runs
+  /// inside reconcile(), so tier changes are epoch-barrier-published.
+  AdmissionController& admission() { return admission_; }
+  const AdmissionController& admission() const { return admission_; }
 
   /// Records the measured first-to-last-packet span. Streaming drivers call
   /// this once the stream is exhausted (the construction-time value is only
@@ -472,6 +497,7 @@ class ReplayCore {
   void pump(sim::SimTime now, bool everything, std::size_t lane);
 
   ReplayCoreConfig config_;
+  AdmissionController admission_;
   LaneWatchdog& watchdog_;
   InferenceStage& inference_;
   ResultSink& sink_;

@@ -130,13 +130,27 @@ void ExactMatchTable::grow() {
 }
 
 void ExactMatchTable::evict_and_insert(std::uint64_t key, ActionEntry action) {
-  // The table is full and `key` is absent: displace the first occupied slot
-  // on its probe path (the entry the new key collides with). Size is
+  // The table is full and `key` is absent: the first occupied slot on the
+  // new key's probe path (the entry it collides with) is the victim. Size is
   // unchanged — one entry in, one out.
-  std::size_t i = probe_start(key);
-  while (slots_[i].state != SlotState::kFull) i = (i + 1) & mask_;
-  slots_[i].key = key;
-  slots_[i].action = action;
+  const std::size_t start = probe_start(key);
+  std::size_t victim = start;
+  while (slots_[victim].state != SlotState::kFull) victim = (victim + 1) & mask_;
+  if (victim == start) {
+    // The path opens occupied: displace the victim in place.
+    slots_[victim].key = key;
+    slots_[victim].action = action;
+  } else {
+    // The path opens with a free slot: the fresh entry must land THERE —
+    // lookups stop at the first empty slot, so parking it in the victim's
+    // slot further along would make it invisible. Take the head of the path
+    // and tombstone the victim instead; occupancy stays within the budget.
+    Slot& head = slots_[start];
+    head.key = key;
+    head.action = action;
+    head.state = SlotState::kFull;
+    slots_[victim].state = SlotState::kTombstone;
+  }
   ++evictions_;
 }
 

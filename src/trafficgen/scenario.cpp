@@ -10,8 +10,8 @@ namespace fenix::trafficgen {
 
 namespace {
 
-// Victim address for DDoS flood scenarios (172.16.0.1 in host order).
-constexpr std::uint32_t kVictimIp = 0xac100001u;
+// Victim address for DDoS flood scenarios (exported as kScenarioVictimIp).
+constexpr std::uint32_t kVictimIp = kScenarioVictimIp;
 
 constexpr double kTwoPi = 6.283185307179586;
 

@@ -29,6 +29,12 @@
 
 namespace fenix::trafficgen {
 
+/// Victim address the DDoS flood preset's attack flows converge on
+/// (172.16.0.1 in host order) — exported so overload tests and tools can
+/// assert the admission ladder's victim-isolation tier pins exactly this
+/// address.
+inline constexpr std::uint32_t kScenarioVictimIp = 0xac100001u;
+
 enum class ScenarioKind {
   kHeavyTailed,  ///< Stationary arrivals, bounded-Pareto flow sizes.
   kFlashCrowd,   ///< Baseline load with a crowd_peak x arrival spike window.

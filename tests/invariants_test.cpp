@@ -69,7 +69,7 @@ bool has_violation(const std::vector<InvariantViolation>& vs,
 }
 
 TEST(InvariantRegistry, StandardSetIsComplete) {
-  EXPECT_EQ(InvariantRegistry::standard().size(), 14u);
+  EXPECT_EQ(InvariantRegistry::standard().size(), 15u);
 }
 
 TEST(InvariantRegistry, ConsistentRunPassesEveryCheck) {

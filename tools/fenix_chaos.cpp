@@ -23,14 +23,23 @@
 // self-test: it deliberately corrupts a healthy run's counters and exits
 // nonzero unless the registry flags every corruption.
 //
+// `--scenario <preset>` swaps the workload for a scaled-down trafficgen
+// scenario (flash_crowd, ddos_flood, ...) with the overload-admission ladder
+// armed at aggressive thresholds, so every seed races random fault schedules
+// against a flash crowd or flood while the ladder walks its tiers — the soak
+// then demands shed-conservation and serial/sharded bit-identity *through*
+// the ladder transitions, and fails if the ladder never moved.
+//
 // Usage:
 //   fenix_chaos [--seeds N] [--start S] [--windows W] [--promote-every MS]
-//               [--mutate]
+//               [--scenario PRESET] [--mutate]
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -41,6 +50,7 @@
 #include "net/packet_source.hpp"
 #include "nn/quantize.hpp"
 #include "trafficgen/profiles.hpp"
+#include "trafficgen/scenario.hpp"
 #include "trafficgen/synthesizer.hpp"
 
 namespace {
@@ -126,13 +136,14 @@ core::FenixSystemConfig config_for_seed(std::uint64_t seed,
 /// aggregates (kept in locals for the duration of the check — the context
 /// holds pointers).
 std::vector<core::InvariantViolation> check_invariants(
-    const core::RunReport& report, const Workload& work,
-    const core::FenixSystem& system, const core::FenixSystemConfig& config) {
+    const core::RunReport& report, std::uint64_t trace_packets,
+    std::uint64_t labeled_flows, const core::FenixSystem& system,
+    const core::FenixSystemConfig& config) {
   const net::ReliableLinkStats to_stats = system.link_stats_to_fpga();
   const net::ReliableLinkStats from_stats = system.link_stats_from_fpga();
   core::InvariantContext ctx{report};
-  ctx.trace_packets = work.trace.packets.size();
-  ctx.trace_flows = work.labeled_flows;
+  ctx.trace_packets = trace_packets;
+  ctx.trace_flows = labeled_flows;
   ctx.to_link = &to_stats;
   ctx.from_link = &from_stats;
   ctx.reorder_window = config.link.reorder_window;
@@ -140,6 +151,9 @@ std::vector<core::InvariantViolation> check_invariants(
   ctx.replay_max_retransmits = config.recovery.max_retransmits;
   ctx.lifecycle_enabled = config.lifecycle.enabled();
   ctx.lifecycle_blackout = config.lifecycle.swap_blackout;
+  // Both FenixSystem drivers route every grant through the admission
+  // controller, so shed-conservation is always live here.
+  ctx.admission_tracking = true;
   return core::InvariantRegistry::standard().check(ctx);
 }
 
@@ -154,6 +168,9 @@ void print_violations(const std::vector<core::InvariantViolation>& violations) {
 struct SoakTotals {
   std::uint64_t promotions = 0;
   std::uint64_t rollbacks = 0;
+  std::uint64_t admission_transitions = 0;
+  std::uint64_t shed_total = 0;
+  unsigned peak_tier = 0;
 };
 
 /// Replays one seed through both paths and checks everything. Returns true
@@ -191,7 +208,8 @@ bool run_seed(std::uint64_t seed, const Workload& work, std::size_t windows,
 
   bool ok = true;
   const auto serial_violations =
-      check_invariants(serial_report, work, serial, config);
+      check_invariants(serial_report, work.trace.packets.size(),
+                       work.labeled_flows, serial, config);
   if (!serial_violations.empty()) {
     std::cerr << "seed " << seed << ": serial replay violated "
               << serial_violations.size() << " invariant(s)\n";
@@ -199,7 +217,8 @@ bool run_seed(std::uint64_t seed, const Workload& work, std::size_t windows,
     ok = false;
   }
   const auto sharded_violations =
-      check_invariants(sharded_report, work, sharded, config);
+      check_invariants(sharded_report, work.trace.packets.size(),
+                       work.labeled_flows, sharded, config);
   if (!sharded_violations.empty()) {
     std::cerr << "seed " << seed << ": sharded replay (pipes=" << opts.pipes
               << " batch=" << opts.batch << ") violated "
@@ -223,6 +242,115 @@ bool run_seed(std::uint64_t seed, const Workload& work, std::size_t windows,
   return ok;
 }
 
+/// Scenario-soak workload: a scaled-down trafficgen preset materialized once
+/// (flows shrunk, offered load shrunk proportionally so the horizon and the
+/// arrival/service shape survive), replayed under the Workload's CNN.
+struct ScenarioWorkload {
+  std::string name;
+  net::Trace trace;
+  std::uint64_t labeled_flows = 0;
+
+  ScenarioWorkload(const std::string& preset, std::size_t num_classes) {
+    name = preset;
+    trafficgen::ScenarioConfig config = trafficgen::scenario_preset(preset);
+    const std::uint32_t full_flows = config.flows;
+    config.flows = 3000;
+    config.offered_pps =
+        config.offered_pps * config.flows / static_cast<double>(full_flows);
+    config.num_classes = static_cast<std::uint16_t>(num_classes);
+    trafficgen::ScenarioSource source(config);
+    trace = net::materialize(source);
+    for (const net::FlowRecord& f : trace.flows) {
+      if (f.label >= 0 && static_cast<std::size_t>(f.label) < num_classes) {
+        ++labeled_flows;
+      }
+    }
+  }
+};
+
+/// Scenario seeds arm the overload-admission ladder at aggressive thresholds
+/// (escalate after one pressured epoch) so the fault schedule's FPGA stalls
+/// and brownouts actually walk the tiers, and the soak exercises every
+/// transition under shed-conservation + bit-identity.
+core::FenixSystemConfig scenario_config_for_seed(std::uint64_t seed) {
+  core::FenixSystemConfig config;
+  config.link.max_retransmits = static_cast<unsigned>(seed % 3);
+  config.link.reorder_window = 32;
+  config.admission.enabled = true;
+  config.admission.enter_epochs = 1;
+  config.admission.exit_epochs = 2;
+  config.admission.victim_min_count = 8;
+  return config;
+}
+
+/// One scenario seed: random fault schedule racing the flood, serial
+/// (chunk-rotated) vs sharded (pipes rotating over {1, 4, 8}), invariants +
+/// bit-identity through every ladder transition.
+bool run_scenario_seed(std::uint64_t seed, const ScenarioWorkload& work,
+                       const nn::QuantizedCnn* model, std::size_t num_classes,
+                       std::size_t windows, SoakTotals& totals) {
+  const core::FenixSystemConfig config = scenario_config_for_seed(seed);
+  const faults::FaultSchedule schedule =
+      faults::FaultSchedule::random(seed, work.trace.duration(), windows);
+
+  static constexpr std::size_t kChunks[] = {1, 7, 64, 4096};
+  net::TraceSource trace_source(work.trace);
+  net::ChunkLimiter serial_source(trace_source, kChunks[(seed / 2) % 4]);
+  core::FenixSystem serial(config, model, nullptr);
+  faults::FaultInjector serial_injector(schedule, serial);
+  const core::RunReport serial_report =
+      serial.run(serial_source, num_classes, &serial_injector);
+
+  static constexpr std::size_t kPipes[] = {1, 4, 8};
+  core::PipelineOptions opts;
+  opts.pipes = kPipes[seed % 3];
+  opts.batch = 8;
+  core::FenixSystem sharded(config, model, nullptr);
+  faults::FaultInjector sharded_injector(schedule, sharded);
+  const core::RunReport sharded_report = sharded.run_pipelined(
+      work.trace, num_classes, &sharded_injector, {}, opts);
+
+  bool ok = true;
+  const auto serial_violations =
+      check_invariants(serial_report, work.trace.packets.size(),
+                       work.labeled_flows, serial, config);
+  if (!serial_violations.empty()) {
+    std::cerr << "scenario " << work.name << " seed " << seed
+              << ": serial replay violated " << serial_violations.size()
+              << " invariant(s)\n";
+    print_violations(serial_violations);
+    ok = false;
+  }
+  const auto sharded_violations =
+      check_invariants(sharded_report, work.trace.packets.size(),
+                       work.labeled_flows, sharded, config);
+  if (!sharded_violations.empty()) {
+    std::cerr << "scenario " << work.name << " seed " << seed
+              << ": sharded replay (pipes=" << opts.pipes << ") violated "
+              << sharded_violations.size() << " invariant(s)\n";
+    print_violations(sharded_violations);
+    ok = false;
+  }
+  if (const auto div = core::first_divergence(serial_report, sharded_report)) {
+    std::cerr << "scenario " << work.name << " seed " << seed
+              << ": serial vs sharded (pipes=" << opts.pipes
+              << ") reports diverge: first_divergence = " << *div << "\n";
+    ok = false;
+  }
+  if (!ok) {
+    std::cerr << "reproduce with: fenix_chaos --scenario " << work.name
+              << " --seeds 1 --start " << seed << " --windows " << windows
+              << "\nschedule:\n"
+              << schedule.to_text();
+  }
+  totals.admission_transitions += serial_report.admission_transitions;
+  totals.shed_total += serial_report.shed_thinned + serial_report.shed_frozen +
+                       serial_report.shed_isolated;
+  totals.peak_tier = std::max(
+      totals.peak_tier, static_cast<unsigned>(serial_report.admission_peak_tier));
+  return ok;
+}
+
 /// Self-test: corrupt a healthy run's counters one at a time and demand the
 /// registry catches every corruption. Guards against the checker rotting
 /// into a rubber stamp.
@@ -235,7 +363,8 @@ bool run_mutation_check(std::uint64_t seed, const Workload& work,
   faults::FaultInjector injector(schedule, system);
   core::RunReport report = system.run(work.trace, work.num_classes, &injector);
 
-  const auto clean = check_invariants(report, work, system, config);
+  const auto clean = check_invariants(report, work.trace.packets.size(),
+                                      work.labeled_flows, system, config);
   if (!clean.empty()) {
     std::cerr << "mutation check: baseline run is not clean (seed " << seed
               << ")\n";
@@ -271,6 +400,15 @@ bool run_mutation_check(std::uint64_t seed, const Workload& work,
        }},
       {"swap_blackout+1",
        [](core::RunReport& r) { r.lifecycle_swap_blackout += 1; }},
+      // Overload-admission accounting: each shed counter corruption must
+      // break shed-conservation.
+      {"admission_offered+1",
+       [](core::RunReport& r) { ++r.admission_offered; }},
+      {"admission_admitted+1",
+       [](core::RunReport& r) { ++r.admission_admitted; }},
+      {"shed_thinned+1", [](core::RunReport& r) { ++r.shed_thinned; }},
+      {"shed_frozen+1", [](core::RunReport& r) { ++r.shed_frozen; }},
+      {"shed_isolated+1", [](core::RunReport& r) { ++r.shed_isolated; }},
       // Report-side link aggregates must keep matching the link stats.
       {"link_retransmits+1", [](core::RunReport& r) { ++r.link_retransmits; }},
       {"link_nacks+1", [](core::RunReport& r) { ++r.link_nacks; }},
@@ -282,7 +420,8 @@ bool run_mutation_check(std::uint64_t seed, const Workload& work,
   for (const Mutation& m : mutations) {
     core::RunReport mutated = report;  // fresh copy per mutation
     m.apply(mutated);
-    const auto violations = check_invariants(mutated, work, system, config);
+    const auto violations = check_invariants(
+        mutated, work.trace.packets.size(), work.labeled_flows, system, config);
     if (violations.empty()) {
       std::cerr << "mutation check FAILED: corruption '" << m.name
                 << "' slipped past the registry (seed " << seed << ")\n";
@@ -297,7 +436,7 @@ bool run_mutation_check(std::uint64_t seed, const Workload& work,
 
 int usage() {
   std::cerr << "usage: fenix_chaos [--seeds N] [--start S] [--windows W] "
-               "[--promote-every MS] [--mutate]\n";
+               "[--promote-every MS] [--scenario PRESET] [--mutate]\n";
   return 2;
 }
 
@@ -308,6 +447,7 @@ int main(int argc, char** argv) {
   std::uint64_t start = 0;
   std::size_t windows = 6;
   std::uint64_t promote_every_ms = 0;
+  std::string scenario;
   bool mutate = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -323,10 +463,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--promote-every") {
       if (++i >= argc) return usage();
       promote_every_ms = std::strtoull(argv[i], nullptr, 10);
+    } else if (arg == "--scenario") {
+      if (++i >= argc) return usage();
+      scenario = argv[i];
     } else if (arg == "--mutate") {
       mutate = true;
     } else {
       return usage();
+    }
+  }
+  if (!scenario.empty()) {
+    const auto& names = trafficgen::scenario_preset_names();
+    if (std::find(names.begin(), names.end(), scenario) == names.end()) {
+      std::cerr << "fenix_chaos: unknown scenario preset '" << scenario
+                << "' (presets:";
+      for (const std::string& n : names) std::cerr << " " << n;
+      std::cerr << ")\n";
+      return 2;
     }
   }
 
@@ -337,6 +490,44 @@ int main(int argc, char** argv) {
 
   if (mutate) {
     return run_mutation_check(start, work, windows) ? 0 : 1;
+  }
+
+  if (!scenario.empty()) {
+    const ScenarioWorkload scen(scenario, work.num_classes);
+    std::cout << "scenario soak '" << scenario
+              << "': " << scen.trace.packets.size() << " packets, "
+              << scen.trace.flows.size() << " flows (" << scen.labeled_flows
+              << " labeled)\n";
+    std::uint64_t clean = 0;
+    SoakTotals totals;
+    for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
+      if (!run_scenario_seed(seed, scen, work.quantized.get(),
+                             work.num_classes, windows, totals)) {
+        std::cerr << "scenario soak FAILED at seed " << seed << " (" << clean
+                  << " clean seeds before it)\n";
+        return 1;
+      }
+      ++clean;
+      if (clean % 50 == 0) {
+        std::cout << "  " << clean << "/" << seeds << " seeds clean\n";
+      }
+    }
+    // A scenario soak whose ladder never escalated proved nothing about
+    // overload resilience: the aggressive thresholds + fault schedules must
+    // have moved the ladder at least once across the soak.
+    if (totals.admission_transitions == 0) {
+      std::cerr << "scenario soak FAILED: admission ladder never moved "
+                << "(transitions=0 over " << clean << " seeds)\n";
+      return 1;
+    }
+    std::cout << "scenario soak PASSED: " << clean << " seeds on '" << scenario
+              << "', zero invariant violations, serial == sharded; ladder: "
+              << totals.admission_transitions << " transitions, "
+              << totals.shed_total << " sheds, peak tier "
+              << totals.peak_tier << " ("
+              << core::AdmissionController::tier_name(totals.peak_tier)
+              << ")\n";
+    return 0;
   }
 
   std::uint64_t clean = 0;

@@ -28,7 +28,11 @@
 //                            open-loop, never materializing the packets
 //   --offered-load <pps>     target aggregate packet rate: rescales a loaded
 //                            trace's timestamps, or overrides the scenario's
-//                            offered load
+//                            offered load (must be > 0)
+//   --admission              arm the overload-admission ladder (DESIGN.md
+//                            §4.12): hysteresis load shedding between the
+//                            Rate Limiter grant and the mirror emission, with
+//                            a per-tier shed summary after the run
 //   --stream-chunk <N>       stream the trace file from disk through the
 //                            PacketSource seam in N-packet chunks instead of
 //                            materializing it
@@ -84,6 +88,7 @@ int usage() {
          "                     [--pcb-loss <rate>] [--fault-schedule <file>]\n"
          "                     [--fallback-tree] [--pipes <N>] [--batch <N>]\n"
          "                     [--offered-load <pps>] [--stream-chunk <N>]\n"
+         "                     [--admission]\n"
          "                     [--shadow-model <file>] [--promote-at <sec>]\n"
          "                     [--slo-drift <rate>] [--slo-p99-us <us>]\n"
          "                     [--slo-min-samples <N>] [--slo-fallback]\n"
@@ -250,6 +255,15 @@ int cmd_run(int argc, char** argv) {
     } else if (arg == "--offered-load") {
       if (++i >= argc) return usage();
       offered_pps = std::atof(argv[i]);
+      if (offered_pps <= 0.0) {
+        // Same typed-error convention as --fault-schedule: name the bad
+        // value, exit 2, never fall into the generic catch.
+        std::cerr << "fenix_replay: invalid offered load '" << argv[i]
+                  << "': must be a packet rate > 0\n";
+        return 2;
+      }
+    } else if (arg == "--admission") {
+      config.admission.enabled = true;
     } else if (arg == "--stream-chunk") {
       if (++i >= argc) return usage();
       stream_chunk = static_cast<std::size_t>(std::max(1l, std::atol(argv[i])));
@@ -274,7 +288,17 @@ int cmd_run(int argc, char** argv) {
   std::unique_ptr<net::ChunkLimiter> limiter;
   net::PacketSource* source = nullptr;
   if (!scenario_name.empty()) {
-    trafficgen::ScenarioConfig scenario = trafficgen::scenario_preset(scenario_name);
+    trafficgen::ScenarioConfig scenario;
+    try {
+      scenario = trafficgen::scenario_preset(scenario_name);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "fenix_replay: " << e.what() << " (presets:";
+      for (const auto& n : trafficgen::scenario_preset_names()) {
+        std::cerr << " " << n;
+      }
+      std::cerr << ")\n";
+      return 2;
+    }
     if (offered_pps > 0.0) scenario.offered_pps = offered_pps;
     auto scenario_source = std::make_unique<trafficgen::ScenarioSource>(scenario);
     std::cout << "scenario " << scenario_name << ": " << scenario.flows
@@ -463,6 +487,18 @@ int cmd_run(int argc, char** argv) {
               << sim::to_milliseconds(report.lifecycle_swap_blackout)
               << " ms, " << report.lifecycle_swap_drops
               << " swap drops\n";
+  }
+  if (config.admission.enabled) {
+    std::cout << "admission ladder: " << report.admission_offered
+              << " grants offered, " << report.admission_admitted
+              << " admitted, shed " << report.shed_thinned << " thinned / "
+              << report.shed_frozen << " frozen / " << report.shed_isolated
+              << " isolated; " << report.admission_transitions
+              << " transition(s), peak tier " << report.admission_peak_tier
+              << " ("
+              << core::AdmissionController::tier_name(
+                     static_cast<unsigned>(report.admission_peak_tier))
+              << ")\n";
   }
   // Same health table the benches emit (telemetry::MetricRegistry), so every
   // reporting surface prints one consistent set of failure counters.
